@@ -1,0 +1,83 @@
+"""Section 6.2, second experiment: mean tests to failure under
+injected mutations.
+
+The suite injects bugs into BST insertion, STLC substitution/lifting,
+and IFC label propagation, then measures how many tests each generator
+needs to find them.  The paper's claim: handwritten and derived
+generators are *indistinguishable* on this metric (similar
+distributions of test data).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.quickchick import Mutant, for_all, quick_check
+
+RUNS = 4
+# Per-case test caps, sized to each case's hardest mutant.
+MAX_TESTS = {"BST": 4000, "STLC": 6000, "IFC": 12000}
+
+
+def _mean_ttf(cell, gen_fn, mutant, seed0=101) -> tuple[float | None, int]:
+    failures = []
+    escaped = 0
+    for run in range(RUNS):
+        gen, predicate = cell.workload.property_fn(gen_fn, cell.hand_check, mutant.impl)
+        prop = for_all(gen, predicate, mutant.name)
+        report = quick_check(
+            prop, num_tests=MAX_TESTS[cell.name], seed=seed0 + 7919 * run, size=5
+        )
+        if report.failed:
+            failures.append(report.tests_run)
+        else:
+            escaped += 1
+    mean = sum(failures) / len(failures) if failures else None
+    return mean, escaped
+
+
+def _run_cell(benchmark, cell, mutants):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for mutant in mutants:
+            hand_mean, hand_esc = _mean_ttf(cell, cell.hand_gen, mutant)
+            drv_mean, drv_esc = _mean_ttf(cell, cell.derived_gen, mutant)
+            rows.append((mutant.name, hand_mean, hand_esc, drv_mean, drv_esc))
+        return rows
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\n=== mean tests to failure — {cell.name} ===")
+    print(f"{'mutant':24s}{'handwritten':>16s}{'derived':>16s}")
+    for name, hand_mean, hand_esc, drv_mean, drv_esc in rows:
+        hand = f"{hand_mean:.0f}" if hand_mean is not None else "escaped"
+        drv = f"{drv_mean:.0f}" if drv_mean is not None else "escaped"
+        if hand_esc:
+            hand += f" ({hand_esc} esc)"
+        if drv_esc:
+            drv += f" ({drv_esc} esc)"
+        print(f"{name:24s}{hand:>16s}{drv:>16s}")
+        # Both generators must catch every mutant in at least one run.
+        assert hand_mean is not None
+        assert drv_mean is not None
+
+
+def test_bst_mutations(benchmark, bst_cell):
+    from repro.casestudies import bst
+
+    _run_cell(benchmark, bst_cell, bst.MUTANTS)
+
+
+def test_stlc_mutations(benchmark, stlc_cell):
+    from repro.casestudies import stlc
+
+    _run_cell(benchmark, stlc_cell, stlc.MUTANTS)
+
+
+def test_ifc_mutations(benchmark, ifc_cell):
+    from repro.casestudies import ifc
+
+    _run_cell(benchmark, ifc_cell, ifc.MUTANTS)

@@ -1,0 +1,66 @@
+"""Section 5's cost: how long translation validation takes.
+
+The paper derives Ltac2 proofs for every artifact (with a quadratic-
+in-constructors completeness proof, Section 5.3).  Here certification
+is bounded checking; this bench measures certification time for a
+representative artifact of each kind, and verifies that every
+certificate comes out clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.stdlib import standard_context
+from repro.validation import (
+    ValidationConfig,
+    certify_checker,
+    certify_enumerator,
+    certify_generator,
+)
+
+DECLS = """
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive Sorted : list nat -> Prop :=
+| Sorted_nil : Sorted []
+| Sorted_sing : forall x, Sorted [x]
+| Sorted_cons : forall x y l,
+    le x y -> Sorted (y :: l) -> Sorted (x :: y :: l).
+"""
+
+CFG = ValidationConfig(
+    domain_depth=3, max_tuples=150, ref_depth=12, max_fuel=16, gen_samples=100
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    c = standard_context()
+    parse_declarations(c, DECLS)
+    return c
+
+
+def test_certify_checker_le(benchmark, ctx):
+    cert = benchmark(certify_checker, ctx, "le", CFG)
+    assert cert.ok, cert.summary()
+    cases = sum(o.cases for o in cert.obligations)
+    print(f"\n[validation] checker le: {cases} obligation cases")
+
+
+def test_certify_checker_sorted(benchmark, ctx):
+    cert = benchmark(certify_checker, ctx, "Sorted", CFG)
+    assert cert.ok, cert.summary()
+
+
+def test_certify_enumerator_le(benchmark, ctx):
+    cert = benchmark(certify_enumerator, ctx, "le", "oi", CFG)
+    assert cert.ok, cert.summary()
+
+
+def test_certify_generator_le(benchmark, ctx):
+    cert = benchmark(certify_generator, ctx, "le", "oi", CFG)
+    assert cert.ok, cert.summary()

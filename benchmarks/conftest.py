@@ -1,0 +1,87 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark prints the rows/series of the paper artifact it
+regenerates (Table 1, Figure 3 left/right, the §6.2 mutation table,
+the §6.3 reflection timings), in addition to the pytest-benchmark
+timing machinery.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.casestudies import bst, ifc, stlc
+from repro.derive.instances import CHECKER, GEN, resolve, resolve_compiled
+from repro.derive.modes import Mode
+
+
+class Fig3Cell:
+    """One case-study column of Figure 3: the generator/checker pairs."""
+
+    def __init__(self, name, ctx, workload, hand_gen, hand_check,
+                 rel, gen_mode, correct_impl):
+        self.name = name
+        self.ctx = ctx
+        self.workload = workload
+        self.hand_gen = hand_gen
+        self.hand_check = hand_check
+        arity = ctx.relations.get(rel).arity
+        self.derived_check = resolve_compiled(ctx, CHECKER, rel, Mode.checker(arity))
+        self.derived_check_interp = resolve(ctx, CHECKER, rel, Mode.checker(arity)).fn
+        self.derived_gen = resolve_compiled(ctx, GEN, rel, Mode.from_string(gen_mode))
+        self.correct_impl = correct_impl
+
+
+@pytest.fixture(scope="session")
+def bst_cell():
+    ctx = bst.make_context()
+    return Fig3Cell(
+        "BST", ctx, bst.BstWorkload(ctx),
+        bst.handwritten_bst_gen, bst.handwritten_bst_check,
+        "bst", "iio", bst.insert,
+    )
+
+
+@pytest.fixture(scope="session")
+def stlc_cell():
+    ctx = stlc.make_context()
+    return Fig3Cell(
+        "STLC", ctx, stlc.StlcWorkload(ctx),
+        stlc.handwritten_typing_gen, stlc.handwritten_typing_check,
+        "typing", "ioi", stlc.subst,
+    )
+
+
+@pytest.fixture(scope="session")
+def ifc_cell():
+    ctx = ifc.make_context()
+    return Fig3Cell(
+        "IFC", ctx, ifc.IfcWorkload(ctx),
+        ifc.handwritten_indist_gen, ifc.handwritten_indist_check,
+        "indist_list", "io", ifc.CORRECT_STEP,
+    )
+
+
+def run_property(gen, predicate, num_tests: int, seed: int, size: int = 5) -> int:
+    """A tight test loop (generation + predicate); returns tests run
+    (discards excluded).  The benchmark measures this function."""
+    rng = random.Random(seed)
+    done = 0
+    attempts = 0
+    while done < num_tests and attempts < 20 * num_tests:
+        attempts += 1
+        case = gen(size, rng)
+        if not isinstance(case, tuple):
+            continue
+        verdict = predicate(case)
+        if verdict is None:
+            continue
+        ok = verdict if isinstance(verdict, bool) else verdict.is_true
+        if not ok:
+            raise AssertionError(f"property failed on {case}")
+        done += 1
+    return done

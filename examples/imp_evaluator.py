@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Executing a big-step semantics: the IMP evaluator (LF's `Imp`).
+
+IMP's evaluation relation `cevalR` cannot be a Coq function — `while`
+loops may diverge.  The derived semi-decision procedure is the honest
+computational reading: `Some true` when the program provably reaches
+the final state within the fuel, `None` when it needs more fuel (or
+diverges).  The derived *enumerator* at mode `iio` is an interpreter:
+it produces the final states a program can reach.
+
+Run:  python examples/imp_evaluator.py
+"""
+
+from repro.core.values import V, from_int, from_list, from_pair, render, to_list, to_pair, to_int
+from repro.derive import derive_checker, derive_enumerator
+from repro.producers.outcome import is_value
+from repro.sf.registry import load_chapter
+
+chapter = load_chapter("repro.sf.lf_imp")
+ctx = chapter.ctx
+
+# Program:  X := 3; Y := 0; while (1 <= X) { Y := Y + X; X := X - 1 }
+# i.e. Y = 3 + 2 + 1 = 6.
+X, Y = 0, 1
+aid = lambda v: V("AId", from_int(v))
+num = lambda n: V("ANum", from_int(n))
+prog = V(
+    "CSeq",
+    V("CAss", from_int(X), num(3)),
+    V(
+        "CSeq",
+        V("CAss", from_int(Y), num(0)),
+        V(
+            "CWhile",
+            V("BLe", num(1), aid(X)),
+            V(
+                "CSeq",
+                V("CAss", from_int(Y), V("APlus", aid(Y), aid(X))),
+                V("CAss", from_int(X), V("AMinus", aid(X), num(1))),
+            ),
+        ),
+    ),
+)
+
+empty_state = from_list([])
+
+
+def lookup_final(state, var):
+    for cell in to_list(state):
+        k, v = to_pair(cell)
+        if to_int(k) == var:
+            return to_int(v)
+    return 0
+
+
+# Run the program by *enumerating* final states of cevalR.
+evaluate = derive_enumerator(ctx, "cevalR", "iio")
+print("running the sum-down-from-3 program through the derived evaluator…")
+finals = []
+for item in evaluate(40, prog, empty_state):
+    if is_value(item):
+        finals.append(item[0])
+        break  # evaluation is deterministic: first solution is the answer
+assert finals, "needs more fuel"
+final_state = finals[0]
+print("final state:", render(final_state))
+print("Y =", lookup_final(final_state, Y))
+assert lookup_final(final_state, Y) == 6
+
+# Check a claimed final state with the derived checker.
+check = derive_checker(ctx, "cevalR")
+print("\nchecking (prog, [], final) with the derived checker:",
+      check(40, prog, empty_state, final_state))
+
+# A diverging program: while true skip.  The checker can never say
+# `Some false` for reachable questions it cannot decide — it answers
+# `None` at every fuel (Section 5.1's non-termination discussion).
+loop = V("CWhile", V("BTrue"), V("CSkip"))
+for fuel in (5, 20, 60):
+    print(f"while true skip, fuel {fuel:3d}:",
+          check(fuel, loop, empty_state, empty_state))

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Proof by computational reflection (Section 6.3).
+
+Prove `Sorted (repeat 1 2000)` two ways:
+
+* the *explicit* route builds a derivation tree by applying
+  constructors (the `repeat eapply` proof) and re-checks it node by
+  node — thousands of proof nodes;
+* the *reflective* route derives a checker (`Derive DecOpt`), checks
+  its soundness certificate once, and then just *computes*.
+
+Run:  python examples/proof_by_reflection.py
+"""
+
+from repro import parse_declarations, standard_context, from_int, from_list
+from repro.derive import derive_checker
+from repro.validation import (
+    ValidationConfig,
+    certify_checker,
+    prove_by_reflection,
+    prove_explicit,
+)
+
+ctx = standard_context()
+parse_declarations(ctx, """
+    Inductive le : nat -> nat -> Prop :=
+    | le_n : forall n, le n n
+    | le_S : forall n m, le n m -> le n (S m).
+
+    Inductive Sorted : list nat -> Prop :=
+    | Sorted_nil : Sorted []
+    | Sorted_sing : forall x, Sorted [x]
+    | Sorted_cons : forall x y l,
+        le x y -> Sorted (y :: l) -> Sorted (x :: y :: l).
+""")
+
+# 1.  Derive DecOpt for (Sorted l).
+derive_checker(ctx, "Sorted")
+
+# 2.  Instance Sort_sound : DecOptSoundPos (Sorted l).
+#     Proof. derive_sound. Qed.   — here: the validation certificate.
+certificate = certify_checker(
+    ctx, "Sorted",
+    ValidationConfig(domain_depth=3, max_tuples=100, ref_depth=10, max_fuel=16),
+)
+assert certificate.ok, certificate.summary()
+print("soundness certificate: OK")
+print()
+
+# 3.  Lemma sorted_2000 : Sorted (repeat 1 2000).
+n = 2000
+goal = (from_list([from_int(1)] * n),)
+
+# The explicit proof term is quadratic to build here (the paper's Coq
+# baseline takes 27.5 s at n = 2000); build it at n = 300 and watch the
+# scaling, then prove the full goal reflectively.
+small = 300
+explicit = prove_explicit(
+    ctx, "Sorted", (from_list([from_int(1)] * small),), depth=small + 8
+)
+print(f"(explicit at n={small}) {explicit}")
+
+reflective = prove_by_reflection(ctx, "Sorted", goal, fuel=n + 8)
+print(f"(reflective at n={n}) {reflective}")
+
+speedup = (explicit.build_seconds + explicit.check_seconds) / max(
+    reflective.build_seconds + reflective.check_seconds, 1e-9
+)
+print(f"\nproof size: {explicit.proof_size} nodes (n={small}) -> 1 checker run (n={n})")
+print(f"time:       {speedup:,.0f}x faster by reflection, at 6.7x the goal size")
+assert reflective.proved and explicit.proved

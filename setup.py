@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The package is fully described by pyproject.toml; this file exists so
+offline environments without the `wheel` package (where PEP-660
+editable installs fail) can still run `python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro: computing correctly with inductive relations, in Python.
+
+A from-scratch reproduction of "Computing Correctly with Inductive
+Relations" (Paraskevopoulou, Eline, Lampropoulos — PLDI 2022): derive
+checkers, enumerators, and random generators from inductive relation
+declarations, and validate each derived computation (soundness,
+completeness, monotonicity) against a reference proof-search semantics.
+
+Quickstart::
+
+    from repro import standard_context, parse_declarations, derive_checker
+
+    ctx = standard_context()
+    parse_declarations(ctx, '''
+        Inductive le : nat -> nat -> Prop :=
+        | le_n : forall n, le n n
+        | le_S : forall n m, le n m -> le n (S m).
+    ''')
+    le = derive_checker(ctx, 'le')
+    le(10, from_int(2), from_int(5))   # Some true
+"""
+
+import sys as _sys
+
+# Derived computations and the reference proof search recurse
+# structurally over terms (Peano naturals, long lists); proving
+# `Sorted (repeat 1 2000)` needs tens of thousands of Python frames.
+if _sys.getrecursionlimit() < 300_000:
+    _sys.setrecursionlimit(300_000)
+
+from .core import (
+    Context,
+    ParseError,
+    Relation,
+    Value,
+    from_bool,
+    from_int,
+    from_list,
+    nat_list,
+    parse_declarations,
+    to_bool,
+    to_int,
+    to_list,
+)
+from .derive import (
+    Mode,
+    derive,
+    derive_checker,
+    derive_enumerator,
+    derive_generator,
+)
+from .quickchick import for_all, quick_check
+from .semantics import derivable, search_derivation
+from .stdlib import standard_context
+from .validation import (
+    ValidationConfig,
+    certify_checker,
+    certify_enumerator,
+    certify_generator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Context",
+    "Mode",
+    "ParseError",
+    "Relation",
+    "ValidationConfig",
+    "Value",
+    "__version__",
+    "certify_checker",
+    "certify_enumerator",
+    "certify_generator",
+    "derivable",
+    "derive",
+    "derive_checker",
+    "derive_enumerator",
+    "derive_generator",
+    "for_all",
+    "from_bool",
+    "from_int",
+    "from_list",
+    "nat_list",
+    "parse_declarations",
+    "quick_check",
+    "search_derivation",
+    "standard_context",
+    "to_bool",
+    "to_int",
+    "to_list",
+]

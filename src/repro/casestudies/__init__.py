@@ -1,0 +1,5 @@
+"""Evaluation case studies: BST, STLC, and IFC (Section 6.2)."""
+
+from . import bst, ifc, stlc
+
+__all__ = ["bst", "ifc", "stlc"]

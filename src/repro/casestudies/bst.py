@@ -1,0 +1,212 @@
+"""Case study: binary search trees (Section 6.2, after [20]).
+
+The QuickChick microbenchmark: the ``bst lo hi t`` bounded-invariant
+relation, handcrafted checker and generator to serve as the Figure 3
+baselines, the ``insert`` operation, and the mutation suite (buggy
+insertions that sometimes violate the search-tree invariant).
+
+Keys are Peano naturals; ``bst lo hi t`` requires every key strictly
+between ``lo`` and ``hi`` — the standard formulation that makes the
+generator derivable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.context import Context
+from ..core.parser import parse_declarations
+from ..core.values import V, Value, from_int, to_int
+from ..derive import register_checker, register_producer
+from ..derive.instances import ENUM, GEN
+from ..derive.modes import Mode
+from ..producers.option_bool import SOME_FALSE, SOME_TRUE, OptionBool
+from ..producers.outcome import FAIL, OUT_OF_FUEL
+from ..quickchick.mutation import Mutant
+from ..stdlib import standard_context
+
+DECLARATIONS = """
+Inductive tree : Type :=
+| Leaf : tree
+| Node : tree -> nat -> tree -> tree.
+
+Inductive lt : nat -> nat -> Prop :=
+| lt_base : forall n, lt n (S n)
+| lt_step : forall n m, lt n m -> lt n (S m).
+
+Inductive bst : nat -> nat -> tree -> Prop :=
+| bst_leaf : forall lo hi, bst lo hi Leaf
+| bst_node : forall lo hi k l r,
+    lt lo k -> lt k hi ->
+    bst lo k l -> bst k hi r ->
+    bst lo hi (Node l k r).
+"""
+
+LEAF = V("Leaf")
+
+
+def node(left: Value, key: int, right: Value) -> Value:
+    return V("Node", left, from_int(key), right)
+
+
+def make_context() -> Context:
+    ctx = standard_context()
+    parse_declarations(ctx, DECLARATIONS)
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# Handwritten checker and generator (the Figure 3 baselines).
+# ---------------------------------------------------------------------------
+
+def handwritten_bst_check(fuel: int, args: tuple[Value, ...]) -> OptionBool:
+    """Direct bounds-checking recursion — the hand-optimized checker."""
+    lo, hi, tree = args
+    return _check(to_int(lo), to_int(hi), tree)
+
+
+def _check(lo: int, hi: int, tree: Value) -> OptionBool:
+    if tree.ctor == "Leaf":
+        return SOME_TRUE
+    left, key_value, right = tree.args
+    key = to_int(key_value)
+    if not (lo < key < hi):
+        return SOME_FALSE
+    left_ok = _check(lo, key, left)
+    if not left_ok.is_true:
+        return left_ok
+    return _check(key, hi, right)
+
+
+def handwritten_bst_gen(
+    fuel: int, ins: tuple[Value, ...], rng: random.Random
+):
+    """Random BST between bounds, by recursive key splitting — the
+    classic handcrafted generator from the benchmark suite."""
+    lo, hi = (to_int(v) for v in ins)
+    tree = _gen(lo, hi, fuel, rng)
+    if tree is None:
+        return FAIL
+    return (tree,)
+
+
+def _gen(lo: int, hi: int, size: int, rng: random.Random) -> Value | None:
+    if size == 0 or hi - lo < 2:
+        return LEAF
+    if rng.random() < 0.25:
+        return LEAF
+    key = rng.randint(lo + 1, hi - 1)
+    left = _gen(lo, key, size - 1, rng)
+    right = _gen(key, hi, size - 1, rng)
+    if left is None or right is None:
+        return None
+    return node(left, key, right)
+
+
+def register_handwritten(ctx: Context) -> None:
+    register_checker(ctx, "bst", handwritten_bst_check, replace=True)
+    register_producer(
+        ctx, GEN, "bst", Mode.from_string("iio"), handwritten_bst_gen,
+        replace=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Insertion and its mutants.
+# ---------------------------------------------------------------------------
+
+def insert(key: int, tree: Value) -> Value:
+    """Correct BST insertion."""
+    if tree.ctor == "Leaf":
+        return node(LEAF, key, LEAF)
+    left, k_value, right = tree.args
+    k = to_int(k_value)
+    if key < k:
+        return V("Node", insert(key, left), k_value, right)
+    if key > k:
+        return V("Node", left, k_value, insert(key, right))
+    return tree
+
+
+def insert_swapped(key: int, tree: Value) -> Value:
+    """Mutant 1: comparison flipped — inserts into the wrong subtree."""
+    if tree.ctor == "Leaf":
+        return node(LEAF, key, LEAF)
+    left, k_value, right = tree.args
+    k = to_int(k_value)
+    if key > k:  # BUG: should be <
+        return V("Node", insert_swapped(key, left), k_value, right)
+    if key < k:
+        return V("Node", left, k_value, insert_swapped(key, right))
+    return tree
+
+
+def insert_no_recurse(key: int, tree: Value) -> Value:
+    """Mutant 2: overwrites the root instead of recursing."""
+    if tree.ctor == "Leaf":
+        return node(LEAF, key, LEAF)
+    left, _k_value, right = tree.args
+    return V("Node", left, from_int(key), right)  # BUG
+
+
+def insert_root_swap(key: int, tree: Value) -> Value:
+    """Mutant 3: swaps the subtrees when rebuilding after a left
+    insertion."""
+    if tree.ctor == "Leaf":
+        return node(LEAF, key, LEAF)
+    left, k_value, right = tree.args
+    k = to_int(k_value)
+    if key < k:
+        return V("Node", right, k_value, insert_root_swap(key, left))  # BUG
+    if key > k:
+        return V("Node", left, k_value, insert_root_swap(key, right))
+    return tree
+
+
+MUTANTS = [
+    Mutant("insert_swapped", "inserts into the wrong subtree", insert_swapped),
+    Mutant("insert_no_recurse", "overwrites the root key", insert_no_recurse),
+    Mutant("insert_root_swap", "swaps subtrees on rebuild", insert_root_swap),
+]
+
+CORRECT = Mutant("insert_correct", "the unmutated insertion", insert)
+
+
+# ---------------------------------------------------------------------------
+# The benchmark property: insert preserves the invariant.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BstWorkload:
+    """Everything a Figure 3 cell needs: a tree source and an invariant
+    checker, either handwritten or derived."""
+
+    ctx: Context
+    lo: int = 0
+    hi: int = 16
+
+    def bounds(self) -> tuple[Value, Value]:
+        return from_int(self.lo), from_int(self.hi)
+
+    def property_fn(self, gen_fn, check_fn, impl, fuel: int = 10,
+                    check_fuel: int | None = None):
+        """forall t from gen, forall k, bst (insert k t) — with *impl*
+        the (possibly mutated) insertion."""
+        lo_v, hi_v = self.bounds()
+        # Checking `lt k hi` needs fuel proportional to the key range.
+        if check_fuel is None:
+            check_fuel = self.hi + 8
+
+        def gen(size: int, rng: random.Random):
+            out = gen_fn(fuel, (lo_v, hi_v), rng)
+            if out is FAIL or out is OUT_OF_FUEL:
+                return out
+            key = rng.randint(self.lo + 1, self.hi - 1)
+            return (key, out[0])
+
+        def predicate(case):
+            key, tree = case
+            return check_fn(check_fuel, (lo_v, hi_v, impl(key, tree)))
+
+        return gen, predicate

@@ -1,0 +1,311 @@
+"""Case study: information-flow control (Section 6.2, after [18, 19]).
+
+A stack machine with labeled data in the style of "Testing
+Noninterference, Quickly": atoms are values tagged L(ow) or H(igh),
+instructions push/pop/add/load/store over a labeled memory, and the
+security property is noninterference — two runs over indistinguishable
+memories stay indistinguishable.
+
+The inductive relations are atom/list indistinguishability; the
+Figure 3 cells compare the handwritten checker/generator for
+``indist_list`` against the derived ones.  The mutation suite injects
+the classic label-propagation bugs (missing joins in Add/Load, missing
+high-address check in Store).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.context import Context
+from ..core.parser import parse_declarations
+from ..core.values import V, Value, from_int, from_list, to_int, to_list
+from ..derive import register_checker, register_producer
+from ..derive.instances import GEN
+from ..derive.modes import Mode
+from ..producers.option_bool import SOME_FALSE, SOME_TRUE, OptionBool
+from ..producers.outcome import FAIL
+from ..quickchick.mutation import Mutant
+from ..stdlib import standard_context
+
+DECLARATIONS = """
+Inductive label : Type :=
+| Lo : label
+| Hi : label.
+
+Inductive atom : Type :=
+| Atom : nat -> label -> atom.
+
+Inductive indist_atom : atom -> atom -> Prop :=
+| ia_high : forall v1 v2, indist_atom (Atom v1 Hi) (Atom v2 Hi)
+| ia_low : forall v, indist_atom (Atom v Lo) (Atom v Lo).
+
+Inductive indist_list : list atom -> list atom -> Prop :=
+| il_nil : indist_list [] []
+| il_cons : forall a1 a2 l1 l2,
+    indist_atom a1 a2 -> indist_list l1 l2 ->
+    indist_list (a1 :: l1) (a2 :: l2).
+"""
+
+LO = V("Lo")
+HI = V("Hi")
+
+
+def atom(value: int, label: Value) -> Value:
+    return V("Atom", from_int(value), label)
+
+
+def make_context() -> Context:
+    ctx = standard_context()
+    parse_declarations(ctx, DECLARATIONS)
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# Handwritten checker and generator for indist_list.
+# ---------------------------------------------------------------------------
+
+def _atoms_indist(a: Value, b: Value) -> bool:
+    v1, l1 = a.args
+    v2, l2 = b.args
+    if l1 != l2:
+        return False
+    return l1 == HI or v1 == v2
+
+
+def handwritten_indist_check(fuel: int, args: tuple[Value, ...]) -> OptionBool:
+    xs, ys = (to_list(v) for v in args)
+    if len(xs) != len(ys):
+        return SOME_FALSE
+    for a, b in zip(xs, ys):
+        if not _atoms_indist(a, b):
+            return SOME_FALSE
+    return SOME_TRUE
+
+
+def handwritten_indist_gen(
+    fuel: int, ins: tuple[Value, ...], rng: random.Random
+):
+    """Given one memory, build an indistinguishable variation: keep low
+    atoms, re-randomize the values of high atoms."""
+    (mem,) = ins
+    out: list[Value] = []
+    for a in to_list(mem):
+        value, label = a.args
+        if label == HI:
+            out.append(atom(rng.randint(0, 2 + fuel), HI))
+        else:
+            out.append(a)
+    return (from_list(out),)
+
+
+def register_handwritten(ctx: Context) -> None:
+    register_checker(ctx, "indist_list", handwritten_indist_check, replace=True)
+    register_producer(
+        ctx, GEN, "indist_list", Mode.from_string("io"),
+        handwritten_indist_gen, replace=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The machine.
+# ---------------------------------------------------------------------------
+
+PUSH, POP, ADD, LOAD, STORE, NOOP = "push", "pop", "add", "load", "store", "noop"
+
+
+@dataclass(frozen=True)
+class Instr:
+    op: str
+    arg: tuple[int, str] | None = None  # PUSH (value, 'L'|'H')
+
+
+@dataclass
+class Machine:
+    """pc + stack + memory; the program is shared between runs."""
+
+    stack: list[tuple[int, str]]
+    mem: list[tuple[int, str]]
+    pc: int = 0
+    halted: bool = False
+
+
+def _join(a: str, b: str) -> str:
+    return "H" if "H" in (a, b) else "L"
+
+
+def step_machine(
+    machine: Machine,
+    program: list[Instr],
+    add_label=_join,
+    load_label=_join,
+    store_checks_label: bool = True,
+) -> None:
+    """Execute one instruction with label propagation.
+
+    The three injectable pieces are exactly the mutation sites: the
+    label join for Add results, the join of address and cell labels for
+    Load, and the halt-on-high-address rule for Store.
+    """
+    if machine.halted or machine.pc >= len(program):
+        machine.halted = True
+        return
+    instr = program[machine.pc]
+    machine.pc += 1
+    stack = machine.stack
+    if instr.op == PUSH:
+        assert instr.arg is not None
+        stack.append(instr.arg)
+    elif instr.op == POP:
+        if not stack:
+            machine.halted = True
+            return
+        stack.pop()
+    elif instr.op == ADD:
+        if len(stack) < 2:
+            machine.halted = True
+            return
+        v1, l1 = stack.pop()
+        v2, l2 = stack.pop()
+        stack.append((v1 + v2, add_label(l1, l2)))
+    elif instr.op == LOAD:
+        if not stack:
+            machine.halted = True
+            return
+        addr, la = stack.pop()
+        if addr >= len(machine.mem):
+            machine.halted = True
+            return
+        v, lv = machine.mem[addr]
+        stack.append((v, load_label(la, lv)))
+    elif instr.op == STORE:
+        if len(stack) < 2:
+            machine.halted = True
+            return
+        addr, la = stack.pop()
+        value, lv = stack.pop()
+        if store_checks_label and la == "H":
+            machine.halted = True
+            return
+        if addr >= len(machine.mem):
+            machine.halted = True
+            return
+        machine.mem[addr] = (value, lv)
+    # NOOP: nothing.
+
+
+# -- value <-> python bridges -------------------------------------------------
+
+def mem_to_value(mem: list[tuple[int, str]]) -> Value:
+    return from_list([atom(v, HI if l == "H" else LO) for v, l in mem])
+
+
+def value_to_mem(mem: Value) -> list[tuple[int, str]]:
+    out = []
+    for a in to_list(mem):
+        v, l = a.args
+        out.append((to_int(v), "H" if l == HI else "L"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Mutants.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StepConfig:
+    add_label: Callable[[str, str], str]
+    load_label: Callable[[str, str], str]
+    store_checks_label: bool
+
+
+CORRECT_STEP = StepConfig(_join, _join, True)
+
+MUTANTS = [
+    Mutant(
+        "add_forgets_join",
+        "Add keeps only the first operand's label",
+        StepConfig(lambda a, b: a, _join, True),
+    ),
+    Mutant(
+        "load_forgets_addr_label",
+        "Load ignores the address label",
+        StepConfig(_join, lambda la, lv: lv, True),
+    ),
+    Mutant(
+        "store_allows_high_addr",
+        "Store does not halt on high addresses",
+        StepConfig(_join, _join, False),
+    ),
+]
+
+CORRECT = Mutant("step_correct", "the unmutated machine", CORRECT_STEP)
+
+
+def gen_program(size: int, rng: random.Random, mem_size: int) -> list[Instr]:
+    program: list[Instr] = []
+    for _ in range(size):
+        op = rng.choice([PUSH, PUSH, ADD, LOAD, STORE, POP, NOOP])
+        if op == PUSH:
+            label = "H" if rng.random() < 0.4 else "L"
+            program.append(Instr(PUSH, (rng.randint(0, mem_size - 1), label)))
+        else:
+            program.append(Instr(op))
+    return program
+
+
+def run_lockstep(
+    program: list[Instr],
+    mem1: list[tuple[int, str]],
+    mem2: list[tuple[int, str]],
+    config: StepConfig,
+    steps: int,
+) -> tuple[Machine, Machine]:
+    """Run both machines in lockstep, stopping at the first halt of
+    either (control flow is data-independent, so the machines stay
+    aligned; halting together keeps the comparison fair)."""
+    m1 = Machine(stack=[], mem=list(mem1))
+    m2 = Machine(stack=[], mem=list(mem2))
+    for _ in range(steps):
+        step_machine(m1, program, config.add_label, config.load_label,
+                     config.store_checks_label)
+        step_machine(m2, program, config.add_label, config.load_label,
+                     config.store_checks_label)
+        if m1.halted or m2.halted:
+            break
+    return m1, m2
+
+
+@dataclass
+class IfcWorkload:
+    ctx: Context
+    mem_size: int = 4
+    program_len: int = 10
+    run_steps: int = 12
+
+    def property_fn(self, gen_fn, check_fn, config: StepConfig, fuel: int = 8):
+        """Noninterference: indistinguishable memories stay
+        indistinguishable under the (possibly mutated) machine."""
+
+        def gen(size: int, rng: random.Random):
+            mem1 = [
+                (rng.randint(0, self.mem_size), "H" if rng.random() < 0.5 else "L")
+                for _ in range(self.mem_size)
+            ]
+            out = gen_fn(fuel, (mem_to_value(mem1),), rng)
+            if not isinstance(out, tuple):
+                return out
+            mem2 = value_to_mem(out[0])
+            program = gen_program(self.program_len, rng, self.mem_size)
+            return (program, mem1, mem2)
+
+        def predicate(case):
+            program, mem1, mem2 = case
+            m1, m2 = run_lockstep(program, mem1, mem2, config, self.run_steps)
+            return check_fn(
+                fuel, (mem_to_value(m1.mem), mem_to_value(m2.mem))
+            )
+
+        return gen, predicate

@@ -1,0 +1,453 @@
+"""Case study: STLC with de Bruijn indices (Section 6.2, after [15]).
+
+The paper's running example at benchmark scale: the ``typing`` relation
+(types ``N`` / ``Arr``, terms with constants, addition, variables,
+application, abstraction), a handwritten type checker and a handwritten
+generator of well-typed terms (the Figure 3 baselines), call-by-value
+small-step evaluation via *lifting* and *substitution*, and the
+mutation suite — bugs in substitution and lifting that break
+preservation, as in the QuickChick benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.context import Context
+from ..core.parser import parse_declarations
+from ..core.values import V, Value, from_int, from_list, to_int, to_list
+from ..derive import register_checker, register_producer
+from ..derive.instances import GEN
+from ..derive.modes import Mode
+from ..producers.option_bool import SOME_FALSE, SOME_TRUE, OptionBool
+from ..producers.outcome import FAIL
+from ..quickchick.mutation import Mutant
+from ..stdlib import standard_context
+
+DECLARATIONS = """
+Inductive type : Type :=
+| N : type
+| Arr : type -> type -> type.
+
+Inductive term : Type :=
+| Con : nat -> term
+| Add : term -> term -> term
+| Vart : nat -> term
+| App : term -> term -> term
+| Abs : type -> term -> term.
+
+Inductive lookup : list type -> nat -> type -> Prop :=
+| lookup_here : forall t G, lookup (t :: G) 0 t
+| lookup_there : forall t t2 G n, lookup G n t -> lookup (t2 :: G) (S n) t.
+
+Inductive typing : list type -> term -> type -> Prop :=
+| TCon : forall G n, typing G (Con n) N
+| TAdd : forall G e1 e2,
+    typing G e1 N -> typing G e2 N -> typing G (Add e1 e2) N
+| TAbs : forall G e t1 t2,
+    typing (t1 :: G) e t2 -> typing G (Abs t1 e) (Arr t1 t2)
+| TVar : forall G x t, lookup G x t -> typing G (Vart x) t
+| TApp : forall G e1 e2 t1 t2,
+    typing G e2 t1 -> typing G e1 (Arr t1 t2) -> typing G (App e1 e2) t2.
+"""
+
+N = V("N")
+
+
+def arr(a: Value, b: Value) -> Value:
+    return V("Arr", a, b)
+
+
+def con(n: int) -> Value:
+    return V("Con", from_int(n))
+
+
+def var(n: int) -> Value:
+    return V("Vart", from_int(n))
+
+
+def app(f: Value, x: Value) -> Value:
+    return V("App", f, x)
+
+
+def abs_(ty: Value, body: Value) -> Value:
+    return V("Abs", ty, body)
+
+
+def add(a: Value, b: Value) -> Value:
+    return V("Add", a, b)
+
+
+def make_context() -> Context:
+    ctx = standard_context()
+    parse_declarations(ctx, DECLARATIONS)
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# Handwritten checker (type inference) — the Figure 3 baseline.
+# ---------------------------------------------------------------------------
+
+def infer(env: list[Value], e: Value) -> Value | None:
+    """Syntax-directed type inference; None when ill-typed."""
+    head = e.ctor
+    if head == "Con":
+        return N
+    if head == "Add":
+        left = infer(env, e.args[0])
+        if left != N:
+            return None
+        right = infer(env, e.args[1])
+        return N if right == N else None
+    if head == "Vart":
+        index = to_int(e.args[0])
+        if index < len(env):
+            return env[index]
+        return None
+    if head == "Abs":
+        annot, body = e.args
+        body_ty = infer([annot] + env, body)
+        if body_ty is None:
+            return None
+        return arr(annot, body_ty)
+    if head == "App":
+        fun_ty = infer(env, e.args[0])
+        if fun_ty is None or fun_ty.ctor != "Arr":
+            return None
+        arg_ty = infer(env, e.args[1])
+        if arg_ty != fun_ty.args[0]:
+            return None
+        return fun_ty.args[1]
+    raise ValueError(f"not a term: {e}")
+
+
+def handwritten_typing_check(fuel: int, args: tuple[Value, ...]) -> OptionBool:
+    env_value, e, ty = args
+    inferred = infer(to_list(env_value), e)
+    return SOME_TRUE if inferred == ty else SOME_FALSE
+
+
+# ---------------------------------------------------------------------------
+# Handwritten generator of well-typed terms — the Figure 3 baseline.
+# ---------------------------------------------------------------------------
+
+def _gen_type(size: int, rng: random.Random) -> Value:
+    if size == 0 or rng.random() < 0.6:
+        return N
+    return arr(_gen_type(size - 1, rng), _gen_type(size - 1, rng))
+
+
+def _gen_term(env: list[Value], ty: Value, size: int, rng: random.Random):
+    candidates: list[Callable[[], Value | None]] = []
+    # Variables of the right type.
+    hits = [i for i, t in enumerate(env) if t == ty]
+    if hits:
+        candidates.append(lambda: var(rng.choice(hits)))
+    if ty == N:
+        candidates.append(lambda: con(rng.randint(0, 9)))
+        if size > 0:
+            def gen_add():
+                left = _gen_term(env, N, size - 1, rng)
+                right = _gen_term(env, N, size - 1, rng)
+                if left is None or right is None:
+                    return None
+                return add(left, right)
+
+            candidates.append(gen_add)
+    if ty.ctor == "Arr":
+        def gen_abs():
+            body = _gen_term([ty.args[0]] + env, ty.args[1], size - 1, rng)
+            if body is None:
+                return None
+            return abs_(ty.args[0], body)
+
+        candidates.append(gen_abs)
+    if size > 0:
+        def gen_app():
+            arg_ty = _gen_type(1, rng)
+            fun = _gen_term(env, arr(arg_ty, ty), size - 1, rng)
+            if fun is None:
+                return None
+            argument = _gen_term(env, arg_ty, size - 1, rng)
+            if argument is None:
+                return None
+            return app(fun, argument)
+
+        candidates.append(gen_app)
+    if not candidates:
+        return None
+    rng.shuffle(candidates)
+    for candidate in candidates:
+        result = candidate()
+        if result is not None:
+            return result
+    return None
+
+
+def handwritten_typing_gen(
+    fuel: int, ins: tuple[Value, ...], rng: random.Random
+):
+    env_value, ty = ins
+    term = _gen_term(to_list(env_value), ty, min(fuel, 6), rng)
+    if term is None:
+        return FAIL
+    return (term,)
+
+
+def register_handwritten(ctx: Context) -> None:
+    register_checker(ctx, "typing", handwritten_typing_check, replace=True)
+    register_producer(
+        ctx, GEN, "typing", Mode.from_string("ioi"), handwritten_typing_gen,
+        replace=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lifting, substitution, call-by-value reduction — and their mutants.
+# ---------------------------------------------------------------------------
+
+def lift(cutoff: int, amount: int, e: Value) -> Value:
+    head = e.ctor
+    if head == "Con":
+        return e
+    if head == "Add":
+        return add(lift(cutoff, amount, e.args[0]), lift(cutoff, amount, e.args[1]))
+    if head == "Vart":
+        index = to_int(e.args[0])
+        return var(index + amount) if index >= cutoff else e
+    if head == "App":
+        return app(lift(cutoff, amount, e.args[0]), lift(cutoff, amount, e.args[1]))
+    if head == "Abs":
+        return abs_(e.args[0], lift(cutoff + 1, amount, e.args[1]))
+    raise ValueError(f"not a term: {e}")
+
+
+def subst(index: int, replacement: Value, e: Value) -> Value:
+    head = e.ctor
+    if head == "Con":
+        return e
+    if head == "Add":
+        return add(
+            subst(index, replacement, e.args[0]),
+            subst(index, replacement, e.args[1]),
+        )
+    if head == "Vart":
+        i = to_int(e.args[0])
+        if i == index:
+            return replacement
+        if i > index:
+            return var(i - 1)
+        return e
+    if head == "App":
+        return app(
+            subst(index, replacement, e.args[0]),
+            subst(index, replacement, e.args[1]),
+        )
+    if head == "Abs":
+        return abs_(
+            e.args[0], subst(index + 1, lift(0, 1, replacement), e.args[1])
+        )
+    raise ValueError(f"not a term: {e}")
+
+
+def is_value_term(e: Value) -> bool:
+    # Variables count as (stuck) values: the benchmark reduces *open*
+    # terms — that is what makes lifting/substitution bugs observable
+    # (a closed replacement is invariant under lifting).
+    return e.ctor in ("Con", "Abs", "Vart")
+
+
+def step(e: Value, substitute=subst, lifting=lift) -> Value | None:
+    """One call-by-value reduction step; None for normal forms.
+
+    ``substitute``/``lifting`` are injectable so mutants can be run
+    through the same evaluator.
+    """
+    head = e.ctor
+    if head == "Add":
+        left, right = e.args
+        if left.ctor == "Con" and right.ctor == "Con":
+            return con(to_int(left.args[0]) + to_int(right.args[0]))
+        if not is_value_term(left):
+            reduced = step(left, substitute, lifting)
+            return None if reduced is None else add(reduced, right)
+        reduced = step(right, substitute, lifting)
+        return None if reduced is None else add(left, reduced)
+    if head == "App":
+        fun, argument = e.args
+        if fun.ctor == "Abs" and is_value_term(argument):
+            return substitute(0, argument, fun.args[1])
+        if not is_value_term(fun):
+            reduced = step(fun, substitute, lifting)
+            return None if reduced is None else app(reduced, argument)
+        reduced = step(argument, substitute, lifting)
+        return None if reduced is None else app(fun, reduced)
+    return None
+
+
+# -- mutants (the QuickChick suite's substitution / lifting bugs) -----------
+
+def subst_no_lift(index: int, replacement: Value, e: Value) -> Value:
+    """Mutant: forgets to lift the replacement under binders."""
+    head = e.ctor
+    if head == "Con":
+        return e
+    if head == "Add":
+        return add(
+            subst_no_lift(index, replacement, e.args[0]),
+            subst_no_lift(index, replacement, e.args[1]),
+        )
+    if head == "Vart":
+        i = to_int(e.args[0])
+        if i == index:
+            return replacement
+        if i > index:
+            return var(i - 1)
+        return e
+    if head == "App":
+        return app(
+            subst_no_lift(index, replacement, e.args[0]),
+            subst_no_lift(index, replacement, e.args[1]),
+        )
+    if head == "Abs":
+        return abs_(e.args[0], subst_no_lift(index + 1, replacement, e.args[1]))
+    raise ValueError(f"not a term: {e}")
+
+
+def subst_no_unshift(index: int, replacement: Value, e: Value) -> Value:
+    """Mutant: does not decrement variables above the substituted one."""
+    head = e.ctor
+    if head == "Con":
+        return e
+    if head == "Add":
+        return add(
+            subst_no_unshift(index, replacement, e.args[0]),
+            subst_no_unshift(index, replacement, e.args[1]),
+        )
+    if head == "Vart":
+        i = to_int(e.args[0])
+        if i == index:
+            return replacement
+        return e  # BUG: i > index should become i - 1
+    if head == "App":
+        return app(
+            subst_no_unshift(index, replacement, e.args[0]),
+            subst_no_unshift(index, replacement, e.args[1]),
+        )
+    if head == "Abs":
+        return abs_(
+            e.args[0],
+            subst_no_unshift(index + 1, lift(0, 1, replacement), e.args[1]),
+        )
+    raise ValueError(f"not a term: {e}")
+
+
+def lift_no_cutoff_bump(cutoff: int, amount: int, e: Value) -> Value:
+    """Mutant: forgets to raise the cutoff under binders."""
+    head = e.ctor
+    if head == "Con":
+        return e
+    if head == "Add":
+        return add(
+            lift_no_cutoff_bump(cutoff, amount, e.args[0]),
+            lift_no_cutoff_bump(cutoff, amount, e.args[1]),
+        )
+    if head == "Vart":
+        index = to_int(e.args[0])
+        return var(index + amount) if index >= cutoff else e
+    if head == "App":
+        return app(
+            lift_no_cutoff_bump(cutoff, amount, e.args[0]),
+            lift_no_cutoff_bump(cutoff, amount, e.args[1]),
+        )
+    if head == "Abs":
+        return abs_(e.args[0], lift_no_cutoff_bump(cutoff, amount, e.args[1]))
+    raise ValueError(f"not a term: {e}")
+
+
+def _subst_with_bad_lift(index: int, replacement: Value, e: Value) -> Value:
+    head = e.ctor
+    if head == "Con":
+        return e
+    if head == "Add":
+        return add(
+            _subst_with_bad_lift(index, replacement, e.args[0]),
+            _subst_with_bad_lift(index, replacement, e.args[1]),
+        )
+    if head == "Vart":
+        i = to_int(e.args[0])
+        if i == index:
+            return replacement
+        if i > index:
+            return var(i - 1)
+        return e
+    if head == "App":
+        return app(
+            _subst_with_bad_lift(index, replacement, e.args[0]),
+            _subst_with_bad_lift(index, replacement, e.args[1]),
+        )
+    if head == "Abs":
+        return abs_(
+            e.args[0],
+            _subst_with_bad_lift(
+                index + 1, lift_no_cutoff_bump(0, 1, replacement), e.args[1]
+            ),
+        )
+    raise ValueError(f"not a term: {e}")
+
+
+MUTANTS = [
+    Mutant("subst_no_lift", "no lifting under binders", subst_no_lift),
+    Mutant("subst_no_unshift", "free variables not decremented", subst_no_unshift),
+    Mutant("lift_no_cutoff", "lift ignores binders", _subst_with_bad_lift),
+]
+
+CORRECT = Mutant("subst_correct", "the unmutated substitution", subst)
+
+
+# ---------------------------------------------------------------------------
+# The benchmark property: preservation.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StlcWorkload:
+    ctx: Context
+    type_size: int = 2
+
+    def environment(self) -> Value:
+        """Terms are generated in a non-empty context so reduction
+        substitutes *open* replacements — the scenario in which the
+        lifting/unshifting mutants are observable."""
+        return from_list([N, arr(N, N), N])
+
+    def property_fn(self, gen_fn, check_fn, substitute, fuel: int = 6,
+                    check_fuel: int = 24):
+        """forall (e : ty) from gen, if e steps then the reduct still
+        has type ty (multi-step, a few steps deep)."""
+        env = self.environment()
+
+        def gen(size: int, rng: random.Random):
+            ty = _gen_type(self.type_size, rng)
+            out = gen_fn(fuel, (env, ty), rng)
+            if not isinstance(out, tuple):
+                return out
+            return (ty, out[0])
+
+        def predicate(case):
+            ty, e = case
+            current = e
+            for _ in range(4):
+                reduced = step(current, substitute)
+                if reduced is None:
+                    return True
+                current = reduced
+                verdict = check_fn(check_fuel, (env, current, ty))
+                if verdict.is_false:
+                    return False
+                if verdict.is_none:
+                    return None  # discard: checker out of fuel
+            return True
+
+        return gen, predicate

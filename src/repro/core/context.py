@@ -1,0 +1,85 @@
+"""Declaration context: the "global environment" of a development.
+
+A :class:`Context` bundles the datatype, function, and relation
+registries plus an instance table (used by ``repro.derive.instances``
+for typeclass-style resolution of checkers and producers).  Most public
+APIs accept an explicit context; tests build isolated ones, while the
+examples and the Software Foundations corpus share the default context
+produced by :func:`~repro.stdlib.standard_context`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .datatypes import DataType, DataTypeRegistry
+from .errors import DeclarationError
+from .functions import FunctionDecl, FunctionRegistry
+from .relations import Relation, RelationRegistry
+from .types import TypeExpr
+
+
+class Context:
+    """A mutable collection of declarations."""
+
+    def __init__(self) -> None:
+        self.datatypes = DataTypeRegistry()
+        self.functions = FunctionRegistry()
+        self.relations = RelationRegistry()
+        # (key -> instance); owned by repro.derive.instances.
+        self.instances: dict[Any, Any] = {}
+        # Caches keyed by arbitrary tokens (schedules, enum tables, ...).
+        self.caches: dict[Any, Any] = {}
+
+    # -- declaration helpers -------------------------------------------------
+
+    def declare_datatype(self, dt: DataType) -> DataType:
+        return self.datatypes.declare(dt)
+
+    def declare_function(
+        self,
+        name: str,
+        arg_types: tuple[TypeExpr, ...],
+        result_type: TypeExpr,
+        impl: Callable[..., Any],
+    ) -> FunctionDecl:
+        return self.functions.declare(
+            FunctionDecl(name, tuple(arg_types), result_type, impl)
+        )
+
+    def declare_relation(self, rel: Relation, infer_types: bool = True) -> Relation:
+        """Declare *rel*, running rule-variable type inference first
+        (unless the caller supplies fully annotated rules)."""
+        if infer_types:
+            from .typecheck import infer_relation_types
+
+            rel = infer_relation_types(rel, self)
+        return self.relations.declare(rel)
+
+    def classify_name(self, name: str) -> str:
+        """Classify an identifier as 'constructor', 'function',
+        'relation', or 'variable' — used by the surface parser."""
+        if self.datatypes.is_constructor(name):
+            return "constructor"
+        if name in self.functions:
+            return "function"
+        if name in self.relations:
+            return "relation"
+        return "variable"
+
+    def fork(self) -> "Context":
+        """A shallow-ish copy sharing no registries with the original.
+
+        Declarations present at fork time are visible in the copy;
+        later declarations on either side are independent.  Instance
+        and cache tables start empty in the copy (instances close over
+        the context, so sharing them would be unsound).
+        """
+        child = Context()
+        for dt in self.datatypes:
+            child.datatypes.declare(dt)
+        for fn in self.functions:
+            child.functions.declare(fn)
+        for rel in self.relations:
+            child.relations.declare(rel)
+        return child

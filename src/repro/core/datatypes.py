@@ -1,0 +1,186 @@
+"""Inductive datatype declarations.
+
+A datatype declaration mirrors a Coq ``Inductive ... : Type`` command:
+
+    Inductive type : Type :=
+      | N : type
+      | Arr : type -> type -> type.
+
+Declarations may be polymorphic (``list A``).  The unconstrained
+producers (``repro.producers.combinators``) consume these declarations
+generically to enumerate or generate arbitrary inhabitants, and the
+derivation engine uses constructor signatures to type the variables it
+introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from .errors import ArityError, DeclarationError, UnknownNameError
+from .types import Ty, TypeExpr, TyVar, is_ground, subst_ty
+from .values import Value
+
+
+@dataclass(frozen=True)
+class ConstructorSig:
+    """One constructor of a datatype: name and argument types.
+
+    ``arg_types`` may mention the datatype's parameters as
+    :class:`TyVar`.  The result type is always the datatype applied to
+    its parameters, so it is not stored.
+    """
+
+    name: str
+    arg_types: tuple[TypeExpr, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A (possibly polymorphic) inductive datatype declaration."""
+
+    name: str
+    params: tuple[str, ...] = ()
+    constructors: tuple[ConstructorSig, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for c in self.constructors:
+            if c.name in seen:
+                raise DeclarationError(
+                    f"duplicate constructor {c.name!r} in datatype {self.name!r}"
+                )
+            seen.add(c.name)
+
+    def constructor(self, name: str) -> ConstructorSig:
+        for c in self.constructors:
+            if c.name == name:
+                return c
+        raise UnknownNameError("constructor", name)
+
+    def has_constructor(self, name: str) -> bool:
+        return any(c.name == name for c in self.constructors)
+
+    def constructor_arg_types(
+        self, name: str, type_args: tuple[TypeExpr, ...] = ()
+    ) -> tuple[TypeExpr, ...]:
+        """Argument types of constructor *name* at the given instantiation
+        of the datatype's parameters."""
+        sig = self.constructor(name)
+        if len(type_args) != len(self.params):
+            raise ArityError(self.name, len(self.params), len(type_args))
+        env: dict[str, TypeExpr] = dict(zip(self.params, type_args))
+        return tuple(subst_ty(t, env) for t in sig.arg_types)
+
+    def is_recursive_constructor(
+        self, name: str
+    ) -> bool:
+        """True when the constructor mentions the datatype itself in one of
+        its argument types (directly or under other type constructors)."""
+        sig = self.constructor(name)
+        return any(self._mentions_self(t) for t in sig.arg_types)
+
+    def _mentions_self(self, t: TypeExpr) -> bool:
+        if isinstance(t, TyVar):
+            return False
+        if t.name == self.name:
+            return True
+        return any(self._mentions_self(a) for a in t.args)
+
+    @property
+    def base_constructors(self) -> tuple[ConstructorSig, ...]:
+        return tuple(
+            c for c in self.constructors if not self.is_recursive_constructor(c.name)
+        )
+
+    @property
+    def recursive_constructors(self) -> tuple[ConstructorSig, ...]:
+        return tuple(
+            c for c in self.constructors if self.is_recursive_constructor(c.name)
+        )
+
+    def applied(self, *type_args: TypeExpr) -> Ty:
+        if len(type_args) != len(self.params):
+            raise ArityError(self.name, len(self.params), len(type_args))
+        return Ty(self.name, tuple(type_args))
+
+
+class DataTypeRegistry:
+    """Maps datatype names and constructor names to declarations."""
+
+    def __init__(self) -> None:
+        self._types: dict[str, DataType] = {}
+        self._ctor_owner: dict[str, str] = {}
+
+    def declare(self, dt: DataType) -> DataType:
+        if dt.name in self._types:
+            raise DeclarationError(f"datatype {dt.name!r} already declared")
+        for c in dt.constructors:
+            if c.name in self._ctor_owner:
+                owner = self._ctor_owner[c.name]
+                raise DeclarationError(
+                    f"constructor {c.name!r} already declared by datatype {owner!r}"
+                )
+        self._types[dt.name] = dt
+        for c in dt.constructors:
+            self._ctor_owner[c.name] = dt.name
+        return dt
+
+    def get(self, name: str) -> DataType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownNameError("datatype", name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def is_constructor(self, name: str) -> bool:
+        return name in self._ctor_owner
+
+    def owner_of(self, ctor_name: str) -> DataType:
+        try:
+            return self._types[self._ctor_owner[ctor_name]]
+        except KeyError:
+            raise UnknownNameError("constructor", ctor_name) from None
+
+    def constructor_sig(self, ctor_name: str) -> ConstructorSig:
+        return self.owner_of(ctor_name).constructor(ctor_name)
+
+    def __iter__(self) -> Iterator[DataType]:
+        return iter(self._types.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._types)
+
+    # -- value checking -----------------------------------------------------
+
+    def check_value(self, v: Value, expected: TypeExpr) -> bool:
+        """Structurally check that value *v* inhabits ground type
+        *expected*.  Used by validation to sanity-check produced data."""
+        if not is_ground(expected) or isinstance(expected, TyVar):
+            raise DeclarationError(f"cannot check value against open type {expected}")
+        assert isinstance(expected, Ty)
+        if expected.name not in self._types:
+            raise UnknownNameError("datatype", expected.name)
+        dt = self._types[expected.name]
+        if not dt.has_constructor(v.ctor):
+            return False
+        arg_tys = dt.constructor_arg_types(v.ctor, expected.args)
+        if len(arg_tys) != len(v.args):
+            return False
+        return all(self.check_value(a, t) for a, t in zip(v.args, arg_tys))
+
+
+def datatype(name: str, params: tuple[str, ...] = (), **ctors: tuple[TypeExpr, ...]) -> DataType:
+    """Convenience builder:
+
+        datatype('type', N=(), Arr=(Ty('type'), Ty('type')))
+    """
+    sigs = tuple(ConstructorSig(c, tuple(ts)) for c, ts in ctors.items())
+    return DataType(name, params, sigs)

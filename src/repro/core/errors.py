@@ -1,0 +1,83 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream users can catch library failures without also catching Python
+built-ins.  The sub-hierarchy mirrors the pipeline stages: declaring
+datatypes and relations, parsing surface syntax, deriving computations,
+and validating them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DeclarationError(ReproError):
+    """An ill-formed datatype, function, or relation declaration."""
+
+
+class UnknownNameError(DeclarationError):
+    """A name (constructor, function, relation, datatype) is not in scope."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"unknown {kind}: {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class ArityError(DeclarationError):
+    """A constructor, function, or relation applied to the wrong
+    number of arguments."""
+
+    def __init__(self, name: str, expected: int, got: int) -> None:
+        super().__init__(f"{name!r} expects {expected} argument(s), got {got}")
+        self.name = name
+        self.expected = expected
+        self.got = got
+
+
+class TypeMismatchError(DeclarationError):
+    """A term does not have the type its position requires."""
+
+
+class ParseError(ReproError):
+    """Surface-syntax parse failure, with location information."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class DerivationError(ReproError):
+    """The derivation algorithm cannot handle the given relation/mode."""
+
+
+class OutOfScopeError(DerivationError):
+    """The relation is outside the class the algorithm targets
+    (e.g. higher-order arguments, let-bound premises)."""
+
+
+class UnsatisfiableModeError(DerivationError):
+    """No schedule exists for the requested mode (e.g. a premise variable
+    can never be instantiated)."""
+
+
+class InstanceNotFoundError(DerivationError):
+    """Typeclass-style instance lookup failed and auto-derivation is off."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"no instance registered for {key}")
+        self.key = key
+
+
+class ValidationError(ReproError):
+    """Translation validation found a discrepancy between a derived
+    computation and its source relation."""
+
+
+class EvaluationError(ReproError):
+    """A registered function failed at runtime (e.g. partial function
+    applied outside its domain)."""

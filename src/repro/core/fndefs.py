@@ -1,0 +1,103 @@
+"""Interpreted function definitions from surface syntax.
+
+Relations in the target class mention function calls (``n * n``, ``s1
+++ s2``); in Coq those are Gallina fixpoints.  Besides registering
+Python callables, functions can be *defined* in the surface syntax::
+
+    Fixpoint double (n : nat) : nat :=
+      match n with
+      | O => O
+      | S m => S (S (double m))
+      end.
+
+The body language is the term language plus ``match``; a definition is
+compiled to an interpreter closure and registered in the context's
+function registry (so the deriver, the reference search, and all
+backends call it uniformly).
+
+Totality is the author's obligation, as in Coq — except that here a
+non-terminating fixpoint shows up as Python recursion exhaustion
+rather than a rejected ``Fixpoint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Union
+
+from .errors import EvaluationError
+from .patterns import match as match_pattern
+from .terms import Ctor, Fun, Term, Var
+from .types import TypeExpr
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+FnExpr = Union["Term", "FnMatch"]
+
+
+@dataclass(frozen=True)
+class FnMatch:
+    """``match scrutinee with | pat => body | ... end``."""
+
+    scrutinee: FnExpr
+    branches: tuple[tuple[Term, FnExpr], ...]
+
+    def __str__(self) -> str:
+        arms = " ".join(f"| {p} => {b}" for p, b in self.branches)
+        return f"match {self.scrutinee} with {arms} end"
+
+
+@dataclass(frozen=True)
+class FnDef:
+    """A parsed function definition (``Fixpoint`` / ``Definition``)."""
+
+    name: str
+    params: tuple[tuple[str, TypeExpr], ...]
+    result_type: TypeExpr
+    body: FnExpr
+    recursive: bool
+
+
+def eval_fn_expr(expr: FnExpr, env: Mapping[str, Value], ctx: "Context") -> Value:
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, Ctor):
+        return Value(
+            expr.name, tuple(eval_fn_expr(a, env, ctx) for a in expr.args)
+        )
+    if isinstance(expr, Fun):
+        args = tuple(eval_fn_expr(a, env, ctx) for a in expr.args)
+        return ctx.functions.require(expr.name).apply(args)
+    if isinstance(expr, FnMatch):
+        scrutinee = eval_fn_expr(expr.scrutinee, env, ctx)
+        for pattern, body in expr.branches:
+            binding: dict[str, Value] = {}
+            if match_pattern(pattern, scrutinee, binding):
+                inner = dict(env)
+                inner.update(binding)
+                return eval_fn_expr(body, inner, ctx)
+        raise EvaluationError(
+            f"match on {scrutinee} fell through every branch"
+        )
+    raise AssertionError(f"not a function-body expression: {expr!r}")
+
+
+def compile_fn(ctx: "Context", definition: FnDef):
+    """Build the Python callable implementing *definition*."""
+    names = [p for p, _ in definition.params]
+
+    def impl(*args: Value) -> Value:
+        if len(args) != len(names):
+            raise EvaluationError(
+                f"{definition.name!r} expects {len(names)} args, got {len(args)}"
+            )
+        return eval_fn_expr(definition.body, dict(zip(names, args)), ctx)
+
+    impl.__name__ = definition.name
+    impl.__fn_def__ = definition
+    return impl

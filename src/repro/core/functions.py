@@ -1,0 +1,76 @@
+"""Interpreted function environment.
+
+Relations in the target class may mention *function calls* in premises
+and (after preprocessing) in equality premises — e.g. ``square_of``'s
+``n * n`` or IMP's arithmetic.  In Coq these are Gallina fixpoints; here
+each function is a registered total (or partial) Python interpretation
+over :class:`~repro.core.values.Value`.
+
+Partial functions signal failure with :class:`EvaluationError`; the
+derived computations treat such failures as the premise not holding,
+which matches extracting a partial Coq function through an option type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .errors import ArityError, DeclarationError, EvaluationError, UnknownNameError
+from .types import TypeExpr
+from .values import Value
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    """A named function with a fixed signature and a Python interpretation."""
+
+    name: str
+    arg_types: tuple[TypeExpr, ...]
+    result_type: TypeExpr
+    impl: Callable[..., Value]
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+    def apply(self, args: tuple[Value, ...]) -> Value:
+        if len(args) != self.arity:
+            raise ArityError(self.name, self.arity, len(args))
+        result = self.impl(*args)
+        if not isinstance(result, Value):
+            raise EvaluationError(
+                f"function {self.name!r} returned non-Value {result!r}"
+            )
+        return result
+
+
+class FunctionRegistry:
+    """Maps function names to declarations."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, FunctionDecl] = {}
+
+    def declare(self, decl: FunctionDecl) -> FunctionDecl:
+        if decl.name in self._functions:
+            raise DeclarationError(f"function {decl.name!r} already declared")
+        self._functions[decl.name] = decl
+        return decl
+
+    def get(self, name: str) -> FunctionDecl | None:
+        return self._functions.get(name)
+
+    def require(self, name: str) -> FunctionDecl:
+        decl = self._functions.get(name)
+        if decl is None:
+            raise UnknownNameError("function", name)
+        return decl
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __iter__(self) -> Iterator[FunctionDecl]:
+        return iter(self._functions.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)

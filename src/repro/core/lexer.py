@@ -1,0 +1,143 @@
+"""Lexer for the Coq-like surface syntax.
+
+Tokenizes declarations such as::
+
+    Inductive le : nat -> nat -> Prop :=
+    | le_n : forall n, le n n
+    | le_S : forall n m, le n m -> le n (S m).
+
+Supports ``(* ... *)`` comments (nested, as in Coq), numeric literals,
+and the operator set used by the Software Foundations relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ParseError
+
+# Token kinds.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+# Multi-character punctuation, longest first.
+_PUNCTUATION = (
+    ":=",
+    "::",
+    "++",
+    "->",
+    "=>",
+    "<>",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ";",
+    ".",
+    "|",
+    ":",
+    "=",
+    "~",
+    "+",
+    "-",
+    "*",
+)
+
+KEYWORDS = frozenset({
+    "Inductive", "Type", "Prop", "forall", "with",
+    "Fixpoint", "Definition", "match", "end",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return self.text if self.kind != EOF else "<eof>"
+
+
+def _is_ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_ident_char(c: str) -> bool:
+    return c.isalnum() or c in "_'"
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, col)
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c.isspace():
+            i += 1
+            col += 1
+            continue
+        if text.startswith("(*", i):
+            depth = 1
+            i += 2
+            col += 2
+            while i < n and depth:
+                if text.startswith("(*", i):
+                    depth += 1
+                    i += 2
+                    col += 2
+                elif text.startswith("*)", i):
+                    depth -= 1
+                    i += 2
+                    col += 2
+                elif text[i] == "\n":
+                    i += 1
+                    line += 1
+                    col = 1
+                else:
+                    i += 1
+                    col += 1
+            if depth:
+                raise error("unterminated comment")
+            continue
+        if _is_ident_start(c):
+            start = i
+            start_col = col
+            while i < n and _is_ident_char(text[i]):
+                i += 1
+                col += 1
+            tokens.append(Token(IDENT, text[start:i], line, start_col))
+            continue
+        if c.isdigit():
+            start = i
+            start_col = col
+            while i < n and text[i].isdigit():
+                i += 1
+                col += 1
+            tokens.append(Token(NUMBER, text[start:i], line, start_col))
+            continue
+        for p in _PUNCTUATION:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line, col))
+                i += len(p)
+                col += len(p)
+                break
+        else:
+            raise error(f"unexpected character {c!r}")
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

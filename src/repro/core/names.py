@@ -1,0 +1,53 @@
+"""Fresh-name supply.
+
+The preprocessing phase (Section 3.1 of the paper) introduces fresh
+variables when rewriting non-linear patterns and conclusion function
+calls; the scheduler introduces fresh variables for producer results.
+Names are made unique relative to a set of names already in scope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class NameSupply:
+    """Generates names that are fresh with respect to a base scope.
+
+    Fresh names look like ``x'``, ``x''`` or ``x_1``: we append a numeric
+    suffix to a stem until the result is unused.  The supply remembers
+    everything it hands out, so successive requests never collide.
+    """
+
+    def __init__(self, in_scope: Iterable[str] = ()) -> None:
+        self._used = set(in_scope)
+
+    def reserve(self, name: str) -> None:
+        """Mark *name* as taken without generating anything."""
+        self._used.add(name)
+
+    def reserve_all(self, names: Iterable[str]) -> None:
+        for name in names:
+            self.reserve(name)
+
+    def fresh(self, stem: str = "x") -> str:
+        """Return a name based on *stem* that has not been used before."""
+        if stem not in self._used:
+            self._used.add(stem)
+            return stem
+        counter = 1
+        while True:
+            candidate = f"{stem}_{counter}"
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+            counter += 1
+
+    def fresh_many(self, count: int, stem: str = "x") -> list[str]:
+        return [self.fresh(stem) for _ in range(count)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._used
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._used))

@@ -1,0 +1,574 @@
+"""Recursive-descent parser for the Coq-like surface syntax.
+
+The parser declares datatypes and inductive relations directly into a
+:class:`~repro.core.context.Context`::
+
+    ctx = standard_context()
+    parse_declarations(ctx, '''
+        Inductive type : Type :=
+        | N : type
+        | Arr : type -> type -> type.
+
+        Inductive le : nat -> nat -> Prop :=
+        | le_n : forall n, le n n
+        | le_S : forall n m, le n m -> le n (S m).
+    ''')
+
+Supported surface forms:
+
+* datatype declarations (possibly polymorphic);
+* relation declarations (possibly polymorphic), with premises that are
+  relation applications, negated applications (``~ (Q x)``),
+  equalities (``t = u``) and disequalities (``t <> u``);
+* numeric literals (expanded to Peano naturals), list literals
+  (``[1; 2; 3]``, ``[]``), pair literals (``(a, b)``), and the infix
+  operators ``::  ++  +  -  *``;
+* ``(* ... *)`` comments.
+
+Identifier classification (constructor / function / relation /
+variable) is resolved against the context, so order of declaration
+matters — exactly like Coq.  ``let`` between premises is not supported,
+mirroring the paper's Section 8 limitation.
+"""
+
+from __future__ import annotations
+
+from .context import Context
+from .errors import ParseError
+from .lexer import EOF, IDENT, KEYWORDS, NUMBER, PUNCT, Token, tokenize
+from .relations import EqPremise, Premise, Relation, RelPremise, Rule
+from .terms import Ctor, Fun, Term, Var
+from .types import Ty, TypeExpr, TyVar
+from .values import from_int
+from .datatypes import ConstructorSig, DataType
+
+
+class _RelApp:
+    """A relation application — only valid in premise/conclusion
+    position, never nested inside a term."""
+
+    __slots__ = ("rel", "args")
+
+    def __init__(self, rel: str, args: tuple[Term, ...]) -> None:
+        self.rel = rel
+        self.args = args
+
+
+class Parser:
+    def __init__(self, ctx: Context, text: str) -> None:
+        self.ctx = ctx
+        self.tokens = tokenize(text)
+        self.pos = 0
+        # Names visible while parsing the body of the declaration in
+        # progress (the relation's own name, its type params, mutual
+        # siblings).
+        self.current_relations: set[str] = set()
+        self.current_typarams: set[str] = set()
+        # True while parsing a Fixpoint/Definition body, where `match`
+        # expressions are allowed.
+        self._fn_body = False
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(f"{message} (found {tok!s})", tok.line, tok.column)
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.kind == PUNCT and tok.text == text
+
+    def at_ident(self, text: str | None = None) -> bool:
+        tok = self.peek()
+        if tok.kind != IDENT:
+            return False
+        return text is None or tok.text == text
+
+    def expect(self, text: str) -> Token:
+        if self.at(text) or self.at_ident(text):
+            return self.advance()
+        raise self.error(f"expected {text!r}")
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != IDENT:
+            raise self.error("expected an identifier")
+        if tok.text in KEYWORDS:
+            raise self.error(f"keyword {tok.text!r} cannot be used here")
+        return self.advance().text
+
+    # -- types ---------------------------------------------------------------
+
+    def parse_type_atom(self) -> TypeExpr:
+        if self.at("("):
+            self.advance()
+            ty = self.parse_type_app()
+            self.expect(")")
+            return ty
+        if self.at_ident("Type") or self.at_ident("Prop"):
+            return Ty(self.advance().text)
+        name = self.expect_ident()
+        if name in self.current_typarams:
+            return TyVar(name)
+        return Ty(name)
+
+    def parse_type_app(self) -> TypeExpr:
+        head = self.parse_type_atom()
+        args: list[TypeExpr] = []
+        while self.at("(") or (
+            self.at_ident() and self.peek().text not in KEYWORDS
+        ):
+            args.append(self.parse_type_atom())
+        if args:
+            if isinstance(head, TyVar):
+                raise self.error(f"type variable {head.name!r} cannot be applied")
+            return Ty(head.name, tuple(args))
+        return head
+
+    def parse_arrow_type(self) -> list[TypeExpr]:
+        """Parse ``T1 -> T2 -> ... -> Tk`` into a list of components."""
+        parts = [self.parse_type_app()]
+        while self.at("->"):
+            self.advance()
+            parts.append(self.parse_type_app())
+        return parts
+
+    # -- terms ---------------------------------------------------------------
+
+    def classify(self, name: str) -> str:
+        if name in self.current_relations:
+            return "relation"
+        return self.ctx.classify_name(name)
+
+    def parse_term(self) -> Term:
+        t = self.parse_cons()
+        if isinstance(t, _RelApp):
+            raise self.error(
+                f"relation {t.rel!r} used in term position"
+            )
+        return t
+
+    def parse_cons(self):
+        left = self.parse_add()
+        if self.at("::"):
+            self.advance()
+            right = self.parse_cons()
+            return Ctor("cons", (self._as_term(left), self._as_term(right)))
+        if self.at("++"):
+            self.advance()
+            right = self.parse_cons()
+            return Fun("app", (self._as_term(left), self._as_term(right)))
+        return left
+
+    def parse_add(self):
+        left = self.parse_mul()
+        while self.at("+") or self.at("-"):
+            op = self.advance().text
+            right = self.parse_mul()
+            fn = "plus" if op == "+" else "minus"
+            left = Fun(fn, (self._as_term(left), self._as_term(right)))
+        return left
+
+    def parse_mul(self):
+        left = self.parse_app()
+        while self.at("*"):
+            self.advance()
+            right = self.parse_app()
+            left = Fun("mult", (self._as_term(left), self._as_term(right)))
+        return left
+
+    def _as_term(self, t) -> Term:
+        if isinstance(t, _RelApp):
+            raise self.error(f"relation {t.rel!r} used in term position")
+        return t
+
+    def _at_atom_start(self) -> bool:
+        tok = self.peek()
+        if tok.kind == NUMBER:
+            return True
+        if tok.kind == IDENT and tok.text not in KEYWORDS:
+            return True
+        return self.at("(") or self.at("[")
+
+    def parse_app(self):
+        head_tok = self.peek()
+        head = self.parse_atom()
+        args: list[Term] = []
+        while self._at_atom_start():
+            arg = self.parse_atom()
+            args.append(self._as_term(arg))
+        if not args:
+            return head
+        if isinstance(head, _RelApp):
+            if head.args:
+                raise ParseError(
+                    f"relation {head.rel!r} applied like a term",
+                    head_tok.line,
+                    head_tok.column,
+                )
+            return _RelApp(head.rel, tuple(args))
+        if isinstance(head, Var):
+            kind = self.classify(head.name)
+            if kind == "relation":
+                return _RelApp(head.name, tuple(args))
+            if kind == "constructor":
+                return Ctor(head.name, tuple(args))
+            if kind == "function":
+                return Fun(head.name, tuple(args))
+            # An unknown applied identifier: defer as a relation
+            # application.  Mutual blocks reference siblings declared
+            # later in the same block; type inference reports unknown
+            # relations if the name never materializes.
+            return _RelApp(head.name, tuple(args))
+        if isinstance(head, Ctor) and not head.args:
+            return Ctor(head.name, tuple(args))
+        if isinstance(head, Fun) and not head.args:
+            return Fun(head.name, tuple(args))
+        raise ParseError(
+            "cannot apply a compound term", head_tok.line, head_tok.column
+        )
+
+    def parse_atom(self):
+        if self._fn_body and self.at_ident("match"):
+            return self.parse_match()
+        tok = self.peek()
+        if tok.kind == NUMBER:
+            self.advance()
+            return _nat_literal(int(tok.text))
+        if self.at("["):
+            self.advance()
+            items: list[Term] = []
+            if not self.at("]"):
+                items.append(self.parse_term())
+                while self.at(";"):
+                    self.advance()
+                    items.append(self.parse_term())
+            self.expect("]")
+            acc: Term = Ctor("nil", ())
+            for item in reversed(items):
+                acc = Ctor("cons", (item, acc))
+            return acc
+        if self.at("("):
+            self.advance()
+            inner = self.parse_cons()
+            if self.at(","):
+                self.advance()
+                second = self.parse_term()
+                self.expect(")")
+                return Ctor("pair", (self._as_term(inner), second))
+            self.expect(")")
+            return inner
+        name = self.expect_ident()
+        kind = self.classify(name)
+        if kind == "constructor":
+            return Ctor(name, ())
+        if kind == "function":
+            return Fun(name, ())
+        if kind == "relation":
+            return _RelApp(name, ())
+        return Var(name)
+
+    # -- premises and rules ----------------------------------------------------
+
+    def parse_premise_or_conclusion(self) -> Premise | _RelApp:
+        if self.at("~"):
+            self.advance()
+            inner = self.parse_premise_or_conclusion()
+            if isinstance(inner, _RelApp):
+                return RelPremise(inner.rel, inner.args, negated=True)
+            if isinstance(inner, RelPremise):
+                return RelPremise(inner.rel, inner.args, not inner.negated)
+            if isinstance(inner, EqPremise):
+                return EqPremise(inner.lhs, inner.rhs, not inner.negated)
+            raise self.error("cannot negate this premise")
+        t = self.parse_cons()
+        if self.at("="):
+            self.advance()
+            rhs = self.parse_cons()
+            return EqPremise(self._as_term(t), self._as_term(rhs))
+        if self.at("<>"):
+            self.advance()
+            rhs = self.parse_cons()
+            return EqPremise(self._as_term(t), self._as_term(rhs), negated=True)
+        if isinstance(t, _RelApp):
+            return t
+        raise self.error(
+            "expected a relation application or an (in)equality"
+        )
+
+    def parse_rule(self, rel_name: str) -> Rule:
+        self.expect("|")
+        name = self.expect_ident()
+        self.expect(":")
+        if self.at_ident("forall"):
+            self.advance()
+            # Binders: plain names (types are inferred).
+            binders = [self.expect_ident()]
+            while self.at_ident() and not self.at(","):
+                binders.append(self.expect_ident())
+            self.expect(",")
+        parts: list[Premise | _RelApp] = [self.parse_premise_or_conclusion()]
+        while self.at("->"):
+            self.advance()
+            parts.append(self.parse_premise_or_conclusion())
+        conclusion = parts[-1]
+        if isinstance(conclusion, RelPremise) and not conclusion.negated:
+            conclusion = _RelApp(conclusion.rel, conclusion.args)
+        if not isinstance(conclusion, _RelApp):
+            raise self.error(
+                f"rule {name!r}: conclusion must be an application of"
+                f" {rel_name!r}"
+            )
+        if conclusion.rel != rel_name:
+            raise self.error(
+                f"rule {name!r}: conclusion applies {conclusion.rel!r},"
+                f" expected {rel_name!r}"
+            )
+        premises: list[Premise] = []
+        for part in parts[:-1]:
+            if isinstance(part, _RelApp):
+                premises.append(RelPremise(part.rel, part.args))
+            else:
+                premises.append(part)
+        return Rule(name, tuple(premises), conclusion.args)
+
+    # -- function definitions ------------------------------------------------------
+
+    def parse_match(self):
+        """``match <term> with | pat => body ... end`` (function bodies
+        only)."""
+        from .fndefs import FnMatch
+        from .patterns import check_pattern
+
+        self.expect("match")
+        scrutinee = self.parse_cons()
+        self.expect("with")
+        branches = []
+        while self.at("|"):
+            self.advance()
+            pattern = self.parse_cons()
+            pattern = self._as_term(pattern)
+            check_pattern(pattern)
+            self.expect("=>")
+            body = self.parse_cons()
+            branches.append((pattern, self._as_term_or_match(body)))
+        self.expect("end")
+        if not branches:
+            raise self.error("match needs at least one branch")
+        return FnMatch(self._as_term_or_match(scrutinee), tuple(branches))
+
+    def _as_term_or_match(self, t):
+        from .fndefs import FnMatch
+
+        if isinstance(t, FnMatch):
+            return t
+        return self._as_term(t)
+
+    def parse_fn_params(self) -> list[tuple[str, TypeExpr]]:
+        """``(a : nat) (xs : list nat)`` parameter groups."""
+        params: list[tuple[str, TypeExpr]] = []
+        while self.at("("):
+            self.advance()
+            names = [self.expect_ident()]
+            while self.at_ident() and not self.at(":"):
+                names.append(self.expect_ident())
+            self.expect(":")
+            ty = self.parse_type_app()
+            self.expect(")")
+            params.extend((n, ty) for n in names)
+        return params
+
+    def parse_function_decl(self):
+        """``Fixpoint f (a : T) .. : R := body.`` (or ``Definition``)."""
+        from .fndefs import FnDef, compile_fn
+
+        recursive = self.at_ident("Fixpoint")
+        self.advance()  # Fixpoint | Definition
+        name = self.expect_ident()
+        params = self.parse_fn_params()
+        if not params:
+            raise self.error(f"function {name!r} needs at least one parameter")
+        self.expect(":")
+        result_ty = self.parse_type_app()
+        self.expect(":=")
+        # Register the signature before parsing the body so recursive
+        # occurrences classify as function calls; the implementation is
+        # installed through a cell once the body is parsed.
+        cell: dict = {}
+
+        def trampoline(*args):
+            return cell["impl"](*args)
+
+        decl = self.ctx.declare_function(
+            name, tuple(t for _, t in params), result_ty, trampoline
+        )
+        was_fn_body = self._fn_body
+        self._fn_body = True
+        try:
+            body = self._as_term_or_match(self.parse_cons())
+        finally:
+            self._fn_body = was_fn_body
+        self.expect(".")
+        definition = FnDef(name, tuple(params), result_ty, body, recursive)
+        cell["impl"] = compile_fn(self.ctx, definition)
+        return definition
+
+    # -- declarations ------------------------------------------------------------
+
+    def parse_params(self) -> tuple[str, ...]:
+        """Parse zero or more ``(A B : Type)`` parameter groups."""
+        params: list[str] = []
+        while self.at("("):
+            self.advance()
+            names = [self.expect_ident()]
+            while self.at_ident() and not self.at(":"):
+                names.append(self.expect_ident())
+            self.expect(":")
+            self.expect("Type")
+            self.expect(")")
+            params.extend(names)
+        return tuple(params)
+
+    def parse_declaration(self) -> list[object]:
+        """Parse one ``Inductive`` declaration group (with ``with`` for
+        mutual blocks) and declare it into the context."""
+        self.expect("Inductive")
+        declared: list[object] = []
+        headers: list[tuple[str, tuple[str, ...], list[TypeExpr]]] = []
+        bodies: list[list] = []
+
+        while True:
+            name = self.expect_ident()
+            self.current_typarams = set()
+            params = self.parse_params()
+            self.current_typarams = set(params)
+            self.expect(":")
+            sig = self.parse_arrow_type()
+            self.expect(":=")
+            headers.append((name, params, sig))
+            is_prop = (
+                isinstance(sig[-1], Ty) and sig[-1].name == "Prop"
+            )
+            is_type = (
+                isinstance(sig[-1], Ty) and sig[-1].name == "Type"
+            )
+            if not (is_prop or is_type):
+                raise self.error(
+                    f"declaration {name!r} must end in Prop or Type"
+                )
+            if is_type and len(sig) > 1:
+                raise self.error("indexed datatypes are not supported")
+            if is_prop:
+                # All relations in a mutual block are visible in bodies.
+                self.current_relations.add(name)
+                rules: list[Rule] = []
+                while self.at("|"):
+                    rules.append(self.parse_rule(name))
+                bodies.append(rules)
+            else:
+                ctors: list[ConstructorSig] = []
+                # For datatype bodies, constructors reference the type
+                # being declared; temporarily classify it by declaring
+                # a shell if needed.  We only need type-level parsing.
+                while self.at("|"):
+                    self.advance()
+                    cname = self.expect_ident()
+                    self.expect(":")
+                    csig = self.parse_arrow_type()
+                    result = csig[-1]
+                    if not (
+                        isinstance(result, Ty) and result.name == name
+                    ):
+                        raise self.error(
+                            f"constructor {cname!r} must build {name!r}"
+                        )
+                    ctors.append(ConstructorSig(cname, tuple(csig[:-1])))
+                bodies.append(ctors)
+            if self.at_ident("with"):
+                self.advance()
+                continue
+            break
+        self.expect(".")
+
+        if len(headers) > 1:
+            kinds = {
+                isinstance(sig[-1], Ty) and sig[-1].name == "Prop"
+                for (_, _, sig) in headers
+            }
+            if kinds != {True}:
+                raise self.error(
+                    "mutual blocks are only supported for relations"
+                )
+
+        for (name, params, sig), body in zip(headers, bodies):
+            result = sig[-1]
+            assert isinstance(result, Ty)
+            if result.name == "Type":
+                dt = DataType(name, params, tuple(body))
+                self.ctx.declare_datatype(dt)
+                declared.append(dt)
+            else:
+                arg_types = tuple(sig[:-1])
+                rel = Relation(name, arg_types, tuple(body), params)
+                declared.append(rel)
+
+        # Relations in a mutual block must be registered together so
+        # type inference can see the siblings.
+        rels = [d for d in declared if isinstance(d, Relation)]
+        if rels:
+            for rel in rels:
+                self.ctx.relations.declare(rel)
+            try:
+                from .typecheck import infer_relation_types
+
+                for i, rel in enumerate(rels):
+                    inferred = infer_relation_types(rel, self.ctx)
+                    self.ctx.relations.declare(inferred, allow_replace=True)
+                    declared[declared.index(rel)] = inferred
+            finally:
+                self.current_relations.clear()
+        return declared
+
+    def parse_all(self) -> list[object]:
+        declared: list[object] = []
+        while self.peek().kind != EOF:
+            if self.at_ident("Fixpoint") or self.at_ident("Definition"):
+                declared.append(self.parse_function_decl())
+            else:
+                declared.extend(self.parse_declaration())
+        return declared
+
+
+def _nat_literal(n: int) -> Term:
+    t: Term = Ctor("O", ())
+    for _ in range(n):
+        t = Ctor("S", (t,))
+    return t
+
+
+def parse_declarations(ctx: Context, text: str) -> list[object]:
+    """Parse and declare every ``Inductive`` block in *text*.
+
+    Returns the list of declared objects (:class:`DataType` /
+    :class:`Relation`, in order).  Declarations are visible to later
+    blocks in the same string.
+    """
+    return Parser(ctx, text).parse_all()
+
+
+def parse_term_text(ctx: Context, text: str) -> Term:
+    """Parse a standalone term (used by tests and examples)."""
+    parser = Parser(ctx, text)
+    term = parser.parse_term()
+    if parser.peek().kind != EOF:
+        raise parser.error("trailing input after term")
+    return term

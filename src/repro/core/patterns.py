@@ -1,0 +1,85 @@
+"""Linear pattern matching of runtime values against terms.
+
+After preprocessing (Section 3.1) every rule conclusion is a *linear
+constructor pattern*: variables and constructor applications where each
+variable occurs at most once and no function calls appear.  Matching a
+tuple of input values against such patterns either fails or produces a
+binding of pattern variables to sub-values — exactly the semantics of
+the pattern matches the derived fixpoints perform.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .errors import DeclarationError
+from .terms import Ctor, Fun, Term, Var, free_vars
+from .values import Value
+
+
+def check_pattern(t: Term) -> None:
+    """Raise :class:`DeclarationError` unless *t* is a valid pattern
+    (no function calls; linearity is checked across tuples by callers)."""
+    if isinstance(t, Fun):
+        raise DeclarationError(f"function call {t} is not a valid pattern")
+    if isinstance(t, Ctor):
+        for a in t.args:
+            check_pattern(a)
+
+
+def match(pattern: Term, value: Value, binding: dict[str, Value]) -> bool:
+    """Match *value* against *pattern*, extending *binding* in place.
+
+    Returns False on mismatch; *binding* may then contain partial
+    entries (callers discard it on failure).  Repeated variables are
+    treated as equality constraints, so `match` is also correct on
+    non-linear patterns — though the derivation pipeline never emits
+    them (it normalizes to equality premises instead, which lets the
+    validation layer compare both treatments).
+    """
+    if isinstance(pattern, Var):
+        bound = binding.get(pattern.name)
+        if bound is None:
+            binding[pattern.name] = value
+            return True
+        return bound == value
+    if isinstance(pattern, Fun):
+        raise DeclarationError(f"function call {pattern} in pattern position")
+    if pattern.name != value.ctor or len(pattern.args) != len(value.args):
+        return False
+    for sub_pattern, sub_value in zip(pattern.args, value.args):
+        if not match(sub_pattern, sub_value, binding):
+            return False
+    return True
+
+
+def match_all(
+    patterns: tuple[Term, ...], values: tuple[Value, ...]
+) -> dict[str, Value] | None:
+    """Match a tuple of values against a tuple of patterns; return the
+    binding on success, None on mismatch."""
+    if len(patterns) != len(values):
+        return None
+    binding: dict[str, Value] = {}
+    for p, v in zip(patterns, values):
+        if not match(p, v, binding):
+            return None
+    return binding
+
+
+def instantiate(pattern: Term, binding: Mapping[str, Value]) -> Value:
+    """Build the value denoted by *pattern* under a complete binding.
+
+    The inverse of :func:`match`; fails on unbound variables or
+    function calls.
+    """
+    if isinstance(pattern, Var):
+        try:
+            return binding[pattern.name]
+        except KeyError:
+            raise DeclarationError(
+                f"pattern variable {pattern.name!r} unbound at instantiation"
+            ) from None
+    if isinstance(pattern, Fun):
+        raise DeclarationError(f"function call {pattern} in pattern position")
+    return Value(pattern.name, tuple(instantiate(a, binding) for a in pattern.args))

@@ -1,0 +1,300 @@
+"""Inductive relation declarations.
+
+This is the input language of the derivation algorithm — the paper's
+target class (Section 1):
+
+    Inductive P (A1 ... : Type) : T1 -> ... -> Tn -> Prop :=
+      | C1 : forall x1 ...,  (Q1 e11 ...) -> ... -> P e1 ... en
+      | ...
+
+Each rule (constructor of the relation) has universally quantified
+variables, a sequence of premises, and a conclusion ``P e1 .. en``.
+Premises are applications of inductive relations (possibly negated) or
+equalities between terms (the form non-linear patterns and conclusion
+function calls are normalized into, Section 3.1).
+
+Rules record per-variable types; these are usually *inferred* (see
+``repro.core.typecheck``) rather than written by the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Sequence, Union
+
+from .errors import ArityError, DeclarationError, UnknownNameError
+from .terms import Term, free_vars, subst, var_set_all
+from .types import TypeExpr, TyVar, is_ground, mangle, subst_ty
+
+
+@dataclass(frozen=True)
+class RelPremise:
+    """A premise ``Q e1 .. en`` or its negation ``~ (Q e1 .. en)``."""
+
+    rel: str
+    args: tuple[Term, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        app = self.rel + "".join(f" {a}" for a in self.args)
+        return f"~ ({app})" if self.negated else app
+
+    def map_args(self, f) -> "RelPremise":
+        return RelPremise(self.rel, tuple(f(a) for a in self.args), self.negated)
+
+
+@dataclass(frozen=True)
+class EqPremise:
+    """An equality premise ``lhs = rhs`` (or ``lhs <> rhs`` when negated).
+
+    ``ty`` is the common type of both sides, filled in by type
+    inference; equality checking/production is generic in it.
+    """
+
+    lhs: Term
+    rhs: Term
+    negated: bool = False
+    ty: TypeExpr | None = None
+
+    def __str__(self) -> str:
+        op = "<>" if self.negated else "="
+        return f"{self.lhs} {op} {self.rhs}"
+
+    def map_args(self, f) -> "EqPremise":
+        return EqPremise(f(self.lhs), f(self.rhs), self.negated, self.ty)
+
+
+Premise = Union[RelPremise, EqPremise]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One constructor of an inductive relation."""
+
+    name: str
+    premises: tuple[Premise, ...]
+    conclusion: tuple[Term, ...]
+    # Types of the forall-bound variables; populated by inference.
+    var_types: Mapping[str, TypeExpr] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        binder = ""
+        names = sorted(self.variables())
+        if names:
+            binder = "forall " + " ".join(names) + ", "
+        parts = [str(p) for p in self.premises]
+        parts.append("P " + " ".join(str(e) for e in self.conclusion))
+        return f"{self.name} : {binder}" + " -> ".join(parts)
+
+    def variables(self) -> frozenset[str]:
+        """All variables mentioned anywhere in the rule."""
+        names: set[str] = set()
+        for p in self.premises:
+            if isinstance(p, RelPremise):
+                names.update(var_set_all(p.args))
+            else:
+                names.update(var_set_all((p.lhs, p.rhs)))
+        names.update(var_set_all(self.conclusion))
+        return frozenset(names)
+
+    def conclusion_variables(self) -> frozenset[str]:
+        return var_set_all(self.conclusion)
+
+    def existential_variables(self) -> frozenset[str]:
+        """Variables occurring in premises but not in the conclusion —
+        the paper's "existentially quantified" variables."""
+        return self.variables() - self.conclusion_variables()
+
+    def is_recursive_in(self, rel_name: str) -> bool:
+        return any(
+            isinstance(p, RelPremise) and p.rel == rel_name for p in self.premises
+        )
+
+    def mentioned_relations(self) -> frozenset[str]:
+        return frozenset(
+            p.rel for p in self.premises if isinstance(p, RelPremise)
+        )
+
+    def subst_terms(self, env: Mapping[str, Term]) -> "Rule":
+        """Substitute term variables throughout the rule (used by
+        preprocessing when renaming apart)."""
+        new_premises = tuple(p.map_args(lambda t: subst(t, env)) for p in self.premises)
+        new_conclusion = tuple(subst(t, env) for t in self.conclusion)
+        return replace(self, premises=new_premises, conclusion=new_conclusion)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An inductive relation declaration.
+
+    ``params`` are type parameters (``Inductive In (A : Type) : ...``);
+    a relation must be monomorphized with :meth:`instantiate` before
+    computations can be derived for it.
+    """
+
+    name: str
+    arg_types: tuple[TypeExpr, ...]
+    rules: tuple[Rule, ...]
+    params: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for r in self.rules:
+            if r.name in seen:
+                raise DeclarationError(
+                    f"duplicate rule {r.name!r} in relation {self.name!r}"
+                )
+            seen.add(r.name)
+            if len(r.conclusion) != self.arity:
+                raise ArityError(self.name, self.arity, len(r.conclusion))
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+    def rule(self, name: str) -> Rule:
+        for r in self.rules:
+            if r.name == name:
+                return r
+        raise UnknownNameError("rule", name)
+
+    @property
+    def base_rules(self) -> tuple[Rule, ...]:
+        return tuple(r for r in self.rules if not r.is_recursive_in(self.name))
+
+    @property
+    def recursive_rules(self) -> tuple[Rule, ...]:
+        return tuple(r for r in self.rules if r.is_recursive_in(self.name))
+
+    def is_monomorphic(self) -> bool:
+        return not self.params and all(is_ground(t) for t in self.arg_types)
+
+    def mentioned_relations(self) -> frozenset[str]:
+        names: set[str] = set()
+        for r in self.rules:
+            names.update(r.mentioned_relations())
+        return frozenset(names)
+
+    def instantiate(self, *type_args: TypeExpr) -> "Relation":
+        """Monomorphize a polymorphic relation, producing a fresh
+        relation named ``P@ty1@ty2``.
+
+        Rule variable types are substituted; term structure is
+        unchanged (term-level polymorphism is parametric).
+        """
+        if len(type_args) != len(self.params):
+            raise ArityError(self.name, len(self.params), len(type_args))
+        if not self.params:
+            return self
+        for t in type_args:
+            if not is_ground(t):
+                raise DeclarationError(
+                    f"instantiation of {self.name!r} requires ground types, got {t}"
+                )
+        env: dict[str, TypeExpr] = dict(zip(self.params, type_args))
+        new_name = self.name + "".join("@" + mangle(t) for t in type_args)
+        new_arg_types = tuple(subst_ty(t, env) for t in self.arg_types)
+        new_rules = tuple(
+            replace(
+                r,
+                var_types={
+                    v: subst_ty(t, env) for v, t in r.var_types.items()
+                },
+            )
+            for r in self.rules
+        )
+        return Relation(new_name, new_arg_types, new_rules, params=())
+
+    def __str__(self) -> str:
+        header = f"Inductive {self.name}"
+        if self.params:
+            header += " (" + " ".join(self.params) + " : Type)"
+        header += " : " + " -> ".join(str(t) for t in self.arg_types) + " -> Prop :="
+        lines = [header]
+        for r in self.rules:
+            lines.append(f"  | {r}")
+        return "\n".join(lines)
+
+
+class RelationRegistry:
+    """Maps relation names to declarations."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+
+    def declare(self, rel: Relation, allow_replace: bool = False) -> Relation:
+        if rel.name in self._relations and not allow_replace:
+            raise DeclarationError(f"relation {rel.name!r} already declared")
+        self._relations[rel.name] = rel
+        return rel
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownNameError("relation", name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+
+# ---------------------------------------------------------------------------
+# Feature analysis — drives Table 1 and scheduler decisions.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RelationFeatures:
+    """Syntactic features of a relation relevant to the derivation
+    algorithms (Section 3.1 / Section 4)."""
+
+    nonlinear_conclusions: bool
+    function_calls_in_conclusions: bool
+    existentials: bool
+    negated_premises: bool
+    equality_premises: bool
+    external_relations: frozenset[str]
+
+    @property
+    def needs_preprocessing(self) -> bool:
+        return self.nonlinear_conclusions or self.function_calls_in_conclusions
+
+    @property
+    def core_algorithm_suffices(self) -> bool:
+        """True when the restricted Algorithm 1 (Section 3's core, the
+        Table 1 baseline) can handle this relation as written."""
+        return not (
+            self.nonlinear_conclusions
+            or self.function_calls_in_conclusions
+            or self.existentials
+            or self.negated_premises
+            or self.equality_premises
+        )
+
+
+def analyze(rel: Relation) -> RelationFeatures:
+    from .terms import contains_fun, is_linear
+
+    nonlinear = any(not is_linear(r.conclusion) for r in rel.rules)
+    funcalls = any(any(contains_fun(t) for t in r.conclusion) for r in rel.rules)
+    existentials = any(r.existential_variables() for r in rel.rules)
+    negated = any(
+        getattr(p, "negated", False) for r in rel.rules for p in r.premises
+    )
+    equalities = any(
+        isinstance(p, EqPremise) for r in rel.rules for p in r.premises
+    )
+    external = frozenset(rel.mentioned_relations() - {rel.name})
+    return RelationFeatures(
+        nonlinear_conclusions=nonlinear,
+        function_calls_in_conclusions=funcalls,
+        existentials=existentials,
+        negated_premises=negated,
+        equality_premises=equalities,
+        external_relations=external,
+    )

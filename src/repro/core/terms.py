@@ -1,0 +1,197 @@
+"""Open terms: the expression language of rule declarations.
+
+Constructors of an inductive relation mention *terms* — variables,
+constructor applications, and function calls — both in their premises
+and in their conclusion (the paper's grammar, Section 1):
+
+    Inductive P (A1 ... : Type) : T1 -> ... -> Prop :=
+      | C1 : forall x1 ..., (Q1 e11 ...) -> ... -> P e1 ... en | ...
+
+This module defines that term language together with the standard
+operations the derivation engine needs: free variables, substitution,
+ground evaluation, and conversion between terms and runtime values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Union
+
+from .errors import EvaluationError
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .context import Context
+
+Term = Union["Var", "Ctor", "Fun"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A term variable, bound by a rule's ``forall`` binder."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Ctor:
+    """A fully applied datatype constructor."""
+
+    name: str
+    args: tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name} " + " ".join(_atom(a) for a in self.args)
+
+
+@dataclass(frozen=True)
+class Fun:
+    """A fully applied (interpreted) function call, e.g. ``n * n``."""
+
+    name: str
+    args: tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name} " + " ".join(_atom(a) for a in self.args)
+
+
+def _atom(t: Term) -> str:
+    if isinstance(t, (Ctor, Fun)) and t.args:
+        return f"({t})"
+    return str(t)
+
+
+def C(name: str, *args: Term) -> Ctor:
+    """Shorthand: ``C('S', Var('n'))``."""
+    return Ctor(name, tuple(args))
+
+
+def F(name: str, *args: Term) -> Fun:
+    return Fun(name, tuple(args))
+
+
+# ---------------------------------------------------------------------------
+# Structural queries.
+# ---------------------------------------------------------------------------
+
+def free_vars(t: Term) -> Iterator[str]:
+    """Yield free variable names left-to-right, with repetitions.
+
+    Repetitions matter: the preprocessing phase detects non-linear
+    patterns by looking for duplicate occurrences.
+    """
+    if isinstance(t, Var):
+        yield t.name
+        return
+    for a in t.args:
+        yield from free_vars(a)
+
+
+def var_set(t: Term) -> frozenset[str]:
+    return frozenset(free_vars(t))
+
+
+def var_set_all(ts: Iterable[Term]) -> frozenset[str]:
+    names: set[str] = set()
+    for t in ts:
+        names.update(free_vars(t))
+    return frozenset(names)
+
+
+def is_constructor_term(t: Term) -> bool:
+    """True when *t* consists only of variables and constructors — the
+    restricted "core" class of Section 3 (no function calls)."""
+    if isinstance(t, Var):
+        return True
+    if isinstance(t, Fun):
+        return False
+    return all(is_constructor_term(a) for a in t.args)
+
+
+def is_linear(ts: Iterable[Term]) -> bool:
+    """True when no variable occurs twice across the given terms."""
+    seen: set[str] = set()
+    for t in ts:
+        for name in free_vars(t):
+            if name in seen:
+                return False
+            seen.add(name)
+    return True
+
+
+def contains_fun(t: Term) -> bool:
+    if isinstance(t, Fun):
+        return True
+    if isinstance(t, Var):
+        return False
+    return any(contains_fun(a) for a in t.args)
+
+
+def term_size(t: Term) -> int:
+    if isinstance(t, Var):
+        return 1
+    return 1 + sum(term_size(a) for a in t.args)
+
+
+# ---------------------------------------------------------------------------
+# Substitution and evaluation.
+# ---------------------------------------------------------------------------
+
+def subst(t: Term, env: Mapping[str, Term]) -> Term:
+    """Capture-free substitution of variables (terms are binder-free)."""
+    if isinstance(t, Var):
+        return env.get(t.name, t)
+    if isinstance(t, Ctor):
+        return Ctor(t.name, tuple(subst(a, env) for a in t.args))
+    return Fun(t.name, tuple(subst(a, env) for a in t.args))
+
+
+def value_to_term(v: Value) -> Ctor:
+    """Inject a runtime value back into the term language."""
+    return Ctor(v.ctor, tuple(value_to_term(a) for a in v.args))
+
+
+def term_to_value(t: Term) -> Value:
+    """Project a ground, function-free term to a value.
+
+    Raises :class:`EvaluationError` if the term has free variables or
+    function calls (use :func:`evaluate` for those).
+    """
+    if isinstance(t, Var):
+        raise EvaluationError(f"term has a free variable: {t.name}")
+    if isinstance(t, Fun):
+        raise EvaluationError(f"term has an unevaluated function call: {t}")
+    return Value(t.name, tuple(term_to_value(a) for a in t.args))
+
+
+def evaluate(t: Term, env: Mapping[str, Value], ctx: "Context") -> Value:
+    """Evaluate *t* to a value under *env*, interpreting function calls
+    through the context's function registry."""
+    if isinstance(t, Var):
+        try:
+            return env[t.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {t.name!r}") from None
+    args = tuple(evaluate(a, env, ctx) for a in t.args)
+    if isinstance(t, Ctor):
+        return Value(t.name, args)
+    fn = ctx.functions.get(t.name)
+    if fn is None:
+        raise EvaluationError(f"unknown function {t.name!r}")
+    return fn.apply(args)
+
+
+def try_evaluate(t: Term, env: Mapping[str, Value], ctx: "Context") -> Value | None:
+    """Like :func:`evaluate` but returns ``None`` on failure (partial
+    functions, unbound variables)."""
+    try:
+        return evaluate(t, env, ctx)
+    except EvaluationError:
+        return None

@@ -1,0 +1,229 @@
+"""Type inference for rule variables.
+
+Surface declarations bind rule variables without annotations
+(``forall n m, ...``), but the scheduler needs every variable's type:
+existentially quantified variables may have to be instantiated by an
+*unconstrained* producer for their type (Section 4).  This module
+infers those types by unification, in the style of algorithm-W
+restricted to our first-order setting:
+
+* conclusion argument *i* has the relation's *i*-th argument type;
+* each premise argument has the corresponding declared type;
+* both sides of an equality premise share a type (recorded on the
+  premise for the equality checker/producer to use);
+* constructor and function applications propagate their signatures,
+  instantiating datatype / function type parameters freshly per use.
+
+Flexible unification variables are :class:`TyVar` with a ``?`` prefix;
+rigid type variables (parameters of a polymorphic relation) never
+unify with anything but themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from .context import Context
+from .errors import ArityError, TypeMismatchError, UnknownNameError
+from .relations import EqPremise, Premise, Relation, RelPremise, Rule
+from .terms import Ctor, Fun, Term, Var
+from .types import Ty, TypeExpr, TyVar
+
+TySubst = dict[str, TypeExpr]
+
+
+class _MetaSupply:
+    def __init__(self) -> None:
+        self._next = 0
+
+    def fresh(self) -> TyVar:
+        self._next += 1
+        return TyVar(f"?{self._next}")
+
+
+def _is_flexible(t: TypeExpr) -> bool:
+    return isinstance(t, TyVar) and t.name.startswith("?")
+
+
+def ty_walk(t: TypeExpr, s: Mapping[str, TypeExpr]) -> TypeExpr:
+    while _is_flexible(t):
+        bound = s.get(t.name)  # type: ignore[union-attr]
+        if bound is None:
+            return t
+        t = bound
+    return t
+
+
+def ty_resolve(t: TypeExpr, s: Mapping[str, TypeExpr]) -> TypeExpr:
+    t = ty_walk(t, s)
+    if isinstance(t, TyVar):
+        return t
+    if not t.args:
+        return t
+    return Ty(t.name, tuple(ty_resolve(a, s) for a in t.args))
+
+
+def ty_unify(a: TypeExpr, b: TypeExpr, s: TySubst, where: str) -> None:
+    """Destructively unify *a* and *b* in substitution *s*; raise
+    :class:`TypeMismatchError` (mentioning *where*) on clash."""
+    a = ty_walk(a, s)
+    b = ty_walk(b, s)
+    if isinstance(a, TyVar) and isinstance(b, TyVar) and a.name == b.name:
+        return
+    if _is_flexible(a):
+        s[a.name] = b  # type: ignore[union-attr]
+        return
+    if _is_flexible(b):
+        s[b.name] = a  # type: ignore[union-attr]
+        return
+    if isinstance(a, TyVar) or isinstance(b, TyVar):
+        raise TypeMismatchError(f"{where}: cannot unify {a} with {b}")
+    if a.name != b.name or len(a.args) != len(b.args):
+        raise TypeMismatchError(f"{where}: cannot unify {a} with {b}")
+    for x, y in zip(a.args, b.args):
+        ty_unify(x, y, s, where)
+
+
+def _instantiate_params(
+    params: tuple[str, ...], tys: tuple[TypeExpr, ...], metas: _MetaSupply
+) -> tuple[TypeExpr, ...]:
+    """Replace datatype/function parameters with fresh metavariables."""
+    if not params:
+        return tys
+    from .types import subst_ty
+
+    env: dict[str, TypeExpr] = {p: metas.fresh() for p in params}
+    return tuple(subst_ty(t, env) for t in tys)
+
+
+class _RuleChecker:
+    def __init__(self, rel: Relation, ctx: Context) -> None:
+        self.rel = rel
+        self.ctx = ctx
+        self.metas = _MetaSupply()
+        self.subst: TySubst = {}
+        self.var_tys: dict[str, TypeExpr] = {}
+
+    def var_type(self, name: str) -> TypeExpr:
+        if name not in self.var_tys:
+            self.var_tys[name] = self.metas.fresh()
+        return self.var_tys[name]
+
+    def check_term(self, t: Term, expected: TypeExpr, where: str) -> None:
+        if isinstance(t, Var):
+            ty_unify(self.var_type(t.name), expected, self.subst, where)
+            return
+        if isinstance(t, Ctor):
+            if not self.ctx.datatypes.is_constructor(t.name):
+                raise UnknownNameError("constructor", t.name)
+            dt = self.ctx.datatypes.owner_of(t.name)
+            sig = dt.constructor(t.name)
+            if len(t.args) != sig.arity:
+                raise ArityError(t.name, sig.arity, len(t.args))
+            # Result type is dt applied to fresh metas; argument types
+            # are the signature under the same instantiation.
+            fresh = tuple(self.metas.fresh() for _ in dt.params)
+            from .types import subst_ty
+
+            env = dict(zip(dt.params, fresh))
+            result = Ty(dt.name, fresh)
+            ty_unify(result, expected, self.subst, where)
+            for arg, arg_ty in zip(t.args, sig.arg_types):
+                self.check_term(arg, subst_ty(arg_ty, env), where)
+            return
+        # Function call.
+        decl = self.ctx.functions.get(t.name)
+        if decl is None:
+            raise UnknownNameError("function", t.name)
+        if len(t.args) != decl.arity:
+            raise ArityError(t.name, decl.arity, len(t.args))
+        # Instantiate any type variables in the signature freshly.
+        from .types import free_tyvars, subst_ty
+
+        params = tuple(
+            dict.fromkeys(
+                name
+                for sig_ty in (*decl.arg_types, decl.result_type)
+                for name in free_tyvars(sig_ty)
+            )
+        )
+        env = {p: self.metas.fresh() for p in params}
+        ty_unify(subst_ty(decl.result_type, env), expected, self.subst, where)
+        for arg, arg_ty in zip(t.args, decl.arg_types):
+            self.check_term(arg, subst_ty(arg_ty, env), where)
+
+    def premise_arg_types(self, p: RelPremise) -> tuple[TypeExpr, ...]:
+        if p.rel == self.rel.name:
+            target = self.rel
+        else:
+            target = self.ctx.relations.get(p.rel)
+        if len(p.args) != target.arity:
+            raise ArityError(p.rel, target.arity, len(p.args))
+        return _instantiate_params(target.params, target.arg_types, self.metas)
+
+    def check_rule(self, rule: Rule) -> Rule:
+        where_base = f"{self.rel.name}.{rule.name}"
+        eq_metas: list[tuple[EqPremise, TypeExpr]] = []
+        new_premises: list[Premise] = []
+        for i, p in enumerate(rule.premises):
+            where = f"{where_base} premise {i + 1}"
+            if isinstance(p, RelPremise):
+                for arg, arg_ty in zip(p.args, self.premise_arg_types(p)):
+                    self.check_term(arg, arg_ty, where)
+                new_premises.append(p)
+            else:
+                shared = self.metas.fresh()
+                self.check_term(p.lhs, shared, where)
+                self.check_term(p.rhs, shared, where)
+                eq_metas.append((p, shared))
+                new_premises.append(p)  # placeholder, patched below
+        where = f"{where_base} conclusion"
+        if len(rule.conclusion) != self.rel.arity:
+            raise ArityError(self.rel.name, self.rel.arity, len(rule.conclusion))
+        for arg, arg_ty in zip(rule.conclusion, self.rel.arg_types):
+            self.check_term(arg, arg_ty, where)
+
+        # Resolve inferred variable types.
+        resolved: dict[str, TypeExpr] = {}
+        for name, meta in self.var_tys.items():
+            ty = ty_resolve(meta, self.subst)
+            if _has_flexible(ty):
+                raise TypeMismatchError(
+                    f"{where_base}: cannot infer the type of variable {name!r}"
+                    f" (got {ty}); the rule is ambiguous"
+                )
+            resolved[name] = ty
+
+        # Patch equality premises with their resolved shared type.
+        patched: list[Premise] = []
+        eq_index = 0
+        for p in new_premises:
+            if isinstance(p, EqPremise):
+                _, shared = eq_metas[eq_index]
+                eq_index += 1
+                ty = ty_resolve(shared, self.subst)
+                if _has_flexible(ty):
+                    raise TypeMismatchError(
+                        f"{where_base}: cannot infer the type of equality {p}"
+                    )
+                patched.append(replace(p, ty=ty))
+            else:
+                patched.append(p)
+        return replace(rule, premises=tuple(patched), var_types=resolved)
+
+
+def _has_flexible(t: TypeExpr) -> bool:
+    if isinstance(t, TyVar):
+        return t.name.startswith("?")
+    return any(_has_flexible(a) for a in t.args)
+
+
+def infer_relation_types(rel: Relation, ctx: Context) -> Relation:
+    """Return *rel* with every rule's ``var_types`` filled in (and
+    equality premises annotated), or raise on ill-typed rules."""
+    new_rules = []
+    for rule in rel.rules:
+        checker = _RuleChecker(rel, ctx)
+        new_rules.append(checker.check_rule(rule))
+    return replace(rel, rules=tuple(new_rules))

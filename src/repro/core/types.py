@@ -1,0 +1,114 @@
+"""Type expressions for the first-order term language.
+
+The paper targets relations whose arguments range over first-order
+inductive datatypes (``nat``, ``list nat``, STLC ``type``/``term`` …).
+Type expressions here are either applications of a named type
+constructor to type arguments (:class:`Ty`) or type variables
+(:class:`TyVar`) appearing in polymorphic datatype / relation
+declarations.  Relations are monomorphized before derivation (see
+``repro.core.relations.Relation.instantiate``), so the derivation engine
+only ever sees ground types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+TypeExpr = Union["Ty", "TyVar"]
+
+
+@dataclass(frozen=True)
+class Ty:
+    """Application of a type constructor: ``Ty('list', (Ty('nat'),))``."""
+
+    name: str
+    args: tuple[TypeExpr, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        parts = " ".join(_atom_str(a) for a in self.args)
+        return f"{self.name} {parts}"
+
+    def __repr__(self) -> str:
+        return f"Ty({str(self)!r})"
+
+
+@dataclass(frozen=True)
+class TyVar:
+    """A type variable bound by a datatype or relation parameter list."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"TyVar({self.name!r})"
+
+
+def _atom_str(t: TypeExpr) -> str:
+    text = str(t)
+    if isinstance(t, Ty) and t.args:
+        return f"({text})"
+    return text
+
+
+def is_ground(t: TypeExpr) -> bool:
+    """True when *t* contains no type variables."""
+    if isinstance(t, TyVar):
+        return False
+    return all(is_ground(a) for a in t.args)
+
+
+def free_tyvars(t: TypeExpr) -> Iterator[str]:
+    """Yield the names of the type variables occurring in *t* (with
+    repetitions, in left-to-right order)."""
+    if isinstance(t, TyVar):
+        yield t.name
+        return
+    for a in t.args:
+        yield from free_tyvars(a)
+
+
+def subst_ty(t: TypeExpr, env: Mapping[str, TypeExpr]) -> TypeExpr:
+    """Substitute type variables in *t* according to *env*.
+
+    Variables absent from *env* are left untouched.
+    """
+    if isinstance(t, TyVar):
+        return env.get(t.name, t)
+    if not t.args:
+        return t
+    return Ty(t.name, tuple(subst_ty(a, env) for a in t.args))
+
+
+def mangle(t: TypeExpr) -> str:
+    """A flat name for a ground type, used to key monomorphized
+    relations and generic instances: ``list nat`` ↦ ``list<nat>``."""
+    if isinstance(t, TyVar):
+        return f"?{t.name}"
+    if not t.args:
+        return t.name
+    inner = ",".join(mangle(a) for a in t.args)
+    return f"{t.name}<{inner}>"
+
+
+# Commonly used ground types, shared across the standard library.
+NAT = Ty("nat")
+BOOL = Ty("bool")
+UNIT = Ty("unit")
+PROP = Ty("Prop")
+
+
+def list_of(t: TypeExpr) -> Ty:
+    return Ty("list", (t,))
+
+
+def option_of(t: TypeExpr) -> Ty:
+    return Ty("option", (t,))
+
+
+def pair_of(a: TypeExpr, b: TypeExpr) -> Ty:
+    return Ty("prod", (a, b))

@@ -1,0 +1,105 @@
+"""First-order unification over open terms.
+
+The reference proof-search semantics (``repro.semantics.proof_search``)
+is a bounded logic-programming engine: goals are relation applications
+whose arguments are open terms (variables standing for unknowns), and
+resolving a goal against a rule unifies the goal's arguments with the
+rule's conclusion.  This module provides the substitution machinery.
+
+Substitutions are *triangular*: a dict mapping variable names to terms
+which may themselves contain bound variables; :func:`walk` and
+:func:`resolve` chase bindings.  Function calls (:class:`Fun`) are not
+unified structurally — they are evaluated when ground (the engine
+arranges for that before unification) and treated as rigid otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .terms import Ctor, Fun, Term, Var
+
+Subst = dict[str, Term]
+
+
+def walk(t: Term, s: Mapping[str, Term]) -> Term:
+    """Chase variable bindings one level (until a non-variable or an
+    unbound variable is reached)."""
+    while isinstance(t, Var):
+        bound = s.get(t.name)
+        if bound is None:
+            return t
+        t = bound
+    return t
+
+
+def resolve(t: Term, s: Mapping[str, Term]) -> Term:
+    """Apply substitution *s* deeply to *t*."""
+    t = walk(t, s)
+    if isinstance(t, Var):
+        return t
+    if isinstance(t, Ctor):
+        return Ctor(t.name, tuple(resolve(a, s) for a in t.args))
+    return Fun(t.name, tuple(resolve(a, s) for a in t.args))
+
+
+def occurs(name: str, t: Term, s: Mapping[str, Term]) -> bool:
+    t = walk(t, s)
+    if isinstance(t, Var):
+        return t.name == name
+    return any(occurs(name, a, s) for a in t.args)
+
+
+def is_ground_under(t: Term, s: Mapping[str, Term]) -> bool:
+    """True when *t* has no unbound variables under *s*."""
+    t = walk(t, s)
+    if isinstance(t, Var):
+        return False
+    return all(is_ground_under(a, s) for a in t.args)
+
+
+def unify(a: Term, b: Term, s: Subst) -> Subst | None:
+    """Unify *a* and *b* under substitution *s*.
+
+    Returns an extended substitution on success (the input dict is
+    never mutated) or ``None`` on failure.  Function calls unify only
+    syntactically (same function, unifiable arguments); the caller is
+    expected to have evaluated ground calls beforehand.
+    """
+    a = walk(a, s)
+    b = walk(b, s)
+    if isinstance(a, Var) and isinstance(b, Var) and a.name == b.name:
+        return s
+    if isinstance(a, Var):
+        if occurs(a.name, b, s):
+            return None
+        extended = dict(s)
+        extended[a.name] = b
+        return extended
+    if isinstance(b, Var):
+        if occurs(b.name, a, s):
+            return None
+        extended = dict(s)
+        extended[b.name] = a
+        return extended
+    # Both are applications.  Ctor vs Fun never unify; a ground Fun
+    # should have been evaluated away by the engine.
+    if type(a) is not type(b) or a.name != b.name or len(a.args) != len(b.args):
+        return None
+    current: Subst | None = s
+    for x, y in zip(a.args, b.args):
+        current = unify(x, y, current)
+        if current is None:
+            return None
+    return current
+
+
+def unify_all(
+    pairs: list[tuple[Term, Term]], s: Subst
+) -> Subst | None:
+    current: Subst | None = s
+    for a, b in pairs:
+        current = unify(a, b, current)
+        if current is None:
+            return None
+    return current

@@ -1,0 +1,228 @@
+"""Runtime values: closed first-order constructor terms.
+
+A :class:`Value` is an application of a datatype constructor to other
+values — the runtime representation of Coq's canonical forms.  Values
+are immutable, hashable, and structurally comparable, so they can be
+used as dictionary keys (required by the memoizing enumerators and the
+bounded proof-search tables).
+
+Conversion helpers bridge the standard-library encodings (Peano
+naturals, cons-lists, booleans, options, pairs) to native Python data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+
+class Value:
+    """An application ``C v1 .. vn`` of constructor ``C`` to values."""
+
+    __slots__ = ("ctor", "args", "_hash")
+
+    def __init__(self, ctor: str, args: tuple["Value", ...] = ()) -> None:
+        self.ctor = ctor
+        self.args = args
+        self._hash = hash((ctor, args))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Value):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.ctor == other.ctor
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Value({self!s})"
+
+    def __str__(self) -> str:
+        return render(self)
+
+    def size(self) -> int:
+        """Number of constructor nodes in the value."""
+        total = 1
+        for a in self.args:
+            total += a.size()
+        return total
+
+    def depth(self) -> int:
+        """Height of the value seen as a tree (leaf = 1)."""
+        if not self.args:
+            return 1
+        return 1 + max(a.depth() for a in self.args)
+
+
+def V(ctor: str, *args: Value) -> Value:
+    """Shorthand constructor: ``V('S', V('O'))``."""
+    return Value(ctor, tuple(args))
+
+
+# ---------------------------------------------------------------------------
+# Standard-library encodings.
+# ---------------------------------------------------------------------------
+
+TRUE = V("true")
+FALSE = V("false")
+TT = V("tt")
+NIL = V("nil")
+ZERO = V("O")
+
+
+def from_bool(b: bool) -> Value:
+    return TRUE if b else FALSE
+
+
+def to_bool(v: Value) -> bool:
+    if v.ctor == "true":
+        return True
+    if v.ctor == "false":
+        return False
+    raise ValueError(f"not a boolean value: {v}")
+
+
+def from_int(n: int) -> Value:
+    """Encode a non-negative Python int as a Peano natural."""
+    if n < 0:
+        raise ValueError(f"naturals are non-negative, got {n}")
+    v = ZERO
+    for _ in range(n):
+        v = Value("S", (v,))
+    return v
+
+
+def to_int(v: Value) -> int:
+    """Decode a Peano natural to a Python int."""
+    n = 0
+    while v.ctor == "S":
+        n += 1
+        v = v.args[0]
+    if v.ctor != "O":
+        raise ValueError(f"not a natural value: {v}")
+    return n
+
+
+def from_list(items: Iterable[Value]) -> Value:
+    """Encode a Python iterable of values as a cons-list."""
+    acc = NIL
+    for item in reversed(list(items)):
+        acc = Value("cons", (item, acc))
+    return acc
+
+
+def to_list(v: Value) -> list[Value]:
+    """Decode a cons-list to a Python list."""
+    out: list[Value] = []
+    while v.ctor == "cons":
+        out.append(v.args[0])
+        v = v.args[1]
+    if v.ctor != "nil":
+        raise ValueError(f"not a list value: {v}")
+    return out
+
+
+def iter_list(v: Value) -> Iterator[Value]:
+    while v.ctor == "cons":
+        yield v.args[0]
+        v = v.args[1]
+    if v.ctor != "nil":
+        raise ValueError(f"not a list value: {v}")
+
+
+def from_option(v: Value | None) -> Value:
+    return V("Some", v) if v is not None else V("None")
+
+
+def to_option(v: Value) -> Value | None:
+    if v.ctor == "Some":
+        return v.args[0]
+    if v.ctor == "None":
+        return None
+    raise ValueError(f"not an option value: {v}")
+
+
+def from_pair(a: Value, b: Value) -> Value:
+    return V("pair", a, b)
+
+
+def to_pair(v: Value) -> tuple[Value, Value]:
+    if v.ctor == "pair":
+        return v.args[0], v.args[1]
+    raise ValueError(f"not a pair value: {v}")
+
+
+def nat_list(ns: Iterable[int]) -> Value:
+    """Encode a Python iterable of ints as a ``list nat`` value."""
+    return from_list([from_int(n) for n in ns])
+
+
+def to_nat_list(v: Value) -> list[int]:
+    return [to_int(x) for x in to_list(v)]
+
+
+# ---------------------------------------------------------------------------
+# Pretty printing.
+# ---------------------------------------------------------------------------
+
+def render(v: Value) -> str:
+    """Human-readable rendering that folds standard encodings back into
+    familiar notation (numerals, list brackets, booleans)."""
+    folded = _render_special(v)
+    if folded is not None:
+        return folded
+    if not v.args:
+        return v.ctor
+    parts = " ".join(_render_atom(a) for a in v.args)
+    return f"{v.ctor} {parts}"
+
+
+def _render_atom(v: Value) -> str:
+    text = render(v)
+    if v.args and _render_special(v) is None:
+        return f"({text})"
+    return text
+
+
+def _render_special(v: Value) -> str | None:
+    if v.ctor in ("O", "S"):
+        try:
+            return str(to_int(v))
+        except ValueError:
+            return None
+    if v.ctor in ("nil", "cons"):
+        try:
+            items = to_list(v)
+        except ValueError:
+            return None
+        return "[" + "; ".join(render(x) for x in items) + "]"
+    if v.ctor == "pair" and len(v.args) == 2:
+        return f"({render(v.args[0])}, {render(v.args[1])})"
+    return None
+
+
+def value_to_python(v: Value) -> Any:
+    """Best-effort decoding of a value into native Python data
+    (ints, bools, lists, tuples, None); falls back to the value itself."""
+    if v.ctor in ("O", "S"):
+        try:
+            return to_int(v)
+        except ValueError:
+            return v
+    if v.ctor in ("true", "false"):
+        return to_bool(v)
+    if v.ctor in ("nil", "cons"):
+        try:
+            return [value_to_python(x) for x in to_list(v)]
+        except ValueError:
+            return v
+    if v.ctor == "pair" and len(v.args) == 2:
+        return tuple(value_to_python(a) for a in v.args)
+    if v.ctor == "Some" and len(v.args) == 1:
+        return value_to_python(v.args[0])
+    return v

@@ -1,0 +1,57 @@
+"""Derivation engine: compile inductive relations into computations."""
+
+from .api import derive, derive_checker, derive_enumerator, derive_generator
+from .instances import (
+    CHECKER,
+    ENUM,
+    GEN,
+    Instance,
+    register_checker,
+    register_producer,
+    resolve,
+    resolve_checker,
+)
+from .interp_checker import DerivedChecker
+from .interp_enum import DerivedEnumerator
+from .interp_gen import DerivedGenerator
+from .modes import Mode
+from .preprocess import preprocess_relation, preprocess_rule
+from .schedule import Handler, Schedule
+from .mutual import derive_mutual_checkers, mutual_components
+from .scheduler import (
+    DEFAULT_POLICY,
+    PAPER_POLICY,
+    DerivePolicy,
+    build_schedule,
+    required_instances,
+)
+
+__all__ = [
+    "CHECKER",
+    "DEFAULT_POLICY",
+    "DerivePolicy",
+    "DerivedChecker",
+    "DerivedEnumerator",
+    "DerivedGenerator",
+    "ENUM",
+    "GEN",
+    "Handler",
+    "Instance",
+    "Mode",
+    "Schedule",
+    "build_schedule",
+    "derive",
+    "derive_checker",
+    "derive_enumerator",
+    "derive_generator",
+    "derive_mutual_checkers",
+    "mutual_components",
+    "PAPER_POLICY",
+    "preprocess_relation",
+    "preprocess_rule",
+    "register_checker",
+    "register_producer",
+    "required_instances",
+    "resolve",
+    "resolve_checker",
+]

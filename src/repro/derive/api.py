@@ -1,0 +1,125 @@
+"""User-facing derivation entry points (the QuickChick commands).
+
+Mirrors the paper's vernacular::
+
+    Derive DecOpt for (Sorted l).                    -- checker
+    Derive EnumSizedSuchThat for (fun t => typing G e t).
+    Derive GenSizedSuchThat for (fun e => typing G e t).
+
+Here::
+
+    checker = derive_checker(ctx, 'Sorted')
+    enum    = derive_enumerator(ctx, 'typing', 'iio')
+    gen     = derive_generator(ctx, 'typing', 'ioi')
+
+Modes are given as strings over {'i', 'o'} (or iterables of output
+positions).  Derived artifacts are registered in the context's
+instance table so other derivations can call them, and the whole
+dependency closure is derived eagerly (cycles are rejected).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.context import Context
+from ..core.errors import DerivationError
+from .instances import CHECKER, ENUM, GEN, resolve
+from .interp_checker import DerivedChecker
+from .interp_enum import DerivedEnumerator
+from .interp_gen import DerivedGenerator
+from .modes import Mode
+from .scheduler import build_schedule
+
+
+def _as_mode(ctx: Context, rel: str, mode: "str | Mode | Iterable[int]") -> Mode:
+    arity = ctx.relations.get(rel).arity
+    if isinstance(mode, Mode):
+        built = mode
+    elif isinstance(mode, str):
+        built = Mode.from_string(mode)
+    else:
+        built = Mode(arity, frozenset(mode))
+    if built.arity != arity:
+        raise DerivationError(
+            f"mode {built} has arity {built.arity}; {rel!r} has arity {arity}"
+        )
+    return built
+
+
+def derive_checker(ctx: Context, rel: str) -> DerivedChecker:
+    """Derive (or fetch) the semi-decision procedure for *rel*.
+
+    ``Derive DecOpt for (P x1 .. xn)``.
+    """
+    arity = ctx.relations.get(rel).arity
+    instance = resolve(ctx, CHECKER, rel, Mode.checker(arity))
+    fn = instance.fn
+    owner = getattr(fn, "__self__", None)
+    if isinstance(owner, DerivedChecker):
+        return owner
+    # Handwritten instance: wrap it in the public interface.
+    schedule = instance.schedule or build_schedule(ctx, rel, Mode.checker(arity))
+    wrapper = DerivedChecker(ctx, schedule)
+    return wrapper
+
+
+def derive_enumerator(
+    ctx: Context, rel: str, mode: "str | Mode | Iterable[int]"
+) -> DerivedEnumerator:
+    """Derive (or fetch) the constrained enumerator for ``(rel, mode)``.
+
+    ``Derive EnumSizedSuchThat for (fun out.. => P ..)``.
+    """
+    built = _as_mode(ctx, rel, mode)
+    if built.is_checker:
+        raise DerivationError("an enumerator mode needs at least one output")
+    instance = resolve(ctx, ENUM, rel, built)
+    owner = getattr(instance.fn, "__self__", None)
+    if isinstance(owner, DerivedEnumerator):
+        return owner
+    return DerivedEnumerator(ctx, instance.schedule or build_schedule(ctx, rel, built))
+
+
+def derive_generator(
+    ctx: Context, rel: str, mode: "str | Mode | Iterable[int]"
+) -> DerivedGenerator:
+    """Derive (or fetch) the constrained random generator for
+    ``(rel, mode)``.
+
+    ``Derive GenSizedSuchThat for (fun out.. => P ..)``.
+    """
+    built = _as_mode(ctx, rel, mode)
+    if built.is_checker:
+        raise DerivationError("a generator mode needs at least one output")
+    instance = resolve(ctx, GEN, rel, built)
+    owner = getattr(instance.fn, "__self__", None)
+    if isinstance(owner, DerivedGenerator):
+        return owner
+    return DerivedGenerator(ctx, instance.schedule or build_schedule(ctx, rel, built))
+
+
+_KINDS = {
+    "DecOpt": ("checker", None),
+    "EnumSizedSuchThat": ("enum", True),
+    "GenSizedSuchThat": ("gen", True),
+}
+
+
+def derive(ctx: Context, kind: str, rel: str, mode: "str | None" = None):
+    """Vernacular-flavored entry point:
+
+        derive(ctx, 'DecOpt', 'Sorted')
+        derive(ctx, 'EnumSizedSuchThat', 'typing', 'iio')
+    """
+    if kind not in _KINDS:
+        raise DerivationError(
+            f"unknown derivation kind {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    if kind == "DecOpt":
+        return derive_checker(ctx, rel)
+    if mode is None:
+        raise DerivationError(f"{kind} needs a mode string (e.g. 'iio')")
+    if kind == "EnumSizedSuchThat":
+        return derive_enumerator(ctx, rel, mode)
+    return derive_generator(ctx, rel, mode)

@@ -1,0 +1,98 @@
+"""Algorithm 1: the core checker derivation (Section 3).
+
+The restricted baseline the paper evaluates against in Table 1.  It
+targets relations over *constructor terms* only:
+
+* every conclusion is a linear pattern — no repeated variables, no
+  function calls;
+* every universally quantified variable is bound in the conclusion
+  (no existentials);
+* premises are (non-negated) relation applications.
+
+Within that class the derived checker is exactly the one the full
+algorithm produces; the value of this module is the *predicate*
+``algorithm1_supported`` (the Table 1 "Baseline" column) and an
+independent, deliberately simple implementation of DERIVE_CHECKER /
+CTR_LOOP to validate the full scheduler against.
+"""
+
+from __future__ import annotations
+
+from ..core.context import Context
+from ..core.errors import OutOfScopeError
+from ..core.relations import EqPremise, Relation, RelPremise
+from ..core.terms import contains_fun, is_linear
+from .modes import Mode
+from .schedule import Handler, SCheckCall, SRecCheck, Schedule
+from .scheduler import check_in_scope
+
+
+def algorithm1_unsupported_reasons(rel: Relation) -> list[str]:
+    """Why Algorithm 1 cannot handle *rel* (empty list = supported)."""
+    reasons: list[str] = []
+    for rule in rel.rules:
+        where = f"rule {rule.name!r}"
+        if not is_linear(rule.conclusion):
+            reasons.append(f"{where}: non-linear conclusion pattern")
+        if any(contains_fun(t) for t in rule.conclusion):
+            reasons.append(f"{where}: function call in conclusion")
+        if rule.existential_variables():
+            names = ", ".join(sorted(rule.existential_variables()))
+            reasons.append(f"{where}: existential variables ({names})")
+        for premise in rule.premises:
+            if isinstance(premise, EqPremise):
+                reasons.append(f"{where}: equality premise {premise}")
+            elif premise.negated:
+                reasons.append(f"{where}: negated premise {premise}")
+            elif any(contains_fun(t) for t in premise.args):
+                # Function calls in premises are fine for Algorithm 1
+                # (they are simply evaluated), as the paper notes.
+                pass
+    return reasons
+
+
+def algorithm1_supported(rel: Relation) -> bool:
+    return not algorithm1_unsupported_reasons(rel)
+
+
+def derive_checker_core(ctx: Context, rel_name: str) -> Schedule:
+    """DERIVE_CHECKER (Algorithm 1), verbatim.
+
+    Iterates the constructors, calls CTR_LOOP for each, and assembles
+    the fixpoint structure.  Raises :class:`OutOfScopeError` outside
+    the restricted class.
+    """
+    rel = ctx.relations.get(rel_name)
+    check_in_scope(ctx, rel)
+    reasons = algorithm1_unsupported_reasons(rel)
+    if reasons:
+        raise OutOfScopeError(
+            f"Algorithm 1 cannot handle {rel_name!r}: " + "; ".join(reasons)
+        )
+    handlers = tuple(_ctr_loop(rel, rule) for rule in rel.rules)
+    return Schedule(
+        rel=rel_name,
+        mode=Mode.checker(rel.arity),
+        handlers=handlers,
+        out_types=(),
+        algorithm="core",
+    )
+
+
+def _ctr_loop(rel: Relation, rule) -> Handler:
+    """CTR_LOOP: one pattern match over the conclusion, one check per
+    premise (recursive for P itself, external otherwise)."""
+    steps = []
+    for premise in rule.premises:
+        assert isinstance(premise, RelPremise) and not premise.negated
+        if premise.rel == rel.name:
+            steps.append(SRecCheck(premise.args))
+        else:
+            steps.append(SCheckCall(premise.rel, premise.args, False))
+    return Handler(
+        rule=rule.name,
+        in_patterns=rule.conclusion,
+        steps=tuple(steps),
+        out_terms=(),
+        recursive=rule.is_recursive_in(rel.name),
+    )

@@ -1,0 +1,133 @@
+"""Modes: which relation arguments are inputs and which are produced.
+
+A *mode* for a relation of arity ``n`` designates a subset of argument
+positions as outputs (the paper's ``out_set``, Section 4 / Algorithm 2).
+The checker mode has no outputs; producer modes have at least one.
+Unlike the paper's implementation (which restricted producers to a
+single output), multiple outputs are supported — the §8 extension.
+
+The scheduler tracks a per-rule *variable knowledge map*: each rule
+variable is either KNOWN (fully instantiated: a top-level input, bound
+by a pattern match, or the result of a producer call) or UNKNOWN (still
+to be produced).  Partial instantiation ("the value matches ``Arr t1
+t2`` for known ``t1``") is represented structurally, by match steps
+over patterns mixing known and unknown variables, rather than as a
+variable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..core.errors import DeclarationError
+from ..core.terms import Term, free_vars
+
+
+@dataclass(frozen=True)
+class Mode:
+    """A derivation mode: relation arity plus the set of output
+    positions (0-based)."""
+
+    arity: int
+    outs: frozenset[int]
+
+    def __post_init__(self) -> None:
+        bad = [i for i in self.outs if not 0 <= i < self.arity]
+        if bad:
+            raise DeclarationError(f"output positions {bad} out of range")
+
+    @staticmethod
+    def checker(arity: int) -> "Mode":
+        return Mode(arity, frozenset())
+
+    @staticmethod
+    def producer(arity: int, outs: Iterable[int]) -> "Mode":
+        mode = Mode(arity, frozenset(outs))
+        if not mode.outs:
+            raise DeclarationError("a producer mode needs at least one output")
+        return mode
+
+    @staticmethod
+    def from_string(spec: str) -> "Mode":
+        """Parse ``"iio"``-style mode strings (i = input, o = output)."""
+        outs = set()
+        for i, c in enumerate(spec):
+            if c == "o":
+                outs.add(i)
+            elif c != "i":
+                raise DeclarationError(f"bad mode character {c!r} in {spec!r}")
+        return Mode(len(spec), frozenset(outs))
+
+    @property
+    def is_checker(self) -> bool:
+        return not self.outs
+
+    @property
+    def ins(self) -> tuple[int, ...]:
+        return tuple(i for i in range(self.arity) if i not in self.outs)
+
+    @property
+    def out_list(self) -> tuple[int, ...]:
+        return tuple(sorted(self.outs))
+
+    def __str__(self) -> str:
+        return "".join("o" if i in self.outs else "i" for i in range(self.arity))
+
+    def describe(self) -> str:
+        return f"mode {self} ({'checker' if self.is_checker else 'producer'})"
+
+
+class VarsMap:
+    """The paper's ``vars`` map, simplified to KNOWN/UNKNOWN.
+
+    Initialized per rule by :func:`init_env` (Algorithm 2) and updated
+    as the scheduler walks the premises.
+    """
+
+    def __init__(self) -> None:
+        self._known: set[str] = set()
+        self._all: set[str] = set()
+
+    def add(self, name: str, known: bool) -> None:
+        self._all.add(name)
+        if known:
+            self._known.add(name)
+
+    def mark_known(self, name: str) -> None:
+        self._all.add(name)
+        self._known.add(name)
+
+    def is_known(self, name: str) -> bool:
+        return name in self._known
+
+    def known_set(self) -> frozenset[str]:
+        return frozenset(self._known)
+
+    def unknown_in(self, t: Term) -> list[str]:
+        """Unknown variables of *t*, left-to-right, deduplicated."""
+        seen: list[str] = []
+        for name in free_vars(t):
+            if name not in self._known and name not in seen:
+                seen.append(name)
+        return seen
+
+    def term_known(self, t: Term) -> bool:
+        return not self.unknown_in(t)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._all))
+
+
+def init_env(conclusion: tuple[Term, ...], mode: Mode) -> VarsMap:
+    """Algorithm 2 (INIT_ENV): mark variables of input-position
+    conclusion patterns as known, output-position ones as unknown."""
+    vars_map = VarsMap()
+    for i, term in enumerate(conclusion):
+        known = i not in mode.outs
+        for name in free_vars(term):
+            if known:
+                vars_map.mark_known(name)
+            else:
+                vars_map.add(name, known=False)
+    return vars_map

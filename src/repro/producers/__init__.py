@@ -1,0 +1,61 @@
+"""Producers: three-valued checkers, enumerators, and random generators."""
+
+from .combinators import (
+    bind_CE,
+    bind_CG,
+    bind_EC,
+    enum_datatype,
+    gen_datatype,
+    slice_exhaustive,
+)
+from .enumerators import Enumerator, enumerating, interleaving
+from .generators import (
+    Generator,
+    backtrack,
+    choose_nat,
+    frequency,
+    oneof,
+    sized,
+)
+from .lazylist import LazyList
+from .option_bool import (
+    NONE_OB,
+    SOME_FALSE,
+    SOME_TRUE,
+    OptionBool,
+    and_then,
+    backtracking,
+    from_bool,
+    negate,
+)
+from .outcome import FAIL, OUT_OF_FUEL, is_value
+
+__all__ = [
+    "FAIL",
+    "Enumerator",
+    "Generator",
+    "LazyList",
+    "NONE_OB",
+    "OUT_OF_FUEL",
+    "OptionBool",
+    "SOME_FALSE",
+    "SOME_TRUE",
+    "and_then",
+    "backtrack",
+    "backtracking",
+    "bind_CE",
+    "bind_CG",
+    "bind_EC",
+    "choose_nat",
+    "enum_datatype",
+    "enumerating",
+    "frequency",
+    "from_bool",
+    "gen_datatype",
+    "interleaving",
+    "is_value",
+    "negate",
+    "oneof",
+    "sized",
+    "slice_exhaustive",
+]

@@ -1,0 +1,163 @@
+"""Enumerators: the deterministic producers (Section 4).
+
+The paper's type is::
+
+    Inductive E A := MkEnum : (nat -> List A) -> E A.
+
+i.e. an enumerator maps a size to a lazy list of results.  Here an
+:class:`Enumerator` wraps a function from a size to a fresh *iterator*
+whose elements are either proper values or the :data:`OUT_OF_FUEL`
+marker (the ``fuelE`` outcome).  ``failE`` is the empty enumeration.
+
+Iterators are created fresh on every :meth:`run`, so enumerators are
+re-runnable; :meth:`lazy` returns a memoized :class:`LazyList` when
+sharing matters.
+
+The monadic operations follow the paper's conventions:
+
+* ``ret x``   — singleton enumeration;
+* ``bind m k`` — for each value ``x`` of ``m``, all results of
+  ``k(x)``; ``OUT_OF_FUEL`` elements propagate;
+* ``failE``   — empty;
+* ``fuelE``   — the single-element ``OUT_OF_FUEL`` enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .lazylist import LazyList
+from .outcome import FAIL, OUT_OF_FUEL, is_value
+
+
+class Enumerator:
+    """A sized, re-runnable enumeration of values."""
+
+    __slots__ = ("_run",)
+
+    def __init__(self, run: Callable[[int], Iterator[Any]]) -> None:
+        self._run = run
+
+    def run(self, size: int) -> Iterator[Any]:
+        """A fresh iterator of the results at *size* (values and
+        ``OUT_OF_FUEL`` markers)."""
+        return self._run(size)
+
+    def lazy(self, size: int) -> LazyList:
+        return LazyList.from_iterable(self.run(size))
+
+    # -- consumers -------------------------------------------------------------
+
+    def values(self, size: int) -> Iterator[Any]:
+        """Only the proper values at *size* (fuel markers skipped)."""
+        return (x for x in self.run(size) if is_value(x))
+
+    def outcomes(self, size: int) -> set[Any]:
+        """The set-of-outcomes semantics ``[e]_size`` (Section 5.1):
+        the set of values the enumerator can produce at *size*."""
+        return set(self.values(size))
+
+    def complete_at(self, size: int) -> bool:
+        """True when no ``OUT_OF_FUEL`` marker appears at *size* — the
+        enumeration is known to be exhaustive for this size."""
+        return all(is_value(x) for x in self.run(size))
+
+    def first_value(self, size: int) -> Any:
+        """The first proper value, or ``OUT_OF_FUEL`` if the
+        enumeration contains a fuel marker but no value, or ``FAIL``
+        if it is definitively empty."""
+        saw_fuel = False
+        for x in self.run(size):
+            if is_value(x):
+                return x
+            saw_fuel = True
+        return OUT_OF_FUEL if saw_fuel else FAIL
+
+    # -- monadic interface ---------------------------------------------------------
+
+    @staticmethod
+    def ret(value: Any) -> "Enumerator":
+        return Enumerator(lambda _size: iter((value,)))
+
+    @staticmethod
+    def fail() -> "Enumerator":
+        return Enumerator(lambda _size: iter(()))
+
+    @staticmethod
+    def fuel() -> "Enumerator":
+        return Enumerator(lambda _size: iter((OUT_OF_FUEL,)))
+
+    def bind(self, k: Callable[[Any], "Enumerator"]) -> "Enumerator":
+        def run(size: int) -> Iterator[Any]:
+            for x in self.run(size):
+                if not is_value(x):
+                    yield x
+                    continue
+                yield from k(x).run(size)
+
+        return Enumerator(run)
+
+    def map(self, f: Callable[[Any], Any]) -> "Enumerator":
+        def run(size: int) -> Iterator[Any]:
+            for x in self.run(size):
+                yield f(x) if is_value(x) else x
+
+        return Enumerator(run)
+
+    def guard(self, keep: Callable[[Any], bool]) -> "Enumerator":
+        """Keep only values satisfying *keep* (fuel markers pass)."""
+
+        def run(size: int) -> Iterator[Any]:
+            for x in self.run(size):
+                if not is_value(x) or keep(x):
+                    yield x
+
+        return Enumerator(run)
+
+    # -- structure ------------------------------------------------------------------
+
+    @staticmethod
+    def from_values(values: Sequence[Any]) -> "Enumerator":
+        items = tuple(values)
+        return Enumerator(lambda _size: iter(items))
+
+    @staticmethod
+    def from_sized(make: Callable[[int], Iterable[Any]]) -> "Enumerator":
+        return Enumerator(lambda size: iter(make(size)))
+
+    def resize(self, new_size: int) -> "Enumerator":
+        return Enumerator(lambda _size: self.run(new_size))
+
+    def with_size(self, adjust: Callable[[int], int]) -> "Enumerator":
+        return Enumerator(lambda size: self.run(adjust(size)))
+
+
+def enumerating(options: Sequence[Callable[[], Enumerator]]) -> Enumerator:
+    """The paper's ``enumerating`` combinator: concatenate the results
+    of all (thunked) options, in order.  The E-side analogue of the
+    checker's ``backtracking``."""
+
+    def run(size: int) -> Iterator[Any]:
+        for option in options:
+            yield from option().run(size)
+
+    return Enumerator(run)
+
+
+def interleaving(options: Sequence[Callable[[], Enumerator]]) -> Enumerator:
+    """Fair variant of :func:`enumerating` (round-robin across the
+    options) — the "fair enumeration combinators" extension."""
+
+    def run(size: int) -> Iterator[Any]:
+        iterators = [option().run(size) for option in options]
+        while iterators:
+            still_live = []
+            for it in iterators:
+                try:
+                    yield next(it)
+                except StopIteration:
+                    continue
+                still_live.append(it)
+            iterators = still_live
+
+    return Enumerator(run)

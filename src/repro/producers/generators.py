@@ -1,0 +1,210 @@
+"""Random generators: the randomized producers (Section 4).
+
+The paper's type is::
+
+    Inductive G A := MkGen : (nat -> Rand -> A) -> G A.
+
+A :class:`Generator` wraps a function from a size and an RNG to a
+single outcome: a proper value, :data:`FAIL` (``failG``), or
+:data:`OUT_OF_FUEL` (``fuelG``).  Monadic structure mirrors the
+enumerators exactly — the derivation engine swaps one for the other
+without touching the schedule (Section 4, "Sequencing computations,
+generically").
+
+Randomness is explicit: every run takes a :class:`random.Random`, and
+all entry points accept seeds, so generation is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterator, Sequence
+
+from .outcome import FAIL, OUT_OF_FUEL, is_value
+
+
+class Generator:
+    """A sized random producer of values."""
+
+    __slots__ = ("_run",)
+
+    def __init__(self, run: Callable[[int, random.Random], Any]) -> None:
+        self._run = run
+
+    def run(self, size: int, rng: random.Random) -> Any:
+        return self._run(size, rng)
+
+    # -- consumers -------------------------------------------------------------
+
+    def sample(
+        self, size: int, count: int, seed: int | None = None
+    ) -> list[Any]:
+        """Draw *count* outcomes (values and markers) at *size*."""
+        rng = random.Random(seed)
+        return [self.run(size, rng) for _ in range(count)]
+
+    def sample_values(
+        self, size: int, count: int, seed: int | None = None
+    ) -> list[Any]:
+        """Draw until *count* proper values were produced (markers are
+        discarded); gives up after ``20 * count`` attempts."""
+        rng = random.Random(seed)
+        out: list[Any] = []
+        attempts = 0
+        limit = 20 * count
+        while len(out) < count and attempts < limit:
+            attempts += 1
+            x = self.run(size, rng)
+            if is_value(x):
+                out.append(x)
+        return out
+
+    def outcomes(self, size: int, samples: int, seed: int | None = None) -> set[Any]:
+        """Sampled approximation of the set-of-outcomes semantics."""
+        return {x for x in self.sample(size, samples, seed) if is_value(x)}
+
+    # -- monadic interface ---------------------------------------------------------
+
+    @staticmethod
+    def ret(value: Any) -> "Generator":
+        return Generator(lambda _size, _rng: value)
+
+    @staticmethod
+    def fail() -> "Generator":
+        return Generator(lambda _size, _rng: FAIL)
+
+    @staticmethod
+    def fuel() -> "Generator":
+        return Generator(lambda _size, _rng: OUT_OF_FUEL)
+
+    def bind(self, k: Callable[[Any], "Generator"]) -> "Generator":
+        def run(size: int, rng: random.Random) -> Any:
+            x = self.run(size, rng)
+            if not is_value(x):
+                return x
+            return k(x).run(size, rng)
+
+        return Generator(run)
+
+    def map(self, f: Callable[[Any], Any]) -> "Generator":
+        def run(size: int, rng: random.Random) -> Any:
+            x = self.run(size, rng)
+            return f(x) if is_value(x) else x
+
+        return Generator(run)
+
+    def guard(self, keep: Callable[[Any], bool]) -> "Generator":
+        def run(size: int, rng: random.Random) -> Any:
+            x = self.run(size, rng)
+            if is_value(x) and not keep(x):
+                return FAIL
+            return x
+
+        return Generator(run)
+
+    def resize(self, new_size: int) -> "Generator":
+        return Generator(lambda _size, rng: self.run(new_size, rng))
+
+    def retry(self, attempts: int) -> "Generator":
+        """Re-run on FAIL up to *attempts* times (fuel is not retried:
+        it signals a size problem, not bad luck)."""
+
+        def run(size: int, rng: random.Random) -> Any:
+            for _ in range(attempts):
+                x = self.run(size, rng)
+                if x is not FAIL:
+                    return x
+            return FAIL
+
+        return Generator(run)
+
+
+# ---------------------------------------------------------------------------
+# Choice combinators.
+# ---------------------------------------------------------------------------
+
+def oneof(options: Sequence[Callable[[], Generator]]) -> Generator:
+    """Uniform choice among thunked generators (no backtracking)."""
+    if not options:
+        return Generator.fail()
+
+    def run(size: int, rng: random.Random) -> Any:
+        return options[rng.randrange(len(options))]().run(size, rng)
+
+    return Generator(run)
+
+
+def frequency(weighted: Sequence[tuple[int, Callable[[], Generator]]]) -> Generator:
+    """Weighted choice among thunked generators (no backtracking)."""
+    live = [(w, g) for (w, g) in weighted if w > 0]
+    if not live:
+        return Generator.fail()
+    total = sum(w for w, _ in live)
+
+    def run(size: int, rng: random.Random) -> Any:
+        pick = rng.randrange(total)
+        for w, g in live:
+            if pick < w:
+                return g().run(size, rng)
+            pick -= w
+        raise AssertionError("unreachable")
+
+    return Generator(run)
+
+
+def backtrack(
+    weighted: Sequence[tuple[int, Callable[[], Generator]]],
+    retries_per_option: int = 1,
+) -> Generator:
+    """QuickChick's ``backtrack``: weighted choice with backtracking.
+
+    Repeatedly picks an option by weight and runs it; on :data:`FAIL`
+    or :data:`OUT_OF_FUEL` the option is discarded (after
+    *retries_per_option* runs) and another is tried.  Returns the first
+    proper value; if every option is exhausted, returns
+    :data:`OUT_OF_FUEL` when any discarded option signalled fuel
+    exhaustion and :data:`FAIL` otherwise — the G-side analogue of the
+    ``backtracking`` checker combinator's ``None``/``Some false``
+    distinction.
+    """
+
+    def run(size: int, rng: random.Random) -> Any:
+        remaining = [
+            [w, g, retries_per_option] for (w, g) in weighted if w > 0
+        ]
+        saw_fuel = False
+        while remaining:
+            total = sum(entry[0] for entry in remaining)
+            pick = rng.randrange(total)
+            chosen = None
+            for entry in remaining:
+                if pick < entry[0]:
+                    chosen = entry
+                    break
+                pick -= entry[0]
+            assert chosen is not None
+            x = chosen[1]().run(size, rng)
+            if is_value(x):
+                return x
+            if x is OUT_OF_FUEL:
+                saw_fuel = True
+            chosen[2] -= 1
+            if chosen[2] <= 0:
+                remaining.remove(chosen)
+        return OUT_OF_FUEL if saw_fuel else FAIL
+
+    return Generator(run)
+
+
+def choose_nat(lo: int, hi: int) -> Generator:
+    """Uniform Python-int choice in ``[lo, hi]`` (helper for
+    handwritten generators)."""
+
+    def run(_size: int, rng: random.Random) -> Any:
+        return rng.randint(lo, hi)
+
+    return Generator(run)
+
+
+def sized(make: Callable[[int], Generator]) -> Generator:
+    return Generator(lambda size, rng: make(size).run(size, rng))

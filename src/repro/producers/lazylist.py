@@ -1,0 +1,183 @@
+"""Memoized lazy lists.
+
+The paper's enumerator type ``E A`` wraps ``nat -> List A`` where the
+list is *lazy*: only the prefix a consumer demands is computed, and a
+shared stream is computed at most once.  This module implements such
+streams; ``repro.producers.enumerators`` builds on them.
+
+The implementation is a classic thunk/cons design: a :class:`LazyList`
+is either known-empty, a known cons cell, or a suspended computation
+that is forced (and cached) on first access.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, TypeVar
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+
+class LazyList(Generic[A]):
+    """A memoized lazy list of ``A``."""
+
+    __slots__ = ("_thunk", "_forced", "_head", "_tail", "_empty")
+
+    def __init__(self, thunk: Callable[[], "tuple[A, LazyList[A]] | None"]) -> None:
+        self._thunk = thunk
+        self._forced = False
+        self._head: A | None = None
+        self._tail: LazyList[A] | None = None
+        self._empty = False
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "LazyList[A]":
+        cell: LazyList[A] = LazyList(lambda: None)
+        cell._forced = True
+        cell._empty = True
+        return cell
+
+    @staticmethod
+    def cons(head: A, tail: "LazyList[A]") -> "LazyList[A]":
+        cell: LazyList[A] = LazyList(lambda: None)
+        cell._forced = True
+        cell._head = head
+        cell._tail = tail
+        return cell
+
+    @staticmethod
+    def singleton(value: A) -> "LazyList[A]":
+        return LazyList.cons(value, LazyList.empty())
+
+    @staticmethod
+    def from_iterable(items: Iterable[A]) -> "LazyList[A]":
+        """Wrap an iterable lazily.  The iterable is consumed on demand
+        and the results are memoized, so one-shot iterators are safe."""
+        iterator = iter(items)
+
+        def suspend() -> "LazyList[A]":
+            def force() -> tuple[A, LazyList[A]] | None:
+                try:
+                    value = next(iterator)
+                except StopIteration:
+                    return None
+                return value, suspend()
+
+            return LazyList(force)
+
+        return suspend()
+
+    @staticmethod
+    def defer(make: Callable[[], "LazyList[A]"]) -> "LazyList[A]":
+        """Suspend the *construction* of a lazy list."""
+
+        def force() -> tuple[A, LazyList[A]] | None:
+            inner = make()
+            if inner.is_empty():
+                return None
+            return inner.head(), inner.tail()
+
+        return LazyList(force)
+
+    # -- forcing ---------------------------------------------------------------
+
+    def _force(self) -> None:
+        if self._forced:
+            return
+        result = self._thunk()
+        self._forced = True
+        self._thunk = lambda: None  # drop the closure for gc
+        if result is None:
+            self._empty = True
+        else:
+            self._head, self._tail = result
+
+    def is_empty(self) -> bool:
+        self._force()
+        return self._empty
+
+    def head(self) -> A:
+        self._force()
+        if self._empty:
+            raise IndexError("head of empty LazyList")
+        return self._head  # type: ignore[return-value]
+
+    def tail(self) -> "LazyList[A]":
+        self._force()
+        if self._empty:
+            raise IndexError("tail of empty LazyList")
+        assert self._tail is not None
+        return self._tail
+
+    # -- consumers ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[A]:
+        node = self
+        while not node.is_empty():
+            yield node.head()
+            node = node.tail()
+
+    def take(self, n: int) -> list[A]:
+        out: list[A] = []
+        node = self
+        while n > 0 and not node.is_empty():
+            out.append(node.head())
+            node = node.tail()
+            n -= 1
+        return out
+
+    def to_list(self) -> list[A]:
+        return list(self)
+
+    # -- combinators ---------------------------------------------------------------
+
+    def append(self, other: "LazyList[A]") -> "LazyList[A]":
+        def force() -> tuple[A, LazyList[A]] | None:
+            if self.is_empty():
+                if other.is_empty():
+                    return None
+                return other.head(), other.tail()
+            return self.head(), self.tail().append(other)
+
+        return LazyList(force)
+
+    def map(self, f: Callable[[A], B]) -> "LazyList[B]":
+        def force() -> tuple[B, LazyList[B]] | None:
+            if self.is_empty():
+                return None
+            return f(self.head()), self.tail().map(f)
+
+        return LazyList(force)
+
+    def filter(self, keep: Callable[[A], bool]) -> "LazyList[A]":
+        def force() -> tuple[A, LazyList[A]] | None:
+            node = self
+            while not node.is_empty():
+                if keep(node.head()):
+                    return node.head(), node.tail().filter(keep)
+                node = node.tail()
+            return None
+
+        return LazyList(force)
+
+    def interleave(self, other: "LazyList[A]") -> "LazyList[A]":
+        """Fair merge: alternate elements (New et al.'s fair
+        enumeration, used by the fair-enumeration extension)."""
+
+        def force() -> tuple[A, LazyList[A]] | None:
+            if self.is_empty():
+                if other.is_empty():
+                    return None
+                return other.head(), other.tail()
+            return self.head(), other.interleave(self.tail())
+
+        return LazyList(force)
+
+    @staticmethod
+    def concat(lists: "list[LazyList[A]]") -> "LazyList[A]":
+        acc = LazyList.empty()
+        for ll in reversed(lists):
+            acc = ll.append(acc)
+        return acc

@@ -1,0 +1,112 @@
+"""Three-valued checker results: ``option bool`` (Section 2).
+
+A derived checker returns one of three values:
+
+* :data:`SOME_TRUE` — the relation definitely holds;
+* :data:`SOME_FALSE` — the relation definitely does not hold;
+* :data:`NONE_OB` — out of fuel; a larger size parameter is needed.
+
+This module also provides the paper's combinators on that type: the
+optional conjunction ``.&&`` (:func:`and_then`), negation ``~``
+(:func:`negate`), and the :func:`backtracking` combinator used to try
+each constructor handler in turn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+
+class OptionBool:
+    """One of the three checker outcomes; use the module singletons."""
+
+    __slots__ = ("_tag",)
+    _instances: dict[str, "OptionBool"] = {}
+
+    def __new__(cls, tag: str) -> "OptionBool":
+        existing = cls._instances.get(tag)
+        if existing is not None:
+            return existing
+        obj = super().__new__(cls)
+        obj._tag = tag
+        cls._instances[tag] = obj
+        return obj
+
+    @property
+    def tag(self) -> str:
+        return self._tag
+
+    @property
+    def is_true(self) -> bool:
+        return self._tag == "some_true"
+
+    @property
+    def is_false(self) -> bool:
+        return self._tag == "some_false"
+
+    @property
+    def is_none(self) -> bool:
+        return self._tag == "none"
+
+    def __repr__(self) -> str:
+        return {
+            "some_true": "Some true",
+            "some_false": "Some false",
+            "none": "None",
+        }[self._tag]
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "OptionBool is three-valued; use .is_true / .is_false / .is_none"
+        )
+
+
+SOME_TRUE = OptionBool("some_true")
+SOME_FALSE = OptionBool("some_false")
+NONE_OB = OptionBool("none")
+
+
+def from_bool(b: bool) -> OptionBool:
+    return SOME_TRUE if b else SOME_FALSE
+
+
+def and_then(a: OptionBool, b: Callable[[], OptionBool]) -> OptionBool:
+    """The paper's ``.&&``:  short-circuiting optional conjunction.
+
+        a .&& b = match a with
+                  | Some false => Some false
+                  | None       => None
+                  | Some true  => b
+    """
+    if a.is_false:
+        return SOME_FALSE
+    if a.is_none:
+        return NONE_OB
+    return b()
+
+
+def negate(a: OptionBool) -> OptionBool:
+    """The paper's ``~``: swaps the definite answers, keeps ``None``."""
+    if a.is_true:
+        return SOME_FALSE
+    if a.is_false:
+        return SOME_TRUE
+    return NONE_OB
+
+
+def backtracking(options: Iterable[Callable[[], OptionBool]]) -> OptionBool:
+    """Try thunked checker options in order (Section 2 / Algorithm 1).
+
+    Specification (Section 5.2): returns ``Some true`` iff some option
+    does; ``Some false`` iff all options do; ``None`` otherwise.
+    Options are thunked to avoid unnecessary evaluation, and evaluation
+    stops at the first ``Some true``.
+    """
+    saw_none = False
+    for option in options:
+        result = option()
+        if result.is_true:
+            return SOME_TRUE
+        if result.is_none:
+            saw_none = True
+    return NONE_OB if saw_none else SOME_FALSE

@@ -1,0 +1,34 @@
+"""Shared outcome markers for producers.
+
+Producers work on ``option A`` (Section 4): besides proper values they
+can signal two distinct kinds of non-value:
+
+* :data:`FAIL` — this producer has *no* inhabitant to offer
+  (``failE`` / ``failG``); and
+* :data:`OUT_OF_FUEL` — the producer ran out of fuel before it could
+  decide (``fuelE`` / ``fuelG``); a larger size might produce more.
+
+Keeping the two apart is what makes derived computations *complete*:
+``FAIL`` is definitive, ``OUT_OF_FUEL`` is not (compare ``Some false``
+vs ``None`` for checkers).
+"""
+
+from __future__ import annotations
+
+
+class _Marker:
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+FAIL = _Marker("FAIL")
+OUT_OF_FUEL = _Marker("OUT_OF_FUEL")
+
+
+def is_value(x: object) -> bool:
+    return x is not FAIL and x is not OUT_OF_FUEL

@@ -1,0 +1,86 @@
+"""Set-of-outcomes semantics for producers (Section 5.1).
+
+The paper reasons about producers *possibilistically*: ``[prod]_s`` is
+the set of values a producer can yield at size ``s``, and
+``[prod] = ⋃_s [prod]_s``.  Enumerator outcome sets are computed
+exactly; generator outcome sets are approximated by sampling.  The
+helpers here state the producer laws as reusable predicates — the
+validation layer and the property-based tests both use them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable
+
+from .enumerators import Enumerator
+from .generators import Generator
+from .outcome import OUT_OF_FUEL, is_value
+
+
+def enum_outcomes(enum: Enumerator, size: int) -> set[Any]:
+    """``[e]_size`` for an enumerator: exact."""
+    return enum.outcomes(size)
+
+
+def enum_outcomes_upto(enum: Enumerator, max_size: int) -> set[Any]:
+    """``⋃_{s ≤ max} [e]_s`` — the bounded unrolling of ``[e]``."""
+    out: set[Any] = set()
+    for s in range(max_size + 1):
+        out |= enum.outcomes(s)
+    return out
+
+
+def gen_outcomes(
+    gen: Generator, size: int, samples: int = 500, seed: int | None = 0
+) -> set[Any]:
+    """Sampled approximation of ``[g]_size`` for a generator."""
+    rng = random.Random(seed)
+    return {x for x in (gen.run(size, rng) for _ in range(samples)) if is_value(x)}
+
+
+def size_monotonic(
+    enum: Enumerator, sizes: Iterable[int]
+) -> tuple[bool, tuple[int, int] | None]:
+    """Check ``s1 ≤ s2 → [e]_s1 ⊆ [e]_s2`` along the given size chain;
+    returns (ok, offending pair)."""
+    previous: set[Any] | None = None
+    previous_size: int | None = None
+    for s in sorted(sizes):
+        current = enum.outcomes(s)
+        if previous is not None and not previous <= current:
+            return False, (previous_size, s)  # type: ignore[return-value]
+        previous, previous_size = current, s
+    return True, None
+
+
+def sound_for(
+    enum: Enumerator, size: int, holds: Callable[[Any], bool]
+) -> list[Any]:
+    """Values in ``[e]_size`` violating *holds* (empty = sound)."""
+    return [x for x in enum.outcomes(size) if not holds(x)]
+
+
+def complete_for(
+    enum: Enumerator, size: int, witnesses: Iterable[Any]
+) -> list[Any]:
+    """Witnesses missing from ``[e]_size`` (meaningful when the
+    enumeration at *size* is exhaustive — no fuel marker)."""
+    outcomes = enum.outcomes(size)
+    return [w for w in witnesses if w not in outcomes]
+
+
+def gen_within_enum(
+    gen: Generator,
+    enum: Enumerator,
+    size: int,
+    samples: int = 300,
+    seed: int | None = 0,
+) -> list[Any]:
+    """Generator/enumerator coherence: sampled generator outcomes that
+    the enumerator cannot produce at the same size (empty = coherent).
+    Derived producers share one schedule, so this should always be
+    empty — it is the cross-backend law the paper's unification
+    implies."""
+    allowed = enum.outcomes(size)
+    return [x for x in gen_outcomes(gen, size, samples, seed) if x not in allowed]

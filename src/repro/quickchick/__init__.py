@@ -1,0 +1,21 @@
+"""QuickChick-style property-based testing substrate."""
+
+from .mutation import MutationCell, Mutant, mean_tests_to_failure
+from .property import DISCARD, FAILED, PASS, Property, TestCase, for_all, implies
+from .runner import CheckReport, expect_failure, quick_check
+
+__all__ = [
+    "CheckReport",
+    "DISCARD",
+    "FAILED",
+    "Mutant",
+    "MutationCell",
+    "PASS",
+    "Property",
+    "TestCase",
+    "expect_failure",
+    "for_all",
+    "implies",
+    "mean_tests_to_failure",
+    "quick_check",
+]

@@ -1,0 +1,93 @@
+"""Properties: the testable units of the QuickChick-style runner.
+
+A property is a function from a size and an RNG to a single
+:class:`TestCase` outcome: pass, fail (with a counterexample), or
+discard (the generator failed to produce an input, or a precondition
+was not met).  ``for_all`` builds one from a generator and a predicate;
+predicates may return ``bool``, :class:`OptionBool` (``None`` counts as
+a discard), or ``None`` (discard).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..producers.option_bool import OptionBool
+from ..producers.outcome import FAIL, OUT_OF_FUEL, is_value
+
+PASS = "pass"
+FAILED = "fail"
+DISCARD = "discard"
+
+
+@dataclass
+class TestCase:
+    status: str
+    input: Any = None
+    detail: str = ""
+
+
+class Property:
+    """A named, runnable property."""
+
+    def __init__(
+        self, run: Callable[[int, random.Random], TestCase], name: str = "property"
+    ) -> None:
+        self._run = run
+        self.name = name
+
+    def run(self, size: int, rng: random.Random) -> TestCase:
+        return self._run(size, rng)
+
+
+def _judge(verdict: Any, value: Any) -> TestCase:
+    if verdict is None:
+        return TestCase(DISCARD, value)
+    if isinstance(verdict, OptionBool):
+        if verdict.is_true:
+            return TestCase(PASS, value)
+        if verdict.is_false:
+            return TestCase(FAILED, value)
+        return TestCase(DISCARD, value, "checker out of fuel")
+    if isinstance(verdict, TestCase):
+        return verdict
+    if isinstance(verdict, bool):
+        return TestCase(PASS if verdict else FAILED, value)
+    raise TypeError(f"property returned {verdict!r}; expected bool/OptionBool")
+
+
+def for_all(
+    gen: Callable[[int, random.Random], Any],
+    predicate: Callable[[Any], Any],
+    name: str = "property",
+) -> Property:
+    """∀ x drawn from *gen*, *predicate* x.
+
+    *gen* follows the producer convention: it may return ``FAIL`` or
+    ``OUT_OF_FUEL``, which count as discards.
+    """
+
+    def run(size: int, rng: random.Random) -> TestCase:
+        value = gen(size, rng)
+        if not is_value(value):
+            return TestCase(
+                DISCARD,
+                None,
+                "generator fuel exhausted" if value is OUT_OF_FUEL else "generator failed",
+            )
+        return _judge(predicate(value), value)
+
+    return Property(run, name)
+
+
+def implies(precondition: Callable[[Any], bool], predicate: Callable[[Any], Any]):
+    """QuickCheck's ``==>``: discard inputs failing the precondition."""
+
+    def judged(value: Any) -> Any:
+        if not precondition(value):
+            return None
+        return predicate(value)
+
+    return judged

@@ -1,0 +1,95 @@
+"""The test runner: QuickChick's main loop, with throughput stats.
+
+``quick_check`` runs a property for a number of tests (or until a
+failure), tracking discards and wall-clock time; its report carries
+``tests_per_second`` — the metric of the paper's Figure 3 — and
+``tests_to_failure`` — the metric of the mutation study (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from .property import DISCARD, FAILED, PASS, Property
+
+
+@dataclass
+class CheckReport:
+    property_name: str
+    tests_run: int = 0
+    discards: int = 0
+    failed: bool = False
+    counterexample: object = None
+    elapsed_seconds: float = 0.0
+    gave_up: bool = False
+
+    @property
+    def tests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.tests_run / self.elapsed_seconds
+
+    @property
+    def tests_to_failure(self) -> int | None:
+        return self.tests_run if self.failed else None
+
+    def __str__(self) -> str:
+        if self.failed:
+            return (
+                f"*** Failed after {self.tests_run} tests and "
+                f"{self.discards} discards\n{self.counterexample}"
+            )
+        if self.gave_up:
+            return (
+                f"*** Gave up after {self.discards} discards "
+                f"({self.tests_run} tests)"
+            )
+        return (
+            f"+++ Passed {self.tests_run} tests "
+            f"({self.discards} discards; "
+            f"{self.tests_per_second:,.0f} tests/s)"
+        )
+
+
+def quick_check(
+    prop: Property,
+    num_tests: int = 1000,
+    size: int = 5,
+    seed: int | None = None,
+    max_discard_ratio: int = 10,
+    stop_on_failure: bool = True,
+) -> CheckReport:
+    """Run *prop* up to *num_tests* times at the given *size*."""
+    rng = random.Random(seed)
+    report = CheckReport(property_name=prop.name)
+    max_discards = max_discard_ratio * num_tests
+    start = time.perf_counter()
+    while report.tests_run < num_tests:
+        case = prop.run(size, rng)
+        if case.status == DISCARD:
+            report.discards += 1
+            if report.discards > max_discards:
+                report.gave_up = True
+                break
+            continue
+        report.tests_run += 1
+        if case.status == FAILED:
+            report.failed = True
+            report.counterexample = case.input
+            if stop_on_failure:
+                break
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def expect_failure(
+    prop: Property,
+    num_tests: int = 10000,
+    size: int = 5,
+    seed: int | None = None,
+) -> CheckReport:
+    """Run until the property fails (used by the mutation benches);
+    ``gave_up``/non-failure means the mutant escaped."""
+    return quick_check(prop, num_tests=num_tests, size=size, seed=seed)

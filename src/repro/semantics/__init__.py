@@ -1,0 +1,21 @@
+"""Reference semantics: derivation trees and bounded proof search."""
+
+from .derivation import Derivation, build_derivation, check_derivation
+from .proof_search import (
+    FlounderError,
+    SearchConfig,
+    derivable,
+    search_derivation,
+    solutions,
+)
+
+__all__ = [
+    "Derivation",
+    "FlounderError",
+    "SearchConfig",
+    "build_derivation",
+    "check_derivation",
+    "derivable",
+    "search_derivation",
+    "solutions",
+]

@@ -1,0 +1,146 @@
+"""Derivation trees: explicit proof objects for inductive relations.
+
+A :class:`Derivation` witnesses ``P v1 .. vn`` the way a Coq proof term
+does: it names the rule used, gives values for the rule's universally
+quantified variables, and carries sub-derivations for the rule's
+relational premises.  :func:`check_derivation` is the proof checker —
+the analogue of Coq's kernel typechecking a proof term, and the
+baseline against which proof by reflection is measured (Section 6.3).
+
+Negated premises cannot be witnessed by a finite tree; they are
+verified at checking time by bounded refutation through the reference
+proof search (the checker takes a ``neg_depth`` budget and reports
+``None``/unknown if refutation is inconclusive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.context import Context
+from ..core.errors import ValidationError
+from ..core.relations import EqPremise, Relation, RelPremise
+from ..core.terms import evaluate, try_evaluate
+from ..core.values import Value
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A proof tree for ``rel v1 .. vn``."""
+
+    rel: str
+    rule: str
+    # Values for every universally quantified variable of the rule.
+    binding: Mapping[str, Value]
+    # One sub-derivation per (non-negated) relational premise, in order.
+    premises: tuple["Derivation", ...] = ()
+
+    def size(self) -> int:
+        """Number of rule applications — the "proof term size" metric
+        of the reflection benchmark."""
+        return 1 + sum(p.size() for p in self.premises)
+
+    def height(self) -> int:
+        if not self.premises:
+            return 1
+        return 1 + max(p.height() for p in self.premises)
+
+    def conclusion_values(self, ctx: Context) -> tuple[Value, ...]:
+        rel = ctx.relations.get(self.rel)
+        rule = rel.rule(self.rule)
+        return tuple(evaluate(t, self.binding, ctx) for t in rule.conclusion)
+
+    def __str__(self) -> str:
+        return self._render(0)
+
+    def _render(self, indent: int) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.rel}.{self.rule}"]
+        for p in self.premises:
+            lines.append(p._render(indent + 1))
+        return "\n".join(lines)
+
+
+def check_derivation(
+    ctx: Context,
+    tree: Derivation,
+    expected: tuple[Value, ...] | None = None,
+    neg_depth: int = 32,
+) -> bool:
+    """Check that *tree* is a well-formed derivation (optionally of the
+    given *expected* conclusion).
+
+    Raises :class:`ValidationError` with a description of the first
+    defect; returns True otherwise.  Negated relational premises are
+    discharged by bounded refutation with budget *neg_depth*.
+    """
+    rel = ctx.relations.get(tree.rel)
+    rule = rel.rule(tree.rule)
+
+    missing = rule.variables() - set(tree.binding)
+    if missing:
+        raise ValidationError(
+            f"{tree.rel}.{tree.rule}: binding misses variables {sorted(missing)}"
+        )
+
+    conclusion = tuple(evaluate(t, tree.binding, ctx) for t in rule.conclusion)
+    if expected is not None and conclusion != expected:
+        raise ValidationError(
+            f"{tree.rel}.{tree.rule}: concludes {conclusion}, expected {expected}"
+        )
+
+    positive = [
+        p for p in rule.premises if isinstance(p, RelPremise) and not p.negated
+    ]
+    if len(positive) != len(tree.premises):
+        raise ValidationError(
+            f"{tree.rel}.{tree.rule}: {len(tree.premises)} sub-derivations for "
+            f"{len(positive)} positive relational premises"
+        )
+
+    sub_iter = iter(tree.premises)
+    for premise in rule.premises:
+        if isinstance(premise, EqPremise):
+            lhs = try_evaluate(premise.lhs, tree.binding, ctx)
+            rhs = try_evaluate(premise.rhs, tree.binding, ctx)
+            if lhs is None or rhs is None:
+                raise ValidationError(
+                    f"{tree.rel}.{tree.rule}: equality premise {premise} "
+                    "does not evaluate"
+                )
+            holds = lhs == rhs
+            if holds == premise.negated:
+                raise ValidationError(
+                    f"{tree.rel}.{tree.rule}: equality premise {premise} "
+                    f"fails ({lhs} vs {rhs})"
+                )
+            continue
+        args = tuple(evaluate(t, tree.binding, ctx) for t in premise.args)
+        if premise.negated:
+            from .proof_search import derivable
+
+            if derivable(ctx, premise.rel, args, neg_depth):
+                raise ValidationError(
+                    f"{tree.rel}.{tree.rule}: negated premise {premise} "
+                    "is actually derivable"
+                )
+            continue
+        sub = next(sub_iter)
+        if sub.rel != premise.rel:
+            raise ValidationError(
+                f"{tree.rel}.{tree.rule}: sub-derivation proves {sub.rel!r}, "
+                f"premise needs {premise.rel!r}"
+            )
+        check_derivation(ctx, sub, expected=args, neg_depth=neg_depth)
+    return True
+
+
+def build_derivation(
+    ctx: Context, rel_name: str, args: tuple[Value, ...], depth: int
+) -> Derivation | None:
+    """Construct a derivation of ``rel args`` of height at most
+    *depth* via the reference proof search, or ``None``."""
+    from .proof_search import search_derivation
+
+    return search_derivation(ctx, rel_name, args, depth)

@@ -1,0 +1,25 @@
+"""The Software Foundations relation corpus (Section 6.1 / Table 1)."""
+
+from .registry import (
+    CHAPTER_MODULES,
+    Chapter,
+    CorpusEntry,
+    Table1Row,
+    census_relation,
+    format_table1,
+    load_chapter,
+    load_corpus,
+    table1,
+)
+
+__all__ = [
+    "CHAPTER_MODULES",
+    "Chapter",
+    "CorpusEntry",
+    "Table1Row",
+    "census_relation",
+    "format_table1",
+    "load_chapter",
+    "load_corpus",
+    "table1",
+]

@@ -1,0 +1,105 @@
+"""LF, chapter *Imp* — the IMP imperative language.
+
+Arithmetic and boolean expressions, commands, and the three evaluation
+relations (``aevalR``, ``bevalR``, ``cevalR``).  Following the paper's
+single global change for Software Foundations, program states are
+association lists ``list (prod nat nat)`` instead of total maps
+(functions): variable lookup becomes the inductive ``lookup_st`` with a
+default-0 rule, and assignment conses a binding.
+
+``cevalR`` exercises the hard features: an existential intermediate
+state in ``E_Seq``, and nontermination through ``E_WhileTrue`` (the
+derived checker is necessarily partial — exactly why checkers return
+``option bool``).
+"""
+
+VOLUME = "LF"
+CHAPTER = "Imp"
+
+DECLARATIONS = """
+Inductive aexp : Type :=
+| ANum : nat -> aexp
+| AId : nat -> aexp
+| APlus : aexp -> aexp -> aexp
+| AMinus : aexp -> aexp -> aexp
+| AMult : aexp -> aexp -> aexp.
+
+Inductive bexp : Type :=
+| BTrue : bexp
+| BFalse : bexp
+| BEq : aexp -> aexp -> bexp
+| BLe : aexp -> aexp -> bexp
+| BNot : bexp -> bexp
+| BAnd : bexp -> bexp -> bexp.
+
+Inductive com : Type :=
+| CSkip : com
+| CAss : nat -> aexp -> com
+| CSeq : com -> com -> com
+| CIf : bexp -> com -> com -> com
+| CWhile : bexp -> com -> com.
+
+(* Association-list states with total-map semantics (default 0). *)
+Inductive lookup_st : list (prod nat nat) -> nat -> nat -> Prop :=
+| lk_nil : forall x, lookup_st [] x 0
+| lk_here : forall x v st, lookup_st ((x, v) :: st) x v
+| lk_later : forall x y v w st,
+    x <> y -> lookup_st st x v -> lookup_st ((y, w) :: st) x v.
+
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive aevalR : list (prod nat nat) -> aexp -> nat -> Prop :=
+| E_ANum : forall st n, aevalR st (ANum n) n
+| E_AId : forall st x v, lookup_st st x v -> aevalR st (AId x) v
+| E_APlus : forall st a1 a2 n1 n2,
+    aevalR st a1 n1 -> aevalR st a2 n2 ->
+    aevalR st (APlus a1 a2) (n1 + n2)
+| E_AMinus : forall st a1 a2 n1 n2,
+    aevalR st a1 n1 -> aevalR st a2 n2 ->
+    aevalR st (AMinus a1 a2) (n1 - n2)
+| E_AMult : forall st a1 a2 n1 n2,
+    aevalR st a1 n1 -> aevalR st a2 n2 ->
+    aevalR st (AMult a1 a2) (n1 * n2).
+
+Inductive bevalR : list (prod nat nat) -> bexp -> bool -> Prop :=
+| E_BTrue : forall st, bevalR st BTrue true
+| E_BFalse : forall st, bevalR st BFalse false
+| E_BEqT : forall st a1 a2 n,
+    aevalR st a1 n -> aevalR st a2 n -> bevalR st (BEq a1 a2) true
+| E_BEqF : forall st a1 a2 n1 n2,
+    aevalR st a1 n1 -> aevalR st a2 n2 -> n1 <> n2 ->
+    bevalR st (BEq a1 a2) false
+| E_BLeT : forall st a1 a2 n1 n2,
+    aevalR st a1 n1 -> aevalR st a2 n2 -> le n1 n2 ->
+    bevalR st (BLe a1 a2) true
+| E_BLeF : forall st a1 a2 n1 n2,
+    aevalR st a1 n1 -> aevalR st a2 n2 -> le (S n2) n1 ->
+    bevalR st (BLe a1 a2) false
+| E_BNot : forall st b v,
+    bevalR st b v -> bevalR st (BNot b) (negb v)
+| E_BAnd : forall st b1 b2 v1 v2,
+    bevalR st b1 v1 -> bevalR st b2 v2 ->
+    bevalR st (BAnd b1 b2) (andb v1 v2).
+
+Inductive cevalR : com -> list (prod nat nat) -> list (prod nat nat) -> Prop :=
+| E_Skip : forall st, cevalR CSkip st st
+| E_Ass : forall st x a n,
+    aevalR st a n -> cevalR (CAss x a) st ((x, n) :: st)
+| E_Seq : forall c1 c2 st st1 st2,
+    cevalR c1 st st1 -> cevalR c2 st1 st2 -> cevalR (CSeq c1 c2) st st2
+| E_IfTrue : forall b c1 c2 st st1,
+    bevalR st b true -> cevalR c1 st st1 -> cevalR (CIf b c1 c2) st st1
+| E_IfFalse : forall b c1 c2 st st1,
+    bevalR st b false -> cevalR c2 st st1 -> cevalR (CIf b c1 c2) st st1
+| E_WhileFalse : forall b c st,
+    bevalR st b false -> cevalR (CWhile b c) st st
+| E_WhileTrue : forall b c st st1 st2,
+    bevalR st b true -> cevalR c st st1 ->
+    cevalR (CWhile b c) st1 st2 -> cevalR (CWhile b c) st st2.
+"""
+
+HIGHER_ORDER = [
+    ("no_whiles_terminating", "statement quantifies over derivations"),
+]

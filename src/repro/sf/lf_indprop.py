@@ -1,0 +1,131 @@
+"""LF, chapter *Inductively Defined Propositions* (IndProp).
+
+The richest source of inductive relations in Logical Foundations:
+evenness (two formulations), ordering relations, the exercise
+relations (``total_relation``, ``empty_relation``, the three-place
+``R``), subsequences, regular-expression matching, palindromes, and
+the no-stutter / pigeonhole exercises.
+
+Out of scope (higher-order): ``reflect`` quantifies over propositions;
+the ``clos_refl_trans`` family and ``relation``-property definitions
+are parameterized by arbitrary binary relations (functions into Prop).
+"""
+
+VOLUME = "LF"
+CHAPTER = "IndProp"
+
+DECLARATIONS = """
+(* Evenness, the canonical first example. *)
+Inductive ev : nat -> Prop :=
+| ev_0 : ev 0
+| ev_SS : forall n, ev n -> ev (S (S n)).
+
+(* The alternative sum-based formulation (ev' in the book). *)
+Inductive evp : nat -> Prop :=
+| evp_0 : evp 0
+| evp_2 : evp 2
+| evp_sum : forall n m, evp n -> evp m -> evp (n + m).
+
+(* Ordering. *)
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive lt : nat -> nat -> Prop :=
+| lt_intro : forall n m, le (S n) m -> lt n m.
+
+(* Exercise relations. *)
+Inductive square_of : nat -> nat -> Prop :=
+| sq : forall n, square_of n (n * n).
+
+Inductive next_nat : nat -> nat -> Prop :=
+| nn : forall n, next_nat n (S n).
+
+Inductive next_ev : nat -> nat -> Prop :=
+| ne_1 : forall n, ev (S n) -> next_ev n (S n)
+| ne_2 : forall n, ev (S (S n)) -> next_ev n (S (S n)).
+
+Inductive total_relation : nat -> nat -> Prop :=
+| total : forall n m, total_relation n m.
+
+Inductive empty_relation : nat -> nat -> Prop :=
+| absurd : forall n, lt n n -> empty_relation n n.
+
+(* The three-place exercise relation R (R m n o <-> m + n = o). *)
+Inductive R : nat -> nat -> nat -> Prop :=
+| R_c1 : R 0 0 0
+| R_c2 : forall m n o, R m n o -> R (S m) n (S o)
+| R_c3 : forall m n o, R m n o -> R m (S n) (S o).
+
+(* Subsequences (note the non-linear sub_take pattern). *)
+Inductive subseq : list nat -> list nat -> Prop :=
+| sub_nil : forall l, subseq [] l
+| sub_take : forall x l1 l2, subseq l1 l2 -> subseq (x :: l1) (x :: l2)
+| sub_skip : forall x l1 l2, subseq l1 l2 -> subseq l1 (x :: l2).
+
+(* Regular expressions over nat, and the matching relation. *)
+Inductive reg_exp : Type :=
+| EmptySet : reg_exp
+| EmptyStr : reg_exp
+| RChar : nat -> reg_exp
+| RApp : reg_exp -> reg_exp -> reg_exp
+| RUnion : reg_exp -> reg_exp -> reg_exp
+| RStar : reg_exp -> reg_exp.
+
+Inductive exp_match : list nat -> reg_exp -> Prop :=
+| MEmpty : exp_match [] EmptyStr
+| MChar : forall x, exp_match [x] (RChar x)
+| MApp : forall s1 re1 s2 re2,
+    exp_match s1 re1 -> exp_match s2 re2 ->
+    exp_match (s1 ++ s2) (RApp re1 re2)
+| MUnionL : forall s1 re1 re2,
+    exp_match s1 re1 -> exp_match s1 (RUnion re1 re2)
+| MUnionR : forall s2 re1 re2,
+    exp_match s2 re2 -> exp_match s2 (RUnion re1 re2)
+| MStar0 : forall re, exp_match [] (RStar re)
+| MStarApp : forall s1 s2 re,
+    exp_match s1 re -> exp_match s2 (RStar re) ->
+    exp_match (s1 ++ s2) (RStar re).
+
+(* Palindromes (exercise pal_pal). *)
+Inductive pal : list nat -> Prop :=
+| pal_nil : pal []
+| pal_one : forall x, pal [x]
+| pal_app : forall x l, pal l -> pal (x :: l ++ [x]).
+
+(* nostutter (exercise; uses a disequality premise). *)
+Inductive nostutter : list nat -> Prop :=
+| ns_nil : nostutter []
+| ns_one : forall x, nostutter [x]
+| ns_cons : forall x y l,
+    x <> y -> nostutter (y :: l) -> nostutter (x :: y :: l).
+
+(* in_order_merge exercise: merge of two lists. *)
+Inductive merge : list nat -> list nat -> list nat -> Prop :=
+| merge_nil : merge [] [] []
+| merge_l : forall x l1 l2 l,
+    merge l1 l2 l -> merge (x :: l1) l2 (x :: l)
+| merge_r : forall x l1 l2 l,
+    merge l1 l2 l -> merge l1 (x :: l2) (x :: l).
+
+(* The pigeonhole principle's repeats. *)
+Inductive InNat : nat -> list nat -> Prop :=
+| In_here : forall x l, InNat x (x :: l)
+| In_there : forall x y l, InNat x l -> InNat x (y :: l).
+
+Inductive repeats : list nat -> Prop :=
+| rep_here : forall x l, InNat x l -> repeats (x :: l)
+| rep_later : forall x l, repeats l -> repeats (x :: l).
+
+Inductive NoDupNat : list nat -> Prop :=
+| nodup_nil : NoDupNat []
+| nodup_cons : forall x l,
+    ~ InNat x l -> NoDupNat l -> NoDupNat (x :: l).
+"""
+
+HIGHER_ORDER = [
+    ("reflect", "quantifies over an arbitrary proposition P : Prop"),
+    ("clos_refl_trans", "parameterized by an arbitrary relation R : X -> X -> Prop"),
+    ("clos_refl_trans_1n", "parameterized by an arbitrary relation"),
+    ("appears_in_fun", "relation over functions (exercise on higher-order data)"),
+]

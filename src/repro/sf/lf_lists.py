@@ -1,0 +1,67 @@
+"""LF, chapters *Lists*, *Poly*, and *Logic* — list-shaped relations.
+
+SF states most list facts as functions plus theorems; the inductive
+relations here are the chapter exercises that ask for relational
+characterizations (membership, ordering by indices, disjointness) plus
+the ``In``-style predicates the later chapters keep reusing,
+monomorphized at ``nat`` (the paper's derivations also operate on
+instantiated relations; see Relation.instantiate).
+
+Out of scope: ``All``/``Any`` over an arbitrary predicate ``P : A ->
+Prop`` and ``excluded_middle``-style statements quantify over
+propositions.
+"""
+
+VOLUME = "LF"
+CHAPTER = "Lists/Poly/Logic"
+
+DECLARATIONS = """
+Inductive In : nat -> list nat -> Prop :=
+| In_head : forall x l, In x (x :: l)
+| In_tail : forall x y l, In x l -> In x (y :: l).
+
+Inductive last_of : nat -> list nat -> Prop :=
+| last_one : forall x, last_of x [x]
+| last_more : forall x y l, last_of x l -> last_of x (y :: l).
+
+Inductive prefix_of : list nat -> list nat -> Prop :=
+| prefix_nil : forall l, prefix_of [] l
+| prefix_cons : forall x l1 l2,
+    prefix_of l1 l2 -> prefix_of (x :: l1) (x :: l2).
+
+Inductive suffix_of : list nat -> list nat -> Prop :=
+| suffix_here : forall l, suffix_of l l
+| suffix_later : forall x l1 l2, suffix_of l1 l2 -> suffix_of l1 (x :: l2).
+
+Inductive lenrel : list nat -> nat -> Prop :=
+| len_nil : lenrel [] 0
+| len_cons : forall x l n, lenrel l n -> lenrel (x :: l) (S n).
+
+Inductive apprel : list nat -> list nat -> list nat -> Prop :=
+| app_nil : forall l, apprel [] l l
+| app_cons : forall x l1 l2 l3,
+    apprel l1 l2 l3 -> apprel (x :: l1) l2 (x :: l3).
+
+Inductive revrel : list nat -> list nat -> Prop :=
+| rev_nil : revrel [] []
+| rev_cons : forall x l r,
+    revrel l r -> revrel (x :: l) (r ++ [x]).
+
+Inductive disjoint : list nat -> list nat -> Prop :=
+| disj_nil : forall l, disjoint [] l
+| disj_cons : forall x l1 l2,
+    ~ In x l2 -> disjoint l1 l2 -> disjoint (x :: l1) l2.
+
+Inductive count_rel : nat -> list nat -> nat -> Prop :=
+| count_nil : forall x, count_rel x [] 0
+| count_hit : forall x l n,
+    count_rel x l n -> count_rel x (x :: l) (S n)
+| count_miss : forall x y l n,
+    x <> y -> count_rel x l n -> count_rel x (y :: l) n.
+"""
+
+HIGHER_ORDER = [
+    ("All", "All P l quantifies over a predicate P : A -> Prop"),
+    ("Any", "quantifies over a predicate"),
+    ("combine_odd_even", "builds propositions from functions"),
+]

@@ -1,0 +1,51 @@
+"""LF, chapters *Rel* and *IndPrinciples* — relation-theoretic extras.
+
+The Rel chapter's content is mostly *properties of* relations
+(reflexivity, transitivity, …) stated over arbitrary ``relation X`` —
+higher-order, so out of scope.  What remains in scope are the concrete
+instances the chapter studies (``le``/``lt`` variants and ``clos_refl_
+trans`` instantiated at ``next_nat``) and IndPrinciples' tree/shape
+exercises.
+"""
+
+VOLUME = "LF"
+CHAPTER = "Rel/IndPrinciples"
+
+DECLARATIONS = """
+Inductive next_nat : nat -> nat -> Prop :=
+| nn : forall n, next_nat n (S n).
+
+(* clos_refl_trans next_nat, unfolded at the instance (the general
+   closure operator is higher-order). *)
+Inductive le_closure : nat -> nat -> Prop :=
+| lc_step : forall n m, next_nat n m -> le_closure n m
+| lc_refl : forall n, le_closure n n
+| lc_trans : forall n m o,
+    le_closure n m -> le_closure m o -> le_closure n o.
+
+Inductive ge : nat -> nat -> Prop :=
+| ge_n : forall n, ge n n
+| ge_S : forall n m, ge n m -> ge (S n) m.
+
+(* IndPrinciples: booltree and its well-formedness shape. *)
+Inductive booltree : Type :=
+| bt_empty : booltree
+| bt_leaf : bool -> booltree
+| bt_branch : bool -> booltree -> booltree -> booltree.
+
+Inductive btree_size : booltree -> nat -> Prop :=
+| bts_empty : btree_size bt_empty 0
+| bts_leaf : forall b, btree_size (bt_leaf b) 1
+| bts_branch : forall b t1 t2 n1 n2,
+    btree_size t1 n1 -> btree_size t2 n2 ->
+    btree_size (bt_branch b t1 t2) (S (n1 + n2)).
+"""
+
+HIGHER_ORDER = [
+    ("reflexive", "property of an arbitrary relation"),
+    ("transitive", "property of an arbitrary relation"),
+    ("antisymmetric", "property of an arbitrary relation"),
+    ("partial_function", "property of an arbitrary relation"),
+    ("equivalence", "conjunction of higher-order properties"),
+    ("order", "conjunction of higher-order properties"),
+]

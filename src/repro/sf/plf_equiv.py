@@ -1,0 +1,73 @@
+"""PLF, chapter *Equiv* — program equivalence.
+
+The equivalence notions themselves (``aequiv``/``bequiv``/``cequiv``)
+are universally quantified over states, hence out of scope; the
+chapter's in-scope inductive relations are ``var_not_used_in_aexp``
+and the HIMP extension (IMP plus a nondeterministic ``HAVOC``).
+"""
+
+VOLUME = "PLF"
+CHAPTER = "Equiv"
+
+DECLARATIONS = """
+Inductive aexp : Type :=
+| ANum : nat -> aexp
+| AId : nat -> aexp
+| APlus : aexp -> aexp -> aexp
+| AMinus : aexp -> aexp -> aexp
+| AMult : aexp -> aexp -> aexp.
+
+Inductive var_not_used_in_aexp : nat -> aexp -> Prop :=
+| VNUNum : forall x n, var_not_used_in_aexp x (ANum n)
+| VNUId : forall x y, x <> y -> var_not_used_in_aexp x (AId y)
+| VNUPlus : forall x a1 a2,
+    var_not_used_in_aexp x a1 -> var_not_used_in_aexp x a2 ->
+    var_not_used_in_aexp x (APlus a1 a2)
+| VNUMinus : forall x a1 a2,
+    var_not_used_in_aexp x a1 -> var_not_used_in_aexp x a2 ->
+    var_not_used_in_aexp x (AMinus a1 a2)
+| VNUMult : forall x a1 a2,
+    var_not_used_in_aexp x a1 -> var_not_used_in_aexp x a2 ->
+    var_not_used_in_aexp x (AMult a1 a2).
+
+(* HIMP: IMP plus HAVOC (nondeterministic assignment). *)
+Inductive hcom : Type :=
+| HSkip : hcom
+| HAss : nat -> aexp -> hcom
+| HSeq : hcom -> hcom -> hcom
+| HHavoc : nat -> hcom.
+
+Inductive lookup_st : list (prod nat nat) -> nat -> nat -> Prop :=
+| lk_nil : forall x, lookup_st [] x 0
+| lk_here : forall x v st, lookup_st ((x, v) :: st) x v
+| lk_later : forall x y v w st,
+    x <> y -> lookup_st st x v -> lookup_st ((y, w) :: st) x v.
+
+Inductive haevalR : list (prod nat nat) -> aexp -> nat -> Prop :=
+| HE_ANum : forall st n, haevalR st (ANum n) n
+| HE_AId : forall st x v, lookup_st st x v -> haevalR st (AId x) v
+| HE_APlus : forall st a1 a2 n1 n2,
+    haevalR st a1 n1 -> haevalR st a2 n2 ->
+    haevalR st (APlus a1 a2) (n1 + n2)
+| HE_AMinus : forall st a1 a2 n1 n2,
+    haevalR st a1 n1 -> haevalR st a2 n2 ->
+    haevalR st (AMinus a1 a2) (n1 - n2)
+| HE_AMult : forall st a1 a2 n1 n2,
+    haevalR st a1 n1 -> haevalR st a2 n2 ->
+    haevalR st (AMult a1 a2) (n1 * n2).
+
+Inductive hceval : hcom -> list (prod nat nat) -> list (prod nat nat) -> Prop :=
+| HE_Skip : forall st, hceval HSkip st st
+| HE_Ass : forall st x a n,
+    haevalR st a n -> hceval (HAss x a) st ((x, n) :: st)
+| HE_Seq : forall c1 c2 st st1 st2,
+    hceval c1 st st1 -> hceval c2 st1 st2 -> hceval (HSeq c1 c2) st st2
+| HE_Havoc : forall st x n, hceval (HHavoc x) st ((x, n) :: st).
+"""
+
+HIGHER_ORDER = [
+    ("aequiv", "forall st, aeval st a1 = aeval st a2 — quantifies over all states"),
+    ("bequiv", "quantifies over all states"),
+    ("cequiv", "quantifies over all states and both evaluation directions"),
+    ("ctrans_sound", "quantifies over transformations (functions)"),
+]

@@ -1,0 +1,60 @@
+"""PLF, chapters *Hoare* / *Hoare2* — Hoare logic.
+
+Assertions are functions ``state -> Prop``, so the central
+``hoare_proof`` relation and the decorated-programs machinery are
+higher-order and out of scope — exactly the class the paper excludes.
+In scope: the syntactic side conditions the chapters define
+inductively.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "Hoare"
+
+DECLARATIONS = """
+Inductive aexp : Type :=
+| ANum : nat -> aexp
+| AId : nat -> aexp
+| APlus : aexp -> aexp -> aexp
+| AMinus : aexp -> aexp -> aexp
+| AMult : aexp -> aexp -> aexp.
+
+Inductive bexp : Type :=
+| BTrue : bexp
+| BFalse : bexp
+| BEq : aexp -> aexp -> bexp
+| BLe : aexp -> aexp -> bexp
+| BNot : bexp -> bexp
+| BAnd : bexp -> bexp -> bexp.
+
+Inductive com : Type :=
+| CSkip : com
+| CAss : nat -> aexp -> com
+| CSeq : com -> com -> com
+| CIf : bexp -> com -> com -> com
+| CWhile : bexp -> com -> com.
+
+(* Syntactic "is a while-free program" (used by the chapter to argue
+   termination side conditions). *)
+Inductive while_free : com -> Prop :=
+| wf_skip : while_free CSkip
+| wf_ass : forall x a, while_free (CAss x a)
+| wf_seq : forall c1 c2,
+    while_free c1 -> while_free c2 -> while_free (CSeq c1 c2)
+| wf_if : forall b c1 c2,
+    while_free c1 -> while_free c2 -> while_free (CIf b c1 c2).
+
+(* Variables assigned by a command (modifies-set, exercise). *)
+Inductive assigns : com -> nat -> Prop :=
+| asg_ass : forall x a, assigns (CAss x a) x
+| asg_seq1 : forall c1 c2 x, assigns c1 x -> assigns (CSeq c1 c2) x
+| asg_seq2 : forall c1 c2 x, assigns c2 x -> assigns (CSeq c1 c2) x
+| asg_if1 : forall b c1 c2 x, assigns c1 x -> assigns (CIf b c1 c2) x
+| asg_if2 : forall b c1 c2 x, assigns c2 x -> assigns (CIf b c1 c2) x
+| asg_while : forall b c x, assigns c x -> assigns (CWhile b c) x.
+"""
+
+HIGHER_ORDER = [
+    ("hoare_proof", "pre/postconditions are assertions state -> Prop"),
+    ("dcom_correct", "decorated programs embed assertions"),
+    ("valid_hoare_triple", "quantifies over states and assertions"),
+]

@@ -1,0 +1,216 @@
+"""PLF, chapter *MoreStlc* — the extended STLC (STLCExtended).
+
+Numbers, sums, products, unit, let, and lists, with the full
+substitution relation, value predicate, small-step semantics, and the
+~30-constructor typing relation.  The single largest stress test for
+the derivation algorithm in the corpus.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "MoreStlc"
+
+DECLARATIONS = """
+Inductive ty : Type :=
+| TyArrow : ty -> ty -> ty
+| TyNat : ty
+| TySum : ty -> ty -> ty
+| TyList : ty -> ty
+| TyUnit : ty
+| TyProd : ty -> ty -> ty.
+
+Inductive tm : Type :=
+| xvar : nat -> tm
+| xapp : tm -> tm -> tm
+| xabs : nat -> ty -> tm -> tm
+| xconst : nat -> tm
+| xsucc : tm -> tm
+| xpred : tm -> tm
+| xmult : tm -> tm -> tm
+| xif0 : tm -> tm -> tm -> tm
+| xinl : ty -> tm -> tm
+| xinr : ty -> tm -> tm
+| xcase : tm -> nat -> tm -> nat -> tm -> tm
+| xnil : ty -> tm
+| xcons : tm -> tm -> tm
+| xlcase : tm -> tm -> nat -> nat -> tm -> tm
+| xunit : tm
+| xpair : tm -> tm -> tm
+| xfst : tm -> tm
+| xsnd : tm -> tm
+| xlet : nat -> tm -> tm -> tm.
+
+Inductive xvalue : tm -> Prop :=
+| xv_abs : forall x T t, xvalue (xabs x T t)
+| xv_const : forall n, xvalue (xconst n)
+| xv_inl : forall T v, xvalue v -> xvalue (xinl T v)
+| xv_inr : forall T v, xvalue v -> xvalue (xinr T v)
+| xv_nil : forall T, xvalue (xnil T)
+| xv_cons : forall v1 v2, xvalue v1 -> xvalue v2 -> xvalue (xcons v1 v2)
+| xv_unit : xvalue xunit
+| xv_pair : forall v1 v2, xvalue v1 -> xvalue v2 -> xvalue (xpair v1 v2).
+
+(* Relational substitution  xsubst s x t t' :  [x := s] t = t'. *)
+Inductive xsubst : tm -> nat -> tm -> tm -> Prop :=
+| xs_var_eq : forall s x, xsubst s x (xvar x) s
+| xs_var_neq : forall s x y, x <> y -> xsubst s x (xvar y) (xvar y)
+| xs_app : forall s x t1 t2 t1' t2',
+    xsubst s x t1 t1' -> xsubst s x t2 t2' ->
+    xsubst s x (xapp t1 t2) (xapp t1' t2')
+| xs_abs_eq : forall s x T t, xsubst s x (xabs x T t) (xabs x T t)
+| xs_abs_neq : forall s x y T t t',
+    x <> y -> xsubst s x t t' -> xsubst s x (xabs y T t) (xabs y T t')
+| xs_const : forall s x n, xsubst s x (xconst n) (xconst n)
+| xs_succ : forall s x t t',
+    xsubst s x t t' -> xsubst s x (xsucc t) (xsucc t')
+| xs_pred : forall s x t t',
+    xsubst s x t t' -> xsubst s x (xpred t) (xpred t')
+| xs_mult : forall s x t1 t2 t1' t2',
+    xsubst s x t1 t1' -> xsubst s x t2 t2' ->
+    xsubst s x (xmult t1 t2) (xmult t1' t2')
+| xs_if0 : forall s x c c' t1 t1' t2 t2',
+    xsubst s x c c' -> xsubst s x t1 t1' -> xsubst s x t2 t2' ->
+    xsubst s x (xif0 c t1 t2) (xif0 c' t1' t2')
+| xs_inl : forall s x T t t',
+    xsubst s x t t' -> xsubst s x (xinl T t) (xinl T t')
+| xs_inr : forall s x T t t',
+    xsubst s x t t' -> xsubst s x (xinr T t) (xinr T t')
+| xs_case_eq1 : forall s x t0 t0' y t1 t2,
+    x <> y -> xsubst s x t0 t0' ->
+    xsubst s x (xcase t0 x t1 y t2) (xcase t0' x t1 y t2)
+| xs_case : forall s x t0 t0' y1 t1 t1' y2 t2 t2',
+    x <> y1 -> x <> y2 ->
+    xsubst s x t0 t0' -> xsubst s x t1 t1' -> xsubst s x t2 t2' ->
+    xsubst s x (xcase t0 y1 t1 y2 t2) (xcase t0' y1 t1' y2 t2')
+| xs_nil : forall s x T, xsubst s x (xnil T) (xnil T)
+| xs_cons : forall s x t1 t2 t1' t2',
+    xsubst s x t1 t1' -> xsubst s x t2 t2' ->
+    xsubst s x (xcons t1 t2) (xcons t1' t2')
+| xs_unit : forall s x, xsubst s x xunit xunit
+| xs_pair : forall s x t1 t2 t1' t2',
+    xsubst s x t1 t1' -> xsubst s x t2 t2' ->
+    xsubst s x (xpair t1 t2) (xpair t1' t2')
+| xs_fst : forall s x t t',
+    xsubst s x t t' -> xsubst s x (xfst t) (xfst t')
+| xs_snd : forall s x t t',
+    xsubst s x t t' -> xsubst s x (xsnd t) (xsnd t')
+| xs_let_eq : forall s x t1 t1' t2,
+    xsubst s x t1 t1' -> xsubst s x (xlet x t1 t2) (xlet x t1' t2)
+| xs_let_neq : forall s x y t1 t1' t2 t2',
+    x <> y -> xsubst s x t1 t1' -> xsubst s x t2 t2' ->
+    xsubst s x (xlet y t1 t2) (xlet y t1' t2').
+
+Inductive xstep : tm -> tm -> Prop :=
+| XST_AppAbs : forall x T t v t',
+    xvalue v -> xsubst v x t t' -> xstep (xapp (xabs x T t) v) t'
+| XST_App1 : forall t1 t1' t2,
+    xstep t1 t1' -> xstep (xapp t1 t2) (xapp t1' t2)
+| XST_App2 : forall v t2 t2',
+    xvalue v -> xstep t2 t2' -> xstep (xapp v t2) (xapp v t2')
+| XST_Succ : forall t t', xstep t t' -> xstep (xsucc t) (xsucc t')
+| XST_SuccNat : forall n, xstep (xsucc (xconst n)) (xconst (S n))
+| XST_Pred : forall t t', xstep t t' -> xstep (xpred t) (xpred t')
+| XST_PredNat : forall n, xstep (xpred (xconst n)) (xconst (pred n))
+| XST_Mult1 : forall t1 t1' t2,
+    xstep t1 t1' -> xstep (xmult t1 t2) (xmult t1' t2)
+| XST_Mult2 : forall v t2 t2',
+    xvalue v -> xstep t2 t2' -> xstep (xmult v t2) (xmult v t2')
+| XST_MultNats : forall n1 n2,
+    xstep (xmult (xconst n1) (xconst n2)) (xconst (n1 * n2))
+| XST_If0 : forall c c' t1 t2,
+    xstep c c' -> xstep (xif0 c t1 t2) (xif0 c' t1 t2)
+| XST_If0Zero : forall t1 t2, xstep (xif0 (xconst 0) t1 t2) t1
+| XST_If0Nonzero : forall n t1 t2,
+    xstep (xif0 (xconst (S n)) t1 t2) t2
+| XST_Inl : forall T t t', xstep t t' -> xstep (xinl T t) (xinl T t')
+| XST_Inr : forall T t t', xstep t t' -> xstep (xinr T t) (xinr T t')
+| XST_Case : forall t0 t0' y1 t1 y2 t2,
+    xstep t0 t0' -> xstep (xcase t0 y1 t1 y2 t2) (xcase t0' y1 t1 y2 t2)
+| XST_CaseInl : forall T v y1 t1 y2 t2 t1',
+    xvalue v -> xsubst v y1 t1 t1' ->
+    xstep (xcase (xinl T v) y1 t1 y2 t2) t1'
+| XST_CaseInr : forall T v y1 t1 y2 t2 t2',
+    xvalue v -> xsubst v y2 t2 t2' ->
+    xstep (xcase (xinr T v) y1 t1 y2 t2) t2'
+| XST_Cons1 : forall t1 t1' t2,
+    xstep t1 t1' -> xstep (xcons t1 t2) (xcons t1' t2)
+| XST_Cons2 : forall v t2 t2',
+    xvalue v -> xstep t2 t2' -> xstep (xcons v t2) (xcons v t2')
+| XST_Lcase : forall t0 t0' t1 y1 y2 t2,
+    xstep t0 t0' -> xstep (xlcase t0 t1 y1 y2 t2) (xlcase t0' t1 y1 y2 t2)
+| XST_LcaseNil : forall T t1 y1 y2 t2,
+    xstep (xlcase (xnil T) t1 y1 y2 t2) t1
+| XST_LcaseCons : forall vh vt t1 y1 y2 t2 t2' t2'',
+    xvalue vh -> xvalue vt ->
+    xsubst vh y1 t2 t2' -> xsubst vt y2 t2' t2'' ->
+    xstep (xlcase (xcons vh vt) t1 y1 y2 t2) t2''
+| XST_Pair1 : forall t1 t1' t2,
+    xstep t1 t1' -> xstep (xpair t1 t2) (xpair t1' t2)
+| XST_Pair2 : forall v t2 t2',
+    xvalue v -> xstep t2 t2' -> xstep (xpair v t2) (xpair v t2')
+| XST_Fst1 : forall t t', xstep t t' -> xstep (xfst t) (xfst t')
+| XST_FstPair : forall v1 v2,
+    xvalue v1 -> xvalue v2 -> xstep (xfst (xpair v1 v2)) v1
+| XST_Snd1 : forall t t', xstep t t' -> xstep (xsnd t) (xsnd t')
+| XST_SndPair : forall v1 v2,
+    xvalue v1 -> xvalue v2 -> xstep (xsnd (xpair v1 v2)) v2
+| XST_Let1 : forall x t1 t1' t2,
+    xstep t1 t1' -> xstep (xlet x t1 t2) (xlet x t1' t2)
+| XST_LetValue : forall x v t2 t2',
+    xvalue v -> xsubst v x t2 t2' -> xstep (xlet x v t2) t2'.
+
+Inductive xlookup : list (prod nat ty) -> nat -> ty -> Prop :=
+| xl_here : forall x T G, xlookup ((x, T) :: G) x T
+| xl_later : forall x y T U G,
+    x <> y -> xlookup G x T -> xlookup ((y, U) :: G) x T.
+
+Inductive x_has_type : list (prod nat ty) -> tm -> ty -> Prop :=
+| XT_Var : forall G x T, xlookup G x T -> x_has_type G (xvar x) T
+| XT_Abs : forall G x T1 T2 t,
+    x_has_type ((x, T1) :: G) t T2 ->
+    x_has_type G (xabs x T1 t) (TyArrow T1 T2)
+| XT_App : forall G t1 t2 T1 T2,
+    x_has_type G t1 (TyArrow T1 T2) -> x_has_type G t2 T1 ->
+    x_has_type G (xapp t1 t2) T2
+| XT_Const : forall G n, x_has_type G (xconst n) TyNat
+| XT_Succ : forall G t,
+    x_has_type G t TyNat -> x_has_type G (xsucc t) TyNat
+| XT_Pred : forall G t,
+    x_has_type G t TyNat -> x_has_type G (xpred t) TyNat
+| XT_Mult : forall G t1 t2,
+    x_has_type G t1 TyNat -> x_has_type G t2 TyNat ->
+    x_has_type G (xmult t1 t2) TyNat
+| XT_If0 : forall G c t1 t2 T,
+    x_has_type G c TyNat -> x_has_type G t1 T -> x_has_type G t2 T ->
+    x_has_type G (xif0 c t1 t2) T
+| XT_Inl : forall G t T1 T2,
+    x_has_type G t T1 -> x_has_type G (xinl T2 t) (TySum T1 T2)
+| XT_Inr : forall G t T1 T2,
+    x_has_type G t T2 -> x_has_type G (xinr T1 t) (TySum T1 T2)
+| XT_Case : forall G t0 T1 T2 y1 t1 y2 t2 T,
+    x_has_type G t0 (TySum T1 T2) ->
+    x_has_type ((y1, T1) :: G) t1 T ->
+    x_has_type ((y2, T2) :: G) t2 T ->
+    x_has_type G (xcase t0 y1 t1 y2 t2) T
+| XT_Nil : forall G T, x_has_type G (xnil T) (TyList T)
+| XT_Cons : forall G t1 t2 T,
+    x_has_type G t1 T -> x_has_type G t2 (TyList T) ->
+    x_has_type G (xcons t1 t2) (TyList T)
+| XT_Lcase : forall G t0 T t1 y1 y2 t2 U,
+    x_has_type G t0 (TyList T) ->
+    x_has_type G t1 U ->
+    x_has_type ((y1, T) :: (y2, TyList T) :: G) t2 U ->
+    x_has_type G (xlcase t0 t1 y1 y2 t2) U
+| XT_Unit : forall G, x_has_type G xunit TyUnit
+| XT_Pair : forall G t1 t2 T1 T2,
+    x_has_type G t1 T1 -> x_has_type G t2 T2 ->
+    x_has_type G (xpair t1 t2) (TyProd T1 T2)
+| XT_Fst : forall G t T1 T2,
+    x_has_type G t (TyProd T1 T2) -> x_has_type G (xfst t) T1
+| XT_Snd : forall G t T1 T2,
+    x_has_type G t (TyProd T1 T2) -> x_has_type G (xsnd t) T2
+| XT_Let : forall G x t1 T1 t2 T2,
+    x_has_type G t1 T1 -> x_has_type ((x, T1) :: G) t2 T2 ->
+    x_has_type G (xlet x t1 t2) T2.
+"""
+
+HIGHER_ORDER = []

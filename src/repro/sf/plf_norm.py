@@ -1,0 +1,107 @@
+"""PLF, chapter *Norm* — normalization of the STLC.
+
+The chapter's language relations (value, step, typing over a
+bool+pair STLC) are in scope; the logical relation ``R`` is defined by
+recursion on types *into Prop* with quantification over reductions —
+the canonical higher-order example.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "Norm"
+
+DECLARATIONS = """
+Inductive ty : Type :=
+| NBool : ty
+| NArrow : ty -> ty -> ty
+| NProd : ty -> ty -> ty.
+
+Inductive tm : Type :=
+| nvar : nat -> tm
+| napp : tm -> tm -> tm
+| nabs : nat -> ty -> tm -> tm
+| npair : tm -> tm -> tm
+| nfst : tm -> tm
+| nsnd : tm -> tm
+| ntru : tm
+| nfls : tm
+| nite : tm -> tm -> tm -> tm.
+
+Inductive nvalue : tm -> Prop :=
+| nv_abs : forall x T t, nvalue (nabs x T t)
+| nv_pair : forall v1 v2, nvalue v1 -> nvalue v2 -> nvalue (npair v1 v2)
+| nv_tru : nvalue ntru
+| nv_fls : nvalue nfls.
+
+Inductive nsubst : tm -> nat -> tm -> tm -> Prop :=
+| nsb_var_eq : forall s x, nsubst s x (nvar x) s
+| nsb_var_neq : forall s x y, x <> y -> nsubst s x (nvar y) (nvar y)
+| nsb_app : forall s x t1 t2 t1' t2',
+    nsubst s x t1 t1' -> nsubst s x t2 t2' ->
+    nsubst s x (napp t1 t2) (napp t1' t2')
+| nsb_abs_eq : forall s x T t, nsubst s x (nabs x T t) (nabs x T t)
+| nsb_abs_neq : forall s x y T t t',
+    x <> y -> nsubst s x t t' -> nsubst s x (nabs y T t) (nabs y T t')
+| nsb_pair : forall s x t1 t2 t1' t2',
+    nsubst s x t1 t1' -> nsubst s x t2 t2' ->
+    nsubst s x (npair t1 t2) (npair t1' t2')
+| nsb_fst : forall s x t t', nsubst s x t t' -> nsubst s x (nfst t) (nfst t')
+| nsb_snd : forall s x t t', nsubst s x t t' -> nsubst s x (nsnd t) (nsnd t')
+| nsb_tru : forall s x, nsubst s x ntru ntru
+| nsb_fls : forall s x, nsubst s x nfls nfls
+| nsb_ite : forall s x c c' t1 t1' t2 t2',
+    nsubst s x c c' -> nsubst s x t1 t1' -> nsubst s x t2 t2' ->
+    nsubst s x (nite c t1 t2) (nite c' t1' t2').
+
+Inductive nstep : tm -> tm -> Prop :=
+| NST_AppAbs : forall x T t v t',
+    nvalue v -> nsubst v x t t' -> nstep (napp (nabs x T t) v) t'
+| NST_App1 : forall t1 t1' t2,
+    nstep t1 t1' -> nstep (napp t1 t2) (napp t1' t2)
+| NST_App2 : forall v t2 t2',
+    nvalue v -> nstep t2 t2' -> nstep (napp v t2) (napp v t2')
+| NST_Pair1 : forall t1 t1' t2,
+    nstep t1 t1' -> nstep (npair t1 t2) (npair t1' t2)
+| NST_Pair2 : forall v t2 t2',
+    nvalue v -> nstep t2 t2' -> nstep (npair v t2) (npair v t2')
+| NST_Fst : forall t t', nstep t t' -> nstep (nfst t) (nfst t')
+| NST_FstPair : forall v1 v2,
+    nvalue v1 -> nvalue v2 -> nstep (nfst (npair v1 v2)) v1
+| NST_Snd : forall t t', nstep t t' -> nstep (nsnd t) (nsnd t')
+| NST_SndPair : forall v1 v2,
+    nvalue v1 -> nvalue v2 -> nstep (nsnd (npair v1 v2)) v2
+| NST_IfTrue : forall t1 t2, nstep (nite ntru t1 t2) t1
+| NST_IfFalse : forall t1 t2, nstep (nite nfls t1 t2) t2
+| NST_If : forall c c' t1 t2,
+    nstep c c' -> nstep (nite c t1 t2) (nite c' t1 t2).
+
+Inductive nlookup : list (prod nat ty) -> nat -> ty -> Prop :=
+| nl_here : forall x T G, nlookup ((x, T) :: G) x T
+| nl_later : forall x y T U G,
+    x <> y -> nlookup G x T -> nlookup ((y, U) :: G) x T.
+
+Inductive n_has_type : list (prod nat ty) -> tm -> ty -> Prop :=
+| NT_Var : forall G x T, nlookup G x T -> n_has_type G (nvar x) T
+| NT_Abs : forall G x T1 T2 t,
+    n_has_type ((x, T1) :: G) t T2 ->
+    n_has_type G (nabs x T1 t) (NArrow T1 T2)
+| NT_App : forall G t1 t2 T1 T2,
+    n_has_type G t1 (NArrow T1 T2) -> n_has_type G t2 T1 ->
+    n_has_type G (napp t1 t2) T2
+| NT_Pair : forall G t1 t2 T1 T2,
+    n_has_type G t1 T1 -> n_has_type G t2 T2 ->
+    n_has_type G (npair t1 t2) (NProd T1 T2)
+| NT_Fst : forall G t T1 T2,
+    n_has_type G t (NProd T1 T2) -> n_has_type G (nfst t) T1
+| NT_Snd : forall G t T1 T2,
+    n_has_type G t (NProd T1 T2) -> n_has_type G (nsnd t) T2
+| NT_Tru : forall G, n_has_type G ntru NBool
+| NT_Fls : forall G, n_has_type G nfls NBool
+| NT_If : forall G c t1 t2 T,
+    n_has_type G c NBool -> n_has_type G t1 T -> n_has_type G t2 T ->
+    n_has_type G (nite c t1 t2) T.
+"""
+
+HIGHER_ORDER = [
+    ("R", "the logical relation recurses on types into Prop"),
+    ("halts", "existential over reduction sequences"),
+]

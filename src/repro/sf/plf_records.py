@@ -1,0 +1,120 @@
+"""PLF, chapter *Records* — STLC with records.
+
+Records are encoded, as in the book, by cons-like type and term
+constructors (``RTNil``/``RTCons`` and ``rnil``/``rcons``), which makes
+well-formedness (``record_ty``/``record_tm``/``well_formed_ty``) and
+field lookup (``rty_lookup``/``rtm_lookup``) inductive relations of
+their own.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "Records"
+
+DECLARATIONS = """
+Inductive ty : Type :=
+| RBase : nat -> ty
+| RArrow : ty -> ty -> ty
+| RTNil : ty
+| RTCons : nat -> ty -> ty -> ty.
+
+Inductive tm : Type :=
+| rvar : nat -> tm
+| rapp : tm -> tm -> tm
+| rabs : nat -> ty -> tm -> tm
+| rproj : tm -> nat -> tm
+| rnil : tm
+| rcons : nat -> tm -> tm -> tm.
+
+(* Which types are record types / well formed (the book's mutual
+   informal condition, stratified as in the chapter). *)
+Inductive record_ty : ty -> Prop :=
+| RTnil : record_ty RTNil
+| RTcons : forall i T Tr, record_ty Tr -> record_ty (RTCons i T Tr).
+
+Inductive well_formed_ty : ty -> Prop :=
+| wfBase : forall i, well_formed_ty (RBase i)
+| wfArrow : forall T1 T2,
+    well_formed_ty T1 -> well_formed_ty T2 ->
+    well_formed_ty (RArrow T1 T2)
+| wfRNil : well_formed_ty RTNil
+| wfRCons : forall i T Tr,
+    well_formed_ty T -> well_formed_ty Tr -> record_ty Tr ->
+    well_formed_ty (RTCons i T Tr).
+
+Inductive record_tm : tm -> Prop :=
+| rtnil : record_tm rnil
+| rtcons : forall i t tr, record_tm tr -> record_tm (rcons i t tr).
+
+(* Field lookup in record types and record terms. *)
+Inductive rty_lookup : nat -> ty -> ty -> Prop :=
+| rtl_here : forall i T Tr, rty_lookup i (RTCons i T Tr) T
+| rtl_later : forall i j T U Tr,
+    i <> j -> rty_lookup i Tr U -> rty_lookup i (RTCons j T Tr) U.
+
+Inductive rtm_lookup : nat -> tm -> tm -> Prop :=
+| rml_here : forall i t tr, rtm_lookup i (rcons i t tr) t
+| rml_later : forall i j t u tr,
+    i <> j -> rtm_lookup i tr u -> rtm_lookup i (rcons j t tr) u.
+
+Inductive rvalue : tm -> Prop :=
+| rv_abs : forall x T t, rvalue (rabs x T t)
+| rv_rnil : rvalue rnil
+| rv_rcons : forall i v vr, rvalue v -> rvalue vr -> rvalue (rcons i v vr).
+
+Inductive rsubst : tm -> nat -> tm -> tm -> Prop :=
+| rs_var_eq : forall s x, rsubst s x (rvar x) s
+| rs_var_neq : forall s x y, x <> y -> rsubst s x (rvar y) (rvar y)
+| rs_app : forall s x t1 t2 t1' t2',
+    rsubst s x t1 t1' -> rsubst s x t2 t2' ->
+    rsubst s x (rapp t1 t2) (rapp t1' t2')
+| rs_abs_eq : forall s x T t, rsubst s x (rabs x T t) (rabs x T t)
+| rs_abs_neq : forall s x y T t t',
+    x <> y -> rsubst s x t t' -> rsubst s x (rabs y T t) (rabs y T t')
+| rs_proj : forall s x t t' i,
+    rsubst s x t t' -> rsubst s x (rproj t i) (rproj t' i)
+| rs_rnil : forall s x, rsubst s x rnil rnil
+| rs_rcons : forall s x i t tr t' tr',
+    rsubst s x t t' -> rsubst s x tr tr' ->
+    rsubst s x (rcons i t tr) (rcons i t' tr').
+
+Inductive rstep : tm -> tm -> Prop :=
+| RST_AppAbs : forall x T t v t',
+    rvalue v -> rsubst v x t t' -> rstep (rapp (rabs x T t) v) t'
+| RST_App1 : forall t1 t1' t2,
+    rstep t1 t1' -> rstep (rapp t1 t2) (rapp t1' t2)
+| RST_App2 : forall v t2 t2',
+    rvalue v -> rstep t2 t2' -> rstep (rapp v t2) (rapp v t2')
+| RST_Proj : forall t t' i,
+    rstep t t' -> rstep (rproj t i) (rproj t' i)
+| RST_ProjRcd : forall i vr v,
+    rvalue vr -> rtm_lookup i vr v -> rstep (rproj vr i) v
+| RST_Rcd1 : forall i t t' tr,
+    rstep t t' -> rstep (rcons i t tr) (rcons i t' tr)
+| RST_Rcd2 : forall i v tr tr',
+    rvalue v -> rstep tr tr' -> rstep (rcons i v tr) (rcons i v tr').
+
+Inductive rlookup : list (prod nat ty) -> nat -> ty -> Prop :=
+| rl_here : forall x T G, rlookup ((x, T) :: G) x T
+| rl_later : forall x y T U G,
+    x <> y -> rlookup G x T -> rlookup ((y, U) :: G) x T.
+
+Inductive r_has_type : list (prod nat ty) -> tm -> ty -> Prop :=
+| RT_Var : forall G x T,
+    rlookup G x T -> well_formed_ty T -> r_has_type G (rvar x) T
+| RT_Abs : forall G x T1 T2 t,
+    well_formed_ty T1 -> r_has_type ((x, T1) :: G) t T2 ->
+    r_has_type G (rabs x T1 t) (RArrow T1 T2)
+| RT_App : forall G t1 t2 T1 T2,
+    r_has_type G t1 (RArrow T1 T2) -> r_has_type G t2 T1 ->
+    r_has_type G (rapp t1 t2) T2
+| RT_Proj : forall G t Tr i T,
+    r_has_type G t Tr -> rty_lookup i Tr T ->
+    r_has_type G (rproj t i) T
+| RT_RNil : forall G, r_has_type G rnil RTNil
+| RT_RCons : forall G i t T tr Tr,
+    r_has_type G t T -> r_has_type G tr Tr ->
+    record_ty Tr -> record_tm tr ->
+    r_has_type G (rcons i t tr) (RTCons i T Tr).
+"""
+
+HIGHER_ORDER = []

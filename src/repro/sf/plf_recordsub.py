@@ -1,0 +1,56 @@
+"""PLF, chapter *RecordSub* — subtyping with records.
+
+Combines the Records encoding with the Sub machinery: record
+well-formedness, field lookup, and a subtype relation with depth,
+width, and permutation rules.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "RecordSub"
+
+DECLARATIONS = """
+Inductive ty : Type :=
+| QTop : ty
+| QBase : nat -> ty
+| QArrow : ty -> ty -> ty
+| QRNil : ty
+| QRCons : nat -> ty -> ty -> ty.
+
+Inductive record_ty : ty -> Prop :=
+| qrt_nil : record_ty QRNil
+| qrt_cons : forall i T Tr, record_ty Tr -> record_ty (QRCons i T Tr).
+
+Inductive wf_ty : ty -> Prop :=
+| qwf_top : wf_ty QTop
+| qwf_base : forall i, wf_ty (QBase i)
+| qwf_arrow : forall T1 T2, wf_ty T1 -> wf_ty T2 -> wf_ty (QArrow T1 T2)
+| qwf_rnil : wf_ty QRNil
+| qwf_rcons : forall i T Tr,
+    wf_ty T -> wf_ty Tr -> record_ty Tr -> wf_ty (QRCons i T Tr).
+
+Inductive qty_lookup : nat -> ty -> ty -> Prop :=
+| ql_here : forall i T Tr, qty_lookup i (QRCons i T Tr) T
+| ql_later : forall i j T U Tr,
+    i <> j -> qty_lookup i Tr U -> qty_lookup i (QRCons j T Tr) U.
+
+Inductive qsubtype : ty -> ty -> Prop :=
+| QS_Refl : forall T, wf_ty T -> qsubtype T T
+| QS_Trans : forall Sv U T,
+    qsubtype Sv U -> qsubtype U T -> qsubtype Sv T
+| QS_Top : forall Sv, wf_ty Sv -> qsubtype Sv QTop
+| QS_Arrow : forall S1 S2 T1 T2,
+    qsubtype T1 S1 -> qsubtype S2 T2 ->
+    qsubtype (QArrow S1 S2) (QArrow T1 T2)
+| QS_RcdWidth : forall i T Tr,
+    wf_ty (QRCons i T Tr) -> qsubtype (QRCons i T Tr) QRNil
+| QS_RcdDepth : forall i Sv Sr T Tr,
+    qsubtype Sv T -> qsubtype Sr Tr ->
+    record_ty Sr -> record_ty Tr ->
+    qsubtype (QRCons i Sv Sr) (QRCons i T Tr)
+| QS_RcdPerm : forall i1 i2 T1 T2 Tr,
+    wf_ty (QRCons i1 T1 (QRCons i2 T2 Tr)) -> i1 <> i2 ->
+    qsubtype (QRCons i1 T1 (QRCons i2 T2 Tr))
+             (QRCons i2 T2 (QRCons i1 T1 Tr)).
+"""
+
+HIGHER_ORDER = []

@@ -1,0 +1,132 @@
+"""PLF, chapter *References* — STLCRef (mutable references).
+
+Stores are lists of values, locations are indices; the step relation
+carries a store on both sides, and typing carries a store typing.
+``store_lookup`` / ``store_update`` are the list-indexing relations.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "References"
+
+DECLARATIONS = """
+Inductive ty : Type :=
+| RfNat : ty
+| RfUnit : ty
+| RfArrow : ty -> ty -> ty
+| RfRef : ty -> ty.
+
+Inductive tm : Type :=
+| fvar : nat -> tm
+| fapp : tm -> tm -> tm
+| fabs : nat -> ty -> tm -> tm
+| fconst : nat -> tm
+| fsucc : tm -> tm
+| funit : tm
+| fref : tm -> tm
+| fderef : tm -> tm
+| fassign : tm -> tm -> tm
+| floc : nat -> tm.
+
+Inductive fvalue : tm -> Prop :=
+| fv_abs : forall x T t, fvalue (fabs x T t)
+| fv_const : forall n, fvalue (fconst n)
+| fv_unit : fvalue funit
+| fv_loc : forall l, fvalue (floc l).
+
+Inductive fsubst : tm -> nat -> tm -> tm -> Prop :=
+| fs_var_eq : forall s x, fsubst s x (fvar x) s
+| fs_var_neq : forall s x y, x <> y -> fsubst s x (fvar y) (fvar y)
+| fs_app : forall s x t1 t2 t1' t2',
+    fsubst s x t1 t1' -> fsubst s x t2 t2' ->
+    fsubst s x (fapp t1 t2) (fapp t1' t2')
+| fs_abs_eq : forall s x T t, fsubst s x (fabs x T t) (fabs x T t)
+| fs_abs_neq : forall s x y T t t',
+    x <> y -> fsubst s x t t' -> fsubst s x (fabs y T t) (fabs y T t')
+| fs_const : forall s x n, fsubst s x (fconst n) (fconst n)
+| fs_succ : forall s x t t',
+    fsubst s x t t' -> fsubst s x (fsucc t) (fsucc t')
+| fs_unit : forall s x, fsubst s x funit funit
+| fs_ref : forall s x t t', fsubst s x t t' -> fsubst s x (fref t) (fref t')
+| fs_deref : forall s x t t',
+    fsubst s x t t' -> fsubst s x (fderef t) (fderef t')
+| fs_assign : forall s x t1 t2 t1' t2',
+    fsubst s x t1 t1' -> fsubst s x t2 t2' ->
+    fsubst s x (fassign t1 t2) (fassign t1' t2')
+| fs_loc : forall s x l, fsubst s x (floc l) (floc l).
+
+(* Store indexing and functional update, relationally. *)
+Inductive store_lookup : nat -> list tm -> tm -> Prop :=
+| sl_here : forall v st, store_lookup 0 (v :: st) v
+| sl_later : forall n v w st,
+    store_lookup n st v -> store_lookup (S n) (w :: st) v.
+
+Inductive store_update : nat -> tm -> list tm -> list tm -> Prop :=
+| su_here : forall v w st, store_update 0 v (w :: st) (v :: st)
+| su_later : forall n v w st st',
+    store_update n v st st' -> store_update (S n) v (w :: st) (w :: st').
+
+Inductive fstep : tm -> list tm -> tm -> list tm -> Prop :=
+| FST_AppAbs : forall x T t v st t',
+    fvalue v -> fsubst v x t t' -> fstep (fapp (fabs x T t) v) st t' st
+| FST_App1 : forall t1 t1' t2 st st',
+    fstep t1 st t1' st' -> fstep (fapp t1 t2) st (fapp t1' t2) st'
+| FST_App2 : forall v t2 t2' st st',
+    fvalue v -> fstep t2 st t2' st' -> fstep (fapp v t2) st (fapp v t2') st'
+| FST_SuccNat : forall n st, fstep (fsucc (fconst n)) st (fconst (S n)) st
+| FST_Succ : forall t t' st st',
+    fstep t st t' st' -> fstep (fsucc t) st (fsucc t') st'
+| FST_RefValue : forall v st n,
+    fvalue v -> length st = n -> fstep (fref v) st (floc n) (st ++ [v])
+| FST_Ref : forall t t' st st',
+    fstep t st t' st' -> fstep (fref t) st (fref t') st'
+| FST_DerefLoc : forall l st v,
+    store_lookup l st v -> fstep (fderef (floc l)) st v st
+| FST_Deref : forall t t' st st',
+    fstep t st t' st' -> fstep (fderef t) st (fderef t') st'
+| FST_Assign : forall l v st st',
+    fvalue v -> store_update l v st st' ->
+    fstep (fassign (floc l) v) st funit st'
+| FST_Assign1 : forall t1 t1' t2 st st',
+    fstep t1 st t1' st' -> fstep (fassign t1 t2) st (fassign t1' t2) st'
+| FST_Assign2 : forall v t2 t2' st st',
+    fvalue v -> fstep t2 st t2' st' ->
+    fstep (fassign v t2) st (fassign v t2') st'.
+
+Inductive flookup : list (prod nat ty) -> nat -> ty -> Prop :=
+| fl_here : forall x T G, flookup ((x, T) :: G) x T
+| fl_later : forall x y T U G,
+    x <> y -> flookup G x T -> flookup ((y, U) :: G) x T.
+
+(* Store typings are lists of types, indexed positionally. *)
+Inductive stty_lookup : nat -> list ty -> ty -> Prop :=
+| stl_here : forall T ST, stty_lookup 0 (T :: ST) T
+| stl_later : forall n T U ST,
+    stty_lookup n ST T -> stty_lookup (S n) (U :: ST) T.
+
+Inductive f_has_type : list (prod nat ty) -> list ty -> tm -> ty -> Prop :=
+| FT_Var : forall G ST x T, flookup G x T -> f_has_type G ST (fvar x) T
+| FT_Abs : forall G ST x T1 T2 t,
+    f_has_type ((x, T1) :: G) ST t T2 ->
+    f_has_type G ST (fabs x T1 t) (RfArrow T1 T2)
+| FT_App : forall G ST t1 t2 T1 T2,
+    f_has_type G ST t1 (RfArrow T1 T2) -> f_has_type G ST t2 T1 ->
+    f_has_type G ST (fapp t1 t2) T2
+| FT_Const : forall G ST n, f_has_type G ST (fconst n) RfNat
+| FT_Succ : forall G ST t,
+    f_has_type G ST t RfNat -> f_has_type G ST (fsucc t) RfNat
+| FT_Unit : forall G ST, f_has_type G ST funit RfUnit
+| FT_Loc : forall G ST l T,
+    stty_lookup l ST T -> f_has_type G ST (floc l) (RfRef T)
+| FT_Ref : forall G ST t T,
+    f_has_type G ST t T -> f_has_type G ST (fref t) (RfRef T)
+| FT_Deref : forall G ST t T,
+    f_has_type G ST t (RfRef T) -> f_has_type G ST (fderef t) T
+| FT_Assign : forall G ST t1 t2 T,
+    f_has_type G ST t1 (RfRef T) -> f_has_type G ST t2 T ->
+    f_has_type G ST (fassign t1 t2) RfUnit.
+"""
+
+HIGHER_ORDER = [
+    ("store_well_typed", "universally quantifies over all locations"),
+    ("extends", "defined over store typings via quantification"),
+]

@@ -1,0 +1,178 @@
+"""PLF, chapter *Smallstep*.
+
+The toy arithmetic language and its relations (value, single step,
+multi-step, big-step), small-step IMP (``astep``/``bstep``/``cstep``
+over association-list states), the concurrent-IMP extension's
+``par_step``, and the small-step stack machine.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "Smallstep"
+
+DECLARATIONS = """
+Inductive tm : Type :=
+| Ctm : nat -> tm
+| Ptm : tm -> tm -> tm.
+
+Inductive value : tm -> Prop :=
+| v_const : forall n, value (Ctm n).
+
+Inductive step : tm -> tm -> Prop :=
+| ST_PlusConstConst : forall n1 n2,
+    step (Ptm (Ctm n1) (Ctm n2)) (Ctm (n1 + n2))
+| ST_Plus1 : forall t1 t1' t2,
+    step t1 t1' -> step (Ptm t1 t2) (Ptm t1' t2)
+| ST_Plus2 : forall n t2 t2',
+    step t2 t2' -> step (Ptm (Ctm n) t2) (Ptm (Ctm n) t2').
+
+Inductive multi_step : tm -> tm -> Prop :=
+| multi_refl : forall t, multi_step t t
+| multi_trans : forall t1 t2 t3,
+    step t1 t2 -> multi_step t2 t3 -> multi_step t1 t3.
+
+Inductive eval_big : tm -> nat -> Prop :=
+| E_Const : forall n, eval_big (Ctm n) n
+| E_Plus : forall t1 t2 n1 n2,
+    eval_big t1 n1 -> eval_big t2 n2 ->
+    eval_big (Ptm t1 t2) (n1 + n2).
+
+Inductive normal_form_of : tm -> tm -> Prop :=
+| nfo : forall t t',
+    multi_step t t' -> value t' -> normal_form_of t t'.
+
+(* ------- Small-step IMP ------- *)
+
+Inductive aexp : Type :=
+| ANum : nat -> aexp
+| AId : nat -> aexp
+| APlus : aexp -> aexp -> aexp
+| AMinus : aexp -> aexp -> aexp
+| AMult : aexp -> aexp -> aexp.
+
+Inductive bexp : Type :=
+| BTrue : bexp
+| BFalse : bexp
+| BEq : aexp -> aexp -> bexp
+| BLe : aexp -> aexp -> bexp
+| BNot : bexp -> bexp
+| BAnd : bexp -> bexp -> bexp.
+
+Inductive com : Type :=
+| CSkip : com
+| CAss : nat -> aexp -> com
+| CSeq : com -> com -> com
+| CIf : bexp -> com -> com -> com
+| CWhile : bexp -> com -> com
+| CPar : com -> com -> com.
+
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive lookup_st : list (prod nat nat) -> nat -> nat -> Prop :=
+| lk_nil : forall x, lookup_st [] x 0
+| lk_here : forall x v st, lookup_st ((x, v) :: st) x v
+| lk_later : forall x y v w st,
+    x <> y -> lookup_st st x v -> lookup_st ((y, w) :: st) x v.
+
+Inductive aval : aexp -> Prop :=
+| av_num : forall n, aval (ANum n).
+
+Inductive astep : list (prod nat nat) -> aexp -> aexp -> Prop :=
+| AS_Id : forall st x v, lookup_st st x v -> astep st (AId x) (ANum v)
+| AS_Plus : forall st n1 n2,
+    astep st (APlus (ANum n1) (ANum n2)) (ANum (n1 + n2))
+| AS_Plus1 : forall st a1 a1' a2,
+    astep st a1 a1' -> astep st (APlus a1 a2) (APlus a1' a2)
+| AS_Plus2 : forall st v1 a2 a2',
+    aval v1 -> astep st a2 a2' -> astep st (APlus v1 a2) (APlus v1 a2')
+| AS_Minus : forall st n1 n2,
+    astep st (AMinus (ANum n1) (ANum n2)) (ANum (n1 - n2))
+| AS_Minus1 : forall st a1 a1' a2,
+    astep st a1 a1' -> astep st (AMinus a1 a2) (AMinus a1' a2)
+| AS_Minus2 : forall st v1 a2 a2',
+    aval v1 -> astep st a2 a2' -> astep st (AMinus v1 a2) (AMinus v1 a2')
+| AS_Mult : forall st n1 n2,
+    astep st (AMult (ANum n1) (ANum n2)) (ANum (n1 * n2))
+| AS_Mult1 : forall st a1 a1' a2,
+    astep st a1 a1' -> astep st (AMult a1 a2) (AMult a1' a2)
+| AS_Mult2 : forall st v1 a2 a2',
+    aval v1 -> astep st a2 a2' -> astep st (AMult v1 a2) (AMult v1 a2').
+
+Inductive bstep : list (prod nat nat) -> bexp -> bexp -> Prop :=
+| BS_EqTrue : forall st n,
+    bstep st (BEq (ANum n) (ANum n)) BTrue
+| BS_EqFalse : forall st n1 n2,
+    n1 <> n2 -> bstep st (BEq (ANum n1) (ANum n2)) BFalse
+| BS_Eq1 : forall st a1 a1' a2,
+    astep st a1 a1' -> bstep st (BEq a1 a2) (BEq a1' a2)
+| BS_Eq2 : forall st v1 a2 a2',
+    aval v1 -> astep st a2 a2' -> bstep st (BEq v1 a2) (BEq v1 a2')
+| BS_LeTrue : forall st n1 n2,
+    le n1 n2 -> bstep st (BLe (ANum n1) (ANum n2)) BTrue
+| BS_LeFalse : forall st n1 n2,
+    le (S n2) n1 -> bstep st (BLe (ANum n1) (ANum n2)) BFalse
+| BS_Le1 : forall st a1 a1' a2,
+    astep st a1 a1' -> bstep st (BLe a1 a2) (BLe a1' a2)
+| BS_Le2 : forall st v1 a2 a2',
+    aval v1 -> astep st a2 a2' -> bstep st (BLe v1 a2) (BLe v1 a2')
+| BS_NotTrue : forall st, bstep st (BNot BTrue) BFalse
+| BS_NotFalse : forall st, bstep st (BNot BFalse) BTrue
+| BS_NotStep : forall st b b',
+    bstep st b b' -> bstep st (BNot b) (BNot b')
+| BS_AndTrueTrue : forall st, bstep st (BAnd BTrue BTrue) BTrue
+| BS_AndTrueFalse : forall st, bstep st (BAnd BTrue BFalse) BFalse
+| BS_AndFalse : forall st b, bstep st (BAnd BFalse b) BFalse
+| BS_AndTrueStep : forall st b b',
+    bstep st b b' -> bstep st (BAnd BTrue b) (BAnd BTrue b')
+| BS_AndStep : forall st b1 b1' b2,
+    bstep st b1 b1' -> bstep st (BAnd b1 b2) (BAnd b1' b2).
+
+Inductive cstep :
+    com -> list (prod nat nat) -> com -> list (prod nat nat) -> Prop :=
+| CS_AssStep : forall st x a a',
+    astep st a a' -> cstep (CAss x a) st (CAss x a') st
+| CS_Ass : forall st x n,
+    cstep (CAss x (ANum n)) st CSkip ((x, n) :: st)
+| CS_SeqStep : forall st c1 c1' st' c2,
+    cstep c1 st c1' st' -> cstep (CSeq c1 c2) st (CSeq c1' c2) st'
+| CS_SeqFinish : forall st c2, cstep (CSeq CSkip c2) st c2 st
+| CS_IfStep : forall st b b' c1 c2,
+    bstep st b b' -> cstep (CIf b c1 c2) st (CIf b' c1 c2) st
+| CS_IfTrue : forall st c1 c2, cstep (CIf BTrue c1 c2) st c1 st
+| CS_IfFalse : forall st c1 c2, cstep (CIf BFalse c1 c2) st c2 st
+| CS_While : forall st b c,
+    cstep (CWhile b c) st (CIf b (CSeq c (CWhile b c)) CSkip) st
+| CS_Par1 : forall st c1 c1' st' c2,
+    cstep c1 st c1' st' -> cstep (CPar c1 c2) st (CPar c1' c2) st'
+| CS_Par2 : forall st c1 c2 c2' st',
+    cstep c2 st c2' st' -> cstep (CPar c1 c2) st (CPar c1 c2') st'
+| CS_ParDone : forall st, cstep (CPar CSkip CSkip) st CSkip st.
+
+Inductive cmulti :
+    com -> list (prod nat nat) -> com -> list (prod nat nat) -> Prop :=
+| cm_refl : forall c st, cmulti c st c st
+| cm_trans : forall c1 st1 c2 st2 c3 st3,
+    cstep c1 st1 c2 st2 -> cmulti c2 st2 c3 st3 -> cmulti c1 st1 c3 st3.
+
+(* ------- The small-step stack machine ------- *)
+
+Inductive sinstr : Type :=
+| SPush : nat -> sinstr
+| SPlus : sinstr
+| SMult : sinstr.
+
+Inductive stack_step :
+    list sinstr -> list nat -> list sinstr -> list nat -> Prop :=
+| SS_Push : forall n prog stack,
+    stack_step (SPush n :: prog) stack prog (n :: stack)
+| SS_Plus : forall prog stack n m,
+    stack_step (SPlus :: prog) (n :: m :: stack) prog ((m + n) :: stack)
+| SS_Mult : forall prog stack n m,
+    stack_step (SMult :: prog) (n :: m :: stack) prog ((m * n) :: stack).
+"""
+
+HIGHER_ORDER = [
+    ("multi", "the generic closure operator is parameterized by a relation"),
+    ("normal_form", "defined through negated existential quantification"),
+]

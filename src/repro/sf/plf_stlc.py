@@ -1,0 +1,87 @@
+"""PLF, chapters *Stlc* — the simply typed lambda calculus (booleans
+as the base type, as in the book; variables are de Bruijn-style nat
+identifiers with association-list contexts, per the paper's map
+conversion).
+
+Includes the inductive *substitution relation* ``substi`` from the
+``substi_correct`` exercise — a showcase for the derivation because
+substitution is usually a fixpoint.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "Stlc"
+
+DECLARATIONS = """
+Inductive ty : Type :=
+| STBool : ty
+| STArrow : ty -> ty -> ty.
+
+Inductive tm : Type :=
+| svar : nat -> tm
+| sapp : tm -> tm -> tm
+| sabs : nat -> ty -> tm -> tm
+| stru : tm
+| sfls : tm
+| site : tm -> tm -> tm -> tm.
+
+Inductive svalue : tm -> Prop :=
+| sv_abs : forall x T t, svalue (sabs x T t)
+| sv_tru : svalue stru
+| sv_fls : svalue sfls.
+
+(* substi s x t t' :  [x := s] t = t'  (the exercise's relational
+   definition of capture-avoiding-for-closed-s substitution). *)
+Inductive substi : tm -> nat -> tm -> tm -> Prop :=
+| s_var_eq : forall s x, substi s x (svar x) s
+| s_var_neq : forall s x y, x <> y -> substi s x (svar y) (svar y)
+| s_app : forall s x t1 t2 t1' t2',
+    substi s x t1 t1' -> substi s x t2 t2' ->
+    substi s x (sapp t1 t2) (sapp t1' t2')
+| s_abs_eq : forall s x T t, substi s x (sabs x T t) (sabs x T t)
+| s_abs_neq : forall s x y T t t',
+    x <> y -> substi s x t t' -> substi s x (sabs y T t) (sabs y T t')
+| s_tru : forall s x, substi s x stru stru
+| s_fls : forall s x, substi s x sfls sfls
+| s_ite : forall s x c c' t1 t1' t2 t2',
+    substi s x c c' -> substi s x t1 t1' -> substi s x t2 t2' ->
+    substi s x (site c t1 t2) (site c' t1' t2').
+
+Inductive sstep : tm -> tm -> Prop :=
+| ST_AppAbs : forall x T t v t',
+    svalue v -> substi v x t t' -> sstep (sapp (sabs x T t) v) t'
+| ST_App1 : forall t1 t1' t2,
+    sstep t1 t1' -> sstep (sapp t1 t2) (sapp t1' t2)
+| ST_App2 : forall v t2 t2',
+    svalue v -> sstep t2 t2' -> sstep (sapp v t2) (sapp v t2')
+| ST_IfTrue : forall t1 t2, sstep (site stru t1 t2) t1
+| ST_IfFalse : forall t1 t2, sstep (site sfls t1 t2) t2
+| ST_If : forall c c' t1 t2,
+    sstep c c' -> sstep (site c t1 t2) (site c' t1 t2).
+
+Inductive smulti : tm -> tm -> Prop :=
+| smulti_refl : forall t, smulti t t
+| smulti_trans : forall t1 t2 t3,
+    sstep t1 t2 -> smulti t2 t3 -> smulti t1 t3.
+
+(* Association-list typing contexts. *)
+Inductive ctx_lookup : list (prod nat ty) -> nat -> ty -> Prop :=
+| cl_here : forall x T G, ctx_lookup ((x, T) :: G) x T
+| cl_later : forall x y T U G,
+    x <> y -> ctx_lookup G x T -> ctx_lookup ((y, U) :: G) x T.
+
+Inductive s_has_type : list (prod nat ty) -> tm -> ty -> Prop :=
+| ST_Var : forall G x T, ctx_lookup G x T -> s_has_type G (svar x) T
+| ST_Abs : forall G x T11 T12 t,
+    s_has_type ((x, T11) :: G) t T12 ->
+    s_has_type G (sabs x T11 t) (STArrow T11 T12)
+| ST_App : forall G t1 t2 T11 T12,
+    s_has_type G t1 (STArrow T11 T12) -> s_has_type G t2 T11 ->
+    s_has_type G (sapp t1 t2) T12
+| ST_Tru : forall G, s_has_type G stru STBool
+| ST_Fls : forall G, s_has_type G sfls STBool
+| ST_If : forall G c t1 t2 T,
+    s_has_type G c STBool -> s_has_type G t1 T -> s_has_type G t2 T ->
+    s_has_type G (site c t1 t2) T.
+"""
+
+HIGHER_ORDER = []

@@ -1,0 +1,53 @@
+"""PLF, chapter *StlcProp* — metatheory auxiliaries for the STLC.
+
+``appears_free_in`` is the chapter's central inductive relation (and
+first-order, unlike ``closed``/``stuck`` which negate existentials).
+The context-invariance exercise's relations are included too.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "StlcProp"
+
+DECLARATIONS = """
+Inductive ty : Type :=
+| STBool : ty
+| STArrow : ty -> ty -> ty.
+
+Inductive tm : Type :=
+| svar : nat -> tm
+| sapp : tm -> tm -> tm
+| sabs : nat -> ty -> tm -> tm
+| stru : tm
+| sfls : tm
+| site : tm -> tm -> tm -> tm.
+
+Inductive appears_free_in : nat -> tm -> Prop :=
+| afi_var : forall x, appears_free_in x (svar x)
+| afi_app1 : forall x t1 t2,
+    appears_free_in x t1 -> appears_free_in x (sapp t1 t2)
+| afi_app2 : forall x t1 t2,
+    appears_free_in x t2 -> appears_free_in x (sapp t1 t2)
+| afi_abs : forall x y T t,
+    x <> y -> appears_free_in x t -> appears_free_in x (sabs y T t)
+| afi_if1 : forall x c t1 t2,
+    appears_free_in x c -> appears_free_in x (site c t1 t2)
+| afi_if2 : forall x c t1 t2,
+    appears_free_in x t1 -> appears_free_in x (site c t1 t2)
+| afi_if3 : forall x c t1 t2,
+    appears_free_in x t2 -> appears_free_in x (site c t1 t2).
+
+(* Bound occurrence (dual exercise). *)
+Inductive bound_in : nat -> tm -> Prop :=
+| bi_abs_here : forall x T t, bound_in x (sabs x T t)
+| bi_abs_under : forall x y T t, bound_in x t -> bound_in x (sabs y T t)
+| bi_app1 : forall x t1 t2, bound_in x t1 -> bound_in x (sapp t1 t2)
+| bi_app2 : forall x t1 t2, bound_in x t2 -> bound_in x (sapp t1 t2)
+| bi_if1 : forall x c t1 t2, bound_in x c -> bound_in x (site c t1 t2)
+| bi_if2 : forall x c t1 t2, bound_in x t1 -> bound_in x (site c t1 t2)
+| bi_if3 : forall x c t1 t2, bound_in x t2 -> bound_in x (site c t1 t2).
+"""
+
+HIGHER_ORDER = [
+    ("closed", "~ exists x, appears_free_in x t (negated existential)"),
+    ("stuck", "normal_form (negated existential) and ~ value"),
+]

@@ -1,0 +1,122 @@
+"""PLF, chapter *Sub* — STLC with subtyping.
+
+The subtype relation (with Top, products, and contravariant arrows),
+plus the language relations using it, including the subsumption typing
+rule — whose premise order exercises the scheduler's
+producer-vs-checker decisions.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "Sub"
+
+DECLARATIONS = """
+Inductive ty : Type :=
+| UTop : ty
+| UBool : ty
+| UBase : nat -> ty
+| UArrow : ty -> ty -> ty
+| UProd : ty -> ty -> ty.
+
+Inductive subtype : ty -> ty -> Prop :=
+| S_Refl : forall T, subtype T T
+| S_Trans : forall Sv U T,
+    subtype Sv U -> subtype U T -> subtype Sv T
+| S_Top : forall Sv, subtype Sv UTop
+| S_Arrow : forall S1 S2 T1 T2,
+    subtype T1 S1 -> subtype S2 T2 ->
+    subtype (UArrow S1 S2) (UArrow T1 T2)
+| S_Prod : forall S1 S2 T1 T2,
+    subtype S1 T1 -> subtype S2 T2 ->
+    subtype (UProd S1 S2) (UProd T1 T2).
+
+Inductive tm : Type :=
+| uvar : nat -> tm
+| uapp : tm -> tm -> tm
+| uabs : nat -> ty -> tm -> tm
+| utru : tm
+| ufls : tm
+| uite : tm -> tm -> tm -> tm
+| uunit_c : tm
+| upair : tm -> tm -> tm
+| ufst : tm -> tm
+| usnd : tm -> tm.
+
+Inductive uvalue : tm -> Prop :=
+| uv_abs : forall x T t, uvalue (uabs x T t)
+| uv_tru : uvalue utru
+| uv_fls : uvalue ufls
+| uv_pair : forall v1 v2, uvalue v1 -> uvalue v2 -> uvalue (upair v1 v2).
+
+Inductive usubst : tm -> nat -> tm -> tm -> Prop :=
+| us_var_eq : forall s x, usubst s x (uvar x) s
+| us_var_neq : forall s x y, x <> y -> usubst s x (uvar y) (uvar y)
+| us_app : forall s x t1 t2 t1' t2',
+    usubst s x t1 t1' -> usubst s x t2 t2' ->
+    usubst s x (uapp t1 t2) (uapp t1' t2')
+| us_abs_eq : forall s x T t, usubst s x (uabs x T t) (uabs x T t)
+| us_abs_neq : forall s x y T t t',
+    x <> y -> usubst s x t t' -> usubst s x (uabs y T t) (uabs y T t')
+| us_tru : forall s x, usubst s x utru utru
+| us_fls : forall s x, usubst s x ufls ufls
+| us_ite : forall s x c c' t1 t1' t2 t2',
+    usubst s x c c' -> usubst s x t1 t1' -> usubst s x t2 t2' ->
+    usubst s x (uite c t1 t2) (uite c' t1' t2')
+| us_unit : forall s x, usubst s x uunit_c uunit_c
+| us_pair : forall s x t1 t2 t1' t2',
+    usubst s x t1 t1' -> usubst s x t2 t2' ->
+    usubst s x (upair t1 t2) (upair t1' t2')
+| us_fst : forall s x t t', usubst s x t t' -> usubst s x (ufst t) (ufst t')
+| us_snd : forall s x t t', usubst s x t t' -> usubst s x (usnd t) (usnd t').
+
+Inductive ustep : tm -> tm -> Prop :=
+| UST_AppAbs : forall x T t v t',
+    uvalue v -> usubst v x t t' -> ustep (uapp (uabs x T t) v) t'
+| UST_App1 : forall t1 t1' t2,
+    ustep t1 t1' -> ustep (uapp t1 t2) (uapp t1' t2)
+| UST_App2 : forall v t2 t2',
+    uvalue v -> ustep t2 t2' -> ustep (uapp v t2) (uapp v t2')
+| UST_IfTrue : forall t1 t2, ustep (uite utru t1 t2) t1
+| UST_IfFalse : forall t1 t2, ustep (uite ufls t1 t2) t2
+| UST_If : forall c c' t1 t2,
+    ustep c c' -> ustep (uite c t1 t2) (uite c' t1 t2)
+| UST_Pair1 : forall t1 t1' t2,
+    ustep t1 t1' -> ustep (upair t1 t2) (upair t1' t2)
+| UST_Pair2 : forall v t2 t2',
+    uvalue v -> ustep t2 t2' -> ustep (upair v t2) (upair v t2')
+| UST_Fst1 : forall t t', ustep t t' -> ustep (ufst t) (ufst t')
+| UST_FstPair : forall v1 v2,
+    uvalue v1 -> uvalue v2 -> ustep (ufst (upair v1 v2)) v1
+| UST_Snd1 : forall t t', ustep t t' -> ustep (usnd t) (usnd t')
+| UST_SndPair : forall v1 v2,
+    uvalue v1 -> uvalue v2 -> ustep (usnd (upair v1 v2)) v2.
+
+Inductive ulookup : list (prod nat ty) -> nat -> ty -> Prop :=
+| ul_here : forall x T G, ulookup ((x, T) :: G) x T
+| ul_later : forall x y T U G,
+    x <> y -> ulookup G x T -> ulookup ((y, U) :: G) x T.
+
+Inductive u_has_type : list (prod nat ty) -> tm -> ty -> Prop :=
+| UT_Var : forall G x T, ulookup G x T -> u_has_type G (uvar x) T
+| UT_Abs : forall G x T1 T2 t,
+    u_has_type ((x, T1) :: G) t T2 ->
+    u_has_type G (uabs x T1 t) (UArrow T1 T2)
+| UT_App : forall G t1 t2 T1 T2,
+    u_has_type G t1 (UArrow T1 T2) -> u_has_type G t2 T1 ->
+    u_has_type G (uapp t1 t2) T2
+| UT_Tru : forall G, u_has_type G utru UBool
+| UT_Fls : forall G, u_has_type G ufls UBool
+| UT_If : forall G c t1 t2 T,
+    u_has_type G c UBool -> u_has_type G t1 T -> u_has_type G t2 T ->
+    u_has_type G (uite c t1 t2) T
+| UT_Pair : forall G t1 t2 T1 T2,
+    u_has_type G t1 T1 -> u_has_type G t2 T2 ->
+    u_has_type G (upair t1 t2) (UProd T1 T2)
+| UT_Fst : forall G t T1 T2,
+    u_has_type G t (UProd T1 T2) -> u_has_type G (ufst t) T1
+| UT_Snd : forall G t T1 T2,
+    u_has_type G t (UProd T1 T2) -> u_has_type G (usnd t) T2
+| UT_Sub : forall G t Sv T,
+    u_has_type G t Sv -> subtype Sv T -> u_has_type G t T.
+"""
+
+HIGHER_ORDER = []

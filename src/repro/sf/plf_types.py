@@ -1,0 +1,70 @@
+"""PLF, chapter *Types* — the typed arithmetic/boolean language.
+
+Terms mixing booleans and numbers, the value predicates, small-step
+reduction, and the first typing relation of the volume.
+"""
+
+VOLUME = "PLF"
+CHAPTER = "Types"
+
+DECLARATIONS = """
+Inductive tm : Type :=
+| ttru : tm
+| tfls : tm
+| tite : tm -> tm -> tm -> tm
+| tzro : tm
+| tscc : tm -> tm
+| tprd : tm -> tm
+| tiszro : tm -> tm.
+
+Inductive bvalue : tm -> Prop :=
+| bv_tru : bvalue ttru
+| bv_fls : bvalue tfls.
+
+Inductive nvalue : tm -> Prop :=
+| nv_zro : nvalue tzro
+| nv_scc : forall t, nvalue t -> nvalue (tscc t).
+
+Inductive tvalue : tm -> Prop :=
+| tv_b : forall t, bvalue t -> tvalue t
+| tv_n : forall t, nvalue t -> tvalue t.
+
+Inductive tstep : tm -> tm -> Prop :=
+| ST_IfTrue : forall t1 t2, tstep (tite ttru t1 t2) t1
+| ST_IfFalse : forall t1 t2, tstep (tite tfls t1 t2) t2
+| ST_If : forall c c' t1 t2,
+    tstep c c' -> tstep (tite c t1 t2) (tite c' t1 t2)
+| ST_Succ : forall t t', tstep t t' -> tstep (tscc t) (tscc t')
+| ST_PredZero : tstep (tprd tzro) tzro
+| ST_PredSucc : forall t, nvalue t -> tstep (tprd (tscc t)) t
+| ST_Pred : forall t t', tstep t t' -> tstep (tprd t) (tprd t')
+| ST_IszeroZero : tstep (tiszro tzro) ttru
+| ST_IszeroSucc : forall t, nvalue t -> tstep (tiszro (tscc t)) tfls
+| ST_Iszero : forall t t', tstep t t' -> tstep (tiszro t) (tiszro t').
+
+Inductive tyta : Type :=
+| TBool : tyta
+| TNat : tyta.
+
+Inductive ta_has_type : tm -> tyta -> Prop :=
+| T_Tru : ta_has_type ttru TBool
+| T_Fls : ta_has_type tfls TBool
+| T_If : forall c t1 t2 T,
+    ta_has_type c TBool -> ta_has_type t1 T -> ta_has_type t2 T ->
+    ta_has_type (tite c t1 t2) T
+| T_Zro : ta_has_type tzro TNat
+| T_Scc : forall t, ta_has_type t TNat -> ta_has_type (tscc t) TNat
+| T_Prd : forall t, ta_has_type t TNat -> ta_has_type (tprd t) TNat
+| T_Iszro : forall t,
+    ta_has_type t TNat -> ta_has_type (tiszro t) TBool.
+
+(* The multi-step relation, instantiated at tstep. *)
+Inductive tmulti : tm -> tm -> Prop :=
+| tmulti_refl : forall t, tmulti t t
+| tmulti_trans : forall t1 t2 t3,
+    tstep t1 t2 -> tmulti t2 t3 -> tmulti t1 t3.
+"""
+
+HIGHER_ORDER = [
+    ("stuck", "conjunction of normal_form (negated existential) and ~value"),
+]

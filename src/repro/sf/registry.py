@@ -1,0 +1,161 @@
+"""The Software Foundations corpus registry (Section 6.1 / Table 1).
+
+The paper evaluates its derivation on every inductive relation in the
+first two Software Foundations volumes — Logical Foundations (LF) and
+Programming Language Foundations (PLF) — reporting, per volume: the
+number of relations, how many the full algorithm derives computations
+for, and how many the restricted Algorithm 1 baseline handles.  Out of
+scope are relations involving computations over higher-order data
+(functions in negative positions, quantification over propositions);
+the paper's single global change — representing maps as association
+lists instead of functions — is reproduced here too.
+
+Each chapter module contributes :class:`CorpusEntry` records; entries
+carry the relation's declaration in the surface syntax (or none, for
+the higher-order ones, which are listed by name for the census).  The
+census (:func:`table1`) loads every chapter into a fresh context and
+attempts both derivations per entry.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.context import Context
+from ..core.errors import ReproError
+from ..core.parser import parse_declarations
+from ..stdlib import standard_context
+
+CHAPTER_MODULES = [
+    "repro.sf.lf_indprop",
+    "repro.sf.lf_lists",
+    "repro.sf.lf_rel",
+    "repro.sf.lf_imp",
+    "repro.sf.plf_equiv",
+    "repro.sf.plf_hoare",
+    "repro.sf.plf_smallstep",
+    "repro.sf.plf_types",
+    "repro.sf.plf_stlc",
+    "repro.sf.plf_stlcprop",
+    "repro.sf.plf_morestlc",
+    "repro.sf.plf_sub",
+    "repro.sf.plf_records",
+    "repro.sf.plf_recordsub",
+    "repro.sf.plf_references",
+    "repro.sf.plf_norm",
+]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One inductive relation from the SF series."""
+
+    name: str
+    volume: str  # 'LF' | 'PLF'
+    chapter: str
+    higher_order: bool = False
+    note: str = ""
+
+
+@dataclass
+class Chapter:
+    """A loaded chapter: its context and its entries."""
+
+    module: str
+    volume: str
+    name: str
+    ctx: Context
+    entries: list[CorpusEntry]
+
+
+def load_chapter(module_name: str) -> Chapter:
+    """Import a chapter module and build its context.
+
+    Chapter modules expose ``VOLUME``, ``CHAPTER``, ``DECLARATIONS``
+    (surface syntax), optional ``setup(ctx)`` (extra functions), and
+    ``HIGHER_ORDER`` (names + notes of out-of-scope relations).
+    """
+    mod = importlib.import_module(module_name)
+    ctx = standard_context()
+    setup = getattr(mod, "setup", None)
+    if setup is not None:
+        setup(ctx)
+    declared = parse_declarations(ctx, mod.DECLARATIONS)
+    entries: list[CorpusEntry] = []
+    from ..core.relations import Relation
+
+    for d in declared:
+        if isinstance(d, Relation):
+            entries.append(CorpusEntry(d.name, mod.VOLUME, mod.CHAPTER))
+    for name, note in getattr(mod, "HIGHER_ORDER", []):
+        entries.append(
+            CorpusEntry(name, mod.VOLUME, mod.CHAPTER, higher_order=True, note=note)
+        )
+    return Chapter(module_name, mod.VOLUME, mod.CHAPTER, ctx, entries)
+
+
+def load_corpus(modules: Iterable[str] = CHAPTER_MODULES) -> list[Chapter]:
+    return [load_chapter(m) for m in modules]
+
+
+@dataclass
+class Table1Row:
+    volume: str
+    relations: int = 0
+    derived: int = 0
+    baseline: int = 0
+    out_of_scope: int = 0
+    failures: list[tuple[str, str]] = field(default_factory=list)
+
+
+def census_relation(ctx: Context, name: str) -> tuple[bool, bool, str]:
+    """(full algorithm ok, Algorithm 1 ok, failure note)."""
+    from ..derive.checker_core import algorithm1_supported
+    from ..derive.instances import resolve_checker
+
+    rel = ctx.relations.get(name)
+    baseline = algorithm1_supported(rel)
+    try:
+        resolve_checker(ctx, name)
+        return True, baseline, ""
+    except ReproError as err:
+        return False, baseline, str(err)
+
+
+def table1(
+    modules: Iterable[str] = CHAPTER_MODULES,
+) -> tuple[dict[str, Table1Row], list[Chapter]]:
+    """Regenerate Table 1: per volume, relation counts and how many
+    each algorithm derives a checker for."""
+    rows = {"LF": Table1Row("LF"), "PLF": Table1Row("PLF")}
+    chapters = load_corpus(modules)
+    for chapter in chapters:
+        row = rows[chapter.volume]
+        for entry in chapter.entries:
+            row.relations += 1
+            if entry.higher_order:
+                row.out_of_scope += 1
+                continue
+            ok, baseline, note = census_relation(chapter.ctx, entry.name)
+            if ok:
+                row.derived += 1
+            else:
+                row.failures.append((f"{chapter.name}.{entry.name}", note))
+            if baseline:
+                row.baseline += 1
+    return rows, chapters
+
+
+def format_table1(rows: dict[str, Table1Row]) -> str:
+    lines = [
+        f"{'':6s}{'Inductive':>12s}{'Computations':>15s}{'Baseline':>12s}",
+        f"{'':6s}{'Relations':>12s}{'Derived':>15s}{'(Algorithm 1)':>12s}",
+    ]
+    for volume in ("LF", "PLF"):
+        r = rows[volume]
+        lines.append(
+            f"{volume:6s}{r.relations:>12d}{r.derived:>15d}{r.baseline:>12d}"
+        )
+    return "\n".join(lines)

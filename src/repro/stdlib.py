@@ -1,0 +1,223 @@
+"""Standard library of datatypes and functions.
+
+Mirrors the slice of Coq's standard library that Software Foundations
+relations depend on: Peano naturals, booleans, unit, pairs, options,
+polymorphic lists, and the usual arithmetic / list functions.
+
+:func:`standard_context` builds a fresh :class:`Context` with all of it
+declared; most examples, the SF corpus, and the case studies start from
+one.
+"""
+
+from __future__ import annotations
+
+from .core.context import Context
+from .core.datatypes import ConstructorSig, DataType
+from .core.errors import EvaluationError
+from .core.types import BOOL, NAT, Ty, TyVar
+from .core.values import (
+    FALSE,
+    NIL,
+    TRUE,
+    Value,
+    from_bool,
+    from_int,
+    from_list,
+    to_int,
+    to_list,
+)
+
+A = TyVar("A")
+B = TyVar("B")
+
+
+def _nat() -> DataType:
+    return DataType(
+        "nat",
+        (),
+        (
+            ConstructorSig("O", ()),
+            ConstructorSig("S", (NAT,)),
+        ),
+    )
+
+
+def _bool() -> DataType:
+    return DataType(
+        "bool",
+        (),
+        (ConstructorSig("true", ()), ConstructorSig("false", ())),
+    )
+
+
+def _unit() -> DataType:
+    return DataType("unit", (), (ConstructorSig("tt", ()),))
+
+
+def _option() -> DataType:
+    return DataType(
+        "option",
+        ("A",),
+        (ConstructorSig("Some", (A,)), ConstructorSig("None", ())),
+    )
+
+
+def _list() -> DataType:
+    return DataType(
+        "list",
+        ("A",),
+        (
+            ConstructorSig("nil", ()),
+            ConstructorSig("cons", (A, Ty("list", (A,)))),
+        ),
+    )
+
+
+def _prod() -> DataType:
+    return DataType(
+        "prod",
+        ("A", "B"),
+        (ConstructorSig("pair", (A, B)),),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Function interpretations (over Peano naturals and cons-lists).
+# ---------------------------------------------------------------------------
+
+def _plus(a: Value, b: Value) -> Value:
+    return from_int(to_int(a) + to_int(b))
+
+
+def _mult(a: Value, b: Value) -> Value:
+    return from_int(to_int(a) * to_int(b))
+
+
+def _minus(a: Value, b: Value) -> Value:
+    # Truncated subtraction, as in Coq.
+    return from_int(max(0, to_int(a) - to_int(b)))
+
+
+def _pred(a: Value) -> Value:
+    if a.ctor == "S":
+        return a.args[0]
+    return a  # pred 0 = 0
+
+
+def _succ(a: Value) -> Value:
+    return Value("S", (a,))
+
+
+def _double(a: Value) -> Value:
+    return from_int(2 * to_int(a))
+
+
+def _leb(a: Value, b: Value) -> Value:
+    return from_bool(to_int(a) <= to_int(b))
+
+
+def _ltb(a: Value, b: Value) -> Value:
+    return from_bool(to_int(a) < to_int(b))
+
+
+def _eqb(a: Value, b: Value) -> Value:
+    return from_bool(a == b)
+
+
+def _max(a: Value, b: Value) -> Value:
+    return from_int(max(to_int(a), to_int(b)))
+
+
+def _min(a: Value, b: Value) -> Value:
+    return from_int(min(to_int(a), to_int(b)))
+
+
+def _negb(a: Value) -> Value:
+    return FALSE if a.ctor == "true" else TRUE
+
+
+def _andb(a: Value, b: Value) -> Value:
+    return b if a.ctor == "true" else FALSE
+
+
+def _orb(a: Value, b: Value) -> Value:
+    return TRUE if a.ctor == "true" else b
+
+
+def _app(xs: Value, ys: Value) -> Value:
+    items = to_list(xs)
+    acc = ys
+    for item in reversed(items):
+        acc = Value("cons", (item, acc))
+    return acc
+
+
+def _length(xs: Value) -> Value:
+    return from_int(len(to_list(xs)))
+
+
+def _rev(xs: Value) -> Value:
+    return from_list(list(reversed(to_list(xs))))
+
+
+def _repeat(x: Value, n: Value) -> Value:
+    return from_list([x] * to_int(n))
+
+
+def _hd_error(xs: Value) -> Value:
+    if xs.ctor == "cons":
+        return Value("Some", (xs.args[0],))
+    return Value("None")
+
+
+def _tl(xs: Value) -> Value:
+    if xs.ctor == "cons":
+        return xs.args[1]
+    return NIL
+
+
+def _fst(p: Value) -> Value:
+    if p.ctor != "pair":
+        raise EvaluationError(f"fst applied to non-pair {p}")
+    return p.args[0]
+
+
+def _snd(p: Value) -> Value:
+    if p.ctor != "pair":
+        raise EvaluationError(f"snd applied to non-pair {p}")
+    return p.args[1]
+
+
+LIST_A = Ty("list", (A,))
+
+
+def standard_context() -> Context:
+    """A fresh context with the standard datatypes and functions."""
+    ctx = Context()
+    for dt in (_nat(), _bool(), _unit(), _option(), _list(), _prod()):
+        ctx.declare_datatype(dt)
+
+    f = ctx.declare_function
+    f("plus", (NAT, NAT), NAT, _plus)
+    f("mult", (NAT, NAT), NAT, _mult)
+    f("minus", (NAT, NAT), NAT, _minus)
+    f("pred", (NAT,), NAT, _pred)
+    f("succ", (NAT,), NAT, _succ)
+    f("double", (NAT,), NAT, _double)
+    f("max", (NAT, NAT), NAT, _max)
+    f("min", (NAT, NAT), NAT, _min)
+    f("leb", (NAT, NAT), BOOL, _leb)
+    f("ltb", (NAT, NAT), BOOL, _ltb)
+    f("eqb", (NAT, NAT), BOOL, _eqb)
+    f("negb", (BOOL,), BOOL, _negb)
+    f("andb", (BOOL, BOOL), BOOL, _andb)
+    f("orb", (BOOL, BOOL), BOOL, _orb)
+    f("app", (LIST_A, LIST_A), LIST_A, _app)
+    f("length", (LIST_A,), NAT, _length)
+    f("rev", (LIST_A,), LIST_A, _rev)
+    f("repeat", (A, NAT), LIST_A, _repeat)
+    f("hd_error", (LIST_A,), Ty("option", (A,)), _hd_error)
+    f("tl", (LIST_A,), LIST_A, _tl)
+    f("fst", (Ty("prod", (A, B)),), A, _fst)
+    f("snd", (Ty("prod", (A, B)),), B, _snd)
+    return ctx

@@ -1,0 +1,26 @@
+"""Translation validation: certify derived computations (Section 5)."""
+
+from .checkers import census, certify_checker
+from .obligations import (
+    DEFAULT_CONFIG,
+    Certificate,
+    ObligationResult,
+    ValidationConfig,
+)
+from .producers import certify_enumerator, certify_generator
+from .reflection import ProofReport, prove_by_reflection, prove_explicit, reflect_holds
+
+__all__ = [
+    "Certificate",
+    "DEFAULT_CONFIG",
+    "ObligationResult",
+    "ProofReport",
+    "ValidationConfig",
+    "census",
+    "certify_checker",
+    "certify_enumerator",
+    "certify_generator",
+    "prove_by_reflection",
+    "prove_explicit",
+    "reflect_holds",
+]

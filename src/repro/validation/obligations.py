@@ -1,0 +1,122 @@
+"""Formal correctness obligations (Section 5.1).
+
+Each obligation is the *statement* the paper's Ltac2 scripts prove,
+reified as an object that can be discharged on bounded domains:
+
+Checkers (``check`` = derived semi-decision procedure for ``P``):
+
+* soundness:        ∀ s, check s (P e…) = Some true  → P e…
+* completeness:     P e… → ∃ s, check s (P e…) = Some true
+* monotonicity:     s₁ ≤ s₂ → check s₁ = Some b → check s₂ = Some b
+* negation sound.:  ∀ s, check s (P e…) = Some false → ¬ P e…
+  (derivable from monotonicity + completeness, checked directly here)
+
+Producers (``[prod]ₛ`` = set-of-outcomes at size s, ``[prod]`` = its
+union over all s):
+
+* size-monotonicity: s₁ ≤ s₂ → [prod]ₛ₁ ⊆ [prod]ₛ₂
+* soundness:         x ∈ [prod]   → P … x …
+* completeness:      P … x …     → x ∈ [prod]
+
+"P e…" is judged by the reference proof search
+(:mod:`repro.semantics.proof_search`), so each discharge is an honest
+two-sided comparison between the derived computation and an
+independent semantics — the translation-validation analogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Budgets for discharging obligations.
+
+    ``domain_depth`` bounds the constructor depth of exhaustively
+    enumerated argument tuples; ``max_tuples`` caps how many are
+    tested; ``ref_depth`` is the reference-search derivation-height
+    budget used to judge ground truth; ``max_fuel`` bounds the ∃s
+    searches; ``gen_samples`` is the per-input sample count used for
+    the statistical generator checks; ``max_outcomes`` caps how much
+    of any single enumeration is examined (obligations whose discharge
+    would need the truncated tail are reported inconclusive, never
+    refuted).
+    """
+
+    domain_depth: int = 3
+    max_tuples: int = 400
+    ref_depth: int = 16
+    max_fuel: int = 24
+    gen_samples: int = 200
+    max_outcomes: int = 600
+    seed: int = 2022
+
+
+DEFAULT_CONFIG = ValidationConfig()
+
+
+@dataclass
+class ObligationResult:
+    """The outcome of discharging one obligation."""
+
+    name: str
+    status: str  # 'proved' | 'refuted' | 'inconclusive' | 'assumed'
+    cases: int = 0
+    detail: str = ""
+    counterexample: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("proved", "assumed")
+
+    def __str__(self) -> str:
+        body = f"{self.name}: {self.status} ({self.cases} cases)"
+        if self.detail:
+            body += f" — {self.detail}"
+        if self.counterexample is not None:
+            body += f"; counterexample: {self.counterexample}"
+        return body
+
+
+@dataclass
+class Certificate:
+    """A per-artifact validation certificate.
+
+    ``step_cases`` records the structural walk over the schedule (one
+    entry per construct kind, mirroring the case analysis of the Ltac2
+    proof scripts in Section 5.2), ``obligations`` the discharged
+    statements, and ``dependencies`` the instances whose own
+    certificates this one assumes (the typeclass-resolved obligations
+    of Section 5.3).
+    """
+
+    rel: str
+    mode: str
+    kind: str  # 'checker' | 'enum' | 'gen'
+    obligations: list[ObligationResult] = field(default_factory=list)
+    step_cases: dict[str, int] = field(default_factory=dict)
+    dependencies: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.obligations)
+
+    @property
+    def refuted(self) -> list[ObligationResult]:
+        return [o for o in self.obligations if o.status == "refuted"]
+
+    def summary(self) -> str:
+        head = f"certificate {self.kind} {self.rel} [{self.mode}]: "
+        head += "OK" if self.ok else "FAILED"
+        lines = [head]
+        for o in self.obligations:
+            lines.append(f"  {o}")
+        if self.step_cases:
+            cases = ", ".join(f"{k}×{v}" for k, v in sorted(self.step_cases.items()))
+            lines.append(f"  structural cases covered: {cases}")
+        if self.dependencies:
+            deps = ", ".join(f"{k}:{r}[{m}]" for k, r, m in self.dependencies)
+            lines.append(f"  assumes: {deps}")
+        return "\n".join(lines)

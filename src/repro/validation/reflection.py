@@ -1,0 +1,107 @@
+"""Proof by computational reflection (Section 6.3).
+
+The paper's showcase: proving ``Sorted (repeat 1 2000)`` by repeatedly
+applying constructors builds a proof term with thousands of nodes
+(slow to build, slow to re-check); applying the derived checker's
+soundness theorem and *computing* replaces all of it with one checker
+run.
+
+The analogue here:
+
+* the **explicit** route builds a full :class:`Derivation` tree via
+  directed constructor application and re-checks it node by node
+  (:func:`prove_explicit`) — the "repeat eapply; Qed" cost model;
+* the **reflective** route runs the derived checker once and cites its
+  soundness certificate (:func:`prove_by_reflection`) — the
+  "eapply sound; compute; reflexivity" cost model.
+
+Both return a :class:`ProofReport` with sizes and timings so the
+benchmark can reproduce the paper's contrast.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.context import Context
+from ..core.errors import ValidationError
+from ..core.values import Value
+from ..derive.instances import resolve_checker
+from ..semantics.derivation import Derivation, check_derivation
+from ..semantics.proof_search import SearchConfig, search_derivation
+
+
+@dataclass(frozen=True)
+class ProofReport:
+    """Outcome of one proving strategy."""
+
+    method: str  # 'explicit' | 'reflective'
+    goal: str
+    proved: bool
+    proof_size: int  # rule applications (explicit) or 1 (reflective)
+    build_seconds: float
+    check_seconds: float
+
+    def __str__(self) -> str:
+        status = "proved" if self.proved else "FAILED"
+        return (
+            f"{self.method:10s} {self.goal}: {status}; proof size "
+            f"{self.proof_size}; build {self.build_seconds:.4f}s, "
+            f"check {self.check_seconds:.4f}s"
+        )
+
+
+def prove_explicit(
+    ctx: Context,
+    rel_name: str,
+    args: tuple[Value, ...],
+    depth: int,
+    cfg: SearchConfig | None = None,
+) -> ProofReport:
+    """Build an explicit derivation tree and check it — the proof-term
+    route the paper times at 11.2 s + 16.3 s for ``sorted_2000``."""
+    goal = f"{rel_name}({', '.join(str(a) for a in args)[:40]}…)"
+    start = time.perf_counter()
+    tree = search_derivation(ctx, rel_name, args, depth, cfg or SearchConfig())
+    build = time.perf_counter() - start
+    if tree is None:
+        return ProofReport("explicit", goal, False, 0, build, 0.0)
+    start = time.perf_counter()
+    try:
+        check_derivation(ctx, tree)
+        proved = True
+    except ValidationError:
+        proved = False
+    check = time.perf_counter() - start
+    return ProofReport("explicit", goal, proved, tree.size(), build, check)
+
+
+def prove_by_reflection(
+    ctx: Context,
+    rel_name: str,
+    args: tuple[Value, ...],
+    fuel: int,
+) -> ProofReport:
+    """Run the derived checker once; the soundness obligation (checked
+    separately, once per checker) justifies concluding the relation —
+    ``eapply sound with (s := fuel); compute; reflexivity``."""
+    goal = f"{rel_name}({', '.join(str(a) for a in args)[:40]}…)"
+    instance = resolve_checker(ctx, rel_name)
+    start = time.perf_counter()
+    result = instance.fn(fuel, args)
+    build = time.perf_counter() - start
+    # "Typechecking" the reflective proof re-runs the computation (the
+    # kernel reduces the same term at Qed time).
+    start = time.perf_counter()
+    again = instance.fn(fuel, args)
+    check = time.perf_counter() - start
+    proved = result.is_true and again.is_true
+    return ProofReport("reflective", goal, proved, 1, build, check)
+
+
+def reflect_holds(
+    ctx: Context, rel_name: str, args: tuple[Value, ...], fuel: int
+) -> bool:
+    """Convenience: the reflective judgment itself."""
+    return resolve_checker(ctx, rel_name).fn(fuel, args).is_true

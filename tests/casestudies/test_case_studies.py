@@ -1,0 +1,227 @@
+"""Integration tests for the three evaluation case studies."""
+
+import random
+
+import pytest
+
+from repro.casestudies import bst, ifc, stlc
+from repro.core.values import V, from_int, from_list, to_int
+from repro.derive.instances import CHECKER, GEN, resolve, resolve_compiled
+from repro.derive.modes import Mode
+from repro.quickchick import for_all, quick_check
+
+
+# ---------------------------------------------------------------------------
+# BST
+# ---------------------------------------------------------------------------
+
+class TestBst:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return bst.make_context()
+
+    def test_handwritten_and_derived_checkers_agree(self, ctx):
+        derived = resolve_compiled(ctx, CHECKER, "bst", Mode.checker(3))
+        rng = random.Random(0)
+        lo, hi = from_int(0), from_int(12)
+        for _ in range(60):
+            out = bst.handwritten_bst_gen(8, (lo, hi), rng)
+            tree = out[0]
+            args = (lo, hi, tree)
+            assert bst.handwritten_bst_check(24, args).tag == derived(24, args).tag
+            # A deliberately broken tree must be rejected identically.
+            broken = bst.node(tree, 0, bst.LEAF)
+            broken_args = (lo, hi, broken)
+            assert (
+                bst.handwritten_bst_check(24, broken_args).tag
+                == derived(24, broken_args).tag
+            )
+
+    def test_derived_generator_produces_valid_trees(self, ctx):
+        gen = resolve_compiled(ctx, GEN, "bst", Mode.from_string("iio"))
+        rng = random.Random(1)
+        lo, hi = from_int(0), from_int(12)
+        produced = 0
+        for _ in range(80):
+            out = gen(8, (lo, hi), rng)
+            if isinstance(out, tuple):
+                produced += 1
+                verdict = bst.handwritten_bst_check(30, (lo, hi, out[0]))
+                assert verdict.is_true
+        assert produced > 40
+
+    def test_property_passes_with_correct_insert(self, ctx):
+        workload = bst.BstWorkload(ctx)
+        gen, prop = workload.property_fn(
+            bst.handwritten_bst_gen, bst.handwritten_bst_check, bst.insert
+        )
+        report = quick_check(for_all(gen, prop, "bst"), num_tests=300, seed=3)
+        assert not report.failed and report.tests_run == 300
+
+    @pytest.mark.parametrize("mutant", bst.MUTANTS, ids=lambda m: m.name)
+    def test_mutants_caught(self, ctx, mutant):
+        workload = bst.BstWorkload(ctx)
+        gen, prop = workload.property_fn(
+            bst.handwritten_bst_gen, bst.handwritten_bst_check, mutant.impl
+        )
+        report = quick_check(for_all(gen, prop, mutant.name),
+                             num_tests=30000, seed=5)
+        assert report.failed, f"{mutant.name} escaped"
+
+
+# ---------------------------------------------------------------------------
+# STLC
+# ---------------------------------------------------------------------------
+
+class TestStlc:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return stlc.make_context()
+
+    def test_infer_examples(self, ctx):
+        env = []
+        assert stlc.infer(env, stlc.con(3)) == stlc.N
+        identity = stlc.abs_(stlc.N, stlc.var(0))
+        assert stlc.infer(env, identity) == stlc.arr(stlc.N, stlc.N)
+        assert stlc.infer(env, stlc.app(stlc.con(1), stlc.con(2))) is None
+        assert stlc.infer(env, stlc.var(0)) is None
+
+    def test_handwritten_checker_agrees_with_derived(self, ctx):
+        derived = resolve_compiled(ctx, CHECKER, "typing", Mode.checker(3))
+        rng = random.Random(2)
+        env_value = from_list([stlc.N, stlc.arr(stlc.N, stlc.N)])
+        for _ in range(40):
+            ty = stlc._gen_type(2, rng)
+            out = stlc.handwritten_typing_gen(6, (env_value, ty), rng)
+            if not isinstance(out, tuple):
+                continue
+            args = (env_value, out[0], ty)
+            assert stlc.handwritten_typing_check(1, args).is_true
+            assert derived(30, args).is_true
+
+    def test_step_reduces_redex(self, ctx):
+        redex = stlc.app(stlc.abs_(stlc.N, stlc.var(0)), stlc.con(7))
+        assert stlc.step(redex) == stlc.con(7)
+        assert stlc.step(stlc.con(1)) is None
+
+    def test_subst_examples(self, ctx):
+        # [0 := 5] (\x:N. Var 1)  ->  \x:N. 5
+        body = stlc.abs_(stlc.N, stlc.var(1))
+        out = stlc.subst(0, stlc.con(5), body)
+        assert out == stlc.abs_(stlc.N, stlc.con(5))
+        # lift under a binder skips the bound variable
+        assert stlc.lift(0, 1, stlc.abs_(stlc.N, stlc.var(0))) == stlc.abs_(
+            stlc.N, stlc.var(0)
+        )
+
+    def test_preservation_with_correct_subst(self, ctx):
+        workload = stlc.StlcWorkload(ctx)
+        gen, prop = workload.property_fn(
+            stlc.handwritten_typing_gen, stlc.handwritten_typing_check, stlc.subst
+        )
+        report = quick_check(for_all(gen, prop, "preservation"),
+                             num_tests=300, seed=4)
+        assert not report.failed
+
+    @pytest.mark.parametrize("mutant", stlc.MUTANTS, ids=lambda m: m.name)
+    def test_mutants_caught(self, ctx, mutant):
+        workload = stlc.StlcWorkload(ctx)
+        gen, prop = workload.property_fn(
+            stlc.handwritten_typing_gen, stlc.handwritten_typing_check, mutant.impl
+        )
+        report = quick_check(for_all(gen, prop, mutant.name),
+                             num_tests=40000, seed=6, size=6)
+        assert report.failed, f"{mutant.name} escaped"
+
+
+# ---------------------------------------------------------------------------
+# IFC
+# ---------------------------------------------------------------------------
+
+class TestIfc:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ifc.make_context()
+
+    def test_indist_checker_agreement(self, ctx):
+        derived = resolve_compiled(ctx, CHECKER, "indist_list", Mode.checker(2))
+        rng = random.Random(3)
+        for _ in range(60):
+            mem1 = [
+                (rng.randint(0, 5), "H" if rng.random() < 0.5 else "L")
+                for _ in range(4)
+            ]
+            out = ifc.handwritten_indist_gen(6, (ifc.mem_to_value(mem1),), rng)
+            mem2v = out[0]
+            args = (ifc.mem_to_value(mem1), mem2v)
+            assert ifc.handwritten_indist_check(12, args).tag == derived(12, args).tag
+            # Tampering with a low value must be caught by both.
+            tampered = list(ifc.value_to_mem(mem2v))
+            tampered[0] = (tampered[0][0] + 1, tampered[0][1])
+            targs = (ifc.mem_to_value(mem1), ifc.mem_to_value(tampered))
+            assert (
+                ifc.handwritten_indist_check(12, targs).tag
+                == derived(12, targs).tag
+            )
+
+    def test_machine_executes(self, ctx):
+        program = [ifc.Instr(ifc.PUSH, (1, "L")), ifc.Instr(ifc.PUSH, (2, "L")),
+                   ifc.Instr(ifc.ADD)]
+        m = ifc.Machine(stack=[], mem=[(0, "L")])
+        for _ in range(3):
+            ifc.step_machine(m, program)
+        assert m.stack == [(3, "L")]
+
+    def test_add_joins_labels(self, ctx):
+        program = [ifc.Instr(ifc.PUSH, (1, "H")), ifc.Instr(ifc.PUSH, (2, "L")),
+                   ifc.Instr(ifc.ADD)]
+        m = ifc.Machine(stack=[], mem=[])
+        for _ in range(3):
+            ifc.step_machine(m, program)
+        assert m.stack == [(3, "H")]
+
+    def test_store_halts_on_high_address(self, ctx):
+        program = [
+            ifc.Instr(ifc.PUSH, (7, "L")),   # value
+            ifc.Instr(ifc.PUSH, (0, "H")),   # address (high!)
+            ifc.Instr(ifc.STORE),
+        ]
+        m = ifc.Machine(stack=[], mem=[(0, "L")])
+        for _ in range(3):
+            ifc.step_machine(m, program)
+        assert m.halted
+        assert m.mem == [(0, "L")]
+
+    def test_noninterference_with_correct_machine(self, ctx):
+        workload = ifc.IfcWorkload(ctx)
+        gen, prop = workload.property_fn(
+            ifc.handwritten_indist_gen, ifc.handwritten_indist_check,
+            ifc.CORRECT_STEP,
+        )
+        report = quick_check(for_all(gen, prop, "noninterference"),
+                             num_tests=800, seed=7)
+        assert not report.failed
+
+    @pytest.mark.parametrize("mutant", ifc.MUTANTS, ids=lambda m: m.name)
+    def test_mutants_caught(self, ctx, mutant):
+        workload = ifc.IfcWorkload(ctx)
+        gen, prop = workload.property_fn(
+            ifc.handwritten_indist_gen, ifc.handwritten_indist_check, mutant.impl
+        )
+        report = quick_check(for_all(gen, prop, mutant.name),
+                             num_tests=30000, seed=8)
+        assert report.failed, f"{mutant.name} escaped"
+
+    def test_derived_indist_generator_sound(self, ctx):
+        gen = resolve_compiled(ctx, GEN, "indist_list", Mode.from_string("io"))
+        rng = random.Random(9)
+        for _ in range(50):
+            mem1 = [
+                (rng.randint(0, 5), "H" if rng.random() < 0.5 else "L")
+                for _ in range(4)
+            ]
+            out = gen(8, (ifc.mem_to_value(mem1),), rng)
+            if not isinstance(out, tuple):
+                continue
+            args = (ifc.mem_to_value(mem1), out[0])
+            assert ifc.handwritten_indist_check(12, args).is_true

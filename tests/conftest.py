@@ -1,0 +1,100 @@
+"""Shared fixtures: contexts with commonly used relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.stdlib import standard_context
+
+NAT_RELATIONS = """
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive ev : nat -> Prop :=
+| ev_0 : ev 0
+| ev_SS : forall n, ev n -> ev (S (S n)).
+
+Inductive square_of : nat -> nat -> Prop :=
+| sq : forall n, square_of n (n * n).
+"""
+
+LIST_RELATIONS = """
+Inductive Sorted : list nat -> Prop :=
+| Sorted_nil : Sorted []
+| Sorted_sing : forall x, Sorted [x]
+| Sorted_cons : forall x y l, le x y -> Sorted (y :: l) -> Sorted (x :: y :: l).
+
+Inductive InNat : nat -> list nat -> Prop :=
+| In_here : forall x l, InNat x (x :: l)
+| In_there : forall x y l, InNat x l -> InNat x (y :: l).
+"""
+
+STLC_DECLS = """
+Inductive type : Type :=
+| N : type
+| Arr : type -> type -> type.
+
+Inductive term : Type :=
+| Con : nat -> term
+| Add : term -> term -> term
+| Vart : nat -> term
+| App : term -> term -> term
+| Abs : type -> term -> term.
+
+Inductive lookup : list type -> nat -> type -> Prop :=
+| lookup_here : forall t G, lookup (t :: G) 0 t
+| lookup_there : forall t t2 G n, lookup G n t -> lookup (t2 :: G) (S n) t.
+
+Inductive typing : list type -> term -> type -> Prop :=
+| TCon : forall G n, typing G (Con n) N
+| TAdd : forall G e1 e2,
+    typing G e1 N -> typing G e2 N -> typing G (Add e1 e2) N
+| TAbs : forall G e t1 t2,
+    typing (t1 :: G) e t2 -> typing G (Abs t1 e) (Arr t1 t2)
+| TVar : forall G x t, lookup G x t -> typing G (Vart x) t
+| TApp : forall G e1 e2 t1 t2,
+    typing G e2 t1 -> typing G e1 (Arr t1 t2) -> typing G (App e1 e2) t2.
+"""
+
+ZERO_DECL = """
+Inductive zero : nat -> Prop :=
+| Zero : zero 0
+| NonZero : forall n, zero (S n) -> zero n.
+"""
+
+
+@pytest.fixture
+def ctx():
+    """A fresh standard context (no extra relations)."""
+    return standard_context()
+
+
+@pytest.fixture
+def nat_ctx():
+    c = standard_context()
+    parse_declarations(c, NAT_RELATIONS)
+    return c
+
+
+@pytest.fixture
+def list_ctx():
+    c = standard_context()
+    parse_declarations(c, NAT_RELATIONS)
+    parse_declarations(c, LIST_RELATIONS)
+    return c
+
+
+@pytest.fixture
+def stlc_ctx():
+    c = standard_context()
+    parse_declarations(c, STLC_DECLS)
+    return c
+
+
+@pytest.fixture
+def zero_ctx():
+    c = standard_context()
+    parse_declarations(c, ZERO_DECL)
+    return c

@@ -1,0 +1,131 @@
+"""Tests for surface-syntax function definitions (Fixpoint/Definition)."""
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.errors import EvaluationError, ParseError
+from repro.core.values import from_int, nat_list, to_bool, to_int
+from repro.stdlib import standard_context
+
+
+@pytest.fixture
+def ctx():
+    return standard_context()
+
+
+def define(ctx, text):
+    return parse_declarations(ctx, text)
+
+
+class TestDefinitions:
+    def test_simple_definition(self, ctx):
+        define(ctx, """
+            Definition is_zero (n : nat) : bool :=
+              match n with | O => true | S m => false end.
+        """)
+        f = ctx.functions.require("is_zero")
+        assert to_bool(f.apply((from_int(0),)))
+        assert not to_bool(f.apply((from_int(3),)))
+
+    def test_body_without_match(self, ctx):
+        define(ctx, "Definition add3 (n : nat) : nat := n + 3.")
+        assert to_int(ctx.functions.require("add3").apply((from_int(4),))) == 7
+
+    def test_multiple_params(self, ctx):
+        define(ctx, """
+            Definition swap_diff (a : nat) (b : nat) : nat := b - a.
+        """)
+        f = ctx.functions.require("swap_diff")
+        assert to_int(f.apply((from_int(2), from_int(9)))) == 7
+
+    def test_grouped_params(self, ctx):
+        define(ctx, "Definition addp (a b : nat) : nat := a + b.")
+        f = ctx.functions.require("addp")
+        assert f.arity == 2
+
+
+class TestFixpoints:
+    def test_recursion(self, ctx):
+        define(ctx, """
+            Fixpoint fact (n : nat) : nat :=
+              match n with
+              | O => 1
+              | S m => n * fact m
+              end.
+        """)
+        f = ctx.functions.require("fact")
+        assert to_int(f.apply((from_int(5),))) == 120
+
+    def test_list_recursion(self, ctx):
+        define(ctx, """
+            Fixpoint sum_list (l : list nat) : nat :=
+              match l with
+              | [] => 0
+              | x :: rest => x + sum_list rest
+              end.
+        """)
+        f = ctx.functions.require("sum_list")
+        assert to_int(f.apply((nat_list([1, 2, 3, 4]),))) == 10
+
+    def test_nested_match(self, ctx):
+        define(ctx, """
+            Fixpoint fib (n : nat) : nat :=
+              match n with
+              | O => O
+              | S m => match m with
+                       | O => 1
+                       | S k => fib m + fib k
+                       end
+              end.
+        """)
+        f = ctx.functions.require("fib")
+        assert [to_int(f.apply((from_int(n),))) for n in range(8)] == [
+            0, 1, 1, 2, 3, 5, 8, 13,
+        ]
+
+    def test_match_fallthrough_raises(self, ctx):
+        define(ctx, """
+            Definition partial (n : nat) : nat :=
+              match n with | S m => m end.
+        """)
+        f = ctx.functions.require("partial")
+        with pytest.raises(EvaluationError):
+            f.apply((from_int(0),))
+
+
+class TestIntegrationWithDerivation:
+    def test_relation_over_defined_function(self, ctx):
+        define(ctx, """
+            Fixpoint double_fn (n : nat) : nat :=
+              match n with
+              | O => O
+              | S m => S (S (double_fn m))
+              end.
+
+            Inductive doubled : nat -> nat -> Prop :=
+            | dbl : forall n, doubled n (double_fn n).
+        """)
+        from repro.derive import derive_checker, derive_enumerator
+
+        chk = derive_checker(ctx, "doubled")
+        assert chk(4, from_int(3), from_int(6)).is_true
+        assert chk(4, from_int(3), from_int(7)).is_false
+        inverse = derive_enumerator(ctx, "doubled", "oi")
+        assert [to_int(t[0]) for t in inverse.values(10, from_int(8))] == [4]
+
+
+class TestParseErrors:
+    def test_match_outside_function_body(self, ctx):
+        with pytest.raises(ParseError):
+            parse_declarations(ctx, """
+                Inductive bad : nat -> Prop :=
+                | b : forall n, bad (match n with | O => O end).
+            """)
+
+    def test_empty_match_rejected(self, ctx):
+        with pytest.raises(ParseError):
+            define(ctx, "Definition f (n : nat) : nat := match n with end.")
+
+    def test_params_required(self, ctx):
+        with pytest.raises(ParseError):
+            define(ctx, "Definition c : nat := 3.")

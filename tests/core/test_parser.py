@@ -1,0 +1,194 @@
+"""Tests for the Coq-like surface syntax."""
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.errors import ParseError
+from repro.core.parser import parse_term_text
+from repro.core.relations import EqPremise, Relation, RelPremise
+from repro.core.terms import Ctor, Fun, Var
+from repro.core.types import Ty
+from repro.stdlib import standard_context
+
+
+@pytest.fixture
+def ctx():
+    return standard_context()
+
+
+class TestDatatypeDeclarations:
+    def test_simple_enum(self, ctx):
+        (dt,) = parse_declarations(
+            ctx, "Inductive color : Type := | Red : color | Blue : color."
+        )
+        assert dt.name == "color"
+        assert [c.name for c in dt.constructors] == ["Red", "Blue"]
+
+    def test_recursive_datatype(self, ctx):
+        (dt,) = parse_declarations(
+            ctx,
+            "Inductive tree : Type := | Leaf : tree "
+            "| Node : tree -> nat -> tree -> tree.",
+        )
+        node = dt.constructor("Node")
+        assert node.arg_types == (Ty("tree"), Ty("nat"), Ty("tree"))
+        assert dt.is_recursive_constructor("Node")
+        assert not dt.is_recursive_constructor("Leaf")
+
+    def test_polymorphic_datatype(self, ctx):
+        (dt,) = parse_declarations(
+            ctx,
+            "Inductive mylist (A : Type) : Type := "
+            "| mynil : mylist A | mycons : A -> mylist A -> mylist A.",
+        )
+        assert dt.params == ("A",)
+
+    def test_constructor_must_build_the_type(self, ctx):
+        with pytest.raises(ParseError):
+            parse_declarations(
+                ctx, "Inductive c1 : Type := | Mk : nat."
+            )
+
+
+class TestRelationDeclarations:
+    def test_le(self, ctx):
+        (rel,) = parse_declarations(
+            ctx,
+            """
+            Inductive le : nat -> nat -> Prop :=
+            | le_n : forall n, le n n
+            | le_S : forall n m, le n m -> le n (S m).
+            """,
+        )
+        assert isinstance(rel, Relation)
+        assert rel.arity == 2
+        le_s = rel.rule("le_S")
+        assert len(le_s.premises) == 1
+        assert isinstance(le_s.premises[0], RelPremise)
+        assert le_s.var_types == {"n": Ty("nat"), "m": Ty("nat")}
+
+    def test_negated_premise(self, ctx):
+        decls = parse_declarations(
+            ctx,
+            """
+            Inductive iszero : nat -> Prop := | isz : iszero 0.
+
+            Inductive notzero : nat -> Prop :=
+            | nz : forall n, ~ iszero n -> notzero n.
+            """,
+        )
+        premise = decls[1].rules[0].premises[0]
+        assert isinstance(premise, RelPremise) and premise.negated
+
+    def test_equality_premise(self, ctx):
+        (rel,) = parse_declarations(
+            ctx,
+            """
+            Inductive diag : nat -> nat -> Prop :=
+            | dg : forall n m, n = m -> diag n m.
+            """,
+        )
+        premise = rel.rules[0].premises[0]
+        assert isinstance(premise, EqPremise)
+        assert premise.ty == Ty("nat")
+
+    def test_disequality_premise(self, ctx):
+        (rel,) = parse_declarations(
+            ctx,
+            """
+            Inductive offdiag : nat -> nat -> Prop :=
+            | od : forall n m, n <> m -> offdiag n m.
+            """,
+        )
+        premise = rel.rules[0].premises[0]
+        assert isinstance(premise, EqPremise) and premise.negated
+
+    def test_conclusion_must_match_relation(self, ctx):
+        with pytest.raises(ParseError):
+            parse_declarations(
+                ctx,
+                """
+                Inductive a1 : nat -> Prop := | mk : forall n, le n n.
+                """,
+            )
+
+    def test_infix_sugar_in_rules(self, ctx):
+        (rel,) = parse_declarations(
+            ctx,
+            """
+            Inductive sums : nat -> nat -> nat -> Prop :=
+            | mk : forall a b, sums a b (a + b).
+            """,
+        )
+        conclusion = rel.rules[0].conclusion
+        assert conclusion[2] == Fun("plus", (Var("a"), Var("b")))
+
+    def test_mutual_block(self, ctx):
+        decls = parse_declarations(
+            ctx,
+            """
+            Inductive even : nat -> Prop :=
+            | even_0 : even 0
+            | even_S : forall n, odd n -> even (S n)
+            with odd : nat -> Prop :=
+            | odd_S : forall n, even n -> odd (S n).
+            """,
+        )
+        assert [d.name for d in decls] == ["even", "odd"]
+        assert ctx.relations.get("odd").rules[0].premises[0].rel == "even"
+
+    def test_comments_ignored(self, ctx):
+        parse_declarations(
+            ctx,
+            """
+            (* a comment (* nested *) here *)
+            Inductive c2 : nat -> Prop := | mk : c2 0.
+            """,
+        )
+        assert "c2" in ctx.relations
+
+
+class TestTermParsing:
+    def test_numerals_expand_to_peano(self, ctx):
+        t = parse_term_text(ctx, "2")
+        assert t == Ctor("S", (Ctor("S", (Ctor("O", ()),)),))
+
+    def test_list_literal(self, ctx):
+        t = parse_term_text(ctx, "[0; 1]")
+        assert t.name == "cons"
+
+    def test_empty_list(self, ctx):
+        assert parse_term_text(ctx, "[]") == Ctor("nil", ())
+
+    def test_pair_literal(self, ctx):
+        t = parse_term_text(ctx, "(0, 1)")
+        assert t.name == "pair"
+
+    def test_operator_precedence(self, ctx):
+        t = parse_term_text(ctx, "1 + 2 * 3")
+        assert t.name == "plus"
+        assert t.args[1].name == "mult"
+
+    def test_cons_right_associative(self, ctx):
+        t = parse_term_text(ctx, "0 :: 1 :: []")
+        assert t.name == "cons"
+        assert t.args[1].name == "cons"
+
+    def test_append_operator(self, ctx):
+        t = parse_term_text(ctx, "[] ++ []")
+        assert t == Fun("app", (Ctor("nil", ()), Ctor("nil", ())))
+
+    def test_trailing_garbage_rejected(self, ctx):
+        with pytest.raises(ParseError):
+            parse_term_text(ctx, "0 )")
+
+    def test_unterminated_comment(self, ctx):
+        with pytest.raises(ParseError):
+            parse_declarations(ctx, "(* oops")
+
+
+class TestErrorLocations:
+    def test_error_carries_line_and_column(self, ctx):
+        with pytest.raises(ParseError) as info:
+            parse_declarations(ctx, "Inductive x : Type :=\n| bad bad : x.")
+        assert info.value.line == 2

@@ -1,0 +1,97 @@
+"""Tests for pattern matching and unification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import instantiate, match, match_all
+from repro.core.terms import C, Ctor, Term, Var, value_to_term
+from repro.core.unify import resolve, unify, walk
+from repro.core.values import V, from_int
+
+
+class TestMatch:
+    def test_var_binds(self):
+        binding = {}
+        assert match(Var("x"), from_int(3), binding)
+        assert binding == {"x": from_int(3)}
+
+    def test_ctor_match(self):
+        binding = {}
+        assert match(C("S", Var("n")), from_int(2), binding)
+        assert binding["n"] == from_int(1)
+
+    def test_ctor_mismatch(self):
+        assert not match(C("O"), from_int(1), {})
+
+    def test_nonlinear_as_equality(self):
+        pattern = C("pair", Var("x"), Var("x"))
+        assert match(pattern, V("pair", from_int(1), from_int(1)), {})
+        assert not match(pattern, V("pair", from_int(1), from_int(2)), {})
+
+    def test_match_all(self):
+        binding = match_all((Var("a"), C("S", Var("b"))), (from_int(0), from_int(4)))
+        assert binding == {"a": from_int(0), "b": from_int(3)}
+        assert match_all((C("O"),), (from_int(1),)) is None
+
+    def test_instantiate_inverse_of_match(self):
+        pattern = C("cons", Var("x"), Var("rest"))
+        value = V("cons", from_int(1), V("nil"))
+        binding = {}
+        assert match(pattern, value, binding)
+        assert instantiate(pattern, binding) == value
+
+
+def _value_strategy():
+    return st.recursive(
+        st.sampled_from([V("O"), V("true"), V("false"), V("nil")]),
+        lambda children: st.builds(
+            lambda a: V("S", a), children
+        ) | st.builds(lambda a, b: V("cons", a, b), children, children),
+        max_leaves=8,
+    )
+
+
+class TestUnify:
+    def test_var_against_term(self):
+        s = unify(Var("x"), value_to_term(from_int(2)), {})
+        assert s is not None
+        assert resolve(Var("x"), s) == value_to_term(from_int(2))
+
+    def test_occurs_check(self):
+        assert unify(Var("x"), C("S", Var("x")), {}) is None
+
+    def test_clash(self):
+        assert unify(C("O"), C("true"), {}) is None
+
+    def test_two_vars_unify(self):
+        s = unify(Var("x"), Var("y"), {})
+        assert s is not None
+        s2 = unify(Var("x"), C("O"), s)
+        assert resolve(Var("y"), s2) == C("O")
+
+    def test_input_subst_not_mutated(self):
+        s0 = {}
+        unify(Var("x"), C("O"), s0)
+        assert s0 == {}
+
+    @given(_value_strategy())
+    def test_ground_self_unification(self, v):
+        t = value_to_term(v)
+        assert unify(t, t, {}) == {}
+
+    @given(_value_strategy(), _value_strategy())
+    def test_ground_unification_is_equality(self, a, b):
+        ta, tb = value_to_term(a), value_to_term(b)
+        result = unify(ta, tb, {})
+        assert (result is not None) == (a == b)
+
+    @given(_value_strategy())
+    def test_pattern_extraction(self, v):
+        # S-pattern matches exactly the successors.
+        s = unify(C("S", Var("p")), value_to_term(v), {})
+        assert (s is not None) == (v.ctor == "S")
+
+    def test_walk_chases_chains(self):
+        s = {"x": Var("y"), "y": C("O")}
+        assert walk(Var("x"), s) == C("O")

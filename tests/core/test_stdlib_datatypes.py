@@ -1,0 +1,132 @@
+"""Tests for the standard library and the datatype registry."""
+
+import pytest
+
+from repro.core.datatypes import ConstructorSig, DataType
+from repro.core.errors import DeclarationError, UnknownNameError
+from repro.core.types import BOOL, NAT, Ty, TyVar
+from repro.core.values import (
+    FALSE,
+    TRUE,
+    V,
+    from_bool,
+    from_int,
+    from_list,
+    nat_list,
+    to_bool,
+    to_int,
+)
+from repro.stdlib import standard_context
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return standard_context()
+
+
+class TestStandardFunctions:
+    @pytest.mark.parametrize(
+        "name,args,expected",
+        [
+            ("plus", (3, 4), 7),
+            ("mult", (3, 4), 12),
+            ("minus", (7, 3), 4),
+            ("minus", (3, 7), 0),  # truncated, as in Coq
+            ("pred", (5,), 4),
+            ("pred", (0,), 0),
+            ("succ", (5,), 6),
+            ("double", (5,), 10),
+            ("max", (3, 9), 9),
+            ("min", (3, 9), 3),
+        ],
+    )
+    def test_nat_functions(self, ctx, name, args, expected):
+        fn = ctx.functions.require(name)
+        result = fn.apply(tuple(from_int(a) for a in args))
+        assert to_int(result) == expected
+
+    @pytest.mark.parametrize(
+        "name,args,expected",
+        [
+            ("leb", (3, 4), True),
+            ("leb", (4, 3), False),
+            ("ltb", (3, 3), False),
+            ("eqb", (3, 3), True),
+            ("eqb", (3, 4), False),
+        ],
+    )
+    def test_comparisons(self, ctx, name, args, expected):
+        fn = ctx.functions.require(name)
+        assert to_bool(fn.apply(tuple(from_int(a) for a in args))) == expected
+
+    def test_boolean_functions(self, ctx):
+        f = lambda name, *args: ctx.functions.require(name).apply(args)
+        assert f("negb", TRUE) == FALSE
+        assert f("andb", TRUE, FALSE) == FALSE
+        assert f("andb", TRUE, TRUE) == TRUE
+        assert f("orb", FALSE, TRUE) == TRUE
+
+    def test_list_functions(self, ctx):
+        f = lambda name, *args: ctx.functions.require(name).apply(args)
+        xs = nat_list([1, 2])
+        ys = nat_list([3])
+        assert f("app", xs, ys) == nat_list([1, 2, 3])
+        assert to_int(f("length", xs)) == 2
+        assert f("rev", xs) == nat_list([2, 1])
+        assert f("repeat", from_int(7), from_int(3)) == nat_list([7, 7, 7])
+        assert f("tl", xs) == nat_list([2])
+        assert f("hd_error", xs) == V("Some", from_int(1))
+        assert f("hd_error", nat_list([])) == V("None")
+
+    def test_pair_projections(self, ctx):
+        f = lambda name, *args: ctx.functions.require(name).apply(args)
+        p = V("pair", from_int(1), TRUE)
+        assert f("fst", p) == from_int(1)
+        assert f("snd", p) == TRUE
+
+
+class TestDataTypeRegistry:
+    def test_ownership(self, ctx):
+        assert ctx.datatypes.owner_of("S").name == "nat"
+        assert ctx.datatypes.owner_of("cons").name == "list"
+        with pytest.raises(UnknownNameError):
+            ctx.datatypes.owner_of("Ghost")
+
+    def test_recursive_constructor_detection(self, ctx):
+        nat = ctx.datatypes.get("nat")
+        assert nat.is_recursive_constructor("S")
+        assert not nat.is_recursive_constructor("O")
+        assert [c.name for c in nat.base_constructors] == ["O"]
+
+    def test_polymorphic_arg_types(self, ctx):
+        lst = ctx.datatypes.get("list")
+        assert lst.constructor_arg_types("cons", (NAT,)) == (
+            NAT,
+            Ty("list", (NAT,)),
+        )
+
+    def test_check_value(self, ctx):
+        assert ctx.datatypes.check_value(from_int(3), NAT)
+        assert not ctx.datatypes.check_value(from_int(3), BOOL)
+        assert ctx.datatypes.check_value(nat_list([1]), Ty("list", (NAT,)))
+        assert not ctx.datatypes.check_value(
+            from_list([TRUE]), Ty("list", (NAT,))
+        )
+
+    def test_duplicate_datatype_rejected(self, ctx):
+        child = ctx.fork()
+        with pytest.raises(DeclarationError):
+            child.declare_datatype(DataType("nat", (), ()))
+
+    def test_duplicate_constructor_rejected(self, ctx):
+        child = ctx.fork()
+        with pytest.raises(DeclarationError):
+            child.declare_datatype(
+                DataType("nat2", (), (ConstructorSig("O", ()),))
+            )
+
+    def test_fork_isolates(self, ctx):
+        child = ctx.fork()
+        child.declare_datatype(DataType("color", (), (ConstructorSig("Red", ()),)))
+        assert "color" in child.datatypes
+        assert "color" not in ctx.datatypes

@@ -1,0 +1,96 @@
+"""Unit tests for the open-term language."""
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.core.terms import (
+    C,
+    Ctor,
+    F,
+    Fun,
+    Var,
+    contains_fun,
+    evaluate,
+    free_vars,
+    is_constructor_term,
+    is_linear,
+    subst,
+    term_size,
+    term_to_value,
+    value_to_term,
+    var_set,
+)
+from repro.core.values import V, from_int, to_int
+from repro.stdlib import standard_context
+
+
+class TestStructure:
+    def test_free_vars_order_and_repetition(self):
+        t = C("pair", Var("x"), C("S", Var("x")))
+        assert list(free_vars(t)) == ["x", "x"]
+        assert var_set(t) == frozenset({"x"})
+
+    def test_is_linear(self):
+        assert is_linear([Var("x"), Var("y")])
+        assert not is_linear([Var("x"), C("S", Var("x"))])
+        assert is_linear([C("pair", Var("a"), Var("b"))])
+
+    def test_is_constructor_term(self):
+        assert is_constructor_term(C("S", Var("n")))
+        assert not is_constructor_term(F("plus", Var("n"), Var("m")))
+        assert not is_constructor_term(C("S", F("plus", Var("n"), C("O"))))
+
+    def test_contains_fun(self):
+        assert contains_fun(C("S", F("plus", C("O"), C("O"))))
+        assert not contains_fun(C("S", C("O")))
+
+    def test_term_size(self):
+        assert term_size(Var("x")) == 1
+        assert term_size(C("S", C("S", C("O")))) == 3
+
+    def test_str_rendering(self):
+        assert str(C("S", Var("n"))) == "S n"
+        assert str(C("cons", Var("x"), C("nil"))) == "cons x nil"
+        assert str(C("S", C("S", Var("n")))) == "S (S n)"
+
+
+class TestSubstitution:
+    def test_subst_replaces_free_vars(self):
+        t = C("pair", Var("x"), Var("y"))
+        out = subst(t, {"x": C("O")})
+        assert out == C("pair", C("O"), Var("y"))
+
+    def test_subst_under_fun(self):
+        t = F("plus", Var("n"), Var("n"))
+        out = subst(t, {"n": C("O")})
+        assert out == F("plus", C("O"), C("O"))
+
+
+class TestEvaluation:
+    def test_value_term_roundtrip(self):
+        v = V("S", V("S", V("O")))
+        assert term_to_value(value_to_term(v)) == v
+
+    def test_term_to_value_rejects_vars(self):
+        with pytest.raises(EvaluationError):
+            term_to_value(Var("x"))
+
+    def test_term_to_value_rejects_funs(self):
+        with pytest.raises(EvaluationError):
+            term_to_value(F("plus", C("O"), C("O")))
+
+    def test_evaluate_function_calls(self):
+        ctx = standard_context()
+        t = F("plus", Var("n"), F("mult", Var("n"), Var("n")))
+        result = evaluate(t, {"n": from_int(3)}, ctx)
+        assert to_int(result) == 12
+
+    def test_evaluate_unbound_raises(self):
+        ctx = standard_context()
+        with pytest.raises(EvaluationError):
+            evaluate(Var("ghost"), {}, ctx)
+
+    def test_evaluate_unknown_function_raises(self):
+        ctx = standard_context()
+        with pytest.raises(EvaluationError):
+            evaluate(F("mystery", C("O")), {}, ctx)

@@ -1,0 +1,117 @@
+"""Tests for rule-variable type inference."""
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.errors import TypeMismatchError, UnknownNameError
+from repro.core.relations import EqPremise, Relation, RelPremise, Rule
+from repro.core.terms import C, F, Var
+from repro.core.typecheck import infer_relation_types
+from repro.core.types import NAT, Ty
+from repro.stdlib import standard_context
+
+
+@pytest.fixture
+def ctx():
+    return standard_context()
+
+
+def make_rel(name, arg_types, rules):
+    return Relation(name, tuple(arg_types), tuple(rules))
+
+
+class TestInference:
+    def test_infers_from_conclusion_positions(self, ctx):
+        rel = make_rel(
+            "r1", [NAT, Ty("bool")],
+            [Rule("mk", (), (Var("n"), Var("b")))],
+        )
+        inferred = infer_relation_types(rel, ctx)
+        assert inferred.rules[0].var_types == {"n": NAT, "b": Ty("bool")}
+
+    def test_infers_through_constructors(self, ctx):
+        rel = make_rel(
+            "r2", [Ty("list", (NAT,))],
+            [Rule("mk", (), (C("cons", Var("x"), Var("rest")),))],
+        )
+        inferred = infer_relation_types(rel, ctx)
+        assert inferred.rules[0].var_types == {
+            "x": NAT,
+            "rest": Ty("list", (NAT,)),
+        }
+
+    def test_infers_through_function_signatures(self, ctx):
+        rel = make_rel(
+            "r3", [NAT],
+            [Rule("mk", (), (F("plus", Var("a"), Var("b")),))],
+        )
+        inferred = infer_relation_types(rel, ctx)
+        assert inferred.rules[0].var_types == {"a": NAT, "b": NAT}
+
+    def test_annotates_equality_premises(self, ctx):
+        rel = make_rel(
+            "r4", [NAT],
+            [Rule("mk", (EqPremise(Var("n"), C("O")),), (Var("n"),))],
+        )
+        inferred = infer_relation_types(rel, ctx)
+        premise = inferred.rules[0].premises[0]
+        assert isinstance(premise, EqPremise) and premise.ty == NAT
+
+    def test_premise_types_from_other_relations(self, ctx):
+        parse_declarations(
+            ctx,
+            "Inductive isnil : list nat -> Prop := | mk : isnil [].",
+        )
+        rel = make_rel(
+            "r5", [Ty("list", (NAT,))],
+            [Rule("mk", (RelPremise("isnil", (Var("l"),)),), (Var("l"),))],
+        )
+        inferred = infer_relation_types(rel, ctx)
+        assert inferred.rules[0].var_types["l"] == Ty("list", (NAT,))
+
+    def test_polymorphic_list_function_instantiated(self, ctx):
+        # app : list A -> list A -> list A used at list nat.
+        rel = make_rel(
+            "r6", [Ty("list", (NAT,))],
+            [Rule("mk", (), (F("app", Var("xs"), Var("ys")),))],
+        )
+        inferred = infer_relation_types(rel, ctx)
+        assert inferred.rules[0].var_types["xs"] == Ty("list", (NAT,))
+
+
+class TestErrors:
+    def test_type_clash_detected(self, ctx):
+        rel = make_rel(
+            "bad1", [NAT],
+            [Rule("mk", (), (C("true"),))],
+        )
+        with pytest.raises(TypeMismatchError):
+            infer_relation_types(rel, ctx)
+
+    def test_same_var_two_types_clash(self, ctx):
+        rel = make_rel(
+            "bad2", [NAT, Ty("bool")],
+            [Rule("mk", (), (Var("x"), Var("x")))],
+        )
+        with pytest.raises(TypeMismatchError):
+            infer_relation_types(rel, ctx)
+
+    def test_unknown_constructor(self, ctx):
+        rel = make_rel("bad3", [NAT], [Rule("mk", (), (C("Ghost"),))])
+        with pytest.raises(UnknownNameError):
+            infer_relation_types(rel, ctx)
+
+    def test_ambiguous_variable_rejected(self, ctx):
+        # x never constrained to a concrete type.
+        rel = make_rel(
+            "bad4", [NAT],
+            [
+                Rule(
+                    "mk",
+                    (EqPremise(Var("x"), Var("y")),),
+                    (C("O"),),
+                )
+            ],
+        )
+        with pytest.raises(TypeMismatchError):
+            infer_relation_types(rel, ctx)

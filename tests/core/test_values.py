@@ -1,0 +1,126 @@
+"""Unit tests for runtime values and stdlib encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import (
+    NIL,
+    TRUE,
+    V,
+    Value,
+    from_bool,
+    from_int,
+    from_list,
+    from_option,
+    from_pair,
+    iter_list,
+    nat_list,
+    render,
+    to_bool,
+    to_int,
+    to_list,
+    to_nat_list,
+    to_option,
+    to_pair,
+    value_to_python,
+)
+
+
+class TestValueBasics:
+    def test_equality_structural(self):
+        assert V("S", V("O")) == V("S", V("O"))
+        assert V("S", V("O")) != V("O")
+
+    def test_hashable(self):
+        s = {V("O"), V("S", V("O")), V("O")}
+        assert len(s) == 2
+
+    def test_size_and_depth(self):
+        v = V("S", V("S", V("O")))
+        assert v.size() == 3
+        assert v.depth() == 3
+        pair = V("pair", V("O"), V("S", V("O")))
+        assert pair.size() == 4
+        assert pair.depth() == 3
+
+    def test_repr_roundtrips_through_str(self):
+        assert str(V("O")) == "0"
+        assert "Value" in repr(V("O"))
+
+
+class TestNatEncoding:
+    def test_zero(self):
+        assert to_int(from_int(0)) == 0
+
+    def test_roundtrip_small(self):
+        for n in range(20):
+            assert to_int(from_int(n)) == n
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_roundtrip_property(self, n):
+        assert to_int(from_int(n)) == n
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            from_int(-1)
+
+    def test_non_nat_rejected(self):
+        with pytest.raises(ValueError):
+            to_int(V("true"))
+
+
+class TestListEncoding:
+    def test_empty(self):
+        assert to_list(NIL) == []
+        assert from_list([]) == NIL
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=12))
+    def test_roundtrip_property(self, xs):
+        assert to_nat_list(nat_list(xs)) == xs
+
+    def test_iter_list_lazy(self):
+        v = nat_list([1, 2, 3])
+        assert [to_int(x) for x in iter_list(v)] == [1, 2, 3]
+
+    def test_bad_list_rejected(self):
+        with pytest.raises(ValueError):
+            to_list(V("S", V("O")))
+
+
+class TestOtherEncodings:
+    def test_bool(self):
+        assert to_bool(from_bool(True)) is True
+        assert to_bool(from_bool(False)) is False
+        with pytest.raises(ValueError):
+            to_bool(V("O"))
+
+    def test_option(self):
+        assert to_option(from_option(None)) is None
+        assert to_option(from_option(V("O"))) == V("O")
+
+    def test_pair(self):
+        a, b = to_pair(from_pair(V("O"), TRUE))
+        assert a == V("O")
+        assert b == TRUE
+
+
+class TestRendering:
+    def test_nat_renders_as_numeral(self):
+        assert render(from_int(3)) == "3"
+
+    def test_list_renders_with_brackets(self):
+        assert render(nat_list([1, 2])) == "[1; 2]"
+
+    def test_pair_renders_with_parens(self):
+        assert render(from_pair(from_int(1), from_int(2))) == "(1, 2)"
+
+    def test_ctor_with_args_parenthesizes(self):
+        v = V("Arr", V("N"), V("Arr", V("N"), V("N")))
+        assert render(v) == "Arr N (Arr N N)"
+
+    def test_value_to_python(self):
+        assert value_to_python(from_int(4)) == 4
+        assert value_to_python(nat_list([1, 2])) == [1, 2]
+        assert value_to_python(from_bool(True)) is True
+        assert value_to_python(from_pair(from_int(1), TRUE)) == (1, True)

@@ -1,0 +1,148 @@
+"""Behavioral tests for derived checkers, against the reference search."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import parse_declarations
+from repro.core.values import V, from_int, from_list, nat_list
+from repro.derive import derive_checker
+from repro.semantics import derivable
+
+
+class TestLe:
+    def test_agrees_with_reference_exhaustively(self, nat_ctx):
+        chk = derive_checker(nat_ctx, "le")
+        for a in range(6):
+            for b in range(6):
+                expected = a <= b
+                result = chk(12, from_int(a), from_int(b))
+                assert result.is_true == expected
+                assert result.is_false == (not expected)
+
+    def test_fuel_exhaustion_returns_none(self, nat_ctx):
+        chk = derive_checker(nat_ctx, "le")
+        assert chk(2, from_int(0), from_int(9)).is_none
+
+    def test_decide_doubles_fuel(self, nat_ctx):
+        chk = derive_checker(nat_ctx, "le")
+        assert chk.decide((from_int(0), from_int(30)), max_fuel=64).is_true
+
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.integers(0, 25), st.integers(0, 25))
+    def test_property_against_python(self, nat_ctx, a, b):
+        chk = derive_checker(nat_ctx, "le")
+        assert chk(40, from_int(a), from_int(b)).is_true == (a <= b)
+
+
+class TestEv:
+    @given(st.integers(0, 30))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_parity(self, nat_ctx, n):
+        chk = derive_checker(nat_ctx, "ev")
+        assert chk(40, from_int(n)).is_true == (n % 2 == 0)
+
+
+class TestSquareOf:
+    def test_squares(self, nat_ctx):
+        chk = derive_checker(nat_ctx, "square_of")
+        for n in range(6):
+            assert chk(4, from_int(n), from_int(n * n)).is_true
+            assert chk(4, from_int(n), from_int(n * n + 1)).is_false
+
+
+class TestSorted:
+    @given(st.lists(st.integers(0, 8), max_size=6))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_against_python_sorted(self, list_ctx, xs):
+        chk = derive_checker(list_ctx, "Sorted")
+        expected = xs == sorted(xs)
+        result = chk(40, nat_list(xs))
+        assert result.is_true == expected
+
+
+class TestSTLC:
+    """The running example, including the existential TApp case."""
+
+    @pytest.fixture(autouse=True)
+    def _setup(self, stlc_ctx):
+        self.ctx = stlc_ctx
+        self.chk = derive_checker(stlc_ctx, "typing")
+        self.N = V("N")
+        self.empty = from_list([])
+
+    def arr(self, a, b):
+        return V("Arr", a, b)
+
+    def test_constants(self):
+        assert self.chk(5, self.empty, V("Con", from_int(3)), self.N).is_true
+
+    def test_application_with_existential(self):
+        # (\x:N. x + 1) 2 : N — requires enumerating t1 = N.
+        tm = V(
+            "App",
+            V("Abs", self.N, V("Add", V("Vart", from_int(0)), V("Con", from_int(1)))),
+            V("Con", from_int(2)),
+        )
+        assert self.chk(10, self.empty, tm, self.N).is_true
+
+    def test_ill_typed_application(self):
+        tm = V("App", V("Con", from_int(1)), V("Con", from_int(2)))
+        assert self.chk(10, self.empty, tm, self.N).is_false
+
+    def test_unbound_variable(self):
+        assert self.chk(10, self.empty, V("Vart", from_int(0)), self.N).is_false
+
+    def test_variable_in_context(self):
+        env = from_list([self.N])
+        assert self.chk(10, env, V("Vart", from_int(0)), self.N).is_true
+        assert self.chk(10, env, V("Vart", from_int(0)), self.arr(self.N, self.N)).is_false
+
+    def test_nonlinear_abs_type_mismatch(self):
+        # Abs annotated N but used at Arr N N -> N type: TAbs nonlinear
+        # equality must reject mismatched annotations.
+        tm = V("Abs", self.N, V("Con", from_int(0)))
+        bad = self.arr(self.arr(self.N, self.N), self.N)
+        assert self.chk(10, self.empty, tm, bad).is_false
+
+    def test_agreement_with_reference(self):
+        tm = V("Abs", self.N, V("Vart", from_int(0)))
+        ty = self.arr(self.N, self.N)
+        assert self.chk(10, self.empty, tm, ty).is_true
+        assert derivable(self.ctx, "typing", (self.empty, tm, ty), 10)
+
+
+class TestZeroRelation:
+    """Section 5.1: the checker must answer None forever on nonzero
+    inputs — completeness for negation fails by design."""
+
+    def test_zero_accepted(self, zero_ctx):
+        chk = derive_checker(zero_ctx, "zero")
+        assert chk(3, from_int(0)).is_true
+
+    def test_nonzero_never_decided(self, zero_ctx):
+        chk = derive_checker(zero_ctx, "zero")
+        for fuel in (1, 2, 8, 32):
+            assert chk(fuel, from_int(3)).is_none
+
+
+class TestNegatedPremises:
+    def test_negation_soundness(self, ctx):
+        parse_declarations(
+            ctx,
+            """
+            Inductive isz : nat -> Prop := | isz0 : isz 0.
+            Inductive notz : nat -> Prop :=
+            | nz : forall n, ~ isz n -> notz n.
+            """,
+        )
+        chk = derive_checker(ctx, "notz")
+        assert chk(5, from_int(0)).is_false
+        assert chk(5, from_int(4)).is_true
+
+
+@pytest.fixture
+def ctx():
+    from repro.stdlib import standard_context
+
+    return standard_context()

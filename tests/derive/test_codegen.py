@@ -1,0 +1,153 @@
+"""Tests for the compiled backend: semantics must match the interpreter."""
+
+import random
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.values import V, from_int, from_list, nat_list
+from repro.derive import Mode
+from repro.derive.instances import CHECKER, ENUM, GEN, resolve, resolve_compiled
+from repro.producers.outcome import OUT_OF_FUEL, is_value
+
+
+def checker_pair(ctx, rel):
+    arity = ctx.relations.get(rel).arity
+    interp = resolve(ctx, CHECKER, rel, Mode.checker(arity)).fn
+    compiled = resolve_compiled(ctx, CHECKER, rel, Mode.checker(arity))
+    return interp, compiled
+
+
+class TestCompiledCheckers:
+    def test_le_agreement(self, nat_ctx):
+        interp, compiled = checker_pair(nat_ctx, "le")
+        for a in range(7):
+            for b in range(7):
+                for fuel in (0, 1, 3, 10):
+                    args = (from_int(a), from_int(b))
+                    assert interp(fuel, args) is compiled(fuel, args)
+
+    def test_square_of_agreement(self, nat_ctx):
+        interp, compiled = checker_pair(nat_ctx, "square_of")
+        for a in range(5):
+            for b in range(20):
+                args = (from_int(a), from_int(b))
+                assert interp(8, args) is compiled(8, args)
+
+    def test_sorted_agreement(self, list_ctx):
+        interp, compiled = checker_pair(list_ctx, "Sorted")
+        cases = [[], [1], [1, 2, 3], [3, 1], [0, 0], [2, 2, 1]]
+        for xs in cases:
+            for fuel in (0, 2, 12):
+                args = (nat_list(xs),)
+                assert interp(fuel, args) is compiled(fuel, args)
+
+    def test_stlc_agreement_including_existentials(self, stlc_ctx):
+        interp, compiled = checker_pair(stlc_ctx, "typing")
+        N = V("N")
+        empty = from_list([])
+        terms = [
+            (V("Con", from_int(1)), N),
+            (V("App", V("Abs", N, V("Vart", from_int(0))), V("Con", from_int(2))), N),
+            (V("App", V("Con", from_int(1)), V("Con", from_int(2))), N),
+            (V("Abs", N, V("Vart", from_int(0))), V("Arr", N, N)),
+        ]
+        for e, t in terms:
+            for fuel in (1, 4, 10):
+                args = (empty, e, t)
+                assert interp(fuel, args) is compiled(fuel, args)
+
+    def test_zero_relation_fuel_semantics(self, zero_ctx):
+        interp, compiled = checker_pair(zero_ctx, "zero")
+        for fuel in (1, 4, 16):
+            assert compiled(fuel, (from_int(5),)).is_none
+            assert compiled(fuel, (from_int(0),)).is_true
+
+    def test_compiled_source_attached(self, nat_ctx):
+        _, compiled = checker_pair(nat_ctx, "le")
+        assert "def rec(" in compiled.__derived_source__
+
+    def test_faster_than_interpreter(self, list_ctx):
+        import timeit
+
+        interp, compiled = checker_pair(list_ctx, "Sorted")
+        args = (nat_list(list(range(8))),)
+        t_interp = timeit.timeit(lambda: interp(20, args), number=60)
+        t_comp = timeit.timeit(lambda: compiled(20, args), number=60)
+        assert t_comp < t_interp
+
+
+class TestCompiledEnumerators:
+    def _pair(self, ctx, rel, mode):
+        interp = resolve(ctx, ENUM, rel, Mode.from_string(mode)).fn
+        compiled = resolve_compiled(ctx, ENUM, rel, Mode.from_string(mode))
+        return interp, compiled
+
+    def _outcomes(self, fn, fuel, ins):
+        values = set()
+        fuel_marker = False
+        for x in fn(fuel, ins):
+            if x is OUT_OF_FUEL:
+                fuel_marker = True
+            else:
+                values.add(x)
+        return values, fuel_marker
+
+    @pytest.mark.parametrize("mode", ["io", "oi", "oo"])
+    def test_le_same_outcomes(self, nat_ctx, mode):
+        interp, compiled = self._pair(nat_ctx, "le", mode)
+        ins = (from_int(3),) if mode != "oo" else ()
+        for fuel in (0, 2, 6):
+            a = self._outcomes(interp, fuel, ins)
+            b = self._outcomes(compiled, fuel, ins)
+            assert a == b
+
+    def test_typing_inference_same(self, stlc_ctx):
+        interp, compiled = self._pair(stlc_ctx, "typing", "iio")
+        empty = from_list([])
+        e = V("Abs", V("N"), V("Vart", from_int(0)))
+        assert self._outcomes(interp, 6, (empty, e)) == self._outcomes(
+            compiled, 6, (empty, e)
+        )
+
+    def test_sorted_same(self, list_ctx):
+        interp, compiled = self._pair(list_ctx, "Sorted", "o")
+        for fuel in (0, 2, 4):
+            assert self._outcomes(interp, fuel, ()) == self._outcomes(
+                compiled, fuel, ()
+            )
+
+
+class TestCompiledGenerators:
+    def test_outputs_satisfy_relation(self, stlc_ctx):
+        compiled_gen = resolve_compiled(
+            stlc_ctx, GEN, "typing", Mode.from_string("ioi")
+        )
+        checker = resolve_compiled(stlc_ctx, CHECKER, "typing", Mode.checker(3))
+        empty = from_list([])
+        N = V("N")
+        rng = random.Random(9)
+        produced = 0
+        for _ in range(150):
+            out = compiled_gen(6, (empty, N), rng)
+            if is_value(out):
+                produced += 1
+                assert checker(30, (empty, out[0], N)).is_true
+        assert produced > 100
+
+    def test_sorted_outputs(self, list_ctx):
+        from repro.core.values import to_int, to_list
+
+        compiled_gen = resolve_compiled(list_ctx, GEN, "Sorted", Mode.from_string("o"))
+        rng = random.Random(4)
+        for _ in range(80):
+            out = compiled_gen(6, (), rng)
+            if is_value(out):
+                xs = [to_int(x) for x in to_list(out[0])]
+                assert xs == sorted(xs)
+
+    def test_deterministic_under_seed(self, list_ctx):
+        compiled_gen = resolve_compiled(list_ctx, GEN, "Sorted", Mode.from_string("o"))
+        a = [compiled_gen(5, (), random.Random(7)) for _ in range(10)]
+        b = [compiled_gen(5, (), random.Random(7)) for _ in range(10)]
+        assert a == b

@@ -1,0 +1,156 @@
+"""Fuzzing the deriver: random relations → derive → validate.
+
+The strongest end-to-end test we can run: generate random inductive
+relations inside the supported class (random constructor-term
+conclusions, possibly non-linear; random premises over the relation
+itself and helpers, possibly with existentials and function calls),
+derive a checker, and discharge the Section 5.1 obligations against
+the reference proof search.  Any disagreement is a derivation bug.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import signal
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.relations import Relation, RelPremise, Rule
+from repro.core.terms import C, Ctor, F, Term, Var
+from repro.core.types import NAT, Ty
+from repro.stdlib import standard_context
+from repro.validation import ValidationConfig, certify_checker
+
+CFG = ValidationConfig(
+    domain_depth=2, max_tuples=40, ref_depth=6, max_fuel=6, max_outcomes=120
+)
+
+
+@contextlib.contextmanager
+def deadline(seconds: int):
+    """Skip the test if certification runs away (some random relations
+    have pathological search spaces — slowness is not a correctness
+    signal; disagreement is)."""
+
+    def handler(signum, frame):
+        raise TimeoutError
+
+    previous = signal.signal(signal.SIGALRM, handler)
+    signal.alarm(seconds)
+    try:
+        yield
+    except TimeoutError:
+        pytest.skip("certification exceeded the fuzz deadline")
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+HELPER = """
+Inductive helper : nat -> nat -> Prop :=
+| h_zero : forall n, helper 0 n
+| h_step : forall n m, helper n m -> helper (S n) (S m).
+"""
+
+
+def _random_pattern(rng: random.Random, vars_pool: list[str], depth: int) -> Term:
+    """A random constructor term over nat."""
+    if depth == 0 or rng.random() < 0.4:
+        if rng.random() < 0.7:
+            return Var(rng.choice(vars_pool))
+        return C("O")
+    return C("S", _random_pattern(rng, vars_pool, depth - 1))
+
+
+def _random_relation(rng: random.Random, name: str) -> Relation:
+    """A random binary relation over nat in the supported class."""
+    rules = []
+    n_rules = rng.randint(1, 3)
+    # Always include a base rule so the relation is inhabited.
+    base_vars = ["a", "b"]
+    rules.append(
+        Rule(
+            "base",
+            (),
+            (
+                _random_pattern(rng, base_vars, 1),
+                _random_pattern(rng, base_vars, 1),
+            ),
+        )
+    )
+    for i in range(n_rules):
+        vars_pool = ["x", "y", "z"]
+        conclusion = (
+            _random_pattern(rng, vars_pool, 2),
+            _random_pattern(rng, vars_pool, 2),
+        )
+        premises = []
+        for _ in range(rng.randint(0, 2)):
+            kind = rng.random()
+            if kind < 0.5:
+                # Recursive premise (may introduce existentials).
+                args = (
+                    Var(rng.choice(vars_pool + ["w"])),
+                    Var(rng.choice(vars_pool)),
+                )
+                premises.append(RelPremise(name, args))
+            elif kind < 0.8:
+                premises.append(
+                    RelPremise(
+                        "helper",
+                        (Var(rng.choice(vars_pool)), Var(rng.choice(vars_pool))),
+                    )
+                )
+            else:
+                # Function call in a premise.
+                premises.append(
+                    RelPremise(
+                        "helper",
+                        (
+                            F("plus", Var(rng.choice(vars_pool)), C("O")),
+                            Var(rng.choice(vars_pool)),
+                        ),
+                    )
+                )
+        rules.append(Rule(f"r{i}", tuple(premises), conclusion))
+    return Relation(name, (NAT, NAT), tuple(rules))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_relation_checker_certifies(seed):
+    rng = random.Random(seed)
+    ctx = standard_context()
+    from repro.core import parse_declarations
+
+    parse_declarations(ctx, HELPER)
+    rel = _random_relation(rng, f"fuzz{seed}")
+    try:
+        ctx.declare_relation(rel)
+    except ReproError:
+        pytest.skip("generated an ill-typed relation")
+    with deadline(20):
+        cert = certify_checker(ctx, rel.name, CFG)
+    assert cert.ok, f"seed {seed}:\n{ctx.relations.get(rel.name)}\n{cert.summary()}"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_relation_enumerator_certifies(seed):
+    from repro.validation import certify_enumerator
+
+    rng = random.Random(1000 + seed)
+    ctx = standard_context()
+    from repro.core import parse_declarations
+
+    parse_declarations(ctx, HELPER)
+    rel = _random_relation(rng, f"fuzzenum{seed}")
+    try:
+        ctx.declare_relation(rel)
+    except ReproError:
+        pytest.skip("generated an ill-typed relation")
+    with deadline(20):
+        cert = certify_enumerator(ctx, rel.name, "oi", CFG)
+    bad = [o for o in cert.obligations if o.status == "refuted"]
+    assert not bad, (
+        f"seed {seed}:\n{ctx.relations.get(rel.name)}\n{cert.summary()}"
+    )

@@ -1,0 +1,103 @@
+"""Tests for the typeclass-style instance registry."""
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.errors import DerivationError, InstanceNotFoundError
+from repro.core.values import from_int
+from repro.derive import Mode, derive_checker
+from repro.derive.instances import (
+    CHECKER,
+    ENUM,
+    GEN,
+    lookup,
+    register_checker,
+    resolve,
+    resolve_checker,
+)
+from repro.producers.option_bool import SOME_FALSE, SOME_TRUE
+from repro.stdlib import standard_context
+
+
+@pytest.fixture
+def ctx():
+    return standard_context()
+
+
+class TestRegistration:
+    def test_auto_derivation_registers(self, nat_ctx):
+        assert lookup(nat_ctx, CHECKER, "le", Mode.checker(2)) is None
+        resolve_checker(nat_ctx, "le")
+        assert lookup(nat_ctx, CHECKER, "le", Mode.checker(2)) is not None
+
+    def test_resolution_idempotent(self, nat_ctx):
+        a = resolve_checker(nat_ctx, "le")
+        b = resolve_checker(nat_ctx, "le")
+        assert a is b
+
+    def test_no_auto_derive_raises(self, nat_ctx):
+        with pytest.raises(InstanceNotFoundError):
+            resolve(nat_ctx, ENUM, "le", Mode.from_string("io"), auto_derive=False)
+
+    def test_duplicate_registration_rejected(self, nat_ctx):
+        register_checker(nat_ctx, "le", lambda fuel, args: SOME_TRUE)
+        with pytest.raises(DerivationError):
+            register_checker(nat_ctx, "le", lambda fuel, args: SOME_FALSE)
+
+    def test_replace_allowed_explicitly(self, nat_ctx):
+        register_checker(nat_ctx, "le", lambda fuel, args: SOME_TRUE)
+        register_checker(
+            nat_ctx, "le", lambda fuel, args: SOME_FALSE, replace=True
+        )
+        inst = lookup(nat_ctx, CHECKER, "le", Mode.checker(2))
+        assert inst.fn(0, ()) is SOME_FALSE
+
+
+class TestHandwrittenInstances:
+    def test_handwritten_checker_used_by_derived_code(self, list_ctx):
+        """Register a handwritten `le` checker; Sorted's derived
+        checker must route its premise checks through it."""
+        calls = []
+
+        def manual_le(fuel, args):
+            calls.append(args)
+            a, b = args
+            x, y = 0, 0
+            while a.ctor == "S":
+                x += 1
+                a = a.args[0]
+            while b.ctor == "S":
+                y += 1
+                b = b.args[0]
+            return SOME_TRUE if x <= y else SOME_FALSE
+
+        register_checker(list_ctx, "le", manual_le)
+        chk = derive_checker(list_ctx, "Sorted")
+        from repro.core.values import nat_list
+
+        assert chk(10, nat_list([1, 2, 3])).is_true
+        assert calls  # the handwritten instance was exercised
+
+
+class TestDependencyClosure:
+    def test_checker_closure_pulls_enumerators(self, stlc_ctx):
+        resolve_checker(stlc_ctx, "typing")
+        # The TApp existential requires the iio enumerator, which in
+        # turn requires lookup instances — all resolved eagerly.
+        assert lookup(stlc_ctx, ENUM, "typing", Mode.from_string("iio"))
+        assert lookup(stlc_ctx, CHECKER, "lookup", Mode.checker(3))
+
+    def test_cyclic_instances_rejected(self, ctx):
+        """Mutually recursive relations create cyclic checker needs."""
+        parse_declarations(
+            ctx,
+            """
+            Inductive even : nat -> Prop :=
+            | even_0 : even 0
+            | even_S : forall n, odd n -> even (S n)
+            with odd : nat -> Prop :=
+            | odd_S : forall n, even n -> odd (S n).
+            """,
+        )
+        with pytest.raises(DerivationError, match="cyclic"):
+            resolve_checker(ctx, "even")

@@ -1,0 +1,119 @@
+"""Tests for modes, the schedule IR surface, and the public API."""
+
+import pytest
+
+from repro.core.errors import DeclarationError, DerivationError
+from repro.core.terms import C, Var
+from repro.derive import (
+    Mode,
+    build_schedule,
+    derive,
+    derive_checker,
+    derive_enumerator,
+    derive_generator,
+)
+from repro.derive.modes import VarsMap, init_env
+
+
+class TestMode:
+    def test_from_string(self):
+        m = Mode.from_string("ioi")
+        assert m.arity == 3
+        assert m.outs == frozenset({1})
+        assert str(m) == "ioi"
+
+    def test_checker_mode(self):
+        m = Mode.checker(2)
+        assert m.is_checker
+        assert m.ins == (0, 1)
+        assert m.out_list == ()
+
+    def test_producer_requires_output(self):
+        with pytest.raises(DeclarationError):
+            Mode.producer(2, [])
+
+    def test_bad_mode_char(self):
+        with pytest.raises(DeclarationError):
+            Mode.from_string("ix")
+
+    def test_out_of_range_position(self):
+        with pytest.raises(DeclarationError):
+            Mode(2, frozenset({5}))
+
+    def test_hashable_and_eq(self):
+        assert Mode.from_string("io") == Mode(2, frozenset({1}))
+        assert len({Mode.from_string("io"), Mode(2, frozenset({1}))}) == 1
+
+
+class TestVarsMap:
+    def test_init_env_partitions_by_position(self):
+        conclusion = (C("S", Var("n")), Var("m"))
+        vars_map = init_env(conclusion, Mode.from_string("io"))
+        assert vars_map.is_known("n")
+        assert not vars_map.is_known("m")
+
+    def test_shared_var_in_input_position_wins(self):
+        conclusion = (Var("x"), C("S", Var("x")))
+        vars_map = init_env(conclusion, Mode.from_string("io"))
+        assert vars_map.is_known("x")
+
+    def test_unknown_in(self):
+        vars_map = VarsMap()
+        vars_map.mark_known("a")
+        vars_map.add("b", known=False)
+        term = C("pair", Var("a"), C("S", Var("b")))
+        assert vars_map.unknown_in(term) == ["b"]
+        assert not vars_map.term_known(term)
+
+
+class TestScheduleSurface:
+    def test_describe_mentions_all_handlers(self, stlc_ctx):
+        text = build_schedule(stlc_ctx, "typing", Mode.checker(3)).describe()
+        for rule in ("TCon", "TAdd", "TAbs", "TVar", "TApp"):
+            assert rule in text
+
+    def test_base_and_recursive_split(self, nat_ctx):
+        s = build_schedule(nat_ctx, "le", Mode.checker(2))
+        assert [h.rule for h in s.base_handlers] == ["le_n"]
+        assert s.has_recursive_handlers
+
+
+class TestPublicApi:
+    def test_derive_vernacular(self, nat_ctx):
+        checker = derive(nat_ctx, "DecOpt", "le")
+        from repro.core.values import from_int
+
+        assert checker(5, from_int(1), from_int(2)).is_true
+        enum = derive(nat_ctx, "EnumSizedSuchThat", "le", "oi")
+        assert enum.values(5, from_int(2))
+        gen = derive(nat_ctx, "GenSizedSuchThat", "le", "oi")
+        assert gen.samples(5, from_int(2), count=3, seed=0)
+
+    def test_unknown_kind(self, nat_ctx):
+        with pytest.raises(DerivationError):
+            derive(nat_ctx, "Frobnicate", "le")
+
+    def test_producer_kinds_need_mode(self, nat_ctx):
+        with pytest.raises(DerivationError):
+            derive(nat_ctx, "EnumSizedSuchThat", "le")
+
+    def test_checker_mode_rejected_for_producers(self, nat_ctx):
+        with pytest.raises(DerivationError):
+            derive_enumerator(nat_ctx, "le", "ii")
+        with pytest.raises(DerivationError):
+            derive_generator(nat_ctx, "le", "ii")
+
+    def test_wrong_arity_mode(self, nat_ctx):
+        with pytest.raises(DerivationError):
+            derive_enumerator(nat_ctx, "le", "oio")
+
+    def test_idempotent_wrappers(self, nat_ctx):
+        a = derive_checker(nat_ctx, "le")
+        b = derive_checker(nat_ctx, "le")
+        assert a is b  # same DerivedChecker behind the instance
+
+    def test_mode_accepts_iterable(self, nat_ctx):
+        enum = derive_enumerator(nat_ctx, "le", [0])
+        from repro.core.values import from_int
+
+        assert enum.values(5, from_int(1))

@@ -1,0 +1,86 @@
+"""Tests for the mutual-recursion extension (§8)."""
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.errors import DerivationError
+from repro.core.values import from_int
+from repro.derive.instances import resolve_checker
+from repro.derive.mutual import derive_mutual_checkers, mutual_components
+from repro.stdlib import standard_context
+
+EVEN_ODD = """
+Inductive even : nat -> Prop :=
+| even_0 : even 0
+| even_S : forall n, odd n -> even (S n)
+with odd : nat -> Prop :=
+| odd_S : forall n, even n -> odd (S n).
+"""
+
+
+@pytest.fixture
+def ctx():
+    c = standard_context()
+    parse_declarations(c, EVEN_ODD)
+    return c
+
+
+class TestComponents:
+    def test_even_odd_one_component(self, ctx):
+        assert mutual_components(ctx, ["even", "odd"]) == [["even", "odd"]]
+
+    def test_independent_relations_split(self, ctx):
+        parse_declarations(
+            ctx, "Inductive trivial : nat -> Prop := | t0 : trivial 0."
+        )
+        components = mutual_components(ctx, ["even", "odd", "trivial"])
+        assert ["even", "odd"] in components
+        assert ["trivial"] in components
+
+
+class TestMutualCheckers:
+    def test_rejected_without_extension(self, ctx):
+        with pytest.raises(DerivationError, match="cyclic"):
+            resolve_checker(ctx, "even")
+
+    def test_group_derivation_succeeds(self, ctx):
+        checkers = derive_mutual_checkers(ctx, ["even", "odd"])
+        even, odd = checkers["even"], checkers["odd"]
+        for n in range(12):
+            assert even(30, from_int(n)).is_true == (n % 2 == 0)
+            assert odd(30, from_int(n)).is_true == (n % 2 == 1)
+
+    def test_shared_fuel_semantics(self, ctx):
+        checkers = derive_mutual_checkers(ctx, ["even", "odd"])
+        # Deciding even 9 needs ~9 shared size steps.
+        assert checkers["even"](4, from_int(9)).is_none
+        assert checkers["even"](12, from_int(9)).is_false
+
+    def test_registered_for_downstream_use(self, ctx):
+        derive_mutual_checkers(ctx, ["even", "odd"])
+        # Now a relation with an `even` premise derives normally.
+        parse_declarations(
+            ctx,
+            """
+            Inductive even_pair : nat -> nat -> Prop :=
+            | ep : forall n m, even n -> even m -> even_pair n m.
+            """,
+        )
+        chk = resolve_checker(ctx, "even_pair")
+        assert chk.fn(20, (from_int(2), from_int(4))).is_true
+        assert chk.fn(20, (from_int(2), from_int(3))).is_false
+
+    def test_monotone(self, ctx):
+        checkers = derive_mutual_checkers(ctx, ["even", "odd"])
+        even = checkers["even"]
+        decided = None
+        for fuel in (1, 2, 4, 8, 16, 32):
+            r = even(fuel, from_int(10))
+            if decided is None and not r.is_none:
+                decided = r
+            elif decided is not None and not r.is_none:
+                assert r is decided
+
+    def test_empty_group_rejected(self, ctx):
+        with pytest.raises(DerivationError):
+            derive_mutual_checkers(ctx, [])

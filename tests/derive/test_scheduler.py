@@ -1,0 +1,160 @@
+"""Tests for the derivation scheduler (Section 4) and its schedules."""
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.errors import DerivationError, OutOfScopeError
+from repro.derive import DerivePolicy, Mode, build_schedule
+from repro.derive.schedule import (
+    SAssign,
+    SCheckCall,
+    SEqCheck,
+    SInstantiate,
+    SMatch,
+    SProduce,
+    SRecCheck,
+)
+from repro.stdlib import standard_context
+
+
+def steps_of(schedule, rule):
+    (handler,) = [h for h in schedule.handlers if h.rule == rule]
+    return handler.steps
+
+
+class TestCheckerSchedules:
+    def test_le_structure(self, nat_ctx):
+        s = build_schedule(nat_ctx, "le", Mode.checker(2))
+        assert [h.rule for h in s.handlers] == ["le_n", "le_S"]
+        assert not s.handlers[0].recursive
+        assert s.handlers[1].recursive
+        (rec,) = steps_of(s, "le_S")
+        assert isinstance(rec, SRecCheck)
+
+    def test_nonlinear_becomes_eq_check(self, nat_ctx):
+        s = build_schedule(nat_ctx, "le", Mode.checker(2))
+        (eq,) = steps_of(s, "le_n")
+        assert isinstance(eq, SEqCheck)
+
+    def test_external_premise_becomes_check_call(self, list_ctx):
+        s = build_schedule(list_ctx, "Sorted", Mode.checker(1))
+        steps = steps_of(s, "Sorted_cons")
+        assert isinstance(steps[0], SCheckCall) and steps[0].rel == "le"
+        assert isinstance(steps[1], SRecCheck)
+
+    def test_existential_uses_enumeration(self, stlc_ctx):
+        """TApp's t1 is existential: the checker enumerates it through
+        a producer call (the paper's bindEC handler)."""
+        s = build_schedule(stlc_ctx, "typing", Mode.checker(3))
+        steps = steps_of(s, "TApp")
+        assert isinstance(steps[0], SProduce)
+        assert steps[0].rel == "typing"
+        assert str(steps[0].mode) == "iio"
+        assert not steps[0].recursive
+        assert isinstance(steps[1], SRecCheck)
+
+    def test_schedules_cached(self, nat_ctx):
+        a = build_schedule(nat_ctx, "le", Mode.checker(2))
+        b = build_schedule(nat_ctx, "le", Mode.checker(2))
+        assert a is b
+
+
+class TestProducerSchedules:
+    def test_typing_iio_matches_figure_2(self, stlc_ctx):
+        s = build_schedule(stlc_ctx, "typing", Mode.from_string("iio"))
+        # TAdd: two recursive produce-and-filter calls.
+        tadd = steps_of(s, "TAdd")
+        produces = [st for st in tadd if isinstance(st, SProduce)]
+        assert len(produces) == 2
+        assert all(p.recursive for p in produces)
+        matches = [st for st in tadd if isinstance(st, SMatch)]
+        assert len(matches) == 2  # each result filtered against N
+        # TApp: recursive produce + match against Arr.
+        tapp = steps_of(s, "TApp")
+        assert any(
+            isinstance(st, SMatch) and st.pattern.name == "Arr"
+            for st in tapp
+            if isinstance(st, SMatch)
+        )
+        # TVar: external lookup producer.
+        tvar = steps_of(s, "TVar")
+        assert any(
+            isinstance(st, SProduce) and st.rel == "lookup" and not st.recursive
+            for st in tvar
+        )
+
+    def test_typing_ioi_generates_terms(self, stlc_ctx):
+        s = build_schedule(stlc_ctx, "typing", Mode.from_string("ioi"))
+        tapp = steps_of(s, "TApp")
+        # Classic QuickChick shape: instantiate t1, recurse twice.
+        assert isinstance(tapp[0], SInstantiate)
+        assert sum(isinstance(st, SProduce) and st.recursive for st in tapp) == 2
+
+    def test_out_terms_at_output_positions(self, stlc_ctx):
+        s = build_schedule(stlc_ctx, "typing", Mode.from_string("iio"))
+        (tcon,) = [h for h in s.handlers if h.rule == "TCon"]
+        assert len(tcon.out_terms) == 1
+        assert str(tcon.out_terms[0]) == "N"
+
+    def test_unconstrained_output_instantiated(self, stlc_ctx):
+        s = build_schedule(stlc_ctx, "typing", Mode.from_string("ioi"))
+        tcon = steps_of(s, "TCon")
+        assert any(isinstance(st, SInstantiate) for st in tcon)
+
+    def test_assignment_for_deterministic_eq(self, nat_ctx):
+        s = build_schedule(nat_ctx, "square_of", Mode.from_string("io"))
+        (sq,) = s.handlers
+        assert any(isinstance(st, SAssign) for st in sq.steps)
+
+    def test_inversion_requires_instantiation(self, nat_ctx):
+        s = build_schedule(nat_ctx, "square_of", Mode.from_string("oi"))
+        (sq,) = s.handlers
+        assert any(isinstance(st, SInstantiate) for st in sq.steps)
+
+
+class TestPolicies:
+    def test_generate_and_test_policy(self, stlc_ctx):
+        naive = DerivePolicy(prefer_producer=False)
+        s = build_schedule(stlc_ctx, "typing", Mode.checker(3), naive)
+        tapp = steps_of(s, "TApp")
+        # t1 instantiated arbitrarily, both premises checked.
+        assert isinstance(tapp[0], SInstantiate)
+        assert sum(isinstance(st, SRecCheck) for st in tapp) == 2
+
+
+class TestScopeChecks:
+    def test_polymorphic_rejected(self, ctx):
+        parse_declarations(
+            ctx,
+            """
+            Inductive inl (A : Type) : A -> list A -> Prop :=
+            | here : forall x l, inl x (x :: l).
+            """,
+        )
+        with pytest.raises(OutOfScopeError):
+            build_schedule(ctx, "inl", Mode.checker(2))
+
+    def test_instantiated_polymorphic_accepted(self, ctx):
+        from repro.core.types import NAT
+
+        parse_declarations(
+            ctx,
+            """
+            Inductive inl (A : Type) : A -> list A -> Prop :=
+            | here : forall x l, inl x (x :: l)
+            | there : forall x y l, inl x l -> inl x (y :: l).
+            """,
+        )
+        mono = ctx.relations.get("inl").instantiate(NAT)
+        ctx.relations.declare(mono)
+        s = build_schedule(ctx, mono.name, Mode.checker(2))
+        assert len(s.handlers) == 2
+
+    def test_wrong_mode_arity(self, nat_ctx):
+        with pytest.raises(DerivationError):
+            build_schedule(nat_ctx, "le", Mode.checker(3))
+
+
+@pytest.fixture
+def ctx():
+    return standard_context()

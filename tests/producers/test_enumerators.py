@@ -1,0 +1,102 @@
+"""Tests for the enumerator monad and combinators."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.producers.enumerators import Enumerator, enumerating, interleaving
+from repro.producers.outcome import FAIL, OUT_OF_FUEL, is_value
+
+
+class TestMonad:
+    def test_ret(self):
+        assert list(Enumerator.ret(5).run(0)) == [5]
+
+    def test_fail_empty(self):
+        assert list(Enumerator.fail().run(3)) == []
+
+    def test_fuel_single_marker(self):
+        assert list(Enumerator.fuel().run(3)) == [OUT_OF_FUEL]
+
+    def test_bind_flattens(self):
+        e = Enumerator.from_values([1, 2]).bind(
+            lambda x: Enumerator.from_values([x, x * 10])
+        )
+        assert list(e.run(0)) == [1, 10, 2, 20]
+
+    def test_bind_propagates_fuel(self):
+        e = Enumerator.from_values([1, OUT_OF_FUEL, 2]).bind(
+            lambda x: Enumerator.ret(x + 1)
+        )
+        assert list(e.run(0)) == [2, OUT_OF_FUEL, 3]
+
+    def test_map_skips_markers(self):
+        e = Enumerator.from_values([1, OUT_OF_FUEL]).map(lambda x: -x)
+        assert list(e.run(0)) == [-1, OUT_OF_FUEL]
+
+    def test_guard(self):
+        e = Enumerator.from_values([1, 2, 3, OUT_OF_FUEL]).guard(lambda x: x > 1)
+        assert list(e.run(0)) == [2, 3, OUT_OF_FUEL]
+
+    @given(st.lists(st.integers(), max_size=8))
+    def test_monad_left_identity(self, xs):
+        k = lambda x: Enumerator.from_values([x, x])
+        via_bind = Enumerator.ret(7).bind(k)
+        assert list(via_bind.run(0)) == list(k(7).run(0))
+
+    def test_rerunnable(self):
+        e = Enumerator.from_sized(lambda size: range(size))
+        assert list(e.run(3)) == [0, 1, 2]
+        assert list(e.run(3)) == [0, 1, 2]
+        assert list(e.run(2)) == [0, 1]
+
+
+class TestConsumers:
+    def test_outcomes_drops_markers(self):
+        e = Enumerator.from_values([1, OUT_OF_FUEL, 2])
+        assert e.outcomes(0) == {1, 2}
+
+    def test_complete_at(self):
+        assert Enumerator.from_values([1, 2]).complete_at(0)
+        assert not Enumerator.from_values([1, OUT_OF_FUEL]).complete_at(0)
+
+    def test_first_value(self):
+        assert Enumerator.from_values([OUT_OF_FUEL, 5]).first_value(0) == 5
+        assert Enumerator.from_values([OUT_OF_FUEL]).first_value(0) is OUT_OF_FUEL
+        assert Enumerator.fail().first_value(0) is FAIL
+
+    def test_lazy_wrapping(self):
+        e = Enumerator.from_sized(lambda size: range(size))
+        assert e.lazy(4).to_list() == [0, 1, 2, 3]
+
+
+class TestCombinators:
+    def test_enumerating_concatenates(self):
+        e = enumerating(
+            [lambda: Enumerator.from_values([1]), lambda: Enumerator.from_values([2, 3])]
+        )
+        assert list(e.run(0)) == [1, 2, 3]
+
+    def test_enumerating_lazy_in_options(self):
+        calls = []
+
+        def expensive():
+            calls.append(1)
+            return Enumerator.from_values([9])
+
+        e = enumerating([lambda: Enumerator.from_values([1]), expensive])
+        it = e.run(0)
+        assert next(it) == 1
+        assert not calls  # second option not built yet
+
+    def test_interleaving_fair(self):
+        e = interleaving(
+            [
+                lambda: Enumerator.from_values([1, 3, 5]),
+                lambda: Enumerator.from_values([2, 4]),
+            ]
+        )
+        assert list(e.run(0)) == [1, 2, 3, 4, 5]
+
+    def test_resize(self):
+        e = Enumerator.from_sized(lambda size: range(size)).resize(2)
+        assert list(e.run(99)) == [0, 1]

@@ -1,0 +1,139 @@
+"""Tests for the generator monad and combinators."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.producers.generators import (
+    Generator,
+    backtrack,
+    choose_nat,
+    frequency,
+    oneof,
+    sized,
+)
+from repro.producers.outcome import FAIL, OUT_OF_FUEL, is_value
+
+
+def run(g, size=5, seed=0):
+    return g.run(size, random.Random(seed))
+
+
+class TestMonad:
+    def test_ret(self):
+        assert run(Generator.ret(42)) == 42
+
+    def test_fail(self):
+        assert run(Generator.fail()) is FAIL
+
+    def test_fuel(self):
+        assert run(Generator.fuel()) is OUT_OF_FUEL
+
+    def test_bind(self):
+        g = Generator.ret(1).bind(lambda x: Generator.ret(x + 1))
+        assert run(g) == 2
+
+    def test_bind_propagates_fail(self):
+        g = Generator.fail().bind(lambda x: Generator.ret(x))
+        assert run(g) is FAIL
+
+    def test_map_and_guard(self):
+        g = Generator.ret(3).map(lambda x: x * 2)
+        assert run(g) == 6
+        assert run(Generator.ret(3).guard(lambda x: x > 5)) is FAIL
+
+    def test_resize(self):
+        g = sized(lambda s: Generator.ret(s)).resize(9)
+        assert run(g, size=1) == 9
+
+    def test_retry_on_fail(self):
+        attempts = []
+
+        def flaky(size, rng):
+            attempts.append(1)
+            return FAIL if len(attempts) < 3 else 7
+
+        assert run(Generator(flaky).retry(5)) == 7
+
+    def test_retry_does_not_retry_fuel(self):
+        attempts = []
+
+        def fueled(size, rng):
+            attempts.append(1)
+            return OUT_OF_FUEL
+
+        assert run(Generator(fueled).retry(5)) is OUT_OF_FUEL
+        assert len(attempts) == 1
+
+    def test_determinism_with_seed(self):
+        g = choose_nat(0, 1000)
+        assert g.sample(5, 10, seed=3) == g.sample(5, 10, seed=3)
+
+
+class TestChoice:
+    def test_oneof_empty_fails(self):
+        assert run(oneof([])) is FAIL
+
+    def test_oneof_covers_options(self):
+        g = oneof([lambda: Generator.ret(1), lambda: Generator.ret(2)])
+        seen = set(g.sample(0, 50, seed=1))
+        assert seen == {1, 2}
+
+    def test_frequency_respects_zero_weight(self):
+        g = frequency([(0, lambda: Generator.ret(1)), (3, lambda: Generator.ret(2))])
+        assert set(g.sample(0, 30, seed=1)) == {2}
+
+    def test_frequency_skews(self):
+        g = frequency([(9, lambda: Generator.ret(1)), (1, lambda: Generator.ret(2))])
+        samples = g.sample(0, 400, seed=1)
+        assert samples.count(1) > samples.count(2) * 3
+
+
+class TestBacktrack:
+    def test_skips_failing_options(self):
+        g = backtrack(
+            [(1, lambda: Generator.fail()), (1, lambda: Generator.ret(5))],
+            retries_per_option=1,
+        )
+        assert all(x == 5 for x in g.sample(0, 20, seed=2))
+
+    def test_all_fail_gives_fail(self):
+        g = backtrack([(1, lambda: Generator.fail())])
+        assert run(g) is FAIL
+
+    def test_fuel_dominates_fail(self):
+        g = backtrack(
+            [(1, lambda: Generator.fail()), (1, lambda: Generator.fuel())]
+        )
+        assert run(g) is OUT_OF_FUEL
+
+    def test_empty_backtrack(self):
+        assert run(backtrack([])) is FAIL
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_first_success_wins(self, seed):
+        g = backtrack(
+            [
+                (1, lambda: Generator.ret("a")),
+                (1, lambda: Generator.ret("b")),
+            ]
+        )
+        assert g.run(0, random.Random(seed)) in ("a", "b")
+
+
+class TestSampleHelpers:
+    def test_sample_values_discards_markers(self):
+        toggle = []
+
+        def flaky(size, rng):
+            toggle.append(1)
+            return FAIL if len(toggle) % 2 else 1
+
+        values = Generator(flaky).sample_values(0, 5, seed=0)
+        assert values == [1] * 5
+
+    def test_outcomes_sampled(self):
+        g = oneof([lambda: Generator.ret(1), lambda: Generator.ret(2)])
+        assert g.outcomes(0, 60, seed=0) == {1, 2}

@@ -1,0 +1,91 @@
+"""Tests for memoized lazy lists."""
+
+import itertools
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.producers.lazylist import LazyList
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert LazyList.empty().is_empty()
+        assert LazyList.empty().to_list() == []
+
+    def test_cons_and_accessors(self):
+        ll = LazyList.cons(1, LazyList.singleton(2))
+        assert ll.head() == 1
+        assert ll.tail().to_list() == [2]
+
+    @given(st.lists(st.integers(), max_size=20))
+    def test_from_iterable_roundtrip(self, xs):
+        assert LazyList.from_iterable(xs).to_list() == xs
+
+    def test_one_shot_iterator_is_memoized(self):
+        it = iter([1, 2, 3])
+        ll = LazyList.from_iterable(it)
+        assert ll.to_list() == [1, 2, 3]
+        # A second traversal sees the memoized values, not the spent iterator.
+        assert ll.to_list() == [1, 2, 3]
+
+    def test_infinite_stream_take(self):
+        ll = LazyList.from_iterable(itertools.count())
+        assert ll.take(5) == [0, 1, 2, 3, 4]
+
+
+class TestLaziness:
+    def test_defer_not_forced_until_demanded(self):
+        forced = []
+
+        def make():
+            forced.append(True)
+            return LazyList.singleton(42)
+
+        ll = LazyList.defer(make)
+        assert not forced
+        assert ll.head() == 42
+        assert forced == [True]
+
+    def test_map_is_lazy(self):
+        calls = []
+
+        def f(x):
+            calls.append(x)
+            return x * 2
+
+        ll = LazyList.from_iterable(itertools.count()).map(f)
+        assert ll.take(3) == [0, 2, 4]
+        assert calls == [0, 1, 2]
+
+
+class TestCombinators:
+    @given(st.lists(st.integers(), max_size=10), st.lists(st.integers(), max_size=10))
+    def test_append(self, xs, ys):
+        a = LazyList.from_iterable(xs)
+        b = LazyList.from_iterable(ys)
+        assert a.append(b).to_list() == xs + ys
+
+    @given(st.lists(st.integers(), max_size=15))
+    def test_filter(self, xs):
+        ll = LazyList.from_iterable(xs).filter(lambda x: x % 2 == 0)
+        assert ll.to_list() == [x for x in xs if x % 2 == 0]
+
+    @given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+    def test_interleave_fair(self, xs, ys):
+        merged = LazyList.from_iterable(xs).interleave(LazyList.from_iterable(ys))
+        out = merged.to_list()
+        assert sorted(out) == sorted(xs + ys)
+        # The first min(len) * 2 elements alternate.
+        k = min(len(xs), len(ys))
+        assert out[: 2 * k : 2] == xs[:k]
+
+    @given(st.lists(st.lists(st.integers(), max_size=5), max_size=5))
+    def test_concat(self, xss):
+        lls = [LazyList.from_iterable(xs) for xs in xss]
+        assert LazyList.concat(lls).to_list() == [x for xs in xss for x in xs]
+
+    def test_infinite_append_left_biased(self):
+        inf = LazyList.from_iterable(itertools.count())
+        appended = inf.append(LazyList.singleton(-1))
+        assert appended.take(4) == [0, 1, 2, 3]

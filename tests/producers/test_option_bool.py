@@ -1,0 +1,107 @@
+"""Tests for the three-valued logic and its combinators (Section 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.producers.option_bool import (
+    NONE_OB,
+    SOME_FALSE,
+    SOME_TRUE,
+    OptionBool,
+    and_then,
+    backtracking,
+    from_bool,
+    negate,
+)
+
+VALUES = [SOME_TRUE, SOME_FALSE, NONE_OB]
+ob = st.sampled_from(VALUES)
+
+
+class TestBasics:
+    def test_singletons(self):
+        assert OptionBool("some_true") is SOME_TRUE
+        assert OptionBool("none") is NONE_OB
+
+    def test_repr(self):
+        assert repr(SOME_TRUE) == "Some true"
+        assert repr(SOME_FALSE) == "Some false"
+        assert repr(NONE_OB) == "None"
+
+    def test_bool_coercion_forbidden(self):
+        with pytest.raises(TypeError):
+            bool(SOME_TRUE)
+
+    def test_from_bool(self):
+        assert from_bool(True) is SOME_TRUE
+        assert from_bool(False) is SOME_FALSE
+
+
+class TestAndThen:
+    """The paper's `.&&` definition, case by case."""
+
+    def test_false_short_circuits(self):
+        assert and_then(SOME_FALSE, lambda: SOME_TRUE) is SOME_FALSE
+
+    def test_none_short_circuits(self):
+        assert and_then(NONE_OB, lambda: SOME_TRUE) is NONE_OB
+
+    def test_true_continues(self):
+        for b in VALUES:
+            assert and_then(SOME_TRUE, lambda: b) is b
+
+    def test_laziness(self):
+        called = []
+        and_then(SOME_FALSE, lambda: called.append(1) or SOME_TRUE)
+        assert not called
+
+    @given(ob, ob, ob)
+    def test_associativity(self, a, b, c):
+        left = and_then(and_then(a, lambda: b), lambda: c)
+        right = and_then(a, lambda: and_then(b, lambda: c))
+        assert left is right
+
+
+class TestNegate:
+    def test_cases(self):
+        assert negate(SOME_TRUE) is SOME_FALSE
+        assert negate(SOME_FALSE) is SOME_TRUE
+        assert negate(NONE_OB) is NONE_OB
+
+    @given(ob)
+    def test_involutive(self, a):
+        assert negate(negate(a)) is a
+
+
+class TestBacktracking:
+    """The backtrack specification of Section 5.2: Some true iff some
+    option returns Some true; Some false iff all do."""
+
+    def test_empty_is_false(self):
+        assert backtracking([]) is SOME_FALSE
+
+    @given(st.lists(ob, max_size=6))
+    def test_specification(self, results):
+        outcome = backtracking([lambda r=r: r for r in results])
+        if any(r is SOME_TRUE for r in results):
+            assert outcome is SOME_TRUE
+        elif all(r is SOME_FALSE for r in results):
+            assert outcome is SOME_FALSE
+        else:
+            assert outcome is NONE_OB
+
+    def test_stops_at_first_true(self):
+        called = []
+
+        def option(r, tag):
+            def thunk():
+                called.append(tag)
+                return r
+
+            return thunk
+
+        backtracking(
+            [option(SOME_FALSE, 1), option(SOME_TRUE, 2), option(SOME_FALSE, 3)]
+        )
+        assert called == [1, 2]

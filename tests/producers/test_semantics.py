@@ -1,0 +1,79 @@
+"""Tests for the set-of-outcomes semantics helpers, including the
+cross-backend coherence law on *derived* producers."""
+
+import pytest
+
+from repro.core.types import NAT, Ty
+from repro.core.values import from_int, to_int
+from repro.producers.combinators import enum_datatype, gen_datatype
+from repro.producers.enumerators import Enumerator
+from repro.producers.generators import Generator
+from repro.producers.semantics import (
+    complete_for,
+    enum_outcomes,
+    enum_outcomes_upto,
+    gen_outcomes,
+    gen_within_enum,
+    size_monotonic,
+    sound_for,
+)
+
+
+class TestHelpers:
+    def test_enum_outcomes(self):
+        e = Enumerator.from_sized(lambda s: range(s))
+        assert enum_outcomes(e, 3) == {0, 1, 2}
+        assert enum_outcomes_upto(e, 3) == {0, 1, 2}
+
+    def test_size_monotonic_detects_shrinkage(self):
+        shrinking = Enumerator.from_sized(lambda s: range(5 - s))
+        ok, pair = size_monotonic(shrinking, [0, 1, 2])
+        assert not ok and pair == (0, 1)
+
+    def test_size_monotonic_passes(self):
+        growing = Enumerator.from_sized(lambda s: range(s))
+        ok, pair = size_monotonic(growing, [0, 2, 4])
+        assert ok and pair is None
+
+    def test_soundness_and_completeness(self):
+        evens = Enumerator.from_sized(lambda s: range(0, 2 * s, 2))
+        assert sound_for(evens, 5, lambda x: x % 2 == 0) == []
+        assert sound_for(evens, 5, lambda x: x < 4) == [4, 6, 8]
+        assert complete_for(evens, 5, [0, 2, 4]) == []
+        assert complete_for(evens, 5, [1]) == [1]
+
+    def test_gen_outcomes_sampled(self):
+        g = Generator(lambda size, rng: rng.randint(0, 2))
+        assert gen_outcomes(g, 0, samples=200) == {0, 1, 2}
+
+
+class TestCrossBackendCoherence:
+    """Unconstrained and derived producers must satisfy
+    [gen]_s ⊆ [enum]_s (shared possibilistic semantics)."""
+
+    def test_datatype_producers(self):
+        from repro.stdlib import standard_context
+
+        ctx = standard_context()
+        for ty in (NAT, Ty("list", (Ty("bool"),)), Ty("option", (NAT,))):
+            enum = enum_datatype(ctx, ty)
+            gen = gen_datatype(ctx, ty)
+            assert gen_within_enum(gen, enum, 3, samples=150) == []
+
+    def test_derived_producers(self, nat_ctx):
+        from repro.derive import derive_enumerator, derive_generator
+
+        enum = derive_enumerator(nat_ctx, "le", "oi")
+        gen = derive_generator(nat_ctx, "le", "oi")
+        five = from_int(5)
+        wrapped_enum = Enumerator(lambda size: enum(size, five))
+        wrapped_gen = Generator(lambda size, rng: gen.gen_st(size, (five,), rng))
+        assert gen_within_enum(wrapped_gen, wrapped_enum, 8, samples=200) == []
+
+    def test_derived_size_monotonic(self, nat_ctx):
+        from repro.derive import derive_enumerator
+
+        enum = derive_enumerator(nat_ctx, "le", "io")
+        wrapped = Enumerator(lambda size: enum(size, from_int(2)))
+        ok, _ = size_monotonic(wrapped, [0, 1, 2, 4, 8])
+        assert ok

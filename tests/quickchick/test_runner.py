@@ -1,0 +1,122 @@
+"""Tests for the property-based-testing substrate."""
+
+import random
+
+import pytest
+
+from repro.producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.quickchick import (
+    Mutant,
+    TestCase,
+    expect_failure,
+    for_all,
+    implies,
+    mean_tests_to_failure,
+    quick_check,
+)
+
+
+def int_gen(size, rng):
+    return rng.randint(0, size * 10)
+
+
+class TestForAll:
+    def test_passing_property(self):
+        prop = for_all(int_gen, lambda n: n >= 0)
+        report = quick_check(prop, num_tests=200, seed=0)
+        assert not report.failed
+        assert report.tests_run == 200
+
+    def test_failing_property_counterexample(self):
+        prop = for_all(int_gen, lambda n: n < 35)
+        report = quick_check(prop, num_tests=5000, seed=1)
+        assert report.failed
+        assert report.counterexample >= 35
+
+    def test_generator_failures_are_discards(self):
+        def flaky(size, rng):
+            return FAIL if rng.random() < 0.5 else 1
+
+        prop = for_all(flaky, lambda n: True)
+        report = quick_check(prop, num_tests=100, seed=2)
+        assert report.tests_run == 100
+        assert report.discards > 0
+
+    def test_fuel_markers_are_discards(self):
+        prop = for_all(lambda s, r: OUT_OF_FUEL, lambda n: True)
+        report = quick_check(prop, num_tests=10, seed=3)
+        assert report.gave_up
+        assert report.tests_run == 0
+
+    def test_option_bool_verdicts(self):
+        prop = for_all(int_gen, lambda n: SOME_TRUE if n % 2 else SOME_FALSE)
+        report = quick_check(prop, num_tests=100, seed=4)
+        assert report.failed  # first even number fails
+
+    def test_none_verdict_discards(self):
+        prop = for_all(int_gen, lambda n: NONE_OB)
+        report = quick_check(prop, num_tests=10, seed=5)
+        assert report.gave_up
+
+    def test_implies_discards(self):
+        prop = for_all(
+            int_gen, implies(lambda n: n % 2 == 0, lambda n: n % 2 == 0)
+        )
+        report = quick_check(prop, num_tests=50, seed=6)
+        assert not report.failed
+        assert report.discards > 0
+
+    def test_bad_verdict_type_raises(self):
+        prop = for_all(int_gen, lambda n: "yes")
+        with pytest.raises(TypeError):
+            quick_check(prop, num_tests=1, seed=0)
+
+
+class TestReports:
+    def test_throughput_positive(self):
+        prop = for_all(int_gen, lambda n: True)
+        report = quick_check(prop, num_tests=100, seed=0)
+        assert report.tests_per_second > 0
+
+    def test_seed_reproducibility(self):
+        prop = for_all(int_gen, lambda n: n < 40)
+        a = quick_check(prop, num_tests=9999, seed=77)
+        b = quick_check(prop, num_tests=9999, seed=77)
+        assert a.tests_run == b.tests_run
+        assert a.counterexample == b.counterexample
+
+    def test_str_forms(self):
+        passing = quick_check(for_all(int_gen, lambda n: True), num_tests=5, seed=0)
+        assert "Passed" in str(passing)
+        failing = quick_check(for_all(int_gen, lambda n: False), num_tests=5, seed=0)
+        assert "Failed" in str(failing)
+
+
+class TestMutation:
+    def test_mean_tests_to_failure(self):
+        broken = Mutant("off_by_one", "breaks on multiples of 7", None)
+
+        def make_property(mutant):
+            return for_all(int_gen, lambda n: n % 7 != 0)
+
+        cells = mean_tests_to_failure(
+            make_property, [broken], "int_gen", runs=5, num_tests=1000
+        )
+        (cell,) = cells
+        assert cell.mean is not None and cell.mean >= 1
+        assert cell.escaped == 0
+        assert "off_by_one" in str(cell)
+
+    def test_escaping_mutant_reported(self):
+        harmless = Mutant("noop", "never caught", None)
+
+        def make_property(mutant):
+            return for_all(int_gen, lambda n: True)
+
+        (cell,) = mean_tests_to_failure(
+            make_property, [harmless], "int_gen", runs=3, num_tests=50
+        )
+        assert cell.mean is None
+        assert cell.escaped == 3
+        assert "never caught" in str(cell) or "noop" in str(cell)

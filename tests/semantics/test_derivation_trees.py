@@ -1,0 +1,101 @@
+"""Tests for derivation trees and the proof checker."""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.values import from_int, nat_list
+from repro.semantics.derivation import Derivation, check_derivation
+
+
+def le_refl(ctx, n):
+    return Derivation("le", "le_n", {"n": from_int(n)})
+
+
+def le_step(ctx, n, m, sub):
+    return Derivation(
+        "le", "le_S", {"n": from_int(n), "m": from_int(m)}, (sub,)
+    )
+
+
+class TestWellFormed:
+    def test_le_proof(self, nat_ctx):
+        # le 1 3 = le_S (le_S (le_n))
+        tree = le_step(nat_ctx, 1, 2, le_step(nat_ctx, 1, 1, le_refl(nat_ctx, 1)))
+        assert check_derivation(nat_ctx, tree, (from_int(1), from_int(3)))
+
+    def test_metrics(self, nat_ctx):
+        tree = le_step(nat_ctx, 1, 1, le_refl(nat_ctx, 1))
+        assert tree.size() == 2
+        assert tree.height() == 2
+        assert "le.le_S" in str(tree)
+
+    def test_conclusion_values(self, nat_ctx):
+        tree = le_refl(nat_ctx, 4)
+        assert tree.conclusion_values(nat_ctx) == (from_int(4), from_int(4))
+
+
+class TestRejection:
+    def test_wrong_conclusion(self, nat_ctx):
+        tree = le_refl(nat_ctx, 2)
+        with pytest.raises(ValidationError):
+            check_derivation(nat_ctx, tree, (from_int(2), from_int(3)))
+
+    def test_missing_binding(self, nat_ctx):
+        tree = Derivation("le", "le_n", {})
+        with pytest.raises(ValidationError):
+            check_derivation(nat_ctx, tree)
+
+    def test_wrong_subderivation_count(self, nat_ctx):
+        tree = Derivation(
+            "le", "le_S", {"n": from_int(0), "m": from_int(0)}, ()
+        )
+        with pytest.raises(ValidationError):
+            check_derivation(nat_ctx, tree)
+
+    def test_subderivation_wrong_relation(self, nat_ctx):
+        bad_sub = Derivation("ev", "ev_0", {})
+        tree = Derivation(
+            "le", "le_S", {"n": from_int(0), "m": from_int(0)}, (bad_sub,)
+        )
+        with pytest.raises(ValidationError):
+            check_derivation(nat_ctx, tree)
+
+    def test_subderivation_wrong_conclusion(self, nat_ctx):
+        # le_S for (0, 2) needs a sub-proof of le 0 1, not le 0 0.
+        tree = le_step(nat_ctx, 0, 1, le_refl(nat_ctx, 0))
+        # Break it: claim the step concludes le 0 3.
+        with pytest.raises(ValidationError):
+            check_derivation(nat_ctx, tree, (from_int(0), from_int(3)))
+
+    def test_failing_equality_premise(self, nat_ctx):
+        # square_of's rule sq has conclusion (n, n * n) via equality.
+        tree = Derivation(
+            "square_of",
+            "sq",
+            {"n": from_int(3), "mult_out": from_int(8)},
+        )
+        with pytest.raises(ValidationError):
+            check_derivation(nat_ctx, tree, (from_int(3), from_int(8)))
+
+
+class TestNegatedPremises:
+    def test_negated_premise_checked_by_refutation(self, ctx):
+        from repro.core import parse_declarations
+
+        parse_declarations(ctx, """
+            Inductive isz : nat -> Prop := | isz0 : isz 0.
+            Inductive notz : nat -> Prop :=
+            | nz : forall n, ~ isz n -> notz n.
+        """)
+        good = Derivation("notz", "nz", {"n": from_int(3)})
+        assert check_derivation(ctx, good, (from_int(3),))
+        bad = Derivation("notz", "nz", {"n": from_int(0)})
+        with pytest.raises(ValidationError):
+            check_derivation(ctx, bad, (from_int(0),))
+
+
+@pytest.fixture
+def ctx():
+    from repro.stdlib import standard_context
+
+    return standard_context()

@@ -1,0 +1,135 @@
+"""Tests for the translation-validation layer (Section 5)."""
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.values import from_int
+from repro.derive import Mode, register_checker
+from repro.derive.instances import Instance
+from repro.producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE
+from repro.validation import (
+    ValidationConfig,
+    certify_checker,
+    certify_enumerator,
+    certify_generator,
+)
+
+FAST = ValidationConfig(
+    domain_depth=3, max_tuples=120, ref_depth=10, max_fuel=16, gen_samples=80
+)
+
+
+class TestCheckerCertificates:
+    @pytest.mark.parametrize("rel", ["le", "ev", "square_of"])
+    def test_nat_relations_certify(self, nat_ctx, rel):
+        cert = certify_checker(nat_ctx, rel, FAST)
+        assert cert.ok, cert.summary()
+
+    def test_sorted_certifies_with_dependency(self, list_ctx):
+        cert = certify_checker(list_ctx, "Sorted", FAST)
+        assert cert.ok, cert.summary()
+        assert ("checker", "le", "ii") in cert.dependencies
+
+    def test_structural_census_covers_constructs(self, stlc_ctx):
+        cfg = ValidationConfig(
+            domain_depth=2, max_tuples=60, ref_depth=8, max_fuel=8, gen_samples=40
+        )
+        cert = certify_checker(stlc_ctx, "typing", cfg)
+        assert cert.ok, cert.summary()
+        assert cert.step_cases.get("enumeration", 0) >= 1  # TApp
+        assert cert.step_cases.get("recursive-call", 0) >= 1
+        assert cert.step_cases["top-level-match"] == 5
+
+    def test_zero_relation_still_certifies(self, zero_ctx):
+        """`zero` answers None on nonzero inputs forever — that is
+        consistent with soundness/completeness/monotonicity."""
+        cert = certify_checker(zero_ctx, "zero", FAST)
+        assert cert.ok, cert.summary()
+
+
+class TestCertificatesCatchBugs:
+    """Translation validation must *refute* wrong artifacts."""
+
+    def _install(self, ctx, rel, fn):
+        register_checker(ctx, rel, fn, source="handwritten")
+        from repro.derive.instances import CHECKER, lookup
+
+        return lookup(ctx, CHECKER, rel, Mode.checker(ctx.relations.get(rel).arity))
+
+    def test_unsound_checker_refuted(self, nat_ctx):
+        instance = self._install(nat_ctx, "le", lambda fuel, args: SOME_TRUE)
+        cert = certify_checker(nat_ctx, "le", FAST, instance=instance)
+        assert not cert.ok
+        assert any(o.name == "soundness" and o.status == "refuted"
+                   for o in cert.obligations)
+
+    def test_incomplete_checker_refuted(self, nat_ctx):
+        instance = self._install(nat_ctx, "le", lambda fuel, args: SOME_FALSE)
+        cert = certify_checker(nat_ctx, "le", FAST, instance=instance)
+        names = {o.name for o in cert.refuted}
+        assert "completeness" in names
+
+    def test_nonmonotone_checker_refuted(self, nat_ctx):
+        from repro.core.values import to_int
+
+        def flipflop(fuel, args):
+            a, b = (to_int(x) for x in args)
+            if a > b:
+                return SOME_FALSE
+            return SOME_TRUE if fuel % 2 == 0 else SOME_FALSE
+
+        instance = self._install(nat_ctx, "le", flipflop)
+        cert = certify_checker(nat_ctx, "le", FAST, instance=instance)
+        assert any(o.name == "monotonicity" and o.status == "refuted"
+                   for o in cert.obligations)
+
+
+class TestProducerCertificates:
+    def test_le_enumerators_both_modes(self, nat_ctx):
+        for mode in ("io", "oi", "oo"):
+            cert = certify_enumerator(nat_ctx, "le", mode, FAST)
+            assert cert.ok, cert.summary()
+
+    def test_sorted_enumerator(self, list_ctx):
+        cfg = ValidationConfig(
+            domain_depth=2, max_tuples=40, ref_depth=8, max_fuel=5,
+            max_outcomes=4000,
+        )
+        cert = certify_enumerator(list_ctx, "Sorted", "o", cfg)
+        assert cert.ok, cert.summary()
+
+    def test_square_root_enumerator(self, nat_ctx):
+        cert = certify_enumerator(nat_ctx, "square_of", "oi", FAST)
+        assert cert.ok, cert.summary()
+
+    def test_le_generator(self, nat_ctx):
+        cert = certify_generator(nat_ctx, "le", "oi", FAST)
+        assert cert.ok, cert.summary()
+
+    def test_unsound_enumerator_refuted(self, nat_ctx):
+        from repro.derive.instances import ENUM, register_producer, lookup
+
+        def bad_enum(fuel, ins):
+            yield (from_int(99),)  # 99 <= anything: wrong
+
+        register_producer(
+            nat_ctx, ENUM, "le", Mode.from_string("oi"), bad_enum
+        )
+        instance = lookup(nat_ctx, ENUM, "le", Mode.from_string("oi"))
+        cert = certify_enumerator(nat_ctx, "le", "oi", FAST, instance=instance)
+        assert any(o.name == "soundness" and o.status == "refuted"
+                   for o in cert.obligations)
+
+    def test_incomplete_enumerator_refuted(self, nat_ctx):
+        from repro.derive.instances import ENUM, register_producer, lookup
+
+        def empty_enum(fuel, ins):
+            return iter(())  # no fuel marker: claims exhaustiveness
+
+        register_producer(
+            nat_ctx, ENUM, "le", Mode.from_string("oi"), empty_enum
+        )
+        instance = lookup(nat_ctx, ENUM, "le", Mode.from_string("oi"))
+        cert = certify_enumerator(nat_ctx, "le", "oi", FAST, instance=instance)
+        refuted = {o.name for o in cert.refuted}
+        assert "completeness" in refuted or "fuel-marker-honesty" in refuted

@@ -1,0 +1,51 @@
+"""Tests for proof by computational reflection (Section 6.3)."""
+
+import pytest
+
+from repro.core.values import from_int, from_list
+from repro.validation import prove_by_reflection, prove_explicit, reflect_holds
+
+
+def repeat_list(x, n):
+    return from_list([from_int(x)] * n)
+
+
+class TestExplicitProofs:
+    def test_builds_and_checks(self, list_ctx):
+        report = prove_explicit(list_ctx, "Sorted", (repeat_list(1, 30),), depth=40)
+        assert report.proved
+        assert report.proof_size > 30  # one node per element plus le proofs
+
+    def test_fails_on_false_goal(self, list_ctx):
+        from repro.core.values import nat_list
+
+        report = prove_explicit(list_ctx, "Sorted", (nat_list([2, 1]),), depth=10)
+        assert not report.proved
+        assert report.proof_size == 0
+
+
+class TestReflectiveProofs:
+    def test_proves_sorted_repeat(self, list_ctx):
+        report = prove_by_reflection(
+            list_ctx, "Sorted", (repeat_list(1, 50),), fuel=60
+        )
+        assert report.proved
+        assert report.proof_size == 1
+
+    def test_reflect_holds(self, list_ctx):
+        assert reflect_holds(list_ctx, "Sorted", (repeat_list(1, 20),), fuel=30)
+        from repro.core.values import nat_list
+
+        assert not reflect_holds(list_ctx, "Sorted", (nat_list([3, 1]),), fuel=30)
+
+    def test_reflection_beats_explicit_on_large_goals(self, list_ctx):
+        """The paper's headline contrast, at reduced scale."""
+        n = 120
+        args = (repeat_list(1, n),)
+        explicit = prove_explicit(list_ctx, "Sorted", args, depth=n + 10)
+        reflective = prove_by_reflection(list_ctx, "Sorted", args, fuel=n + 10)
+        assert explicit.proved and reflective.proved
+        assert reflective.proof_size < explicit.proof_size / 50
+        total_explicit = explicit.build_seconds + explicit.check_seconds
+        total_reflective = reflective.build_seconds + reflective.check_seconds
+        assert total_reflective < total_explicit
