@@ -43,11 +43,17 @@ from .core import (
     to_list,
 )
 from .derive import (
+    DeriveStats,
     Mode,
+    clear_memo,
     derive,
     derive_checker,
     derive_enumerator,
     derive_generator,
+    derive_stats,
+    disable_memoization,
+    enable_memoization,
+    memoization_enabled,
 )
 from .quickchick import for_all, quick_check
 from .semantics import derivable, search_derivation
@@ -63,6 +69,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Context",
+    "DeriveStats",
     "Mode",
     "ParseError",
     "Relation",
@@ -72,12 +79,17 @@ __all__ = [
     "certify_checker",
     "certify_enumerator",
     "certify_generator",
+    "clear_memo",
     "derivable",
     "derive",
     "derive_checker",
     "derive_enumerator",
     "derive_generator",
+    "derive_stats",
+    "disable_memoization",
+    "enable_memoization",
     "for_all",
+    "memoization_enabled",
     "from_bool",
     "from_int",
     "from_list",

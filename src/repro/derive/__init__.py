@@ -11,10 +11,18 @@ from .instances import (
     resolve,
     resolve_checker,
 )
-from .interp_checker import DerivedChecker
-from .interp_enum import DerivedEnumerator
-from .interp_gen import DerivedGenerator
+from .interp_checker import DerivedChecker, HandwrittenChecker
+from .interp_enum import DerivedEnumerator, HandwrittenEnumerator
+from .interp_gen import DerivedGenerator, HandwrittenGenerator
+from .memo import (
+    clear_memo,
+    derive_stats,
+    disable_memoization,
+    enable_memoization,
+    memoization_enabled,
+)
 from .modes import Mode
+from .stats import DeriveStats
 from .preprocess import preprocess_relation, preprocess_rule
 from .schedule import Handler, Schedule
 from .mutual import derive_mutual_checkers, mutual_components
@@ -30,21 +38,30 @@ __all__ = [
     "CHECKER",
     "DEFAULT_POLICY",
     "DerivePolicy",
+    "DeriveStats",
     "DerivedChecker",
     "DerivedEnumerator",
     "DerivedGenerator",
     "ENUM",
     "GEN",
     "Handler",
+    "HandwrittenChecker",
+    "HandwrittenEnumerator",
+    "HandwrittenGenerator",
     "Instance",
     "Mode",
     "Schedule",
     "build_schedule",
+    "clear_memo",
     "derive",
     "derive_checker",
     "derive_enumerator",
     "derive_generator",
     "derive_mutual_checkers",
+    "derive_stats",
+    "disable_memoization",
+    "enable_memoization",
+    "memoization_enabled",
     "mutual_components",
     "PAPER_POLICY",
     "preprocess_relation",

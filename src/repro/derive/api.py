@@ -25,11 +25,10 @@ from typing import Iterable
 from ..core.context import Context
 from ..core.errors import DerivationError
 from .instances import CHECKER, ENUM, GEN, resolve
-from .interp_checker import DerivedChecker
-from .interp_enum import DerivedEnumerator
-from .interp_gen import DerivedGenerator
+from .interp_checker import DerivedChecker, HandwrittenChecker
+from .interp_enum import DerivedEnumerator, HandwrittenEnumerator
+from .interp_gen import DerivedGenerator, HandwrittenGenerator
 from .modes import Mode
-from .scheduler import build_schedule
 
 
 def _as_mode(ctx: Context, rel: str, mode: "str | Mode | Iterable[int]") -> Mode:
@@ -54,14 +53,13 @@ def derive_checker(ctx: Context, rel: str) -> DerivedChecker:
     """
     arity = ctx.relations.get(rel).arity
     instance = resolve(ctx, CHECKER, rel, Mode.checker(arity))
-    fn = instance.fn
-    owner = getattr(fn, "__self__", None)
+    owner = getattr(instance.fn, "__self__", None)
     if isinstance(owner, DerivedChecker):
         return owner
-    # Handwritten instance: wrap it in the public interface.
-    schedule = instance.schedule or build_schedule(ctx, rel, Mode.checker(arity))
-    wrapper = DerivedChecker(ctx, schedule)
-    return wrapper
+    # Handwritten instance: wrap it in the public interface.  The
+    # wrapper *delegates to the registered fn* — re-deriving a checker
+    # here would silently discard the handwritten implementation.
+    return HandwrittenChecker(ctx, instance)
 
 
 def derive_enumerator(
@@ -78,7 +76,7 @@ def derive_enumerator(
     owner = getattr(instance.fn, "__self__", None)
     if isinstance(owner, DerivedEnumerator):
         return owner
-    return DerivedEnumerator(ctx, instance.schedule or build_schedule(ctx, rel, built))
+    return HandwrittenEnumerator(ctx, instance)
 
 
 def derive_generator(
@@ -96,7 +94,7 @@ def derive_generator(
     owner = getattr(instance.fn, "__self__", None)
     if isinstance(owner, DerivedGenerator):
         return owner
-    return DerivedGenerator(ctx, instance.schedule or build_schedule(ctx, rel, built))
+    return HandwrittenGenerator(ctx, instance)
 
 
 _KINDS = {

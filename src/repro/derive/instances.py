@@ -30,6 +30,7 @@ from typing import Any, Callable
 
 from ..core.context import Context
 from ..core.errors import DerivationError, InstanceNotFoundError
+from .memo import invalidate_memo, wrap_instance
 from .modes import Mode
 
 CHECKER = "checker"
@@ -59,8 +60,17 @@ def register(ctx: Context, instance: Instance, replace: bool = False) -> Instanc
     key = _key(instance.kind, instance.rel, instance.mode)
     if key in ctx.instances and not replace:
         raise DerivationError(f"instance already registered for {key}")
+    if replace:
+        # Purge *every* backend's entry for this (kind, rel, mode) —
+        # a previously compiled instance would otherwise keep serving
+        # the replaced implementation — and drop memoized answers,
+        # which may depend on the old instance through premise calls.
+        stale = [k for k in ctx.instances if k[:3] == key]
+        for k in stale:
+            del ctx.instances[k]
+        invalidate_memo(ctx, instance.rel)
     ctx.instances[key] = instance
-    return instance
+    return wrap_instance(ctx, instance)
 
 
 def register_checker(
@@ -110,6 +120,9 @@ def resolve(
     schedule interpreter (``interp``) or the Python code generator
     (``compiled``); the two backends are registered independently.
     """
+    stats = ctx.caches.get("derive_stats")
+    if stats is not None:
+        stats.external_resolutions += 1
     stack: list[tuple] = ctx.caches.setdefault("resolve_stack", [])
     key = _key(kind, rel, mode, backend)
     if key in stack:
@@ -125,7 +138,7 @@ def resolve(
         )
     found = ctx.instances.get(key)
     if found is not None:
-        return found
+        return wrap_instance(ctx, found)
     if not auto_derive:
         raise InstanceNotFoundError(key)
 
@@ -139,7 +152,7 @@ def resolve(
         # generation (it needs the callables), under the same stack.
     finally:
         stack.pop()
-    return instance
+    return wrap_instance(ctx, instance)
 
 
 def _derive_instance(
@@ -183,7 +196,7 @@ def resolve_compiled(ctx: Context, kind: str, rel: str, mode: Mode):
     wins (user-supplied code is already native Python)."""
     existing = lookup(ctx, kind, rel, mode)
     if existing is not None and existing.source == "handwritten":
-        return existing.fn
+        return wrap_instance(ctx, existing).fn
     return resolve(ctx, kind, rel, mode, backend="compiled").fn
 
 

@@ -30,6 +30,7 @@ from ..producers.option_bool import (
     negate,
 )
 from ..producers.outcome import OUT_OF_FUEL
+from .memo import checker_memo_call, decide_fuel_doubling
 from .runtime import eval_args, eval_term, match_inputs, match_known
 from .schedule import (
     Handler,
@@ -68,23 +69,39 @@ class DerivedChecker:
             self.group.update(group)
 
     def __call__(self, fuel: int, *args: Value) -> OptionBool:
-        return self.rec(fuel, fuel, tuple(args))
+        return self.check(fuel, tuple(args))
 
     def check(self, fuel: int, args: tuple[Value, ...]) -> OptionBool:
-        """Internal calling convention (used by instance resolution)."""
+        """Internal calling convention (used by instance resolution).
+
+        Top-level calls (``size == top_size``) route through the
+        per-context memo table when memoization is enabled; the memo
+        layer knows not to wrap this method again at the instance
+        registry.
+        """
+        if self.ctx.caches.get("memo_enabled"):
+            return checker_memo_call(
+                self.ctx,
+                self.schedule.rel,
+                args,
+                fuel,
+                lambda: self.rec(fuel, fuel, args),
+            )
         return self.rec(fuel, fuel, args)
 
     def decide(
         self, args: tuple[Value, ...], max_fuel: int = 64, start_fuel: int = 2
     ) -> OptionBool:
         """Run with doubling fuel until a definite answer (or give up
-        with ``None`` at *max_fuel*)."""
-        fuel = start_fuel
-        while True:
-            result = self.rec(fuel, fuel, args)
-            if not result.is_none or fuel >= max_fuel:
-                return result
-            fuel = min(2 * fuel, max_fuel)
+        with ``None`` at *max_fuel*).
+
+        With memoization enabled the loop is incremental: a cached
+        definite answer (at any fuel) returns immediately, and probes
+        at or below the recorded ``None`` frontier short-circuit.
+        """
+        return decide_fuel_doubling(
+            self.ctx, self.schedule.rel, self.check, args, max_fuel, start_fuel
+        )
 
     # -- the derived fixpoint ---------------------------------------------------
 
@@ -126,10 +143,18 @@ class DerivedChecker:
         top_size: int,
         args: tuple[Value, ...],
     ) -> OptionBool:
+        stats = self.ctx.caches.get("derive_stats")
+        if stats is not None:
+            stats.handler_attempts += 1
         env = match_inputs(handler.in_patterns, args, self.ctx)
         if env is None:
+            if stats is not None:
+                stats.backtracks += 1
             return SOME_FALSE
-        return self._run_steps(handler.steps, 0, env, rec_size, top_size)
+        result = self._run_steps(handler.steps, 0, env, rec_size, top_size)
+        if stats is not None and not result.is_true:
+            stats.backtracks += 1
+        return result
 
     def _run_steps(
         self,
@@ -254,6 +279,46 @@ class DerivedChecker:
         child = dict(env)
         child[var] = value
         return self._run_steps(steps, i + 1, child, rec_size, top_size)
+
+
+class HandwrittenChecker:
+    """Public wrapper around a registered handwritten checker instance.
+
+    ``derive_checker`` hands this back when the registry resolves to a
+    user-supplied ``DecOpt`` instance: calls delegate to the *live*
+    ``instance.fn`` (so replacements via ``register(...,
+    replace=True)`` and memo wrapping both take effect), while the
+    object still offers the :class:`DerivedChecker` public surface
+    (``__call__``, ``check``, ``decide``).
+    """
+
+    def __init__(self, ctx: Context, instance) -> None:
+        self.ctx = ctx
+        self.instance = instance
+        self.rel = instance.rel
+        # Registry key (interp backend): re-read per call so that
+        # register(..., replace=True) takes effect on live wrappers.
+        self._key = (instance.kind, instance.rel, str(instance.mode))
+
+    def _fn(self):
+        live = self.ctx.instances.get(self._key)
+        return (live or self.instance).fn
+
+    def __call__(self, fuel: int, *args: Value) -> OptionBool:
+        return self._fn()(fuel, tuple(args))
+
+    def check(self, fuel: int, args: tuple[Value, ...]) -> OptionBool:
+        return self._fn()(fuel, tuple(args))
+
+    def decide(
+        self, args: tuple[Value, ...], max_fuel: int = 64, start_fuel: int = 2
+    ) -> OptionBool:
+        return decide_fuel_doubling(
+            self.ctx, self.rel, self.check, args, max_fuel, start_fuel
+        )
+
+    def __repr__(self) -> str:
+        return f"HandwrittenChecker({self.rel!r})"
 
 
 def make_checker(ctx: Context, schedule: Schedule):

@@ -107,8 +107,13 @@ class DerivedEnumerator:
         top_size: int,
         ins: tuple[Value, ...],
     ) -> Iterator[Any]:
+        stats = self.ctx.caches.get("derive_stats")
+        if stats is not None:
+            stats.handler_attempts += 1
         env = match_inputs(handler.in_patterns, ins, self.ctx)
         if env is None:
+            if stats is not None:
+                stats.backtracks += 1
             return
         yield from self._run_steps(handler, 0, env, rec_size, top_size)
 
@@ -205,6 +210,44 @@ class DerivedEnumerator:
 
         instance = resolve(self.ctx, ENUM, step.rel, step.mode)
         return instance.fn(top_size, ins)
+
+
+class HandwrittenEnumerator:
+    """Public wrapper around a registered handwritten enumerator.
+
+    ``derive_enumerator`` hands this back when resolution finds a
+    user-supplied ``EnumSizedSuchThat`` instance: all calls delegate to
+    the live ``instance.fn`` while presenting the
+    :class:`DerivedEnumerator` public surface.
+    """
+
+    def __init__(self, ctx: Context, instance) -> None:
+        self.ctx = ctx
+        self.instance = instance
+        self.rel = instance.rel
+        self.mode = instance.mode
+        # Registry key (interp backend): re-read per call so that
+        # register(..., replace=True) takes effect on live wrappers.
+        self._key = (instance.kind, instance.rel, str(instance.mode))
+
+    def _fn(self):
+        live = self.ctx.instances.get(self._key)
+        return (live or self.instance).fn
+
+    def __call__(self, fuel: int, *ins: Value) -> Iterator[Any]:
+        return self._fn()(fuel, tuple(ins))
+
+    def enum_st(self, fuel: int, ins: tuple[Value, ...]) -> Iterator[Any]:
+        return self._fn()(fuel, tuple(ins))
+
+    def values(self, fuel: int, *ins: Value) -> list[tuple[Value, ...]]:
+        return [x for x in self._fn()(fuel, tuple(ins)) if x is not OUT_OF_FUEL]
+
+    def exhaustive_at(self, fuel: int, *ins: Value) -> bool:
+        return all(x is not OUT_OF_FUEL for x in self._fn()(fuel, tuple(ins)))
+
+    def __repr__(self) -> str:
+        return f"HandwrittenEnumerator({self.rel!r}, {self.mode})"
 
 
 def make_enumerator(ctx: Context, schedule: Schedule):

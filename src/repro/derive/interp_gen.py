@@ -110,6 +110,7 @@ class DerivedGenerator:
             [h, self.retries, (size if h.recursive else 1) or 1]
             for h in handlers
         ]
+        stats = self.ctx.caches.get("derive_stats")
         saw_fuel = exhausted_means_fuel
         while remaining:
             total = sum(entry[2] for entry in remaining)
@@ -120,14 +121,20 @@ class DerivedGenerator:
                     entry = candidate
                     break
                 pick -= candidate[2]
+            if stats is not None:
+                stats.handler_attempts += 1
             result = self._run_handler(entry[0], rec_size, top_size, ins, rng)
             if is_value(result):
                 return result
+            if stats is not None:
+                stats.backtracks += 1
             if result is OUT_OF_FUEL:
                 saw_fuel = True
             entry[1] -= 1
             if entry[1] <= 0:
                 remaining.remove(entry)
+        if stats is not None and saw_fuel:
+            stats.fuel_exhaustions += 1
         return OUT_OF_FUEL if saw_fuel else FAIL
 
     def _run_handler(
@@ -210,6 +217,60 @@ class DerivedGenerator:
 
         instance = resolve(self.ctx, GEN, step.rel, step.mode)
         return instance.fn(top_size, ins, rng)
+
+
+class HandwrittenGenerator:
+    """Public wrapper around a registered handwritten generator.
+
+    ``derive_generator`` hands this back when resolution finds a
+    user-supplied ``GenSizedSuchThat`` instance: all calls delegate to
+    the live ``instance.fn`` while presenting the
+    :class:`DerivedGenerator` public surface.
+    """
+
+    def __init__(self, ctx: Context, instance) -> None:
+        self.ctx = ctx
+        self.instance = instance
+        self.rel = instance.rel
+        self.mode = instance.mode
+        # Registry key (interp backend): re-read per call so that
+        # register(..., replace=True) takes effect on live wrappers.
+        self._key = (instance.kind, instance.rel, str(instance.mode))
+
+    def _fn(self):
+        live = self.ctx.instances.get(self._key)
+        return (live or self.instance).fn
+
+    def __call__(
+        self, fuel: int, *ins: Value, rng: random.Random | None = None
+    ) -> Any:
+        return self._fn()(fuel, tuple(ins), rng or random.Random())
+
+    def gen_st(
+        self, fuel: int, ins: tuple[Value, ...], rng: random.Random
+    ) -> Any:
+        return self._fn()(fuel, tuple(ins), rng)
+
+    def samples(
+        self,
+        fuel: int,
+        *ins: Value,
+        count: int = 100,
+        seed: int | None = None,
+    ) -> list[tuple[Value, ...]]:
+        rng = random.Random(seed)
+        fn = self._fn()
+        out: list[tuple[Value, ...]] = []
+        attempts = 0
+        while len(out) < count and attempts < 20 * count:
+            attempts += 1
+            x = fn(fuel, tuple(ins), rng)
+            if is_value(x):
+                out.append(x)
+        return out
+
+    def __repr__(self) -> str:
+        return f"HandwrittenGenerator({self.rel!r}, {self.mode})"
 
 
 def make_generator(ctx: Context, schedule: Schedule):

@@ -24,6 +24,10 @@ DISCARD = "discard"
 
 @dataclass
 class TestCase:
+    # Not a pytest test class, despite the name (silences pytest's
+    # collection warning when this module is imported from tests).
+    __test__ = False
+
     status: str
     input: Any = None
     detail: str = ""

@@ -1,0 +1,108 @@
+"""Fuel-monotonicity property tests (the paper's Section 5 theorems).
+
+These are the soundness preconditions the memoization layer relies on:
+
+* **upward persistence of definite answers** — if the derived checker
+  answers ``Some b`` at fuel ``f``, it answers ``Some b`` at every
+  larger fuel;
+* **downward persistence of None** — if it answers ``None`` at fuel
+  ``f``, it answers ``None`` at every smaller fuel.
+
+Checked on the BST and STLC case studies over generated inputs, for
+both the interpreter and compiled backends.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.casestudies import bst, stlc
+from repro.core.values import V, Value, from_int, from_list
+from repro.derive import Mode
+from repro.derive.instances import CHECKER, resolve
+
+FUEL_LADDER = (1, 2, 4, 8, 16, 32)
+
+
+def _assert_monotone(check, args, fuels=FUEL_LADDER):
+    """Check both §5 monotonicity directions along a fuel ladder."""
+    results = [check(f, args) for f in fuels]
+    for i, (fi, ri) in enumerate(zip(fuels, results)):
+        for fj, rj in zip(fuels[i + 1:], results[i + 1:]):
+            if not ri.is_none:
+                assert rj is ri, (
+                    f"definite answer unstable: fuel {fi} -> {ri}, "
+                    f"fuel {fj} -> {rj} on {args}"
+                )
+            if rj.is_none:
+                assert ri.is_none, (
+                    f"None not downward monotone: fuel {fj} -> None but "
+                    f"fuel {fi} -> {ri} on {args}"
+                )
+
+
+def _random_trees(count: int, seed: int) -> list[Value]:
+    """A mix of valid BSTs (handwritten generator) and mutated ones."""
+    rng = random.Random(seed)
+    lo, hi = from_int(0), from_int(16)
+    trees = []
+    while len(trees) < count:
+        out = bst.handwritten_bst_gen(8, (lo, hi), rng)
+        if not isinstance(out, tuple):
+            continue
+        tree = out[0]
+        trees.append(tree)
+        # A mutated sibling: insert with a buggy implementation.
+        trees.append(bst.insert_swapped(rng.randrange(1, 16), tree))
+    return trees[:count]
+
+
+def _random_terms(count: int, seed: int) -> list[Value]:
+    """Small random STLC terms, typed and ill-typed alike."""
+    rng = random.Random(seed)
+
+    def go(depth: int) -> Value:
+        if depth == 0 or rng.random() < 0.3:
+            if rng.random() < 0.5:
+                return V("Con", from_int(rng.randrange(0, 3)))
+            return V("Vart", from_int(rng.randrange(0, 3)))
+        pick = rng.randrange(3)
+        if pick == 0:
+            return V("Add", go(depth - 1), go(depth - 1))
+        if pick == 1:
+            ty = V("N") if rng.random() < 0.6 else V("Arr", V("N"), V("N"))
+            return V("Abs", ty, go(depth - 1))
+        return V("App", go(depth - 1), go(depth - 1))
+
+    return [go(3) for _ in range(count)]
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_bst_checker_fuel_monotone(backend):
+    ctx = bst.make_context()
+    check = resolve(ctx, CHECKER, "bst", Mode.checker(3), backend=backend).fn
+    lo, hi = from_int(0), from_int(16)
+    for tree in _random_trees(count=30, seed=101):
+        _assert_monotone(check, (lo, hi, tree))
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_stlc_typing_fuel_monotone(backend):
+    ctx = stlc.make_context()
+    check = resolve(ctx, CHECKER, "typing", Mode.checker(3), backend=backend).fn
+    env = from_list([])
+    types = (V("N"), V("Arr", V("N"), V("N")))
+    for i, term in enumerate(_random_terms(count=25, seed=202)):
+        _assert_monotone(check, (env, term, types[i % 2]))
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_le_checker_fuel_monotone(backend, nat_ctx):
+    """A relation where None genuinely appears low on the ladder."""
+    check = resolve(nat_ctx, CHECKER, "le", Mode.checker(2), backend=backend).fn
+    rng = random.Random(7)
+    for _ in range(40):
+        a, b = rng.randrange(0, 20), rng.randrange(0, 20)
+        _assert_monotone(check, (from_int(a), from_int(b)))
