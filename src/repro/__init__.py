@@ -28,6 +28,14 @@ import sys as _sys
 if _sys.getrecursionlimit() < 300_000:
     _sys.setrecursionlimit(300_000)
 
+from .analysis import (
+    AnalysisError,
+    Report,
+    analyze,
+    analyze_context,
+    disable_analysis,
+    enable_analysis,
+)
 from .core import (
     Context,
     ParseError,
@@ -68,14 +76,18 @@ from .validation import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
     "Context",
     "DeriveStats",
     "Mode",
     "ParseError",
     "Relation",
+    "Report",
     "ValidationConfig",
     "Value",
     "__version__",
+    "analyze",
+    "analyze_context",
     "certify_checker",
     "certify_enumerator",
     "certify_generator",
@@ -86,7 +98,9 @@ __all__ = [
     "derive_enumerator",
     "derive_generator",
     "derive_stats",
+    "disable_analysis",
     "disable_memoization",
+    "enable_analysis",
     "enable_memoization",
     "for_all",
     "memoization_enabled",

@@ -1,0 +1,166 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Lints surface-syntax files or the built-in corpus::
+
+    python -m repro.analysis examples/foo.v
+    python -m repro.analysis foo.v --mode 'square_of:oi' --json
+    python -m repro.analysis --corpus --allow ci/corpus_allowlist.txt
+
+Exit codes: 0 = clean (infos never count, allowlisted findings are
+reported but don't fail), 1 = errors or warnings found, 2 = usage or
+parse failure.
+
+Allowlist files contain one pattern per line (``#`` comments allowed):
+``REL004`` silences a code everywhere, ``REL004:empty_relation``
+silences it for one relation, ``REL004:empty_relation:rule_name`` for
+one rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..core.errors import ReproError
+from .checks import analyze, analyze_context
+from .diagnostics import Diagnostic, Report, Severity
+
+#: case-study modules linted by --corpus alongside the sf chapters
+CASE_STUDY_MODULES = [
+    "repro.casestudies.bst",
+    "repro.casestudies.stlc",
+    "repro.casestudies.ifc",
+]
+
+
+def load_allowlist(path: str) -> set[str]:
+    patterns: set[str] = set()
+    for raw in Path(path).read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            patterns.add(line)
+    return patterns
+
+
+def is_allowed(diag: Diagnostic, allow: set[str]) -> bool:
+    keys = [diag.code, f"{diag.code}:{diag.relation}"]
+    if diag.rule:
+        keys.append(f"{diag.code}:{diag.relation}:{diag.rule}")
+    return any(k in allow for k in keys)
+
+
+def _parse_mode_args(specs: list[str]) -> dict[str, list[str]]:
+    modes: dict[str, list[str]] = {}
+    for spec in specs:
+        if ":" not in spec:
+            raise ValueError(
+                f"bad --mode {spec!r}: expected 'relation:iospec' "
+                "(e.g. 'square_of:oi')"
+            )
+        rel, _, mode = spec.partition(":")
+        modes.setdefault(rel, []).append(mode)
+    return modes
+
+
+def _lint_sources(args) -> list[tuple[str, Report]]:
+    """(label, report) per linted source, in lint order."""
+    results: list[tuple[str, Report]] = []
+    modes = _parse_mode_args(args.mode)
+
+    if args.corpus:
+        from ..sf.registry import CHAPTER_MODULES, load_chapter
+
+        for module in CHAPTER_MODULES:
+            chapter = load_chapter(module)
+            results.append((module, analyze_context(chapter.ctx, modes)))
+        import importlib
+
+        for module in CASE_STUDY_MODULES:
+            ctx = importlib.import_module(module).make_context()
+            results.append((module, analyze_context(ctx, modes)))
+        return results
+
+    from ..core.parser import parse_declarations
+    from ..stdlib import standard_context
+
+    for filename in args.files:
+        ctx = standard_context()
+        parse_declarations(ctx, Path(filename).read_text())
+        results.append((filename, analyze_context(ctx, modes)))
+    return results
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static linter for inductive relations (REL001..REL006)",
+    )
+    parser.add_argument("files", nargs="*", help="surface-syntax files to lint")
+    parser.add_argument(
+        "--corpus",
+        action="store_true",
+        help="lint the Software Foundations corpus and the case studies",
+    )
+    parser.add_argument(
+        "--mode",
+        action="append",
+        default=[],
+        metavar="REL:SPEC",
+        help="additionally lint REL at mode SPEC (repeatable)",
+    )
+    parser.add_argument(
+        "--allow", metavar="FILE", help="allowlist file (CODE[:relation[:rule]])"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.corpus and not args.files:
+        parser.print_usage(sys.stderr)
+        print("error: give files to lint or --corpus", file=sys.stderr)
+        return 2
+
+    allow: set[str] = set()
+    if args.allow:
+        try:
+            allow = load_allowlist(args.allow)
+        except OSError as exc:
+            print(f"error: cannot read allowlist: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        results = _lint_sources(args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failing = 0
+    allowed = 0
+    if args.json:
+        payload = {
+            label: [d.as_dict() for d in report] for label, report in results
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    for label, report in results:
+        shown: list[str] = []
+        for diag in report:
+            if diag.severity is not Severity.INFO:
+                if is_allowed(diag, allow):
+                    allowed += 1
+                else:
+                    failing += 1
+            if not args.json:
+                suffix = " (allowlisted)" if is_allowed(diag, allow) else ""
+                shown.append(diag.render(label) + suffix)
+        if shown:
+            print("\n\n".join(shown))
+            print()
+    if not args.json:
+        summary = f"{failing} finding(s)"
+        if allowed:
+            summary += f", {allowed} allowlisted"
+        print(summary)
+    return 1 if failing else 0

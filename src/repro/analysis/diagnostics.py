@@ -1,0 +1,188 @@
+"""Structured diagnostics for the relation/mode linter.
+
+Every finding the analyzer produces is a :class:`Diagnostic` with a
+stable code (``REL001`` .. ``REL006``), a severity, and enough
+provenance (relation, rule, source span when the declaration came from
+the surface parser) to render a rustc-style report::
+
+    error[REL001]: 'foo' at mode ii: variable 'x' has no inferred type
+      --> examples/foo.v:3:3 (rule mk_foo)
+      = note: blocked at premise 'bar x y'
+
+Codes are API: tests and CI allowlists match on them, so existing
+codes never change meaning (new checks get new codes).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..core.relations import Span
+
+#: code -> short human name (the linter's table of contents)
+CODES = {
+    "REL001": "mode consistency / derivability",
+    "REL002": "negation stratification",
+    "REL003": "unreachable or overlapping rules",
+    "REL004": "dead rules / unproductive recursion",
+    "REL005": "instance dependency closure",
+    "REL006": "generate-and-test degradation (preprocessing)",
+}
+
+
+class Severity(enum.IntEnum):
+    """Ordered so that ``max(severities)`` is the worst finding."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``relation``/``rule`` locate the finding logically; ``span`` (when
+    the declaration was parsed from surface syntax) locates it in the
+    source text.  ``mode`` is the mode string the finding applies to,
+    or ``None`` for mode-independent findings (e.g. stratification).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    relation: str
+    rule: str | None = None
+    mode: str | None = None
+    span: Span | None = None
+    note: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:  # keep the code table authoritative
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, source: str | None = None) -> str:
+        """Rustc-flavored multi-line rendering.
+
+        ``source`` is an optional file/module label for the ``-->``
+        location line.
+        """
+        where = self.relation
+        if self.mode is not None:
+            where += f" at mode {self.mode}"
+        lines = [f"{self.severity}[{self.code}]: {where}: {self.message}"]
+        loc_bits = []
+        if source:
+            loc_bits.append(source)
+        if self.span is not None:
+            loc_bits.append(str(self.span))
+        loc = ":".join(loc_bits)
+        if self.rule is not None:
+            loc = f"{loc} (rule {self.rule})" if loc else f"rule {self.rule}"
+        if loc:
+            lines.append(f"  --> {loc}")
+        if self.note:
+            lines.append(f"  = note: {self.note}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "relation": self.relation,
+            "rule": self.rule,
+            "mode": self.mode,
+            "line": self.span.line if self.span else None,
+            "column": self.span.column if self.span else None,
+            "note": self.note,
+        }
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _sort_key(d: Diagnostic) -> tuple:
+    return (-int(d.severity), d.relation, d.code, d.rule or "", d.message)
+
+
+@dataclass(frozen=True)
+class Report:
+    """The analyzer's result: diagnostics, worst first.
+
+    A report with no :attr:`errors` means derivation will not be
+    rejected (warnings describe derivable-but-degenerate behavior,
+    infos are observations).
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    @staticmethod
+    def of(diags: Iterable[Diagnostic]) -> "Report":
+        return Report(tuple(sorted(diags, key=_sort_key)))
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings/infos allowed)."""
+        return not self.errors
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def merge(self, other: "Report") -> "Report":
+        """Combine two reports, dropping exact duplicates (context-wide
+        analysis visits shared graph structure once per relation)."""
+        seen: list[Diagnostic] = list(self.diagnostics)
+        for d in other.diagnostics:
+            if d not in seen:
+                seen.append(d)
+        return Report.of(seen)
+
+    def render(self, source: str | None = None) -> str:
+        if not self.diagnostics:
+            return "no findings"
+        blocks = [d.render(source) for d in self.diagnostics]
+        counts = []
+        for sev, found in (
+            ("error", self.errors),
+            ("warning", self.warnings),
+            ("info", self.infos),
+        ):
+            if found:
+                plural = "" if len(found) == 1 else "s"
+                counts.append(f"{len(found)} {sev}{plural}")
+        blocks.append(", ".join(counts))
+        return "\n\n".join(blocks)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [d.as_dict() for d in self.diagnostics], indent=2, sort_keys=True
+        )
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

@@ -1,0 +1,80 @@
+"""The derivation gate: run the linter before ``derive_*``.
+
+``derive_checker`` / ``derive_enumerator`` / ``derive_generator`` call
+:func:`check_before_derive` right before resolving an instance.  Error
+diagnostics abort the derivation with an :class:`AnalysisError` whose
+message names the blocking premise/variable — replacing the generic
+failures that used to surface from deep inside scheduling.
+
+Cost discipline:
+
+* reports are cached per ``(rel, mode, kind)`` in ``ctx.caches``, so
+  repeated derivations analyze once (and the schedules the analyzer
+  builds are the ones derivation reuses);
+* when an instance is already registered for the request, nothing is
+  analyzed — there is nothing to derive;
+* when gating is disabled (:func:`disable_analysis`), the entire gate
+  is one dict lookup — no analyzer import, no report, no overhead.
+"""
+
+from __future__ import annotations
+
+from ..core.context import Context
+from ..core.errors import AnalysisError
+from ..derive.instances import lookup
+from ..derive.modes import Mode
+from ..derive.stats import stats_of
+
+_DISABLED_KEY = "analysis_disabled"
+_REPORTS_KEY = "analysis_reports"
+
+
+def disable_analysis(ctx: Context) -> None:
+    """Skip the static-analysis gate for *ctx* (speed opt-out)."""
+    ctx.caches[_DISABLED_KEY] = True
+
+
+def enable_analysis(ctx: Context) -> None:
+    """Re-enable the static-analysis gate for *ctx* (the default)."""
+    ctx.caches.pop(_DISABLED_KEY, None)
+
+
+def analysis_enabled(ctx: Context) -> bool:
+    return not ctx.caches.get(_DISABLED_KEY)
+
+
+def cached_report(ctx: Context, rel: str, mode: Mode, kind: str):
+    """The memoized gate report for ``(rel, mode, kind)``, or None."""
+    return ctx.caches.get(_REPORTS_KEY, {}).get((rel, str(mode), kind))
+
+
+def check_before_derive(
+    ctx: Context, rel: str, mode: Mode, kind: str, gate: bool = True
+) -> None:
+    """Raise :class:`AnalysisError` if the linter finds errors for
+    ``(rel, mode)``; no-op when gating is off or *gate* is False."""
+    if not gate or ctx.caches.get(_DISABLED_KEY):
+        return
+    if lookup(ctx, kind, rel, mode) is not None:
+        return  # already registered: nothing will be derived
+    reports = ctx.caches.setdefault(_REPORTS_KEY, {})
+    key = (rel, str(mode), kind)
+    report = reports.get(key)
+    if report is None:
+        from .checks import analyze
+
+        report = analyze(ctx, rel, mode, kind=kind)
+        reports[key] = report
+        stats = stats_of(ctx)
+        if stats is not None:
+            stats.analysis_runs += 1
+    if report.errors:
+        first = report.errors[0]
+        raise AnalysisError(
+            f"static analysis rejected {rel!r} at mode {mode}: "
+            f"{first.message}"
+            + (f" [rule {first.rule}]" if first.rule else "")
+            + f" ({first.code}; {len(report.errors)} error(s) total — "
+            "see AnalysisError.diagnostics or run repro.analysis)",
+            report.diagnostics,
+        )

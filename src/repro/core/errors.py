@@ -65,6 +65,21 @@ class UnsatisfiableModeError(DerivationError):
     can never be instantiated)."""
 
 
+class AnalysisError(DerivationError):
+    """Static analysis (``repro.analysis``) rejected a relation/mode
+    before derivation, carrying the structured diagnostics.
+
+    Subclasses :class:`DerivationError` so callers that caught the old
+    generic scheduling failures keep working; the ``diagnostics``
+    attribute holds the :class:`repro.analysis.Diagnostic` objects and
+    the message is their rendered text.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class InstanceNotFoundError(DerivationError):
     """Typeclass-style instance lookup failed and auto-derivation is off."""
 

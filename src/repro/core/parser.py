@@ -36,7 +36,7 @@ from __future__ import annotations
 from .context import Context
 from .errors import ParseError
 from .lexer import EOF, IDENT, KEYWORDS, NUMBER, PUNCT, Token, tokenize
-from .relations import EqPremise, Premise, Relation, RelPremise, Rule
+from .relations import EqPremise, Premise, Relation, RelPremise, Rule, Span
 from .terms import Ctor, Fun, Term, Var
 from .types import Ty, TypeExpr, TyVar
 from .values import from_int
@@ -280,6 +280,11 @@ class Parser:
     # -- premises and rules ----------------------------------------------------
 
     def parse_premise_or_conclusion(self) -> Premise | _RelApp:
+        # Remember where the construct starts: by the time a premise
+        # turns out to be malformed, several tokens have already been
+        # consumed and `self.error` would report the position *after*
+        # it.
+        start = self.peek()
         if self.at("~"):
             self.advance()
             inner = self.parse_premise_or_conclusion()
@@ -289,7 +294,9 @@ class Parser:
                 return RelPremise(inner.rel, inner.args, not inner.negated)
             if isinstance(inner, EqPremise):
                 return EqPremise(inner.lhs, inner.rhs, not inner.negated)
-            raise self.error("cannot negate this premise")
+            raise ParseError(
+                "cannot negate this premise", start.line, start.column
+            )
         t = self.parse_cons()
         if self.at("="):
             self.advance()
@@ -301,12 +308,16 @@ class Parser:
             return EqPremise(self._as_term(t), self._as_term(rhs), negated=True)
         if isinstance(t, _RelApp):
             return t
-        raise self.error(
-            "expected a relation application or an (in)equality"
+        raise ParseError(
+            f"expected a relation application or an (in)equality"
+            f" (found {start!s})",
+            start.line,
+            start.column,
         )
 
     def parse_rule(self, rel_name: str) -> Rule:
         self.expect("|")
+        name_tok = self.peek()
         name = self.expect_ident()
         self.expect(":")
         if self.at_ident("forall"):
@@ -316,22 +327,29 @@ class Parser:
             while self.at_ident() and not self.at(","):
                 binders.append(self.expect_ident())
             self.expect(",")
+        part_starts = [self.peek()]
         parts: list[Premise | _RelApp] = [self.parse_premise_or_conclusion()]
         while self.at("->"):
             self.advance()
+            part_starts.append(self.peek())
             parts.append(self.parse_premise_or_conclusion())
         conclusion = parts[-1]
+        conclusion_tok = part_starts[-1]
         if isinstance(conclusion, RelPremise) and not conclusion.negated:
             conclusion = _RelApp(conclusion.rel, conclusion.args)
         if not isinstance(conclusion, _RelApp):
-            raise self.error(
+            raise ParseError(
                 f"rule {name!r}: conclusion must be an application of"
-                f" {rel_name!r}"
+                f" {rel_name!r}",
+                conclusion_tok.line,
+                conclusion_tok.column,
             )
         if conclusion.rel != rel_name:
-            raise self.error(
+            raise ParseError(
                 f"rule {name!r}: conclusion applies {conclusion.rel!r},"
-                f" expected {rel_name!r}"
+                f" expected {rel_name!r}",
+                conclusion_tok.line,
+                conclusion_tok.column,
             )
         premises: list[Premise] = []
         for part in parts[:-1]:
@@ -339,7 +357,12 @@ class Parser:
                 premises.append(RelPremise(part.rel, part.args))
             else:
                 premises.append(part)
-        return Rule(name, tuple(premises), conclusion.args)
+        return Rule(
+            name,
+            tuple(premises),
+            conclusion.args,
+            span=Span(name_tok.line, name_tok.column),
+        )
 
     # -- function definitions ------------------------------------------------------
 
@@ -443,18 +466,22 @@ class Parser:
         mutual blocks) and declare it into the context."""
         self.expect("Inductive")
         declared: list[object] = []
-        headers: list[tuple[str, tuple[str, ...], list[TypeExpr]]] = []
+        headers: list[tuple[str, tuple[str, ...], list[TypeExpr], Span]] = []
         bodies: list[list] = []
 
         while True:
+            name_tok = self.peek()
             name = self.expect_ident()
             self.current_typarams = set()
             params = self.parse_params()
             self.current_typarams = set(params)
             self.expect(":")
+            sig_tok = self.peek()
             sig = self.parse_arrow_type()
             self.expect(":=")
-            headers.append((name, params, sig))
+            headers.append(
+                (name, params, sig, Span(name_tok.line, name_tok.column))
+            )
             is_prop = (
                 isinstance(sig[-1], Ty) and sig[-1].name == "Prop"
             )
@@ -462,8 +489,10 @@ class Parser:
                 isinstance(sig[-1], Ty) and sig[-1].name == "Type"
             )
             if not (is_prop or is_type):
-                raise self.error(
-                    f"declaration {name!r} must end in Prop or Type"
+                raise ParseError(
+                    f"declaration {name!r} must end in Prop or Type",
+                    sig_tok.line,
+                    sig_tok.column,
                 )
             if is_type and len(sig) > 1:
                 raise self.error("indexed datatypes are not supported")
@@ -502,14 +531,14 @@ class Parser:
         if len(headers) > 1:
             kinds = {
                 isinstance(sig[-1], Ty) and sig[-1].name == "Prop"
-                for (_, _, sig) in headers
+                for (_, _, sig, _) in headers
             }
             if kinds != {True}:
                 raise self.error(
                     "mutual blocks are only supported for relations"
                 )
 
-        for (name, params, sig), body in zip(headers, bodies):
+        for (name, params, sig, span), body in zip(headers, bodies):
             result = sig[-1]
             assert isinstance(result, Ty)
             if result.name == "Type":
@@ -518,7 +547,7 @@ class Parser:
                 declared.append(dt)
             else:
                 arg_types = tuple(sig[:-1])
-                rel = Relation(name, arg_types, tuple(body), params)
+                rel = Relation(name, arg_types, tuple(body), params, span=span)
                 declared.append(rel)
 
         # Relations in a mutual block must be registered together so

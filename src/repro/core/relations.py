@@ -28,6 +28,23 @@ from .types import TypeExpr, TyVar, is_ground, mangle, subst_ty
 
 
 @dataclass(frozen=True)
+class Span:
+    """A source position (1-based line/column) attached to parsed
+    declarations so diagnostics can point back at the surface syntax.
+
+    Spans are provenance, not meaning: they are excluded from equality
+    so structurally identical declarations compare equal regardless of
+    where they were written.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
 class RelPremise:
     """A premise ``Q e1 .. en`` or its negation ``~ (Q e1 .. en)``."""
 
@@ -76,6 +93,8 @@ class Rule:
     conclusion: tuple[Term, ...]
     # Types of the forall-bound variables; populated by inference.
     var_types: Mapping[str, TypeExpr] = field(default_factory=dict)
+    # Source position of the rule (parser-built rules only).
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         binder = ""
@@ -136,6 +155,8 @@ class Relation:
     arg_types: tuple[TypeExpr, ...]
     rules: tuple[Rule, ...]
     params: tuple[str, ...] = ()
+    # Source position of the declaration (parser-built relations only).
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         seen: set[str] = set()
@@ -203,7 +224,7 @@ class Relation:
             )
             for r in self.rules
         )
-        return Relation(new_name, new_arg_types, new_rules, params=())
+        return Relation(new_name, new_arg_types, new_rules, params=(), span=self.span)
 
     def __str__(self) -> str:
         header = f"Inductive {self.name}"

@@ -32,26 +32,34 @@ from .modes import Mode
 
 
 def _as_mode(ctx: Context, rel: str, mode: "str | Mode | Iterable[int]") -> Mode:
-    arity = ctx.relations.get(rel).arity
-    if isinstance(mode, Mode):
-        built = mode
-    elif isinstance(mode, str):
-        built = Mode.from_string(mode)
-    else:
-        built = Mode(arity, frozenset(mode))
-    if built.arity != arity:
-        raise DerivationError(
-            f"mode {built} has arity {built.arity}; {rel!r} has arity {arity}"
-        )
-    return built
+    # Arity cross-check happens here, at declaration time, with an
+    # ArityError naming the relation — not later inside scheduling.
+    return Mode.for_relation(ctx.relations.get(rel), mode)
 
 
-def derive_checker(ctx: Context, rel: str) -> DerivedChecker:
+def _gate(ctx: Context, rel: str, mode: Mode, kind: str, analysis: bool) -> None:
+    # The static-analysis gate (repro.analysis.gate).  The disabled
+    # check lives here so opting out costs one dict lookup — the
+    # analyzer module is not even imported.
+    if not analysis or ctx.caches.get("analysis_disabled"):
+        return
+    from ..analysis.gate import check_before_derive
+
+    check_before_derive(ctx, rel, mode, kind)
+
+
+def derive_checker(ctx: Context, rel: str, *, analysis: bool = True) -> DerivedChecker:
     """Derive (or fetch) the semi-decision procedure for *rel*.
 
-    ``Derive DecOpt for (P x1 .. xn)``.
+    ``Derive DecOpt for (P x1 .. xn)``.  Runs the static linter first
+    (pass ``analysis=False`` or call
+    :func:`repro.analysis.disable_analysis` to skip it); error
+    diagnostics raise :class:`~repro.core.errors.AnalysisError` naming
+    the blocking premise/variable instead of a generic scheduling
+    failure.
     """
     arity = ctx.relations.get(rel).arity
+    _gate(ctx, rel, Mode.checker(arity), CHECKER, analysis)
     instance = resolve(ctx, CHECKER, rel, Mode.checker(arity))
     owner = getattr(instance.fn, "__self__", None)
     if isinstance(owner, DerivedChecker):
@@ -63,7 +71,11 @@ def derive_checker(ctx: Context, rel: str) -> DerivedChecker:
 
 
 def derive_enumerator(
-    ctx: Context, rel: str, mode: "str | Mode | Iterable[int]"
+    ctx: Context,
+    rel: str,
+    mode: "str | Mode | Iterable[int]",
+    *,
+    analysis: bool = True,
 ) -> DerivedEnumerator:
     """Derive (or fetch) the constrained enumerator for ``(rel, mode)``.
 
@@ -72,6 +84,7 @@ def derive_enumerator(
     built = _as_mode(ctx, rel, mode)
     if built.is_checker:
         raise DerivationError("an enumerator mode needs at least one output")
+    _gate(ctx, rel, built, ENUM, analysis)
     instance = resolve(ctx, ENUM, rel, built)
     owner = getattr(instance.fn, "__self__", None)
     if isinstance(owner, DerivedEnumerator):
@@ -80,7 +93,11 @@ def derive_enumerator(
 
 
 def derive_generator(
-    ctx: Context, rel: str, mode: "str | Mode | Iterable[int]"
+    ctx: Context,
+    rel: str,
+    mode: "str | Mode | Iterable[int]",
+    *,
+    analysis: bool = True,
 ) -> DerivedGenerator:
     """Derive (or fetch) the constrained random generator for
     ``(rel, mode)``.
@@ -90,6 +107,7 @@ def derive_generator(
     built = _as_mode(ctx, rel, mode)
     if built.is_checker:
         raise DerivationError("a generator mode needs at least one output")
+    _gate(ctx, rel, built, GEN, analysis)
     instance = resolve(ctx, GEN, rel, built)
     owner = getattr(instance.fn, "__self__", None)
     if isinstance(owner, DerivedGenerator):

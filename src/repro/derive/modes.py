@@ -18,10 +18,13 @@ variable state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Union
 
-from ..core.errors import DeclarationError
+from ..core.errors import ArityError, DeclarationError
 from ..core.terms import Term, free_vars
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.relations import Relation
 
 
 @dataclass(frozen=True)
@@ -51,6 +54,10 @@ class Mode:
     @staticmethod
     def from_string(spec: str) -> "Mode":
         """Parse ``"iio"``-style mode strings (i = input, o = output)."""
+        if not spec:
+            raise DeclarationError(
+                "empty mode spec: a mode needs one 'i'/'o' per argument"
+            )
         outs = set()
         for i, c in enumerate(spec):
             if c == "o":
@@ -58,6 +65,27 @@ class Mode:
             elif c != "i":
                 raise DeclarationError(f"bad mode character {c!r} in {spec!r}")
         return Mode(len(spec), frozenset(outs))
+
+    @staticmethod
+    def for_relation(
+        rel: "Relation", spec: "Union[str, Mode, Iterable[int]]"
+    ) -> "Mode":
+        """Build a mode for *rel*, cross-checking the arity.
+
+        A spec of the wrong length (``"iio"`` against a 2-ary relation)
+        fails here — at declaration time, with an :class:`ArityError`
+        naming the relation — instead of surfacing later inside
+        scheduling.
+        """
+        if isinstance(spec, Mode):
+            built = spec
+        elif isinstance(spec, str):
+            built = Mode.from_string(spec)
+        else:
+            built = Mode(rel.arity, frozenset(spec))
+        if built.arity != rel.arity:
+            raise ArityError(f"mode {built} for {rel.name}", rel.arity, built.arity)
+        return built
 
     @property
     def is_checker(self) -> bool:

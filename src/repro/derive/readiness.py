@@ -1,0 +1,76 @@
+"""Premise-readiness dataflow, shared by the scheduler and the linter.
+
+The generalized derivation algorithm (Section 4) walks a rule's
+premises maintaining a variable-knowledge map; whether a premise can
+be processed yet — and which of its variables can never be bound by
+matching — is pure dataflow over that map.  The scheduler
+(:class:`repro.derive.scheduler._HandlerBuilder`) extends this class
+with step emission; the static analyzer (:mod:`repro.analysis`) runs
+the same dataflow *without* emitting steps, so its diagnostics are
+guaranteed to describe exactly what the scheduler would do.
+"""
+
+from __future__ import annotations
+
+from ..core.relations import Premise, Relation, RelPremise, Rule
+from ..core.terms import Fun, Term, Var
+from .modes import Mode, init_env
+
+
+class RuleDataflow:
+    """Variable-knowledge dataflow for one rule under one mode.
+
+    Seeds the knowledge map from the conclusion's input-position
+    patterns (Algorithm 2's INIT_ENV) and answers the readiness /
+    matchability questions the scheduler asks while walking premises.
+    """
+
+    def __init__(self, rel: Relation, rule: Rule, mode: Mode) -> None:
+        self.rel = rel
+        self.rule = rule
+        self.mode = mode
+        self.vars = init_env(rule.conclusion, mode)
+
+    # -- dataflow queries ---------------------------------------------------
+
+    def funcall_blocked_vars(self, t: Term) -> list[str]:
+        """Unknown variables occurring *under a function call* in *t* —
+        these can never be bound by matching (compatibility's ⊥ case)
+        and must be instantiated first."""
+        out: list[str] = []
+
+        def walk(node: Term, under_fun: bool) -> None:
+            if isinstance(node, Var):
+                if under_fun and not self.vars.is_known(node.name):
+                    if node.name not in out:
+                        out.append(node.name)
+                return
+            inside = under_fun or isinstance(node, Fun)
+            for a in node.args:
+                walk(a, inside)
+
+        walk(t, False)
+        return out
+
+    def matchable(self, t: Term) -> bool:
+        """Can *t* be used as a match pattern once funcall-blocked
+        variables are instantiated?  (Any Fun subterm must then be
+        fully known and is evaluated at match time.)"""
+        return not self.funcall_blocked_vars(t)
+
+    def premise_ready(self, premise: Premise) -> bool:
+        """Equality premises wait until one side is computable; all
+        other premises are handled in declaration order."""
+        if isinstance(premise, RelPremise):
+            return True
+        lhs_known = self.vars.term_known(premise.lhs)
+        rhs_known = self.vars.term_known(premise.rhs)
+        if lhs_known and rhs_known:
+            return True
+        if premise.negated:
+            return False
+        if lhs_known and self.matchable(premise.rhs):
+            return True
+        if rhs_known and self.matchable(premise.lhs):
+            return True
+        return False

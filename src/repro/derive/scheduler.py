@@ -35,8 +35,9 @@ from ..core.names import NameSupply
 from ..core.relations import EqPremise, Premise, Relation, RelPremise, Rule
 from ..core.terms import Ctor, Fun, Term, Var, free_vars
 from ..core.types import Ty, TypeExpr, TyVar, is_ground
-from .modes import Mode, VarsMap, init_env
+from .modes import Mode
 from .preprocess import preprocess_relation
+from .readiness import RuleDataflow
 from .schedule import (
     Handler,
     SAssign,
@@ -99,7 +100,11 @@ def check_in_scope(ctx: Context, rel: Relation) -> None:
             )
 
 
-class _HandlerBuilder:
+class _HandlerBuilder(RuleDataflow):
+    """Step emission on top of the shared readiness dataflow
+    (:class:`~repro.derive.readiness.RuleDataflow`, also consumed by
+    ``repro.analysis`` — keep the dataflow itself there)."""
+
     def __init__(
         self,
         ctx: Context,
@@ -109,14 +114,11 @@ class _HandlerBuilder:
         policy: DerivePolicy,
         group: frozenset[str] = frozenset(),
     ) -> None:
+        super().__init__(rel, rule, mode)
         self.ctx = ctx
-        self.rel = rel
-        self.rule = rule
-        self.mode = mode
         self.policy = policy
         # Mutual-recursion extension: relations sharing the fixpoint.
         self.group = group | {rel.name}
-        self.vars = init_env(rule.conclusion, mode)
         self.supply = NameSupply(rule.variables())
         self.steps: list[Step] = []
         self.var_types: dict[str, TypeExpr] = dict(rule.var_types)
@@ -132,35 +134,16 @@ class _HandlerBuilder:
             )
         return ty
 
-    def _instantiate(self, name: str) -> None:
-        """Emit an unconstrained-producer binding for *name*."""
+    def _instantiate(self, name: str, reason: "tuple | None" = None) -> None:
+        """Emit an unconstrained-producer binding for *name*.
+
+        ``reason`` is ``(kind, premise)`` describing *why* the variable
+        had to be brute-forced — ignored here, but recorded by the
+        static analyzer's probe subclass (``repro.analysis``), which is
+        why every call site supplies it.
+        """
         self.steps.append(SInstantiate(name, self._type_of_var(name)))
         self.vars.mark_known(name)
-
-    def _funcall_blocked_vars(self, t: Term) -> list[str]:
-        """Unknown variables occurring *under a function call* in *t* —
-        these can never be bound by matching (compatibility's ⊥ case)
-        and must be instantiated first."""
-        out: list[str] = []
-
-        def walk(node: Term, under_fun: bool) -> None:
-            if isinstance(node, Var):
-                if under_fun and not self.vars.is_known(node.name):
-                    if node.name not in out:
-                        out.append(node.name)
-                return
-            inside = under_fun or isinstance(node, Fun)
-            for a in node.args:
-                walk(a, inside)
-
-        walk(t, False)
-        return out
-
-    def _matchable(self, t: Term) -> bool:
-        """Can *t* be used as a match pattern once funcall-blocked
-        variables are instantiated?  (Any Fun subterm must then be
-        fully known and is evaluated at match time.)"""
-        return not self._funcall_blocked_vars(t)
 
     def _bind_by_match(self, scrutinee: Term, pattern: Term) -> None:
         """Emit the step binding *pattern*'s unknowns from the known
@@ -177,23 +160,6 @@ class _HandlerBuilder:
 
     # -- premise processing --------------------------------------------------------
 
-    def premise_ready(self, premise: Premise) -> bool:
-        """Equality premises wait until one side is computable; all
-        other premises are handled in declaration order."""
-        if isinstance(premise, RelPremise):
-            return True
-        lhs_known = self.vars.term_known(premise.lhs)
-        rhs_known = self.vars.term_known(premise.rhs)
-        if lhs_known and rhs_known:
-            return True
-        if premise.negated:
-            return False
-        if lhs_known and self._matchable(premise.rhs):
-            return True
-        if rhs_known and self._matchable(premise.lhs):
-            return True
-        return False
-
     def process_eq(self, premise: EqPremise) -> None:
         lhs_known = self.vars.term_known(premise.lhs)
         rhs_known = self.vars.term_known(premise.rhs)
@@ -205,8 +171,8 @@ class _HandlerBuilder:
             known, pattern = premise.lhs, premise.rhs
         else:
             known, pattern = premise.rhs, premise.lhs
-        for blocked in self._funcall_blocked_vars(pattern):
-            self._instantiate(blocked)
+        for blocked in self.funcall_blocked_vars(pattern):
+            self._instantiate(blocked, ("funcall", premise))
         if self.vars.term_known(pattern):
             self.steps.append(SEqCheck(known, pattern, negated=False))
             return
@@ -226,7 +192,7 @@ class _HandlerBuilder:
             # the negation needs decidability — Section 5.2.2).
             for arg in premise.args:
                 for name in self.vars.unknown_in(arg):
-                    self._instantiate(name)
+                    self._instantiate(name, ("negated", premise))
             self.steps.append(SCheckCall(premise.rel, premise.args, negated=True))
             return
 
@@ -251,15 +217,15 @@ class _HandlerBuilder:
             # Ablation strategy: arbitrary instantiation + check.
             for arg in premise.args:
                 for name in self.vars.unknown_in(arg):
-                    self._instantiate(name)
+                    self._instantiate(name, ("unconstrained", premise))
             self._emit_check(premise)
             return
 
         # Producer call.  First instantiate variables that sit under
         # function calls (compatibility returns ⊥ for those).
         for arg in premise.args:
-            for blocked in self._funcall_blocked_vars(arg):
-                self._instantiate(blocked)
+            for blocked in self.funcall_blocked_vars(arg):
+                self._instantiate(blocked, ("funcall", premise))
 
         out_positions = [
             i
@@ -281,7 +247,10 @@ class _HandlerBuilder:
         matching produced values against the argument terms."""
         for i in mode.ins:
             for name in self.vars.unknown_in(premise.args[i]):
-                self._instantiate(name)
+                self._instantiate(
+                    name,
+                    ("recursive-input" if recursive else "producer-input", premise),
+                )
         in_args = tuple(premise.args[i] for i in mode.ins)
         binds: list[str] = []
         post_matches: list[tuple[str, Term]] = []
@@ -366,14 +335,18 @@ class _HandlerBuilder:
             return count
 
         def premise_cost(premise: Premise, known: set[str]) -> int:
-            if isinstance(premise, EqPremise):
+            if isinstance(premise, EqPremise) or premise.negated:
                 return 0
             unknown_args = [
                 i
                 for i, a in enumerate(premise.args)
                 if any(n not in known for n in free_vars(a))
             ]
-            if premise.negated or not unknown_args:
+            # A fully-known external premise is a checker call: free.
+            # A fully-known *self* premise still recurses at the mode
+            # being derived and filters the results (process_rel), so
+            # it falls through to the recursion accounting below.
+            if not unknown_args and premise.rel != self.rel.name:
                 return 0
             cost = sum(
                 3 * funcall_blocked(a, known) for a in premise.args
@@ -435,7 +408,7 @@ class _HandlerBuilder:
             if not self.premise_ready(premise):
                 for t in (premise.lhs, premise.rhs):
                     for name in self.vars.unknown_in(t):
-                        self._instantiate(name)
+                        self._instantiate(name, ("forced-eq", premise))
             self.process_eq(premise)  # type: ignore[arg-type]
             pending = self._drain(pending)
 
@@ -445,7 +418,7 @@ class _HandlerBuilder:
         for t in out_terms:
             for name in self.vars.unknown_in(t):
                 # An output variable no premise constrains: arbitrary.
-                self._instantiate(name)
+                self._instantiate(name, ("output", None))
 
         in_patterns = tuple(
             self.rule.conclusion[i] for i in self.mode.ins

@@ -33,6 +33,7 @@ COUNTERS = (
     ("backtracks", "handler attempts that failed (backtracking)"),
     ("fuel_exhaustions", "out-of-fuel answers observed"),
     ("external_resolutions", "instance registry resolutions"),
+    ("analysis_runs", "static analysis gate runs"),
     ("invalidations", "memo-table invalidations (instance replaced)"),
 )
 

@@ -1,0 +1,8 @@
+(* REL001: the existential m only appears in a negated premise, so the
+   checker must enumerate it unconstrained (generate-and-test). *)
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive blocked : nat -> Prop :=
+| blk : forall n m, ~ (le m n) -> blocked n.

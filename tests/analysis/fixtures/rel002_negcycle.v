@@ -1,0 +1,5 @@
+(* REL002: a negated premise on the relation being defined — the
+   checker fixpoint would be non-monotone. *)
+Inductive unstrat : nat -> Prop :=
+| us_0 : unstrat 0
+| us_S : forall n, ~ (unstrat n) -> unstrat (S n).

@@ -1,0 +1,6 @@
+(* REL003: the premise-free rule 'any' accepts every nat, so 'zero'
+   can never be the deciding rule (the checker stops at the first
+   success). *)
+Inductive anynat : nat -> Prop :=
+| any : forall n, anynat n
+| zero : anynat 0.

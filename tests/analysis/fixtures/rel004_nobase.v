@@ -1,0 +1,9 @@
+(* REL004: 'loop' has no base case, so its checker exhausts fuel on
+   every query; the rule 'dead' of 'uses_loop' can therefore never
+   succeed either. *)
+Inductive loop : nat -> Prop :=
+| loop_S : forall n, loop n -> loop (S n).
+
+Inductive uses_loop : nat -> Prop :=
+| ul_0 : uses_loop 0
+| dead : forall n, loop n -> uses_loop n.

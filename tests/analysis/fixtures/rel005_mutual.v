@@ -1,0 +1,7 @@
+(* REL005: mutually recursive relations need derive_mutual; plain
+   instance resolution would chase a cyclic dependency. *)
+Inductive even : nat -> Prop :=
+| even_0 : even 0
+| even_S : forall n, odd n -> even (S n)
+with odd : nat -> Prop :=
+| odd_S : forall n, even n -> odd (S n).

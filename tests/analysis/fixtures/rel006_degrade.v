@@ -1,0 +1,9 @@
+(* REL006: at producer modes these degrade to generate-and-test —
+   square_of at mode oi must enumerate n and filter through n*n = m;
+   diag at mode oo must enumerate both sides of the synthetic
+   equality. Clean at checker mode. *)
+Inductive square_of : nat -> nat -> Prop :=
+| sq : forall n, square_of n (n * n).
+
+Inductive diag : nat -> nat -> Prop :=
+| dg : forall x, diag x x.

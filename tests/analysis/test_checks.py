@@ -1,0 +1,231 @@
+"""Each diagnostic code, triggered by its fixture and asserted by code
+and message substring."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, analyze, analyze_context
+from repro.core import parse_declarations
+from repro.stdlib import standard_context
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load_fixture(name: str):
+    ctx = standard_context()
+    parse_declarations(ctx, (FIXTURES / name).read_text())
+    return ctx
+
+
+class TestRel001:
+    def test_negated_existential_warns(self):
+        ctx = load_fixture("rel001_blocked.v")
+        report = analyze(ctx, "blocked")
+        found = report.by_code("REL001")
+        assert found, report.render()
+        [diag] = [d for d in found if d.severity is Severity.WARNING]
+        assert "'m'" in diag.message
+        assert "generate-and-test" in diag.message
+        assert "le m n" in diag.message
+        assert diag.rule == "blk"
+
+    def test_unconstrained_output_is_info(self):
+        ctx = standard_context()
+        parse_declarations(
+            ctx,
+            """
+            Inductive anypair : nat -> nat -> Prop :=
+            | ap : forall n m, anypair n m.
+            """,
+        )
+        # At mode 'io' nothing constrains the output m: producers will
+        # sample it arbitrarily, which is worth an info but no more.
+        report = analyze(ctx, "anypair", "io")
+        infos = [d for d in report.by_code("REL001") if d.severity is Severity.INFO]
+        assert any(
+            "output variable 'm' is unconstrained" in d.message for d in infos
+        ), report.render()
+        assert report.ok
+
+    def test_clean_relation_is_clean(self):
+        ctx = load_fixture("rel001_blocked.v")
+        assert len(analyze(ctx, "le")) == 0
+
+
+class TestRel002:
+    def test_self_negation_is_error(self):
+        ctx = load_fixture("rel002_negcycle.v")
+        report = analyze(ctx, "unstrat")
+        found = report.by_code("REL002")
+        assert found, report.render()
+        assert found[0].severity is Severity.ERROR
+        assert "not stratified" in found[0].message
+        assert found[0].rule == "us_S"
+        assert not report.ok
+
+    def test_mutual_negation_detected(self):
+        ctx = standard_context()
+        parse_declarations(
+            ctx,
+            """
+            Inductive p : nat -> Prop :=
+            | p_0 : p 0
+            | p_S : forall n, ~ (q n) -> p (S n)
+            with q : nat -> Prop :=
+            | q_S : forall n, p n -> q (S n).
+            """,
+        )
+        report = analyze(ctx, "p")
+        assert report.by_code("REL002"), report.render()
+
+    def test_negation_across_strata_is_fine(self):
+        ctx = load_fixture("rel001_blocked.v")
+        # 'blocked' negates 'le' but is not in le's component.
+        assert not analyze(ctx, "blocked").by_code("REL002")
+
+
+class TestRel003:
+    def test_subsumed_rule_warns_at_checker_mode(self):
+        ctx = load_fixture("rel003_overlap.v")
+        report = analyze(ctx, "anynat")
+        found = report.by_code("REL003")
+        assert found, report.render()
+        assert found[0].severity is Severity.WARNING
+        assert found[0].rule == "zero"
+        assert "unreachable" in found[0].message
+        assert "'any'" in found[0].message
+
+    def test_producer_mode_reports_redundancy(self):
+        ctx = load_fixture("rel003_overlap.v")
+        report = analyze(ctx, "anynat", "o")
+        found = report.by_code("REL003")
+        assert found and "redundant" in found[0].message
+
+    def test_nonlinear_base_rule_does_not_subsume(self):
+        # After preprocessing, `le n n` carries an equality premise, so
+        # it must NOT be reported as subsuming `le n (S m)`.
+        ctx = load_fixture("rel001_blocked.v")
+        assert not analyze(ctx, "le").by_code("REL003")
+
+
+class TestRel004:
+    def test_no_base_case_is_error(self):
+        ctx = load_fixture("rel004_nobase.v")
+        report = analyze(ctx, "loop")
+        found = report.by_code("REL004")
+        assert found, report.render()
+        assert found[0].severity is Severity.ERROR
+        assert "no rule can ever succeed" in found[0].message
+        assert "exhausts its fuel" in found[0].message
+
+    def test_dead_rule_is_warning(self):
+        ctx = load_fixture("rel004_nobase.v")
+        report = analyze(ctx, "uses_loop")
+        found = report.by_code("REL004")
+        assert found, report.render()
+        [diag] = found
+        assert diag.severity is Severity.WARNING
+        assert diag.rule == "dead"
+        assert "'loop' never succeeds" in diag.message
+        assert report.ok  # uses_loop itself still derives fine
+
+    def test_zero_rule_relation_is_info(self):
+        from repro.core.relations import Relation
+        from repro.core.types import Ty
+
+        ctx = standard_context()
+        ctx.declare_relation(Relation("void", (Ty("nat"),), ()))
+        report = analyze(ctx, "void")
+        found = report.by_code("REL004")
+        assert found and found[0].severity is Severity.INFO
+        assert "decidably empty" in found[0].message
+        assert report.ok
+
+
+class TestRel005:
+    def test_mutual_recursion_reports_cycle(self):
+        ctx = load_fixture("rel005_mutual.v")
+        report = analyze(ctx, "even")
+        found = report.by_code("REL005")
+        assert found, report.render()
+        assert found[0].severity is Severity.ERROR
+        assert "cyclic instance dependency" in found[0].message
+        assert "derive_mutual" in (found[0].note or "")
+
+    def test_registered_instances_break_the_cycle(self):
+        from repro.derive.mutual import derive_mutual_checkers
+
+        ctx = load_fixture("rel005_mutual.v")
+        derive_mutual_checkers(ctx, ["even", "odd"])
+        assert not analyze(ctx, "even").by_code("REL005")
+
+    def test_acyclic_closure_is_clean(self):
+        ctx = load_fixture("rel001_blocked.v")
+        assert not analyze(ctx, "blocked").by_code("REL005")
+
+
+class TestRel006:
+    def test_funcall_conclusion_at_inverse_mode(self):
+        ctx = load_fixture("rel006_degrade.v")
+        report = analyze(ctx, "square_of", "oi")
+        found = report.by_code("REL006")
+        assert found, report.render()
+        assert found[0].severity is Severity.WARNING
+        assert "function call in the conclusion" in found[0].message
+        assert "generate-and-test" in found[0].message
+
+    def test_nonlinear_conclusion_at_full_output_mode(self):
+        ctx = load_fixture("rel006_degrade.v")
+        report = analyze(ctx, "diag", "oo")
+        found = report.by_code("REL006")
+        assert found, report.render()
+        assert any("non-linear conclusion pattern" in d.message for d in found)
+
+    def test_checker_mode_is_clean(self):
+        ctx = load_fixture("rel006_degrade.v")
+        assert len(analyze(ctx, "square_of")) == 0
+        assert len(analyze(ctx, "diag")) == 0
+
+
+class TestAnalyzeContext:
+    def test_merges_all_relations(self):
+        ctx = load_fixture("rel004_nobase.v")
+        report = analyze_context(ctx)
+        rels = {d.relation for d in report}
+        assert {"loop", "uses_loop"} <= rels
+
+    def test_extra_modes(self):
+        ctx = load_fixture("rel006_degrade.v")
+        report = analyze_context(ctx, modes={"square_of": ["oi"]})
+        assert report.by_code("REL006")
+
+    def test_polymorphic_relations_skipped(self):
+        ctx = standard_context()
+        parse_declarations(
+            ctx,
+            """
+            Inductive All (A : Type) : list A -> Prop :=
+            | All_nil : All [].
+            """,
+        )
+        # Must not crash trying to schedule the polymorphic relation.
+        analyze_context(ctx)
+
+
+class TestModeValidation:
+    def test_wrong_arity_mode_rejected(self):
+        from repro.core.errors import ArityError
+
+        ctx = load_fixture("rel001_blocked.v")
+        with pytest.raises(ArityError, match="le"):
+            analyze(ctx, "le", "iii")
+
+    def test_unknown_relation_rejected(self):
+        from repro.core.errors import UnknownNameError
+
+        ctx = standard_context()
+        with pytest.raises(UnknownNameError):
+            analyze(ctx, "nope")

@@ -1,0 +1,102 @@
+"""The ``python -m repro.analysis`` front end: exit codes, output
+shapes, allowlists."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestExitCodes:
+    def test_no_input_is_usage_error(self, capsys):
+        code, _, err = run(capsys)
+        assert code == 2 and "give files to lint" in err
+
+    def test_clean_file_exits_zero(self, capsys):
+        code, out, _ = run(capsys, str(FIXTURES / "rel006_degrade.v"))
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, capsys):
+        code, out, _ = run(capsys, str(FIXTURES / "rel003_overlap.v"))
+        assert code == 1
+        assert "REL003" in out and "anynat" in out
+
+    def test_parse_failure_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.v"
+        bad.write_text("Inductive oops :=")
+        code, _, err = run(capsys, str(bad))
+        assert code == 2 and "error:" in err
+
+    def test_missing_file_exits_two(self, capsys):
+        code, _, err = run(capsys, "no_such_file.v")
+        assert code == 2
+
+
+class TestModes:
+    def test_mode_flag_triggers_producer_lint(self, capsys):
+        code, out, _ = run(
+            capsys,
+            str(FIXTURES / "rel006_degrade.v"),
+            "--mode",
+            "square_of:oi",
+        )
+        assert code == 1
+        assert "REL006" in out
+
+    def test_bad_mode_flag(self, capsys):
+        code, _, err = run(
+            capsys, str(FIXTURES / "rel006_degrade.v"), "--mode", "nocolon"
+        )
+        assert code == 2 and "--mode" in err
+
+
+class TestAllowlist:
+    def test_allowlisted_finding_does_not_fail(self, tmp_path, capsys):
+        allow = tmp_path / "allow.txt"
+        allow.write_text("# comment\nREL003:anynat\n")
+        code, out, _ = run(
+            capsys, str(FIXTURES / "rel003_overlap.v"), "--allow", str(allow)
+        )
+        assert code == 0
+        assert "allowlisted" in out
+
+    def test_code_wide_allow(self, tmp_path, capsys):
+        allow = tmp_path / "allow.txt"
+        allow.write_text("REL003\n")
+        code, _, _ = run(
+            capsys, str(FIXTURES / "rel003_overlap.v"), "--allow", str(allow)
+        )
+        assert code == 0
+
+    def test_unrelated_allow_still_fails(self, tmp_path, capsys):
+        allow = tmp_path / "allow.txt"
+        allow.write_text("REL003:otherrel\n")
+        code, _, _ = run(
+            capsys, str(FIXTURES / "rel003_overlap.v"), "--allow", str(allow)
+        )
+        assert code == 1
+
+
+class TestJson:
+    def test_json_payload(self, capsys):
+        code, out, _ = run(
+            capsys, str(FIXTURES / "rel004_nobase.v"), "--json"
+        )
+        assert code == 1
+        payload = json.loads(out)
+        [(label, diags)] = payload.items()
+        assert label.endswith("rel004_nobase.v")
+        codes = {d["code"] for d in diags}
+        assert "REL004" in codes
+        assert all({"severity", "relation", "message"} <= set(d) for d in diags)

@@ -1,0 +1,45 @@
+"""Corpus gate: every sf chapter and case study must lint clean.
+
+This is the test behind CI's ``lint-corpus`` job — the linter runs over
+everything the repo can parse, and anything above INFO that is not in
+the checked-in allowlist fails the build.
+"""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, analyze_context
+from repro.analysis.cli import CASE_STUDY_MODULES, is_allowed, load_allowlist
+from repro.sf.registry import CHAPTER_MODULES, load_chapter
+
+ALLOWLIST = load_allowlist(
+    str(Path(__file__).parent / "fixtures" / "corpus_allowlist.txt")
+)
+
+
+def _unexpected(report):
+    return [
+        d
+        for d in report
+        if d.severity is not Severity.INFO and not is_allowed(d, ALLOWLIST)
+    ]
+
+
+@pytest.mark.parametrize("module", CHAPTER_MODULES)
+def test_sf_chapter_lints_clean(module):
+    chapter = load_chapter(module)
+    report = analyze_context(chapter.ctx)
+    bad = _unexpected(report)
+    assert not bad, "\n\n".join(d.render(module) for d in bad)
+
+
+@pytest.mark.parametrize("module", CASE_STUDY_MODULES)
+def test_case_study_lints_clean(module):
+    ctx = importlib.import_module(module).make_context()
+    report = analyze_context(ctx)
+    bad = _unexpected(report)
+    assert not bad, "\n\n".join(d.render(module) for d in bad)

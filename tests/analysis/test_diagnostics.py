@@ -1,0 +1,114 @@
+"""Diagnostic objects, severity ordering, rendering, and spans."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, Report, Severity, analyze
+from repro.core import parse_declarations
+from repro.core.relations import Span
+from repro.stdlib import standard_context
+
+
+def diag(**kw):
+    defaults = dict(
+        code="REL001",
+        severity=Severity.WARNING,
+        message="something",
+        relation="p",
+    )
+    defaults.update(kw)
+    return Diagnostic(**defaults)
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            diag(code="REL999")
+
+    def test_all_codes_documented(self):
+        assert sorted(CODES) == [f"REL00{i}" for i in range(1, 7)]
+
+    def test_render_basic(self):
+        text = diag(severity=Severity.ERROR, message="broken").render()
+        assert text.startswith("error[REL001]: p: broken")
+
+    def test_render_with_span_rule_mode_and_source(self):
+        d = diag(rule="mk", mode="io", span=Span(4, 7), note="hint")
+        text = d.render(source="foo.v")
+        assert "warning[REL001]: p at mode io: something" in text
+        assert "--> foo.v:4:7 (rule mk)" in text
+        assert "= note: hint" in text
+
+    def test_as_dict_has_line_and_column(self):
+        d = diag(span=Span(2, 5))
+        payload = d.as_dict()
+        assert payload["line"] == 2 and payload["column"] == 5
+        assert payload["severity"] == "warning"
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+
+class TestReport:
+    def test_sorted_worst_first(self):
+        r = Report.of(
+            [
+                diag(severity=Severity.INFO),
+                diag(severity=Severity.ERROR),
+                diag(severity=Severity.WARNING),
+            ]
+        )
+        assert [d.severity for d in r] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.INFO,
+        ]
+
+    def test_partitions_and_ok(self):
+        r = Report.of([diag(severity=Severity.WARNING)])
+        assert r.ok and r.warnings and not r.errors
+        r2 = Report.of([diag(severity=Severity.ERROR)])
+        assert not r2.ok
+
+    def test_merge_dedupes(self):
+        a = Report.of([diag()])
+        b = Report.of([diag(), diag(message="other")])
+        assert len(a.merge(b)) == 2
+
+    def test_to_json_roundtrips(self):
+        r = Report.of([diag(span=Span(1, 2))])
+        data = json.loads(r.to_json())
+        assert data[0]["code"] == "REL001"
+
+    def test_render_counts(self):
+        r = Report.of([diag(), diag(message="other")])
+        assert "2 warnings" in r.render()
+        assert Report.of(()).render() == "no findings"
+
+
+class TestSpansEndToEnd:
+    def test_parser_spans_reach_diagnostics(self):
+        ctx = standard_context()
+        parse_declarations(
+            ctx,
+            "Inductive loop : nat -> Prop :=\n"
+            "| loop_S : forall n, loop n -> loop (S n).\n",
+        )
+        [d] = analyze(ctx, "loop").by_code("REL004")
+        # The relation's declaration starts at line 1.
+        assert d.span is not None and d.span.line == 1
+        assert f"{d.span}" in d.render(source="inline.v")
+
+    def test_spans_do_not_affect_equality(self):
+        from repro.core.relations import Relation, Rule
+        from repro.core.types import Ty
+
+        a = Relation("p", (Ty("nat"),), (), span=Span(1, 1))
+        b = Relation("p", (Ty("nat"),), (), span=Span(9, 9))
+        assert a == b
+        ra = Rule("r", (), (), span=Span(1, 1))
+        rb = Rule("r", (), (), span=None)
+        assert ra == rb

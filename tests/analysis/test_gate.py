@@ -1,0 +1,154 @@
+"""The derive-time gate: AnalysisError with structured diagnostics,
+the opt-outs, and the zero-overhead-when-disabled guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    analysis_enabled,
+    cached_report,
+    disable_analysis,
+    enable_analysis,
+)
+from repro.core import parse_declarations
+from repro.core.errors import AnalysisError, DerivationError
+from repro.core.relations import Relation, RelPremise, Rule
+from repro.core.terms import Var
+from repro.core.types import Ty
+from repro.derive import derive_checker, derive_enumerator, derive_generator
+from repro.derive.instances import register_checker
+from repro.derive.stats import install_stats
+from repro.producers.option_bool import SOME_TRUE
+from repro.stdlib import standard_context
+
+LE = """
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+"""
+
+
+def gated_ctx():
+    """A context whose relation 'gated' is underivable: it was declared
+    *without* type inference, so the variables its negated premise must
+    brute-force have no types."""
+    ctx = standard_context()
+    parse_declarations(ctx, LE)
+    rule = Rule(
+        "blk",
+        (RelPremise("le", (Var("x"), Var("y")), negated=True),),
+        (Var("n"),),
+    )
+    ctx.relations.declare(Relation("gated", (Ty("nat"),), (rule,)))
+    return ctx
+
+
+class TestGateRaises:
+    def test_checker_gate_names_variable_and_premise(self):
+        ctx = gated_ctx()
+        with pytest.raises(AnalysisError) as exc_info:
+            derive_checker(ctx, "gated")
+        message = str(exc_info.value)
+        # Previously this surfaced as a generic scheduling failure; now
+        # the error names the blocking variable and premise up front.
+        assert "'x'" in message
+        assert "~ (le x y)" in message
+        assert "REL001" in message
+
+    def test_diagnostics_attached(self):
+        ctx = gated_ctx()
+        with pytest.raises(AnalysisError) as exc_info:
+            derive_checker(ctx, "gated")
+        diags = exc_info.value.diagnostics
+        assert diags and all(d.code == "REL001" for d in diags[:1])
+        assert any(d.relation == "gated" for d in diags)
+
+    def test_producer_gates(self):
+        ctx = gated_ctx()
+        with pytest.raises(AnalysisError):
+            derive_enumerator(ctx, "gated", "o")
+        with pytest.raises(AnalysisError):
+            derive_generator(ctx, "gated", "o")
+
+    def test_analysis_error_is_a_derivation_error(self):
+        ctx = gated_ctx()
+        with pytest.raises(DerivationError):
+            derive_checker(ctx, "gated")
+
+    def test_stratification_error_gates(self):
+        ctx = standard_context()
+        parse_declarations(
+            ctx,
+            """
+            Inductive unstrat : nat -> Prop :=
+            | us_0 : unstrat 0
+            | us_S : forall n, ~ (unstrat n) -> unstrat (S n).
+            """,
+        )
+        with pytest.raises(AnalysisError, match="REL00"):
+            derive_checker(ctx, "unstrat")
+
+
+class TestOptOuts:
+    def test_per_call_opt_out_restores_old_error(self):
+        ctx = gated_ctx()
+        with pytest.raises(DerivationError) as exc_info:
+            derive_checker(ctx, "gated", analysis=False)
+        assert not isinstance(exc_info.value, AnalysisError)
+        assert "no type for variable" in str(exc_info.value)
+
+    def test_context_wide_disable(self):
+        ctx = gated_ctx()
+        assert analysis_enabled(ctx)
+        disable_analysis(ctx)
+        assert not analysis_enabled(ctx)
+        with pytest.raises(DerivationError) as exc_info:
+            derive_checker(ctx, "gated")
+        assert not isinstance(exc_info.value, AnalysisError)
+        enable_analysis(ctx)
+        with pytest.raises(AnalysisError):
+            derive_checker(ctx, "gated")
+
+    def test_registered_instance_skips_the_gate(self):
+        ctx = gated_ctx()
+        register_checker(ctx, "gated", lambda fuel, args: SOME_TRUE)
+        # Nothing will be derived, so nothing is analyzed or rejected.
+        chk = derive_checker(ctx, "gated")
+        from repro.core.values import from_int
+
+        assert chk(1, from_int(0)).is_true
+
+
+class TestOverheadDiscipline:
+    def test_reports_cached_per_mode(self):
+        ctx = standard_context()
+        parse_declarations(ctx, LE)
+        stats = install_stats(ctx)
+        derive_checker(ctx, "le")
+        derive_checker(ctx, "le")
+        assert stats.analysis_runs == 1  # second call reuses the report
+        from repro.derive.modes import Mode
+
+        assert cached_report(ctx, "le", Mode.checker(2), "checker") is not None
+
+    def test_disabled_means_no_analysis_work(self):
+        ctx = standard_context()
+        parse_declarations(ctx, LE)
+        stats = install_stats(ctx)
+        disable_analysis(ctx)
+        derive_checker(ctx, "le")
+        assert stats.analysis_runs == 0
+        assert "analysis_reports" not in ctx.caches
+
+    def test_gate_reuses_schedule_cache(self):
+        # The schedules the analyzer builds are the ones derivation
+        # consumes — analysis must not force a second scheduling pass.
+        ctx = standard_context()
+        parse_declarations(ctx, LE)
+        derive_checker(ctx, "le")
+        schedules = ctx.caches.get("schedules")
+        assert schedules
+        # One checker-mode schedule for le, not one per consumer.
+        keys = [k for k in schedules if k[0] == "le" and str(k[1]) == "ii"]
+        assert len(keys) == 1

@@ -5,7 +5,7 @@ import pytest
 from repro.core import parse_declarations
 from repro.core.errors import ParseError
 from repro.core.parser import parse_term_text
-from repro.core.relations import EqPremise, Relation, RelPremise
+from repro.core.relations import EqPremise, Relation, RelPremise, Span
 from repro.core.terms import Ctor, Fun, Var
 from repro.core.types import Ty
 from repro.stdlib import standard_context
@@ -192,3 +192,50 @@ class TestErrorLocations:
         with pytest.raises(ParseError) as info:
             parse_declarations(ctx, "Inductive x : Type :=\n| bad bad : x.")
         assert info.value.line == 2
+
+    def test_bad_premise_points_at_its_start(self, ctx):
+        # A multi-token premise that isn't a relation application must
+        # be reported at its first token, not wherever the parser gave
+        # up.
+        with pytest.raises(ParseError) as info:
+            parse_declarations(
+                ctx,
+                "Inductive p : nat -> Prop :=\n"
+                "| bad : forall n,    S n -> p n.",
+            )
+        assert "expected a relation application" in str(info.value)
+        assert (info.value.line, info.value.column) == (2, 22)
+
+    def test_negated_non_premise_reports_inner_position(self, ctx):
+        with pytest.raises(ParseError) as info:
+            parse_declarations(
+                ctx,
+                "Inductive p : nat -> Prop :=\n| bad : forall n, ~ n -> p n.",
+            )
+        assert info.value.line == 2
+
+
+class TestDeclarationSpans:
+    SRC = (
+        "\n"
+        "Inductive le : nat -> nat -> Prop :=\n"
+        "| le_n : forall n, le n n\n"
+        "| le_S : forall n m, le n m -> le n (S m).\n"
+    )
+
+    def test_relation_span_is_the_name_token(self, ctx):
+        parse_declarations(ctx, self.SRC)
+        rel = ctx.relations.get("le")
+        assert rel.span == Span(2, 11)
+
+    def test_rule_spans_point_at_rule_names(self, ctx):
+        parse_declarations(ctx, self.SRC)
+        rel = ctx.relations.get("le")
+        assert [r.span for r in rel.rules] == [Span(3, 3), Span(4, 3)]
+
+    def test_spans_survive_type_inference(self, ctx):
+        # declare_relation rebuilds rules via replace(); the spans must
+        # ride along so diagnostics can point into the source.
+        parse_declarations(ctx, self.SRC)
+        rel = ctx.relations.get("le")
+        assert all(r.span is not None for r in rel.rules)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.errors import DeclarationError, DerivationError
+from repro.core.errors import ArityError, DeclarationError, DerivationError
 from repro.core.terms import C, Var
 from repro.derive import (
     Mode,
@@ -35,6 +35,10 @@ class TestMode:
     def test_bad_mode_char(self):
         with pytest.raises(DeclarationError):
             Mode.from_string("ix")
+
+    def test_empty_mode_spec(self):
+        with pytest.raises(DeclarationError, match="empty mode spec"):
+            Mode.from_string("")
 
     def test_out_of_range_position(self):
         with pytest.raises(DeclarationError):
@@ -104,8 +108,22 @@ class TestPublicApi:
             derive_generator(nat_ctx, "le", "ii")
 
     def test_wrong_arity_mode(self, nat_ctx):
-        with pytest.raises(DerivationError):
+        # The arity mismatch is caught at declaration time, naming the
+        # relation (satellite: Mode.for_relation cross-check).
+        with pytest.raises(ArityError, match="le"):
             derive_enumerator(nat_ctx, "le", "oio")
+
+    def test_for_relation_accepts_mode_and_iterable(self, nat_ctx):
+        rel = nat_ctx.relations.get("le")
+        assert Mode.for_relation(rel, "oi") == Mode(2, frozenset({0}))
+        assert Mode.for_relation(rel, [1]) == Mode(2, frozenset({1}))
+        m = Mode(2, frozenset({1}))
+        assert Mode.for_relation(rel, m) is m
+        with pytest.raises(ArityError, match="le"):
+            Mode.for_relation(rel, Mode(3, frozenset({0})))
+        # Iterable specs can only go wrong via out-of-range positions.
+        with pytest.raises(DeclarationError):
+            Mode.for_relation(rel, [0, 1, 2])
 
     def test_idempotent_wrappers(self, nat_ctx):
         a = derive_checker(nat_ctx, "le")

@@ -1,0 +1,181 @@
+"""The premise-reordering cost model (scheduler._order_premises) and a
+schedule-validity property: no step may read a variable before some
+earlier step bound it."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.errors import DerivationError
+from repro.core.terms import free_vars
+from repro.derive import Mode, build_schedule
+from repro.derive.scheduler import DEFAULT_POLICY, PAPER_POLICY
+from repro.derive.schedule import (
+    SAssign,
+    SCheckCall,
+    SEqCheck,
+    SInstantiate,
+    SMatch,
+    SProduce,
+    SRecCheck,
+)
+from repro.stdlib import standard_context
+
+DECLS = """
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive pyth : nat -> Prop :=
+| py : forall n m, le (n * n) m -> le n 5 -> pyth m.
+
+Inductive pr : nat -> Prop :=
+| pr0 : pr 0
+| prS : forall m, le m 7 -> pr m -> pr (S m).
+
+Inductive dup : nat -> nat -> Prop :=
+| d : forall n, dup n n.
+
+Inductive big : nat -> Prop :=
+| bg : forall n a b c d e f g,
+    le (n * n) a -> le n 1 -> le b 1 -> le c 1 -> le d 1 ->
+    le e 1 -> le f 1 -> le g 1 -> big n.
+"""
+
+
+@pytest.fixture()
+def ctx():
+    c = standard_context()
+    parse_declarations(c, DECLS)
+    return c
+
+
+def mode_for(ctx, rel, spec):
+    return Mode.for_relation(ctx.relations.get(rel), spec)
+
+
+def handler(schedule, rule):
+    (h,) = [h for h in schedule.handlers if h.rule == rule]
+    return h
+
+
+def assert_schedule_valid(schedule):
+    """Every variable a step reads must have been bound by the input
+    match or by an earlier step, and the outputs must be known at the
+    end.  This is the invariant all premise orders must preserve."""
+    for h in schedule.handlers:
+        known: set[str] = set()
+        for pat in h.in_patterns:
+            known.update(free_vars(pat))
+        for step in h.steps:
+            if isinstance(step, SAssign):
+                assert set(free_vars(step.term)) <= known, (h.rule, step)
+                known.add(step.var)
+            elif isinstance(step, SMatch):
+                assert set(free_vars(step.scrutinee)) <= known, (h.rule, step)
+                assert set(free_vars(step.pattern)) - step.binds <= known
+                known |= step.binds
+            elif isinstance(step, SEqCheck):
+                reads = set(free_vars(step.lhs)) | set(free_vars(step.rhs))
+                assert reads <= known, (h.rule, step)
+            elif isinstance(step, (SCheckCall, SRecCheck)):
+                for arg in step.args:
+                    assert set(free_vars(arg)) <= known, (h.rule, step)
+            elif isinstance(step, SProduce):
+                for arg in step.in_args:
+                    assert set(free_vars(arg)) <= known, (h.rule, step)
+                known |= set(step.binds)
+            elif isinstance(step, SInstantiate):
+                known.add(step.var)
+            else:  # pragma: no cover - new step kinds must be handled
+                raise AssertionError(f"unknown step {step!r}")
+        for t in h.out_terms:
+            assert set(free_vars(t)) <= known, (h.rule, "outputs")
+
+
+class TestCostModel:
+    def test_funcall_blocked_premise_deferred(self, ctx):
+        """'le (n * n) m' before 'le n 5' forces an unconstrained
+        instantiation of n; the reorderer runs the cheap premise first
+        so n arrives from a constrained producer instead."""
+        s = build_schedule(ctx, "pyth", mode_for(ctx, "pyth", "o"))
+        steps = handler(s, "py").steps
+        assert not any(isinstance(st, SInstantiate) for st in steps)
+        produces = [st for st in steps if isinstance(st, SProduce)]
+        # First production binds n from 'le n 5', not 'le (n*n) m'.
+        assert produces[0].binds == ("n",)
+
+    def test_paper_policy_keeps_source_order(self, ctx):
+        s = build_schedule(ctx, "pyth", mode_for(ctx, "pyth", "o"), PAPER_POLICY)
+        steps = handler(s, "py").steps
+        inst = [st for st in steps if isinstance(st, SInstantiate)]
+        assert [st.var for st in inst] == ["n"]
+
+    def test_recursive_filter_runs_first(self, ctx):
+        """Producing m through the recursive self-call is cheaper than
+        producing it via 'le m 7' and then filtering the recursive
+        enumeration against a fixed m."""
+        s = build_schedule(ctx, "pr", mode_for(ctx, "pr", "o"))
+        steps = handler(s, "prS").steps
+        produces = [st for st in steps if isinstance(st, SProduce)]
+        assert produces[0].rel == "pr" and produces[0].recursive
+
+        paper = build_schedule(ctx, "pr", mode_for(ctx, "pr", "o"), PAPER_POLICY)
+        paper_produces = [
+            st for st in handler(paper, "prS").steps if isinstance(st, SProduce)
+        ]
+        assert paper_produces[0].rel == "le"
+
+    def test_checker_mode_never_reorders(self, ctx):
+        """Checkers route existentials through external producers, so
+        the cost model stays out of the way: both policies agree."""
+        a = build_schedule(ctx, "pyth", Mode.checker(1))
+        b = build_schedule(ctx, "pyth", Mode.checker(1), PAPER_POLICY)
+        assert a.handlers == b.handlers
+
+    def test_wide_rules_skip_the_permutation_search(self, ctx):
+        """Eight premises (> 7) would mean 40320 simulated orders; the
+        scheduler keeps the source order even though reordering would
+        save the unconstrained instantiation of n."""
+        s = build_schedule(ctx, "big", mode_for(ctx, "big", "o"))
+        steps = handler(s, "bg").steps
+        assert any(
+            isinstance(st, SInstantiate) and st.var == "n" for st in steps
+        )
+
+    def test_equalities_stay_free(self, ctx):
+        """Reordering never penalises equality premises: le's schedules
+        are identical under both policies (its only extra premise is
+        the synthetic non-linearity equality)."""
+        for spec in ("io", "oi"):
+            a = build_schedule(ctx, "le", mode_for(ctx, "le", spec))
+            b = build_schedule(ctx, "le", mode_for(ctx, "le", spec), PAPER_POLICY)
+            assert a.handlers == b.handlers
+
+
+class TestScheduleValidity:
+    REL_NAMES = ["le", "pyth", "pr", "dup", "big"]
+
+    @pytest.mark.parametrize("policy", [DEFAULT_POLICY, PAPER_POLICY])
+    def test_every_derivable_mode_yields_a_valid_schedule(self, ctx, policy):
+        checked = 0
+        for name in self.REL_NAMES:
+            rel = ctx.relations.get(name)
+            for bits in itertools.product("io", repeat=rel.arity):
+                spec = "".join(bits)
+                try:
+                    s = build_schedule(ctx, name, mode_for(ctx, name, spec), policy)
+                except DerivationError:
+                    continue
+                assert_schedule_valid(s)
+                checked += 1
+        assert checked >= 10  # the sweep must not silently skip everything
+
+    def test_reordered_schedules_stay_valid(self, ctx):
+        for name, spec in [("pyth", "o"), ("pr", "o"), ("big", "o")]:
+            assert_schedule_valid(
+                build_schedule(ctx, name, mode_for(ctx, name, spec))
+            )
