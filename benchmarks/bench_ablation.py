@@ -92,6 +92,8 @@ def test_backend_ablation(benchmark, backend):
     _drive(checker, cases)  # warm the instance closure once
     benchmark.extra_info["backend"] = backend
     benchmark(_drive, checker, cases)
+    if benchmark.stats is None:
+        return  # --benchmark-disable smoke mode
     mean = benchmark.stats.stats.mean
     print(f"\n[ablation] backend={backend:9s} {mean*1000:.2f} ms / batch")
 
@@ -118,6 +120,8 @@ def test_scheduler_policy_ablation(benchmark, policy_name):
                 assert result.is_true == expected
 
     benchmark(run)
+    if benchmark.stats is None:
+        return  # --benchmark-disable smoke mode
     mean = benchmark.stats.stats.mean
     print(f"\n[ablation] policy={policy_name:18s} {mean*1000:.2f} ms / batch")
 
@@ -172,5 +176,7 @@ def test_enumeration_order_ablation(benchmark, combinator):
 
     benchmark.extra_info["combinator"] = combinator
     assert benchmark(first_needle)
+    if benchmark.stats is None:
+        return  # --benchmark-disable smoke mode
     mean = benchmark.stats.stats.mean
     print(f"\n[ablation] combinator={combinator:13s} {mean*1e6:.1f} µs to witness")

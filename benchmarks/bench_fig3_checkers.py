@@ -34,6 +34,8 @@ def _run(benchmark, cell, checker, label):
     benchmark.extra_info["checker"] = label
     result = benchmark(run_property, gen, predicate, num, 11)
     assert result == num
+    if benchmark.stats is None:
+        return  # --benchmark-disable smoke mode
     stats = benchmark.stats.stats
     throughput = num / stats.mean
     _RESULTS[(cell.name, label)] = throughput

@@ -28,6 +28,8 @@ def _run(benchmark, cell, gen_fn, label):
     benchmark.extra_info["generator"] = label
     result = benchmark(run_property, gen, predicate, num, 13)
     assert result == num
+    if benchmark.stats is None:
+        return  # --benchmark-disable smoke mode: one plain run, no stats
     stats = benchmark.stats.stats
     throughput = num / stats.mean
     _RESULTS[(cell.name, label)] = throughput

@@ -27,6 +27,10 @@ from repro.casestudies import bst, stlc
 from repro.core.values import V, from_int, from_list
 from repro.derive import derive_checker, derive_stats, enable_memoization
 
+# The workload is sized so the memo layer's table management
+# amortizes; REPRO_BENCH_QUICK deliberately does NOT shrink it (tiny
+# pools make the memoized run slower, not faster, and the full run is
+# already seconds).
 ROUNDS = 12
 POOL = 40
 

@@ -1,0 +1,20 @@
+"""Frozen pre-refactor derive backends (benchmark baseline only).
+
+These are verbatim copies (imports adjusted) of the Schedule-walking
+interpreters and the Schedule-consuming code generator as of the
+commit *before* the Plan IR landed:
+
+* ``runtime.py``        — dict-environment term evaluation / matching
+* ``interp_checker.py`` — per-step ``isinstance`` checker interpreter
+* ``interp_gen.py``     — per-step ``isinstance`` generator interpreter
+* ``codegen.py``        — Schedule-driven Python code generator
+
+``benchmarks/bench_plan.py`` measures the live Plan-based backends
+against these to guard the refactor's speedup claims.  Nothing in
+``src/`` imports this package; do not "fix" or modernize it — its
+whole value is staying identical to the historical implementation.
+
+External instances (premise checkers/enumerators) resolve through the
+live registry in both baselines and candidates, so the comparison
+isolates the cost of the measured relation's own execution strategy.
+"""

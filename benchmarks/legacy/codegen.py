@@ -1,0 +1,704 @@
+"""Code generation: compile schedules to Python source.
+
+The paper's plugin emits Gallina *code* for each derived computation;
+the interpreters in this package instead walk the schedule IR.  This
+module closes the loop: it compiles a schedule into a dedicated Python
+function (built with ``compile``/``exec``), eliminating the interpretive
+overhead — the backend used by the Figure 3 benchmarks, with the
+interpreter kept as the ablation baseline.
+
+Compilation scheme (checker):
+
+* the fixpoint becomes a Python function ``rec(size, top_size, *ins)``;
+* each handler becomes a flat function: the conclusion pattern match
+  compiles to ``.ctor`` tests and argument projections, ``.&&`` chains
+  to early returns, and each ``bindEC`` enumeration to a ``for`` loop;
+* one ``_incomplete`` flag per handler reproduces the nested-``bindEC``
+  fuel accounting exactly (a branch that ends without success inside a
+  loop ``continue``s; the handler returns ``Some false`` only when the
+  flag stayed clear).
+
+Enumerators compile to Python generator functions (``yield`` /
+``yield from``), generators to single-sample recursive functions with
+the weighted-backtrack loop at the top.  External instances are
+resolved at compile time through the registry (with the ``compiled``
+backend preferred, so whole dependency trees compile together).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import Context
+from repro.core.terms import Ctor, Fun, Term, Var, free_vars, term_to_value
+from repro.core.types import TypeExpr, mangle
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, _gen_value, slice_exhaustive
+from repro.producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.derive.schedule import (
+    Handler,
+    SAssign,
+    SCheckCall,
+    SEqCheck,
+    SInstantiate,
+    SMatch,
+    SProduce,
+    SRecCheck,
+    Schedule,
+)
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append("    " * self.indent + line if line else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Names:
+    """Maps rule variables to valid, unique Python identifiers."""
+
+    def __init__(self) -> None:
+        self.mapping: dict[str, str] = {}
+        self.used: set[str] = set()
+        self.counter = 0
+
+    def var(self, name: str) -> str:
+        if name not in self.mapping:
+            base = "v_" + "".join(
+                c if c.isalnum() or c == "_" else "_" for c in name
+            )
+            candidate = base
+            while candidate in self.used:
+                self.counter += 1
+                candidate = f"{base}_{self.counter}"
+            self.used.add(candidate)
+            self.mapping[name] = candidate
+        return self.mapping[name]
+
+    def fresh(self, stem: str) -> str:
+        self.counter += 1
+        candidate = f"{stem}_{self.counter}"
+        while candidate in self.used:
+            self.counter += 1
+            candidate = f"{stem}_{self.counter}"
+        self.used.add(candidate)
+        return candidate
+
+
+class _Compiler:
+    def __init__(self, ctx: Context, schedule: Schedule, kind: str) -> None:
+        self.ctx = ctx
+        self.schedule = schedule
+        self.kind = kind  # 'checker' | 'enum' | 'gen'
+        self.globals: dict[str, Any] = {
+            "Value": Value,
+            "SOME_TRUE": SOME_TRUE,
+            "SOME_FALSE": SOME_FALSE,
+            "NONE_OB": NONE_OB,
+            "OUT_OF_FUEL": OUT_OF_FUEL,
+            "FAIL": FAIL,
+            "_negate": negate,
+        }
+        self._const_cache: dict[Value, str] = {}
+        self._counter = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _bind_global(self, stem: str, obj: Any) -> str:
+        self._counter += 1
+        name = f"{stem}_{self._counter}"
+        self.globals[name] = obj
+        return name
+
+    def constant(self, value: Value) -> str:
+        if value not in self._const_cache:
+            self._const_cache[value] = self._bind_global("_const", value)
+        return self._const_cache[value]
+
+    def _is_ground_ctor(self, t: Term) -> bool:
+        if isinstance(t, Ctor):
+            return all(self._is_ground_ctor(a) for a in t.args)
+        return False
+
+    def expr(self, t: Term, names: _Names) -> str:
+        """Compile a term to a Python expression over bound locals."""
+        if isinstance(t, Var):
+            return names.var(t.name)
+        if self._is_ground_ctor(t):
+            return self.constant(term_to_value(t))
+        args = ", ".join(self.expr(a, names) for a in t.args)
+        if isinstance(t, Ctor):
+            trailing = "," if len(t.args) == 1 else ""
+            return f"Value({t.name!r}, ({args}{trailing}))"
+        impl = self.ctx.functions.require(t.name).impl
+        fn_name = self._bind_global(f"_f_{t.name}", impl)
+        return f"{fn_name}({args})"
+
+    def match_pattern(
+        self,
+        em: _Emitter,
+        scrutinee: str,
+        pattern: Term,
+        names: _Names,
+        binds: frozenset[str],
+        fail: str,
+    ) -> None:
+        """Emit a pattern match of *scrutinee* (a local holding a
+        Value) against *pattern*; variables in *binds* are bound, other
+        variables and function calls are compared."""
+        if isinstance(pattern, Var):
+            if pattern.name in binds and pattern.name not in names.mapping:
+                em.emit(f"{names.var(pattern.name)} = {scrutinee}")
+            else:
+                em.emit(f"if {names.var(pattern.name)} != {scrutinee}:")
+                em.indent += 1
+                em.emit(fail)
+                em.indent -= 1
+            return
+        if isinstance(pattern, Fun):
+            em.emit(f"if {self.expr(pattern, names)} != {scrutinee}:")
+            em.indent += 1
+            em.emit(fail)
+            em.indent -= 1
+            return
+        if self._is_ground_ctor(pattern):
+            em.emit(f"if {scrutinee} != {self.constant(term_to_value(pattern))}:")
+            em.indent += 1
+            em.emit(fail)
+            em.indent -= 1
+            return
+        em.emit(f"if {scrutinee}.ctor != {pattern.name!r}:")
+        em.indent += 1
+        em.emit(fail)
+        em.indent -= 1
+        for i, sub in enumerate(pattern.args):
+            if isinstance(sub, Var) and sub.name in binds and sub.name not in names.mapping:
+                em.emit(f"{names.var(sub.name)} = {scrutinee}.args[{i}]")
+                continue
+            sub_name = names.fresh("_s")
+            em.emit(f"{sub_name} = {scrutinee}.args[{i}]")
+            self.match_pattern(em, sub_name, sub, names, binds, fail)
+
+    # -- instance resolution at compile time -----------------------------------------
+
+    def checker_fn(self, rel: str):
+        from repro.derive.instances import resolve_compiled_checker
+
+        return resolve_compiled_checker(self.ctx, rel)
+
+    def producer_fn(self, rel: str, mode) -> Any:
+        from repro.derive.instances import ENUM, GEN, resolve_compiled
+
+        kind = ENUM if self.kind in ("checker", "enum") else GEN
+        return resolve_compiled(self.ctx, kind, rel, mode)
+
+    # -- per-kind compilation ---------------------------------------------------------
+
+    def compile(self):
+        em = _Emitter()
+        handler_names = []
+        for index, handler in enumerate(self.schedule.handlers):
+            name = f"_h_{index}"
+            handler_names.append(name)
+            if self.kind == "checker":
+                self._emit_checker_handler(em, name, handler)
+            elif self.kind == "enum":
+                self._emit_enum_handler(em, name, handler)
+            else:
+                self._emit_gen_handler(em, name, handler)
+            em.emit()
+        self._emit_top(em, handler_names)
+        source = em.source()
+        code = compile(source, f"<derived {self.kind} {self.schedule.rel}>", "exec")
+        namespace = dict(self.globals)
+        exec(code, namespace)
+        rec = namespace["rec"]
+        rec.__derived_source__ = source
+        return rec
+
+    def _ins_params(self) -> list[str]:
+        return [f"_in{i}" for i in range(len(self.schedule.mode.ins))]
+
+    # .. checker ..................................................................
+
+    def _emit_checker_handler(self, em: _Emitter, name: str, handler: Handler) -> None:
+        ins = self._ins_params()
+        em.emit(f"def {name}(_size1, _top, {', '.join(ins) or '*_'}):")
+        em.indent += 1
+        names = _Names()
+        for i, pattern in enumerate(handler.in_patterns):
+            self.match_pattern(
+                em, f"_in{i}", pattern, names,
+                frozenset(free_vars(pattern)), "return SOME_FALSE",
+            )
+        em.emit("_inc = False")
+        self._emit_checker_steps(em, handler.steps, 0, names, depth=0)
+        em.emit("return NONE_OB if _inc else SOME_FALSE")
+        em.indent -= 1
+
+    def _emit_checker_steps(
+        self, em: _Emitter, steps, i: int, names: _Names, depth: int
+    ) -> None:
+        fail = "return SOME_FALSE" if depth == 0 else "continue"
+        if i == len(steps):
+            em.emit("return SOME_TRUE")
+            return
+        step = steps[i]
+        if isinstance(step, SAssign):
+            em.emit(f"{names.var(step.var)} = {self.expr(step.term, names)}")
+            self._emit_checker_steps(em, steps, i + 1, names, depth)
+            return
+        if isinstance(step, SEqCheck):
+            op = "==" if step.negated else "!="
+            em.emit(
+                f"if {self.expr(step.lhs, names)} {op} "
+                f"{self.expr(step.rhs, names)}:"
+            )
+            em.indent += 1
+            em.emit(fail)
+            em.indent -= 1
+            self._emit_checker_steps(em, steps, i + 1, names, depth)
+            return
+        if isinstance(step, SMatch):
+            scrutinee = names.fresh("_m")
+            em.emit(f"{scrutinee} = {self.expr(step.scrutinee, names)}")
+            self.match_pattern(em, scrutinee, step.pattern, names, step.binds, fail)
+            self._emit_checker_steps(em, steps, i + 1, names, depth)
+            return
+        if isinstance(step, (SRecCheck, SCheckCall)):
+            r = names.fresh("_r")
+            args = ", ".join(self.expr(a, names) for a in step.args)
+            trailing = "," if len(step.args) == 1 else ""
+            if isinstance(step, SRecCheck):
+                em.emit(f"{r} = rec(_size1, _top, {args})")
+            else:
+                fn = self._bind_global(
+                    f"_chk_{step.rel}", self.checker_fn(step.rel)
+                )
+                em.emit(f"{r} = {fn}(_top, ({args}{trailing}))")
+                if step.negated:
+                    em.emit(f"{r} = _negate({r})")
+            if depth == 0:
+                # Straight-line `.&&`: None propagates as None.
+                em.emit(f"if {r} is NONE_OB:")
+                em.indent += 1
+                em.emit("return NONE_OB")
+                em.indent -= 1
+                em.emit(f"if {r} is not SOME_TRUE:")
+                em.indent += 1
+                em.emit("return SOME_FALSE")
+                em.indent -= 1
+            else:
+                # Inside an enumeration loop: a None kills this branch
+                # but taints the search (bindEC's accounting).
+                em.emit(f"if {r} is not SOME_TRUE:")
+                em.indent += 1
+                em.emit(f"if {r} is NONE_OB:")
+                em.indent += 1
+                em.emit("_inc = True")
+                em.indent -= 1
+                em.emit(fail)
+                em.indent -= 1
+            self._emit_checker_steps(em, steps, i + 1, names, depth)
+            return
+        if isinstance(step, SProduce):
+            item = names.fresh("_it")
+            ins = ", ".join(self.expr(a, names) for a in step.in_args)
+            trailing = "," if len(step.in_args) == 1 else ""
+            assert not step.recursive  # checker schedules: external only
+            fn = self._bind_global(
+                f"_enum_{step.rel}", self.producer_fn(step.rel, step.mode)
+            )
+            em.emit(f"for {item} in {fn}(_top, ({ins}{trailing})):")
+            em.indent += 1
+            em.emit(f"if {item} is OUT_OF_FUEL:")
+            em.indent += 1
+            em.emit("_inc = True")
+            em.emit("continue")
+            em.indent -= 1
+            for pos, bind in enumerate(step.binds):
+                em.emit(f"{names.var(bind)} = {item}[{pos}]")
+            self._emit_checker_steps(em, steps, i + 1, names, depth + 1)
+            em.indent -= 1
+            return
+        if isinstance(step, SInstantiate):
+            item = names.var(step.var)
+            enum_fn = self._bind_global(
+                "_arb", _make_arbitrary_enum(self.ctx, step.ty)
+            )
+            em.emit(f"for {item} in {enum_fn}(_top):")
+            em.indent += 1
+            em.emit(f"if {item} is OUT_OF_FUEL:")
+            em.indent += 1
+            em.emit("_inc = True")
+            em.emit("continue")
+            em.indent -= 1
+            self._emit_checker_steps(em, steps, i + 1, names, depth + 1)
+            em.indent -= 1
+            return
+        raise AssertionError(f"unknown step {step!r}")
+
+    def _emit_top(self, em: _Emitter, handler_names: list[str]) -> None:
+        ins = self._ins_params()
+        params = ", ".join(ins)
+        recursive = [
+            n
+            for n, h in zip(handler_names, self.schedule.handlers)
+            if h.recursive
+        ]
+        base = [
+            n
+            for n, h in zip(handler_names, self.schedule.handlers)
+            if not h.recursive
+        ]
+        if self.kind == "checker":
+            em.emit(f"def rec(_size, _top, {params or '*_'}):")
+            em.indent += 1
+            em.emit("_none = False")
+            em.emit("if _size == 0:")
+            em.indent += 1
+            for n in base:
+                r = f"_r{n[3:]}"
+                em.emit(f"{r} = {n}(None, _top{', ' if params else ''}{params})")
+                em.emit(f"if {r} is SOME_TRUE: return SOME_TRUE")
+                em.emit(f"if {r} is NONE_OB: _none = True")
+            if recursive:
+                em.emit("_none = True")
+            em.emit("return NONE_OB if _none else SOME_FALSE")
+            em.indent -= 1
+            em.emit("_size1 = _size - 1")
+            for n in handler_names:
+                r = f"_r{n[3:]}"
+                em.emit(f"{r} = {n}(_size1, _top{', ' if params else ''}{params})")
+                em.emit(f"if {r} is SOME_TRUE: return SOME_TRUE")
+                em.emit(f"if {r} is NONE_OB: _none = True")
+            em.emit("return NONE_OB if _none else SOME_FALSE")
+            em.indent -= 1
+        elif self.kind == "enum":
+            em.emit(f"def rec(_size, _top, {params or '*_'}):")
+            em.indent += 1
+            em.emit("_fuel = False")
+            em.emit("if _size == 0:")
+            em.indent += 1
+            for n in base:
+                em.emit(f"for _x in {n}(None, _top{', ' if params else ''}{params}):")
+                em.indent += 1
+                em.emit("if _x is OUT_OF_FUEL: _fuel = True")
+                em.emit("else: yield _x")
+                em.indent -= 1
+            if recursive:
+                em.emit("_fuel = True")
+            em.emit("if _fuel: yield OUT_OF_FUEL")
+            em.emit("return")
+            em.indent -= 1
+            em.emit("_size1 = _size - 1")
+            for n in handler_names:
+                em.emit(f"for _x in {n}(_size1, _top{', ' if params else ''}{params}):")
+                em.indent += 1
+                em.emit("if _x is OUT_OF_FUEL: _fuel = True")
+                em.emit("else: yield _x")
+                em.indent -= 1
+            em.emit("if _fuel: yield OUT_OF_FUEL")
+            em.indent -= 1
+        else:  # gen
+            em.emit("def rec(_size, _top, _ins, _rng):")
+            em.indent += 1
+            if params:
+                comma = "," if len(ins) == 1 else ""
+                em.emit(f"{params}{comma} = _ins")
+            em.emit("if _size == 0:")
+            em.indent += 1
+            em.emit(f"_live = [[h, 2, 1] for h in ({', '.join(base)},)]"
+                    if base else "_live = []")
+            em.emit("_size1 = None")
+            em.emit(f"_fuel = {bool(recursive)}")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            entries = ", ".join(
+                f"[{n}, 2, {'_size' if h.recursive else 1}]"
+                for n, h in zip(handler_names, self.schedule.handlers)
+            )
+            em.emit(f"_live = [{entries}]")
+            em.emit("_size1 = _size - 1")
+            em.emit("_fuel = False")
+            em.indent -= 1
+            em.emit("while _live:")
+            em.indent += 1
+            em.emit("_total = 0")
+            em.emit("for _e in _live: _total += _e[2]")
+            em.emit("_pick = _rng.randrange(_total)")
+            em.emit("for _e in _live:")
+            em.indent += 1
+            em.emit("if _pick < _e[2]: break")
+            em.emit("_pick -= _e[2]")
+            em.indent -= 1
+            args = f", {params}" if params else ""
+            em.emit(f"_res = _e[0](_size1, _top, _rng{args})")
+            em.emit("if _res is FAIL:")
+            em.indent += 1
+            em.emit("pass")
+            em.indent -= 1
+            em.emit("elif _res is OUT_OF_FUEL:")
+            em.indent += 1
+            em.emit("_fuel = True")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            em.emit("return _res")
+            em.indent -= 1
+            em.emit("_e[1] -= 1")
+            em.emit("if _e[1] <= 0: _live.remove(_e)")
+            em.indent -= 1
+            em.emit("return OUT_OF_FUEL if _fuel else FAIL")
+            em.indent -= 1
+
+    # .. enumerator ..............................................................
+
+    def _emit_enum_handler(self, em: _Emitter, name: str, handler: Handler) -> None:
+        ins = self._ins_params()
+        em.emit(f"def {name}(_size1, _top, {', '.join(ins) or '*_'}):")
+        em.indent += 1
+        names = _Names()
+        for i, pattern in enumerate(handler.in_patterns):
+            self.match_pattern(
+                em, f"_in{i}", pattern, names,
+                frozenset(free_vars(pattern)), "return",
+            )
+        self._emit_enum_steps(em, handler, 0, names, depth=0)
+        em.indent -= 1
+
+    def _emit_enum_steps(
+        self, em: _Emitter, handler: Handler, i: int, names: _Names, depth: int
+    ) -> None:
+        fail = "return" if depth == 0 else "continue"
+        steps = handler.steps
+        if i == len(steps):
+            outs = ", ".join(self.expr(t, names) for t in handler.out_terms)
+            trailing = "," if len(handler.out_terms) == 1 else ""
+            em.emit(f"yield ({outs}{trailing})")
+            return
+        step = steps[i]
+        if isinstance(step, SAssign):
+            em.emit(f"{names.var(step.var)} = {self.expr(step.term, names)}")
+            self._emit_enum_steps(em, handler, i + 1, names, depth)
+            return
+        if isinstance(step, SEqCheck):
+            op = "==" if step.negated else "!="
+            em.emit(
+                f"if {self.expr(step.lhs, names)} {op} "
+                f"{self.expr(step.rhs, names)}:"
+            )
+            em.indent += 1
+            em.emit(fail)
+            em.indent -= 1
+            self._emit_enum_steps(em, handler, i + 1, names, depth)
+            return
+        if isinstance(step, SMatch):
+            scrutinee = names.fresh("_m")
+            em.emit(f"{scrutinee} = {self.expr(step.scrutinee, names)}")
+            self.match_pattern(em, scrutinee, step.pattern, names, step.binds, fail)
+            self._emit_enum_steps(em, handler, i + 1, names, depth)
+            return
+        if isinstance(step, SCheckCall):
+            r = names.fresh("_r")
+            args = ", ".join(self.expr(a, names) for a in step.args)
+            trailing = "," if len(step.args) == 1 else ""
+            fn = self._bind_global(f"_chk_{step.rel}", self.checker_fn(step.rel))
+            em.emit(f"{r} = {fn}(_top, ({args}{trailing}))")
+            if step.negated:
+                em.emit(f"{r} = _negate({r})")
+            em.emit(f"if {r} is not SOME_TRUE:")
+            em.indent += 1
+            em.emit(f"if {r} is NONE_OB:")
+            em.indent += 1
+            em.emit("yield OUT_OF_FUEL")
+            em.indent -= 1
+            em.emit(fail)
+            em.indent -= 1
+            self._emit_enum_steps(em, handler, i + 1, names, depth)
+            return
+        if isinstance(step, SProduce):
+            item = names.fresh("_it")
+            ins = ", ".join(self.expr(a, names) for a in step.in_args)
+            trailing = "," if len(step.in_args) == 1 else ""
+            if step.recursive:
+                source = f"rec(_size1, _top, {ins})"
+            else:
+                fn = self._bind_global(
+                    f"_enum_{step.rel}", self.producer_fn(step.rel, step.mode)
+                )
+                source = f"{fn}(_top, ({ins}{trailing}))"
+            em.emit(f"for {item} in {source}:")
+            em.indent += 1
+            em.emit(f"if {item} is OUT_OF_FUEL:")
+            em.indent += 1
+            em.emit("yield OUT_OF_FUEL")
+            em.emit("continue")
+            em.indent -= 1
+            for pos, bind in enumerate(step.binds):
+                em.emit(f"{names.var(bind)} = {item}[{pos}]")
+            self._emit_enum_steps(em, handler, i + 1, names, depth + 1)
+            em.indent -= 1
+            return
+        if isinstance(step, SInstantiate):
+            item = names.var(step.var)
+            enum_fn = self._bind_global(
+                "_arb", _make_arbitrary_enum(self.ctx, step.ty)
+            )
+            em.emit(f"for {item} in {enum_fn}(_top):")
+            em.indent += 1
+            em.emit(f"if {item} is OUT_OF_FUEL:")
+            em.indent += 1
+            em.emit("yield OUT_OF_FUEL")
+            em.emit("continue")
+            em.indent -= 1
+            self._emit_enum_steps(em, handler, i + 1, names, depth + 1)
+            em.indent -= 1
+            return
+        raise AssertionError(f"unknown step {step!r}")
+
+    # .. generator ...............................................................
+
+    def _emit_gen_handler(self, em: _Emitter, name: str, handler: Handler) -> None:
+        ins = self._ins_params()
+        extra = f", {', '.join(ins)}" if ins else ""
+        em.emit(f"def {name}(_size1, _top, _rng{extra}):")
+        em.indent += 1
+        names = _Names()
+        for i, pattern in enumerate(handler.in_patterns):
+            self.match_pattern(
+                em, f"_in{i}", pattern, names,
+                frozenset(free_vars(pattern)), "return FAIL",
+            )
+        for step in handler.steps:
+            if isinstance(step, SAssign):
+                em.emit(f"{names.var(step.var)} = {self.expr(step.term, names)}")
+            elif isinstance(step, SEqCheck):
+                op = "==" if step.negated else "!="
+                em.emit(
+                    f"if {self.expr(step.lhs, names)} {op} "
+                    f"{self.expr(step.rhs, names)}:"
+                )
+                em.indent += 1
+                em.emit("return FAIL")
+                em.indent -= 1
+            elif isinstance(step, SMatch):
+                scrutinee = names.fresh("_m")
+                em.emit(f"{scrutinee} = {self.expr(step.scrutinee, names)}")
+                self.match_pattern(
+                    em, scrutinee, step.pattern, names, step.binds, "return FAIL"
+                )
+            elif isinstance(step, SCheckCall):
+                r = names.fresh("_r")
+                args = ", ".join(self.expr(a, names) for a in step.args)
+                trailing = "," if len(step.args) == 1 else ""
+                fn = self._bind_global(f"_chk_{step.rel}", self.checker_fn(step.rel))
+                em.emit(f"{r} = {fn}(_top, ({args}{trailing}))")
+                if step.negated:
+                    em.emit(f"{r} = _negate({r})")
+                em.emit(f"if {r} is not SOME_TRUE:")
+                em.indent += 1
+                em.emit(f"return OUT_OF_FUEL if {r} is NONE_OB else FAIL")
+                em.indent -= 1
+            elif isinstance(step, SProduce):
+                item = names.fresh("_it")
+                ins_expr = ", ".join(self.expr(a, names) for a in step.in_args)
+                trailing = "," if len(step.in_args) == 1 else ""
+                if step.recursive:
+                    em.emit(
+                        f"{item} = rec(_size1, _top, ({ins_expr}{trailing}), _rng)"
+                    )
+                else:
+                    fn = self._bind_global(
+                        f"_gen_{step.rel}", self.producer_fn(step.rel, step.mode)
+                    )
+                    em.emit(f"{item} = {fn}(_top, ({ins_expr}{trailing}), _rng)")
+                em.emit(f"if {item} is FAIL or {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit(f"return {item}")
+                em.indent -= 1
+                for pos, bind in enumerate(step.binds):
+                    em.emit(f"{names.var(bind)} = {item}[{pos}]")
+            elif isinstance(step, SInstantiate):
+                gen_fn = self._bind_global(
+                    "_arbg", _make_arbitrary_gen(self.ctx, step.ty)
+                )
+                item = names.var(step.var)
+                em.emit(f"{item} = {gen_fn}(_top, _rng)")
+                em.emit(f"if {item} is FAIL or {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit(f"return {item}")
+                em.indent -= 1
+            else:
+                raise AssertionError(f"unknown step {step!r}")
+        outs = ", ".join(self.expr(t, names) for t in handler.out_terms)
+        trailing = "," if len(handler.out_terms) == 1 else ""
+        em.emit(f"return ({outs}{trailing})")
+        em.indent -= 1
+
+
+def _make_arbitrary_enum(ctx: Context, ty: TypeExpr):
+    def arbitrary(fuel: int):
+        yield from _enum_values(ctx, ty, fuel)
+        if not slice_exhaustive(ctx, ty, fuel):
+            yield OUT_OF_FUEL
+
+    arbitrary.__name__ = f"arbitrary_{mangle(ty)}"
+    return arbitrary
+
+
+def _make_arbitrary_gen(ctx: Context, ty: TypeExpr):
+    def arbitrary(fuel: int, rng):
+        return _gen_value(ctx, ty, fuel, rng)
+
+    arbitrary.__name__ = f"arbitrary_gen_{mangle(ty)}"
+    return arbitrary
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+# ---------------------------------------------------------------------------
+
+def compile_checker(ctx: Context, schedule: Schedule):
+    """Compile a checker schedule to ``fn(fuel, args) -> OptionBool``
+    (the internal instance convention)."""
+    rec = _Compiler(ctx, schedule, "checker").compile()
+
+    def check(fuel: int, args: tuple) -> Any:
+        return rec(fuel, fuel, *args)
+
+    check.__wrapped_rec__ = rec
+    check.__derived_source__ = rec.__derived_source__
+    return check
+
+
+def compile_enumerator(ctx: Context, schedule: Schedule):
+    """Compile an enum schedule to ``fn(fuel, ins) -> iterator``."""
+    rec = _Compiler(ctx, schedule, "enum").compile()
+
+    def enum_st(fuel: int, ins: tuple):
+        return rec(fuel, fuel, *ins)
+
+    enum_st.__wrapped_rec__ = rec
+    enum_st.__derived_source__ = rec.__derived_source__
+    return enum_st
+
+
+def compile_generator(ctx: Context, schedule: Schedule):
+    """Compile a gen schedule to ``fn(fuel, ins, rng) -> tuple|marker``."""
+    rec = _Compiler(ctx, schedule, "gen").compile()
+
+    def gen_st(fuel: int, ins: tuple, rng):
+        return rec(fuel, fuel, ins, rng)
+
+    gen_st.__wrapped_rec__ = rec
+    gen_st.__derived_source__ = rec.__derived_source__
+    return gen_st

@@ -1,0 +1,327 @@
+"""Checker backend: interpret a schedule as a semi-decision procedure.
+
+This is the ``option bool`` instantiation of the derived program — the
+code of the paper's Figure 1, executed over the schedule IR:
+
+* the top level is a fixpoint over ``size`` with a separate
+  ``top_size`` threaded to external calls;
+* at ``size = 0`` only base-constructor handlers run, plus a ``None``
+  option when recursive handlers were skipped;
+* handlers are combined with the ``backtracking`` combinator;
+* premise steps chain through ``.&&`` (:func:`and_then`), existential
+  premises run ``bindEC`` over a (derived) enumerator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.context import Context
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, bind_EC, slice_exhaustive
+from repro.producers.option_bool import (
+    NONE_OB,
+    SOME_FALSE,
+    SOME_TRUE,
+    OptionBool,
+    and_then,
+    backtracking,
+    from_bool,
+    negate,
+)
+from repro.producers.outcome import OUT_OF_FUEL
+from repro.derive.memo import checker_memo_call, decide_fuel_doubling
+from .runtime import eval_args, eval_term, match_inputs, match_known
+from repro.derive.schedule import (
+    Handler,
+    SAssign,
+    SCheckCall,
+    SEqCheck,
+    SInstantiate,
+    SMatch,
+    SProduce,
+    SRecCheck,
+    Schedule,
+)
+
+
+class DerivedChecker:
+    """A derived semi-decision procedure for ``P e1 .. en``.
+
+    Calling convention: ``checker(fuel, *args) -> OptionBool`` — the
+    paper's ``fun size in1 .. => rec size size in1 ..`` wrapper.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        schedule: Schedule,
+        group: "dict[str, Schedule] | None" = None,
+    ) -> None:
+        if not schedule.mode.is_checker:
+            raise ValueError("DerivedChecker needs a checker-mode schedule")
+        self.ctx = ctx
+        self.schedule = schedule
+        # Mutual-recursion extension: all schedules sharing this
+        # fixpoint, keyed by relation name (always includes our own).
+        self.group: dict[str, Schedule] = {schedule.rel: schedule}
+        if group:
+            self.group.update(group)
+
+    def __call__(self, fuel: int, *args: Value) -> OptionBool:
+        return self.check(fuel, tuple(args))
+
+    def check(self, fuel: int, args: tuple[Value, ...]) -> OptionBool:
+        """Internal calling convention (used by instance resolution).
+
+        Top-level calls (``size == top_size``) route through the
+        per-context memo table when memoization is enabled; the memo
+        layer knows not to wrap this method again at the instance
+        registry.
+        """
+        if self.ctx.caches.get("memo_enabled"):
+            return checker_memo_call(
+                self.ctx,
+                self.schedule.rel,
+                args,
+                fuel,
+                lambda: self.rec(fuel, fuel, args),
+            )
+        return self.rec(fuel, fuel, args)
+
+    def decide(
+        self, args: tuple[Value, ...], max_fuel: int = 64, start_fuel: int = 2
+    ) -> OptionBool:
+        """Run with doubling fuel until a definite answer (or give up
+        with ``None`` at *max_fuel*).
+
+        With memoization enabled the loop is incremental: a cached
+        definite answer (at any fuel) returns immediately, and probes
+        at or below the recorded ``None`` frontier short-circuit.
+        """
+        return decide_fuel_doubling(
+            self.ctx, self.schedule.rel, self.check, args, max_fuel, start_fuel
+        )
+
+    # -- the derived fixpoint ---------------------------------------------------
+
+    def rec(
+        self,
+        size: int,
+        top_size: int,
+        args: tuple[Value, ...],
+        rel: str | None = None,
+    ) -> OptionBool:
+        schedule = self.group[rel] if rel is not None else self.schedule
+        if size == 0:
+            options = [
+                self._handler_thunk(h, None, top_size, args)
+                for h in schedule.base_handlers
+            ]
+            if schedule.has_recursive_handlers:
+                options.append(lambda: NONE_OB)
+            return backtracking(options)
+        options = [
+            self._handler_thunk(h, size - 1, top_size, args)
+            for h in schedule.handlers
+        ]
+        return backtracking(options)
+
+    def _handler_thunk(
+        self,
+        handler: Handler,
+        rec_size: int | None,
+        top_size: int,
+        args: tuple[Value, ...],
+    ):
+        return lambda: self._run_handler(handler, rec_size, top_size, args)
+
+    def _run_handler(
+        self,
+        handler: Handler,
+        rec_size: int | None,
+        top_size: int,
+        args: tuple[Value, ...],
+    ) -> OptionBool:
+        stats = self.ctx.caches.get("derive_stats")
+        if stats is not None:
+            stats.handler_attempts += 1
+        env = match_inputs(handler.in_patterns, args, self.ctx)
+        if env is None:
+            if stats is not None:
+                stats.backtracks += 1
+            return SOME_FALSE
+        result = self._run_steps(handler.steps, 0, env, rec_size, top_size)
+        if stats is not None and not result.is_true:
+            stats.backtracks += 1
+        return result
+
+    def _run_steps(
+        self,
+        steps: tuple,
+        i: int,
+        env: dict[str, Value],
+        rec_size: int | None,
+        top_size: int,
+    ) -> OptionBool:
+        ctx = self.ctx
+        while i < len(steps):
+            step = steps[i]
+            if isinstance(step, SAssign):
+                env[step.var] = eval_term(step.term, env, ctx)
+                i += 1
+                continue
+            if isinstance(step, SEqCheck):
+                equal = eval_term(step.lhs, env, ctx) == eval_term(
+                    step.rhs, env, ctx
+                )
+                if equal == step.negated:
+                    return SOME_FALSE
+                i += 1
+                continue
+            if isinstance(step, SMatch):
+                value = eval_term(step.scrutinee, env, ctx)
+                if not match_known(step.pattern, value, env, step.binds, ctx):
+                    return SOME_FALSE
+                i += 1
+                continue
+            if isinstance(step, SRecCheck):
+                assert rec_size is not None, "recursive handler ran at size 0"
+                result = self.rec(
+                    rec_size, top_size, eval_args(step.args, env, ctx), step.rel
+                )
+                return and_then(
+                    result,
+                    lambda: self._run_steps(steps, i + 1, env, rec_size, top_size),
+                )
+            if isinstance(step, SCheckCall):
+                result = self._external_check(step, env, top_size)
+                return and_then(
+                    result,
+                    lambda: self._run_steps(steps, i + 1, env, rec_size, top_size),
+                )
+            if isinstance(step, SProduce):
+                items = self._producer_items(step, env, rec_size, top_size)
+                return bind_EC(
+                    items,
+                    lambda outs: self._with_outs(
+                        steps, i, env, step, outs, rec_size, top_size
+                    ),
+                )
+            if isinstance(step, SInstantiate):
+                items = self._arbitrary_items(step, top_size)
+                return bind_EC(
+                    items,
+                    lambda value: self._with_var(
+                        steps, i, env, step.var, value, rec_size, top_size
+                    ),
+                )
+            raise AssertionError(f"unknown step {step!r}")
+        return SOME_TRUE
+
+    # -- step helpers ----------------------------------------------------------------
+
+    def _external_check(
+        self, step: SCheckCall, env: dict[str, Value], top_size: int
+    ) -> OptionBool:
+        from repro.derive.instances import resolve_checker
+
+        instance = resolve_checker(self.ctx, step.rel)
+        result = instance.fn(top_size, eval_args(step.args, env, self.ctx))
+        return negate(result) if step.negated else result
+
+    def _producer_items(
+        self,
+        step: SProduce,
+        env: dict[str, Value],
+        rec_size: int | None,
+        top_size: int,
+    ) -> Iterator[Any]:
+        from repro.derive.instances import ENUM, resolve
+
+        ins = eval_args(step.in_args, env, self.ctx)
+        # Checker schedules never emit recursive SProduce (a recursive
+        # call would need the checker's own mode, which has no outputs).
+        assert not step.recursive
+        instance = resolve(self.ctx, ENUM, step.rel, step.mode)
+        return instance.fn(top_size, ins)
+
+    def _arbitrary_items(self, step: SInstantiate, top_size: int) -> Iterator[Any]:
+        yield from _enum_values(self.ctx, step.ty, top_size)
+        if not slice_exhaustive(self.ctx, step.ty, top_size):
+            yield OUT_OF_FUEL
+
+    def _with_outs(
+        self,
+        steps: tuple,
+        i: int,
+        env: dict[str, Value],
+        step: SProduce,
+        outs: tuple[Value, ...],
+        rec_size: int | None,
+        top_size: int,
+    ) -> OptionBool:
+        child = dict(env)
+        for name, value in zip(step.binds, outs):
+            child[name] = value
+        return self._run_steps(steps, i + 1, child, rec_size, top_size)
+
+    def _with_var(
+        self,
+        steps: tuple,
+        i: int,
+        env: dict[str, Value],
+        var: str,
+        value: Value,
+        rec_size: int | None,
+        top_size: int,
+    ) -> OptionBool:
+        child = dict(env)
+        child[var] = value
+        return self._run_steps(steps, i + 1, child, rec_size, top_size)
+
+
+class HandwrittenChecker:
+    """Public wrapper around a registered handwritten checker instance.
+
+    ``derive_checker`` hands this back when the registry resolves to a
+    user-supplied ``DecOpt`` instance: calls delegate to the *live*
+    ``instance.fn`` (so replacements via ``register(...,
+    replace=True)`` and memo wrapping both take effect), while the
+    object still offers the :class:`DerivedChecker` public surface
+    (``__call__``, ``check``, ``decide``).
+    """
+
+    def __init__(self, ctx: Context, instance) -> None:
+        self.ctx = ctx
+        self.instance = instance
+        self.rel = instance.rel
+        # Registry key (interp backend): re-read per call so that
+        # register(..., replace=True) takes effect on live wrappers.
+        self._key = (instance.kind, instance.rel, str(instance.mode))
+
+    def _fn(self):
+        live = self.ctx.instances.get(self._key)
+        return (live or self.instance).fn
+
+    def __call__(self, fuel: int, *args: Value) -> OptionBool:
+        return self._fn()(fuel, tuple(args))
+
+    def check(self, fuel: int, args: tuple[Value, ...]) -> OptionBool:
+        return self._fn()(fuel, tuple(args))
+
+    def decide(
+        self, args: tuple[Value, ...], max_fuel: int = 64, start_fuel: int = 2
+    ) -> OptionBool:
+        return decide_fuel_doubling(
+            self.ctx, self.rel, self.check, args, max_fuel, start_fuel
+        )
+
+    def __repr__(self) -> str:
+        return f"HandwrittenChecker({self.rel!r})"
+
+
+def make_checker(ctx: Context, schedule: Schedule):
+    """Build the internal-convention callable for the registry."""
+    checker = DerivedChecker(ctx, schedule)
+    return checker.check

@@ -1,0 +1,107 @@
+"""Runtime support shared by the schedule interpreters.
+
+Interpreters keep a per-handler environment mapping rule variables to
+values.  This module provides term evaluation under such environments
+and the "match with known variables" operation: patterns emitted by
+the scheduler can mix *binding* occurrences (variables unknown at that
+program point) with *checking* occurrences (variables already bound,
+and function calls over them), so matching both binds and compares.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping
+
+from repro.core.context import Context
+from repro.core.errors import EvaluationError
+from repro.core.terms import Ctor, Fun, Term, Var
+from repro.core.values import Value
+
+
+def eval_term(t: Term, env: Mapping[str, Value], ctx: Context) -> Value:
+    """Evaluate *t* under *env* (all variables must be bound)."""
+    if isinstance(t, Var):
+        try:
+            return env[t.name]
+        except KeyError:
+            raise EvaluationError(
+                f"schedule bug: variable {t.name!r} unbound at runtime"
+            ) from None
+    args = tuple(eval_term(a, env, ctx) for a in t.args)
+    if isinstance(t, Ctor):
+        return Value(t.name, args)
+    return ctx.functions.require(t.name).apply(args)
+
+
+def eval_args(
+    ts: tuple[Term, ...], env: Mapping[str, Value], ctx: Context
+) -> tuple[Value, ...]:
+    return tuple(eval_term(t, env, ctx) for t in ts)
+
+
+def match_known(
+    pattern: Term,
+    value: Value,
+    env: MutableMapping[str, Value],
+    binds: frozenset[str],
+    ctx: Context,
+) -> bool:
+    """Match *value* against *pattern*, binding variables in *binds*
+    into *env* and treating all other pattern parts as equality
+    constraints.  On failure *env* may hold partial bindings; callers
+    operate on a copy.
+    """
+    if isinstance(pattern, Var):
+        if pattern.name in binds and pattern.name not in env:
+            env[pattern.name] = value
+            return True
+        bound = env.get(pattern.name)
+        if bound is None:
+            raise EvaluationError(
+                f"schedule bug: pattern variable {pattern.name!r} neither "
+                "bound nor binding"
+            )
+        return bound == value
+    if isinstance(pattern, Fun):
+        # All variables under a function call are known by
+        # construction (the scheduler instantiates blocked variables),
+        # so the call can be evaluated and compared.
+        return eval_term(pattern, env, ctx) == value
+    if pattern.name != value.ctor or len(pattern.args) != len(value.args):
+        return False
+    return all(
+        match_known(p, v, env, binds, ctx)
+        for p, v in zip(pattern.args, value.args)
+    )
+
+
+def match_inputs(
+    patterns: tuple[Term, ...],
+    values: tuple[Value, ...],
+    ctx: Context,
+) -> dict[str, Value] | None:
+    """Match the handler's input patterns against the input values.
+
+    Input patterns are linear constructor patterns (preprocessing
+    guarantees it), so every variable is a binding occurrence.
+    """
+    env: dict[str, Value] = {}
+    for pattern, value in zip(patterns, values):
+        if not _match_linear(pattern, value, env):
+            return None
+    return env
+
+
+def _match_linear(pattern: Term, value: Value, env: dict[str, Value]) -> bool:
+    if isinstance(pattern, Var):
+        env[pattern.name] = value
+        return True
+    if isinstance(pattern, Fun):
+        raise EvaluationError(
+            f"schedule bug: function call {pattern} in an input pattern"
+        )
+    if pattern.name != value.ctor or len(pattern.args) != len(value.args):
+        return False
+    return all(
+        _match_linear(p, v, env) for p, v in zip(pattern.args, value.args)
+    )

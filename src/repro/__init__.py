@@ -52,6 +52,7 @@ from .core import (
 )
 from .derive import (
     DeriveStats,
+    DeriveTrace,
     Mode,
     clear_memo,
     derive,
@@ -62,6 +63,8 @@ from .derive import (
     disable_memoization,
     enable_memoization,
     memoization_enabled,
+    profile,
+    trace_of,
 )
 from .quickchick import for_all, quick_check
 from .semantics import derivable, search_derivation
@@ -79,6 +82,7 @@ __all__ = [
     "AnalysisError",
     "Context",
     "DeriveStats",
+    "DeriveTrace",
     "Mode",
     "ParseError",
     "Relation",
@@ -109,8 +113,10 @@ __all__ = [
     "from_list",
     "nat_list",
     "parse_declarations",
+    "profile",
     "quick_check",
     "search_derivation",
+    "trace_of",
     "standard_context",
     "to_bool",
     "to_int",

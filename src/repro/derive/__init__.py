@@ -22,7 +22,9 @@ from .memo import (
     memoization_enabled,
 )
 from .modes import Mode
+from .plan import Plan, PlanHandler, lower_schedule
 from .stats import DeriveStats
+from .trace import DeriveTrace, profile, trace_of
 from .preprocess import preprocess_relation, preprocess_rule
 from .schedule import Handler, Schedule
 from .mutual import derive_mutual_checkers, mutual_components
@@ -39,6 +41,7 @@ __all__ = [
     "DEFAULT_POLICY",
     "DerivePolicy",
     "DeriveStats",
+    "DeriveTrace",
     "DerivedChecker",
     "DerivedEnumerator",
     "DerivedGenerator",
@@ -50,6 +53,8 @@ __all__ = [
     "HandwrittenGenerator",
     "Instance",
     "Mode",
+    "Plan",
+    "PlanHandler",
     "Schedule",
     "build_schedule",
     "clear_memo",
@@ -61,14 +66,17 @@ __all__ = [
     "derive_stats",
     "disable_memoization",
     "enable_memoization",
+    "lower_schedule",
     "memoization_enabled",
     "mutual_components",
     "PAPER_POLICY",
     "preprocess_relation",
     "preprocess_rule",
+    "profile",
     "register_checker",
     "register_producer",
     "required_instances",
     "resolve",
     "resolve_checker",
+    "trace_of",
 ]

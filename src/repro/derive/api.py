@@ -122,20 +122,30 @@ _KINDS = {
 }
 
 
-def derive(ctx: Context, kind: str, rel: str, mode: "str | None" = None):
+def derive(
+    ctx: Context,
+    kind: str,
+    rel: str,
+    mode: "str | None" = None,
+    *,
+    analysis: bool = True,
+):
     """Vernacular-flavored entry point:
 
         derive(ctx, 'DecOpt', 'Sorted')
         derive(ctx, 'EnumSizedSuchThat', 'typing', 'iio')
+
+    ``analysis=False`` skips the static linter gate, exactly as on the
+    kind-specific entry points it forwards to.
     """
     if kind not in _KINDS:
         raise DerivationError(
             f"unknown derivation kind {kind!r}; expected one of {sorted(_KINDS)}"
         )
     if kind == "DecOpt":
-        return derive_checker(ctx, rel)
+        return derive_checker(ctx, rel, analysis=analysis)
     if mode is None:
         raise DerivationError(f"{kind} needs a mode string (e.g. 'iio')")
     if kind == "EnumSizedSuchThat":
-        return derive_enumerator(ctx, rel, mode)
-    return derive_generator(ctx, rel, mode)
+        return derive_enumerator(ctx, rel, mode, analysis=analysis)
+    return derive_generator(ctx, rel, mode, analysis=analysis)

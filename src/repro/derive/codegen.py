@@ -1,21 +1,30 @@
-"""Code generation: compile schedules to Python source.
+"""Code generation: compile lowered plans to Python source.
 
 The paper's plugin emits Gallina *code* for each derived computation;
-the interpreters in this package instead walk the schedule IR.  This
-module closes the loop: it compiles a schedule into a dedicated Python
-function (built with ``compile``/``exec``), eliminating the interpretive
-overhead — the backend used by the Figure 3 benchmarks, with the
-interpreter kept as the ablation baseline.
+the interpreters in this package execute the lowered Plan IR instead.
+This module closes the loop: it compiles a :class:`~repro.derive.plan.
+Plan` into a dedicated Python function (built with ``compile``/
+``exec``), eliminating the remaining interpretive overhead — the
+backend used by the Figure 3 benchmarks, with the interpreter kept as
+the ablation baseline.
+
+The compiler consumes the *same* lowering as the interpreters
+(:func:`~repro.derive.plan.lower_schedule` — slot environments,
+flattened pattern ops, dispatch index), so interpreted and compiled
+backends cannot drift: slots become Python locals, ops become
+statements, and the dispatch tables are emitted as module-level dict
+literals keyed by head constructor.
 
 Compilation scheme (checker):
 
-* the fixpoint becomes a Python function ``rec(size, top_size, *ins)``;
-* each handler becomes a flat function: the conclusion pattern match
-  compiles to ``.ctor`` tests and argument projections, ``.&&`` chains
-  to early returns, and each ``bindEC`` enumeration to a ``for`` loop;
-* one ``_incomplete`` flag per handler reproduces the nested-``bindEC``
-  fuel accounting exactly (a branch that ends without success inside a
-  loop ``continue``s; the handler returns ``Some false`` only when the
+* the fixpoint becomes a Python function ``rec(size, top_size, *ins)``
+  that looks up candidate handlers in the dispatch table;
+* each handler becomes a flat function: ``testctor``/``testconst``/
+  ``testeq`` ops compile to early returns, ``.&&`` chains likewise,
+  and each ``bindEC`` producer op to a ``for`` loop;
+* one ``_inc`` flag per handler reproduces the nested-``bindEC`` fuel
+  accounting exactly (a branch that ends without success inside a loop
+  ``continue``\\ s; the handler returns ``Some false`` only when the
   flag stayed clear).
 
 Enumerators compile to Python generator functions (``yield`` /
@@ -23,6 +32,12 @@ Enumerators compile to Python generator functions (``yield`` /
 the weighted-backtrack loop at the top.  External instances are
 resolved at compile time through the registry (with the ``compiled``
 backend preferred, so whole dependency trees compile together).
+
+Profiling hooks are threaded through the emitted ``rec``: one
+``caches.get('derive_trace')`` per call and an ``is not None`` guard
+per handler attempt — matching the interpreters' zero-overhead-off
+contract, with records keyed identically so mixed-backend traces
+aggregate.
 """
 
 from __future__ import annotations
@@ -30,23 +45,28 @@ from __future__ import annotations
 from typing import Any
 
 from ..core.context import Context
-from ..core.terms import Ctor, Fun, Term, Var, free_vars, term_to_value
 from ..core.types import TypeExpr, mangle
 from ..core.values import Value
 from ..producers.combinators import _enum_values, _gen_value, slice_exhaustive
 from ..producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
 from ..producers.outcome import FAIL, OUT_OF_FUEL
-from .schedule import (
-    Handler,
-    SAssign,
-    SCheckCall,
-    SEqCheck,
-    SInstantiate,
-    SMatch,
-    SProduce,
-    SRecCheck,
-    Schedule,
+from .plan import (
+    OP_CHECK,
+    OP_EVAL,
+    OP_INSTANTIATE,
+    OP_PRODUCE,
+    OP_RECCHECK,
+    OP_TESTCONST,
+    OP_TESTCTOR,
+    OP_TESTEQ,
+    X_CONST,
+    X_CTOR,
+    X_SLOT,
+    Plan,
+    PlanHandler,
+    lower_schedule,
 )
+from .schedule import Schedule
 
 
 class _Emitter:
@@ -61,41 +81,10 @@ class _Emitter:
         return "\n".join(self.lines) + "\n"
 
 
-class _Names:
-    """Maps rule variables to valid, unique Python identifiers."""
-
-    def __init__(self) -> None:
-        self.mapping: dict[str, str] = {}
-        self.used: set[str] = set()
-        self.counter = 0
-
-    def var(self, name: str) -> str:
-        if name not in self.mapping:
-            base = "v_" + "".join(
-                c if c.isalnum() or c == "_" else "_" for c in name
-            )
-            candidate = base
-            while candidate in self.used:
-                self.counter += 1
-                candidate = f"{base}_{self.counter}"
-            self.used.add(candidate)
-            self.mapping[name] = candidate
-        return self.mapping[name]
-
-    def fresh(self, stem: str) -> str:
-        self.counter += 1
-        candidate = f"{stem}_{self.counter}"
-        while candidate in self.used:
-            self.counter += 1
-            candidate = f"{stem}_{self.counter}"
-        self.used.add(candidate)
-        return candidate
-
-
-class _Compiler:
-    def __init__(self, ctx: Context, schedule: Schedule, kind: str) -> None:
+class _PlanCompiler:
+    def __init__(self, ctx: Context, plan: Plan, kind: str) -> None:
         self.ctx = ctx
-        self.schedule = schedule
+        self.plan = plan
         self.kind = kind  # 'checker' | 'enum' | 'gen'
         self.globals: dict[str, Any] = {
             "Value": Value,
@@ -105,8 +94,10 @@ class _Compiler:
             "OUT_OF_FUEL": OUT_OF_FUEL,
             "FAIL": FAIL,
             "_negate": negate,
+            "_caches": ctx.caches,
         }
         self._const_cache: dict[Value, str] = {}
+        self._fn_cache: dict[int, str] = {}
         self._counter = 0
 
     # -- helpers -----------------------------------------------------------------
@@ -117,74 +108,62 @@ class _Compiler:
         self.globals[name] = obj
         return name
 
+    def _bind_fn(self, stem: str, fn: Any) -> str:
+        cached = self._fn_cache.get(id(fn))
+        if cached is None:
+            cached = self._fn_cache[id(fn)] = self._bind_global(stem, fn)
+        return cached
+
     def constant(self, value: Value) -> str:
         if value not in self._const_cache:
             self._const_cache[value] = self._bind_global("_const", value)
         return self._const_cache[value]
 
-    def _is_ground_ctor(self, t: Term) -> bool:
-        if isinstance(t, Ctor):
-            return all(self._is_ground_ctor(a) for a in t.args)
-        return False
+    def slot(self, i: int) -> str:
+        return f"_in{i}" if i < self.plan.n_ins else f"_s{i}"
 
-    def expr(self, t: Term, names: _Names) -> str:
-        """Compile a term to a Python expression over bound locals."""
-        if isinstance(t, Var):
-            return names.var(t.name)
-        if self._is_ground_ctor(t):
-            return self.constant(term_to_value(t))
-        args = ", ".join(self.expr(a, names) for a in t.args)
-        if isinstance(t, Ctor):
-            trailing = "," if len(t.args) == 1 else ""
-            return f"Value({t.name!r}, ({args}{trailing}))"
-        impl = self.ctx.functions.require(t.name).impl
-        fn_name = self._bind_global(f"_f_{t.name}", impl)
+    def expr(self, e: tuple) -> str:
+        """Compile a lowered expression to a Python expression."""
+        tag = e[0]
+        if tag == X_SLOT:
+            return self.slot(e[1])
+        if tag == X_CONST:
+            return self.constant(e[1])
+        args = ", ".join(self.expr(a) for a in e[2])
+        if tag == X_CTOR:
+            trailing = "," if len(e[2]) == 1 else ""
+            return f"Value({e[1]!r}, ({args}{trailing}))"
+        fn_name = self._bind_fn(f"_f_{e[3]}", e[1])
         return f"{fn_name}({args})"
 
-    def match_pattern(
-        self,
-        em: _Emitter,
-        scrutinee: str,
-        pattern: Term,
-        names: _Names,
-        binds: frozenset[str],
-        fail: str,
-    ) -> None:
-        """Emit a pattern match of *scrutinee* (a local holding a
-        Value) against *pattern*; variables in *binds* are bound, other
-        variables and function calls are compared."""
-        if isinstance(pattern, Var):
-            if pattern.name in binds and pattern.name not in names.mapping:
-                em.emit(f"{names.var(pattern.name)} = {scrutinee}")
-            else:
-                em.emit(f"if {names.var(pattern.name)} != {scrutinee}:")
-                em.indent += 1
-                em.emit(fail)
-                em.indent -= 1
-            return
-        if isinstance(pattern, Fun):
-            em.emit(f"if {self.expr(pattern, names)} != {scrutinee}:")
-            em.indent += 1
-            em.emit(fail)
-            em.indent -= 1
-            return
-        if self._is_ground_ctor(pattern):
-            em.emit(f"if {scrutinee} != {self.constant(term_to_value(pattern))}:")
-            em.indent += 1
-            em.emit(fail)
-            em.indent -= 1
-            return
-        em.emit(f"if {scrutinee}.ctor != {pattern.name!r}:")
+    def args_tuple(self, exprs: tuple) -> str:
+        inner = ", ".join(self.expr(e) for e in exprs)
+        trailing = "," if len(exprs) == 1 else ""
+        return f"({inner}{trailing})"
+
+    def _fail(self, em: _Emitter, cond: str, fail: str) -> None:
+        em.emit(f"if {cond}:")
         em.indent += 1
         em.emit(fail)
         em.indent -= 1
-        for i, sub in enumerate(pattern.args):
-            if isinstance(sub, Var) and sub.name in binds and sub.name not in names.mapping:
-                em.emit(f"{names.var(sub.name)} = {scrutinee}.args[{i}]")
-                continue
-            sub_name = names.fresh("_s")
-            em.emit(f"{sub_name} = {scrutinee}.args[{i}]")
-            self.match_pattern(em, sub_name, sub, names, binds, fail)
+
+    def _emit_test(self, em: _Emitter, op: tuple, fail: str) -> None:
+        """The deterministic test ops, identical in every backend."""
+        tag = op[0]
+        if tag == OP_TESTCTOR:
+            src = self.slot(op[1])
+            self._fail(em, f"{src}.ctor != {op[2]!r}", fail)
+            for k, dst in enumerate(op[3]):
+                em.emit(f"{self.slot(dst)} = {src}.args[{k}]")
+        elif tag == OP_TESTCONST:
+            self._fail(
+                em, f"{self.slot(op[1])} != {self.constant(op[2])}", fail
+            )
+        else:  # OP_TESTEQ
+            cmp = "==" if op[3] else "!="
+            self._fail(
+                em, f"{self.expr(op[1])} {cmp} {self.expr(op[2])}", fail
+            )
 
     # -- instance resolution at compile time -----------------------------------------
 
@@ -199,24 +178,22 @@ class _Compiler:
         kind = ENUM if self.kind in ("checker", "enum") else GEN
         return resolve_compiled(self.ctx, kind, rel, mode)
 
-    # -- per-kind compilation ---------------------------------------------------------
+    # -- compilation ------------------------------------------------------------------
 
     def compile(self):
         em = _Emitter()
-        handler_names = []
-        for index, handler in enumerate(self.schedule.handlers):
-            name = f"_h_{index}"
-            handler_names.append(name)
+        for h in self.plan.handlers:
             if self.kind == "checker":
-                self._emit_checker_handler(em, name, handler)
+                self._emit_checker_handler(em, h)
             elif self.kind == "enum":
-                self._emit_enum_handler(em, name, handler)
+                self._emit_enum_handler(em, h)
             else:
-                self._emit_gen_handler(em, name, handler)
+                self._emit_gen_handler(em, h)
             em.emit()
-        self._emit_top(em, handler_names)
+        self._emit_dispatch(em)
+        self._emit_top(em)
         source = em.source()
-        code = compile(source, f"<derived {self.kind} {self.schedule.rel}>", "exec")
+        code = compile(source, f"<derived {self.kind} {self.plan.rel}>", "exec")
         namespace = dict(self.globals)
         exec(code, namespace)
         rec = namespace["rec"]
@@ -224,187 +201,361 @@ class _Compiler:
         return rec
 
     def _ins_params(self) -> list[str]:
-        return [f"_in{i}" for i in range(len(self.schedule.mode.ins))]
+        return [f"_in{i}" for i in range(self.plan.n_ins)]
+
+    def _handler_params(self) -> str:
+        ins = self._ins_params()
+        if self.kind == "gen":
+            extra = f", {', '.join(ins)}" if ins else ""
+            return f"_size1, _top, _rng{extra}"
+        return f"_size1, _top, {', '.join(ins) or '*_'}"
+
+    def _call_handler(self, fn: str) -> str:
+        ins = self._ins_params()
+        params = ", ".join(ins)
+        if self.kind == "gen":
+            extra = f", {params}" if params else ""
+            return f"{fn}(_sz1, _top, _rng{extra})"
+        sep = ", " if params else ""
+        return f"{fn}(_sz1, _top{sep}{params})"
+
+    # .. dispatch tables .............................................................
+
+    def _entry(self, h: PlanHandler) -> str:
+        return f"(_h_{h.index}, {h.recursive!r}, {h.key3!r})"
+
+    def _entries(self, handlers: tuple) -> str:
+        inner = ", ".join(self._entry(h) for h in handlers)
+        trailing = "," if len(handlers) == 1 else ""
+        return f"({inner}{trailing})"
+
+    def _emit_dispatch(self, em: _Emitter) -> None:
+        """Dispatch tables as module-level literals.  Entries are
+        ``(handler_fn, recursive, key3)`` so one shape serves all three
+        backends (weights need ``recursive``, profiling needs the
+        key)."""
+        plan = self.plan
+        if plan.dispatch_pos < 0:
+            em.emit(f"_all_full = {self._entries(plan.handlers)}")
+            em.emit(f"_all_base = {self._entries(plan.base)}")
+            em.emit()
+            return
+        for name, table, default in (
+            ("full", plan.full_table, plan.full_default),
+            ("base", plan.base_table, plan.base_default),
+        ):
+            items = ", ".join(
+                f"{ctor!r}: {self._entries(hs)}" for ctor, hs in table.items()
+            )
+            em.emit(f"_disp_{name} = {{{items}}}")
+            em.emit(f"_disp_{name}_d = {self._entries(default)}")
+        em.emit()
+
+    def _emit_candidates(self, em: _Emitter, which: str) -> None:
+        """Emit ``_hs = <candidates>`` for the current size branch."""
+        plan = self.plan
+        if plan.dispatch_pos < 0:
+            em.emit(f"_hs = _all_{which}")
+        else:
+            scrut = f"_in{plan.dispatch_pos}"
+            em.emit(
+                f"_hs = _disp_{which}.get({scrut}.ctor, _disp_{which}_d)"
+            )
 
     # .. checker ..................................................................
 
-    def _emit_checker_handler(self, em: _Emitter, name: str, handler: Handler) -> None:
-        ins = self._ins_params()
-        em.emit(f"def {name}(_size1, _top, {', '.join(ins) or '*_'}):")
+    def _emit_checker_handler(self, em: _Emitter, h: PlanHandler) -> None:
+        em.emit(f"def _h_{h.index}({self._handler_params()}):")
         em.indent += 1
-        names = _Names()
-        for i, pattern in enumerate(handler.in_patterns):
-            self.match_pattern(
-                em, f"_in{i}", pattern, names,
-                frozenset(free_vars(pattern)), "return SOME_FALSE",
-            )
         em.emit("_inc = False")
-        self._emit_checker_steps(em, handler.steps, 0, names, depth=0)
+        self._emit_checker_ops(em, h.ops, 0, depth=0)
         em.emit("return NONE_OB if _inc else SOME_FALSE")
         em.indent -= 1
 
-    def _emit_checker_steps(
-        self, em: _Emitter, steps, i: int, names: _Names, depth: int
-    ) -> None:
+    def _emit_checker_ops(self, em: _Emitter, ops: tuple, i: int, depth: int) -> None:
         fail = "return SOME_FALSE" if depth == 0 else "continue"
-        if i == len(steps):
-            em.emit("return SOME_TRUE")
-            return
-        step = steps[i]
-        if isinstance(step, SAssign):
-            em.emit(f"{names.var(step.var)} = {self.expr(step.term, names)}")
-            self._emit_checker_steps(em, steps, i + 1, names, depth)
-            return
-        if isinstance(step, SEqCheck):
-            op = "==" if step.negated else "!="
-            em.emit(
-                f"if {self.expr(step.lhs, names)} {op} "
-                f"{self.expr(step.rhs, names)}:"
-            )
-            em.indent += 1
-            em.emit(fail)
-            em.indent -= 1
-            self._emit_checker_steps(em, steps, i + 1, names, depth)
-            return
-        if isinstance(step, SMatch):
-            scrutinee = names.fresh("_m")
-            em.emit(f"{scrutinee} = {self.expr(step.scrutinee, names)}")
-            self.match_pattern(em, scrutinee, step.pattern, names, step.binds, fail)
-            self._emit_checker_steps(em, steps, i + 1, names, depth)
-            return
-        if isinstance(step, (SRecCheck, SCheckCall)):
-            r = names.fresh("_r")
-            args = ", ".join(self.expr(a, names) for a in step.args)
-            trailing = "," if len(step.args) == 1 else ""
-            if isinstance(step, SRecCheck):
-                em.emit(f"{r} = rec(_size1, _top, {args})")
-            else:
-                fn = self._bind_global(
-                    f"_chk_{step.rel}", self.checker_fn(step.rel)
+        n = len(ops)
+        while i < n:
+            op = ops[i]
+            tag = op[0]
+            if tag == OP_EVAL:
+                em.emit(f"{self.slot(op[1])} = {self.expr(op[2])}")
+            elif tag in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
+                self._emit_test(em, op, fail)
+            elif tag in (OP_CHECK, OP_RECCHECK):
+                r = f"_r{i}"
+                if tag == OP_RECCHECK:
+                    args = ", ".join(self.expr(e) for e in op[1])
+                    em.emit(f"{r} = rec(_size1, _top, {args})")
+                else:
+                    fn = self._bind_fn(
+                        f"_chk_{op[4]}", self.checker_fn(op[4])
+                    )
+                    em.emit(f"{r} = {fn}(_top, {self.args_tuple(op[2])})")
+                    if op[3]:
+                        em.emit(f"{r} = _negate({r})")
+                if depth == 0:
+                    # Straight-line `.&&`: None propagates as None.
+                    self._fail(em, f"{r} is NONE_OB", "return NONE_OB")
+                    self._fail(em, f"{r} is not SOME_TRUE", "return SOME_FALSE")
+                else:
+                    # Inside an enumeration loop: a None kills this
+                    # branch but taints the search (bindEC accounting).
+                    em.emit(f"if {r} is not SOME_TRUE:")
+                    em.indent += 1
+                    self._fail(em, f"{r} is NONE_OB", "_inc = True")
+                    em.emit(fail)
+                    em.indent -= 1
+            elif tag == OP_PRODUCE:
+                item = f"_it{i}"
+                assert not op[5]  # checker schedules: external only
+                fn = self._bind_fn(
+                    f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
                 )
-                em.emit(f"{r} = {fn}(_top, ({args}{trailing}))")
-                if step.negated:
-                    em.emit(f"{r} = _negate({r})")
-            if depth == 0:
-                # Straight-line `.&&`: None propagates as None.
-                em.emit(f"if {r} is NONE_OB:")
+                em.emit(f"for {item} in {fn}(_top, {self.args_tuple(op[3])}):")
                 em.indent += 1
-                em.emit("return NONE_OB")
-                em.indent -= 1
-                em.emit(f"if {r} is not SOME_TRUE:")
-                em.indent += 1
-                em.emit("return SOME_FALSE")
-                em.indent -= 1
-            else:
-                # Inside an enumeration loop: a None kills this branch
-                # but taints the search (bindEC's accounting).
-                em.emit(f"if {r} is not SOME_TRUE:")
-                em.indent += 1
-                em.emit(f"if {r} is NONE_OB:")
+                em.emit(f"if {item} is OUT_OF_FUEL or {item} is FAIL:")
                 em.indent += 1
                 em.emit("_inc = True")
+                em.emit("continue")
                 em.indent -= 1
+                for k, dst in enumerate(op[4]):
+                    em.emit(f"{self.slot(dst)} = {item}[{k}]")
+                self._emit_checker_ops(em, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            else:  # OP_INSTANTIATE
+                item = self.slot(op[1])
+                enum_fn = self._bind_global(
+                    "_arb", _make_arbitrary_enum(self.ctx, op[2])
+                )
+                em.emit(f"for {item} in {enum_fn}(_top):")
+                em.indent += 1
+                em.emit(f"if {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit("_inc = True")
+                em.emit("continue")
+                em.indent -= 1
+                self._emit_checker_ops(em, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            i += 1
+        em.emit("return SOME_TRUE")
+
+    # .. enumerator ..............................................................
+
+    def _emit_enum_handler(self, em: _Emitter, h: PlanHandler) -> None:
+        em.emit(f"def _h_{h.index}({self._handler_params()}):")
+        em.indent += 1
+        self._emit_enum_ops(em, h, h.ops, 0, depth=0)
+        em.indent -= 1
+
+    def _emit_enum_ops(
+        self, em: _Emitter, h: PlanHandler, ops: tuple, i: int, depth: int
+    ) -> None:
+        fail = "return" if depth == 0 else "continue"
+        n = len(ops)
+        while i < n:
+            op = ops[i]
+            tag = op[0]
+            if tag == OP_EVAL:
+                em.emit(f"{self.slot(op[1])} = {self.expr(op[2])}")
+            elif tag in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
+                self._emit_test(em, op, fail)
+            elif tag == OP_CHECK:
+                r = f"_r{i}"
+                fn = self._bind_fn(f"_chk_{op[4]}", self.checker_fn(op[4]))
+                em.emit(f"{r} = {fn}(_top, {self.args_tuple(op[2])})")
+                if op[3]:
+                    em.emit(f"{r} = _negate({r})")
+                em.emit(f"if {r} is not SOME_TRUE:")
+                em.indent += 1
+                self._fail(em, f"{r} is NONE_OB", "yield OUT_OF_FUEL")
                 em.emit(fail)
                 em.indent -= 1
-            self._emit_checker_steps(em, steps, i + 1, names, depth)
-            return
-        if isinstance(step, SProduce):
-            item = names.fresh("_it")
-            ins = ", ".join(self.expr(a, names) for a in step.in_args)
-            trailing = "," if len(step.in_args) == 1 else ""
-            assert not step.recursive  # checker schedules: external only
-            fn = self._bind_global(
-                f"_enum_{step.rel}", self.producer_fn(step.rel, step.mode)
-            )
-            em.emit(f"for {item} in {fn}(_top, ({ins}{trailing})):")
-            em.indent += 1
-            em.emit(f"if {item} is OUT_OF_FUEL:")
-            em.indent += 1
-            em.emit("_inc = True")
-            em.emit("continue")
-            em.indent -= 1
-            for pos, bind in enumerate(step.binds):
-                em.emit(f"{names.var(bind)} = {item}[{pos}]")
-            self._emit_checker_steps(em, steps, i + 1, names, depth + 1)
-            em.indent -= 1
-            return
-        if isinstance(step, SInstantiate):
-            item = names.var(step.var)
-            enum_fn = self._bind_global(
-                "_arb", _make_arbitrary_enum(self.ctx, step.ty)
-            )
-            em.emit(f"for {item} in {enum_fn}(_top):")
-            em.indent += 1
-            em.emit(f"if {item} is OUT_OF_FUEL:")
-            em.indent += 1
-            em.emit("_inc = True")
-            em.emit("continue")
-            em.indent -= 1
-            self._emit_checker_steps(em, steps, i + 1, names, depth + 1)
-            em.indent -= 1
-            return
-        raise AssertionError(f"unknown step {step!r}")
+            elif tag == OP_RECCHECK:
+                raise AssertionError(
+                    "producer schedules never contain recursive checker calls"
+                )
+            elif tag == OP_PRODUCE:
+                item = f"_it{i}"
+                ins = ", ".join(self.expr(e) for e in op[3])
+                if op[5]:  # recursive self-call, one level down
+                    source = f"rec(_size1, _top, {ins})"
+                else:
+                    fn = self._bind_fn(
+                        f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
+                    )
+                    source = f"{fn}(_top, {self.args_tuple(op[3])})"
+                em.emit(f"for {item} in {source}:")
+                em.indent += 1
+                em.emit(f"if {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit("yield OUT_OF_FUEL")
+                em.emit("continue")
+                em.indent -= 1
+                for k, dst in enumerate(op[4]):
+                    em.emit(f"{self.slot(dst)} = {item}[{k}]")
+                self._emit_enum_ops(em, h, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            else:  # OP_INSTANTIATE
+                item = self.slot(op[1])
+                enum_fn = self._bind_global(
+                    "_arb", _make_arbitrary_enum(self.ctx, op[2])
+                )
+                em.emit(f"for {item} in {enum_fn}(_top):")
+                em.indent += 1
+                em.emit(f"if {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit("yield OUT_OF_FUEL")
+                em.emit("continue")
+                em.indent -= 1
+                self._emit_enum_ops(em, h, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            i += 1
+        outs = ", ".join(self.expr(e) for e in h.out_exprs)
+        trailing = "," if len(h.out_exprs) == 1 else ""
+        em.emit(f"yield ({outs}{trailing})")
 
-    def _emit_top(self, em: _Emitter, handler_names: list[str]) -> None:
+    # .. generator ...............................................................
+
+    def _emit_gen_handler(self, em: _Emitter, h: PlanHandler) -> None:
+        em.emit(f"def _h_{h.index}({self._handler_params()}):")
+        em.indent += 1
+        for i, op in enumerate(h.ops):
+            tag = op[0]
+            if tag == OP_EVAL:
+                em.emit(f"{self.slot(op[1])} = {self.expr(op[2])}")
+            elif tag in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
+                self._emit_test(em, op, "return FAIL")
+            elif tag == OP_CHECK:
+                r = f"_r{i}"
+                fn = self._bind_fn(f"_chk_{op[4]}", self.checker_fn(op[4]))
+                em.emit(f"{r} = {fn}(_top, {self.args_tuple(op[2])})")
+                if op[3]:
+                    em.emit(f"{r} = _negate({r})")
+                em.emit(f"if {r} is not SOME_TRUE:")
+                em.indent += 1
+                em.emit(f"return OUT_OF_FUEL if {r} is NONE_OB else FAIL")
+                em.indent -= 1
+            elif tag == OP_RECCHECK:
+                raise AssertionError(
+                    "producer schedules never contain recursive checker calls"
+                )
+            elif tag == OP_PRODUCE:
+                item = f"_it{i}"
+                if op[5]:  # recursive self-call, one level down
+                    em.emit(
+                        f"{item} = rec(_size1, _top, "
+                        f"{self.args_tuple(op[3])}, _rng)"
+                    )
+                else:
+                    fn = self._bind_fn(
+                        f"_gen_{op[6]}", self.producer_fn(op[6], op[7])
+                    )
+                    em.emit(
+                        f"{item} = {fn}(_top, {self.args_tuple(op[3])}, _rng)"
+                    )
+                em.emit(f"if {item} is FAIL or {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit(f"return {item}")
+                em.indent -= 1
+                for k, dst in enumerate(op[4]):
+                    em.emit(f"{self.slot(dst)} = {item}[{k}]")
+            else:  # OP_INSTANTIATE
+                gen_fn = self._bind_global(
+                    "_arbg", _make_arbitrary_gen(self.ctx, op[2])
+                )
+                item = self.slot(op[1])
+                em.emit(f"{item} = {gen_fn}(_top, _rng)")
+                em.emit(f"if {item} is FAIL or {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit(f"return {item}")
+                em.indent -= 1
+        outs = ", ".join(self.expr(e) for e in h.out_exprs)
+        trailing = "," if len(h.out_exprs) == 1 else ""
+        em.emit(f"return ({outs}{trailing})")
+        em.indent -= 1
+
+    # .. the fixpoint .............................................................
+
+    def _emit_top(self, em: _Emitter) -> None:
+        plan = self.plan
         ins = self._ins_params()
         params = ", ".join(ins)
-        recursive = [
-            n
-            for n, h in zip(handler_names, self.schedule.handlers)
-            if h.recursive
-        ]
-        base = [
-            n
-            for n, h in zip(handler_names, self.schedule.handlers)
-            if not h.recursive
-        ]
         if self.kind == "checker":
             em.emit(f"def rec(_size, _top, {params or '*_'}):")
             em.indent += 1
-            em.emit("_none = False")
+            em.emit("_tr = _caches.get('derive_trace')")
             em.emit("if _size == 0:")
             em.indent += 1
-            for n in base:
-                r = f"_r{n[3:]}"
-                em.emit(f"{r} = {n}(None, _top{', ' if params else ''}{params})")
-                em.emit(f"if {r} is SOME_TRUE: return SOME_TRUE")
-                em.emit(f"if {r} is NONE_OB: _none = True")
-            if recursive:
-                em.emit("_none = True")
-            em.emit("return NONE_OB if _none else SOME_FALSE")
+            self._emit_candidates(em, "base")
+            em.emit("_sz1 = None")
+            em.emit(f"_none = {plan.has_recursive!r}")
             em.indent -= 1
-            em.emit("_size1 = _size - 1")
-            for n in handler_names:
-                r = f"_r{n[3:]}"
-                em.emit(f"{r} = {n}(_size1, _top{', ' if params else ''}{params})")
-                em.emit(f"if {r} is SOME_TRUE: return SOME_TRUE")
-                em.emit(f"if {r} is NONE_OB: _none = True")
+            em.emit("else:")
+            em.indent += 1
+            self._emit_candidates(em, "full")
+            em.emit("_sz1 = _size - 1")
+            em.emit("_none = False")
+            em.indent -= 1
+            em.emit("for _h in _hs:")
+            em.indent += 1
+            em.emit(f"_r = {self._call_handler('_h[0]')}")
+            em.emit("if _tr is not None:")
+            em.indent += 1
+            em.emit(
+                "_tr.record('checker', _h[2], _r is SOME_TRUE, _r is NONE_OB)"
+            )
+            em.indent -= 1
+            em.emit("if _r is SOME_TRUE: return SOME_TRUE")
+            em.emit("if _r is NONE_OB: _none = True")
+            em.indent -= 1
             em.emit("return NONE_OB if _none else SOME_FALSE")
             em.indent -= 1
         elif self.kind == "enum":
             em.emit(f"def rec(_size, _top, {params or '*_'}):")
             em.indent += 1
+            em.emit("_tr = _caches.get('derive_trace')")
             em.emit("_fuel = False")
             em.emit("if _size == 0:")
             em.indent += 1
-            for n in base:
-                em.emit(f"for _x in {n}(None, _top{', ' if params else ''}{params}):")
-                em.indent += 1
-                em.emit("if _x is OUT_OF_FUEL: _fuel = True")
-                em.emit("else: yield _x")
-                em.indent -= 1
-            if recursive:
-                em.emit("_fuel = True")
-            em.emit("if _fuel: yield OUT_OF_FUEL")
-            em.emit("return")
+            self._emit_candidates(em, "base")
+            em.emit("_sz1 = None")
             em.indent -= 1
-            em.emit("_size1 = _size - 1")
-            for n in handler_names:
-                em.emit(f"for _x in {n}(_size1, _top{', ' if params else ''}{params}):")
-                em.indent += 1
-                em.emit("if _x is OUT_OF_FUEL: _fuel = True")
-                em.emit("else: yield _x")
-                em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            self._emit_candidates(em, "full")
+            em.emit("_sz1 = _size - 1")
+            em.indent -= 1
+            em.emit("if _tr is None:")
+            em.indent += 1
+            em.emit("for _h in _hs:")
+            em.indent += 1
+            em.emit(f"for _x in {self._call_handler('_h[0]')}:")
+            em.indent += 1
+            em.emit("if _x is OUT_OF_FUEL: _fuel = True")
+            em.emit("else: yield _x")
+            em.indent -= 3
+            em.emit("else:")
+            em.indent += 1
+            em.emit("for _h in _hs:")
+            em.indent += 1
+            em.emit("_sv = _sf = False")
+            em.emit(f"for _x in {self._call_handler('_h[0]')}:")
+            em.indent += 1
+            em.emit("if _x is OUT_OF_FUEL: _fuel = _sf = True")
+            em.emit("else:")
+            em.indent += 1
+            em.emit("_sv = True")
+            em.emit("yield _x")
+            em.indent -= 2
+            em.emit("_tr.record('enum', _h[2], _sv, _sf)")
+            em.indent -= 2
+            if plan.has_recursive:
+                em.emit("if _size == 0: _fuel = True")
             em.emit("if _fuel: yield OUT_OF_FUEL")
             em.indent -= 1
         else:  # gen
@@ -413,23 +564,23 @@ class _Compiler:
             if params:
                 comma = "," if len(ins) == 1 else ""
                 em.emit(f"{params}{comma} = _ins")
+            em.emit("_tr = _caches.get('derive_trace')")
             em.emit("if _size == 0:")
             em.indent += 1
-            em.emit(f"_live = [[h, 2, 1] for h in ({', '.join(base)},)]"
-                    if base else "_live = []")
-            em.emit("_size1 = None")
-            em.emit(f"_fuel = {bool(recursive)}")
+            self._emit_candidates(em, "base")
+            em.emit("_sz1 = None")
+            em.emit(f"_fuel = {plan.has_recursive!r}")
             em.indent -= 1
             em.emit("else:")
             em.indent += 1
-            entries = ", ".join(
-                f"[{n}, 2, {'_size' if h.recursive else 1}]"
-                for n, h in zip(handler_names, self.schedule.handlers)
-            )
-            em.emit(f"_live = [{entries}]")
-            em.emit("_size1 = _size - 1")
+            self._emit_candidates(em, "full")
+            em.emit("_sz1 = _size - 1")
             em.emit("_fuel = False")
             em.indent -= 1
+            em.emit(
+                "_live = [[_h, 2, ((_size if _h[1] else 1) or 1)]"
+                " for _h in _hs]"
+            )
             em.emit("while _live:")
             em.indent += 1
             em.emit("_total = 0")
@@ -440,18 +591,24 @@ class _Compiler:
             em.emit("if _pick < _e[2]: break")
             em.emit("_pick -= _e[2]")
             em.indent -= 1
+            em.emit("_h = _e[0]")
             args = f", {params}" if params else ""
-            em.emit(f"_res = _e[0](_size1, _top, _rng{args})")
+            em.emit(f"_res = _h[0](_sz1, _top, _rng{args})")
             em.emit("if _res is FAIL:")
             em.indent += 1
-            em.emit("pass")
+            em.emit("if _tr is not None:"
+                    " _tr.record('gen', _h[2], False, False)")
             em.indent -= 1
             em.emit("elif _res is OUT_OF_FUEL:")
             em.indent += 1
             em.emit("_fuel = True")
+            em.emit("if _tr is not None:"
+                    " _tr.record('gen', _h[2], False, True)")
             em.indent -= 1
             em.emit("else:")
             em.indent += 1
+            em.emit("if _tr is not None:"
+                    " _tr.record('gen', _h[2], True, False)")
             em.emit("return _res")
             em.indent -= 1
             em.emit("_e[1] -= 1")
@@ -459,190 +616,6 @@ class _Compiler:
             em.indent -= 1
             em.emit("return OUT_OF_FUEL if _fuel else FAIL")
             em.indent -= 1
-
-    # .. enumerator ..............................................................
-
-    def _emit_enum_handler(self, em: _Emitter, name: str, handler: Handler) -> None:
-        ins = self._ins_params()
-        em.emit(f"def {name}(_size1, _top, {', '.join(ins) or '*_'}):")
-        em.indent += 1
-        names = _Names()
-        for i, pattern in enumerate(handler.in_patterns):
-            self.match_pattern(
-                em, f"_in{i}", pattern, names,
-                frozenset(free_vars(pattern)), "return",
-            )
-        self._emit_enum_steps(em, handler, 0, names, depth=0)
-        em.indent -= 1
-
-    def _emit_enum_steps(
-        self, em: _Emitter, handler: Handler, i: int, names: _Names, depth: int
-    ) -> None:
-        fail = "return" if depth == 0 else "continue"
-        steps = handler.steps
-        if i == len(steps):
-            outs = ", ".join(self.expr(t, names) for t in handler.out_terms)
-            trailing = "," if len(handler.out_terms) == 1 else ""
-            em.emit(f"yield ({outs}{trailing})")
-            return
-        step = steps[i]
-        if isinstance(step, SAssign):
-            em.emit(f"{names.var(step.var)} = {self.expr(step.term, names)}")
-            self._emit_enum_steps(em, handler, i + 1, names, depth)
-            return
-        if isinstance(step, SEqCheck):
-            op = "==" if step.negated else "!="
-            em.emit(
-                f"if {self.expr(step.lhs, names)} {op} "
-                f"{self.expr(step.rhs, names)}:"
-            )
-            em.indent += 1
-            em.emit(fail)
-            em.indent -= 1
-            self._emit_enum_steps(em, handler, i + 1, names, depth)
-            return
-        if isinstance(step, SMatch):
-            scrutinee = names.fresh("_m")
-            em.emit(f"{scrutinee} = {self.expr(step.scrutinee, names)}")
-            self.match_pattern(em, scrutinee, step.pattern, names, step.binds, fail)
-            self._emit_enum_steps(em, handler, i + 1, names, depth)
-            return
-        if isinstance(step, SCheckCall):
-            r = names.fresh("_r")
-            args = ", ".join(self.expr(a, names) for a in step.args)
-            trailing = "," if len(step.args) == 1 else ""
-            fn = self._bind_global(f"_chk_{step.rel}", self.checker_fn(step.rel))
-            em.emit(f"{r} = {fn}(_top, ({args}{trailing}))")
-            if step.negated:
-                em.emit(f"{r} = _negate({r})")
-            em.emit(f"if {r} is not SOME_TRUE:")
-            em.indent += 1
-            em.emit(f"if {r} is NONE_OB:")
-            em.indent += 1
-            em.emit("yield OUT_OF_FUEL")
-            em.indent -= 1
-            em.emit(fail)
-            em.indent -= 1
-            self._emit_enum_steps(em, handler, i + 1, names, depth)
-            return
-        if isinstance(step, SProduce):
-            item = names.fresh("_it")
-            ins = ", ".join(self.expr(a, names) for a in step.in_args)
-            trailing = "," if len(step.in_args) == 1 else ""
-            if step.recursive:
-                source = f"rec(_size1, _top, {ins})"
-            else:
-                fn = self._bind_global(
-                    f"_enum_{step.rel}", self.producer_fn(step.rel, step.mode)
-                )
-                source = f"{fn}(_top, ({ins}{trailing}))"
-            em.emit(f"for {item} in {source}:")
-            em.indent += 1
-            em.emit(f"if {item} is OUT_OF_FUEL:")
-            em.indent += 1
-            em.emit("yield OUT_OF_FUEL")
-            em.emit("continue")
-            em.indent -= 1
-            for pos, bind in enumerate(step.binds):
-                em.emit(f"{names.var(bind)} = {item}[{pos}]")
-            self._emit_enum_steps(em, handler, i + 1, names, depth + 1)
-            em.indent -= 1
-            return
-        if isinstance(step, SInstantiate):
-            item = names.var(step.var)
-            enum_fn = self._bind_global(
-                "_arb", _make_arbitrary_enum(self.ctx, step.ty)
-            )
-            em.emit(f"for {item} in {enum_fn}(_top):")
-            em.indent += 1
-            em.emit(f"if {item} is OUT_OF_FUEL:")
-            em.indent += 1
-            em.emit("yield OUT_OF_FUEL")
-            em.emit("continue")
-            em.indent -= 1
-            self._emit_enum_steps(em, handler, i + 1, names, depth + 1)
-            em.indent -= 1
-            return
-        raise AssertionError(f"unknown step {step!r}")
-
-    # .. generator ...............................................................
-
-    def _emit_gen_handler(self, em: _Emitter, name: str, handler: Handler) -> None:
-        ins = self._ins_params()
-        extra = f", {', '.join(ins)}" if ins else ""
-        em.emit(f"def {name}(_size1, _top, _rng{extra}):")
-        em.indent += 1
-        names = _Names()
-        for i, pattern in enumerate(handler.in_patterns):
-            self.match_pattern(
-                em, f"_in{i}", pattern, names,
-                frozenset(free_vars(pattern)), "return FAIL",
-            )
-        for step in handler.steps:
-            if isinstance(step, SAssign):
-                em.emit(f"{names.var(step.var)} = {self.expr(step.term, names)}")
-            elif isinstance(step, SEqCheck):
-                op = "==" if step.negated else "!="
-                em.emit(
-                    f"if {self.expr(step.lhs, names)} {op} "
-                    f"{self.expr(step.rhs, names)}:"
-                )
-                em.indent += 1
-                em.emit("return FAIL")
-                em.indent -= 1
-            elif isinstance(step, SMatch):
-                scrutinee = names.fresh("_m")
-                em.emit(f"{scrutinee} = {self.expr(step.scrutinee, names)}")
-                self.match_pattern(
-                    em, scrutinee, step.pattern, names, step.binds, "return FAIL"
-                )
-            elif isinstance(step, SCheckCall):
-                r = names.fresh("_r")
-                args = ", ".join(self.expr(a, names) for a in step.args)
-                trailing = "," if len(step.args) == 1 else ""
-                fn = self._bind_global(f"_chk_{step.rel}", self.checker_fn(step.rel))
-                em.emit(f"{r} = {fn}(_top, ({args}{trailing}))")
-                if step.negated:
-                    em.emit(f"{r} = _negate({r})")
-                em.emit(f"if {r} is not SOME_TRUE:")
-                em.indent += 1
-                em.emit(f"return OUT_OF_FUEL if {r} is NONE_OB else FAIL")
-                em.indent -= 1
-            elif isinstance(step, SProduce):
-                item = names.fresh("_it")
-                ins_expr = ", ".join(self.expr(a, names) for a in step.in_args)
-                trailing = "," if len(step.in_args) == 1 else ""
-                if step.recursive:
-                    em.emit(
-                        f"{item} = rec(_size1, _top, ({ins_expr}{trailing}), _rng)"
-                    )
-                else:
-                    fn = self._bind_global(
-                        f"_gen_{step.rel}", self.producer_fn(step.rel, step.mode)
-                    )
-                    em.emit(f"{item} = {fn}(_top, ({ins_expr}{trailing}), _rng)")
-                em.emit(f"if {item} is FAIL or {item} is OUT_OF_FUEL:")
-                em.indent += 1
-                em.emit(f"return {item}")
-                em.indent -= 1
-                for pos, bind in enumerate(step.binds):
-                    em.emit(f"{names.var(bind)} = {item}[{pos}]")
-            elif isinstance(step, SInstantiate):
-                gen_fn = self._bind_global(
-                    "_arbg", _make_arbitrary_gen(self.ctx, step.ty)
-                )
-                item = names.var(step.var)
-                em.emit(f"{item} = {gen_fn}(_top, _rng)")
-                em.emit(f"if {item} is FAIL or {item} is OUT_OF_FUEL:")
-                em.indent += 1
-                em.emit(f"return {item}")
-                em.indent -= 1
-            else:
-                raise AssertionError(f"unknown step {step!r}")
-        outs = ", ".join(self.expr(t, names) for t in handler.out_terms)
-        trailing = "," if len(handler.out_terms) == 1 else ""
-        em.emit(f"return ({outs}{trailing})")
-        em.indent -= 1
 
 
 def _make_arbitrary_enum(ctx: Context, ty: TypeExpr):
@@ -670,7 +643,8 @@ def _make_arbitrary_gen(ctx: Context, ty: TypeExpr):
 def compile_checker(ctx: Context, schedule: Schedule):
     """Compile a checker schedule to ``fn(fuel, args) -> OptionBool``
     (the internal instance convention)."""
-    rec = _Compiler(ctx, schedule, "checker").compile()
+    plan = lower_schedule(ctx, schedule)
+    rec = _PlanCompiler(ctx, plan, "checker").compile()
 
     def check(fuel: int, args: tuple) -> Any:
         return rec(fuel, fuel, *args)
@@ -682,7 +656,8 @@ def compile_checker(ctx: Context, schedule: Schedule):
 
 def compile_enumerator(ctx: Context, schedule: Schedule):
     """Compile an enum schedule to ``fn(fuel, ins) -> iterator``."""
-    rec = _Compiler(ctx, schedule, "enum").compile()
+    plan = lower_schedule(ctx, schedule)
+    rec = _PlanCompiler(ctx, plan, "enum").compile()
 
     def enum_st(fuel: int, ins: tuple):
         return rec(fuel, fuel, *ins)
@@ -694,7 +669,8 @@ def compile_enumerator(ctx: Context, schedule: Schedule):
 
 def compile_generator(ctx: Context, schedule: Schedule):
     """Compile a gen schedule to ``fn(fuel, ins, rng) -> tuple|marker``."""
-    rec = _Compiler(ctx, schedule, "gen").compile()
+    plan = lower_schedule(ctx, schedule)
+    rec = _PlanCompiler(ctx, plan, "gen").compile()
 
     def gen_st(fuel: int, ins: tuple, rng):
         return rec(fuel, fuel, ins, rng)

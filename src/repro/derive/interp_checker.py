@@ -1,48 +1,30 @@
-"""Checker backend: interpret a schedule as a semi-decision procedure.
+"""Checker backend: the ``option bool`` instantiation of a derived
+program (the paper's Figure 1).
 
-This is the ``option bool`` instantiation of the derived program — the
-code of the paper's Figure 1, executed over the schedule IR:
+This module is the *public surface* only — :class:`DerivedChecker`
+lowers its schedule to a :class:`~repro.derive.plan.Plan` once and
+delegates every call to the shared executor
+(:func:`repro.derive.exec_core.run_checker`); the step semantics live
+there, shared with the enumerator/generator backends and mirrored by
+the compiled backend, so the four cannot drift.
 
-* the top level is a fixpoint over ``size`` with a separate
-  ``top_size`` threaded to external calls;
-* at ``size = 0`` only base-constructor handlers run, plus a ``None``
-  option when recursive handlers were skipped;
-* handlers are combined with the ``backtracking`` combinator;
-* premise steps chain through ``.&&`` (:func:`and_then`), existential
-  premises run ``bindEC`` over a (derived) enumerator.
+Semantics (unchanged from the paper): the top level is a fixpoint over
+``size`` with a separate ``top_size`` threaded to external calls; at
+``size = 0`` only base-constructor handlers run, plus a ``None``
+option when recursive handlers were skipped; handlers combine with
+backtracking, premise chains with ``.&&``, existential premises with
+``bindEC`` over a (derived) enumerator.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
-
 from ..core.context import Context
 from ..core.values import Value
-from ..producers.combinators import _enum_values, bind_EC, slice_exhaustive
-from ..producers.option_bool import (
-    NONE_OB,
-    SOME_FALSE,
-    SOME_TRUE,
-    OptionBool,
-    and_then,
-    backtracking,
-    from_bool,
-    negate,
-)
-from ..producers.outcome import OUT_OF_FUEL
+from ..producers.option_bool import OptionBool
+from .exec_core import run_checker
 from .memo import checker_memo_call, decide_fuel_doubling
-from .runtime import eval_args, eval_term, match_inputs, match_known
-from .schedule import (
-    Handler,
-    SAssign,
-    SCheckCall,
-    SEqCheck,
-    SInstantiate,
-    SMatch,
-    SProduce,
-    SRecCheck,
-    Schedule,
-)
+from .plan import Plan, lower_schedule
+from .schedule import Schedule
 
 
 class DerivedChecker:
@@ -67,6 +49,15 @@ class DerivedChecker:
         self.group: dict[str, Schedule] = {schedule.rel: schedule}
         if group:
             self.group.update(group)
+        self._plans: dict[str, Plan] = {
+            rel: lower_schedule(ctx, sched) for rel, sched in self.group.items()
+        }
+        self._plan = self._plans[schedule.rel]
+
+    @property
+    def plan(self) -> Plan:
+        """The lowered program this checker executes."""
+        return self._plan
 
     def __call__(self, fuel: int, *args: Value) -> OptionBool:
         return self.check(fuel, tuple(args))
@@ -85,9 +76,11 @@ class DerivedChecker:
                 self.schedule.rel,
                 args,
                 fuel,
-                lambda: self.rec(fuel, fuel, args),
+                lambda: run_checker(
+                    self.ctx, self._plans, self._plan, fuel, fuel, args
+                ),
             )
-        return self.rec(fuel, fuel, args)
+        return run_checker(self.ctx, self._plans, self._plan, fuel, fuel, args)
 
     def decide(
         self, args: tuple[Value, ...], max_fuel: int = 64, start_fuel: int = 2
@@ -103,8 +96,6 @@ class DerivedChecker:
             self.ctx, self.schedule.rel, self.check, args, max_fuel, start_fuel
         )
 
-    # -- the derived fixpoint ---------------------------------------------------
-
     def rec(
         self,
         size: int,
@@ -112,173 +103,10 @@ class DerivedChecker:
         args: tuple[Value, ...],
         rel: str | None = None,
     ) -> OptionBool:
-        schedule = self.group[rel] if rel is not None else self.schedule
-        if size == 0:
-            options = [
-                self._handler_thunk(h, None, top_size, args)
-                for h in schedule.base_handlers
-            ]
-            if schedule.has_recursive_handlers:
-                options.append(lambda: NONE_OB)
-            return backtracking(options)
-        options = [
-            self._handler_thunk(h, size - 1, top_size, args)
-            for h in schedule.handlers
-        ]
-        return backtracking(options)
-
-    def _handler_thunk(
-        self,
-        handler: Handler,
-        rec_size: int | None,
-        top_size: int,
-        args: tuple[Value, ...],
-    ):
-        return lambda: self._run_handler(handler, rec_size, top_size, args)
-
-    def _run_handler(
-        self,
-        handler: Handler,
-        rec_size: int | None,
-        top_size: int,
-        args: tuple[Value, ...],
-    ) -> OptionBool:
-        stats = self.ctx.caches.get("derive_stats")
-        if stats is not None:
-            stats.handler_attempts += 1
-        env = match_inputs(handler.in_patterns, args, self.ctx)
-        if env is None:
-            if stats is not None:
-                stats.backtracks += 1
-            return SOME_FALSE
-        result = self._run_steps(handler.steps, 0, env, rec_size, top_size)
-        if stats is not None and not result.is_true:
-            stats.backtracks += 1
-        return result
-
-    def _run_steps(
-        self,
-        steps: tuple,
-        i: int,
-        env: dict[str, Value],
-        rec_size: int | None,
-        top_size: int,
-    ) -> OptionBool:
-        ctx = self.ctx
-        while i < len(steps):
-            step = steps[i]
-            if isinstance(step, SAssign):
-                env[step.var] = eval_term(step.term, env, ctx)
-                i += 1
-                continue
-            if isinstance(step, SEqCheck):
-                equal = eval_term(step.lhs, env, ctx) == eval_term(
-                    step.rhs, env, ctx
-                )
-                if equal == step.negated:
-                    return SOME_FALSE
-                i += 1
-                continue
-            if isinstance(step, SMatch):
-                value = eval_term(step.scrutinee, env, ctx)
-                if not match_known(step.pattern, value, env, step.binds, ctx):
-                    return SOME_FALSE
-                i += 1
-                continue
-            if isinstance(step, SRecCheck):
-                assert rec_size is not None, "recursive handler ran at size 0"
-                result = self.rec(
-                    rec_size, top_size, eval_args(step.args, env, ctx), step.rel
-                )
-                return and_then(
-                    result,
-                    lambda: self._run_steps(steps, i + 1, env, rec_size, top_size),
-                )
-            if isinstance(step, SCheckCall):
-                result = self._external_check(step, env, top_size)
-                return and_then(
-                    result,
-                    lambda: self._run_steps(steps, i + 1, env, rec_size, top_size),
-                )
-            if isinstance(step, SProduce):
-                items = self._producer_items(step, env, rec_size, top_size)
-                return bind_EC(
-                    items,
-                    lambda outs: self._with_outs(
-                        steps, i, env, step, outs, rec_size, top_size
-                    ),
-                )
-            if isinstance(step, SInstantiate):
-                items = self._arbitrary_items(step, top_size)
-                return bind_EC(
-                    items,
-                    lambda value: self._with_var(
-                        steps, i, env, step.var, value, rec_size, top_size
-                    ),
-                )
-            raise AssertionError(f"unknown step {step!r}")
-        return SOME_TRUE
-
-    # -- step helpers ----------------------------------------------------------------
-
-    def _external_check(
-        self, step: SCheckCall, env: dict[str, Value], top_size: int
-    ) -> OptionBool:
-        from .instances import resolve_checker
-
-        instance = resolve_checker(self.ctx, step.rel)
-        result = instance.fn(top_size, eval_args(step.args, env, self.ctx))
-        return negate(result) if step.negated else result
-
-    def _producer_items(
-        self,
-        step: SProduce,
-        env: dict[str, Value],
-        rec_size: int | None,
-        top_size: int,
-    ) -> Iterator[Any]:
-        from .instances import ENUM, resolve
-
-        ins = eval_args(step.in_args, env, self.ctx)
-        # Checker schedules never emit recursive SProduce (a recursive
-        # call would need the checker's own mode, which has no outputs).
-        assert not step.recursive
-        instance = resolve(self.ctx, ENUM, step.rel, step.mode)
-        return instance.fn(top_size, ins)
-
-    def _arbitrary_items(self, step: SInstantiate, top_size: int) -> Iterator[Any]:
-        yield from _enum_values(self.ctx, step.ty, top_size)
-        if not slice_exhaustive(self.ctx, step.ty, top_size):
-            yield OUT_OF_FUEL
-
-    def _with_outs(
-        self,
-        steps: tuple,
-        i: int,
-        env: dict[str, Value],
-        step: SProduce,
-        outs: tuple[Value, ...],
-        rec_size: int | None,
-        top_size: int,
-    ) -> OptionBool:
-        child = dict(env)
-        for name, value in zip(step.binds, outs):
-            child[name] = value
-        return self._run_steps(steps, i + 1, child, rec_size, top_size)
-
-    def _with_var(
-        self,
-        steps: tuple,
-        i: int,
-        env: dict[str, Value],
-        var: str,
-        value: Value,
-        rec_size: int | None,
-        top_size: int,
-    ) -> OptionBool:
-        child = dict(env)
-        child[var] = value
-        return self._run_steps(steps, i + 1, child, rec_size, top_size)
+        """One level of the derived fixpoint (*rel* selects a group
+        sibling in mutual-recursion groups)."""
+        plan = self._plans[rel] if rel is not None else self._plan
+        return run_checker(self.ctx, self._plans, plan, size, top_size, args)
 
 
 class HandwrittenChecker:

@@ -1,8 +1,10 @@
-"""Enumerator backend: interpret a schedule as a constrained enumerator.
+"""Enumerator backend: the ``E (option A)`` instantiation of a derived
+program (the paper's Figure 2).
 
-This is the ``E (option A)`` instantiation (the paper's Figure 2): the
-same fixpoint structure as the checker, but handlers *yield* output
-tuples instead of answering ``Some true``, and the combinators swap:
+Public surface only — :class:`DerivedEnumerator` lowers its schedule
+to a :class:`~repro.derive.plan.Plan` once and delegates to the shared
+executor (:func:`repro.derive.exec_core.run_enum`).  Compared to the
+checker instantiation the combinators swap:
 
 * ``backtracking``  →  ``enumerating`` (concatenation of handler
   results, with an ``OUT_OF_FUEL`` element at size 0 when recursive
@@ -25,21 +27,10 @@ from typing import Any, Iterator
 
 from ..core.context import Context
 from ..core.values import Value
-from ..producers.combinators import _enum_values, slice_exhaustive
-from ..producers.option_bool import OptionBool, negate
 from ..producers.outcome import OUT_OF_FUEL
-from .runtime import eval_args, eval_term, match_inputs, match_known
-from .schedule import (
-    Handler,
-    SAssign,
-    SCheckCall,
-    SEqCheck,
-    SInstantiate,
-    SMatch,
-    SProduce,
-    SRecCheck,
-    Schedule,
-)
+from .exec_core import run_enum
+from .plan import Plan, lower_schedule
+from .schedule import Schedule
 
 
 class DerivedEnumerator:
@@ -54,162 +45,41 @@ class DerivedEnumerator:
             raise ValueError("DerivedEnumerator needs a producer-mode schedule")
         self.ctx = ctx
         self.schedule = schedule
+        self._plan = lower_schedule(ctx, schedule)
+
+    @property
+    def plan(self) -> Plan:
+        """The lowered program this enumerator executes."""
+        return self._plan
 
     def __call__(self, fuel: int, *ins: Value) -> Iterator[Any]:
-        return self.rec(fuel, fuel, tuple(ins))
+        return run_enum(self.ctx, self._plan, fuel, fuel, tuple(ins))
 
     def enum_st(self, fuel: int, ins: tuple[Value, ...]) -> Iterator[Any]:
         """Internal calling convention (used by instance resolution)."""
-        return self.rec(fuel, fuel, ins)
-
-    def values(self, fuel: int, *ins: Value) -> list[tuple[Value, ...]]:
-        """All output tuples at *fuel* (markers dropped)."""
-        return [x for x in self.rec(fuel, fuel, tuple(ins)) if x is not OUT_OF_FUEL]
-
-    def exhaustive_at(self, fuel: int, *ins: Value) -> bool:
-        """True when the enumeration at *fuel* carries no fuel marker —
-        i.e. it provably contains *every* solution."""
-        return all(x is not OUT_OF_FUEL for x in self.rec(fuel, fuel, tuple(ins)))
-
-    # -- the derived fixpoint ------------------------------------------------------
+        return run_enum(self.ctx, self._plan, fuel, fuel, ins)
 
     def rec(
         self, size: int, top_size: int, ins: tuple[Value, ...]
     ) -> Iterator[Any]:
-        # Collapse fuel markers: values stream through unchanged, and a
-        # single trailing OUT_OF_FUEL summarizes any number of inner
-        # markers (they carry no information beyond their existence).
-        saw_fuel = False
-        for item in self._rec_raw(size, top_size, ins):
-            if item is OUT_OF_FUEL:
-                saw_fuel = True
-            else:
-                yield item
-        if saw_fuel:
-            yield OUT_OF_FUEL
+        """One level of the derived fixpoint."""
+        return run_enum(self.ctx, self._plan, size, top_size, ins)
 
-    def _rec_raw(
-        self, size: int, top_size: int, ins: tuple[Value, ...]
-    ) -> Iterator[Any]:
-        if size == 0:
-            for handler in self.schedule.base_handlers:
-                yield from self._run_handler(handler, None, top_size, ins)
-            if self.schedule.has_recursive_handlers:
-                yield OUT_OF_FUEL
-            return
-        for handler in self.schedule.handlers:
-            yield from self._run_handler(handler, size - 1, top_size, ins)
+    def values(self, fuel: int, *ins: Value) -> list[tuple[Value, ...]]:
+        """All output tuples at *fuel* (markers dropped)."""
+        return [
+            x
+            for x in run_enum(self.ctx, self._plan, fuel, fuel, tuple(ins))
+            if x is not OUT_OF_FUEL
+        ]
 
-    def _run_handler(
-        self,
-        handler: Handler,
-        rec_size: int | None,
-        top_size: int,
-        ins: tuple[Value, ...],
-    ) -> Iterator[Any]:
-        stats = self.ctx.caches.get("derive_stats")
-        if stats is not None:
-            stats.handler_attempts += 1
-        env = match_inputs(handler.in_patterns, ins, self.ctx)
-        if env is None:
-            if stats is not None:
-                stats.backtracks += 1
-            return
-        yield from self._run_steps(handler, 0, env, rec_size, top_size)
-
-    def _run_steps(
-        self,
-        handler: Handler,
-        i: int,
-        env: dict[str, Value],
-        rec_size: int | None,
-        top_size: int,
-    ) -> Iterator[Any]:
-        ctx = self.ctx
-        steps = handler.steps
-        while i < len(steps):
-            step = steps[i]
-            if isinstance(step, SAssign):
-                env[step.var] = eval_term(step.term, env, ctx)
-                i += 1
-                continue
-            if isinstance(step, SEqCheck):
-                equal = eval_term(step.lhs, env, ctx) == eval_term(
-                    step.rhs, env, ctx
-                )
-                if equal == step.negated:
-                    return  # failE: branch dies
-                i += 1
-                continue
-            if isinstance(step, SMatch):
-                value = eval_term(step.scrutinee, env, ctx)
-                if not match_known(step.pattern, value, env, step.binds, ctx):
-                    return
-                i += 1
-                continue
-            if isinstance(step, (SCheckCall, SRecCheck)):
-                result = self._check_step(step, env, top_size)
-                if result.is_false:
-                    return
-                if result.is_none:
-                    yield OUT_OF_FUEL  # fuelE
-                    return
-                i += 1
-                continue
-            if isinstance(step, SProduce):
-                items = self._producer_items(step, env, rec_size, top_size)
-                for item in items:
-                    if item is OUT_OF_FUEL:
-                        yield OUT_OF_FUEL
-                        continue
-                    child = dict(env)
-                    for name, value in zip(step.binds, item):
-                        child[name] = value
-                    yield from self._run_steps(
-                        handler, i + 1, child, rec_size, top_size
-                    )
-                return
-            if isinstance(step, SInstantiate):
-                for value in _enum_values(ctx, step.ty, top_size):
-                    child = dict(env)
-                    child[step.var] = value
-                    yield from self._run_steps(
-                        handler, i + 1, child, rec_size, top_size
-                    )
-                if not slice_exhaustive(ctx, step.ty, top_size):
-                    yield OUT_OF_FUEL
-                return
-            raise AssertionError(f"unknown step {step!r}")
-        yield eval_args(handler.out_terms, env, ctx)
-
-    # -- step helpers -------------------------------------------------------------------
-
-    def _check_step(self, step, env: dict[str, Value], top_size: int) -> OptionBool:
-        from .instances import resolve_checker
-
-        if isinstance(step, SRecCheck):
-            raise AssertionError(
-                "producer schedules never contain recursive checker calls"
-            )
-        instance = resolve_checker(self.ctx, step.rel)
-        result = instance.fn(top_size, eval_args(step.args, env, self.ctx))
-        return negate(result) if step.negated else result
-
-    def _producer_items(
-        self,
-        step: SProduce,
-        env: dict[str, Value],
-        rec_size: int | None,
-        top_size: int,
-    ) -> Iterator[Any]:
-        ins = eval_args(step.in_args, env, self.ctx)
-        if step.recursive:
-            assert rec_size is not None, "recursive handler ran at size 0"
-            return self.rec(rec_size, top_size, ins)
-        from .instances import ENUM, resolve
-
-        instance = resolve(self.ctx, ENUM, step.rel, step.mode)
-        return instance.fn(top_size, ins)
+    def exhaustive_at(self, fuel: int, *ins: Value) -> bool:
+        """True when the enumeration at *fuel* carries no fuel marker —
+        i.e. it provably contains *every* solution."""
+        return all(
+            x is not OUT_OF_FUEL
+            for x in run_enum(self.ctx, self._plan, fuel, fuel, tuple(ins))
+        )
 
 
 class HandwrittenEnumerator:

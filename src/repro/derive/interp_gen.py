@@ -1,7 +1,10 @@
-"""Generator backend: interpret a schedule as a constrained random
-generator.
+"""Generator backend: the ``G (option A)`` instantiation of a derived
+program.
 
-The ``G (option A)`` instantiation: same schedule, but
+Public surface only — :class:`DerivedGenerator` lowers its schedule to
+a :class:`~repro.derive.plan.Plan` once and delegates to the shared
+executor (:func:`repro.derive.exec_core.run_gen`).  Compared to the
+enumerator instantiation:
 
 * ``enumerating``  →  QuickChick-style ``backtrack`` over handlers
   (weighted random choice, discarding failed options);
@@ -21,21 +24,10 @@ from typing import Any
 
 from ..core.context import Context
 from ..core.values import Value
-from ..producers.combinators import _gen_value
-from ..producers.option_bool import OptionBool, negate
-from ..producers.outcome import FAIL, OUT_OF_FUEL, is_value
-from .runtime import eval_args, eval_term, match_inputs, match_known
-from .schedule import (
-    Handler,
-    SAssign,
-    SCheckCall,
-    SEqCheck,
-    SInstantiate,
-    SMatch,
-    SProduce,
-    SRecCheck,
-    Schedule,
-)
+from ..producers.outcome import is_value
+from .exec_core import run_gen
+from .plan import Plan, lower_schedule
+from .schedule import Schedule
 
 
 class DerivedGenerator:
@@ -53,17 +45,38 @@ class DerivedGenerator:
         self.ctx = ctx
         self.schedule = schedule
         self.retries = retries_per_handler
+        self._plan = lower_schedule(ctx, schedule)
+
+    @property
+    def plan(self) -> Plan:
+        """The lowered program this generator executes."""
+        return self._plan
 
     def __call__(
         self, fuel: int, *ins: Value, rng: random.Random | None = None
     ) -> Any:
-        return self.rec(fuel, fuel, tuple(ins), rng or random.Random())
+        return run_gen(
+            self.ctx, self._plan, fuel, fuel, tuple(ins),
+            rng or random.Random(), self.retries,
+        )
 
     def gen_st(
         self, fuel: int, ins: tuple[Value, ...], rng: random.Random
     ) -> Any:
         """Internal calling convention (used by instance resolution)."""
-        return self.rec(fuel, fuel, ins, rng)
+        return run_gen(self.ctx, self._plan, fuel, fuel, ins, rng, self.retries)
+
+    def rec(
+        self,
+        size: int,
+        top_size: int,
+        ins: tuple[Value, ...],
+        rng: random.Random,
+    ) -> Any:
+        """One level of the derived fixpoint."""
+        return run_gen(
+            self.ctx, self._plan, size, top_size, ins, rng, self.retries
+        )
 
     def samples(
         self,
@@ -75,148 +88,17 @@ class DerivedGenerator:
         """Draw until *count* proper outputs were produced (markers
         dropped); gives up after ``20 * count`` attempts."""
         rng = random.Random(seed)
+        ins = tuple(ins)
         out: list[tuple[Value, ...]] = []
         attempts = 0
         while len(out) < count and attempts < 20 * count:
             attempts += 1
-            x = self.rec(fuel, fuel, tuple(ins), rng)
+            x = run_gen(
+                self.ctx, self._plan, fuel, fuel, ins, rng, self.retries
+            )
             if is_value(x):
                 out.append(x)
         return out
-
-    # -- the derived fixpoint ------------------------------------------------------
-
-    def rec(
-        self,
-        size: int,
-        top_size: int,
-        ins: tuple[Value, ...],
-        rng: random.Random,
-    ) -> Any:
-        if size == 0:
-            handlers = list(self.schedule.base_handlers)
-            rec_size = None
-            # Skipped recursive handlers mean a FAIL here is not
-            # definitive — report fuel exhaustion instead.
-            exhausted_means_fuel = self.schedule.has_recursive_handlers
-        else:
-            handlers = list(self.schedule.handlers)
-            rec_size = size - 1
-            exhausted_means_fuel = False
-        # QuickChick-style weights: recursive handlers get weight
-        # proportional to the remaining size, so deep structures stay
-        # likely at large sizes and recursion tapers off near 0.
-        remaining = [
-            [h, self.retries, (size if h.recursive else 1) or 1]
-            for h in handlers
-        ]
-        stats = self.ctx.caches.get("derive_stats")
-        saw_fuel = exhausted_means_fuel
-        while remaining:
-            total = sum(entry[2] for entry in remaining)
-            pick = rng.randrange(total)
-            entry = remaining[0]
-            for candidate in remaining:
-                if pick < candidate[2]:
-                    entry = candidate
-                    break
-                pick -= candidate[2]
-            if stats is not None:
-                stats.handler_attempts += 1
-            result = self._run_handler(entry[0], rec_size, top_size, ins, rng)
-            if is_value(result):
-                return result
-            if stats is not None:
-                stats.backtracks += 1
-            if result is OUT_OF_FUEL:
-                saw_fuel = True
-            entry[1] -= 1
-            if entry[1] <= 0:
-                remaining.remove(entry)
-        if stats is not None and saw_fuel:
-            stats.fuel_exhaustions += 1
-        return OUT_OF_FUEL if saw_fuel else FAIL
-
-    def _run_handler(
-        self,
-        handler: Handler,
-        rec_size: int | None,
-        top_size: int,
-        ins: tuple[Value, ...],
-        rng: random.Random,
-    ) -> Any:
-        env = match_inputs(handler.in_patterns, ins, self.ctx)
-        if env is None:
-            return FAIL
-        ctx = self.ctx
-        for step in handler.steps:
-            if isinstance(step, SAssign):
-                env[step.var] = eval_term(step.term, env, ctx)
-                continue
-            if isinstance(step, SEqCheck):
-                equal = eval_term(step.lhs, env, ctx) == eval_term(
-                    step.rhs, env, ctx
-                )
-                if equal == step.negated:
-                    return FAIL
-                continue
-            if isinstance(step, SMatch):
-                value = eval_term(step.scrutinee, env, ctx)
-                if not match_known(step.pattern, value, env, step.binds, ctx):
-                    return FAIL
-                continue
-            if isinstance(step, (SCheckCall, SRecCheck)):
-                result = self._check_step(step, env, top_size)
-                if result.is_false:
-                    return FAIL
-                if result.is_none:
-                    return OUT_OF_FUEL
-                continue
-            if isinstance(step, SProduce):
-                produced = self._produce(step, env, rec_size, top_size, rng)
-                if not is_value(produced):
-                    return produced
-                for name, value in zip(step.binds, produced):
-                    env[name] = value
-                continue
-            if isinstance(step, SInstantiate):
-                value = _gen_value(ctx, step.ty, top_size, rng)
-                if not is_value(value):
-                    return value
-                env[step.var] = value
-                continue
-            raise AssertionError(f"unknown step {step!r}")
-        return eval_args(handler.out_terms, env, ctx)
-
-    # -- step helpers -------------------------------------------------------------------
-
-    def _check_step(self, step, env: dict[str, Value], top_size: int) -> OptionBool:
-        from .instances import resolve_checker
-
-        if isinstance(step, SRecCheck):
-            raise AssertionError(
-                "producer schedules never contain recursive checker calls"
-            )
-        instance = resolve_checker(self.ctx, step.rel)
-        result = instance.fn(top_size, eval_args(step.args, env, self.ctx))
-        return negate(result) if step.negated else result
-
-    def _produce(
-        self,
-        step: SProduce,
-        env: dict[str, Value],
-        rec_size: int | None,
-        top_size: int,
-        rng: random.Random,
-    ) -> Any:
-        ins = eval_args(step.in_args, env, self.ctx)
-        if step.recursive:
-            assert rec_size is not None, "recursive handler ran at size 0"
-            return self.rec(rec_size, top_size, ins, rng)
-        from .instances import GEN, resolve
-
-        instance = resolve(self.ctx, GEN, step.rel, step.mode)
-        return instance.fn(top_size, ins, rng)
 
 
 class HandwrittenGenerator:

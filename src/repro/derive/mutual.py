@@ -18,6 +18,13 @@ external instance calls.  That is what :func:`derive_mutual_checkers`
 does; the resulting checkers are registered as ordinary instances, so
 downstream derivations (including other relations' producers) can use
 them.
+
+Each group member's schedule lowers to its own Plan; the shared
+fixpoint is realized by :class:`DerivedChecker`'s *group* map
+(relation name -> schedule), which the executor uses to route
+group-recursive ``reccheck`` ops to the sibling's plan at the
+decremented size.  Mutual groups stay on the interpreter backend:
+compiled resolution rejects the instance cycle before codegen runs.
 """
 
 from __future__ import annotations

@@ -17,8 +17,15 @@ constraint-processing machinery:
 * deferral of equality premises until one side becomes computable, so
   the equalities inserted by preprocessing work in every mode.
 
-The emitted schedule is kind-agnostic: the checker/enumerator/
-generator interpreters and the code generator all consume it.
+The emitted schedule is kind-agnostic and is the *source of truth*:
+``repro.validation`` certificates and the ``repro.analysis`` linter
+walk it directly.  For execution it is lowered once more —
+:func:`repro.derive.plan.lower_schedule` turns it into the slot-based
+Plan IR that the three interpreters (via
+:mod:`repro.derive.exec_core`) and the code generator all consume:
+
+    relation + mode --build_schedule--> Schedule --lower_schedule-->
+    Plan --{interp checker/enum/gen, codegen}--> computation
 """
 
 from __future__ import annotations

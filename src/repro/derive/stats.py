@@ -35,6 +35,7 @@ COUNTERS = (
     ("external_resolutions", "instance registry resolutions"),
     ("analysis_runs", "static analysis gate runs"),
     ("invalidations", "memo-table invalidations (instance replaced)"),
+    ("plan_lowerings", "schedules lowered to plans (cache misses)"),
 )
 
 

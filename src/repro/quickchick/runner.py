@@ -24,11 +24,17 @@ class CheckReport:
     counterexample: object = None
     elapsed_seconds: float = 0.0
     gave_up: bool = False
+    # Reproduction coordinates: the RNG seed and size this run used.
+    seed: int | None = None
+    size: int | None = None
 
     @property
     def tests_per_second(self) -> float:
+        # A sub-resolution elapsed time carries no rate information;
+        # 0.0 keeps the metric finite for aggregation (inf poisoned
+        # Figure 3 averages on trivial properties).
         if self.elapsed_seconds <= 0:
-            return float("inf")
+            return 0.0
         return self.tests_run / self.elapsed_seconds
 
     @property
@@ -39,7 +45,9 @@ class CheckReport:
         if self.failed:
             return (
                 f"*** Failed after {self.tests_run} tests and "
-                f"{self.discards} discards\n{self.counterexample}"
+                f"{self.discards} discards "
+                f"(seed={self.seed}, size={self.size})\n"
+                f"{self.counterexample}"
             )
         if self.gave_up:
             return (
@@ -62,8 +70,12 @@ def quick_check(
     stop_on_failure: bool = True,
 ) -> CheckReport:
     """Run *prop* up to *num_tests* times at the given *size*."""
+    if seed is None:
+        # Draw a concrete seed so a failure is reproducible from the
+        # report alone (pass it back in to replay the exact run).
+        seed = random.randrange(2**63)
     rng = random.Random(seed)
-    report = CheckReport(property_name=prop.name)
+    report = CheckReport(property_name=prop.name, seed=seed, size=size)
     max_discards = max_discard_ratio * num_tests
     start = time.perf_counter()
     while report.tests_run < num_tests:

@@ -1,4 +1,12 @@
-"""Translation validation: certify derived computations (Section 5)."""
+"""Translation validation: certify derived computations (Section 5).
+
+Certificates are checked against the :class:`~repro.derive.schedule.
+Schedule` — the paper-shaped program — not the lowered Plan IR.  That
+is deliberate: the schedule sits *upstream* of the single shared
+lowering (``lower_schedule``), so one certificate covers every backend
+that executes or compiles the plan; there is no separate lowered
+artifact to re-validate per backend.
+"""
 
 from .checkers import census, certify_checker
 from .obligations import (

@@ -1,0 +1,199 @@
+"""Tests for the lowered Plan IR: slots, ops, dispatch, caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.values import from_int
+from repro.derive import Mode, build_schedule, lower_schedule
+from repro.derive.api import derive_checker, derive_enumerator
+from repro.derive.plan import (
+    OP_CHECK,
+    OP_PRODUCE,
+    OP_RECCHECK,
+    OP_TESTCTOR,
+    PLANS_KEY,
+    X_SLOT,
+)
+from repro.stdlib import standard_context
+
+
+class TestLowering:
+    def test_slots_inputs_first(self, nat_ctx):
+        schedule = build_schedule(nat_ctx, "le", Mode.checker(2))
+        plan = lower_schedule(nat_ctx, schedule)
+        assert plan.n_ins == 2
+        for h in plan.handlers:
+            assert h.n_ins == 2
+            assert h.n_slots >= 2
+            assert h.tail == (None,) * (h.n_slots - 2)
+
+    def test_ops_are_tagged_tuples(self, nat_ctx):
+        schedule = build_schedule(nat_ctx, "le", Mode.checker(2))
+        plan = lower_schedule(nat_ctx, schedule)
+        for h in plan.handlers:
+            for op in h.ops:
+                assert isinstance(op, tuple) and isinstance(op[0], int)
+
+    def test_recursive_flag_and_base_split(self, nat_ctx):
+        schedule = build_schedule(nat_ctx, "ev", Mode.checker(1))
+        plan = lower_schedule(nat_ctx, schedule)
+        assert plan.has_recursive
+        assert {h.recursive for h in plan.handlers} == {False, True}
+        assert all(not h.recursive for h in plan.base)
+        recursive = [h for h in plan.handlers if h.recursive]
+        assert any(
+            op[0] == OP_RECCHECK for h in recursive for op in h.ops
+        )
+
+    def test_external_call_carries_registry_key(self, list_ctx):
+        schedule = build_schedule(list_ctx, "Sorted", Mode.checker(1))
+        plan = lower_schedule(list_ctx, schedule)
+        keys = [
+            op[1]
+            for h in plan.handlers
+            for op in h.ops
+            if op[0] == OP_CHECK
+        ]
+        assert ("checker", "le", "ii") in keys
+
+    def test_produce_carries_both_keys(self, stlc_ctx):
+        schedule = build_schedule(
+            stlc_ctx, "typing", Mode.from_string("iio")
+        )
+        plan = lower_schedule(stlc_ctx, schedule)
+        produces = [
+            op for h in plan.handlers for op in h.ops if op[0] == OP_PRODUCE
+        ]
+        assert produces
+        for op in produces:
+            assert op[1][0] == "enum" and op[2][0] == "gen"
+            assert op[1][1:] == op[2][1:]
+
+    def test_key3_matches_schedule(self, nat_ctx):
+        schedule = build_schedule(nat_ctx, "le", Mode.checker(2))
+        plan = lower_schedule(nat_ctx, schedule)
+        for h in plan.handlers:
+            assert h.key3 == ("le", "ii", h.rule)
+
+    def test_describe_smoke(self, nat_ctx):
+        schedule = build_schedule(nat_ctx, "le", Mode.checker(2))
+        text = lower_schedule(nat_ctx, schedule).describe()
+        assert "plan for le [ii]" in text
+        assert "plan-handler" in text
+
+
+class TestDispatchIndex:
+    def test_checker_dispatch_on_ctor_headed_position(self, nat_ctx):
+        schedule = build_schedule(nat_ctx, "ev", Mode.checker(1))
+        plan = lower_schedule(nat_ctx, schedule)
+        # ev_0 matches O, ev_SS matches S (S n): position 0 is fully
+        # constructor-headed, so dispatch engages there.
+        assert plan.dispatch_pos == 0
+        assert set(plan.full_table) == {"O", "S"}
+        assert plan.full_default == ()
+
+    def test_candidates_filter_but_preserve_order(self, list_ctx):
+        schedule = build_schedule(list_ctx, "Sorted", Mode.checker(1))
+        plan = lower_schedule(list_ctx, schedule)
+        assert plan.dispatch_pos == 0
+        from repro.core.values import nat_list
+
+        nil_candidates = plan.candidates((nat_list([]),))
+        cons_candidates = plan.candidates((nat_list([1, 2]),))
+        assert [h.rule for h in nil_candidates] == ["Sorted_nil"]
+        assert [h.rule for h in cons_candidates] == [
+            "Sorted_sing",
+            "Sorted_cons",
+        ]
+        # Order within any candidate set is the declaration order.
+        indices = [h.index for h in cons_candidates]
+        assert indices == sorted(indices)
+
+    def test_unknown_ctor_falls_back_to_default(self, nat_ctx):
+        schedule = build_schedule(nat_ctx, "le", Mode.checker(2))
+        plan = lower_schedule(nat_ctx, schedule)
+        # le_n has a variable pattern at both positions; le_S has
+        # (S m) at position 1 — dispatch picks position 1 and the
+        # var-headed handler lands in every bucket and the default.
+        assert plan.dispatch_pos == 1
+        assert [h.rule for h in plan.full_default] == ["le_n"]
+        # S-headed second argument: both handlers are candidates.
+        assert [h.rule for h in plan.candidates(
+            (from_int(1), from_int(3))
+        )] == ["le_n", "le_S"]
+        # O-headed second argument: no bucket, so only the var-headed
+        # handler (the default set) is attempted.
+        assert [h.rule for h in plan.candidates(
+            (from_int(1), from_int(0))
+        )] == ["le_n"]
+
+    def test_all_var_heads_disable_dispatch(self, nat_ctx):
+        # square_of: conclusion (n, n*n) — no constructor heads.
+        schedule = build_schedule(nat_ctx, "square_of", Mode.checker(2))
+        plan = lower_schedule(nat_ctx, schedule)
+        assert plan.dispatch_pos == -1
+        assert plan.candidates((from_int(2), from_int(4))) == plan.handlers
+
+    def test_dispatch_does_not_change_checker_answers(self):
+        # A relation whose handlers disagree per constructor: every
+        # head constructor must still get the right answer through the
+        # filtered candidate sets.
+        ctx = standard_context()
+        parse_declarations(ctx, """
+        Inductive small : nat -> Prop :=
+        | s_zero : small 0
+        | s_one : small 1
+        | s_two : small 2.
+        """)
+        checker = derive_checker(ctx, "small")
+        for n, expect in [(0, True), (1, True), (2, True), (3, False)]:
+            assert checker(5, from_int(n)).is_true is expect
+
+
+class TestPlanCache:
+    def test_lowering_cached_per_schedule(self, nat_ctx):
+        schedule = build_schedule(nat_ctx, "le", Mode.checker(2))
+        a = lower_schedule(nat_ctx, schedule)
+        b = lower_schedule(nat_ctx, schedule)
+        assert a is b
+        assert nat_ctx.caches[PLANS_KEY][id(schedule)] is a
+
+    def test_interpreter_and_codegen_share_the_lowering(self, nat_ctx):
+        from repro.derive.instances import CHECKER, resolve, resolve_compiled
+
+        before = len(nat_ctx.caches.get(PLANS_KEY, {}))
+        resolve(nat_ctx, CHECKER, "ev", Mode.checker(1))
+        mid = len(nat_ctx.caches[PLANS_KEY])
+        resolve_compiled(nat_ctx, CHECKER, "ev", Mode.checker(1))
+        after = len(nat_ctx.caches[PLANS_KEY])
+        assert mid > before
+        # The compiled backend reuses the interpreter's lowered plan.
+        assert after == mid
+
+    def test_public_surface_exposes_plan(self, nat_ctx):
+        checker = derive_checker(nat_ctx, "ev")
+        assert checker.plan.rel == "ev"
+        enum = derive_enumerator(nat_ctx, "le", "io")
+        assert enum.plan.mode_str == "io"
+
+
+class TestShadowingBind:
+    def test_duplicate_produce_binds_last_wins(self):
+        # A non-linear recursive premise at mode oo produces both
+        # occurrences of x; dict-environment semantics (which the Plan
+        # lowering reproduces) let the last bind win with no equality
+        # constraint.  Guarded here so a future soundness fix is a
+        # deliberate semantics change, not an accident of lowering.
+        ctx = standard_context()
+        parse_declarations(ctx, """
+        Inductive dup : nat -> nat -> Prop :=
+        | dup_z : dup 0 0
+        | dup_s : forall x y, dup x x -> dup (S y) y.
+        """)
+        # Checking dup_s needs `x, x <- produce dup[oo]()` — the same
+        # name bound once per output position.
+        checker = derive_checker(ctx, "dup")
+        assert checker(8, from_int(1), from_int(0)).is_true
+        assert not checker(8, from_int(0), from_int(3)).is_true

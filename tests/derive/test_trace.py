@@ -1,0 +1,138 @@
+"""Tests for derive-time profiling (repro.derive.trace)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.values import from_int, nat_list
+from repro.derive import (
+    Mode,
+    derive_checker,
+    derive_enumerator,
+    derive_generator,
+    enable_memoization,
+    disable_memoization,
+    profile,
+    trace_of,
+)
+from repro.derive.instances import CHECKER, resolve_compiled
+from repro.derive.stats import STATS_KEY, stats_of
+from repro.derive.trace import TRACE_KEY, DeriveTrace
+
+
+class TestProfileContext:
+    def test_off_by_default_and_removed_after(self, nat_ctx):
+        assert trace_of(nat_ctx) is None
+        with profile(nat_ctx) as tr:
+            assert trace_of(nat_ctx) is tr
+        assert trace_of(nat_ctx) is None
+
+    def test_nested_blocks_restore_outer(self, nat_ctx):
+        with profile(nat_ctx) as outer:
+            with profile(nat_ctx) as inner:
+                assert trace_of(nat_ctx) is inner
+            assert trace_of(nat_ctx) is outer
+
+    def test_installs_and_removes_stats(self, nat_ctx):
+        assert stats_of(nat_ctx) is None
+        with profile(nat_ctx):
+            assert stats_of(nat_ctx) is not None
+        assert stats_of(nat_ctx) is None
+
+    def test_leaves_existing_stats_in_place(self, nat_ctx):
+        enable_memoization(nat_ctx)
+        try:
+            existing = stats_of(nat_ctx)
+            assert existing is not None
+            with profile(nat_ctx):
+                assert stats_of(nat_ctx) is existing
+            assert stats_of(nat_ctx) is existing
+        finally:
+            disable_memoization(nat_ctx)
+
+
+class TestInterpreterTraces:
+    def test_checker_records_per_rule(self, nat_ctx):
+        le = derive_checker(nat_ctx, "le")
+        with profile(nat_ctx) as tr:
+            assert le(10, from_int(2), from_int(5)).is_true
+        keys = set(tr.entries)
+        assert any(k[0] == "checker" and k[1] == "le" for k in keys)
+        assert tr.total_attempts > 0
+        # Successful derivation: some handler succeeded somewhere.
+        assert any(e[1] > 0 for e in tr.entries.values())
+
+    def test_backtracks_counted(self, nat_ctx):
+        le = derive_checker(nat_ctx, "le")
+        with profile(nat_ctx) as tr:
+            assert not le(10, from_int(5), from_int(2)).is_true
+        assert any(e[2] > 0 for e in tr.entries.values())
+
+    def test_enum_records(self, nat_ctx):
+        enum = derive_enumerator(nat_ctx, "le", "io")
+        with profile(nat_ctx) as tr:
+            list(enum(4, from_int(2)))
+        assert any(k[0] == "enum" for k in tr.entries)
+
+    def test_gen_records(self, nat_ctx):
+        gen = derive_generator(nat_ctx, "le", "io")
+        with profile(nat_ctx) as tr:
+            for seed in range(10):
+                gen(5, from_int(3), rng=random.Random(seed))
+        assert any(k[0] == "gen" for k in tr.entries)
+
+    def test_profiling_does_not_change_answers(self, list_ctx):
+        sorted_checker = derive_checker(list_ctx, "Sorted")
+        args = [nat_list(xs) for xs in ([], [1, 2, 3], [3, 1])]
+        plain = [sorted_checker(10, a) for a in args]
+        with profile(list_ctx):
+            traced = [sorted_checker(10, a) for a in args]
+        assert plain == traced
+
+
+class TestCompiledTraces:
+    def test_compiled_checker_records_same_keys(self, nat_ctx):
+        interp = derive_checker(nat_ctx, "le")
+        compiled = resolve_compiled(nat_ctx, CHECKER, "le", Mode.checker(2))
+        args = (from_int(2), from_int(5))
+        with profile(nat_ctx) as tr_interp:
+            interp(10, *args)
+        with profile(nat_ctx) as tr_compiled:
+            compiled(10, args)
+        interp_keys = set(tr_interp.entries)
+        compiled_keys = set(tr_compiled.entries)
+        # Same (backend, rel, mode, rule) key space: traces from mixed
+        # backends aggregate into the same rows.
+        assert interp_keys == compiled_keys
+        assert tr_interp.entries == tr_compiled.entries
+
+
+class TestReporting:
+    def test_report_table(self, nat_ctx):
+        le = derive_checker(nat_ctx, "le")
+        with profile(nat_ctx) as tr:
+            le(10, from_int(2), from_int(5))
+        text = tr.report()
+        assert "DeriveTrace" in text
+        assert "checker:le[ii]" in text
+
+    def test_empty_report(self):
+        assert "no handler activity" in DeriveTrace().report()
+
+    def test_as_dict_and_reset(self, nat_ctx):
+        le = derive_checker(nat_ctx, "le")
+        with profile(nat_ctx) as tr:
+            le(10, from_int(0), from_int(1))
+        d = tr.as_dict()
+        assert d and all(
+            set(v) == {"attempts", "successes", "backtracks", "fuel_outs"}
+            for v in d.values()
+        )
+        tr.reset()
+        assert tr.total_attempts == 0
+
+    def test_record_key_is_not_left_installed(self, nat_ctx):
+        with profile(nat_ctx):
+            pass
+        assert TRACE_KEY not in nat_ctx.caches
+        assert STATS_KEY not in nat_ctx.caches
