@@ -26,20 +26,29 @@ or under pytest (asserts disabled ≈ free and warm ≈ disabled)::
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.analysis import disable_analysis, enable_analysis
 from repro.casestudies import bst, stlc
 from repro.derive import derive_checker
 
-ROUNDS = 400
+ROUNDS = 20 if os.environ.get("REPRO_BENCH_QUICK") else 100
 
 
 def _fresh_derive(ctx, rel):
-    # Dropping the schedule/instance caches forces derive to rebuild,
-    # which is the work the gate rides on top of.
+    # Force derive to rebuild from scratch each round: drop the
+    # schedule and lowered-plan caches and every derived instance
+    # (instances live in ctx.instances, not ctx.caches — handwritten
+    # registrations survive).  This is the work the gate rides on top
+    # of; the analysis-report cache is deliberately left alone so the
+    # warm configuration stays warm.
     ctx.caches.pop("schedules", None)
-    ctx.caches.pop("instances", None)
+    ctx.caches.pop("plans", None)
+    for key in [
+        k for k, inst in ctx.instances.items() if inst.source != "handwritten"
+    ]:
+        del ctx.instances[key]
     derive_checker(ctx, rel)
 
 
@@ -51,12 +60,17 @@ def _time_config(make_ctx, rel, *, disabled: bool, cold: bool) -> float:
         enable_analysis(ctx)
         if not cold:
             derive_checker(ctx, rel)  # warm the report cache
-    start = time.perf_counter()
-    for _ in range(ROUNDS):
-        if cold and not disabled:
-            ctx.caches.pop("analysis_reports", None)
-        _fresh_derive(ctx, rel)
-    return time.perf_counter() - start
+    # Best-of-3: a single 400-round pass is one GC pause away from
+    # tripping the 1.5x bar on a loaded machine.
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            if cold and not disabled:
+                ctx.caches.pop("analysis_reports", None)
+            _fresh_derive(ctx, rel)
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def run(report: bool = True):

@@ -1,46 +1,11 @@
-"""The shared plan executor: one op semantics, three monads.
+"""Frozen PR 3 plan executor (benchmark baseline only).
 
-The paper's central claim is one derivation algorithm with three
-instantiations; this module is where the repo makes that literal.  All
-three interpreters execute the same lowered :class:`~repro.derive.plan.
-Plan` ops through the drivers here — only the monad-specific
-combinators differ:
-
-* :func:`run_checker` — the ``option bool`` fixpoint: handlers combine
-  with backtracking, producer ops run ``bindEC`` (first accepted
-  witness wins; an incomplete enumeration taints a failure into
-  ``None``);
-* :func:`run_enum` — the ``E (option A)`` fixpoint: handlers
-  concatenate, producer ops nest enumeration loops, fuel markers
-  collapse to one trailing marker per level;
-* :func:`run_gen` — the ``G (option A)`` fixpoint: weighted random
-  backtracking over handlers, producer ops draw single samples.
-
-Environments are flat slot lists (inputs first, then locals — see
-:mod:`repro.derive.plan`); slots are single-assignment along any
-execution path, so backtracking over enumeration items reuses one
-environment in place, with no copying.
-
-Deterministic ops (``eval``/``testctor``/``testconst``/``testeq``) have
-identical semantics in every backend; the drivers differ only in how
-they sequence the effectful ops (``check``/``reccheck``/``produce``/
-``instantiate``) — which is exactly the free-monad structure the
-schedule always had, now with the interpretation chosen once per call
-instead of once per step.
-
-External instances resolve through the precomputed registry key on the
-op (one dict lookup in the common case); a miss falls back to the full
-:func:`~repro.derive.instances.resolve` path, which derives, registers
-and memo-wraps.  The stats, trace, and observation hooks are fetched
-once per ``rec`` level and guarded with ``is not None`` — profiling
-and observation off cost three dict reads per level.
-
-Observation (``repro.observe``) hooks at the *fixpoint level*: every
-``run_checker`` / ``run_enum`` / ``run_gen`` invocation is one span,
-opened on entry (for the enumerator: at the first ``next``) and closed
-with its outcome on exit.  The compiled backend mirrors the same sites
-construct-by-construct (:mod:`repro.derive.codegen`), so interpreted
-and compiled runs produce identical span trees.
+Verbatim copy (imports adjusted) of ``repro.derive.exec_core`` as of
+the commit *before* the ``repro.observe`` hooks landed.  It consumes
+the live Plan IR, so ``benchmarks/bench_observe.py`` can measure the
+observation-ready executor against this baseline on identical lowered
+programs — isolating the cost of the new hook sites.  Do not "fix" or
+modernize it; its value is staying identical to the PR 3 hot path.
 """
 
 from __future__ import annotations
@@ -48,18 +13,18 @@ from __future__ import annotations
 import random
 from typing import Any, Iterator
 
-from ..core.context import Context
-from ..core.values import Value
-from ..producers.combinators import _enum_values, _gen_value, slice_exhaustive
-from ..producers.option_bool import (
+from repro.core.context import Context
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, _gen_value, slice_exhaustive
+from repro.producers.option_bool import (
     NONE_OB,
     SOME_FALSE,
     SOME_TRUE,
     OptionBool,
     negate,
 )
-from ..producers.outcome import FAIL, OUT_OF_FUEL
-from .plan import (
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.derive.plan import (
     OP_CHECK,
     OP_EVAL,
     OP_INSTANTIATE,
@@ -71,16 +36,16 @@ from .plan import (
     Plan,
     PlanHandler,
 )
-from .runtime import eval_expr, eval_exprs
-from .stats import STATS_KEY
-from .trace import OBSERVE_KEY, TRACE_KEY
+from repro.derive.runtime import eval_expr, eval_exprs
+from repro.derive.stats import STATS_KEY
+from repro.derive.trace import TRACE_KEY
 
 
 def _checker_instance(ctx: Context, op: tuple):
     """The external checker instance for an ``OP_CHECK``."""
     instance = ctx.instances.get(op[1])
     if instance is None:
-        from .instances import resolve_checker
+        from repro.derive.instances import resolve_checker
 
         instance = resolve_checker(ctx, op[4])
     return instance
@@ -90,7 +55,7 @@ def _enum_instance(ctx: Context, op: tuple):
     """The external enumerator instance for an ``OP_PRODUCE``."""
     instance = ctx.instances.get(op[1])
     if instance is None:
-        from .instances import ENUM, resolve
+        from repro.derive.instances import ENUM, resolve
 
         instance = resolve(ctx, ENUM, op[6], op[7])
     return instance
@@ -100,7 +65,7 @@ def _gen_instance(ctx: Context, op: tuple):
     """The external generator instance for an ``OP_PRODUCE``."""
     instance = ctx.instances.get(op[2])
     if instance is None:
-        from .instances import GEN, resolve
+        from repro.derive.instances import GEN, resolve
 
         instance = resolve(ctx, GEN, op[6], op[7])
     return instance
@@ -129,9 +94,6 @@ def run_checker(
     caches = ctx.caches
     stats = caches.get(STATS_KEY)
     trace = caches.get(TRACE_KEY)
-    obs = caches.get(OBSERVE_KEY)
-    if obs is not None:
-        span = obs.spans.begin("checker", plan.rel, plan.mode_str, size, top)
     if size == 0:
         candidates = plan.base_candidates(args)
         saw_none = plan.has_recursive
@@ -149,22 +111,17 @@ def run_checker(
         result = _checker_ops(ctx, plans, plan, h.ops, 0, env, rec_size, top)
         if result is SOME_TRUE:
             if trace is not None:
-                trace.record4(h.key_checker, True, False)
-            if obs is not None:
-                obs.end_checker(span, SOME_TRUE)
+                trace.record("checker", h.key3, True, False)
             return SOME_TRUE
         if stats is not None:
             stats.backtracks += 1
         if result is NONE_OB:
             saw_none = True
             if trace is not None:
-                trace.record4(h.key_checker, False, True)
+                trace.record("checker", h.key3, False, True)
         elif trace is not None:
-            trace.record4(h.key_checker, False, False)
-    result = NONE_OB if saw_none else SOME_FALSE
-    if obs is not None:
-        obs.end_checker(span, result)
-    return result
+            trace.record("checker", h.key3, False, False)
+    return NONE_OB if saw_none else SOME_FALSE
 
 
 def _checker_ops(
@@ -276,34 +233,15 @@ def run_enum(
     Yields output tuples and at most one trailing ``OUT_OF_FUEL``
     marker: values stream through unchanged while any number of inner
     markers collapse (they carry no information beyond existence).
-
-    The observation span opens at the first ``next`` (generator body
-    start) and closes on exhaustion; a consumer that abandons the
-    enumeration mid-way leaves the span open, to be force-closed as
-    ``abandoned`` when its parent span ends.
     """
-    obs = ctx.caches.get(OBSERVE_KEY)
     saw_fuel = False
-    if obs is None:
-        for item in _enum_level(ctx, plan, size, top, ins):
-            if item is OUT_OF_FUEL:
-                saw_fuel = True
-            else:
-                yield item
-        if saw_fuel:
-            yield OUT_OF_FUEL
-        return
-    span = obs.spans.begin("enum", plan.rel, plan.mode_str, size, top)
-    values = 0
     for item in _enum_level(ctx, plan, size, top, ins):
         if item is OUT_OF_FUEL:
             saw_fuel = True
         else:
-            values += 1
             yield item
     if saw_fuel:
         yield OUT_OF_FUEL
-    obs.end_enum(span, values, saw_fuel)
 
 
 def _enum_level(
@@ -340,7 +278,7 @@ def _enum_level(
                 else:
                     saw_value = True
                 yield item
-            trace.record4(h.key_enum, saw_value, saw_marker)
+            trace.record("enum", h.key3, saw_value, saw_marker)
     if size == 0 and plan.has_recursive:
         yield OUT_OF_FUEL
 
@@ -444,10 +382,6 @@ def run_gen(
     caches = ctx.caches
     stats = caches.get(STATS_KEY)
     trace = caches.get(TRACE_KEY)
-    obs = caches.get(OBSERVE_KEY)
-    if obs is not None:
-        span = obs.spans.begin("gen", plan.rel, plan.mode_str, size, top)
-    attempts = 0
     if size == 0:
         candidates = plan.base_candidates(ins)
         rec_size = None
@@ -475,31 +409,25 @@ def run_gen(
         h = entry[0]
         if stats is not None:
             stats.handler_attempts += 1
-        attempts += 1
         result = _gen_handler(ctx, plan, h, rec_size, top, ins, rng, retries)
         if result is not FAIL and result is not OUT_OF_FUEL:
             if trace is not None:
-                trace.record4(h.key_gen, True, False)
-            if obs is not None:
-                obs.end_gen(span, result, attempts)
+                trace.record("gen", h.key3, True, False)
             return result
         if stats is not None:
             stats.backtracks += 1
         if result is OUT_OF_FUEL:
             saw_fuel = True
             if trace is not None:
-                trace.record4(h.key_gen, False, True)
+                trace.record("gen", h.key3, False, True)
         elif trace is not None:
-            trace.record4(h.key_gen, False, False)
+            trace.record("gen", h.key3, False, False)
         entry[1] -= 1
         if entry[1] <= 0:
             remaining.remove(entry)
     if stats is not None and saw_fuel:
         stats.fuel_exhaustions += 1
-    result = OUT_OF_FUEL if saw_fuel else FAIL
-    if obs is not None:
-        obs.end_gen(span, result, attempts)
-    return result
+    return OUT_OF_FUEL if saw_fuel else FAIL
 
 
 def _gen_handler(

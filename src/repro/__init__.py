@@ -66,7 +66,8 @@ from .derive import (
     profile,
     trace_of,
 )
-from .quickchick import for_all, quick_check
+from .observe import Observation, RuleCoverage, coverage_diff, observe
+from .quickchick import classify, collect, for_all, quick_check
 from .semantics import derivable, search_derivation
 from .stdlib import standard_context
 from .validation import (
@@ -84,9 +85,11 @@ __all__ = [
     "DeriveStats",
     "DeriveTrace",
     "Mode",
+    "Observation",
     "ParseError",
     "Relation",
     "Report",
+    "RuleCoverage",
     "ValidationConfig",
     "Value",
     "__version__",
@@ -95,7 +98,10 @@ __all__ = [
     "certify_checker",
     "certify_enumerator",
     "certify_generator",
+    "classify",
     "clear_memo",
+    "collect",
+    "coverage_diff",
     "derivable",
     "derive",
     "derive_checker",
@@ -108,6 +114,7 @@ __all__ = [
     "enable_memoization",
     "for_all",
     "memoization_enabled",
+    "observe",
     "from_bool",
     "from_int",
     "from_list",

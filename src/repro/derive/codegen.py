@@ -33,11 +33,14 @@ the weighted-backtrack loop at the top.  External instances are
 resolved at compile time through the registry (with the ``compiled``
 backend preferred, so whole dependency trees compile together).
 
-Profiling hooks are threaded through the emitted ``rec``: one
-``caches.get('derive_trace')`` per call and an ``is not None`` guard
-per handler attempt — matching the interpreters' zero-overhead-off
-contract, with records keyed identically so mixed-backend traces
-aggregate.
+Profiling and observation hooks are threaded through the emitted
+``rec``: one ``caches.get('derive_trace')`` plus one
+``caches.get('derive_observe')`` per call and ``is not None`` guards —
+matching the interpreters' zero-overhead-off contract.  Dispatch
+entries carry the pre-merged ``(kind, rel, mode, rule)`` trace key, and
+span begin/end sites mirror :mod:`~repro.derive.exec_core`
+construct-by-construct, so mixed interpreted/compiled runs aggregate
+into one trace and produce identical span trees.
 """
 
 from __future__ import annotations
@@ -222,7 +225,8 @@ class _PlanCompiler:
     # .. dispatch tables .............................................................
 
     def _entry(self, h: PlanHandler) -> str:
-        return f"(_h_{h.index}, {h.recursive!r}, {h.key3!r})"
+        key4 = (self.kind,) + h.key3
+        return f"(_h_{h.index}, {h.recursive!r}, {key4!r})"
 
     def _entries(self, handlers: tuple) -> str:
         inner = ", ".join(self._entry(h) for h in handlers)
@@ -231,9 +235,11 @@ class _PlanCompiler:
 
     def _emit_dispatch(self, em: _Emitter) -> None:
         """Dispatch tables as module-level literals.  Entries are
-        ``(handler_fn, recursive, key3)`` so one shape serves all three
+        ``(handler_fn, recursive, key4)`` so one shape serves all three
         backends (weights need ``recursive``, profiling needs the
-        key)."""
+        pre-merged trace key — the compiled twin of
+        :attr:`~repro.derive.plan.PlanHandler.key_checker` and
+        friends)."""
         plan = self.plan
         if plan.dispatch_pos < 0:
             em.emit(f"_all_full = {self._entries(plan.handlers)}")
@@ -485,10 +491,16 @@ class _PlanCompiler:
         plan = self.plan
         ins = self._ins_params()
         params = ", ".join(ins)
+        span_begin = (
+            f"_sp = _ob.spans.begin({self.kind!r}, {plan.rel!r}, "
+            f"{plan.mode_str!r}, _size, _top)"
+        )
         if self.kind == "checker":
             em.emit(f"def rec(_size, _top, {params or '*_'}):")
             em.indent += 1
             em.emit("_tr = _caches.get('derive_trace')")
+            em.emit("_ob = _caches.get('derive_observe')")
+            em.emit(f"if _ob is not None: {span_begin}")
             em.emit("if _size == 0:")
             em.indent += 1
             self._emit_candidates(em, "base")
@@ -507,19 +519,28 @@ class _PlanCompiler:
             em.emit("if _tr is not None:")
             em.indent += 1
             em.emit(
-                "_tr.record('checker', _h[2], _r is SOME_TRUE, _r is NONE_OB)"
+                "_tr.record4(_h[2], _r is SOME_TRUE, _r is NONE_OB)"
             )
             em.indent -= 1
-            em.emit("if _r is SOME_TRUE: return SOME_TRUE")
+            em.emit("if _r is SOME_TRUE:")
+            em.indent += 1
+            em.emit("if _ob is not None: _ob.end_checker(_sp, SOME_TRUE)")
+            em.emit("return SOME_TRUE")
+            em.indent -= 1
             em.emit("if _r is NONE_OB: _none = True")
             em.indent -= 1
-            em.emit("return NONE_OB if _none else SOME_FALSE")
+            em.emit("_r = NONE_OB if _none else SOME_FALSE")
+            em.emit("if _ob is not None: _ob.end_checker(_sp, _r)")
+            em.emit("return _r")
             em.indent -= 1
         elif self.kind == "enum":
             em.emit(f"def rec(_size, _top, {params or '*_'}):")
             em.indent += 1
             em.emit("_tr = _caches.get('derive_trace')")
+            em.emit("_ob = _caches.get('derive_observe')")
+            em.emit(f"if _ob is not None: {span_begin}")
             em.emit("_fuel = False")
+            em.emit("_nv = 0")
             em.emit("if _size == 0:")
             em.indent += 1
             self._emit_candidates(em, "base")
@@ -550,13 +571,15 @@ class _PlanCompiler:
             em.emit("else:")
             em.indent += 1
             em.emit("_sv = True")
+            em.emit("_nv += 1")
             em.emit("yield _x")
             em.indent -= 2
-            em.emit("_tr.record('enum', _h[2], _sv, _sf)")
+            em.emit("_tr.record4(_h[2], _sv, _sf)")
             em.indent -= 2
             if plan.has_recursive:
                 em.emit("if _size == 0: _fuel = True")
             em.emit("if _fuel: yield OUT_OF_FUEL")
+            em.emit("if _ob is not None: _ob.end_enum(_sp, _nv, _fuel)")
             em.indent -= 1
         else:  # gen
             em.emit("def rec(_size, _top, _ins, _rng):")
@@ -565,6 +588,9 @@ class _PlanCompiler:
                 comma = "," if len(ins) == 1 else ""
                 em.emit(f"{params}{comma} = _ins")
             em.emit("_tr = _caches.get('derive_trace')")
+            em.emit("_ob = _caches.get('derive_observe')")
+            em.emit(f"if _ob is not None: {span_begin}")
+            em.emit("_na = 0")
             em.emit("if _size == 0:")
             em.indent += 1
             self._emit_candidates(em, "base")
@@ -592,29 +618,33 @@ class _PlanCompiler:
             em.emit("_pick -= _e[2]")
             em.indent -= 1
             em.emit("_h = _e[0]")
+            em.emit("_na += 1")
             args = f", {params}" if params else ""
             em.emit(f"_res = _h[0](_sz1, _top, _rng{args})")
             em.emit("if _res is FAIL:")
             em.indent += 1
             em.emit("if _tr is not None:"
-                    " _tr.record('gen', _h[2], False, False)")
+                    " _tr.record4(_h[2], False, False)")
             em.indent -= 1
             em.emit("elif _res is OUT_OF_FUEL:")
             em.indent += 1
             em.emit("_fuel = True")
             em.emit("if _tr is not None:"
-                    " _tr.record('gen', _h[2], False, True)")
+                    " _tr.record4(_h[2], False, True)")
             em.indent -= 1
             em.emit("else:")
             em.indent += 1
             em.emit("if _tr is not None:"
-                    " _tr.record('gen', _h[2], True, False)")
+                    " _tr.record4(_h[2], True, False)")
+            em.emit("if _ob is not None: _ob.end_gen(_sp, _res, _na)")
             em.emit("return _res")
             em.indent -= 1
             em.emit("_e[1] -= 1")
             em.emit("if _e[1] <= 0: _live.remove(_e)")
             em.indent -= 1
-            em.emit("return OUT_OF_FUEL if _fuel else FAIL")
+            em.emit("_res = OUT_OF_FUEL if _fuel else FAIL")
+            em.emit("if _ob is not None: _ob.end_gen(_sp, _res, _na)")
+            em.emit("return _res")
             em.indent -= 1
 
 

@@ -122,6 +122,9 @@ class PlanHandler:
         "n_slots",
         "tail",
         "key3",
+        "key_checker",
+        "key_enum",
+        "key_gen",
         "head_ctors",
     )
 
@@ -148,6 +151,13 @@ class PlanHandler:
         self.tail = (None,) * (n_slots - n_ins)
         # (rel, mode_str, rule): the profiling key, shared by backends.
         self.key3 = key3
+        # Backend pre-merged profiling keys: the trace hot path does a
+        # single dict lookup per attempt with no tuple allocation (a
+        # checker-mode plan only ever uses key_checker; a producer-mode
+        # plan serves both the enum and the gen driver).
+        self.key_checker = ("checker",) + key3
+        self.key_enum = ("enum",) + key3
+        self.key_gen = ("gen",) + key3
         # Per input position: the constructor name required of the
         # value there, or None when any value can match (variable or
         # function-free head).  Drives the dispatch index.

@@ -31,6 +31,10 @@ from .stats import STATS_KEY, install_stats, remove_stats
 
 TRACE_KEY = "derive_trace"
 
+#: cache key of the span/metrics observer (owned by ``repro.observe``;
+#: defined here so the executors need no import from that package)
+OBSERVE_KEY = "derive_observe"
+
 #: per-entry counter layout
 ATTEMPTS, SUCCESSES, BACKTRACKS, FUEL_OUTS = 0, 1, 2, 3
 
@@ -47,11 +51,12 @@ class DeriveTrace:
         #                                    backtracks, fuel_outs]
         self.entries: dict[tuple, list] = {}
 
-    def record(self, backend: str, key3: tuple, success: bool, fuel: bool) -> None:
-        """Count one handler attempt.  *key3* is the lowered handler's
-        ``(rel, mode_str, rule)``; *success* means the attempt produced
-        an answer/value, *fuel* that it observed fuel exhaustion."""
-        key = (backend, key3[0], key3[1], key3[2])
+    def record4(self, key: tuple, success: bool, fuel: bool) -> None:
+        """Count one handler attempt.  *key* is the pre-merged
+        ``(backend, rel, mode_str, rule)`` tuple — the lowered handler
+        carries it (:attr:`~repro.derive.plan.PlanHandler.key_checker`
+        and friends), so the hot path is a single dict lookup with no
+        tuple allocation."""
         entry = self.entries.get(key)
         if entry is None:
             entry = self.entries[key] = [0, 0, 0, 0]
@@ -62,6 +67,11 @@ class DeriveTrace:
             entry[BACKTRACKS] += 1
         if fuel:
             entry[FUEL_OUTS] += 1
+
+    def record(self, backend: str, key3: tuple, success: bool, fuel: bool) -> None:
+        """Compatibility entry point merging the key per call; the
+        executors use :meth:`record4` with pre-merged keys instead."""
+        self.record4((backend, key3[0], key3[1], key3[2]), success, fuel)
 
     def reset(self) -> None:
         self.entries.clear()
@@ -77,13 +87,27 @@ class DeriveTrace:
             for key, entry in self.entries.items()
         }
 
-    def report(self) -> str:
-        """A human-readable table, busiest handlers first."""
-        if not self.entries:
-            return "DeriveTrace: (no handler activity recorded)"
+    def report(
+        self, top: "int | None" = None, relation: "str | None" = None
+    ) -> str:
+        """A human-readable table, busiest handlers first.
+
+        *top* keeps only the N busiest rows (with a "... more" footer);
+        *relation* keeps rows of one relation — both matter for large
+        corpora runs, where the full table runs to hundreds of rows.
+        """
         rows = sorted(
             self.entries.items(), key=lambda kv: -kv[1][ATTEMPTS]
         )
+        if relation is not None:
+            rows = [kv for kv in rows if kv[0][1] == relation]
+        if not rows:
+            scope = f" for relation {relation!r}" if relation else ""
+            return f"DeriveTrace: (no handler activity recorded{scope})"
+        hidden = 0
+        if top is not None and top < len(rows):
+            hidden = len(rows) - top
+            rows = rows[:top]
         label_w = max(
             len(_label(key)) for key, _ in rows
         )
@@ -97,6 +121,8 @@ class DeriveTrace:
                 f"  {_label(key):<{label_w}} {e[ATTEMPTS]:>9,}"
                 f" {e[SUCCESSES]:>9,} {e[BACKTRACKS]:>9,} {e[FUEL_OUTS]:>9,}"
             )
+        if hidden:
+            lines.append(f"  ... ({hidden} more handlers; pass top=None for all)")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -1,0 +1,61 @@
+"""``python -m repro.observe``: render reports from dump files.
+
+Usage::
+
+    python -m repro.observe run.jsonl
+    python -m repro.observe run.jsonl --top 25 --relation bst
+    python -m repro.observe run.jsonl --top 0        # everything
+
+Reads a JSON-lines dump written by
+:meth:`~repro.observe.session.Observation.export_jsonl` and prints the
+text report (top spans, rule coverage, histograms, counters).  Exit
+status 0 on success, 2 on an unreadable or non-dump file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import read_jsonl
+from .report import render_dump
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description="Render a text report from a repro.observe JSONL dump.",
+    )
+    parser.add_argument("dump", help="JSON-lines dump file (export_jsonl)")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows per section (0 = unlimited; default 10)",
+    )
+    parser.add_argument(
+        "--relation",
+        default=None,
+        metavar="REL",
+        help="restrict spans and coverage to one relation",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        dump = read_jsonl(args.dump)
+    except OSError as exc:
+        print(f"error: cannot read {args.dump}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.dump} is not a JSONL dump: {exc}", file=sys.stderr)
+        return 2
+
+    top = None if args.top == 0 else args.top
+    try:
+        print(render_dump(dump, top=top, relation=args.relation))
+    except BrokenPipeError:
+        # Piped into `head` and the pipe closed early — normal exit.
+        sys.stderr.close()
+    return 0

@@ -1,0 +1,287 @@
+"""Dynamic rule coverage, and its diff against the static linter.
+
+Coverage is *derived* from the per-handler trace
+(:class:`~repro.derive.trace.DeriveTrace`) rather than counted at new
+hook sites: a rule is **fired** for ``(relation, mode, kind)`` when its
+handler recorded at least one success there, **attempted** when it
+recorded any activity at all, and **unfired** otherwise.  Because the
+trace contract is backend-identical (PR 3), so is coverage — an
+interpreted and a compiled run of the same workload produce the same
+table.
+
+The interesting read is the diff against the static linter
+(:mod:`repro.analysis`): REL004 marks rules that can *never* succeed
+(statically dead).  :func:`coverage_diff` joins the two verdicts per
+rule:
+
+* statically dead, unfired — expected; the linter already told you;
+* statically live, fired — healthy;
+* **statically live, never fired** — the flag this module exists for:
+  the rule is reachable in principle but the workload (or the
+  generator's distribution) never exercised it;
+* statically dead, fired — a linter false negative; surfaced loudly
+  since one of the two verdicts is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.context import Context
+from ..derive.trace import ATTEMPTS, SUCCESSES, DeriveTrace
+
+
+class RuleCoverage:
+    """``(rel, mode, kind) -> {rule: (attempts, successes)}``."""
+
+    __slots__ = ("table",)
+
+    def __init__(
+        self, table: "dict[tuple[str, str, str], dict[str, tuple[int, int]]]"
+    ) -> None:
+        self.table = table
+
+    @staticmethod
+    def from_trace(trace: DeriveTrace) -> "RuleCoverage":
+        table: dict = {}
+        for (kind, rel, mode, rule), entry in trace.entries.items():
+            group = table.setdefault((rel, mode, kind), {})
+            att, succ = group.get(rule, (0, 0))
+            group[rule] = (att + entry[ATTEMPTS], succ + entry[SUCCESSES])
+        return RuleCoverage(table)
+
+    # -- queries -------------------------------------------------------------
+
+    def groups(
+        self, relation: "str | None" = None
+    ) -> "list[tuple[str, str, str]]":
+        keys = sorted(self.table)
+        if relation is not None:
+            keys = [k for k in keys if k[0] == relation]
+        return keys
+
+    def fired(
+        self,
+        relation: str,
+        mode: "str | None" = None,
+        kind: "str | None" = None,
+    ) -> set[str]:
+        """Rules with at least one success, unioned over the matching
+        ``(mode, kind)`` groups (``None`` matches any)."""
+        out: set[str] = set()
+        for (rel, m, k), rules in self.table.items():
+            if rel != relation:
+                continue
+            if mode is not None and m != mode:
+                continue
+            if kind is not None and k != kind:
+                continue
+            out.update(r for r, (_, succ) in rules.items() if succ > 0)
+        return out
+
+    def attempted(
+        self,
+        relation: str,
+        mode: "str | None" = None,
+        kind: "str | None" = None,
+    ) -> set[str]:
+        out: set[str] = set()
+        for (rel, m, k), rules in self.table.items():
+            if rel != relation:
+                continue
+            if mode is not None and m != mode:
+                continue
+            if kind is not None and k != kind:
+                continue
+            out.update(r for r, (att, _) in rules.items() if att > 0)
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            f"{rel}[{mode}]/{kind}": {
+                rule: {"attempts": att, "successes": succ}
+                for rule, (att, succ) in sorted(rules.items())
+            }
+            for (rel, mode, kind), rules in sorted(self.table.items())
+        }
+
+    # -- rendering -----------------------------------------------------------
+
+    def report(
+        self,
+        ctx: "Context | None" = None,
+        top: "int | None" = None,
+        relation: "str | None" = None,
+    ) -> str:
+        """The coverage table, one block per ``(rel, mode, kind)``.
+
+        With a *ctx*, rules the workload never even attempted are
+        listed too (the trace alone cannot know they exist).  *top*
+        keeps the N busiest groups; *relation* filters to one
+        relation.
+        """
+        keys = self.groups(relation)
+        if not keys:
+            scope = f" for relation {relation!r}" if relation else ""
+            return f"RuleCoverage: (no rule activity recorded{scope})"
+        keys.sort(
+            key=lambda k: -sum(att for att, _ in self.table[k].values())
+        )
+        hidden = 0
+        if top is not None and top < len(keys):
+            hidden = len(keys) - top
+            keys = keys[:top]
+        lines = ["RuleCoverage (per relation/mode/kind):"]
+        for key in keys:
+            rel, mode, kind = key
+            rules = dict(self.table[key])
+            if ctx is not None and rel in ctx.relations:
+                for r in ctx.relations.get(rel).rules:
+                    rules.setdefault(r.name, (0, 0))
+            n_fired = sum(1 for _, succ in rules.values() if succ > 0)
+            lines.append(
+                f"  {rel} [{mode}] {kind}: {n_fired}/{len(rules)} rules fired"
+            )
+            width = max(len(r) for r in rules)
+            for rule in sorted(rules):
+                att, succ = rules[rule]
+                if succ > 0:
+                    status = "fired"
+                elif att > 0:
+                    status = "NEVER FIRED"
+                else:
+                    status = "NEVER ATTEMPTED"
+                lines.append(
+                    f"    {rule:<{width}} {att:>9,} attempts"
+                    f" {succ:>9,} successes  {status}"
+                )
+        if hidden:
+            lines.append(f"  ... ({hidden} more groups; pass top=None for all)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"RuleCoverage({len(self.table)} groups)"
+
+
+# ---------------------------------------------------------------------------
+# Diff against the static linter.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoverageDiffRow:
+    rule: str
+    statically_dead: bool
+    attempts: int
+    successes: int
+
+    @property
+    def fired(self) -> bool:
+        return self.successes > 0
+
+    @property
+    def live_unfired(self) -> bool:
+        """The flag: statically reachable, dynamically never fired."""
+        return not self.statically_dead and not self.fired
+
+    @property
+    def dead_fired(self) -> bool:
+        """A contradiction: the linter called it dead, yet it fired."""
+        return self.statically_dead and self.fired
+
+    @property
+    def verdict(self) -> str:
+        if self.dead_fired:
+            return "FIRED despite static dead verdict (linter bug?)"
+        if self.live_unfired:
+            return "statically live but NEVER FIRED"
+        if self.statically_dead:
+            return "dead (static), unfired (dynamic)"
+        return "live and fired"
+
+
+@dataclass(frozen=True)
+class CoverageDiff:
+    relation: str
+    mode: str
+    kind: str
+    rows: tuple[CoverageDiffRow, ...]
+
+    @property
+    def live_unfired(self) -> tuple[CoverageDiffRow, ...]:
+        return tuple(r for r in self.rows if r.live_unfired)
+
+    @property
+    def dead_fired(self) -> tuple[CoverageDiffRow, ...]:
+        return tuple(r for r in self.rows if r.dead_fired)
+
+    @property
+    def clean(self) -> bool:
+        """No statically-live-but-unfired rules and no contradictions."""
+        return not self.live_unfired and not self.dead_fired
+
+    def render(self) -> str:
+        head = (
+            f"Coverage vs. static linter (REL004) for "
+            f"{self.relation} [{self.mode}] {self.kind}:"
+        )
+        if not self.rows:
+            return head + "\n  (relation has no rules)"
+        width = max(len(r.rule) for r in self.rows)
+        lines = [head]
+        for r in self.rows:
+            lines.append(
+                f"  {r.rule:<{width}} {r.attempts:>9,} attempts"
+                f" {r.successes:>9,} successes  {r.verdict}"
+            )
+        n = len(self.live_unfired)
+        if n:
+            lines.append(
+                f"  => {n} statically-live rule(s) this workload never fired"
+            )
+        return "\n".join(lines)
+
+
+def coverage_diff(
+    ctx: Context,
+    coverage: "RuleCoverage | DeriveTrace",
+    relation: str,
+    mode: "str | None" = None,
+    *,
+    kind: "str | None" = None,
+) -> CoverageDiff:
+    """Join dynamic coverage with the linter's REL004 verdicts for one
+    ``(relation, mode, kind)``.
+
+    *coverage* may be a :class:`RuleCoverage` or a raw trace.  *mode*
+    ``None`` means the checker mode (matching
+    :func:`repro.analysis.analyze`); *kind* defaults the same way the
+    linter defaults its artifact kind.
+    """
+    from ..analysis import analyze
+    from ..derive.modes import Mode
+
+    if isinstance(coverage, DeriveTrace):
+        coverage = RuleCoverage.from_trace(coverage)
+    rel = ctx.relations.get(relation)
+    mode_obj = (
+        Mode.checker(rel.arity) if mode is None else Mode.for_relation(rel, mode)
+    )
+    mode_str = str(mode_obj)
+    if kind is None:
+        kind = "checker" if mode_obj.is_checker else "enum"
+
+    report = analyze(ctx, relation, mode, kind=kind)
+    dead = {d.rule for d in report.by_code("REL004") if d.rule is not None}
+
+    dynamic = coverage.table.get((relation, mode_str, kind), {})
+    rows = tuple(
+        CoverageDiffRow(
+            rule=r.name,
+            statically_dead=r.name in dead,
+            attempts=dynamic.get(r.name, (0, 0))[0],
+            successes=dynamic.get(r.name, (0, 0))[1],
+        )
+        for r in rel.rules
+    )
+    return CoverageDiff(relation, mode_str, kind, rows)

@@ -1,0 +1,152 @@
+"""Exporters: JSON-lines dumps and Chrome trace-event files.
+
+Two formats, two audiences:
+
+* **JSON lines** (:func:`write_jsonl` / :func:`read_jsonl`) — the
+  lossless dump: one ``meta`` line, then one line per span, handler
+  entry, histogram, and counter.  ``python -m repro.observe`` renders
+  text reports from these files, and :func:`read_jsonl` gives tests
+  and notebooks the same data back as plain dicts (no live
+  ``Observation`` needed).
+* **Chrome trace events** (:func:`write_chrome_trace`) — complete
+  (``"ph": "X"``) events with microsecond timestamps, loadable in
+  Perfetto / ``chrome://tracing`` for flame-chart inspection of the
+  recursive call tree.  Spans all land on one track; nesting is
+  recovered from containment, which holds by construction since child
+  spans close before their parents.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+FORMAT = "repro.observe/v1"
+
+
+def _span_lines(obs) -> "list[dict]":
+    return [s.as_dict() for s in obs.spans]
+
+
+def _handler_lines(obs) -> "list[dict]":
+    out = []
+    for (kind, rel, mode, rule), entry in sorted(obs.trace.entries.items()):
+        out.append(
+            {
+                "kind": kind,
+                "rel": rel,
+                "mode": mode,
+                "rule": rule,
+                "attempts": entry[0],
+                "successes": entry[1],
+                "backtracks": entry[2],
+                "fuel_outs": entry[3],
+            }
+        )
+    return out
+
+
+def dump_jsonl(obs, fp) -> None:
+    """Write the observation to an open text file, one JSON object per
+    line (``meta`` first; readers must tolerate unknown types)."""
+    meta = {
+        "type": "meta",
+        "format": FORMAT,
+        "spans": len(obs.spans),
+        "open_spans": len(obs.spans.stack),
+        "dropped_spans": obs.spans.dropped,
+        "span_cap": obs.spans.cap,
+    }
+    fp.write(json.dumps(meta) + "\n")
+    for span in _span_lines(obs):
+        span["type"] = "span"
+        fp.write(json.dumps(span) + "\n")
+    for handler in _handler_lines(obs):
+        handler["type"] = "handler"
+        fp.write(json.dumps(handler) + "\n")
+    for hist in obs.metrics.histograms.values():
+        d = hist.as_dict()
+        d["type"] = "histogram"
+        fp.write(json.dumps(d) + "\n")
+    for name, value in sorted(obs.metrics.counter_snapshot().items()):
+        fp.write(
+            json.dumps({"type": "counter", "name": name, "value": value})
+            + "\n"
+        )
+
+
+def write_jsonl(obs, path) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        dump_jsonl(obs, fp)
+
+
+@dataclass
+class Dump:
+    """A JSON-lines dump read back: the report renderer's input."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    handlers: list = field(default_factory=list)
+    histograms: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def format(self) -> str:
+        return self.meta.get("format", "?")
+
+
+def read_jsonl(path) -> Dump:
+    """Parse a dump file; unknown line types are skipped (forward
+    compatibility), malformed lines raise."""
+    dump = Dump()
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.pop("type", None)
+            if kind == "meta":
+                dump.meta = obj
+            elif kind == "span":
+                dump.spans.append(obj)
+            elif kind == "handler":
+                dump.handlers.append(obj)
+            elif kind == "histogram":
+                dump.histograms.append(obj)
+            elif kind == "counter":
+                dump.counters[obj["name"]] = obj["value"]
+    return dump
+
+
+def write_chrome_trace(obs, path) -> None:
+    """Write completed spans as Chrome trace-event JSON (open in
+    Perfetto or ``chrome://tracing``)."""
+    spans = list(obs.spans)
+    t_base = min((s.t0 for s in spans), default=0.0)
+    events = []
+    for s in spans:
+        events.append(
+            {
+                "name": f"{s.rel} [{s.mode}]",
+                "cat": s.kind,
+                "ph": "X",
+                "ts": (s.t0 - t_base) * 1e6,
+                "dur": max(s.t1 - s.t0, 0.0) * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "args": {
+                    "sid": s.sid,
+                    "parent": s.parent,
+                    "size": s.size,
+                    "top": s.top,
+                    "outcome": s.outcome,
+                    "attempts": s.attempts,
+                    "consumed": s.consumed,
+                },
+            }
+        )
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, fp, indent=None
+        )

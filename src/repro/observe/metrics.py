@@ -1,0 +1,141 @@
+"""Metrics: histogram and counter primitives behind one registry.
+
+Histograms answer distribution questions the paper's throughput
+numbers hide — how much fuel answers actually need, how large
+generated values are, how deep enumerator slices go, how many retries
+a generator burns per level.  Buckets are exact below 16 and
+power-of-two floors above (16–31, 32–63, ...), so the table stays
+small at any scale while the head of the distribution — where
+QuickChick-style generators live — stays exact.
+
+:class:`Metrics` is the registry: histograms and counters by name,
+plus an optional binding to the context's
+:class:`~repro.derive.stats.DeriveStats` so one snapshot carries both
+the observation-layer distributions and the derive-layer counters
+(``stats.*``) without duplicating the counting sites.
+"""
+
+from __future__ import annotations
+
+
+def bucket_floor(value: int) -> int:
+    """The histogram bucket holding *value*: exact below 16,
+    power-of-two floor above, negatives clamped to 0."""
+    if value < 16:
+        return value if value > 0 else 0
+    return 1 << (value.bit_length() - 1)
+
+
+def bucket_label(floor: int) -> str:
+    if floor < 16:
+        return str(floor)
+    return f"{floor}-{floor * 2 - 1}"
+
+
+class Histogram:
+    """Counts of observations per bucket, with exact count/total/
+    min/max on the side (the bucketing loses only the shape)."""
+
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: "int | None" = None
+        self.max: "int | None" = None
+
+    def observe(self, value: int) -> None:
+        b = bucket_floor(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def render(self, width: int = 40) -> str:
+        """One text block: header plus a bar per bucket."""
+        head = (
+            f"{self.name}: n={self.count} mean={self.mean:.2f}"
+            f" min={self.min} max={self.max}"
+        )
+        if not self.count:
+            return f"{self.name}: (no observations)"
+        peak = max(self.buckets.values())
+        lines = [head]
+        label_w = max(len(bucket_label(b)) for b in self.buckets)
+        for b in sorted(self.buckets):
+            n = self.buckets[b]
+            bar = "#" * max(1, round(n * width / peak))
+            lines.append(f"  {bucket_label(b):>{label_w}} | {n:>7,} {bar}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class Metrics:
+    """The registry: named histograms and counters, created on first
+    use so instrumentation sites need no setup."""
+
+    __slots__ = ("histograms", "counters", "_stats")
+
+    def __init__(self) -> None:
+        self.histograms: dict[str, Histogram] = {}
+        self.counters: dict[str, int] = {}
+        self._stats = None
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def bind_stats(self, stats) -> None:
+        """Unify with a :class:`~repro.derive.stats.DeriveStats`: its
+        counters appear in :meth:`counter_snapshot` as ``stats.<name>``
+        (read at snapshot time — the stats object keeps counting at its
+        own sites)."""
+        self._stats = stats
+
+    def counter_snapshot(self) -> dict[str, int]:
+        out = dict(self.counters)
+        stats = self._stats
+        if stats is not None:
+            for name, value in stats.as_dict().items():
+                out[f"stats.{name}"] = value
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self.histograms.items())
+            },
+            "counters": self.counter_snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Metrics({len(self.histograms)} histograms, "
+            f"{len(self.counter_snapshot())} counters)"
+        )

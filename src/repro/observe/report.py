@@ -1,0 +1,130 @@
+"""Text report rendering, from live observations or dump files.
+
+One renderer serves both paths: :func:`render_observation` converts a
+live :class:`~repro.observe.session.Observation` to the dump's plain
+dict shapes and delegates to :func:`render_dump`, which is what
+``python -m repro.observe`` calls on a JSON-lines file.  Sections:
+
+* **summary** — span counts (completed / open / dropped by the ring);
+* **top spans** — the N slowest completed spans, with kind, relation,
+  mode, fuel, outcome, attempts;
+* **rule coverage** — the per ``(relation, mode, kind)`` fired/unfired
+  table derived from the handler entries;
+* **histograms** — bucket bars for each registered distribution;
+* **counters** — flat name/value list (``stats.*`` are the derive
+  layer's counters).
+"""
+
+from __future__ import annotations
+
+from .coverage import RuleCoverage
+from .export import Dump
+from .metrics import Histogram
+
+
+def _coverage_from_handlers(handlers: list) -> RuleCoverage:
+    table: dict = {}
+    for h in handlers:
+        group = table.setdefault((h["rel"], h["mode"], h["kind"]), {})
+        att, succ = group.get(h["rule"], (0, 0))
+        group[h["rule"]] = (att + h["attempts"], succ + h["successes"])
+    return RuleCoverage(table)
+
+
+def _histogram_from_dict(d: dict) -> Histogram:
+    h = Histogram(d["name"])
+    h.count = d["count"]
+    h.total = d["total"]
+    h.min = d["min"]
+    h.max = d["max"]
+    h.buckets = {int(k): v for k, v in d["buckets"].items()}
+    return h
+
+
+def _render_top_spans(
+    spans: list, top: "int | None", relation: "str | None"
+) -> list[str]:
+    rows = spans
+    if relation is not None:
+        rows = [s for s in rows if s["rel"] == relation]
+    if not rows:
+        scope = f" for relation {relation!r}" if relation else ""
+        return [f"  (no spans recorded{scope})"]
+    rows = sorted(rows, key=lambda s: -(s["t1"] - s["t0"]))
+    hidden = 0
+    if top is not None and top < len(rows):
+        hidden = len(rows) - top
+        rows = rows[:top]
+    label_w = max(
+        len(f"{s['kind']}:{s['rel']}[{s['mode']}]") for s in rows
+    )
+    lines = [
+        f"  {'span':<{label_w}} {'ms':>9} {'fuel':>7} {'outcome':>12}"
+        f" {'attempts':>9} {'sid':>7}"
+    ]
+    for s in rows:
+        label = f"{s['kind']}:{s['rel']}[{s['mode']}]"
+        ms = max(s["t1"] - s["t0"], 0.0) * 1e3
+        lines.append(
+            f"  {label:<{label_w}} {ms:>9.3f} {s['size']:>3}/{s['top']:<3}"
+            f" {s['outcome']:>12} {s['attempts']:>9,} {s['sid']:>7}"
+        )
+    if hidden:
+        lines.append(f"  ... ({hidden} more spans; pass --top 0 for all)")
+    return lines
+
+
+def render_dump(
+    dump: Dump, top: "int | None" = 10, relation: "str | None" = None
+) -> str:
+    """The full text report for a parsed dump."""
+    meta = dump.meta
+    sections = [
+        "repro.observe report",
+        "====================",
+        f"format: {dump.format}   spans: {meta.get('spans', len(dump.spans))}"
+        f"   open: {meta.get('open_spans', 0)}"
+        f"   dropped: {meta.get('dropped_spans', 0)}",
+        "",
+        f"Top spans by wall-time{f' ({relation})' if relation else ''}:",
+        *_render_top_spans(dump.spans, top, relation),
+        "",
+        _coverage_from_handlers(dump.handlers).report(
+            top=top, relation=relation
+        ),
+    ]
+    if dump.histograms:
+        sections.append("")
+        sections.append("Histograms:")
+        for d in sorted(dump.histograms, key=lambda d: d["name"]):
+            block = _histogram_from_dict(d).render()
+            sections.extend("  " + line for line in block.splitlines())
+    if dump.counters:
+        sections.append("")
+        sections.append("Counters:")
+        width = max(len(n) for n in dump.counters)
+        for name in sorted(dump.counters):
+            sections.append(f"  {name:<{width}} {dump.counters[name]:>12,}")
+    return "\n".join(sections)
+
+
+def render_observation(
+    obs, top: "int | None" = 10, relation: "str | None" = None
+) -> str:
+    """Render a live observation (same output as dumping to JSONL and
+    rendering the file)."""
+    from .export import _handler_lines
+
+    dump = Dump(
+        meta={
+            "format": "repro.observe/v1",
+            "spans": len(obs.spans),
+            "open_spans": len(obs.spans.stack),
+            "dropped_spans": obs.spans.dropped,
+        },
+        spans=[s.as_dict() for s in obs.spans],
+        handlers=_handler_lines(obs),
+        histograms=[h.as_dict() for h in obs.metrics.histograms.values()],
+        counters=obs.metrics.counter_snapshot(),
+    )
+    return render_dump(dump, top=top, relation=relation)

@@ -1,0 +1,277 @@
+"""Hierarchical spans: the call tree of derived computations.
+
+A span is one fixpoint-level invocation of a derived computation — one
+``run_checker`` / ``run_enum`` / ``run_gen`` call in the interpreters,
+or one call of the compiled ``rec`` twin.  Spans nest: a checker that
+enumerates witnesses for an existential opens an enumerator span under
+its own, a generator that calls an external checker opens a checker
+span, and so on across mutual groups and external instances.  The
+executors open a span on entry (for an enumerator: at the first
+``next``, when the generator body starts) and close it with its
+outcome on exit.
+
+Enumerator spans have one wrinkle: a consumer may abandon the
+enumeration after the first accepted witness (``bindEC``), in which
+case the generator body never resumes and the span's own ``end`` never
+runs.  There is deliberately no ``try/finally`` in the executors —
+that would close the span at GC time, which is nondeterministic —
+instead, :meth:`SpanRecorder.end` force-closes any still-open
+descendants when an ancestor ends, marking them ``abandoned``.  The
+force-close is part of the span semantics, not an error path, and is
+identical across backends.
+
+Completed spans live in a ring buffer (:class:`collections.deque` with
+``maxlen``) so long runs stay bounded; evictions are counted in
+:attr:`SpanRecorder.dropped` and surfaced in reports rather than
+silently losing history.
+
+Timing uses :func:`time.perf_counter` (monotonic).  Everything else on
+a span is deterministic, so :meth:`Span.identity` — the span minus its
+timestamps — is byte-identical between interpreted and compiled runs
+of the same workload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Iterator
+
+#: default ring-buffer capacity (completed spans retained)
+DEFAULT_CAP = 65536
+
+#: outcome of a span force-closed because an ancestor ended first
+ABANDONED = "abandoned"
+
+#: outcome of a span still open when the observation session closed
+OPEN = "open"
+
+
+class Span:
+    """One fixpoint-level invocation of a derived computation.
+
+    ``kind`` is the backend kind (``'checker'``/``'enum'``/``'gen'``) —
+    the same key component the trace layer uses, shared by the
+    interpreted and compiled implementations of each kind, so span
+    trees aggregate across mixed-backend runs.  ``size`` is the fuel
+    available at this level and ``top`` the top fuel of the enclosing
+    fixpoint (``top - size`` is the recursion depth within it; a span
+    with ``size == top`` is an entry-level call).
+
+    ``consumed`` is the height of the span subtree below this span —
+    the maximum nesting of derived computations opened beneath it.  For
+    a purely recursive derivation that is exactly the fuel consumed;
+    external instance calls restart their own fuel, so for them it
+    counts levels rather than literal fuel units.  ``attempts`` counts
+    the handler attempts recorded while this span was innermost.
+    """
+
+    __slots__ = (
+        "sid",
+        "parent",
+        "depth",
+        "kind",
+        "rel",
+        "mode",
+        "size",
+        "top",
+        "outcome",
+        "consumed",
+        "attempts",
+        "t0",
+        "t1",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        sid: int,
+        parent: int,
+        depth: int,
+        kind: str,
+        rel: str,
+        mode: str,
+        size: int,
+        top: int,
+    ) -> None:
+        self.sid = sid
+        self.parent = parent
+        self.depth = depth
+        self.kind = kind
+        self.rel = rel
+        self.mode = mode
+        self.size = size
+        self.top = top
+        self.outcome = OPEN
+        self.consumed = 0
+        self.attempts = 0
+        self.t1 = 0.0
+        self.closed = False
+        self.t0 = perf_counter()
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        return max(0.0, self.t1 - self.t0)
+
+    def identity(self) -> tuple:
+        """The span with timing stripped: the deterministic part,
+        identical across interpreted and compiled backends."""
+        return (
+            self.sid,
+            self.parent,
+            self.depth,
+            self.kind,
+            self.rel,
+            self.mode,
+            self.size,
+            self.top,
+            self.outcome,
+            self.consumed,
+            self.attempts,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "sid": self.sid,
+            "parent": self.parent,
+            "depth": self.depth,
+            "kind": self.kind,
+            "rel": self.rel,
+            "mode": self.mode,
+            "size": self.size,
+            "top": self.top,
+            "outcome": self.outcome,
+            "consumed": self.consumed,
+            "attempts": self.attempts,
+            "t0": self.t0,
+            "t1": self.t1,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(#{self.sid} {self.kind}:{self.rel}[{self.mode}] "
+            f"size={self.size}/{self.top} -> {self.outcome})"
+        )
+
+
+class SpanRecorder:
+    """Collects the span tree of one observation session.
+
+    The executors call :meth:`begin` / :meth:`end`; everything else is
+    read-side.  Parentage comes from the open-span stack: the span open
+    when another begins is its parent, which is exactly the dynamic
+    call tree because every executor closes (or abandons) its span
+    before its caller closes its own.
+    """
+
+    __slots__ = ("spans", "stack", "dropped", "_next")
+
+    def __init__(self, cap: "int | None" = DEFAULT_CAP) -> None:
+        #: completed spans, oldest evicted first once past *cap*
+        self.spans: deque[Span] = deque(maxlen=cap)
+        #: currently open spans, outermost first
+        self.stack: list[Span] = []
+        #: completed spans evicted by the ring-buffer cap
+        self.dropped = 0
+        self._next = 0
+
+    @property
+    def cap(self) -> "int | None":
+        return self.spans.maxlen
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    # -- executor side -------------------------------------------------------
+
+    def begin(
+        self, kind: str, rel: str, mode: str, size: int, top: int
+    ) -> Span:
+        """Open a span under the currently innermost open span."""
+        self._next += 1
+        stack = self.stack
+        parent = stack[-1].sid if stack else 0
+        span = Span(self._next, parent, len(stack), kind, rel, mode, size, top)
+        stack.append(span)
+        return span
+
+    def end(self, span: Span, outcome: str) -> None:
+        """Close *span* with *outcome*, force-closing any still-open
+        descendants as ``abandoned`` first (their wall-time ends when
+        the ancestor's does).  A second ``end`` on an already-closed
+        span — e.g. an abandoned enumerator later resumed and drained —
+        is a no-op; the ``abandoned`` verdict stands."""
+        if span.closed:
+            return
+        t1 = perf_counter()
+        stack = self.stack
+        while stack and stack[-1] is not span:
+            child = stack.pop()
+            child.t1 = t1
+            child.outcome = ABANDONED
+            self._complete(child)
+        if stack:
+            stack.pop()
+        span.t1 = t1
+        span.outcome = outcome
+        self._complete(span)
+
+    def close(self) -> None:
+        """End of session: force-close anything still open (outcome
+        ``open`` — distinct from ``abandoned``, these were live when
+        observation stopped)."""
+        t1 = perf_counter()
+        while self.stack:
+            span = self.stack.pop()
+            span.t1 = t1
+            self._complete(span)
+
+    def _complete(self, span: Span) -> None:
+        span.closed = True
+        stack = self.stack
+        if stack:
+            parent = stack[-1]
+            if span.consumed >= parent.consumed:
+                parent.consumed = span.consumed + 1
+        spans = self.spans
+        if spans.maxlen is not None and len(spans) == spans.maxlen:
+            self.dropped += 1
+        spans.append(span)
+
+    # -- read side -----------------------------------------------------------
+
+    def identities(self) -> list[tuple]:
+        """All completed spans, timing stripped — the backend-identity
+        comparison view."""
+        return [s.identity() for s in self.spans]
+
+    def roots(self) -> list[Span]:
+        """Completed spans whose parent is outside the recorded set
+        (depth 0, or parent evicted by the ring cap)."""
+        sids = {s.sid for s in self.spans}
+        return [s for s in self.spans if s.parent not in sids]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent == span.sid]
+
+    def tree(self, span: Span, _depth: int = 0) -> str:
+        """Indented rendering of the subtree rooted at *span*."""
+        lines = [
+            "  " * _depth
+            + f"{span.kind}:{span.rel}[{span.mode}] "
+            f"size={span.size}/{span.top} -> {span.outcome} "
+            f"(attempts={span.attempts})"
+        ]
+        for child in self.children(span):
+            lines.append(self.tree(child, _depth + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecorder({len(self.spans)} spans, "
+            f"{len(self.stack)} open, {self.dropped} dropped)"
+        )

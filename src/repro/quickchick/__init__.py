@@ -1,7 +1,17 @@
 """QuickChick-style property-based testing substrate."""
 
 from .mutation import MutationCell, Mutant, mean_tests_to_failure
-from .property import DISCARD, FAILED, PASS, Property, TestCase, for_all, implies
+from .property import (
+    DISCARD,
+    FAILED,
+    PASS,
+    Property,
+    TestCase,
+    classify,
+    collect,
+    for_all,
+    implies,
+)
 from .runner import CheckReport, expect_failure, quick_check
 
 __all__ = [
@@ -13,6 +23,8 @@ __all__ = [
     "PASS",
     "Property",
     "TestCase",
+    "classify",
+    "collect",
     "expect_failure",
     "for_all",
     "implies",

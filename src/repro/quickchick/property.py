@@ -31,6 +31,9 @@ class TestCase:
     status: str
     input: Any = None
     detail: str = ""
+    # Labels attached by collect/classify; the runner tallies them
+    # into the report's label distribution.
+    labels: tuple = ()
 
 
 class Property:
@@ -93,5 +96,40 @@ def implies(precondition: Callable[[Any], bool], predicate: Callable[[Any], Any]
         if not precondition(value):
             return None
         return predicate(value)
+
+    return judged
+
+
+def collect(label_of: Any, predicate: Callable[[Any], Any]):
+    """QuickChick's ``collect``: label every executed test case.
+
+    *label_of* is a function of the generated value (e.g. its size) or
+    a constant; the resulting labels are tallied into the report's
+    distribution — the tool for spotting the skew the derived
+    generators are supposed to avoid.  Nests freely with ``classify``
+    and ``implies``; discards keep their labels out of the tally (the
+    runner only counts executed tests).
+    """
+
+    def judged(value: Any) -> TestCase:
+        case = _judge(predicate(value), value)
+        label = label_of(value) if callable(label_of) else label_of
+        case.labels = case.labels + (str(label),)
+        return case
+
+    return judged
+
+
+def classify(
+    condition: Callable[[Any], bool], label: str, predicate: Callable[[Any], Any]
+):
+    """QuickChick's ``classify``: label the cases where *condition*
+    holds (``collect`` with a predicate instead of a projection)."""
+
+    def judged(value: Any) -> TestCase:
+        case = _judge(predicate(value), value)
+        if condition(value):
+            case.labels = case.labels + (str(label),)
+        return case
 
     return judged

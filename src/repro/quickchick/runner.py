@@ -4,6 +4,14 @@
 failure), tracking discards and wall-clock time; its report carries
 ``tests_per_second`` — the metric of the paper's Figure 3 — and
 ``tests_to_failure`` — the metric of the mutation study (Section 6.2).
+
+Distribution visibility (the Beginner's-Luck concern): properties
+labelled with :func:`~repro.quickchick.property.collect` /
+``classify`` tally into the report's ``labels``; ``discard_rate``
+quantifies precondition waste; and passing a context as ``observe=``
+runs the whole loop under :func:`repro.observe.observe`, attaching the
+full observation — spans, histograms, and the dynamic rule coverage of
+the derived computations the property exercised — to the report.
 """
 
 from __future__ import annotations
@@ -27,6 +35,10 @@ class CheckReport:
     # Reproduction coordinates: the RNG seed and size this run used.
     seed: int | None = None
     size: int | None = None
+    # Label distribution from collect/classify (executed tests only).
+    labels: dict = field(default_factory=dict)
+    # The repro.observe.Observation when run with observe=ctx.
+    observation: object = None
 
     @property
     def tests_per_second(self) -> float:
@@ -41,6 +53,29 @@ class CheckReport:
     def tests_to_failure(self) -> int | None:
         return self.tests_run if self.failed else None
 
+    @property
+    def discard_rate(self) -> float:
+        """Discards as a fraction of all generator draws."""
+        drawn = self.tests_run + self.discards
+        return self.discards / drawn if drawn else 0.0
+
+    @property
+    def coverage(self):
+        """Dynamic rule coverage of the run (``None`` unless checked
+        with ``observe=``)."""
+        obs = self.observation
+        return obs.coverage() if obs is not None else None
+
+    def _label_lines(self) -> list[str]:
+        if not self.labels or not self.tests_run:
+            return []
+        return [
+            f"{100 * n / self.tests_run:5.1f}% {label}"
+            for label, n in sorted(
+                self.labels.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+
     def __str__(self) -> str:
         if self.failed:
             return (
@@ -54,11 +89,13 @@ class CheckReport:
                 f"*** Gave up after {self.discards} discards "
                 f"({self.tests_run} tests)"
             )
-        return (
+        head = (
             f"+++ Passed {self.tests_run} tests "
-            f"({self.discards} discards; "
+            f"({self.discards} discards, "
+            f"{100 * self.discard_rate:.0f}% discard rate; "
             f"{self.tests_per_second:,.0f} tests/s)"
         )
+        return "\n".join([head] + self._label_lines())
 
 
 def quick_check(
@@ -68,8 +105,30 @@ def quick_check(
     seed: int | None = None,
     max_discard_ratio: int = 10,
     stop_on_failure: bool = True,
+    observe=None,
 ) -> CheckReport:
-    """Run *prop* up to *num_tests* times at the given *size*."""
+    """Run *prop* up to *num_tests* times at the given *size*.
+
+    *observe* is a :class:`~repro.core.context.Context`: the loop then
+    runs under :func:`repro.observe.observe` on that context and the
+    report carries the resulting observation (``report.observation``,
+    ``report.coverage``).  Observation changes throughput, not
+    verdicts — seeds replay identically with it on or off.
+    """
+    if observe is not None:
+        from ..observe import observe as _observe
+
+        with _observe(observe) as obs:
+            report = quick_check(
+                prop,
+                num_tests=num_tests,
+                size=size,
+                seed=seed,
+                max_discard_ratio=max_discard_ratio,
+                stop_on_failure=stop_on_failure,
+            )
+        report.observation = obs
+        return report
     if seed is None:
         # Draw a concrete seed so a failure is reproducible from the
         # report alone (pass it back in to replay the exact run).
@@ -87,6 +146,8 @@ def quick_check(
                 break
             continue
         report.tests_run += 1
+        for label in case.labels:
+            report.labels[label] = report.labels.get(label, 0) + 1
         if case.status == FAILED:
             report.failed = True
             report.counterexample = case.input

@@ -136,3 +136,165 @@ class TestReporting:
             pass
         assert TRACE_KEY not in nat_ctx.caches
         assert STATS_KEY not in nat_ctx.caches
+
+
+class TestRecord4:
+    def test_pre_merged_key_equivalent_to_record(self):
+        a, b = DeriveTrace(), DeriveTrace()
+        a.record("checker", ("le", "ii", "le_n"), True, False)
+        b.record4(("checker", "le", "ii", "le_n"), True, False)
+        assert a.entries == b.entries
+
+    def test_plan_handlers_carry_backend_keys(self, nat_ctx):
+        from repro.derive.plan import lower_schedule
+        from repro.derive.scheduler import build_schedule
+
+        schedule = build_schedule(nat_ctx, "le", Mode.checker(2))
+        plan = lower_schedule(nat_ctx, schedule)
+        for h in plan.handlers:
+            assert h.key_checker == ("checker",) + h.key3
+            assert h.key_enum == ("enum",) + h.key3
+            assert h.key_gen == ("gen",) + h.key3
+
+
+class TestReportFilters:
+    def _traced(self, nat_ctx):
+        le = derive_checker(nat_ctx, "le")
+        ev = derive_checker(nat_ctx, "ev")
+        with profile(nat_ctx) as tr:
+            le(10, from_int(2), from_int(5))
+            ev(10, from_int(4))
+        return tr
+
+    def test_top_truncates_with_footer(self, nat_ctx):
+        tr = self._traced(nat_ctx)
+        assert len(tr.entries) > 1
+        text = tr.report(top=1)
+        assert "more handlers" in text
+        assert len([l for l in text.splitlines() if ":" in l and "[" in l]) == 1
+
+    def test_relation_filter(self, nat_ctx):
+        tr = self._traced(nat_ctx)
+        text = tr.report(relation="ev")
+        assert "ev[" in text and "le[" not in text
+
+    def test_empty_filter_result(self, nat_ctx):
+        tr = self._traced(nat_ctx)
+        assert "no handler activity" in tr.report(relation="nope")
+
+    def test_unfiltered_report_unchanged(self, nat_ctx):
+        tr = self._traced(nat_ctx)
+        assert "more handlers" not in tr.report()
+
+
+MUTUAL_EVEN_ODD = """
+Inductive even : nat -> Prop :=
+| even_0 : even 0
+| even_S : forall n, odd n -> even (S n)
+with odd : nat -> Prop :=
+| odd_S : forall n, even n -> odd (S n).
+"""
+
+
+class TestMutualGroups:
+    """Tracing and observation across a mutual-recursion group (the
+    group shares fuel and routes RECCHECK to sibling plans; spans and
+    trace rows must attribute to the right member)."""
+
+    def _mutual_ctx(self):
+        from repro.core import parse_declarations
+        from repro.derive.mutual import derive_mutual_checkers
+        from repro.stdlib import standard_context
+
+        ctx = standard_context()
+        parse_declarations(ctx, MUTUAL_EVEN_ODD)
+        return ctx, derive_mutual_checkers(ctx, ["even", "odd"])
+
+    def test_trace_rows_per_member(self):
+        ctx, checkers = self._mutual_ctx()
+        with profile(ctx) as tr:
+            assert checkers["even"](10, from_int(4)).is_true
+        rels = {k[1] for k in tr.entries}
+        assert rels == {"even", "odd"}
+        # even 4 -> odd 3 -> even 2 -> odd 1 -> even 0: every recursive
+        # step fired exactly one rule.
+        assert all(e[0] == e[1] for e in tr.entries.values())
+
+    def test_span_tree_alternates_members(self):
+        from repro.observe import observe
+
+        ctx, checkers = self._mutual_ctx()
+        with observe(ctx) as obs:
+            assert checkers["even"](10, from_int(4)).is_true
+        chain = [(s.rel, s.size) for s in reversed(list(obs.spans))]
+        assert chain == [
+            ("even", 10), ("odd", 9), ("even", 8), ("odd", 7), ("even", 6),
+        ]
+        # One root; each level nests under the previous (shared fuel).
+        roots = obs.spans.roots()
+        assert len(roots) == 1
+        depths = sorted(s.depth for s in obs.spans)
+        assert depths == [0, 1, 2, 3, 4]
+
+    def test_group_coverage_attributes_rules_to_members(self):
+        from repro.observe import observe
+
+        ctx, checkers = self._mutual_ctx()
+        with observe(ctx) as obs:
+            assert checkers["even"](12, from_int(6)).is_true
+            assert checkers["odd"](12, from_int(3)).is_true
+        cov = obs.coverage()
+        assert cov.fired("even") == {"even_0", "even_S"}
+        assert cov.fired("odd") == {"odd_S"}
+
+    def test_mutual_spans_deterministic_across_runs(self):
+        """Two separate sessions over the same group workload produce
+        identical timing-stripped span trees (the single-backend
+        analogue of test_backend_diff; mutual groups are interpreter-
+        only, so interp-vs-interp determinism is the contract)."""
+        from repro.observe import observe
+
+        def run():
+            ctx, checkers = self._mutual_ctx()
+            with observe(ctx) as obs:
+                checkers["even"](10, from_int(7))
+                checkers["odd"](10, from_int(7))
+            return obs.spans.identities(), obs.coverage().table
+
+        ids_a, cov_a = run()
+        ids_b, cov_b = run()
+        assert ids_a and ids_a == ids_b
+        assert cov_a == cov_b
+
+
+class TestMixedBackendRuns:
+    def test_interp_and_compiled_aggregate_one_trace(self, nat_ctx):
+        """One profile session over both backends: rows merge into the
+        same (kind, rel, mode, rule) keys, each counted twice."""
+        interp = derive_checker(nat_ctx, "le")
+        compiled = resolve_compiled(nat_ctx, CHECKER, "le", Mode.checker(2))
+        args = (from_int(2), from_int(5))
+        with profile(nat_ctx) as tr_single:
+            interp(10, *args)
+        with profile(nat_ctx) as tr_mixed:
+            interp(10, *args)
+            compiled(10, args)
+        assert set(tr_mixed.entries) == set(tr_single.entries)
+        for key, entry in tr_mixed.entries.items():
+            assert entry == [c * 2 for c in tr_single.entries[key]]
+
+    def test_mixed_run_span_subtrees_identical(self, list_ctx):
+        from repro.observe import observe
+
+        interp = derive_checker(list_ctx, "Sorted")
+        compiled = resolve_compiled(
+            list_ctx, CHECKER, "Sorted", Mode.checker(1)
+        )
+        arg = nat_list([1, 2, 3])
+        with observe(list_ctx) as obs:
+            interp(8, arg)
+            compiled(8, (arg,))
+        roots = obs.spans.roots()
+        assert len(roots) == 2
+        interp_tree, compiled_tree = (obs.spans.tree(r) for r in roots)
+        assert interp_tree == compiled_tree

@@ -1,0 +1,149 @@
+"""Dynamic rule coverage and its diff against the static linter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parse_declarations
+from repro.core.values import from_int
+from repro.derive import derive_checker, derive_generator, profile
+from repro.derive.trace import DeriveTrace
+from repro.observe import RuleCoverage, coverage_diff, observe
+from repro.stdlib import standard_context
+
+# A statically clean relation (both rules REL004-live) plus one with a
+# provably dead rule ('dead' needs the base-case-free 'loop').
+DEAD_RULE_DECLS = """
+Inductive loop : nat -> Prop :=
+| loop_S : forall n, loop n -> loop (S n).
+
+Inductive uses_loop : nat -> Prop :=
+| ul_0 : uses_loop 0
+| dead : forall n, loop n -> uses_loop n.
+"""
+
+
+class TestRuleCoverage:
+    def test_from_trace_groups_by_rel_mode_kind(self):
+        tr = DeriveTrace()
+        tr.record4(("checker", "le", "ii", "le_n"), True, False)
+        tr.record4(("checker", "le", "ii", "le_S"), False, False)
+        tr.record4(("gen", "le", "io", "le_n"), True, False)
+        cov = RuleCoverage.from_trace(tr)
+        assert set(cov.table) == {("le", "ii", "checker"), ("le", "io", "gen")}
+        assert cov.table[("le", "ii", "checker")] == {
+            "le_n": (1, 1),
+            "le_S": (1, 0),
+        }
+
+    def test_fired_and_attempted_queries(self):
+        tr = DeriveTrace()
+        tr.record4(("checker", "le", "ii", "le_n"), True, False)
+        tr.record4(("checker", "le", "ii", "le_S"), False, True)
+        cov = RuleCoverage.from_trace(tr)
+        assert cov.fired("le") == {"le_n"}
+        assert cov.attempted("le") == {"le_n", "le_S"}
+        assert cov.fired("le", kind="gen") == set()
+        assert cov.fired("nope") == set()
+
+    def test_report_marks_unfired_and_unattempted(self, nat_ctx):
+        ev = derive_checker(nat_ctx, "ev")
+        with profile(nat_ctx) as tr:
+            assert ev(10, from_int(0)).is_true
+        cov = RuleCoverage.from_trace(tr)
+        # Dispatch on the head constructor O: ev_SS is never attempted.
+        text = cov.report(ctx=nat_ctx)
+        assert "ev_0" in text and "fired" in text
+        assert "ev_SS" in text and "NEVER ATTEMPTED" in text
+
+    def test_report_top_and_relation_filters(self, nat_ctx):
+        le = derive_checker(nat_ctx, "le")
+        ev = derive_checker(nat_ctx, "ev")
+        with profile(nat_ctx) as tr:
+            le(10, from_int(2), from_int(5))
+            ev(10, from_int(4))
+        cov = RuleCoverage.from_trace(tr)
+        assert len(cov.groups()) == 2
+        only_le = cov.report(relation="le")
+        assert "le [" in only_le and "ev [" not in only_le
+        topped = cov.report(top=1)
+        assert "1 more groups" in topped
+        assert "no rule activity" in cov.report(relation="nope")
+
+    def test_empty_coverage_report(self):
+        assert "no rule activity" in RuleCoverage({}).report()
+
+
+class TestCoverageDiff:
+    def test_live_and_fired_is_clean(self, nat_ctx):
+        le = derive_checker(nat_ctx, "le")
+        with observe(nat_ctx) as obs:
+            assert le(10, from_int(2), from_int(5)).is_true
+            assert not le(10, from_int(5), from_int(2)).is_true
+        diff = coverage_diff(nat_ctx, obs.coverage(), "le")
+        assert diff.clean
+        assert all(r.verdict == "live and fired" for r in diff.rows)
+
+    def test_statically_live_but_unfired_is_flagged(self, nat_ctx):
+        # The acceptance fixture: both ev rules are statically live
+        # (REL004 finds nothing), but a workload that only ever checks
+        # ev 0 never fires ev_SS.
+        ev = derive_checker(nat_ctx, "ev")
+        with observe(nat_ctx) as obs:
+            assert ev(10, from_int(0)).is_true
+        diff = coverage_diff(nat_ctx, obs.coverage(), "ev")
+        assert not diff.clean
+        flagged = {r.rule for r in diff.live_unfired}
+        assert flagged == {"ev_SS"}
+        assert not diff.dead_fired
+        text = diff.render()
+        assert "statically live but NEVER FIRED" in text
+        assert "1 statically-live rule(s)" in text
+
+    def test_statically_dead_unfired_is_expected(self):
+        ctx = standard_context()
+        parse_declarations(ctx, DEAD_RULE_DECLS)
+        chk = derive_checker(ctx, "uses_loop", analysis=False)
+        with observe(ctx) as obs:
+            assert chk(10, from_int(0)).is_true
+        diff = coverage_diff(ctx, obs.coverage(), "uses_loop")
+        by_rule = {r.rule: r for r in diff.rows}
+        assert by_rule["dead"].statically_dead
+        assert not by_rule["dead"].fired
+        assert by_rule["dead"].verdict == "dead (static), unfired (dynamic)"
+        assert by_rule["ul_0"].verdict == "live and fired"
+
+    def test_dead_but_fired_contradiction_surfaces(self):
+        # Synthesised: a coverage table claiming the dead rule fired
+        # must be called out as a linter/trace contradiction.
+        ctx = standard_context()
+        parse_declarations(ctx, DEAD_RULE_DECLS)
+        cov = RuleCoverage(
+            {("uses_loop", "i", "checker"): {"dead": (3, 1), "ul_0": (1, 1)}}
+        )
+        diff = coverage_diff(ctx, cov, "uses_loop")
+        assert {r.rule for r in diff.dead_fired} == {"dead"}
+        assert not diff.clean
+        assert "linter bug?" in diff.render()
+
+    def test_accepts_raw_trace(self, nat_ctx):
+        le = derive_checker(nat_ctx, "le")
+        with profile(nat_ctx) as tr:
+            le(10, from_int(1), from_int(2))
+        diff = coverage_diff(nat_ctx, tr, "le")
+        assert diff.relation == "le" and diff.kind == "checker"
+
+    def test_producer_kinds(self, nat_ctx):
+        import random
+
+        gen = derive_generator(nat_ctx, "le", "io")
+        with observe(nat_ctx) as obs:
+            for seed in range(20):
+                gen(6, from_int(2), rng=random.Random(seed))
+        diff = coverage_diff(nat_ctx, obs.coverage(), "le", "io", kind="gen")
+        assert diff.kind == "gen"
+        assert {r.rule for r in diff.rows if r.fired} == {"le_n", "le_S"}
+
+    def test_unknown_relation_raises(self, nat_ctx):
+        with pytest.raises(Exception):
+            coverage_diff(nat_ctx, RuleCoverage({}), "no_such_relation")

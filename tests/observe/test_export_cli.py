@@ -1,0 +1,143 @@
+"""Exporters (JSONL, Chrome trace) and the ``python -m repro.observe``
+report CLI, exercised on dumps from real runs."""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.values import from_int
+from repro.derive import derive_checker, derive_generator
+from repro.observe import observe, read_jsonl, render_dump
+from repro.observe.cli import main as cli_main
+from repro.observe.export import FORMAT
+
+
+@pytest.fixture
+def run_obs(nat_ctx):
+    """A completed observation over a mixed checker/generator run."""
+    le = derive_checker(nat_ctx, "le")
+    gen = derive_generator(nat_ctx, "le", "io")
+    with observe(nat_ctx) as obs:
+        le(10, from_int(2), from_int(5))
+        le(10, from_int(5), from_int(2))
+        for seed in range(5):
+            gen(6, from_int(3), rng=random.Random(seed))
+    return obs
+
+
+class TestJsonl:
+    def test_round_trip(self, run_obs, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_obs.export_jsonl(path)
+        dump = read_jsonl(path)
+        assert dump.format == FORMAT
+        assert dump.meta["spans"] == len(run_obs.spans)
+        assert len(dump.spans) == len(run_obs.spans)
+        assert [s["sid"] for s in dump.spans] == [
+            s.sid for s in run_obs.spans
+        ]
+        assert len(dump.handlers) == len(run_obs.trace.entries)
+        assert {h["name"] for h in dump.histograms} == set(
+            run_obs.metrics.histograms
+        )
+        assert dump.counters == run_obs.metrics.counter_snapshot()
+
+    def test_every_line_is_json_with_type(self, run_obs, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_obs.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        assert all("type" in json.loads(line) for line in lines)
+
+    def test_unknown_line_types_skipped(self, tmp_path):
+        path = tmp_path / "forward.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "format": FORMAT, "spans": 0})
+            + "\n"
+            + json.dumps({"type": "from_the_future", "x": 1})
+            + "\n\n"
+        )
+        dump = read_jsonl(path)
+        assert dump.format == FORMAT and not dump.spans
+
+    def test_render_live_equals_render_dump(self, run_obs, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_obs.export_jsonl(path)
+        assert run_obs.report(top=5) == render_dump(read_jsonl(path), top=5)
+
+
+class TestChromeTrace:
+    def test_complete_events_with_nesting_args(self, run_obs, tmp_path):
+        path = tmp_path / "run.trace.json"
+        run_obs.export_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert len(events) == len(run_obs.spans)
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
+            assert {"sid", "parent", "outcome"} <= set(ev["args"])
+        # Child events are contained in their parents' intervals.
+        by_sid = {ev["args"]["sid"]: ev for ev in events}
+        for ev in events:
+            parent = by_sid.get(ev["args"]["parent"])
+            if parent is not None:
+                assert parent["ts"] <= ev["ts"] + 1e-6
+                assert (
+                    ev["ts"] + ev["dur"]
+                    <= parent["ts"] + parent["dur"] + 1e-6
+                )
+
+
+class TestCli:
+    def test_renders_report_from_dump(self, run_obs, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        run_obs.export_jsonl(path)
+        assert cli_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.observe report" in out
+        assert "Top spans by wall-time" in out
+        assert "RuleCoverage" in out
+        assert "Histograms:" in out
+
+    def test_top_and_relation_flags(self, run_obs, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        run_obs.export_jsonl(path)
+        assert cli_main([str(path), "--top", "2", "--relation", "le"]) == 0
+        out = capsys.readouterr().out
+        assert "more spans" in out
+        assert cli_main([str(path), "--top", "0"]) == 0
+        assert "more spans" not in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert cli_main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_dump_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert cli_main([str(bad)]) == 2
+        assert "not a JSONL dump" in capsys.readouterr().err
+
+    def test_module_entry_point(self, run_obs, tmp_path):
+        # The real `python -m repro.observe` invocation (a test for the
+        # acceptance criterion: render a report from a dump of a real
+        # run through the module CLI).
+        path = tmp_path / "run.jsonl"
+        run_obs.export_jsonl(path)
+        src = Path(__file__).resolve().parents[2] / "src"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.observe", str(path), "--top", "5"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "repro.observe report" in proc.stdout
+        assert "RuleCoverage" in proc.stdout

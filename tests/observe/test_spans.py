@@ -1,0 +1,130 @@
+"""Unit tests for the span primitives (repro.observe.spans)."""
+
+from __future__ import annotations
+
+from repro.observe.spans import ABANDONED, OPEN, Span, SpanRecorder
+
+
+class TestSpan:
+    def test_fresh_span_is_open(self):
+        s = Span(1, 0, 0, "checker", "le", "ii", 5, 5)
+        assert s.outcome == OPEN
+        assert not s.closed
+        assert s.duration == 0.0
+
+    def test_identity_strips_timing(self):
+        s = Span(7, 3, 2, "gen", "bst", "iio", 4, 8)
+        ident = s.identity()
+        assert ident == (7, 3, 2, "gen", "bst", "iio", 4, 8, OPEN, 0, 0)
+        # The dict view keeps the timestamps identity() strips.
+        assert "t0" in s.as_dict() and "t1" in s.as_dict()
+
+    def test_as_dict_round_trips_fields(self):
+        s = Span(2, 1, 1, "enum", "le", "io", 3, 6)
+        d = s.as_dict()
+        for field in ("sid", "parent", "depth", "kind", "rel", "mode",
+                      "size", "top", "outcome", "consumed", "attempts"):
+            assert field in d
+
+
+class TestSpanRecorder:
+    def test_parentage_from_open_stack(self):
+        rec = SpanRecorder()
+        a = rec.begin("checker", "even", "i", 5, 5)
+        b = rec.begin("checker", "odd", "i", 4, 5)
+        c = rec.begin("checker", "even", "i", 3, 5)
+        assert (a.parent, b.parent, c.parent) == (0, a.sid, b.sid)
+        assert (a.depth, b.depth, c.depth) == (0, 1, 2)
+        rec.end(c, "true")
+        rec.end(b, "true")
+        rec.end(a, "true")
+        assert [s.sid for s in rec] == [c.sid, b.sid, a.sid]
+        assert rec.roots() == [a]
+        assert rec.children(a) == [b]
+
+    def test_consumed_is_subtree_height(self):
+        rec = SpanRecorder()
+        a = rec.begin("checker", "r", "i", 5, 5)
+        b = rec.begin("checker", "r", "i", 4, 5)
+        c = rec.begin("checker", "r", "i", 3, 5)
+        rec.end(c, "true")
+        rec.end(b, "true")
+        rec.end(a, "true")
+        assert (c.consumed, b.consumed, a.consumed) == (0, 1, 2)
+
+    def test_ancestor_end_abandons_open_descendants(self):
+        rec = SpanRecorder()
+        a = rec.begin("checker", "reach", "i", 5, 5)
+        b = rec.begin("enum", "le", "io", 5, 5)
+        c = rec.begin("checker", "le", "ii", 4, 5)
+        rec.end(a, "true")  # b, c never ended by their executors
+        assert a.outcome == "true"
+        assert b.outcome == ABANDONED and b.closed
+        assert c.outcome == ABANDONED and c.closed
+        assert not rec.stack
+
+    def test_end_is_idempotent_abandoned_verdict_stands(self):
+        rec = SpanRecorder()
+        a = rec.begin("checker", "r", "i", 5, 5)
+        b = rec.begin("enum", "le", "io", 5, 5)
+        rec.end(a, "true")
+        assert b.outcome == ABANDONED
+        rec.end(b, "3v")  # late resume: a no-op
+        assert b.outcome == ABANDONED
+        assert len(rec) == 2
+
+    def test_close_marks_still_open_spans_open(self):
+        rec = SpanRecorder()
+        a = rec.begin("gen", "bst", "iio", 6, 6)
+        b = rec.begin("checker", "le", "ii", 5, 6)
+        rec.close()
+        assert a.outcome == OPEN and a.closed
+        assert b.outcome == OPEN and b.closed
+        assert a.duration >= 0.0
+
+    def test_ring_buffer_cap_and_dropped(self):
+        rec = SpanRecorder(cap=4)
+        for i in range(10):
+            s = rec.begin("checker", "le", "ii", 1, 1)
+            rec.end(s, "true")
+        assert len(rec) == 4
+        assert rec.cap == 4
+        assert rec.dropped == 6
+        # The survivors are the newest four.
+        assert [s.sid for s in rec] == [7, 8, 9, 10]
+
+    def test_unbounded_recorder(self):
+        rec = SpanRecorder(cap=None)
+        for _ in range(100):
+            rec.end(rec.begin("checker", "le", "ii", 1, 1), "true")
+        assert len(rec) == 100 and rec.dropped == 0
+
+    def test_roots_after_eviction(self):
+        # The deepest span is evicted by the cap; the kept spans whose
+        # parents are still recorded are not roots, the rest are.
+        rec = SpanRecorder(cap=2)
+        a = rec.begin("checker", "r", "i", 3, 3)
+        b = rec.begin("checker", "r", "i", 2, 3)
+        c = rec.begin("checker", "r", "i", 1, 3)
+        rec.end(c, "true")
+        rec.end(b, "true")
+        rec.end(a, "true")  # evicts c's record
+        assert list(rec) == [b, a]
+        assert rec.dropped == 1
+        assert rec.roots() == [a]
+
+    def test_tree_rendering(self):
+        rec = SpanRecorder()
+        a = rec.begin("checker", "even", "i", 2, 2)
+        b = rec.begin("checker", "odd", "i", 1, 2)
+        rec.end(b, "true")
+        rec.end(a, "true")
+        text = rec.tree(a)
+        assert "checker:even[i]" in text
+        assert "\n  checker:odd[i]" in text
+
+    def test_identities_match_spans(self):
+        rec = SpanRecorder()
+        s = rec.begin("enum", "le", "io", 4, 4)
+        rec.end(s, "2v")
+        assert rec.identities() == [s.identity()]
