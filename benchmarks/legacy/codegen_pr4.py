@@ -1,63 +1,25 @@
-"""Code generation: compile lowered plans to Python source.
+"""Frozen PR 4 codegen (benchmark baseline only).
 
-The paper's plugin emits Gallina *code* for each derived computation;
-the interpreters in this package execute the lowered Plan IR instead.
-This module closes the loop: it compiles a :class:`~repro.derive.plan.
-Plan` into a dedicated Python function (built with ``compile``/
-``exec``), eliminating the remaining interpretive overhead — the
-backend used by the Figure 3 benchmarks, with the interpreter kept as
-the ablation baseline.
-
-The compiler consumes the *same* lowering as the interpreters
-(:func:`~repro.derive.plan.lower_schedule` — slot environments,
-flattened pattern ops, dispatch index), so interpreted and compiled
-backends cannot drift: slots become Python locals, ops become
-statements, and the dispatch tables are emitted as module-level dict
-literals keyed by head constructor.
-
-Compilation scheme (checker):
-
-* the fixpoint becomes a Python function ``rec(size, top_size, *ins)``
-  that looks up candidate handlers in the dispatch table;
-* each handler becomes a flat function: ``testctor``/``testconst``/
-  ``testeq`` ops compile to early returns, ``.&&`` chains likewise,
-  and each ``bindEC`` producer op to a ``for`` loop;
-* one ``_inc`` flag per handler reproduces the nested-``bindEC`` fuel
-  accounting exactly (a branch that ends without success inside a loop
-  ``continue``\\ s; the handler returns ``Some false`` only when the
-  flag stayed clear).
-
-Enumerators compile to Python generator functions (``yield`` /
-``yield from``), generators to single-sample recursive functions with
-the weighted-backtrack loop at the top.  External instances are
-resolved at compile time through the registry (with the ``compiled``
-backend preferred, so whole dependency trees compile together).
-
-Profiling, observation, and budget hooks are threaded through the
-emitted ``rec``: one ``caches.get('derive_trace')`` plus one
-``caches.get('derive_observe')`` plus one
-``caches.get('derive_budget')`` per call and ``is not None`` guards —
-matching the interpreters' zero-overhead-off contract.  Dispatch
-entries carry the pre-merged ``(kind, rel, mode, rule)`` trace key and
-the handler's static charge cost; span begin/end sites and budget
-charge sites (one ``charge_entry`` per level, one ``charge(cost)`` per
-handler attempt, one ``charge(1)`` per producer-loop item) mirror
-:mod:`~repro.derive.exec_core` construct-by-construct, so mixed
-interpreted/compiled runs aggregate into one trace, produce identical
-span trees, and replay a deterministic fault schedule identically.
+Verbatim copy (imports adjusted) of ``repro.derive.codegen`` as of the
+commit *before* the ``repro.resilience`` budget hooks landed.  It
+consumes the live Plan IR, so ``benchmarks/bench_resilience.py`` can
+measure the budget-ready executors against this baseline on identical
+lowered programs -- isolating the cost of the new hook sites.  Do not
+"fix" or modernize it; its value is staying identical to the PR 4 hot
+path.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from ..core.context import Context
-from ..core.types import TypeExpr, mangle
-from ..core.values import Value
-from ..producers.combinators import _enum_values, _gen_value, slice_exhaustive
-from ..producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
-from ..producers.outcome import FAIL, OUT_OF_FUEL
-from .plan import (
+from repro.core.context import Context
+from repro.core.types import TypeExpr, mangle
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, _gen_value, slice_exhaustive
+from repro.producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.derive.plan import (
     OP_CHECK,
     OP_EVAL,
     OP_INSTANTIATE,
@@ -73,7 +35,7 @@ from .plan import (
     PlanHandler,
     lower_schedule,
 )
-from .schedule import Schedule
+from repro.derive.schedule import Schedule
 
 
 class _Emitter:
@@ -175,12 +137,12 @@ class _PlanCompiler:
     # -- instance resolution at compile time -----------------------------------------
 
     def checker_fn(self, rel: str):
-        from .instances import resolve_compiled_checker
+        from repro.derive.instances import resolve_compiled_checker
 
         return resolve_compiled_checker(self.ctx, rel)
 
     def producer_fn(self, rel: str, mode) -> Any:
-        from .instances import ENUM, GEN, resolve_compiled
+        from repro.derive.instances import ENUM, GEN, resolve_compiled
 
         kind = ENUM if self.kind in ("checker", "enum") else GEN
         return resolve_compiled(self.ctx, kind, rel, mode)
@@ -230,7 +192,7 @@ class _PlanCompiler:
 
     def _entry(self, h: PlanHandler) -> str:
         key4 = (self.kind,) + h.key3
-        return f"(_h_{h.index}, {h.recursive!r}, {key4!r}, {h.cost!r})"
+        return f"(_h_{h.index}, {h.recursive!r}, {key4!r})"
 
     def _entries(self, handlers: tuple) -> str:
         inner = ", ".join(self._entry(h) for h in handlers)
@@ -239,12 +201,11 @@ class _PlanCompiler:
 
     def _emit_dispatch(self, em: _Emitter) -> None:
         """Dispatch tables as module-level literals.  Entries are
-        ``(handler_fn, recursive, key4, cost)`` so one shape serves all
-        three backends (weights need ``recursive``, profiling needs the
+        ``(handler_fn, recursive, key4)`` so one shape serves all three
+        backends (weights need ``recursive``, profiling needs the
         pre-merged trace key — the compiled twin of
-        :attr:`~repro.derive.plan.PlanHandler.key_checker` and friends —
-        and budget charges need the static per-attempt
-        :attr:`~repro.derive.plan.PlanHandler.cost`)."""
+        :attr:`~repro.derive.plan.PlanHandler.key_checker` and
+        friends)."""
         plan = self.plan
         if plan.dispatch_pos < 0:
             em.emit(f"_all_full = {self._entries(plan.handlers)}")
@@ -278,11 +239,6 @@ class _PlanCompiler:
     def _emit_checker_handler(self, em: _Emitter, h: PlanHandler) -> None:
         em.emit(f"def _h_{h.index}({self._handler_params()}):")
         em.indent += 1
-        if _has_loop_ops(h):
-            # Only handlers with producer loops charge per item; the
-            # budget probe is scoped to them so straightline handlers
-            # stay probe-free.
-            em.emit("_bud = _caches.get('derive_budget')")
         em.emit("_inc = False")
         self._emit_checker_ops(em, h.ops, 0, depth=0)
         em.emit("return NONE_OB if _inc else SOME_FALSE")
@@ -330,7 +286,6 @@ class _PlanCompiler:
                 )
                 em.emit(f"for {item} in {fn}(_top, {self.args_tuple(op[3])}):")
                 em.indent += 1
-                self._emit_loop_charge(em, "_inc = True", "break")
                 em.emit(f"if {item} is OUT_OF_FUEL or {item} is FAIL:")
                 em.indent += 1
                 em.emit("_inc = True")
@@ -353,33 +308,17 @@ class _PlanCompiler:
                 em.emit("_inc = True")
                 em.emit("continue")
                 em.indent -= 1
-                # Charge after the marker test: the interpreter's
-                # instantiate loop sees raw values only (the fuel
-                # marker lives outside its stream), so charging the
-                # marker here would desynchronize the op streams.
-                self._emit_loop_charge(em, "_inc = True", "break")
                 self._emit_checker_ops(em, ops, i + 1, depth + 1)
                 em.indent -= 1
                 return
             i += 1
         em.emit("return SOME_TRUE")
 
-    def _emit_loop_charge(self, em: _Emitter, *stmts: str) -> None:
-        """One ``charge(1)`` at a producer-loop top — the compiled twin
-        of the interpreters' per-item charge, same site, same order."""
-        em.emit("if _bud is not None and _bud.charge(1):")
-        em.indent += 1
-        for stmt in stmts:
-            em.emit(stmt)
-        em.indent -= 1
-
     # .. enumerator ..............................................................
 
     def _emit_enum_handler(self, em: _Emitter, h: PlanHandler) -> None:
         em.emit(f"def _h_{h.index}({self._handler_params()}):")
         em.indent += 1
-        if _has_loop_ops(h):
-            em.emit("_bud = _caches.get('derive_budget')")
         self._emit_enum_ops(em, h, h.ops, 0, depth=0)
         em.indent -= 1
 
@@ -422,12 +361,6 @@ class _PlanCompiler:
                     source = f"{fn}(_top, {self.args_tuple(op[3])})"
                 em.emit(f"for {item} in {source}:")
                 em.indent += 1
-                # ``break``, not ``return``: the interpreter's charge
-                # trip returns from the innermost ``_enum_ops`` frame
-                # only, so outer produce loops resume with their next
-                # item — exiting the whole flattened handler here would
-                # drop those items and diverge under one-shot faults.
-                self._emit_loop_charge(em, "yield OUT_OF_FUEL", "break")
                 em.emit(f"if {item} is OUT_OF_FUEL:")
                 em.indent += 1
                 em.emit("yield OUT_OF_FUEL")
@@ -450,9 +383,6 @@ class _PlanCompiler:
                 em.emit("yield OUT_OF_FUEL")
                 em.emit("continue")
                 em.indent -= 1
-                # After the marker test — see the checker twin above —
-                # and ``break`` for the same reason as OP_PRODUCE.
-                self._emit_loop_charge(em, "yield OUT_OF_FUEL", "break")
                 self._emit_enum_ops(em, h, ops, i + 1, depth + 1)
                 em.indent -= 1
                 return
@@ -523,35 +453,6 @@ class _PlanCompiler:
 
     # .. the fixpoint .............................................................
 
-    def _emit_entry_charge(self, em: _Emitter, *stmts: str) -> None:
-        """The per-level ``charge_entry`` check — the compiled twin of
-        the interpreters' fixpoint-entry charge.  *stmts* unwind to the
-        backend's indefinite outcome."""
-        plan = self.plan
-        em.emit("if _bud is not None and _bud.charge_entry(_top - _size):")
-        em.indent += 1
-        em.emit(
-            f"_bud.record_site({self.kind!r}, {plan.rel!r}, "
-            f"{plan.mode_str!r})"
-        )
-        for stmt in stmts:
-            em.emit(stmt)
-        em.indent -= 1
-
-    def _emit_handler_charge(self, em: _Emitter, *stmts: str) -> None:
-        """One ``charge(cost)`` per handler attempt, before the call —
-        same site and order as the interpreters."""
-        plan = self.plan
-        em.emit("if _bud is not None and _bud.charge(_h[3]):")
-        em.indent += 1
-        em.emit(
-            f"_bud.record_site({self.kind!r}, {plan.rel!r}, "
-            f"{plan.mode_str!r})"
-        )
-        for stmt in stmts:
-            em.emit(stmt)
-        em.indent -= 1
-
     def _emit_top(self, em: _Emitter) -> None:
         plan = self.plan
         ins = self._ins_params()
@@ -565,13 +466,7 @@ class _PlanCompiler:
             em.indent += 1
             em.emit("_tr = _caches.get('derive_trace')")
             em.emit("_ob = _caches.get('derive_observe')")
-            em.emit("_bud = _caches.get('derive_budget')")
             em.emit(f"if _ob is not None: {span_begin}")
-            self._emit_entry_charge(
-                em,
-                "if _ob is not None: _ob.end_checker(_sp, NONE_OB)",
-                "return NONE_OB",
-            )
             em.emit("if _size == 0:")
             em.indent += 1
             self._emit_candidates(em, "base")
@@ -586,7 +481,6 @@ class _PlanCompiler:
             em.indent -= 1
             em.emit("for _h in _hs:")
             em.indent += 1
-            self._emit_handler_charge(em, "_none = True", "break")
             em.emit(f"_r = {self._call_handler('_h[0]')}")
             em.emit("if _tr is not None:")
             em.indent += 1
@@ -610,14 +504,7 @@ class _PlanCompiler:
             em.indent += 1
             em.emit("_tr = _caches.get('derive_trace')")
             em.emit("_ob = _caches.get('derive_observe')")
-            em.emit("_bud = _caches.get('derive_budget')")
             em.emit(f"if _ob is not None: {span_begin}")
-            self._emit_entry_charge(
-                em,
-                "yield OUT_OF_FUEL",
-                "if _ob is not None: _ob.end_enum(_sp, 0, True)",
-                "return",
-            )
             em.emit("_fuel = False")
             em.emit("_nv = 0")
             em.emit("if _size == 0:")
@@ -634,7 +521,6 @@ class _PlanCompiler:
             em.indent += 1
             em.emit("for _h in _hs:")
             em.indent += 1
-            self._emit_handler_charge(em, "_fuel = True", "break")
             em.emit(f"for _x in {self._call_handler('_h[0]')}:")
             em.indent += 1
             em.emit("if _x is OUT_OF_FUEL: _fuel = True")
@@ -644,7 +530,6 @@ class _PlanCompiler:
             em.indent += 1
             em.emit("for _h in _hs:")
             em.indent += 1
-            self._emit_handler_charge(em, "_fuel = True", "break")
             em.emit("_sv = _sf = False")
             em.emit(f"for _x in {self._call_handler('_h[0]')}:")
             em.indent += 1
@@ -670,13 +555,7 @@ class _PlanCompiler:
                 em.emit(f"{params}{comma} = _ins")
             em.emit("_tr = _caches.get('derive_trace')")
             em.emit("_ob = _caches.get('derive_observe')")
-            em.emit("_bud = _caches.get('derive_budget')")
             em.emit(f"if _ob is not None: {span_begin}")
-            self._emit_entry_charge(
-                em,
-                "if _ob is not None: _ob.end_gen(_sp, OUT_OF_FUEL, 0)",
-                "return OUT_OF_FUEL",
-            )
             em.emit("_na = 0")
             em.emit("if _size == 0:")
             em.indent += 1
@@ -705,7 +584,6 @@ class _PlanCompiler:
             em.emit("_pick -= _e[2]")
             em.indent -= 1
             em.emit("_h = _e[0]")
-            self._emit_handler_charge(em, "_fuel = True", "break")
             em.emit("_na += 1")
             args = f", {params}" if params else ""
             em.emit(f"_res = _h[0](_sz1, _top, _rng{args})")
@@ -734,12 +612,6 @@ class _PlanCompiler:
             em.emit("if _ob is not None: _ob.end_gen(_sp, _res, _na)")
             em.emit("return _res")
             em.indent -= 1
-
-
-def _has_loop_ops(h: PlanHandler) -> bool:
-    """Whether the handler contains producer loops (and so needs the
-    per-item budget charge and its ``_bud`` probe)."""
-    return any(op[0] in (OP_PRODUCE, OP_INSTANTIATE) for op in h.ops)
 
 
 def _make_arbitrary_enum(ctx: Context, ty: TypeExpr):

@@ -1,56 +1,12 @@
-"""The shared plan executor: one op semantics, three monads.
+"""Frozen PR 4 exec_core (benchmark baseline only).
 
-The paper's central claim is one derivation algorithm with three
-instantiations; this module is where the repo makes that literal.  All
-three interpreters execute the same lowered :class:`~repro.derive.plan.
-Plan` ops through the drivers here — only the monad-specific
-combinators differ:
-
-* :func:`run_checker` — the ``option bool`` fixpoint: handlers combine
-  with backtracking, producer ops run ``bindEC`` (first accepted
-  witness wins; an incomplete enumeration taints a failure into
-  ``None``);
-* :func:`run_enum` — the ``E (option A)`` fixpoint: handlers
-  concatenate, producer ops nest enumeration loops, fuel markers
-  collapse to one trailing marker per level;
-* :func:`run_gen` — the ``G (option A)`` fixpoint: weighted random
-  backtracking over handlers, producer ops draw single samples.
-
-Environments are flat slot lists (inputs first, then locals — see
-:mod:`repro.derive.plan`); slots are single-assignment along any
-execution path, so backtracking over enumeration items reuses one
-environment in place, with no copying.
-
-Deterministic ops (``eval``/``testctor``/``testconst``/``testeq``) have
-identical semantics in every backend; the drivers differ only in how
-they sequence the effectful ops (``check``/``reccheck``/``produce``/
-``instantiate``) — which is exactly the free-monad structure the
-schedule always had, now with the interpretation chosen once per call
-instead of once per step.
-
-External instances resolve through the precomputed registry key on the
-op (one dict lookup in the common case); a miss falls back to the full
-:func:`~repro.derive.instances.resolve` path, which derives, registers
-and memo-wraps.  The stats, trace, observation, and budget hooks are
-fetched once per ``rec`` level and guarded with ``is not None`` —
-profiling, observation, and budgets off cost four dict reads per level.
-
-Resource governance (``repro.resilience``) hooks via
-``caches.get(BUDGET_KEY)``: one ``charge_entry`` per fixpoint level,
-one ``charge(handler.cost)`` per handler attempt, one ``charge(1)``
-per producer-loop item — the same sites, in the same order, as the
-compiled twins, so a deterministic fault schedule interrupts both
-backends identically.  A trip converts the current search to its
-indefinite outcome (checker ``None``, enumerator trailing
-``OUT_OF_FUEL`` marker, generator ``OUT_OF_FUEL``) and, because trips
-latch, unwinds cooperatively without raising.
-
-Observation (``repro.observe``) hooks at the *fixpoint level*: every
-``run_checker`` / ``run_enum`` / ``run_gen`` invocation is one span,
-opened on entry (for the enumerator: at the first ``next``) and closed
-with its outcome on exit.  The compiled backend mirrors the same sites
-construct-by-construct (:mod:`repro.derive.codegen`), so interpreted
-and compiled runs produce identical span trees.
+Verbatim copy (imports adjusted) of ``repro.derive.exec_core`` as of the
+commit *before* the ``repro.resilience`` budget hooks landed.  It
+consumes the live Plan IR, so ``benchmarks/bench_resilience.py`` can
+measure the budget-ready executors against this baseline on identical
+lowered programs -- isolating the cost of the new hook sites.  Do not
+"fix" or modernize it; its value is staying identical to the PR 4 hot
+path.
 """
 
 from __future__ import annotations
@@ -58,18 +14,18 @@ from __future__ import annotations
 import random
 from typing import Any, Iterator
 
-from ..core.context import Context
-from ..core.values import Value
-from ..producers.combinators import _enum_values, _gen_value, slice_exhaustive
-from ..producers.option_bool import (
+from repro.core.context import Context
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, _gen_value, slice_exhaustive
+from repro.producers.option_bool import (
     NONE_OB,
     SOME_FALSE,
     SOME_TRUE,
     OptionBool,
     negate,
 )
-from ..producers.outcome import FAIL, OUT_OF_FUEL
-from .plan import (
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.derive.plan import (
     OP_CHECK,
     OP_EVAL,
     OP_INSTANTIATE,
@@ -81,16 +37,16 @@ from .plan import (
     Plan,
     PlanHandler,
 )
-from .runtime import eval_expr, eval_exprs
-from .stats import STATS_KEY
-from .trace import BUDGET_KEY, OBSERVE_KEY, TRACE_KEY
+from repro.derive.runtime import eval_expr, eval_exprs
+from repro.derive.stats import STATS_KEY
+from repro.derive.trace import OBSERVE_KEY, TRACE_KEY
 
 
 def _checker_instance(ctx: Context, op: tuple):
     """The external checker instance for an ``OP_CHECK``."""
     instance = ctx.instances.get(op[1])
     if instance is None:
-        from .instances import resolve_checker
+        from repro.derive.instances import resolve_checker
 
         instance = resolve_checker(ctx, op[4])
     return instance
@@ -100,7 +56,7 @@ def _enum_instance(ctx: Context, op: tuple):
     """The external enumerator instance for an ``OP_PRODUCE``."""
     instance = ctx.instances.get(op[1])
     if instance is None:
-        from .instances import ENUM, resolve
+        from repro.derive.instances import ENUM, resolve
 
         instance = resolve(ctx, ENUM, op[6], op[7])
     return instance
@@ -110,7 +66,7 @@ def _gen_instance(ctx: Context, op: tuple):
     """The external generator instance for an ``OP_PRODUCE``."""
     instance = ctx.instances.get(op[2])
     if instance is None:
-        from .instances import GEN, resolve
+        from repro.derive.instances import GEN, resolve
 
         instance = resolve(ctx, GEN, op[6], op[7])
     return instance
@@ -140,14 +96,8 @@ def run_checker(
     stats = caches.get(STATS_KEY)
     trace = caches.get(TRACE_KEY)
     obs = caches.get(OBSERVE_KEY)
-    bud = caches.get(BUDGET_KEY)
     if obs is not None:
         span = obs.spans.begin("checker", plan.rel, plan.mode_str, size, top)
-    if bud is not None and bud.charge_entry(top - size):
-        bud.record_site("checker", plan.rel, plan.mode_str)
-        if obs is not None:
-            obs.end_checker(span, NONE_OB)
-        return NONE_OB
     if size == 0:
         candidates = plan.base_candidates(args)
         saw_none = plan.has_recursive
@@ -157,18 +107,12 @@ def run_checker(
         saw_none = False
         rec_size = size - 1
     for h in candidates:
-        if bud is not None and bud.charge(h.cost):
-            bud.record_site("checker", plan.rel, plan.mode_str)
-            saw_none = True
-            break
         if stats is not None:
             stats.handler_attempts += 1
         env = list(args)
         if h.tail:
             env += h.tail
-        result = _checker_ops(
-            ctx, plans, plan, h.ops, 0, env, rec_size, top, bud
-        )
+        result = _checker_ops(ctx, plans, plan, h.ops, 0, env, rec_size, top)
         if result is SOME_TRUE:
             if trace is not None:
                 trace.record4(h.key_checker, True, False)
@@ -198,7 +142,6 @@ def _checker_ops(
     env: list,
     rec_size: "int | None",
     top: int,
-    bud,
 ) -> OptionBool:
     """Run the handler suffix ``ops[i:]`` in the checker monad.
 
@@ -250,16 +193,13 @@ def _checker_ops(
             dsts = op[4]
             incomplete = False
             for item in items:
-                if bud is not None and bud.charge(1):
-                    incomplete = True
-                    break
                 if item is OUT_OF_FUEL or item is FAIL:
                     incomplete = True
                     continue
                 for k, dst in enumerate(dsts):
                     env[dst] = item[k]
                 result = _checker_ops(
-                    ctx, plans, plan, ops, i + 1, env, rec_size, top, bud
+                    ctx, plans, plan, ops, i + 1, env, rec_size, top
                 )
                 if result is SOME_TRUE:
                     return SOME_TRUE
@@ -270,12 +210,9 @@ def _checker_ops(
             dst, ty = op[1], op[2]
             incomplete = False
             for value in _enum_values(ctx, ty, top):
-                if bud is not None and bud.charge(1):
-                    incomplete = True
-                    break
                 env[dst] = value
                 result = _checker_ops(
-                    ctx, plans, plan, ops, i + 1, env, rec_size, top, bud
+                    ctx, plans, plan, ops, i + 1, env, rec_size, top
                 )
                 if result is SOME_TRUE:
                     return SOME_TRUE
@@ -345,11 +282,6 @@ def _enum_level(
     caches = ctx.caches
     stats = caches.get(STATS_KEY)
     trace = caches.get(TRACE_KEY)
-    bud = caches.get(BUDGET_KEY)
-    if bud is not None and bud.charge_entry(top - size):
-        bud.record_site("enum", plan.rel, plan.mode_str)
-        yield OUT_OF_FUEL
-        return
     if size == 0:
         candidates = plan.base_candidates(ins)
         rec_size = None
@@ -357,10 +289,6 @@ def _enum_level(
         candidates = plan.candidates(ins)
         rec_size = size - 1
     for h in candidates:
-        if bud is not None and bud.charge(h.cost):
-            bud.record_site("enum", plan.rel, plan.mode_str)
-            yield OUT_OF_FUEL
-            return
         if stats is not None:
             stats.handler_attempts += 1
         env = list(ins)
@@ -368,13 +296,11 @@ def _enum_level(
             env += h.tail
         if trace is None:
             yield from _enum_ops(
-                ctx, plan, h, h.ops, 0, env, rec_size, top, bud
+                ctx, plan, h, h.ops, 0, env, rec_size, top
             )
         else:
             saw_value = saw_marker = False
-            for item in _enum_ops(
-                ctx, plan, h, h.ops, 0, env, rec_size, top, bud
-            ):
+            for item in _enum_ops(ctx, plan, h, h.ops, 0, env, rec_size, top):
                 if item is OUT_OF_FUEL:
                     saw_marker = True
                 else:
@@ -394,7 +320,6 @@ def _enum_ops(
     env: list,
     rec_size: "int | None",
     top: int,
-    bud,
 ) -> Iterator[Any]:
     """Run the handler suffix ``ops[i:]`` in the enumerator monad:
     failed tests kill the branch, fuel surfaces as markers, producer
@@ -440,27 +365,21 @@ def _enum_ops(
                 items = _enum_instance(ctx, op).fn(top, ins)
             dsts = op[4]
             for item in items:
-                if bud is not None and bud.charge(1):
-                    yield OUT_OF_FUEL
-                    return
                 if item is OUT_OF_FUEL:
                     yield OUT_OF_FUEL
                     continue
                 for k, dst in enumerate(dsts):
                     env[dst] = item[k]
                 yield from _enum_ops(
-                    ctx, plan, h, ops, i + 1, env, rec_size, top, bud
+                    ctx, plan, h, ops, i + 1, env, rec_size, top
                 )
             return
         else:  # OP_INSTANTIATE
             dst, ty = op[1], op[2]
             for value in _enum_values(ctx, ty, top):
-                if bud is not None and bud.charge(1):
-                    yield OUT_OF_FUEL
-                    return
                 env[dst] = value
                 yield from _enum_ops(
-                    ctx, plan, h, ops, i + 1, env, rec_size, top, bud
+                    ctx, plan, h, ops, i + 1, env, rec_size, top
                 )
             if not slice_exhaustive(ctx, ty, top):
                 yield OUT_OF_FUEL
@@ -492,14 +411,8 @@ def run_gen(
     stats = caches.get(STATS_KEY)
     trace = caches.get(TRACE_KEY)
     obs = caches.get(OBSERVE_KEY)
-    bud = caches.get(BUDGET_KEY)
     if obs is not None:
         span = obs.spans.begin("gen", plan.rel, plan.mode_str, size, top)
-    if bud is not None and bud.charge_entry(top - size):
-        bud.record_site("gen", plan.rel, plan.mode_str)
-        if obs is not None:
-            obs.end_gen(span, OUT_OF_FUEL, 0)
-        return OUT_OF_FUEL
     attempts = 0
     if size == 0:
         candidates = plan.base_candidates(ins)
@@ -526,10 +439,6 @@ def run_gen(
                 break
             pick -= candidate[2]
         h = entry[0]
-        if bud is not None and bud.charge(h.cost):
-            bud.record_site("gen", plan.rel, plan.mode_str)
-            saw_fuel = True
-            break
         if stats is not None:
             stats.handler_attempts += 1
         attempts += 1

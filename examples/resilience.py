@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Resource-governed execution (`repro.resilience`).
+
+A derived checker or generator is a *search*, and searches blow up:
+one adversarial input can take minutes while the other 999 take
+microseconds.  This walkthrough shows the governance layer that makes
+derived computations safe to embed:
+
+1. run a derived checker under a `Budget` — op caps, wall-clock
+   deadlines, recursion-depth caps — and watch it degrade to its
+   *indefinite* outcome (`None`) instead of wedging, with a structured
+   `Exhausted` diagnosis of what tripped and where;
+2. run a deadline-bounded `quick_check` campaign: per-test budgets
+   with retry-and-backoff, a whole-campaign deadline, and a report
+   that says exactly why it stopped;
+3. inject deterministic faults (forced fuel-outs, trips, cache
+   evictions) from a seeded `FaultPlan` and check interruption
+   soundness: a faulted run that still answers definitely agrees with
+   the unfaulted baseline, on both backends;
+4. export the campaign report as JSON lines for
+   `python -m repro.resilience campaign.jsonl` (exit code 0 = clean,
+   1 = failed/gave up/stopped, 2 = budget exhausted).
+
+Run:  python examples/resilience.py [--export FILE]
+"""
+
+import argparse
+
+from repro.core import parse_declarations
+from repro.derive.instances import CHECKER, resolve, resolve_compiled
+from repro.derive.modes import Mode
+from repro.producers.option_bool import NONE_OB
+from repro.quickchick import for_all, quick_check
+from repro.resilience import Budget, FaultPlan, budget_scope, write_report_jsonl
+from repro.core.values import from_int
+from repro.stdlib import standard_context
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--export", metavar="FILE", default=None,
+                    help="write the campaign report as JSONL here")
+args = parser.parse_args()
+
+ctx = standard_context()
+parse_declarations(ctx, """
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+""")
+check_le = resolve(ctx, CHECKER, "le", Mode.checker(2)).fn
+
+# ---------------------------------------------------------------- 1 --
+# A budget turns "this call might wedge" into "this call answers None
+# after at most N ops / S seconds", with a diagnosis.
+print("=" * 64)
+print("1. budgets: bounded execution with a structured diagnosis")
+print("=" * 64)
+args_big = (from_int(3), from_int(40))
+print(f"unbudgeted: le 3 40 -> {check_le(60, args_big)}")
+with budget_scope(ctx, max_ops=25) as bud:
+    verdict = check_le(60, args_big)
+print(f"max_ops=25: le 3 40 -> {verdict} (indefinite, not wrong)")
+assert verdict is NONE_OB
+print(f"diagnosis:  {bud.exhausted}")
+
+# ---------------------------------------------------------------- 2 --
+# The same governance, lifted to a whole QuickChick campaign: a tiny
+# per-test budget trips on large inputs, each trip is retried with a
+# doubled budget, and the report carries the accounting.
+print()
+print("=" * 64)
+print("2. a deadline-bounded quick_check campaign")
+print("=" * 64)
+
+
+def gen(size, rng):
+    a = rng.randint(0, size)
+    return (a, a + rng.randint(0, size))
+
+
+prop = for_all(gen, lambda p: check_le(30, (from_int(p[0]), from_int(p[1]))),
+               name="le is checkable")
+report = quick_check(prop, num_tests=200, seed=2026, size=8,
+                     budget=Budget(max_ops=40), ctx=ctx,
+                     budget_retries=2, budget_backoff=4.0,
+                     campaign_deadline_seconds=30.0)
+print(report)
+print(f"(budget trips: {report.budget_trips}, "
+      f"retries spent: {report.budget_retries})")
+assert not report.failed
+
+# ---------------------------------------------------------------- 3 --
+# Fault injection: a seeded FaultPlan interrupts both backends at the
+# same deterministic charge indices, so we can *test* that an
+# interruption never flips a definite verdict.
+print()
+print("=" * 64)
+print("3. seeded fault injection: interruption soundness")
+print("=" * 64)
+compiled_le = resolve_compiled(ctx, CHECKER, "le", Mode.checker(2))
+cases = [(from_int(a), from_int(b)) for a, b in [(2, 5), (5, 2), (4, 4)]]
+for seed in (7, 8):
+    plan = FaultPlan.seeded(seed, n_events=4, horizon=64)
+    print(f"plan seed={seed}: {plan.describe()}")
+    for case in cases:
+        baseline = check_le(20, case)
+        outcomes = []
+        for fn in (check_le, compiled_le):
+            with budget_scope(ctx, faults=plan, check_every=1):
+                outcomes.append(fn(20, case))
+        assert outcomes[0] is outcomes[1], "backends diverged under faults"
+        if outcomes[0] is not NONE_OB:
+            assert outcomes[0] is baseline, "fault flipped a verdict"
+        print(f"  le {case[0]} {case[1]}: baseline={baseline} "
+              f"faulted={outcomes[0]}")
+
+# ---------------------------------------------------------------- 4 --
+if args.export:
+    write_report_jsonl([report], args.export)
+    print()
+    print(f"wrote {args.export}; render it with:")
+    print(f"  python -m repro.resilience {args.export}")

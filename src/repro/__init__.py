@@ -68,6 +68,7 @@ from .derive import (
 )
 from .observe import Observation, RuleCoverage, coverage_diff, observe
 from .quickchick import classify, collect, for_all, quick_check
+from .resilience import Budget, Exhausted, FaultPlan, budget_scope
 from .semantics import derivable, search_derivation
 from .stdlib import standard_context
 from .validation import (
@@ -81,9 +82,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError",
+    "Budget",
     "Context",
     "DeriveStats",
     "DeriveTrace",
+    "Exhausted",
+    "FaultPlan",
     "Mode",
     "Observation",
     "ParseError",
@@ -95,6 +99,7 @@ __all__ = [
     "__version__",
     "analyze",
     "analyze_context",
+    "budget_scope",
     "certify_checker",
     "certify_enumerator",
     "certify_generator",

@@ -123,6 +123,12 @@ def resolve(
     stats = ctx.caches.get("derive_stats")
     if stats is not None:
         stats.external_resolutions += 1
+    bud = ctx.caches.get("derive_budget")
+    if bud is not None:
+        # Diagnostic only — resolution is never *charged*: the two
+        # backends resolve dependencies in different orders, and a
+        # charge here would desynchronize their op streams.
+        bud.note_resolution()
     stack: list[tuple] = ctx.caches.setdefault("resolve_stack", [])
     key = _key(kind, rel, mode, backend)
     if key in stack:

@@ -41,6 +41,15 @@ compiled backend's external calls, and user code that goes through the
 registry all share one table per context.  ``register(...,
 replace=True)`` invalidates the tables wholesale (cached results may
 depend on the replaced instance transitively).
+
+Resource budgets (:mod:`repro.resilience`) interact in three ways: a
+checker result computed while the budget's taint stamp moved (a trip
+or injected fault) is returned but **never cached** — both fuel bounds
+above assume the answer reflects fuel alone; enumerator slices bypass
+the cache entirely under an active budget (a truncated slice must not
+be served as complete, and lazy sharing would desynchronize fault
+replay); and the budget's ``max_cache_entries`` cap is enforced here
+at insertion, oldest entry first.
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ from ..core.values import Value
 from ..producers.lazylist import LazyList
 from ..producers.option_bool import NONE_OB, OptionBool
 from .stats import DeriveStats, install_stats, remove_stats, stats_of
+from .trace import BUDGET_KEY
 
 MEMO_FLAG = "memo_enabled"
 CHECKER_MEMO = "memo_checker"
@@ -167,9 +177,26 @@ def checker_memo_call(
             return NONE_OB
     if stats is not None:
         stats.checker_cache_misses += 1
+    bud = caches.get(BUDGET_KEY)
+    taint0 = bud.taint_stamp() if bud is not None else 0
     result = compute()
+    if bud is not None and bud.taint_stamp() != taint0:
+        # The computation was interrupted (budget trip or injected
+        # fault): its answer reflects the budget, not the fuel, so
+        # neither fuel bound may enter the table — a tainted ``None``
+        # cached into the none-frontier would mask genuine definite
+        # answers at lower fuels on later, un-budgeted calls.
+        if stats is not None:
+            stats.tainted_memo_skips += 1
+        return result
     if entry is None:
         entry = table[key] = [None, 0, -1]
+        if (
+            bud is not None
+            and bud.max_cache_entries is not None
+            and len(table) > bud.max_cache_entries
+        ):
+            _evict_oldest(table, key, bud, stats)
     if result.is_none:
         if stats is not None:
             stats.fuel_exhaustions += 1
@@ -179,6 +206,21 @@ def checker_memo_call(
         entry[_DEF] = result
         entry[_DEF_FUEL] = fuel
     return result
+
+
+def _evict_oldest(table: dict, keep: Any, bud: Any, stats: Any) -> None:
+    """Enforce the budget's cache-size cap at insertion: drop
+    oldest-inserted entries (dicts preserve insertion order) until the
+    cap holds, never evicting the entry just added."""
+    for old in list(table):
+        if len(table) <= bud.max_cache_entries:
+            break
+        if old == keep:
+            continue
+        del table[old]
+        bud.evictions += 1
+        if stats is not None:
+            stats.cache_evictions += 1
 
 
 def definite_answer(
@@ -280,6 +322,14 @@ def _wrap_enum_fn(ctx: Context, rel: str, mode: str, raw: Callable[..., Any]):
     def memo_enum(fuel: int, ins: tuple[Value, ...]) -> Iterator[Any]:
         caches = ctx.caches
         if not caches.get(MEMO_FLAG):
+            return raw(fuel, ins)
+        bud = caches.get(BUDGET_KEY)
+        if bud is not None and bud.active:
+            # Under a live budget the slice cache is bypassed both
+            # ways: a slice truncated by a trip must not be served
+            # later as the full enumeration, and lazy sharing would
+            # shift charge indices between runs (the first consumer
+            # pays, later ones don't), desynchronizing fault replay.
             return raw(fuel, ins)
         stats = caches.get("derive_stats")
         if stats is not None:

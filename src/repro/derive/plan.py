@@ -121,6 +121,7 @@ class PlanHandler:
         "n_ins",
         "n_slots",
         "tail",
+        "cost",
         "key3",
         "key_checker",
         "key_enum",
@@ -149,6 +150,11 @@ class PlanHandler:
         self.n_slots = n_slots
         # Padding appended to the input values to size the environment.
         self.tail = (None,) * (n_slots - n_ins)
+        # Budget charge per attempt of this handler (one entry plus one
+        # unit per op) — a static proxy for straightline work, shared by
+        # the interpreters and the compiled twins so fault schedules
+        # keyed on charge indices replay identically on both.
+        self.cost = 1 + len(ops)
         # (rel, mode_str, rule): the profiling key, shared by backends.
         self.key3 = key3
         # Backend pre-merged profiling keys: the trace hot path does a

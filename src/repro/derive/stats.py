@@ -36,6 +36,9 @@ COUNTERS = (
     ("analysis_runs", "static analysis gate runs"),
     ("invalidations", "memo-table invalidations (instance replaced)"),
     ("plan_lowerings", "schedules lowered to plans (cache misses)"),
+    ("budget_trips", "resource-budget exhaustions (limit tripped)"),
+    ("tainted_memo_skips", "memo writes skipped (exhaustion taint)"),
+    ("cache_evictions", "memo entries evicted (cache-size cap)"),
 )
 
 

@@ -35,6 +35,11 @@ TRACE_KEY = "derive_trace"
 #: defined here so the executors need no import from that package)
 OBSERVE_KEY = "derive_observe"
 
+#: cache key of the resource budget (owned by ``repro.resilience``;
+#: defined here, like OBSERVE_KEY, so the executors and the memo layer
+#: can probe for an installed budget without importing that package)
+BUDGET_KEY = "derive_budget"
+
 #: per-entry counter layout
 ATTEMPTS, SUCCESSES, BACKTRACKS, FUEL_OUTS = 0, 1, 2, 3
 

@@ -12,7 +12,9 @@ dict shapes and delegates to :func:`render_dump`, which is what
   table derived from the handler entries;
 * **histograms** — bucket bars for each registered distribution;
 * **counters** — flat name/value list (``stats.*`` are the derive
-  layer's counters).
+  layer's counters; ``budget.*`` are resource-governance events —
+  trips per limit, injected faults, evictions — recorded by
+  :mod:`repro.resilience.budget`).
 """
 
 from __future__ import annotations

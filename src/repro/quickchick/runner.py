@@ -39,6 +39,15 @@ class CheckReport:
     labels: dict = field(default_factory=dict)
     # The repro.observe.Observation when run with observe=ctx.
     observation: object = None
+    # Resilience accounting (populated by budgeted runs — see
+    # repro.resilience.campaign): why the campaign stopped early
+    # (None = ran to its natural end), how many tests tripped their
+    # per-test budget, how many budget retries were spent, and the
+    # last per-test Exhausted outcome observed.
+    stopped_reason: str | None = None
+    budget_trips: int = 0
+    budget_retries: int = 0
+    exhausted: object = None
 
     @property
     def tests_per_second(self) -> float:
@@ -76,18 +85,40 @@ class CheckReport:
             )
         ]
 
+    def _resilience_lines(self) -> list[str]:
+        lines = []
+        if self.stopped_reason:
+            lines.append(f"*** Stopped early: {self.stopped_reason}")
+        if self.budget_trips:
+            lines.append(
+                f"    {self.budget_trips} budget-tripped tests "
+                f"({self.budget_retries} retries)"
+            )
+        if self.exhausted is not None:
+            lines.append(str(self.exhausted))
+        return lines
+
     def __str__(self) -> str:
         if self.failed:
-            return (
-                f"*** Failed after {self.tests_run} tests and "
-                f"{self.discards} discards "
-                f"(seed={self.seed}, size={self.size})\n"
-                f"{self.counterexample}"
+            return "\n".join(
+                [
+                    f"*** Failed after {self.tests_run} tests and "
+                    f"{self.discards} discards "
+                    f"(seed={self.seed}, size={self.size})\n"
+                    f"{self.counterexample}"
+                ]
+                + self._resilience_lines()
             )
         if self.gave_up:
-            return (
-                f"*** Gave up after {self.discards} discards "
-                f"({self.tests_run} tests)"
+            # Reproduction coordinates here too: a gave-up run is a
+            # distribution problem you debug by replaying it.
+            return "\n".join(
+                [
+                    f"*** Gave up after {self.discards} discards "
+                    f"({self.tests_run} tests; "
+                    f"seed={self.seed}, size={self.size})"
+                ]
+                + self._resilience_lines()
             )
         head = (
             f"+++ Passed {self.tests_run} tests "
@@ -95,7 +126,37 @@ class CheckReport:
             f"{100 * self.discard_rate:.0f}% discard rate; "
             f"{self.tests_per_second:,.0f} tests/s)"
         )
-        return "\n".join([head] + self._label_lines())
+        return "\n".join([head] + self._label_lines() + self._resilience_lines())
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict (the JSONL export consumed by
+        ``python -m repro.resilience``)."""
+        exhausted = self.exhausted
+        return {
+            "kind": "check_report",
+            "property_name": self.property_name,
+            "tests_run": self.tests_run,
+            "discards": self.discards,
+            "failed": self.failed,
+            "counterexample": (
+                repr(self.counterexample)
+                if self.counterexample is not None
+                else None
+            ),
+            "elapsed_seconds": self.elapsed_seconds,
+            "gave_up": self.gave_up,
+            "seed": self.seed,
+            "size": self.size,
+            "labels": dict(self.labels),
+            "stopped_reason": self.stopped_reason,
+            "budget_trips": self.budget_trips,
+            "budget_retries": self.budget_retries,
+            "exhausted": (
+                exhausted.as_dict()
+                if hasattr(exhausted, "as_dict")
+                else exhausted
+            ),
+        }
 
 
 def quick_check(
@@ -106,6 +167,12 @@ def quick_check(
     max_discard_ratio: int = 10,
     stop_on_failure: bool = True,
     observe=None,
+    deadline_seconds: float | None = None,
+    budget=None,
+    campaign_deadline_seconds: float | None = None,
+    budget_retries: int = 1,
+    budget_backoff: float = 2.0,
+    ctx=None,
 ) -> CheckReport:
     """Run *prop* up to *num_tests* times at the given *size*.
 
@@ -114,7 +181,39 @@ def quick_check(
     report carries the resulting observation (``report.observation``,
     ``report.coverage``).  Observation changes throughput, not
     verdicts — seeds replay identically with it on or off.
+
+    Resource governance (see :mod:`repro.resilience.campaign`):
+    *deadline_seconds* bounds each individual test (a per-test
+    :class:`~repro.resilience.budget.Budget`), or pass a prebuilt
+    *budget* as the per-test template; *campaign_deadline_seconds*
+    bounds the whole run.  Budget-tripped tests are retried with a
+    reseeded draw and an exponentially scaled budget (*budget_retries*
+    × *budget_backoff*), then skipped; a circuit breaker aborts the
+    campaign on a step-rate blowup, recording
+    ``report.stopped_reason``.  *ctx* names the context the budget
+    governs (defaults to ``budget.ctx`` or *observe*).  A budget that
+    never trips replays seeds identically to an unbudgeted run.
     """
+    if deadline_seconds is not None or budget is not None or (
+        campaign_deadline_seconds is not None
+    ):
+        from ..resilience.campaign import run_campaign
+
+        return run_campaign(
+            prop,
+            num_tests=num_tests,
+            size=size,
+            seed=seed,
+            max_discard_ratio=max_discard_ratio,
+            stop_on_failure=stop_on_failure,
+            observe=observe,
+            deadline_seconds=deadline_seconds,
+            budget=budget,
+            campaign_deadline_seconds=campaign_deadline_seconds,
+            retries=budget_retries,
+            backoff=budget_backoff,
+            ctx=ctx,
+        )
     if observe is not None:
         from ..observe import observe as _observe
 

@@ -1,0 +1,46 @@
+"""Resource-governed execution: budgets, cancellation, fault injection.
+
+The package makes every derived computation *interruptible* without
+weakening the paper's three-valued soundness contract:
+
+* :mod:`~repro.resilience.budget` — a cooperative :class:`Budget`
+  (wall-clock deadline, op budget, recursion-depth cap, cache cap)
+  installed at ``ctx.caches[BUDGET_KEY]``; exhaustion unwinds every
+  executor to its indefinite outcome and is diagnosed by a structured
+  :class:`Exhausted`;
+* :mod:`~repro.resilience.campaign` — budgeted ``quick_check``
+  campaigns: per-test and whole-campaign deadlines, retry with
+  backoff, a :class:`CircuitBreaker` against step-rate blowup;
+* :mod:`~repro.resilience.faults` — deterministic :class:`FaultPlan`
+  schedules driving the interruption-soundness differential suite.
+
+``python -m repro.resilience report.jsonl`` renders exported campaign
+reports, with the exit code distinguishing clean / gave-up / exhausted.
+"""
+
+from .budget import (
+    BUDGET_KEY,
+    Budget,
+    Exhausted,
+    budget_of,
+    budget_scope,
+    install_budget,
+    remove_budget,
+)
+from .campaign import CircuitBreaker, run_campaign, write_report_jsonl
+from .faults import FAULT_KINDS, FaultPlan
+
+__all__ = [
+    "BUDGET_KEY",
+    "Budget",
+    "Exhausted",
+    "budget_of",
+    "budget_scope",
+    "install_budget",
+    "remove_budget",
+    "CircuitBreaker",
+    "run_campaign",
+    "write_report_jsonl",
+    "FAULT_KINDS",
+    "FaultPlan",
+]

@@ -1,0 +1,233 @@
+"""Campaign resilience: budgeted ``quick_check`` loops that cannot hang.
+
+:func:`repro.quickchick.runner.quick_check` delegates here whenever a
+resource limit is requested.  The campaign loop is the plain runner
+loop — same RNG stream, same discard accounting, so a budget that never
+trips replays a seed identically — wrapped in three defenses:
+
+* **per-test budgets**: every test draw runs under a fresh
+  :class:`~repro.resilience.budget.Budget` renewed from the template,
+  so one pathological case exhausts its own budget, answers
+  indefinitely, and cannot wedge the campaign;
+* **retry with reseed + exponential backoff**: a budget-tripped test is
+  redrawn (the RNG stream continues — a fresh draw is a fresh case)
+  under a budget scaled by *backoff*, up to *retries* times, then
+  counted as a discard (its verdict under the tripped budget is
+  discarded too: only untripped runs contribute verdicts);
+* **a circuit breaker**: when the mean op cost of the last few tests
+  blows up relative to the campaign's baseline — the signature of a
+  generator drifting into an exponential region of the search space —
+  the campaign aborts with a partial report and
+  ``CheckReport.stopped_reason`` instead of grinding to the deadline.
+
+A whole-campaign deadline (*campaign_deadline_seconds*) bounds the loop
+itself; on expiry the report is returned with whatever completed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Any
+
+from ..derive.trace import BUDGET_KEY
+from ..quickchick.property import DISCARD, FAILED
+from ..quickchick.runner import CheckReport
+from .budget import Budget
+
+__all__ = ["CircuitBreaker", "run_campaign", "write_report_jsonl"]
+
+
+class CircuitBreaker:
+    """Detects per-test step-cost blowup across consecutive tests.
+
+    Feeds on the op cost of each completed test; opens (returns a
+    reason string) when the mean cost of the last *window* tests
+    exceeds *factor* times the mean of the earlier tests.  Needs at
+    least *min_samples* tests before it can open, so short campaigns
+    and noisy starts never false-positive.
+    """
+
+    def __init__(
+        self, window: int = 8, factor: float = 16.0, min_samples: int = 16
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.factor = factor
+        self.min_samples = min_samples
+        self.costs: list[int] = []
+
+    def record(self, cost: int) -> "str | None":
+        """Record one test's op cost; a string means "open the breaker"."""
+        self.costs.append(cost)
+        n = len(self.costs)
+        if n < max(self.min_samples, self.window + 1):
+            return None
+        recent = self.costs[-self.window:]
+        recent_mean = sum(recent) / len(recent)
+        baseline = self.costs[: n - self.window]
+        baseline_mean = max(sum(baseline) / len(baseline), 1.0)
+        if recent_mean > self.factor * baseline_mean:
+            return (
+                f"circuit breaker: mean cost of last {self.window} tests "
+                f"({recent_mean:,.0f} ops) exceeds {self.factor:g}x the "
+                f"campaign baseline ({baseline_mean:,.0f} ops)"
+            )
+        return None
+
+
+def run_campaign(
+    prop: Any,
+    *,
+    num_tests: int = 1000,
+    size: int = 5,
+    seed: "int | None" = None,
+    max_discard_ratio: int = 10,
+    stop_on_failure: bool = True,
+    observe: Any = None,
+    deadline_seconds: "float | None" = None,
+    budget: "Budget | None" = None,
+    campaign_deadline_seconds: "float | None" = None,
+    retries: int = 1,
+    backoff: float = 2.0,
+    breaker: "CircuitBreaker | None" = None,
+    ctx: Any = None,
+) -> CheckReport:
+    """The budgeted ``quick_check`` loop (see the module docstring).
+
+    *budget* is the per-test template (renewed fresh per attempt);
+    *deadline_seconds* is shorthand for ``Budget(deadline_seconds=...)``.
+    *ctx* is the context the budget governs, defaulting to
+    ``budget.ctx`` and then *observe*.
+    """
+    if observe is not None:
+        from ..observe import observe as _observe
+
+        with _observe(observe) as obs:
+            report = run_campaign(
+                prop,
+                num_tests=num_tests,
+                size=size,
+                seed=seed,
+                max_discard_ratio=max_discard_ratio,
+                stop_on_failure=stop_on_failure,
+                deadline_seconds=deadline_seconds,
+                budget=budget,
+                campaign_deadline_seconds=campaign_deadline_seconds,
+                retries=retries,
+                backoff=backoff,
+                breaker=breaker,
+                ctx=ctx if ctx is not None else observe,
+            )
+        report.observation = obs
+        return report
+    template = budget
+    if template is None and deadline_seconds is not None:
+        template = Budget(deadline_seconds=deadline_seconds)
+    if ctx is None and template is not None:
+        ctx = template.ctx
+    if template is not None and ctx is None:
+        raise TypeError(
+            "a budgeted quick_check needs the governed context: pass "
+            "ctx=..., a Budget built with ctx=..., or observe=ctx"
+        )
+    if template is not None:
+        template.ctx = ctx  # renew() propagates it to each per-test budget
+    if seed is None:
+        seed = random.randrange(2**63)
+    rng = random.Random(seed)
+    report = CheckReport(property_name=prop.name, seed=seed, size=size)
+    max_discards = max_discard_ratio * num_tests
+    if breaker is None:
+        breaker = CircuitBreaker()
+    caches = ctx.caches if ctx is not None else None
+    previous = caches.get(BUDGET_KEY) if caches is not None else None
+    start = time.perf_counter()
+    try:
+        while report.tests_run < num_tests:
+            if (
+                campaign_deadline_seconds is not None
+                and time.perf_counter() - start > campaign_deadline_seconds
+            ):
+                report.stopped_reason = (
+                    f"campaign deadline ({campaign_deadline_seconds:g}s) "
+                    f"exceeded after {report.tests_run} tests"
+                )
+                break
+            case, cost = _run_one(
+                prop, size, rng, template, caches, report, retries, backoff
+            )
+            if case is None:
+                # Budget-tripped past its retries: the test is skipped
+                # as a discard (its interrupted verdict is not trusted).
+                report.discards += 1
+                if report.discards > max_discards:
+                    report.gave_up = True
+                    break
+                continue
+            if case.status == DISCARD:
+                report.discards += 1
+                if report.discards > max_discards:
+                    report.gave_up = True
+                    break
+                continue
+            report.tests_run += 1
+            for label in case.labels:
+                report.labels[label] = report.labels.get(label, 0) + 1
+            if cost is not None:
+                reason = breaker.record(cost)
+                if reason is not None:
+                    report.stopped_reason = reason
+                    break
+            if case.status == FAILED:
+                report.failed = True
+                report.counterexample = case.input
+                if stop_on_failure:
+                    break
+    finally:
+        if caches is not None:
+            if previous is None:
+                caches.pop(BUDGET_KEY, None)
+            else:
+                caches[BUDGET_KEY] = previous
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def _run_one(prop, size, rng, template, caches, report, retries, backoff):
+    """One test: up to ``1 + retries`` draws, each under a fresh budget
+    renewed from the template (scaled by *backoff* per retry).
+
+    Returns ``(case, cost)``; ``(None, None)`` when every attempt
+    tripped its budget.
+    """
+    if template is None:
+        return prop.run(size, rng), None
+    scale = 1.0
+    attempt = 0
+    while True:
+        bud = template.renew(scale)
+        caches[BUDGET_KEY] = bud
+        bud.start()
+        case = prop.run(size, rng)
+        if bud.exhausted is None:
+            return case, bud.ops
+        report.budget_trips += 1
+        report.exhausted = bud.exhausted
+        if attempt >= retries:
+            return None, None
+        attempt += 1
+        report.budget_retries += 1
+        scale *= backoff
+
+
+def write_report_jsonl(reports, path) -> None:
+    """Write reports (one or many) as JSON Lines — the export consumed
+    by ``python -m repro.resilience``."""
+    if isinstance(reports, CheckReport):
+        reports = [reports]
+    with open(path, "w", encoding="utf-8") as fh:
+        for report in reports:
+            fh.write(json.dumps(report.to_dict()) + "\n")

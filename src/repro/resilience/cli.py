@@ -1,0 +1,144 @@
+"""``python -m repro.resilience``: render budgeted campaign reports.
+
+Usage::
+
+    python -m repro.resilience campaign.jsonl
+
+Reads a JSON-lines export of :class:`~repro.quickchick.runner.
+CheckReport` dicts (see :func:`~repro.resilience.campaign.
+write_report_jsonl`) and pretty-prints each report — including the
+``Exhausted`` diagnosis and stop reason of interrupted campaigns.
+
+The exit status encodes the worst outcome across all reports, so the
+command composes into shell pipelines and CI gates:
+
+* ``0`` — every campaign passed cleanly;
+* ``1`` — a campaign failed, gave up, or was stopped early;
+* ``2`` — a resource budget was exhausted (trips / ``Exhausted``);
+* ``3`` — the file is unreadable or not a report export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main", "render_report_dict"]
+
+EXIT_CLEAN = 0
+EXIT_GAVE_UP = 1
+EXIT_EXHAUSTED = 2
+EXIT_UNREADABLE = 3
+
+
+def render_report_dict(rec: dict) -> str:
+    """Pretty-print one exported ``CheckReport`` dict."""
+    name = rec.get("property_name", "<property>")
+    lines = [f"== {name} =="]
+    if rec.get("failed"):
+        lines.append(
+            f"*** Failed after {rec.get('tests_run', 0)} tests and "
+            f"{rec.get('discards', 0)} discards "
+            f"(seed={rec.get('seed')}, size={rec.get('size')})"
+        )
+        if rec.get("counterexample"):
+            lines.append(f"    counterexample: {rec['counterexample']}")
+    elif rec.get("gave_up"):
+        lines.append(
+            f"*** Gave up after {rec.get('discards', 0)} discards "
+            f"({rec.get('tests_run', 0)} tests; "
+            f"seed={rec.get('seed')}, size={rec.get('size')})"
+        )
+    else:
+        lines.append(
+            f"+++ Passed {rec.get('tests_run', 0)} tests "
+            f"({rec.get('discards', 0)} discards, "
+            f"{rec.get('elapsed_seconds', 0.0):.3f}s)"
+        )
+    if rec.get("stopped_reason"):
+        lines.append(f"*** Stopped early: {rec['stopped_reason']}")
+    if rec.get("budget_trips"):
+        lines.append(
+            f"    {rec['budget_trips']} budget-tripped tests "
+            f"({rec.get('budget_retries', 0)} retries)"
+        )
+    exhausted = rec.get("exhausted")
+    if exhausted:
+        limit = exhausted.get("limit", "?")
+        lines.append(
+            f"*** Exhausted: {limit} limit tripped after "
+            f"{exhausted.get('ops', 0):,} ops / "
+            f"{exhausted.get('elapsed_seconds', 0.0):.3f}s"
+        )
+        site = exhausted.get("site")
+        if site:
+            lines.append(f"    at {site[0]}:{site[1]}[{site[2]}]")
+        limits = exhausted.get("limits") or {}
+        shown = ", ".join(
+            f"{k}={v}" for k, v in limits.items() if v is not None
+        )
+        if shown:
+            lines.append(f"    budget: {shown}")
+    labels = rec.get("labels") or {}
+    tests = rec.get("tests_run", 0)
+    if labels and tests:
+        for label, n in sorted(labels.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"    {100 * n / tests:5.1f}% {label}")
+    return "\n".join(lines)
+
+
+def _classify(rec: dict) -> int:
+    if rec.get("exhausted") or rec.get("budget_trips"):
+        return EXIT_EXHAUSTED
+    if rec.get("failed") or rec.get("gave_up") or rec.get("stopped_reason"):
+        return EXIT_GAVE_UP
+    return EXIT_CLEAN
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description=(
+            "Render budgeted quick_check campaign reports from a JSONL "
+            "export (write_report_jsonl); exit code 0=clean, "
+            "1=failed/gave-up/stopped, 2=budget exhausted, 3=unreadable."
+        ),
+    )
+    parser.add_argument("export", help="JSON-lines CheckReport export")
+    args = parser.parse_args(argv)
+
+    records = []
+    try:
+        with open(args.export, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    except OSError as exc:
+        print(f"error: cannot read {args.export}: {exc}", file=sys.stderr)
+        return EXIT_UNREADABLE
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.export} is not a JSONL export: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_UNREADABLE
+    if not records or not all(
+        rec.get("kind") == "check_report" for rec in records
+    ):
+        print(
+            f"error: {args.export} holds no check_report records "
+            "(expected a write_report_jsonl export)",
+            file=sys.stderr,
+        )
+        return EXIT_UNREADABLE
+
+    status = EXIT_CLEAN
+    try:
+        for rec in records:
+            print(render_report_dict(rec))
+            status = max(status, _classify(rec))
+    except BrokenPipeError:
+        sys.stderr.close()
+    return status

@@ -1,0 +1,119 @@
+"""Deterministic fault injection: seeded schedules of interruptions.
+
+The resilience layer's correctness claim — *interruption soundness* —
+is that cutting a derived computation short at any point degrades its
+answer toward indefiniteness and never flips a definite verdict.  That
+claim is only testable if interruptions are **reproducible**: a
+:class:`FaultPlan` is a seeded, sorted schedule of injections keyed by
+**charge index** (the executor op counter maintained by
+:class:`~repro.resilience.budget.Budget`), so a faulted run is exactly
+replayable, and — because the interpreted and compiled backends charge
+at identical sites in identical order — the same plan drives both
+backends through the same interruptions.
+
+Three fault kinds:
+
+* ``"fuel"`` — a forced ``OUT_OF_FUEL``: the charging site answers
+  indefinite *once* and the run continues (models a transient resource
+  blip mid-search);
+* ``"trip"`` — a forced budget exhaustion: latches, the whole run
+  unwinds to its indefinite outcome (models deadline/op-cap expiry at
+  an adversarial moment);
+* ``"evict"`` — the memo tables are dropped at that instant (models
+  cache pressure; must never change any answer).
+
+``tests/resilience/test_fault_injection.py`` runs the sf corpus and
+case studies under seeded plans and asserts: faulted definite verdicts
+always agree with the unfaulted run, interp == compiled under the same
+schedule, and no exhaustion-tainted result is ever served from the
+memo as definite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+__all__ = ["FAULT_KINDS", "FaultPlan"]
+
+FAULT_KINDS = ("fuel", "trip", "evict")
+
+
+class FaultPlan:
+    """An immutable, sorted schedule of ``(charge_index, kind)`` events.
+
+    Build one explicitly (:meth:`from_events`) for targeted tests, or
+    :meth:`seeded` for a reproducible random schedule.  Hand it to
+    ``Budget(faults=plan)``; each :meth:`~repro.resilience.budget.
+    Budget.renew` of that budget replays the same schedule from charge
+    index zero (per-call fresh budgets → per-call identical faults).
+    """
+
+    __slots__ = ("events", "seed")
+
+    def __init__(
+        self,
+        events: Iterable[tuple],
+        seed: "int | None" = None,
+    ) -> None:
+        evs = []
+        for op, kind in events:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+            if op < 1:
+                raise ValueError(f"fault index must be >= 1, got {op}")
+            evs.append((int(op), kind))
+        self.events: tuple = tuple(sorted(evs))
+        self.seed = seed
+
+    @classmethod
+    def from_events(cls, *events: tuple) -> "FaultPlan":
+        return cls(events)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_events: int = 6,
+        horizon: int = 4096,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """A reproducible random plan: *n_events* injections at charge
+        indices drawn from ``[1, horizon]``.  The draw order is fixed
+        (index then kind, per event), so a given seed names the same
+        schedule on every Python version and platform."""
+        rng = random.Random(("fault-plan", seed).__repr__())
+        events = [
+            (rng.randint(1, horizon), kinds[rng.randrange(len(kinds))])
+            for _ in range(n_events)
+        ]
+        return cls(events, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "fault_plan",
+            "seed": self.seed,
+            "events": [list(e) for e in self.events],
+        }
+
+    def describe(self) -> str:
+        head = f"FaultPlan({len(self.events)} events"
+        head += f", seed={self.seed})" if self.seed is not None else ")"
+        lines = [head]
+        for op, kind in self.events:
+            lines.append(f"  @op {op:>6,}: {kind}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, "
+            f"events={list(self.events)!r})"
+        )

@@ -1,0 +1,229 @@
+"""Unit tests for the Budget hot path and executor degradation."""
+
+import pytest
+
+from repro.core.values import Value
+from repro.derive import Mode
+from repro.derive.instances import CHECKER, ENUM, GEN, resolve, resolve_compiled
+from repro.derive.trace import BUDGET_KEY
+from repro.producers.option_bool import NONE_OB
+from repro.producers.outcome import OUT_OF_FUEL
+from repro.resilience import (
+    Budget,
+    FaultPlan,
+    budget_of,
+    budget_scope,
+    install_budget,
+    remove_budget,
+)
+
+
+def nat(n):
+    v = Value("O", ())
+    for _ in range(n):
+        v = Value("S", (v,))
+    return v
+
+
+class TestBudgetMechanics:
+    def test_unlimited_budget_counts_but_never_trips(self):
+        bud = Budget()
+        for _ in range(10_000):
+            assert not bud.charge(1)
+        assert bud.ops == 10_000
+        assert bud.exhausted is None
+        assert not bud.active
+
+    def test_max_ops_trips_at_the_cap(self):
+        bud = Budget(max_ops=100)
+        tripped_at = None
+        for i in range(1, 201):
+            if bud.charge(1):
+                tripped_at = i
+                break
+        assert tripped_at == 100
+        assert bud.exhausted is not None
+        assert bud.exhausted.limit == "ops"
+        assert bud.exhausted.ops == 100
+
+    def test_trips_latch(self):
+        bud = Budget(max_ops=10)
+        while not bud.charge(1):
+            pass
+        ops_at_trip = bud.ops
+        for _ in range(50):
+            assert bud.charge(1)
+        assert bud.ops == ops_at_trip  # post-trip charges don't count
+
+    def test_depth_cap(self):
+        bud = Budget(max_depth=3)
+        assert not bud.charge_entry(0)
+        assert not bud.charge_entry(3)
+        assert bud.charge_entry(4)
+        assert bud.exhausted.limit == "depth"
+
+    def test_deadline_trips(self):
+        bud = Budget(deadline_seconds=0.0, check_every=1)
+        assert bud.charge(1)
+        assert bud.exhausted.limit == "deadline"
+
+    def test_deadline_probe_is_periodic(self):
+        # A generous check_every means no wall probe before the mark.
+        bud = Budget(deadline_seconds=0.0, check_every=1000)
+        assert not bud.charge(1)
+        for _ in range(998):
+            bud.charge(1)
+        assert bud.charge(1)  # crosses the watermark -> probes -> trips
+
+    def test_renew_scales_limits(self):
+        bud = Budget(max_ops=100, deadline_seconds=1.0, max_depth=7)
+        fresh = bud.renew(2.0)
+        assert fresh.max_ops == 200
+        assert fresh.deadline_seconds == 2.0
+        assert fresh.max_depth == 7
+        assert fresh.exhausted is None and fresh.ops == 0
+
+    def test_check_every_validation(self):
+        with pytest.raises(ValueError):
+            Budget(check_every=0)
+
+    def test_exhausted_describe_names_the_limit(self):
+        bud = Budget(max_ops=5)
+        while not bud.charge(1):
+            pass
+        bud.record_site("checker", "le", "in in")
+        text = str(bud.exhausted)
+        assert "ops limit" in text
+        assert "checker:le[in in]" in text
+        assert bud.exhausted.as_dict()["limit"] == "ops"
+
+    def test_taint_stamp_moves_on_trip_and_fault(self):
+        bud = Budget(max_ops=5)
+        s0 = bud.taint_stamp()
+        while not bud.charge(1):
+            pass
+        assert bud.taint_stamp() == s0 + 1
+        bud2 = Budget(faults=FaultPlan.from_events((3, "fuel")), check_every=1)
+        s0 = bud2.taint_stamp()
+        for _ in range(5):
+            bud2.charge(1)
+        assert bud2.taint_stamp() == s0 + 1
+        assert bud2.exhausted is None  # one-shot, run continues
+
+
+class TestInstallation:
+    def test_scope_installs_and_restores(self, nat_ctx):
+        outer = Budget()
+        install_budget(nat_ctx, outer)
+        with budget_scope(nat_ctx, max_ops=10) as inner:
+            assert budget_of(nat_ctx) is inner
+        assert budget_of(nat_ctx) is outer
+        remove_budget(nat_ctx)
+        assert budget_of(nat_ctx) is None
+
+    def test_scope_rejects_budget_plus_limits(self, nat_ctx):
+        with pytest.raises(TypeError):
+            with budget_scope(nat_ctx, Budget(), max_ops=3):
+                pass
+
+    def test_key_is_the_shared_cache_slot(self, nat_ctx):
+        with budget_scope(nat_ctx) as bud:
+            assert nat_ctx.caches[BUDGET_KEY] is bud
+
+
+class TestExecutorDegradation:
+    """A tripped budget degrades each backend to its indefinite outcome."""
+
+    def _checkers(self, ctx, rel, arity):
+        mode = Mode.checker(arity)
+        return (
+            resolve(ctx, CHECKER, rel, mode).fn,
+            resolve_compiled(ctx, CHECKER, rel, mode),
+        )
+
+    def test_checker_degrades_to_none(self, nat_ctx):
+        interp, compiled = self._checkers(nat_ctx, "le", 2)
+        args = (nat(3), nat(9))
+        assert interp(30, args).is_true
+        for fn in (interp, compiled):
+            with budget_scope(nat_ctx, max_ops=4) as bud:
+                assert fn(30, args) is NONE_OB
+            assert bud.exhausted is not None
+            assert bud.exhausted.site is not None
+            assert bud.exhausted.site[0] == "checker"
+
+    def test_checker_op_parity_interp_vs_compiled(self, nat_ctx):
+        for rel, args in (("le", (nat(3), nat(9))), ("ev", (nat(8),))):
+            arity = len(args)
+            interp, compiled = self._checkers(nat_ctx, rel, arity)
+            with budget_scope(nat_ctx, check_every=1) as bi:
+                a = interp(20, args)
+            with budget_scope(nat_ctx, check_every=1) as bc:
+                b = compiled(20, args)
+            assert a is b
+            assert bi.ops == bc.ops, f"charge drift on {rel}"
+
+    def test_enum_truncates_with_marker(self, nat_ctx):
+        mode = Mode.from_string("io")
+        interp = resolve(nat_ctx, ENUM, "le", mode).fn
+        full = [x for x in interp(6, (nat(2),)) if x is not OUT_OF_FUEL]
+        with budget_scope(nat_ctx, max_ops=6):
+            bounded = list(interp(6, (nat(2),)))
+        assert bounded, "a truncated enumeration still signals fuel"
+        assert bounded[-1] is OUT_OF_FUEL
+        values = [x for x in bounded if x is not OUT_OF_FUEL]
+        assert values == full[: len(values)], "truncated-but-valid prefix"
+
+    def test_enum_op_parity_interp_vs_compiled(self, nat_ctx):
+        mode = Mode.from_string("oo")
+        interp = resolve(nat_ctx, ENUM, "le", mode).fn
+        compiled = resolve_compiled(nat_ctx, ENUM, "le", mode)
+        with budget_scope(nat_ctx, check_every=1) as bi:
+            a = list(interp(4, ()))
+        with budget_scope(nat_ctx, check_every=1) as bc:
+            b = list(compiled(4, ()))
+        assert a == b
+        assert bi.ops == bc.ops
+
+    def test_gen_degrades_to_out_of_fuel(self, nat_ctx):
+        import random
+
+        mode = Mode.from_string("io")
+        interp = resolve(nat_ctx, GEN, "le", mode).fn
+        compiled = resolve_compiled(nat_ctx, GEN, "le", mode)
+        for fn in (interp, compiled):
+            with budget_scope(nat_ctx, max_ops=2) as bud:
+                out = fn(8, (nat(1),), random.Random(7))
+            assert out is OUT_OF_FUEL
+            assert bud.exhausted is not None
+
+    def test_gen_op_parity_interp_vs_compiled(self, nat_ctx):
+        import random
+
+        mode = Mode.from_string("io")
+        interp = resolve(nat_ctx, GEN, "le", mode).fn
+        compiled = resolve_compiled(nat_ctx, GEN, "le", mode)
+        for seed in range(10):
+            with budget_scope(nat_ctx, check_every=1) as bi:
+                a = interp(8, (nat(1),), random.Random(seed))
+            with budget_scope(nat_ctx, check_every=1) as bc:
+                b = compiled(8, (nat(1),), random.Random(seed))
+            assert a == b
+            assert bi.ops == bc.ops, f"gen charge drift at seed {seed}"
+
+    def test_depth_cap_bounds_recursion(self, nat_ctx):
+        interp, compiled = self._checkers(nat_ctx, "le", 2)
+        args = (nat(0), nat(20))
+        for fn in (interp, compiled):
+            with budget_scope(nat_ctx, max_depth=3) as bud:
+                assert fn(50, args) is NONE_OB
+            assert bud.exhausted.limit == "depth"
+
+    def test_budget_off_answers_unchanged(self, nat_ctx):
+        interp, compiled = self._checkers(nat_ctx, "le", 2)
+        args = (nat(2), nat(5))
+        baseline = interp(20, args)
+        with budget_scope(nat_ctx):  # unlimited: counts, never trips
+            governed = interp(20, args)
+        assert governed is baseline
+        assert compiled(20, args) is baseline

@@ -1,0 +1,212 @@
+"""Campaign resilience: budgeted quick_check, retries, circuit breaker."""
+
+import time
+
+import pytest
+
+from repro.core.values import Value
+from repro.derive import Mode
+from repro.derive.instances import CHECKER, resolve
+from repro.quickchick import classify, for_all, quick_check
+from repro.resilience import Budget, CircuitBreaker
+from repro.resilience.campaign import run_campaign
+
+
+def nat(n):
+    v = Value("O", ())
+    for _ in range(n):
+        v = Value("S", (v,))
+    return v
+
+
+def le_checker(ctx):
+    return resolve(ctx, CHECKER, "le", Mode.checker(2)).fn
+
+
+def le_property(ctx, fuel=30):
+    check = le_checker(ctx)
+
+    def gen(size, rng):
+        a = rng.randint(0, size)
+        return (a, a + rng.randint(0, size))
+
+    def pred(pair):
+        return check(fuel, (nat(pair[0]), nat(pair[1])))
+
+    judged = classify(lambda pair: pair[0] == pair[1], "reflexive", pred)
+    return for_all(gen, judged, name="le_holds")
+
+
+class TestReplayGuarantee:
+    def test_never_tripping_budget_replays_identically(self, nat_ctx):
+        """The satellite property: seed replay is budget-transparent."""
+        prop = le_property(nat_ctx)
+        plain = quick_check(prop, num_tests=60, seed=424242)
+        governed = quick_check(
+            prop,
+            num_tests=60,
+            seed=424242,
+            budget=Budget(),  # unlimited: charges, never trips
+            ctx=nat_ctx,
+        )
+        assert plain.failed == governed.failed
+        assert plain.tests_run == governed.tests_run
+        assert plain.discards == governed.discards
+        assert plain.labels == governed.labels
+        assert governed.budget_trips == 0
+        assert governed.stopped_reason is None
+
+    def test_generous_deadline_replays_identically(self, nat_ctx):
+        prop = le_property(nat_ctx)
+        plain = quick_check(prop, num_tests=40, seed=7)
+        governed = quick_check(
+            prop, num_tests=40, seed=7, deadline_seconds=60.0, ctx=nat_ctx
+        )
+        assert (plain.tests_run, plain.discards, plain.labels) == (
+            governed.tests_run,
+            governed.discards,
+            governed.labels,
+        )
+
+
+class TestPerTestBudgets:
+    def test_tripped_tests_retry_then_skip(self, nat_ctx):
+        prop = le_property(nat_ctx, fuel=50)
+        report = quick_check(
+            prop,
+            num_tests=5,
+            seed=11,
+            budget=Budget(max_ops=1),  # every attempt trips immediately
+            ctx=nat_ctx,
+            budget_retries=1,
+        )
+        assert report.tests_run == 0
+        assert report.gave_up  # skipped tests count as discards
+        assert report.budget_trips > 0
+        assert report.budget_retries > 0
+        assert report.exhausted is not None
+        assert report.exhausted.limit == "ops"
+
+    def test_backoff_lets_retries_succeed(self, nat_ctx):
+        # ~15 ops per test: the first attempt (cap 8) trips, the
+        # retried attempt (cap 8 * 4) completes — every test passes on
+        # its second try.
+        prop = le_property(nat_ctx, fuel=30)
+        report = quick_check(
+            prop,
+            num_tests=10,
+            seed=3,
+            budget=Budget(max_ops=8),
+            ctx=nat_ctx,
+            budget_retries=2,
+            budget_backoff=4.0,
+        )
+        assert report.tests_run + report.discards >= 10
+        assert report.budget_trips > 0
+        assert report.budget_retries > 0
+        assert not report.gave_up
+
+    def test_budget_requires_a_context(self, nat_ctx):
+        prop = le_property(nat_ctx)
+        with pytest.raises(TypeError, match="context"):
+            quick_check(prop, num_tests=2, budget=Budget(max_ops=10))
+
+    def test_observe_supplies_the_context(self, nat_ctx):
+        prop = le_property(nat_ctx)
+        report = quick_check(
+            prop,
+            num_tests=10,
+            seed=5,
+            observe=nat_ctx,
+            deadline_seconds=60.0,
+        )
+        assert report.tests_run == 10
+        assert report.observation is not None
+
+
+class TestCampaignDeadline:
+    def test_campaign_deadline_stops_with_partial_report(self, nat_ctx):
+        check = le_checker(nat_ctx)
+
+        def slow_pred(pair):
+            time.sleep(0.01)
+            a, b = pair
+            return check(30, (nat(a), nat(b)))
+
+        prop = for_all(
+            lambda size, rng: (0, rng.randint(0, size)), slow_pred, "slow"
+        )
+        report = quick_check(
+            prop,
+            num_tests=10_000,
+            seed=1,
+            campaign_deadline_seconds=0.05,
+            ctx=nat_ctx,
+        )
+        assert report.stopped_reason is not None
+        assert "campaign deadline" in report.stopped_reason
+        assert report.tests_run < 10_000
+        assert "Stopped early" in str(report)
+
+
+class TestCircuitBreaker:
+    def test_opens_on_blowup(self):
+        breaker = CircuitBreaker(window=4, factor=10.0, min_samples=8)
+        for _ in range(20):
+            assert breaker.record(100) is None
+        reason = None
+        for _ in range(4):
+            reason = breaker.record(100_000)
+        assert reason is not None
+        assert "circuit breaker" in reason
+
+    def test_quiet_campaign_never_opens(self):
+        breaker = CircuitBreaker()
+        for cost in range(100, 200):  # mild drift, no blowup
+            assert breaker.record(cost) is None
+
+    def test_needs_min_samples(self):
+        breaker = CircuitBreaker(window=2, factor=2.0, min_samples=50)
+        for _ in range(10):
+            assert breaker.record(1) is None
+        assert breaker.record(10_000_000) is None  # still warming up
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(window=0)
+
+    def test_campaign_aborts_on_step_rate_blowup(self, nat_ctx):
+        check = le_checker(nat_ctx)
+        counter = {"n": 0}
+
+        def gen(size, rng):
+            counter["n"] += 1
+            rng.random()  # keep the stream moving
+            return 2 if counter["n"] <= 30 else 300
+
+        def pred(n):
+            return not check(n + 5, (nat(0), nat(n))).is_false
+
+        prop = for_all(gen, pred, "blowup")
+        report = run_campaign(
+            prop,
+            num_tests=200,
+            seed=9,
+            budget=Budget(),  # unlimited; supplies the op costs
+            ctx=nat_ctx,
+            breaker=CircuitBreaker(window=4, factor=10.0, min_samples=8),
+        )
+        assert report.stopped_reason is not None
+        assert "circuit breaker" in report.stopped_reason
+        assert report.tests_run < 200
+
+
+class TestGaveUpReport:
+    def test_gave_up_str_has_reproduction_coordinates(self):
+        """Satellite fix: the gave-up branch prints seed and size."""
+        prop = for_all(lambda size, rng: rng.random(), lambda x: None, "d")
+        report = quick_check(prop, num_tests=5, seed=99, size=7)
+        assert report.gave_up
+        text = str(report)
+        assert "seed=99" in text
+        assert "size=7" in text

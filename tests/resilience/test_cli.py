@@ -1,0 +1,132 @@
+"""``python -m repro.resilience``: rendering and exit codes."""
+
+import json
+
+import pytest
+
+from repro.quickchick import CheckReport
+from repro.resilience import Budget, write_report_jsonl
+from repro.resilience.cli import (
+    EXIT_CLEAN,
+    EXIT_EXHAUSTED,
+    EXIT_GAVE_UP,
+    EXIT_UNREADABLE,
+    main,
+    render_report_dict,
+)
+
+
+def _exhausted():
+    bud = Budget(max_ops=5)
+    while not bud.charge(1):
+        pass
+    bud.record_site("checker", "le", "in in")
+    return bud.exhausted
+
+
+def _passed(name="p"):
+    return CheckReport(name, tests_run=100, seed=1, size=5, labels={"hit": 40})
+
+
+def _failed():
+    return CheckReport(
+        "f", tests_run=7, failed=True, counterexample=(3, 1), seed=2, size=5
+    )
+
+
+def _tripped():
+    return CheckReport(
+        "t",
+        tests_run=3,
+        discards=20,
+        gave_up=True,
+        seed=4,
+        size=5,
+        budget_trips=12,
+        budget_retries=6,
+        exhausted=_exhausted(),
+    )
+
+
+def _export(tmp_path, reports, name="campaign.jsonl"):
+    path = tmp_path / name
+    write_report_jsonl(reports, str(path))
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_pass(self, tmp_path, capsys):
+        assert main([_export(tmp_path, [_passed(), _passed("q")])]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "+++ Passed 100 tests" in out
+        assert "40.0% hit" in out
+
+    def test_failed_campaign(self, tmp_path, capsys):
+        assert main([_export(tmp_path, [_passed(), _failed()])]) == EXIT_GAVE_UP
+        out = capsys.readouterr().out
+        assert "*** Failed after 7 tests" in out
+        assert "counterexample: (3, 1)" in out
+
+    def test_stopped_campaign(self, tmp_path, capsys):
+        stopped = _passed("s")
+        stopped.stopped_reason = "campaign deadline (0.05s) reached"
+        assert main([_export(tmp_path, [stopped])]) == EXIT_GAVE_UP
+        assert "*** Stopped early: campaign deadline" in capsys.readouterr().out
+
+    def test_exhausted_beats_failed(self, tmp_path, capsys):
+        code = main([_export(tmp_path, [_failed(), _tripped()])])
+        assert code == EXIT_EXHAUSTED
+        out = capsys.readouterr().out
+        assert "*** Exhausted: ops limit tripped" in out
+        assert "at checker:le[in in]" in out
+        assert "12 budget-tripped tests (6 retries)" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == EXIT_UNREADABLE
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_not_a_report_export(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"kind": "span", "rel": "le"}\n')
+        assert main([str(path)]) == EXIT_UNREADABLE
+        assert "no check_report records" in capsys.readouterr().err
+
+    def test_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        assert main([str(path)]) == EXIT_UNREADABLE
+
+
+class TestRoundTrip:
+    def test_to_dict_survives_jsonl(self, tmp_path):
+        path = _export(tmp_path, [_tripped()])
+        with open(path, encoding="utf-8") as fh:
+            rec = json.loads(fh.readline())
+        assert rec["kind"] == "check_report"
+        assert rec["budget_trips"] == 12
+        assert rec["exhausted"]["kind"] == "exhausted"
+        assert rec["exhausted"]["limit"] == "ops"
+        text = render_report_dict(rec)
+        assert "ops limit" in text
+
+    def test_gave_up_render_names_seed_and_size(self):
+        text = render_report_dict(_tripped().to_dict())
+        assert "seed=4" in text
+        assert "size=5" in text
+
+
+def test_module_entry_point(tmp_path):
+    import subprocess
+    import sys
+
+    path = tmp_path / "c.jsonl"
+    write_report_jsonl([_tripped()], str(path))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.resilience", str(path)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        cwd="/root/repo",
+    )
+    assert proc.returncode == EXIT_EXHAUSTED
+    assert "Exhausted" in proc.stdout

@@ -1,0 +1,141 @@
+"""FaultPlan semantics and memo soundness under injected faults."""
+
+import pytest
+
+from repro.core.values import Value
+from repro.derive import (
+    Mode,
+    clear_memo,
+    derive_stats,
+    disable_memoization,
+    enable_memoization,
+)
+from repro.derive.instances import CHECKER, resolve
+from repro.derive.memo import CHECKER_MEMO
+from repro.producers.option_bool import NONE_OB
+from repro.resilience import FAULT_KINDS, Budget, FaultPlan, budget_scope
+
+
+def nat(n):
+    v = Value("O", ())
+    for _ in range(n):
+        v = Value("S", (v,))
+    return v
+
+
+class TestFaultPlan:
+    def test_events_are_sorted(self):
+        plan = FaultPlan([(30, "evict"), (5, "fuel"), (12, "trip")])
+        assert [op for op, _ in plan] == [5, 12, 30]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultPlan([(3, "meteor")])
+
+    def test_rejects_non_positive_index(self):
+        with pytest.raises(ValueError):
+            FaultPlan([(0, "fuel")])
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(17)
+        b = FaultPlan.seeded(17)
+        c = FaultPlan.seeded(18)
+        assert list(a) == list(b)
+        assert list(a) != list(c)
+        assert all(kind in FAULT_KINDS for _, kind in a)
+
+    def test_round_trip_dict(self):
+        plan = FaultPlan.from_events((4, "fuel"), (9, "trip"))
+        d = plan.as_dict()
+        assert FaultPlan(d["events"], seed=d["seed"]).as_dict() == d
+
+
+class TestMemoSoundness:
+    """No interrupted computation may poison the memo table."""
+
+    @pytest.fixture
+    def memo_ctx(self, nat_ctx):
+        enable_memoization(nat_ctx)
+        yield nat_ctx
+        disable_memoization(nat_ctx)
+
+    def test_tripped_run_leaves_no_entry(self, memo_ctx):
+        check = resolve(memo_ctx, CHECKER, "le", Mode.checker(2)).fn
+        args = (nat(3), nat(9))
+        clear_memo(memo_ctx)
+        with budget_scope(memo_ctx, max_ops=4) as bud:
+            assert check(30, args) is NONE_OB
+        assert bud.exhausted is not None
+        table = memo_ctx.caches.get(CHECKER_MEMO, {})
+        assert ("le", args) not in table, "tainted answer was cached"
+        assert derive_stats(memo_ctx).tainted_memo_skips > 0
+        # An un-budgeted rerun is unaffected by the interrupted one.
+        assert check(30, args).is_true
+
+    def test_fuel_fault_taints_without_tripping(self, memo_ctx):
+        check = resolve(memo_ctx, CHECKER, "le", Mode.checker(2)).fn
+        args = (nat(2), nat(7))
+        clear_memo(memo_ctx)
+        plan = FaultPlan.from_events((3, "fuel"))
+        with budget_scope(
+            memo_ctx, faults=plan, check_every=1
+        ) as bud:
+            check(30, args)
+        assert bud.exhausted is None  # one-shot fault, run completed
+        assert bud.injected == 1
+        assert ("le", args) not in memo_ctx.caches.get(CHECKER_MEMO, {})
+        assert check(30, args).is_true
+
+    def test_evict_fault_is_transparent(self, memo_ctx):
+        check = resolve(memo_ctx, CHECKER, "le", Mode.checker(2)).fn
+        cases = [(nat(a), nat(b)) for a in range(4) for b in range(4)]
+        baseline = [check(20, args) for args in cases]
+        clear_memo(memo_ctx)  # cold cache, so the faulted run computes
+        plan = FaultPlan.from_events((10, "evict"), (40, "evict"))
+        with budget_scope(memo_ctx, faults=plan, check_every=1) as bud:
+            faulted = [check(20, args) for args in cases]
+        assert bud.evictions >= 1
+        assert faulted == baseline, "losing the cache changed an answer"
+
+    def test_cache_cap_evicts_oldest(self, memo_ctx):
+        check = resolve(memo_ctx, CHECKER, "le", Mode.checker(2)).fn
+        clear_memo(memo_ctx)
+        with budget_scope(memo_ctx, max_cache_entries=3) as bud:
+            for b in range(8):
+                check(20, (nat(0), nat(b)))
+        table = memo_ctx.caches[CHECKER_MEMO]
+        assert len(table) <= 3
+        assert bud.evictions > 0
+        assert derive_stats(memo_ctx).cache_evictions > 0
+        # The newest entries survive (insertion-ordered eviction).
+        assert ("le", (nat(0), nat(7))) in table
+
+
+class TestFaultedVerdicts:
+    """Injected faults only move answers toward indefinite, never flip
+    a definite verdict."""
+
+    def test_forced_fuel_is_sound(self, nat_ctx):
+        check = resolve(nat_ctx, CHECKER, "le", Mode.checker(2)).fn
+        cases = [
+            ((nat(2), nat(5)), check(20, (nat(2), nat(5)))),
+            ((nat(6), nat(1)), check(20, (nat(6), nat(1)))),
+        ]
+        for seed in range(5):
+            plan = FaultPlan.seeded(seed, kinds=("fuel",), horizon=64)
+            for args, expected in cases:
+                with budget_scope(nat_ctx, faults=plan, check_every=1):
+                    got = check(20, args)
+                if got is not NONE_OB:
+                    assert got is expected, (
+                        f"fault flipped a definite verdict: seed={seed} "
+                        f"args={args}"
+                    )
+
+    def test_trip_fault_degrades_to_none(self, nat_ctx):
+        check = resolve(nat_ctx, CHECKER, "le", Mode.checker(2)).fn
+        plan = FaultPlan.from_events((2, "trip"))
+        with budget_scope(nat_ctx, faults=plan, check_every=1) as bud:
+            assert check(30, (nat(3), nat(9))) is NONE_OB
+        assert bud.exhausted is not None
+        assert bud.exhausted.limit == "fault"
