@@ -1,0 +1,265 @@
+"""Specialization benchmark: the Figure-3-gap guard.
+
+Measures the term-representation specialization pass
+(:mod:`repro.derive.specialize` + the twin emission in
+``repro.derive.codegen``) three ways:
+
+* **specialized vs boxed-only** — the live code generator with the
+  pass on vs off (fresh contexts, identical schedules) on the BST
+  nat-heavy checker workload; acceptance bar: specialization is
+  **>= 2x** on BST (``lt`` premises collapse from Peano walks to int
+  arithmetic).  STLC is reported unbarred — its cost sits in the
+  typing *enumerator* (see EXPERIMENTS.md), which the checker pass
+  does not touch.
+* **no-regression guard** — the live emitter with specialization
+  *disabled* vs the frozen pre-specialization emitter
+  (``benchmarks/legacy/codegen_pr5.py``); bar: **<= 1.05x** (the
+  twin machinery must cost nothing when off).
+* **Figure 3 deltas** — derived vs handwritten checker throughput per
+  case study (BST / STLC / IFC), printed for the EXPERIMENTS.md
+  table; reported, not barred (the residual gaps are analyzed there).
+
+Run standalone (prints the table)::
+
+    PYTHONPATH=src python benchmarks/bench_specialize.py
+
+or under pytest (asserts the bars)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_specialize.py -s
+
+``REPRO_BENCH_QUICK=1`` shrinks the workloads and relaxes the bars to
+sanity checks — the CI smoke mode (shared runners make tight timing
+bars flaky).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.legacy.codegen_pr5 import (
+    compile_checker as pr5_compile_checker,
+)
+from repro.casestudies import bst, ifc, stlc
+from repro.core.values import from_int
+from repro.derive import Mode, build_schedule
+from repro.derive.codegen import compile_checker as live_compile_checker
+from repro.derive.instances import CHECKER, resolve_compiled
+from repro.derive.specialize import disable_specialization
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+ROUNDS = 2 if QUICK else 8
+POOL = 10 if QUICK else 40
+FIG3_TESTS = 40 if QUICK else 300
+REPEATS = 2 if QUICK else 5
+
+# Quick mode is a smoke test: workloads still run end to end and must
+# agree, but shared CI runners are too noisy for the real bars.
+SPEC_BAR = 1.0 if QUICK else 2.0
+LEGACY_BAR = 3.0 if QUICK else 1.05
+
+
+def _timed(fn, repeats: int = REPEATS) -> float:
+    """Best-of-N CPU time (process_time defends against machine noise
+    far better than wall clock on shared hardware)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.process_time()
+        fn()
+        best = min(best, time.process_time() - start)
+    return best
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def _bst_pool(seed: int = 11):
+    rng = random.Random(seed)
+    lo, hi = from_int(0), from_int(16)
+    pool = []
+    while len(pool) < POOL:
+        out = bst.handwritten_bst_gen(8, (lo, hi), rng)
+        if isinstance(out, tuple):
+            pool.append(out[0])
+    return [(lo, hi, t) for t in pool]
+
+
+class Workload:
+    def __init__(self, name, make_ctx, rel, fuel, args_pool):
+        self.name = name
+        self.make_ctx = make_ctx
+        self.rel = rel
+        self.fuel = fuel
+        self.args_pool = args_pool
+
+    def loop(self, check):
+        fuel = self.fuel
+        for _ in range(ROUNDS):
+            for args in self.args_pool:
+                check(fuel, args)
+
+    def answers(self, check):
+        return [check(self.fuel, args) for args in self.args_pool]
+
+
+def bst_workload() -> Workload:
+    return Workload("BST bst", bst.make_context, "bst", 24, _bst_pool())
+
+
+# -- measurements ------------------------------------------------------------
+
+
+def bench_spec_vs_boxed(wl: Workload):
+    """Live emitter, pass on vs pass off, fresh context each (the flag
+    is read at compile time; dependencies recompile under it too)."""
+    ctx_spec = wl.make_ctx()
+    ctx_plain = wl.make_ctx()
+    disable_specialization(ctx_plain)
+    mode = Mode.checker(ctx_spec.relations.get(wl.rel).arity)
+    spec = resolve_compiled(ctx_spec, CHECKER, wl.rel, mode)
+    plain = resolve_compiled(ctx_plain, CHECKER, wl.rel, mode)
+    assert wl.answers(spec) == wl.answers(plain)
+    assert spec.__spec_reprs__  # the pass genuinely fired
+    t_plain = _timed(lambda: wl.loop(plain))
+    t_spec = _timed(lambda: wl.loop(spec))
+    return t_plain, t_spec
+
+
+def bench_disabled_vs_pr5(wl: Workload):
+    """The live emitter with specialization off against the frozen
+    PR-5 emitter: the twin machinery must be free when disabled.
+
+    Specialization is disabled on *both* contexts: the frozen emitter
+    resolves its premises (e.g. ``lt``) through the live registry, so
+    leaving the flag on would hand it specialized premise checkers the
+    PR-5 code never had — flattering neither side fairly."""
+    ctx_pr5 = wl.make_ctx()
+    ctx_off = wl.make_ctx()
+    disable_specialization(ctx_pr5)
+    disable_specialization(ctx_off)
+    mode = Mode.checker(ctx_pr5.relations.get(wl.rel).arity)
+    sched_pr5 = build_schedule(ctx_pr5, wl.rel, mode)
+    sched_off = build_schedule(ctx_off, wl.rel, mode)
+    legacy = pr5_compile_checker(ctx_pr5, sched_pr5)
+    live = live_compile_checker(ctx_off, sched_off)
+    assert wl.answers(legacy) == wl.answers(live)
+    t_legacy = _timed(lambda: wl.loop(legacy))
+    t_live = _timed(lambda: wl.loop(live))
+    return t_legacy, t_live
+
+
+def bench_fig3_deltas():
+    """Derived vs handwritten checker throughput per case study —
+    the numbers behind the EXPERIMENTS.md before/after table."""
+    from benchmarks.conftest import run_property
+
+    cases = [
+        ("BST", bst, "bst", "handwritten_bst_gen",
+         "handwritten_bst_check", "insert", "BstWorkload"),
+        ("STLC", stlc, "typing", "handwritten_typing_gen",
+         "handwritten_typing_check", "subst", "StlcWorkload"),
+        ("IFC", ifc, "indist_list", "handwritten_indist_gen",
+         "handwritten_indist_check", "CORRECT_STEP", "IfcWorkload"),
+    ]
+    deltas = {}
+    for name, mod, rel, gen_name, hand_name, impl_name, wname in cases:
+        ctx = mod.make_context()
+        w = getattr(mod, wname)(ctx)
+        mode = Mode.checker(ctx.relations.get(rel).arity)
+        derived = resolve_compiled(ctx, CHECKER, rel, mode)
+        gd, pd = w.property_fn(
+            getattr(mod, gen_name), derived, getattr(mod, impl_name)
+        )
+        gh, ph = w.property_fn(
+            getattr(mod, gen_name), getattr(mod, hand_name),
+            getattr(mod, impl_name),
+        )
+        run_property(gh, ph, FIG3_TESTS, 11)  # warm both paths
+        run_property(gd, pd, FIG3_TESTS, 11)
+        th = td = float("inf")
+        for _ in range(REPEATS):  # interleave to cancel machine drift
+            t0 = time.process_time()
+            run_property(gh, ph, FIG3_TESTS, 11)
+            th = min(th, time.process_time() - t0)
+            t0 = time.process_time()
+            run_property(gd, pd, FIG3_TESTS, 11)
+            td = min(td, time.process_time() - t0)
+        deltas[name] = (th / td - 1) * 100
+    return deltas
+
+
+# -- reporting / acceptance --------------------------------------------------
+
+
+def _row(label, t_base, t_new, metric):
+    ratio = t_base / t_new if t_new else float("inf")
+    print(
+        f"[bench_specialize] {label:26s} baseline {t_base * 1e3:9.1f} ms"
+        f"   candidate {t_new * 1e3:9.1f} ms   {metric} {ratio:5.2f}x"
+    )
+    return ratio
+
+
+def run_all(verbose: bool = True):
+    results = {}
+    wl = bst_workload()
+    t_plain, t_spec = bench_spec_vs_boxed(wl)
+    results["spec BST"] = t_plain / t_spec
+    if verbose:
+        _row(f"spec on/off {wl.name}", t_plain, t_spec, "speedup")
+    t_pr5, t_off = bench_disabled_vs_pr5(wl)
+    results["legacy BST"] = t_off / t_pr5
+    if verbose:
+        _row(f"off vs pr5  {wl.name}", t_pr5, t_off, "pr5/live")
+    for case, delta in bench_fig3_deltas().items():
+        results[f"fig3 {case}"] = delta
+        if verbose:
+            print(
+                f"[bench_specialize] Fig3 {case:5s} derived vs "
+                f"handwritten: {delta:+.1f}%"
+            )
+    return results
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_specialization_speedup_bst():
+    t_plain, t_spec = bench_spec_vs_boxed(bst_workload())
+    assert t_plain / t_spec >= SPEC_BAR, (
+        f"specialization speedup only {t_plain / t_spec:.2f}x "
+        f"(bar {SPEC_BAR}x)"
+    )
+
+
+def test_disabled_pass_costs_nothing():
+    t_pr5, t_off = bench_disabled_vs_pr5(bst_workload())
+    assert t_off / t_pr5 <= LEGACY_BAR, (
+        f"specialization-off emitter {t_off / t_pr5:.2f}x the frozen "
+        f"PR-5 emitter (bar {LEGACY_BAR}x)"
+    )
+
+
+def test_fig3_deltas_report():
+    deltas = bench_fig3_deltas()
+    for case, delta in deltas.items():
+        print(f"[bench_specialize] Fig3 {case} delta {delta:+.1f}%")
+    # Identical-verdict property is asserted inside run_property (a
+    # failing derived verdict raises); here we only require the rates
+    # to be finite and the BST gap to stay far from the pre-pass
+    # -50% regime even on noisy runners.
+    assert all(d == d for d in deltas.values())
+    if not QUICK:
+        assert deltas["BST"] > -35.0, (
+            f"BST derived-vs-handwritten delta {deltas['BST']:+.1f}% "
+            "regressed toward the pre-specialization -50% regime"
+        )
+
+
+if __name__ == "__main__":
+    run_all()

@@ -1,0 +1,771 @@
+"""Frozen PR-5 code generator (benchmark baseline only).
+
+A verbatim copy (imports adjusted) of ``repro.derive.codegen`` as of
+the commit *before* term-representation specialization landed: the
+Plan-driven emitter that executes every relation over boxed
+:class:`~repro.core.values.Value` terms.  ``benchmarks/
+bench_specialize.py`` measures the live (specialization-aware) code
+generator against this baseline to guard two claims:
+
+* specialization is a genuine win on nat-heavy workloads (>= 2x); and
+* with specialization disabled the live emitter has not regressed
+  (<= 1.05x of this frozen copy).
+
+Nothing in ``src/`` imports this module; do not "fix" or modernize it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import Context
+from repro.core.types import TypeExpr, mangle
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, _gen_value, slice_exhaustive
+from repro.producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.derive.plan import (
+    OP_CHECK,
+    OP_EVAL,
+    OP_INSTANTIATE,
+    OP_PRODUCE,
+    OP_RECCHECK,
+    OP_TESTCONST,
+    OP_TESTCTOR,
+    OP_TESTEQ,
+    X_CONST,
+    X_CTOR,
+    X_SLOT,
+    Plan,
+    PlanHandler,
+    lower_schedule,
+)
+from repro.derive.schedule import Schedule
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append("    " * self.indent + line if line else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _PlanCompiler:
+    def __init__(self, ctx: Context, plan: Plan, kind: str) -> None:
+        self.ctx = ctx
+        self.plan = plan
+        self.kind = kind  # 'checker' | 'enum' | 'gen'
+        self.globals: dict[str, Any] = {
+            "Value": Value,
+            "SOME_TRUE": SOME_TRUE,
+            "SOME_FALSE": SOME_FALSE,
+            "NONE_OB": NONE_OB,
+            "OUT_OF_FUEL": OUT_OF_FUEL,
+            "FAIL": FAIL,
+            "_negate": negate,
+            "_caches": ctx.caches,
+        }
+        self._const_cache: dict[Value, str] = {}
+        self._fn_cache: dict[int, str] = {}
+        self._counter = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _bind_global(self, stem: str, obj: Any) -> str:
+        self._counter += 1
+        name = f"{stem}_{self._counter}"
+        self.globals[name] = obj
+        return name
+
+    def _bind_fn(self, stem: str, fn: Any) -> str:
+        cached = self._fn_cache.get(id(fn))
+        if cached is None:
+            cached = self._fn_cache[id(fn)] = self._bind_global(stem, fn)
+        return cached
+
+    def constant(self, value: Value) -> str:
+        if value not in self._const_cache:
+            self._const_cache[value] = self._bind_global("_const", value)
+        return self._const_cache[value]
+
+    def slot(self, i: int) -> str:
+        return f"_in{i}" if i < self.plan.n_ins else f"_s{i}"
+
+    def expr(self, e: tuple) -> str:
+        """Compile a lowered expression to a Python expression."""
+        tag = e[0]
+        if tag == X_SLOT:
+            return self.slot(e[1])
+        if tag == X_CONST:
+            return self.constant(e[1])
+        args = ", ".join(self.expr(a) for a in e[2])
+        if tag == X_CTOR:
+            trailing = "," if len(e[2]) == 1 else ""
+            return f"Value({e[1]!r}, ({args}{trailing}))"
+        fn_name = self._bind_fn(f"_f_{e[3]}", e[1])
+        return f"{fn_name}({args})"
+
+    def args_tuple(self, exprs: tuple) -> str:
+        inner = ", ".join(self.expr(e) for e in exprs)
+        trailing = "," if len(exprs) == 1 else ""
+        return f"({inner}{trailing})"
+
+    def _fail(self, em: _Emitter, cond: str, fail: str) -> None:
+        em.emit(f"if {cond}:")
+        em.indent += 1
+        em.emit(fail)
+        em.indent -= 1
+
+    def _emit_test(self, em: _Emitter, op: tuple, fail: str) -> None:
+        """The deterministic test ops, identical in every backend."""
+        tag = op[0]
+        if tag == OP_TESTCTOR:
+            src = self.slot(op[1])
+            self._fail(em, f"{src}.ctor != {op[2]!r}", fail)
+            for k, dst in enumerate(op[3]):
+                em.emit(f"{self.slot(dst)} = {src}.args[{k}]")
+        elif tag == OP_TESTCONST:
+            self._fail(
+                em, f"{self.slot(op[1])} != {self.constant(op[2])}", fail
+            )
+        else:  # OP_TESTEQ
+            cmp = "==" if op[3] else "!="
+            self._fail(
+                em, f"{self.expr(op[1])} {cmp} {self.expr(op[2])}", fail
+            )
+
+    # -- instance resolution at compile time -----------------------------------------
+
+    def checker_fn(self, rel: str):
+        from repro.derive.instances import resolve_compiled_checker
+
+        return resolve_compiled_checker(self.ctx, rel)
+
+    def producer_fn(self, rel: str, mode) -> Any:
+        from repro.derive.instances import ENUM, GEN, resolve_compiled
+
+        kind = ENUM if self.kind in ("checker", "enum") else GEN
+        return resolve_compiled(self.ctx, kind, rel, mode)
+
+    # -- compilation ------------------------------------------------------------------
+
+    def compile(self):
+        em = _Emitter()
+        for h in self.plan.handlers:
+            if self.kind == "checker":
+                self._emit_checker_handler(em, h)
+            elif self.kind == "enum":
+                self._emit_enum_handler(em, h)
+            else:
+                self._emit_gen_handler(em, h)
+            em.emit()
+        self._emit_dispatch(em)
+        self._emit_top(em)
+        source = em.source()
+        code = compile(source, f"<derived {self.kind} {self.plan.rel}>", "exec")
+        namespace = dict(self.globals)
+        exec(code, namespace)
+        rec = namespace["rec"]
+        rec.__derived_source__ = source
+        return rec
+
+    def _ins_params(self) -> list[str]:
+        return [f"_in{i}" for i in range(self.plan.n_ins)]
+
+    def _handler_params(self) -> str:
+        ins = self._ins_params()
+        if self.kind == "gen":
+            extra = f", {', '.join(ins)}" if ins else ""
+            return f"_size1, _top, _rng{extra}"
+        return f"_size1, _top, {', '.join(ins) or '*_'}"
+
+    def _call_handler(self, fn: str) -> str:
+        ins = self._ins_params()
+        params = ", ".join(ins)
+        if self.kind == "gen":
+            extra = f", {params}" if params else ""
+            return f"{fn}(_sz1, _top, _rng{extra})"
+        sep = ", " if params else ""
+        return f"{fn}(_sz1, _top{sep}{params})"
+
+    # .. dispatch tables .............................................................
+
+    def _entry(self, h: PlanHandler) -> str:
+        key4 = (self.kind,) + h.key3
+        return f"(_h_{h.index}, {h.recursive!r}, {key4!r}, {h.cost!r})"
+
+    def _entries(self, handlers: tuple) -> str:
+        inner = ", ".join(self._entry(h) for h in handlers)
+        trailing = "," if len(handlers) == 1 else ""
+        return f"({inner}{trailing})"
+
+    def _emit_dispatch(self, em: _Emitter) -> None:
+        """Dispatch tables as module-level literals.  Entries are
+        ``(handler_fn, recursive, key4, cost)`` so one shape serves all
+        three backends (weights need ``recursive``, profiling needs the
+        pre-merged trace key — the compiled twin of
+        :attr:`~repro.derive.plan.PlanHandler.key_checker` and friends —
+        and budget charges need the static per-attempt
+        :attr:`~repro.derive.plan.PlanHandler.cost`)."""
+        plan = self.plan
+        if plan.dispatch_pos < 0:
+            em.emit(f"_all_full = {self._entries(plan.handlers)}")
+            em.emit(f"_all_base = {self._entries(plan.base)}")
+            em.emit()
+            return
+        for name, table, default in (
+            ("full", plan.full_table, plan.full_default),
+            ("base", plan.base_table, plan.base_default),
+        ):
+            items = ", ".join(
+                f"{ctor!r}: {self._entries(hs)}" for ctor, hs in table.items()
+            )
+            em.emit(f"_disp_{name} = {{{items}}}")
+            em.emit(f"_disp_{name}_d = {self._entries(default)}")
+        em.emit()
+
+    def _emit_candidates(self, em: _Emitter, which: str) -> None:
+        """Emit ``_hs = <candidates>`` for the current size branch."""
+        plan = self.plan
+        if plan.dispatch_pos < 0:
+            em.emit(f"_hs = _all_{which}")
+        else:
+            scrut = f"_in{plan.dispatch_pos}"
+            em.emit(
+                f"_hs = _disp_{which}.get({scrut}.ctor, _disp_{which}_d)"
+            )
+
+    # .. checker ..................................................................
+
+    def _emit_checker_handler(self, em: _Emitter, h: PlanHandler) -> None:
+        em.emit(f"def _h_{h.index}({self._handler_params()}):")
+        em.indent += 1
+        if _has_loop_ops(h):
+            # Only handlers with producer loops charge per item; the
+            # budget probe is scoped to them so straightline handlers
+            # stay probe-free.
+            em.emit("_bud = _caches.get('derive_budget')")
+        em.emit("_inc = False")
+        self._emit_checker_ops(em, h.ops, 0, depth=0)
+        em.emit("return NONE_OB if _inc else SOME_FALSE")
+        em.indent -= 1
+
+    def _emit_checker_ops(self, em: _Emitter, ops: tuple, i: int, depth: int) -> None:
+        fail = "return SOME_FALSE" if depth == 0 else "continue"
+        n = len(ops)
+        while i < n:
+            op = ops[i]
+            tag = op[0]
+            if tag == OP_EVAL:
+                em.emit(f"{self.slot(op[1])} = {self.expr(op[2])}")
+            elif tag in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
+                self._emit_test(em, op, fail)
+            elif tag in (OP_CHECK, OP_RECCHECK):
+                r = f"_r{i}"
+                if tag == OP_RECCHECK:
+                    args = ", ".join(self.expr(e) for e in op[1])
+                    em.emit(f"{r} = rec(_size1, _top, {args})")
+                else:
+                    fn = self._bind_fn(
+                        f"_chk_{op[4]}", self.checker_fn(op[4])
+                    )
+                    em.emit(f"{r} = {fn}(_top, {self.args_tuple(op[2])})")
+                    if op[3]:
+                        em.emit(f"{r} = _negate({r})")
+                if depth == 0:
+                    # Straight-line `.&&`: None propagates as None.
+                    self._fail(em, f"{r} is NONE_OB", "return NONE_OB")
+                    self._fail(em, f"{r} is not SOME_TRUE", "return SOME_FALSE")
+                else:
+                    # Inside an enumeration loop: a None kills this
+                    # branch but taints the search (bindEC accounting).
+                    em.emit(f"if {r} is not SOME_TRUE:")
+                    em.indent += 1
+                    self._fail(em, f"{r} is NONE_OB", "_inc = True")
+                    em.emit(fail)
+                    em.indent -= 1
+            elif tag == OP_PRODUCE:
+                item = f"_it{i}"
+                assert not op[5]  # checker schedules: external only
+                fn = self._bind_fn(
+                    f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
+                )
+                em.emit(f"for {item} in {fn}(_top, {self.args_tuple(op[3])}):")
+                em.indent += 1
+                self._emit_loop_charge(em, "_inc = True", "break")
+                em.emit(f"if {item} is OUT_OF_FUEL or {item} is FAIL:")
+                em.indent += 1
+                em.emit("_inc = True")
+                em.emit("continue")
+                em.indent -= 1
+                for k, dst in enumerate(op[4]):
+                    em.emit(f"{self.slot(dst)} = {item}[{k}]")
+                self._emit_checker_ops(em, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            else:  # OP_INSTANTIATE
+                item = self.slot(op[1])
+                enum_fn = self._bind_global(
+                    "_arb", _make_arbitrary_enum(self.ctx, op[2])
+                )
+                em.emit(f"for {item} in {enum_fn}(_top):")
+                em.indent += 1
+                em.emit(f"if {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit("_inc = True")
+                em.emit("continue")
+                em.indent -= 1
+                # Charge after the marker test: the interpreter's
+                # instantiate loop sees raw values only (the fuel
+                # marker lives outside its stream), so charging the
+                # marker here would desynchronize the op streams.
+                self._emit_loop_charge(em, "_inc = True", "break")
+                self._emit_checker_ops(em, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            i += 1
+        em.emit("return SOME_TRUE")
+
+    def _emit_loop_charge(self, em: _Emitter, *stmts: str) -> None:
+        """One ``charge(1)`` at a producer-loop top — the compiled twin
+        of the interpreters' per-item charge, same site, same order."""
+        em.emit("if _bud is not None and _bud.charge(1):")
+        em.indent += 1
+        for stmt in stmts:
+            em.emit(stmt)
+        em.indent -= 1
+
+    # .. enumerator ..............................................................
+
+    def _emit_enum_handler(self, em: _Emitter, h: PlanHandler) -> None:
+        em.emit(f"def _h_{h.index}({self._handler_params()}):")
+        em.indent += 1
+        if _has_loop_ops(h):
+            em.emit("_bud = _caches.get('derive_budget')")
+        self._emit_enum_ops(em, h, h.ops, 0, depth=0)
+        em.indent -= 1
+
+    def _emit_enum_ops(
+        self, em: _Emitter, h: PlanHandler, ops: tuple, i: int, depth: int
+    ) -> None:
+        fail = "return" if depth == 0 else "continue"
+        n = len(ops)
+        while i < n:
+            op = ops[i]
+            tag = op[0]
+            if tag == OP_EVAL:
+                em.emit(f"{self.slot(op[1])} = {self.expr(op[2])}")
+            elif tag in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
+                self._emit_test(em, op, fail)
+            elif tag == OP_CHECK:
+                r = f"_r{i}"
+                fn = self._bind_fn(f"_chk_{op[4]}", self.checker_fn(op[4]))
+                em.emit(f"{r} = {fn}(_top, {self.args_tuple(op[2])})")
+                if op[3]:
+                    em.emit(f"{r} = _negate({r})")
+                em.emit(f"if {r} is not SOME_TRUE:")
+                em.indent += 1
+                self._fail(em, f"{r} is NONE_OB", "yield OUT_OF_FUEL")
+                em.emit(fail)
+                em.indent -= 1
+            elif tag == OP_RECCHECK:
+                raise AssertionError(
+                    "producer schedules never contain recursive checker calls"
+                )
+            elif tag == OP_PRODUCE:
+                item = f"_it{i}"
+                ins = ", ".join(self.expr(e) for e in op[3])
+                if op[5]:  # recursive self-call, one level down
+                    source = f"rec(_size1, _top, {ins})"
+                else:
+                    fn = self._bind_fn(
+                        f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
+                    )
+                    source = f"{fn}(_top, {self.args_tuple(op[3])})"
+                em.emit(f"for {item} in {source}:")
+                em.indent += 1
+                # ``break``, not ``return``: the interpreter's charge
+                # trip returns from the innermost ``_enum_ops`` frame
+                # only, so outer produce loops resume with their next
+                # item — exiting the whole flattened handler here would
+                # drop those items and diverge under one-shot faults.
+                self._emit_loop_charge(em, "yield OUT_OF_FUEL", "break")
+                em.emit(f"if {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit("yield OUT_OF_FUEL")
+                em.emit("continue")
+                em.indent -= 1
+                for k, dst in enumerate(op[4]):
+                    em.emit(f"{self.slot(dst)} = {item}[{k}]")
+                self._emit_enum_ops(em, h, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            else:  # OP_INSTANTIATE
+                item = self.slot(op[1])
+                enum_fn = self._bind_global(
+                    "_arb", _make_arbitrary_enum(self.ctx, op[2])
+                )
+                em.emit(f"for {item} in {enum_fn}(_top):")
+                em.indent += 1
+                em.emit(f"if {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit("yield OUT_OF_FUEL")
+                em.emit("continue")
+                em.indent -= 1
+                # After the marker test — see the checker twin above —
+                # and ``break`` for the same reason as OP_PRODUCE.
+                self._emit_loop_charge(em, "yield OUT_OF_FUEL", "break")
+                self._emit_enum_ops(em, h, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            i += 1
+        outs = ", ".join(self.expr(e) for e in h.out_exprs)
+        trailing = "," if len(h.out_exprs) == 1 else ""
+        em.emit(f"yield ({outs}{trailing})")
+
+    # .. generator ...............................................................
+
+    def _emit_gen_handler(self, em: _Emitter, h: PlanHandler) -> None:
+        em.emit(f"def _h_{h.index}({self._handler_params()}):")
+        em.indent += 1
+        for i, op in enumerate(h.ops):
+            tag = op[0]
+            if tag == OP_EVAL:
+                em.emit(f"{self.slot(op[1])} = {self.expr(op[2])}")
+            elif tag in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
+                self._emit_test(em, op, "return FAIL")
+            elif tag == OP_CHECK:
+                r = f"_r{i}"
+                fn = self._bind_fn(f"_chk_{op[4]}", self.checker_fn(op[4]))
+                em.emit(f"{r} = {fn}(_top, {self.args_tuple(op[2])})")
+                if op[3]:
+                    em.emit(f"{r} = _negate({r})")
+                em.emit(f"if {r} is not SOME_TRUE:")
+                em.indent += 1
+                em.emit(f"return OUT_OF_FUEL if {r} is NONE_OB else FAIL")
+                em.indent -= 1
+            elif tag == OP_RECCHECK:
+                raise AssertionError(
+                    "producer schedules never contain recursive checker calls"
+                )
+            elif tag == OP_PRODUCE:
+                item = f"_it{i}"
+                if op[5]:  # recursive self-call, one level down
+                    em.emit(
+                        f"{item} = rec(_size1, _top, "
+                        f"{self.args_tuple(op[3])}, _rng)"
+                    )
+                else:
+                    fn = self._bind_fn(
+                        f"_gen_{op[6]}", self.producer_fn(op[6], op[7])
+                    )
+                    em.emit(
+                        f"{item} = {fn}(_top, {self.args_tuple(op[3])}, _rng)"
+                    )
+                em.emit(f"if {item} is FAIL or {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit(f"return {item}")
+                em.indent -= 1
+                for k, dst in enumerate(op[4]):
+                    em.emit(f"{self.slot(dst)} = {item}[{k}]")
+            else:  # OP_INSTANTIATE
+                gen_fn = self._bind_global(
+                    "_arbg", _make_arbitrary_gen(self.ctx, op[2])
+                )
+                item = self.slot(op[1])
+                em.emit(f"{item} = {gen_fn}(_top, _rng)")
+                em.emit(f"if {item} is FAIL or {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit(f"return {item}")
+                em.indent -= 1
+        outs = ", ".join(self.expr(e) for e in h.out_exprs)
+        trailing = "," if len(h.out_exprs) == 1 else ""
+        em.emit(f"return ({outs}{trailing})")
+        em.indent -= 1
+
+    # .. the fixpoint .............................................................
+
+    def _emit_entry_charge(self, em: _Emitter, *stmts: str) -> None:
+        """The per-level ``charge_entry`` check — the compiled twin of
+        the interpreters' fixpoint-entry charge.  *stmts* unwind to the
+        backend's indefinite outcome."""
+        plan = self.plan
+        em.emit("if _bud is not None and _bud.charge_entry(_top - _size):")
+        em.indent += 1
+        em.emit(
+            f"_bud.record_site({self.kind!r}, {plan.rel!r}, "
+            f"{plan.mode_str!r})"
+        )
+        for stmt in stmts:
+            em.emit(stmt)
+        em.indent -= 1
+
+    def _emit_handler_charge(self, em: _Emitter, *stmts: str) -> None:
+        """One ``charge(cost)`` per handler attempt, before the call —
+        same site and order as the interpreters."""
+        plan = self.plan
+        em.emit("if _bud is not None and _bud.charge(_h[3]):")
+        em.indent += 1
+        em.emit(
+            f"_bud.record_site({self.kind!r}, {plan.rel!r}, "
+            f"{plan.mode_str!r})"
+        )
+        for stmt in stmts:
+            em.emit(stmt)
+        em.indent -= 1
+
+    def _emit_top(self, em: _Emitter) -> None:
+        plan = self.plan
+        ins = self._ins_params()
+        params = ", ".join(ins)
+        span_begin = (
+            f"_sp = _ob.spans.begin({self.kind!r}, {plan.rel!r}, "
+            f"{plan.mode_str!r}, _size, _top)"
+        )
+        if self.kind == "checker":
+            em.emit(f"def rec(_size, _top, {params or '*_'}):")
+            em.indent += 1
+            em.emit("_tr = _caches.get('derive_trace')")
+            em.emit("_ob = _caches.get('derive_observe')")
+            em.emit("_bud = _caches.get('derive_budget')")
+            em.emit(f"if _ob is not None: {span_begin}")
+            self._emit_entry_charge(
+                em,
+                "if _ob is not None: _ob.end_checker(_sp, NONE_OB)",
+                "return NONE_OB",
+            )
+            em.emit("if _size == 0:")
+            em.indent += 1
+            self._emit_candidates(em, "base")
+            em.emit("_sz1 = None")
+            em.emit(f"_none = {plan.has_recursive!r}")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            self._emit_candidates(em, "full")
+            em.emit("_sz1 = _size - 1")
+            em.emit("_none = False")
+            em.indent -= 1
+            em.emit("for _h in _hs:")
+            em.indent += 1
+            self._emit_handler_charge(em, "_none = True", "break")
+            em.emit(f"_r = {self._call_handler('_h[0]')}")
+            em.emit("if _tr is not None:")
+            em.indent += 1
+            em.emit(
+                "_tr.record4(_h[2], _r is SOME_TRUE, _r is NONE_OB)"
+            )
+            em.indent -= 1
+            em.emit("if _r is SOME_TRUE:")
+            em.indent += 1
+            em.emit("if _ob is not None: _ob.end_checker(_sp, SOME_TRUE)")
+            em.emit("return SOME_TRUE")
+            em.indent -= 1
+            em.emit("if _r is NONE_OB: _none = True")
+            em.indent -= 1
+            em.emit("_r = NONE_OB if _none else SOME_FALSE")
+            em.emit("if _ob is not None: _ob.end_checker(_sp, _r)")
+            em.emit("return _r")
+            em.indent -= 1
+        elif self.kind == "enum":
+            em.emit(f"def rec(_size, _top, {params or '*_'}):")
+            em.indent += 1
+            em.emit("_tr = _caches.get('derive_trace')")
+            em.emit("_ob = _caches.get('derive_observe')")
+            em.emit("_bud = _caches.get('derive_budget')")
+            em.emit(f"if _ob is not None: {span_begin}")
+            self._emit_entry_charge(
+                em,
+                "yield OUT_OF_FUEL",
+                "if _ob is not None: _ob.end_enum(_sp, 0, True)",
+                "return",
+            )
+            em.emit("_fuel = False")
+            em.emit("_nv = 0")
+            em.emit("if _size == 0:")
+            em.indent += 1
+            self._emit_candidates(em, "base")
+            em.emit("_sz1 = None")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            self._emit_candidates(em, "full")
+            em.emit("_sz1 = _size - 1")
+            em.indent -= 1
+            em.emit("if _tr is None:")
+            em.indent += 1
+            em.emit("for _h in _hs:")
+            em.indent += 1
+            self._emit_handler_charge(em, "_fuel = True", "break")
+            em.emit(f"for _x in {self._call_handler('_h[0]')}:")
+            em.indent += 1
+            em.emit("if _x is OUT_OF_FUEL: _fuel = True")
+            em.emit("else: yield _x")
+            em.indent -= 3
+            em.emit("else:")
+            em.indent += 1
+            em.emit("for _h in _hs:")
+            em.indent += 1
+            self._emit_handler_charge(em, "_fuel = True", "break")
+            em.emit("_sv = _sf = False")
+            em.emit(f"for _x in {self._call_handler('_h[0]')}:")
+            em.indent += 1
+            em.emit("if _x is OUT_OF_FUEL: _fuel = _sf = True")
+            em.emit("else:")
+            em.indent += 1
+            em.emit("_sv = True")
+            em.emit("_nv += 1")
+            em.emit("yield _x")
+            em.indent -= 2
+            em.emit("_tr.record4(_h[2], _sv, _sf)")
+            em.indent -= 2
+            if plan.has_recursive:
+                em.emit("if _size == 0: _fuel = True")
+            em.emit("if _fuel: yield OUT_OF_FUEL")
+            em.emit("if _ob is not None: _ob.end_enum(_sp, _nv, _fuel)")
+            em.indent -= 1
+        else:  # gen
+            em.emit("def rec(_size, _top, _ins, _rng):")
+            em.indent += 1
+            if params:
+                comma = "," if len(ins) == 1 else ""
+                em.emit(f"{params}{comma} = _ins")
+            em.emit("_tr = _caches.get('derive_trace')")
+            em.emit("_ob = _caches.get('derive_observe')")
+            em.emit("_bud = _caches.get('derive_budget')")
+            em.emit(f"if _ob is not None: {span_begin}")
+            self._emit_entry_charge(
+                em,
+                "if _ob is not None: _ob.end_gen(_sp, OUT_OF_FUEL, 0)",
+                "return OUT_OF_FUEL",
+            )
+            em.emit("_na = 0")
+            em.emit("if _size == 0:")
+            em.indent += 1
+            self._emit_candidates(em, "base")
+            em.emit("_sz1 = None")
+            em.emit(f"_fuel = {plan.has_recursive!r}")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            self._emit_candidates(em, "full")
+            em.emit("_sz1 = _size - 1")
+            em.emit("_fuel = False")
+            em.indent -= 1
+            em.emit(
+                "_live = [[_h, 2, ((_size if _h[1] else 1) or 1)]"
+                " for _h in _hs]"
+            )
+            em.emit("while _live:")
+            em.indent += 1
+            em.emit("_total = 0")
+            em.emit("for _e in _live: _total += _e[2]")
+            em.emit("_pick = _rng.randrange(_total)")
+            em.emit("for _e in _live:")
+            em.indent += 1
+            em.emit("if _pick < _e[2]: break")
+            em.emit("_pick -= _e[2]")
+            em.indent -= 1
+            em.emit("_h = _e[0]")
+            self._emit_handler_charge(em, "_fuel = True", "break")
+            em.emit("_na += 1")
+            args = f", {params}" if params else ""
+            em.emit(f"_res = _h[0](_sz1, _top, _rng{args})")
+            em.emit("if _res is FAIL:")
+            em.indent += 1
+            em.emit("if _tr is not None:"
+                    " _tr.record4(_h[2], False, False)")
+            em.indent -= 1
+            em.emit("elif _res is OUT_OF_FUEL:")
+            em.indent += 1
+            em.emit("_fuel = True")
+            em.emit("if _tr is not None:"
+                    " _tr.record4(_h[2], False, True)")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            em.emit("if _tr is not None:"
+                    " _tr.record4(_h[2], True, False)")
+            em.emit("if _ob is not None: _ob.end_gen(_sp, _res, _na)")
+            em.emit("return _res")
+            em.indent -= 1
+            em.emit("_e[1] -= 1")
+            em.emit("if _e[1] <= 0: _live.remove(_e)")
+            em.indent -= 1
+            em.emit("_res = OUT_OF_FUEL if _fuel else FAIL")
+            em.emit("if _ob is not None: _ob.end_gen(_sp, _res, _na)")
+            em.emit("return _res")
+            em.indent -= 1
+
+
+def _has_loop_ops(h: PlanHandler) -> bool:
+    """Whether the handler contains producer loops (and so needs the
+    per-item budget charge and its ``_bud`` probe)."""
+    return any(op[0] in (OP_PRODUCE, OP_INSTANTIATE) for op in h.ops)
+
+
+def _make_arbitrary_enum(ctx: Context, ty: TypeExpr):
+    def arbitrary(fuel: int):
+        yield from _enum_values(ctx, ty, fuel)
+        if not slice_exhaustive(ctx, ty, fuel):
+            yield OUT_OF_FUEL
+
+    arbitrary.__name__ = f"arbitrary_{mangle(ty)}"
+    return arbitrary
+
+
+def _make_arbitrary_gen(ctx: Context, ty: TypeExpr):
+    def arbitrary(fuel: int, rng):
+        return _gen_value(ctx, ty, fuel, rng)
+
+    arbitrary.__name__ = f"arbitrary_gen_{mangle(ty)}"
+    return arbitrary
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+# ---------------------------------------------------------------------------
+
+def compile_checker(ctx: Context, schedule: Schedule):
+    """Compile a checker schedule to ``fn(fuel, args) -> OptionBool``
+    (the internal instance convention)."""
+    plan = lower_schedule(ctx, schedule)
+    rec = _PlanCompiler(ctx, plan, "checker").compile()
+
+    def check(fuel: int, args: tuple) -> Any:
+        return rec(fuel, fuel, *args)
+
+    check.__wrapped_rec__ = rec
+    check.__derived_source__ = rec.__derived_source__
+    return check
+
+
+def compile_enumerator(ctx: Context, schedule: Schedule):
+    """Compile an enum schedule to ``fn(fuel, ins) -> iterator``."""
+    plan = lower_schedule(ctx, schedule)
+    rec = _PlanCompiler(ctx, plan, "enum").compile()
+
+    def enum_st(fuel: int, ins: tuple):
+        return rec(fuel, fuel, *ins)
+
+    enum_st.__wrapped_rec__ = rec
+    enum_st.__derived_source__ = rec.__derived_source__
+    return enum_st
+
+
+def compile_generator(ctx: Context, schedule: Schedule):
+    """Compile a gen schedule to ``fn(fuel, ins, rng) -> tuple|marker``."""
+    plan = lower_schedule(ctx, schedule)
+    rec = _PlanCompiler(ctx, plan, "gen").compile()
+
+    def gen_st(fuel: int, ins: tuple, rng):
+        return rec(fuel, fuel, ins, rng)
+
+    gen_st.__wrapped_rec__ = rec
+    gen_st.__derived_source__ = rec.__derived_source__
+    return gen_st

@@ -52,11 +52,13 @@ from __future__ import annotations
 from typing import Any
 
 from ..core.context import Context
-from ..core.types import TypeExpr, mangle
+from ..core.errors import UnknownNameError
+from ..core.types import Ty, TypeExpr, is_ground, mangle
 from ..core.values import Value
 from ..producers.combinators import _enum_values, _gen_value, slice_exhaustive
 from ..producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
 from ..producers.outcome import FAIL, OUT_OF_FUEL
+from . import specialize
 from .plan import (
     OP_CHECK,
     OP_EVAL,
@@ -89,10 +91,17 @@ class _Emitter:
 
 
 class _PlanCompiler:
-    def __init__(self, ctx: Context, plan: Plan, kind: str) -> None:
+    def __init__(
+        self, ctx: Context, plan: Plan, kind: str, fast: bool = False
+    ) -> None:
         self.ctx = ctx
         self.plan = plan
         self.kind = kind  # 'checker' | 'enum' | 'gen'
+        # fast=True emits the instrumentation-free twin: the
+        # trace/observe/budget locals are pinned to None (every guarded
+        # site is a no-op exactly when those caches are empty, which is
+        # the only state in which entry wrappers select this twin).
+        self.fast = fast
         self.globals: dict[str, Any] = {
             "Value": Value,
             "SOME_TRUE": SOME_TRUE,
@@ -147,6 +156,14 @@ class _PlanCompiler:
         inner = ", ".join(self.expr(e) for e in exprs)
         trailing = "," if len(exprs) == 1 else ""
         return f"({inner}{trailing})"
+
+    def _emit_instr_locals(self, em: _Emitter) -> None:
+        if self.fast:
+            em.emit("_tr = _ob = _bud = None")
+            return
+        em.emit("_tr = _caches.get('derive_trace')")
+        em.emit("_ob = _caches.get('derive_observe')")
+        em.emit("_bud = _caches.get('derive_budget')")
 
     def _fail(self, em: _Emitter, cond: str, fail: str) -> None:
         em.emit(f"if {cond}:")
@@ -282,7 +299,10 @@ class _PlanCompiler:
             # Only handlers with producer loops charge per item; the
             # budget probe is scoped to them so straightline handlers
             # stay probe-free.
-            em.emit("_bud = _caches.get('derive_budget')")
+            if self.fast:
+                em.emit("_bud = None")
+            else:
+                em.emit("_bud = _caches.get('derive_budget')")
         em.emit("_inc = False")
         self._emit_checker_ops(em, h.ops, 0, depth=0)
         em.emit("return NONE_OB if _inc else SOME_FALSE")
@@ -379,7 +399,10 @@ class _PlanCompiler:
         em.emit(f"def _h_{h.index}({self._handler_params()}):")
         em.indent += 1
         if _has_loop_ops(h):
-            em.emit("_bud = _caches.get('derive_budget')")
+            if self.fast:
+                em.emit("_bud = None")
+            else:
+                em.emit("_bud = _caches.get('derive_budget')")
         self._emit_enum_ops(em, h, h.ops, 0, depth=0)
         em.indent -= 1
 
@@ -563,9 +586,7 @@ class _PlanCompiler:
         if self.kind == "checker":
             em.emit(f"def rec(_size, _top, {params or '*_'}):")
             em.indent += 1
-            em.emit("_tr = _caches.get('derive_trace')")
-            em.emit("_ob = _caches.get('derive_observe')")
-            em.emit("_bud = _caches.get('derive_budget')")
+            self._emit_instr_locals(em)
             em.emit(f"if _ob is not None: {span_begin}")
             self._emit_entry_charge(
                 em,
@@ -608,9 +629,7 @@ class _PlanCompiler:
         elif self.kind == "enum":
             em.emit(f"def rec(_size, _top, {params or '*_'}):")
             em.indent += 1
-            em.emit("_tr = _caches.get('derive_trace')")
-            em.emit("_ob = _caches.get('derive_observe')")
-            em.emit("_bud = _caches.get('derive_budget')")
+            self._emit_instr_locals(em)
             em.emit(f"if _ob is not None: {span_begin}")
             self._emit_entry_charge(
                 em,
@@ -668,9 +687,7 @@ class _PlanCompiler:
             if params:
                 comma = "," if len(ins) == 1 else ""
                 em.emit(f"{params}{comma} = _ins")
-            em.emit("_tr = _caches.get('derive_trace')")
-            em.emit("_ob = _caches.get('derive_observe')")
-            em.emit("_bud = _caches.get('derive_budget')")
+            self._emit_instr_locals(em)
             em.emit(f"if _ob is not None: {span_begin}")
             self._emit_entry_charge(
                 em,
@@ -742,6 +759,628 @@ def _has_loop_ops(h: PlanHandler) -> bool:
     return any(op[0] in (OP_PRODUCE, OP_INSTANTIATE) for op in h.ops)
 
 
+# ---------------------------------------------------------------------------
+# Term-representation specialization (checker kind only).
+# ---------------------------------------------------------------------------
+
+class _SpecUnsupported(Exception):
+    """Raised during specialized emission when the plan does something
+    the pass cannot represent; ``compile_checker`` falls back to the
+    boxed-only artifact."""
+
+
+class _SpecPlanCompiler(_PlanCompiler):
+    """The checker compiler with term-representation specialization.
+
+    Emits the same handler/dispatch/fixpoint structure as the base
+    compiler — op for op, with identical budget charge sites, trace
+    record sites, and observe spans — but runs known datatypes in
+    native representations (:mod:`repro.derive.specialize`): ``nat``
+    slots are Python ints, ``list`` slots are nested pairs, and ground
+    constants are interned.  Reprs are tracked per slot during
+    emission; every specialized/boxed boundary (external calls into
+    unspecialized siblings, function impls, producer loops) boxes with
+    total coercions, so the only partial coercions are the statically
+    type-directed eager unboxes at ``TESTCTOR`` projections — those
+    raise :class:`~repro.derive.specialize.SpecCoercionError`, which
+    the entry wrapper catches by re-running the boxed twin.
+    """
+
+    def __init__(
+        self, ctx: Context, plan: Plan, info, boxed_rec, fast: bool = False
+    ) -> None:
+        super().__init__(ctx, plan, "checker")
+        self.info = info
+        # fast=True emits the instrumentation-free twin: every
+        # trace/observe/budget site is omitted instead of guarded.
+        # Those sites are no-ops whenever the corresponding cache entry
+        # is absent, so the twin is observationally identical on
+        # uninstrumented contexts — and the entry wrapper only selects
+        # it in exactly that state.
+        self.fast = fast
+        self.globals["_rbox"] = boxed_rec
+        self.globals["_box_nat"] = specialize.box_nat
+        self.globals["_unbox_nat"] = specialize.unbox_nat
+        self._coercers: dict = {}
+        self._srepr: dict[int, Any] = {}
+        self._stype: dict[int, "TypeExpr | None"] = {}
+        self._inline = False
+        self._inline_fail = "break"
+        self._tail_ok = False
+        self._branch_key = None
+
+    # .. repr helpers ............................................................
+
+    def constant(self, value: Value) -> str:
+        return super().constant(specialize.intern_value(value))
+
+    def _boxer(self, r) -> str:
+        if r == specialize.NAT:
+            return "_box_nat"
+        key = ("box", r)
+        name = self._coercers.get(key)
+        if name is None:
+            name = self._coercers[key] = self._bind_global(
+                "_boxr", specialize.boxer(r)
+            )
+        return name
+
+    def _unboxer(self, r) -> str:
+        if r == specialize.NAT:
+            return "_unbox_nat"
+        key = ("unbox", r)
+        name = self._coercers.get(key)
+        if name is None:
+            name = self._coercers[key] = self._bind_global(
+                "_unboxr", specialize.unboxer(r)
+            )
+        return name
+
+    def _lit(self, x, r) -> str:
+        """A Python literal for compile-time-converted constant *x* in
+        repr *r* (boxed parts bind as interned const globals)."""
+        if r == specialize.NAT:
+            return repr(x)
+        if r == specialize.BOX:
+            return self.constant(x)
+        if x == ():
+            return "()"
+        return f"({self._lit(x[0], r[1])}, {self._lit(x[1], r)})"
+
+    def _const_in(self, value: Value, r) -> str:
+        return self._lit(specialize.value_in_repr(value, r), r)
+
+    def _ctor_owner(self, name: str) -> str | None:
+        try:
+            return self.ctx.datatypes.owner_of(name).name
+        except UnknownNameError:
+            return None
+
+    # .. expressions .............................................................
+
+    def sexpr(self, e: tuple, hint=None) -> tuple[str, Any]:
+        """Compile an expression; returns ``(code, repr)``.  Constants
+        (and nat/list constructor applications) adapt to *hint* when
+        they can; everything else reports its natural repr and the
+        caller coerces with a total boxer if needed."""
+        tag = e[0]
+        if tag == X_SLOT:
+            return self.slot(e[1]), self._srepr.get(e[1], specialize.BOX)
+        if tag == X_CONST:
+            want = hint if hint is not None else specialize.BOX
+            try:
+                return self._const_in(e[1], want), want
+            except specialize.SpecCoercionError:
+                return self.constant(e[1]), specialize.BOX
+        if tag == X_CTOR:
+            return self._ctor_expr(e, hint)
+        # X_FUN: declared impls take and return boxed values.
+        args = ", ".join(self.boxed(a) for a in e[2])
+        fn_name = self._bind_fn(f"_f_{e[3]}", e[1])
+        return f"{fn_name}({args})", specialize.BOX
+
+    def _ctor_expr(self, e: tuple, hint) -> tuple[str, Any]:
+        name = e[1]
+        owner = self._ctor_owner(name)
+        if owner == "nat" and hint in (None, specialize.NAT):
+            if name == "O":
+                return "0", specialize.NAT
+            code, r = self.sexpr(e[2][0], hint=specialize.NAT)
+            if r == specialize.NAT:
+                return f"({code} + 1)", specialize.NAT
+        elif owner == "list" and type(hint) is tuple:
+            if name == "nil":
+                return "()", hint
+            hd, rh = self.sexpr(e[2][0], hint=hint[1])
+            tl, rt = self.sexpr(e[2][1], hint=hint)
+            if rh == hint[1] and rt == hint:
+                return f"({hd}, {tl})", hint
+        args = ", ".join(self.boxed(a) for a in e[2])
+        trailing = "," if len(e[2]) == 1 else ""
+        return f"Value({name!r}, ({args}{trailing}))", specialize.BOX
+
+    def boxed(self, e: tuple) -> str:
+        """Compile an expression to its boxed form (total coercion)."""
+        code, r = self.sexpr(e, hint=specialize.BOX)
+        if r == specialize.BOX:
+            return code
+        return f"{self._boxer(r)}({code})"
+
+    def sargs_tuple(self, exprs: tuple) -> str:
+        inner = ", ".join(self.boxed(e) for e in exprs)
+        trailing = "," if len(exprs) == 1 else ""
+        return f"({inner}{trailing})"
+
+    # .. slot typing (drives eager unboxing at projections) ......................
+
+    def _expr_type(self, e: tuple) -> "TypeExpr | None":
+        tag = e[0]
+        if tag == X_SLOT:
+            return self._stype.get(e[1])
+        if tag == X_CONST:
+            return self._value_type(e[1])
+        if tag == X_CTOR:
+            owner = self._ctor_owner(e[1])
+            if owner is not None and not self.ctx.datatypes.get(owner).params:
+                return Ty(owner)
+            return None
+        decl = self.ctx.functions.get(e[3])
+        if decl is not None and is_ground(decl.result_type):
+            return decl.result_type
+        return None
+
+    def _value_type(self, v: Value) -> "TypeExpr | None":
+        owner = self._ctor_owner(v.ctor)
+        if owner is not None and not self.ctx.datatypes.get(owner).params:
+            return Ty(owner)
+        return None
+
+    def _component_types(self, src: int, ctor: str):
+        ty = self._stype.get(src)
+        if not isinstance(ty, Ty) or ty.name not in self.ctx.datatypes:
+            return None
+        dt = self.ctx.datatypes.get(ty.name)
+        if not dt.has_constructor(ctor) or len(dt.params) != len(ty.args):
+            return None
+        return dt.constructor_arg_types(ctor, ty.args)
+
+    # .. tests ...................................................................
+
+    def _emit_test(self, em: _Emitter, op: tuple, fail: str) -> None:
+        tag = op[0]
+        if tag == OP_TESTCTOR:
+            self._emit_testctor(em, op, fail)
+        elif tag == OP_TESTCONST:
+            src, r = op[1], self._srepr.get(op[1], specialize.BOX)
+            try:
+                lit = self._const_in(op[2], r)
+            except specialize.SpecCoercionError:
+                # The constant does not inhabit the slot's repr (an
+                # ill-typed rule would be rejected earlier; this guards
+                # the emission): compare boxed.
+                code = self.slot(src)
+                if r != specialize.BOX:
+                    code = f"{self._boxer(r)}({code})"
+                self._fail(em, f"{code} != {self.constant(op[2])}", fail)
+                return
+            self._fail(em, f"{self.slot(src)} != {lit}", fail)
+        else:  # OP_TESTEQ
+            cmp = "==" if op[3] else "!="
+            a, ra = self.sexpr(op[1])
+            b, rb = self.sexpr(op[2], hint=ra)
+            if rb != ra:
+                a2, ra2 = self.sexpr(op[1], hint=rb)
+                if ra2 == rb:
+                    a, ra = a2, ra2
+                else:
+                    if ra != specialize.BOX:
+                        a = f"{self._boxer(ra)}({a})"
+                    if rb != specialize.BOX:
+                        b = f"{self._boxer(rb)}({b})"
+            self._fail(em, f"{a} {cmp} {b}", fail)
+
+    def _emit_testctor(self, em: _Emitter, op: tuple, fail: str) -> None:
+        src, ctor, dsts = op[1], op[2], op[3]
+        r = self._srepr.get(src, specialize.BOX)
+        sname = self.slot(src)
+        # Inside an inlined dispatch branch the scrutinee's head is
+        # already established — skip the re-test, keep projections.
+        known = (
+            self._inline
+            and src == self.plan.dispatch_pos
+            and ctor == self._branch_key
+        )
+        if r == specialize.NAT:
+            if ctor == "S":
+                if not known:
+                    self._fail(em, f"{sname} <= 0", fail)
+                em.emit(f"{self.slot(dsts[0])} = {sname} - 1")
+                self._srepr[dsts[0]] = specialize.NAT
+                self._stype[dsts[0]] = Ty("nat")
+            elif ctor == "O":
+                if not known:
+                    self._fail(em, f"{sname} != 0", fail)
+            else:
+                raise _SpecUnsupported(f"constructor {ctor!r} on a nat slot")
+            return
+        if type(r) is tuple:
+            if ctor == "cons":
+                if not known:
+                    self._fail(em, f"not {sname}", fail)
+                hd, tl = dsts
+                em.emit(f"{self.slot(hd)} = {sname}[0]")
+                em.emit(f"{self.slot(tl)} = {sname}[1]")
+                self._srepr[hd] = r[1]
+                self._srepr[tl] = r
+                ty = self._stype.get(src)
+                if isinstance(ty, Ty) and ty.name == "list":
+                    self._stype[hd] = ty.args[0]
+                    self._stype[tl] = ty
+            elif ctor == "nil":
+                if not known:
+                    self._fail(em, f"{sname}", fail)
+            else:
+                raise _SpecUnsupported(f"constructor {ctor!r} on a list slot")
+            return
+        # Boxed source: the standard head test, plus eager unboxing of
+        # nat components (the handwritten checkers' ``to_int`` move —
+        # partial, but statically type-directed, and any failure on an
+        # ill-typed value unwinds to the entry's boxed fallback).
+        if not known:
+            self._fail(em, f"{sname}.ctor != {ctor!r}", fail)
+        comp_types = self._component_types(src, ctor)
+        for k, dst in enumerate(dsts):
+            ty = comp_types[k] if comp_types is not None else None
+            if isinstance(ty, Ty) and ty.name == "nat":
+                em.emit(f"{self.slot(dst)} = _unbox_nat({sname}.args[{k}])")
+                self._srepr[dst] = specialize.NAT
+            else:
+                em.emit(f"{self.slot(dst)} = {sname}.args[{k}]")
+                self._srepr[dst] = specialize.BOX
+            self._stype[dst] = ty
+
+    # .. calls ...................................................................
+
+    def _emit_tail_jump(self, em: _Emitter, exprs: tuple) -> bool:
+        """Try to emit a final-position RECCHECK as a loop iteration
+        (``_size/_in* = ...; continue``).  Only legal when every
+        argument already sits in its entry repr; returns False (and
+        emits nothing) otherwise, leaving the caller to emit a call."""
+        parts = []
+        for e, w in zip(exprs, self.info.entry_reprs):
+            code, r = self.sexpr(e, hint=w)
+            if r != w:
+                return False
+            parts.append(code)
+        em.emit("_size = _size1")
+        if parts:
+            targets = ", ".join(self._ins_params())
+            em.emit(f"{targets} = {', '.join(parts)}")
+        em.emit("continue")
+        return True
+
+    def _rec_call(self, exprs: tuple) -> str:
+        wanted = self.info.entry_reprs
+        parts = []
+        for e, w in zip(exprs, wanted):
+            code, r = self.sexpr(e, hint=w)
+            if r != w:
+                parts = None
+                break
+            parts.append(code)
+        if parts is not None:
+            return f"rec(_size1, _top, {', '.join(parts)})"
+        # Repr mismatch: hand the call to the boxed twin (same charge
+        # sites, same verdicts) instead of unboxing at runtime.
+        boxed = ", ".join(self.boxed(e) for e in exprs)
+        return f"_rbox(_size1, _top, {boxed})"
+
+    def _check_call(self, op: tuple) -> str:
+        fn = self.checker_fn(op[4])
+        attr = "__spec_fast__" if self.fast else "__spec_rec__"
+        srec = getattr(fn, attr, None)
+        wanted = getattr(fn, "__spec_reprs__", None)
+        if srec is not None and wanted is not None and len(op[2]) == len(wanted):
+            parts = []
+            for e, w in zip(op[2], wanted):
+                code, r = self.sexpr(e, hint=w)
+                if r != w:
+                    parts = None
+                    break
+                parts.append(code)
+            if parts is not None:
+                f = self._bind_fn(f"_spchk_{op[4]}", srec)
+                return f"{f}(_top, _top, {', '.join(parts)})"
+        f = self._bind_fn(f"_chk_{op[4]}", fn)
+        return f"{f}(_top, {self.sargs_tuple(op[2])})"
+
+    # .. the checker body ........................................................
+
+    def _emit_checker_handler(self, em: _Emitter, h: PlanHandler) -> None:
+        mode_ins = self.plan.mode.ins
+        self._srepr = dict(enumerate(self.info.entry_reprs))
+        self._stype = dict(enumerate(self.info.entry_types))
+        assert len(mode_ins) == len(self.info.entry_reprs)
+        if not self.fast:
+            super()._emit_checker_handler(em, h)
+            return
+        em.emit(f"def _h_{h.index}({self._handler_params()}):")
+        em.indent += 1
+        em.emit("_inc = False")
+        self._emit_checker_ops(em, h.ops, 0, depth=0)
+        em.emit("return NONE_OB if _inc else SOME_FALSE")
+        em.indent -= 1
+
+    def _emit_entry_charge(self, em: _Emitter, *stmts: str) -> None:
+        if not self.fast:
+            super()._emit_entry_charge(em, *stmts)
+
+    def _emit_handler_charge(self, em: _Emitter, *stmts: str) -> None:
+        if not self.fast:
+            super()._emit_handler_charge(em, *stmts)
+
+    def _emit_loop_charge(self, em: _Emitter, *stmts: str) -> None:
+        if not self.fast:
+            super()._emit_loop_charge(em, *stmts)
+
+    def _emit_top(self, em: _Emitter) -> None:
+        if not self.fast:
+            super()._emit_top(em)
+            return
+        # The fast twin's fixpoint: no trace/observe/budget sites, and
+        # straight-line handlers are inlined into the dispatch (the
+        # single-iteration ``while`` supplies the "next handler" jump),
+        # so a recursion level costs one Python call instead of one per
+        # handler attempt.  Handlers with producer loops keep their
+        # function form and are called like the instrumented top does.
+        # The whole body sits in a ``while True`` so that a RECCHECK in
+        # final position of a branch's final handler becomes a
+        # ``continue`` (tail recursion as iteration); ``_none`` then
+        # accumulates across iterations, which is exactly the OR the
+        # per-level return mapping computes (a level's ``None`` answer
+        # turns every enclosing level's answer into ``None``).
+        plan = self.plan
+        params = ", ".join(self._ins_params())
+        em.emit(f"def rec(_size, _top, {params or '*_'}):")
+        em.indent += 1
+        em.emit("_none = False")
+        em.emit("while True:")
+        em.indent += 1
+        em.emit("if _size == 0:")
+        em.indent += 1
+        em.emit("_size1 = None")
+        if plan.has_recursive:
+            em.emit("_none = True")
+        self._emit_inline_dispatch(
+            em, plan.base, plan.base_table, plan.base_default
+        )
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        em.emit("_size1 = _size - 1")
+        self._emit_inline_dispatch(
+            em, plan.handlers, plan.full_table, plan.full_default
+        )
+        em.indent -= 1
+        em.emit("return NONE_OB if _none else SOME_FALSE")
+        em.indent -= 2
+
+    def _emit_inline_dispatch(
+        self, em: _Emitter, handlers: tuple, table, default
+    ) -> None:
+        plan = self.plan
+        if plan.dispatch_pos < 0:
+            self._emit_inline_handlers(em, handlers)
+            return
+        p = plan.dispatch_pos
+        r = self.info.entry_reprs[p]
+        scrut = f"_in{p}"
+
+        def branch_handlers(key: str) -> None:
+            # The key is established only when the branch's handlers
+            # came from the table (the default pool mixes heads).
+            self._branch_key = key if key in table else None
+            try:
+                self._emit_inline_handlers(em, table.get(key, default))
+            finally:
+                self._branch_key = None
+
+        if r == specialize.NAT:
+            em.emit(f"if {scrut} > 0:")
+            em.indent += 1
+            branch_handlers("S")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            branch_handlers("O")
+            em.indent -= 1
+        elif type(r) is tuple:
+            em.emit(f"if {scrut}:")
+            em.indent += 1
+            branch_handlers("cons")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            branch_handlers("nil")
+            em.indent -= 1
+        else:
+            em.emit(f"_c = {scrut}.ctor")
+            branch = "if"
+            for ctor in table:
+                em.emit(f"{branch} _c == {ctor!r}:")
+                em.indent += 1
+                branch_handlers(ctor)
+                em.indent -= 1
+                branch = "elif"
+            em.emit("else:")
+            em.indent += 1
+            self._emit_inline_handlers(em, default)
+            em.indent -= 1
+
+    def _emit_inline_handlers(self, em: _Emitter, handlers: tuple) -> None:
+        if not handlers:
+            em.emit("pass")
+            return
+        ins = ", ".join(self._ins_params())
+        sep = ", " if ins else ""
+        exhausted = "return NONE_OB if _none else SOME_FALSE"
+        for h in handlers:
+            last = h is handlers[-1]
+            if _has_loop_ops(h):
+                em.emit(f"_r = _h_{h.index}(_size1, _top{sep}{ins})")
+                em.emit("if _r is SOME_TRUE:")
+                em.indent += 1
+                em.emit("return SOME_TRUE")
+                em.indent -= 1
+                em.emit("if _r is NONE_OB: _none = True")
+                continue
+            self._srepr = dict(enumerate(self.info.entry_reprs))
+            self._stype = dict(enumerate(self.info.entry_types))
+            self._inline = True
+            # The last handler of a branch needs no "next handler"
+            # jump: a failure IS the branch verdict, so it emits bare
+            # (no single-iteration while) with the final return as its
+            # fail target — which also legalizes the tail-``continue``.
+            self._inline_fail = exhausted if last else "break"
+            self._tail_ok = last
+            if not last:
+                em.emit("while True:")
+                em.indent += 1
+            try:
+                self._emit_checker_ops(em, h.ops, 0, depth=0)
+            finally:
+                self._inline = False
+                self._inline_fail = "break"
+                self._tail_ok = False
+            if not last:
+                em.indent -= 1
+
+    def _emit_checker_ops(self, em: _Emitter, ops: tuple, i: int, depth: int) -> None:
+        inline = self._inline and depth == 0
+        fail = (
+            self._inline_fail
+            if inline
+            else ("return SOME_FALSE" if depth == 0 else "continue")
+        )
+        n = len(ops)
+        while i < n:
+            op = ops[i]
+            tag = op[0]
+            if tag == OP_EVAL:
+                code, r = self.sexpr(op[2])
+                em.emit(f"{self.slot(op[1])} = {code}")
+                self._srepr[op[1]] = r
+                self._stype[op[1]] = self._expr_type(op[2])
+            elif tag in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
+                self._emit_test(em, op, fail)
+            elif tag in (OP_CHECK, OP_RECCHECK):
+                if (
+                    tag == OP_RECCHECK
+                    and inline
+                    and self._tail_ok
+                    and i == n - 1
+                    and self._emit_tail_jump(em, op[1])
+                ):
+                    return
+                r = f"_r{i}"
+                if tag == OP_RECCHECK:
+                    em.emit(f"{r} = {self._rec_call(op[1])}")
+                else:
+                    em.emit(f"{r} = {self._check_call(op)}")
+                    if op[3]:
+                        em.emit(f"{r} = _negate({r})")
+                if inline:
+                    em.emit(f"if {r} is not SOME_TRUE:")
+                    em.indent += 1
+                    em.emit(f"if {r} is NONE_OB: _none = True")
+                    em.emit(fail)
+                    em.indent -= 1
+                elif depth == 0:
+                    self._fail(em, f"{r} is NONE_OB", "return NONE_OB")
+                    self._fail(em, f"{r} is not SOME_TRUE", "return SOME_FALSE")
+                else:
+                    em.emit(f"if {r} is not SOME_TRUE:")
+                    em.indent += 1
+                    self._fail(em, f"{r} is NONE_OB", "_inc = True")
+                    em.emit(fail)
+                    em.indent -= 1
+            elif tag == OP_PRODUCE:
+                item = f"_it{i}"
+                assert not op[5]  # checker schedules: external only
+                fn = self._bind_fn(
+                    f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
+                )
+                em.emit(f"for {item} in {fn}(_top, {self.sargs_tuple(op[3])}):")
+                em.indent += 1
+                self._emit_loop_charge(em, "_inc = True", "break")
+                em.emit(f"if {item} is OUT_OF_FUEL or {item} is FAIL:")
+                em.indent += 1
+                em.emit("_inc = True")
+                em.emit("continue")
+                em.indent -= 1
+                out_types = self._produce_out_types(op)
+                for k, dst in enumerate(op[4]):
+                    em.emit(f"{self.slot(dst)} = {item}[{k}]")
+                    self._srepr[dst] = specialize.BOX
+                    self._stype[dst] = (
+                        out_types[k] if out_types is not None else None
+                    )
+                self._emit_checker_ops(em, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            else:  # OP_INSTANTIATE
+                item = self.slot(op[1])
+                self._srepr[op[1]] = specialize.BOX
+                self._stype[op[1]] = op[2]
+                enum_fn = self._bind_global(
+                    "_arb", _make_arbitrary_enum(self.ctx, op[2])
+                )
+                em.emit(f"for {item} in {enum_fn}(_top):")
+                em.indent += 1
+                em.emit(f"if {item} is OUT_OF_FUEL:")
+                em.indent += 1
+                em.emit("_inc = True")
+                em.emit("continue")
+                em.indent -= 1
+                # Charge after the marker test — see the boxed twin.
+                self._emit_loop_charge(em, "_inc = True", "break")
+                self._emit_checker_ops(em, ops, i + 1, depth + 1)
+                em.indent -= 1
+                return
+            i += 1
+        em.emit("return SOME_TRUE")
+
+    def _produce_out_types(self, op: tuple):
+        """Output types of a producer call (for downstream projection
+        typing); ``None`` when they cannot be read off the relation."""
+        try:
+            relation = self.ctx.relations.get(op[6])
+        except UnknownNameError:
+            return None
+        outs = op[7].out_list
+        if len(outs) != len(op[4]):
+            return None
+        return tuple(relation.arg_types[j] for j in outs)
+
+    # .. dispatch on native scrutinees ...........................................
+
+    def _emit_candidates(self, em: _Emitter, which: str) -> None:
+        plan = self.plan
+        if plan.dispatch_pos < 0:
+            em.emit(f"_hs = _all_{which}")
+            return
+        p = plan.dispatch_pos
+        r = self.info.entry_reprs[p]
+        scrut = f"_in{p}"
+        if r == specialize.NAT:
+            key = f"('S' if {scrut} > 0 else 'O')"
+        elif type(r) is tuple:
+            key = f"('cons' if {scrut} else 'nil')"
+        else:
+            key = f"{scrut}.ctor"
+        em.emit(f"_hs = _disp_{which}.get({key}, _disp_{which}_d)")
+
+
 def _make_arbitrary_enum(ctx: Context, ty: TypeExpr):
     def arbitrary(fuel: int):
         yield from _enum_values(ctx, ty, fuel)
@@ -764,27 +1403,155 @@ def _make_arbitrary_gen(ctx: Context, ty: TypeExpr):
 # Public entry points.
 # ---------------------------------------------------------------------------
 
+def _uninstrumented(caches) -> bool:
+    """Whether no trace/observe/budget is installed — the state in
+    which every site the fast twins omit is a no-op."""
+    return (
+        caches.get("derive_budget") is None
+        and caches.get("derive_trace") is None
+        and caches.get("derive_observe") is None
+    )
+
+
 def compile_checker(ctx: Context, schedule: Schedule):
     """Compile a checker schedule to ``fn(fuel, args) -> OptionBool``
-    (the internal instance convention)."""
+    (the internal instance convention).
+
+    When :func:`repro.derive.specialize.spec_info` approves the plan, a
+    second, representation-specialized fixpoint is compiled alongside
+    the boxed one and fronted by unboxing coercions at the entry; an
+    ill-typed argument (``SpecCoercionError``) falls back to the boxed
+    twin, so the public behaviour is representation-independent.  The
+    returned callable always carries ``__batch__`` — the amortized
+    entry point that coerces/dispatches once per argument vector.
+    """
     plan = lower_schedule(ctx, schedule)
     rec = _PlanCompiler(ctx, plan, "checker").compile()
+    info = specialize.spec_info(ctx, plan)
+    spec = fast = None
+    if info is not None:
+        try:
+            spec = _SpecPlanCompiler(ctx, plan, info, rec).compile()
+            fast = _SpecPlanCompiler(
+                ctx, plan, info, rec, fast=True
+            ).compile()
+        except _SpecUnsupported:
+            spec = fast = None
+    if spec is None:
+        # No representation change — but an eligible checker still gets
+        # the instrumentation-free fast twin (all-boxed, handlers
+        # inlined), with the instrumented rec as both the instrumented
+        # path and the coercion fallback.
+        binfo = specialize.boxed_info(ctx, plan)
+        if binfo is not None:
+            try:
+                fastb = _SpecPlanCompiler(
+                    ctx, plan, binfo, rec, fast=True
+                ).compile()
+            except _SpecUnsupported:
+                fastb = None
+            if fastb is not None:
+                info, spec, fast = binfo, rec, fastb
 
-    def check(fuel: int, args: tuple) -> Any:
-        return rec(fuel, fuel, *args)
+    if spec is None:
+
+        def check(fuel: int, args: tuple) -> Any:
+            return rec(fuel, fuel, *args)
+
+        def check_batch(fuel: int, argses) -> list:
+            return [rec(fuel, fuel, *args) for args in argses]
+
+    else:
+        unbox = specialize.entry_unboxers(info.entry_reprs)
+        CoercionError = specialize.SpecCoercionError
+        caches = ctx.caches
+
+        def _spec_rec():
+            # The fast twin omits trace/observe/budget sites, which are
+            # all no-ops when the caches are empty — select it exactly
+            # then; any installed instrumentation keeps the full twin.
+            return fast if _uninstrumented(caches) else spec
+
+        if unbox is None:
+
+            def check(fuel: int, args: tuple) -> Any:
+                try:
+                    return _spec_rec()(fuel, fuel, *args)
+                except CoercionError:
+                    return rec(fuel, fuel, *args)
+
+            def check_batch(fuel: int, argses) -> list:
+                out = []
+                s = _spec_rec()
+                for args in argses:
+                    try:
+                        out.append(s(fuel, fuel, *args))
+                    except CoercionError:
+                        out.append(rec(fuel, fuel, *args))
+                return out
+
+        else:
+
+            def check(fuel: int, args: tuple) -> Any:
+                try:
+                    sargs = [f(a) for f, a in zip(unbox, args)]
+                except CoercionError:
+                    return rec(fuel, fuel, *args)
+                try:
+                    return _spec_rec()(fuel, fuel, *sargs)
+                except CoercionError:
+                    return rec(fuel, fuel, *args)
+
+            def check_batch(fuel: int, argses) -> list:
+                out = []
+                s = _spec_rec()
+                for args in argses:
+                    try:
+                        sargs = [f(a) for f, a in zip(unbox, args)]
+                        out.append(s(fuel, fuel, *sargs))
+                    except CoercionError:
+                        out.append(rec(fuel, fuel, *args))
+                return out
+
+        check.__spec_rec__ = spec
+        check.__spec_fast__ = fast
+        check.__spec_reprs__ = info.entry_reprs
+        check.__spec_source__ = spec.__derived_source__
+        check.__spec_fast_source__ = fast.__derived_source__
+        check_batch.__spec_rec__ = spec
+        check_batch.__spec_fast__ = fast
+        check_batch.__spec_reprs__ = info.entry_reprs
 
     check.__wrapped_rec__ = rec
     check.__derived_source__ = rec.__derived_source__
+    check.__batch__ = check_batch
     return check
 
 
 def compile_enumerator(ctx: Context, schedule: Schedule):
-    """Compile an enum schedule to ``fn(fuel, ins) -> iterator``."""
+    """Compile an enum schedule to ``fn(fuel, ins) -> iterator``.
+
+    An instrumentation-free fast twin is compiled alongside and
+    selected per call whenever no trace/observe/budget is installed
+    (all the omitted sites are no-ops in that state).
+    """
     plan = lower_schedule(ctx, schedule)
     rec = _PlanCompiler(ctx, plan, "enum").compile()
+    if not specialize.specialization_enabled(ctx):
 
-    def enum_st(fuel: int, ins: tuple):
-        return rec(fuel, fuel, *ins)
+        def enum_st(fuel: int, ins: tuple):
+            return rec(fuel, fuel, *ins)
+
+    else:
+        fast = _PlanCompiler(ctx, plan, "enum", fast=True).compile()
+        caches = ctx.caches
+
+        def enum_st(fuel: int, ins: tuple):
+            if _uninstrumented(caches):
+                return fast(fuel, fuel, *ins)
+            return rec(fuel, fuel, *ins)
+
+        enum_st.__fast_rec__ = fast
 
     enum_st.__wrapped_rec__ = rec
     enum_st.__derived_source__ = rec.__derived_source__
@@ -792,12 +1559,25 @@ def compile_enumerator(ctx: Context, schedule: Schedule):
 
 
 def compile_generator(ctx: Context, schedule: Schedule):
-    """Compile a gen schedule to ``fn(fuel, ins, rng) -> tuple|marker``."""
+    """Compile a gen schedule to ``fn(fuel, ins, rng) -> tuple|marker``
+    (with the same fast-twin selection as :func:`compile_enumerator`)."""
     plan = lower_schedule(ctx, schedule)
     rec = _PlanCompiler(ctx, plan, "gen").compile()
+    if not specialize.specialization_enabled(ctx):
 
-    def gen_st(fuel: int, ins: tuple, rng):
-        return rec(fuel, fuel, ins, rng)
+        def gen_st(fuel: int, ins: tuple, rng):
+            return rec(fuel, fuel, ins, rng)
+
+    else:
+        fast = _PlanCompiler(ctx, plan, "gen", fast=True).compile()
+        caches = ctx.caches
+
+        def gen_st(fuel: int, ins: tuple, rng):
+            if _uninstrumented(caches):
+                return fast(fuel, fuel, ins, rng)
+            return rec(fuel, fuel, ins, rng)
+
+        gen_st.__fast_rec__ = fast
 
     gen_st.__wrapped_rec__ = rec
     gen_st.__derived_source__ = rec.__derived_source__

@@ -288,6 +288,27 @@ def _checker_ops(
     return SOME_TRUE
 
 
+def run_checker_batch(
+    ctx: Context,
+    plans: dict,
+    plan: Plan,
+    fuel: int,
+    argses,
+) -> list:
+    """Check a vector of argument tuples at one fuel.
+
+    The interpreter twin of the compiled backend's ``__batch__`` entry
+    point: semantically exactly one top-level :func:`run_checker` call
+    per vector element (``size == top_size == fuel``), so budgets,
+    tracing, and observation charge as if the caller had looped — the
+    batched form only amortizes the per-call dispatch in the compiled
+    backend, never changes semantics.
+    """
+    return [
+        run_checker(ctx, plans, plan, fuel, fuel, args) for args in argses
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Enumerator driver (E (option A)).
 # ---------------------------------------------------------------------------

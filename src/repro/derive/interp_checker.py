@@ -82,6 +82,16 @@ class DerivedChecker:
             )
         return run_checker(self.ctx, self._plans, self._plan, fuel, fuel, args)
 
+    def check_batch(self, fuel: int, argses) -> list:
+        """Check a vector of argument tuples at one fuel.
+
+        Interface parity with the compiled backend's ``__batch__``
+        entry point; each element is a full top-level :meth:`check`
+        call, so memoization and instrumentation see the same events
+        as a caller-side loop.
+        """
+        return [self.check(fuel, args) for args in argses]
+
     def decide(
         self, args: tuple[Value, ...], max_fuel: int = 64, start_fuel: int = 2
     ) -> OptionBool:

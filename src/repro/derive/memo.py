@@ -60,6 +60,7 @@ from ..core.context import Context
 from ..core.values import Value
 from ..producers.lazylist import LazyList
 from ..producers.option_bool import NONE_OB, OptionBool
+from .specialize import canonicalize_args
 from .stats import DeriveStats, install_stats, remove_stats, stats_of
 from .trace import BUDGET_KEY
 
@@ -163,7 +164,11 @@ def checker_memo_call(
     if stats is not None:
         stats.checker_calls += 1
     table = caches.setdefault(CHECKER_MEMO, {})
-    key = (rel, args)
+    # Keys are always the canonical boxed form: a specialized caller
+    # holding native ints / nested-pair lists and a boxed caller with
+    # the equal Peano / cons terms must share one cache line, never
+    # warm two (satellite of ISSUE 6).
+    key = (rel, canonicalize_args(args))
     entry = table.get(key)
     if entry is not None:
         definite = entry[_DEF]
@@ -231,7 +236,7 @@ def definite_answer(
     table = ctx.caches.get(CHECKER_MEMO)
     if not table:
         return None
-    entry = table.get((rel, args))
+    entry = table.get((rel, canonicalize_args(args)))
     return entry[_DEF] if entry is not None else None
 
 
@@ -306,6 +311,20 @@ def _mark(wrapper: Callable[..., Any], raw: Callable[..., Any]) -> Callable[...,
     source = getattr(raw, "__derived_source__", None)
     if source is not None:
         wrapper.__derived_source__ = source
+    # Compiled-backend metadata rides along so introspection (source
+    # dumps, repr reports, batch entry discovery) sees through the
+    # wrapper.  The raw fixpoints (__spec_rec__/__spec_fast__) are
+    # deliberately NOT copied: compiled siblings that bind them would
+    # bypass this memo layer, defeating the table they should share.
+    for attr in (
+        "__spec_source__",
+        "__spec_fast_source__",
+        "__spec_reprs__",
+        "__batch__",
+    ):
+        meta = getattr(raw, attr, None)
+        if meta is not None:
+            setattr(wrapper, attr, meta)
     return wrapper
 
 
@@ -335,7 +354,7 @@ def _wrap_enum_fn(ctx: Context, rel: str, mode: str, raw: Callable[..., Any]):
         if stats is not None:
             stats.enum_calls += 1
         table = caches.setdefault(ENUM_MEMO, {})
-        key = (rel, mode, ins, fuel)
+        key = (rel, mode, canonicalize_args(ins), fuel)
         slice_ = table.get(key)
         if slice_ is None:
             if stats is not None:

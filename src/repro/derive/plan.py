@@ -340,7 +340,13 @@ class _Lowerer:
     def const(self, value: Value) -> tuple:
         interned = self._consts.get(value)
         if interned is None:
-            interned = self._consts[value] = (X_CONST, value)
+            # Hash-cons the ground value process-wide (deferred import:
+            # specialize imports plan for the opcode constants), so the
+            # same constant in any plan is one object and ``is``
+            # fast-paths in ``Value.__eq__`` fire across backends.
+            from .specialize import intern_value
+
+            interned = self._consts[value] = (X_CONST, intern_value(value))
         return interned
 
     def expr(self, t: Term) -> tuple:

@@ -22,6 +22,13 @@ from dataclasses import dataclass, field
 
 from .property import DISCARD, FAILED, PASS, Property
 
+# Fallback campaign seeds come from the OS entropy pool, never from
+# the process-global ``random`` module: user code calling
+# ``random.seed(...)`` (common in test fixtures) would otherwise make
+# every "fresh" campaign draw the same seed — silently re-running one
+# input distribution while reporting it as independent runs.
+_SEED_SOURCE = random.SystemRandom()
+
 
 @dataclass
 class CheckReport:
@@ -120,6 +127,16 @@ class CheckReport:
                 ]
                 + self._resilience_lines()
             )
+        if not self.tests_run:
+            # Nothing executed (e.g. a campaign deadline fired before
+            # the first test): rendering "+++ Passed 0 tests (0%
+            # discard rate)" would read as a clean green run.  Say
+            # what happened instead — no percentages, no rate.
+            head = (
+                f"*** No tests run ({self.discards} discards; "
+                f"seed={self.seed}, size={self.size})"
+            )
+            return "\n".join([head] + self._resilience_lines())
         head = (
             f"+++ Passed {self.tests_run} tests "
             f"({self.discards} discards, "
@@ -144,6 +161,11 @@ class CheckReport:
                 else None
             ),
             "elapsed_seconds": self.elapsed_seconds,
+            # Derived metrics are exported pre-computed so consumers
+            # never re-derive them with their own (possibly dividing-
+            # by-zero) formulas; both are well-defined at tests_run==0.
+            "tests_per_second": self.tests_per_second,
+            "discard_rate": self.discard_rate,
             "gave_up": self.gave_up,
             "seed": self.seed,
             "size": self.size,
@@ -231,7 +253,7 @@ def quick_check(
     if seed is None:
         # Draw a concrete seed so a failure is reproducible from the
         # report alone (pass it back in to replay the exact run).
-        seed = random.randrange(2**63)
+        seed = _SEED_SOURCE.randrange(2**63)
     rng = random.Random(seed)
     report = CheckReport(property_name=prop.name, seed=seed, size=size)
     max_discards = max_discard_ratio * num_tests

@@ -136,7 +136,11 @@ def run_campaign(
     if template is not None:
         template.ctx = ctx  # renew() propagates it to each per-test budget
     if seed is None:
-        seed = random.randrange(2**63)
+        # OS-entropy fallback, immune to user random.seed() calls —
+        # see the matching draw in repro.quickchick.runner.
+        from ..quickchick.runner import _SEED_SOURCE
+
+        seed = _SEED_SOURCE.randrange(2**63)
     rng = random.Random(seed)
     report = CheckReport(property_name=prop.name, seed=seed, size=size)
     max_discards = max_discard_ratio * num_tests

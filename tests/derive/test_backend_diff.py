@@ -30,6 +30,7 @@ from repro.derive.instances import (
     resolve,
     resolve_compiled,
 )
+from repro.derive.specialize import disable_specialization
 from repro.producers.combinators import _enum_values
 from repro.resilience import budget_scope
 from repro.sf.registry import CHAPTER_MODULES, load_chapter
@@ -39,12 +40,24 @@ MAX_PER_POSITION = 4
 MAX_TUPLES = 40
 
 _CHAPTERS = {}
+_PLAIN_CHAPTERS = {}
 
 
 def chapter(module):
     if module not in _CHAPTERS:
         _CHAPTERS[module] = load_chapter(module)
     return _CHAPTERS[module]
+
+
+def plain_chapter(module):
+    """The same chapter with term-representation specialization off —
+    its compiled instances are boxed-only (the pre-specialization
+    emitter's behaviour)."""
+    if module not in _PLAIN_CHAPTERS:
+        ch = load_chapter(module)
+        disable_specialization(ch.ctx)
+        _PLAIN_CHAPTERS[module] = ch
+    return _PLAIN_CHAPTERS[module]
 
 
 def seeded_inputs(ctx, arg_types, seed=0):
@@ -154,6 +167,45 @@ def _diff_within_budget(ctx, rel, fuels, max_ops=60_000, seconds=2.0):
     return compared
 
 
+def _spec_unspec_diff(
+    ctx_spec, ctx_plain, rel, fuels, max_ops=60_000, seconds=2.0
+):
+    """Diff the specialized compiled checker against a boxed-only
+    compiled checker from an identical context.  Same budget/skip
+    discipline as :func:`_diff_within_budget`; op charges are emitted
+    site-for-site in both twins, so two-sided op trips still compare.
+    Returns the number of compared pairs."""
+    relation = ctx_spec.relations.get(rel)
+    mode = Mode.checker(relation.arity)
+    spec = resolve_compiled(ctx_spec, CHECKER, rel, mode)
+    plain = resolve_compiled(ctx_plain, CHECKER, rel, mode)
+    cases = seeded_inputs(ctx_spec, relation.arg_types)
+    assert cases, f"no seeded inputs for {rel}"
+    compared = 0
+    for args in cases:
+        for fuel in fuels:
+            with budget_scope(
+                ctx_spec, max_ops=max_ops, deadline_seconds=seconds
+            ) as b_s:
+                a = spec(fuel, args)
+            with budget_scope(
+                ctx_plain, max_ops=max_ops, deadline_seconds=seconds
+            ) as b_p:
+                b = plain(fuel, args)
+            tripped = (
+                b_s.exhausted.limit if b_s.exhausted else None,
+                b_p.exhausted.limit if b_p.exhausted else None,
+            )
+            if "deadline" in tripped or tripped.count("ops") == 1:
+                continue
+            assert a is b, (
+                f"spec/unspec mismatch: {rel} fuel={fuel} args={args} "
+                f"(trips={tripped})"
+            )
+            compared += 1
+    return compared
+
+
 class TestSFCorpusCheckers:
     """Every derivable SF relation: interp and compiled checkers agree."""
 
@@ -177,6 +229,49 @@ class TestSFCorpusCheckers:
             except ReproError:
                 continue  # out of the deriver's scope: census covers it
         assert covered, f"no relation in {module} was diffable"
+
+
+class TestSpecializedVsUnspecialized:
+    """The specialization pass must be invisible in verdicts: the
+    specialized compiled checker and a boxed-only compiled checker
+    agree over the whole corpus (all SF chapters + case studies)."""
+
+    @pytest.mark.parametrize("module", CHAPTER_MODULES)
+    def test_chapter_spec_unspec_agree(self, module):
+        ch, plain = chapter(module), plain_chapter(module)
+        covered = 0
+        for entry in ch.entries:
+            if entry.higher_order:
+                continue
+            relation = ch.ctx.relations.get(entry.name)
+            if not relation.is_monomorphic():
+                continue
+            try:
+                if _spec_unspec_diff(
+                    ch.ctx, plain.ctx, entry.name, fuels=(0, 2)
+                ):
+                    covered += 1
+            except ReproError:
+                continue
+        assert covered, f"no relation in {module} was diffable"
+
+    @pytest.mark.parametrize(
+        "maker, rels",
+        [
+            ("bst", ("bst", "lt")),
+            ("stlc", ("typing", "lookup")),
+            ("ifc", ("indist_atom", "indist_list")),
+        ],
+    )
+    def test_case_study_spec_unspec_agree(self, maker, rels):
+        import importlib
+
+        mod = importlib.import_module(f"repro.casestudies.{maker}")
+        ctx_spec = mod.make_context()
+        ctx_plain = mod.make_context()
+        disable_specialization(ctx_plain)
+        for rel in rels:
+            assert _spec_unspec_diff(ctx_spec, ctx_plain, rel, fuels=(0, 2))
 
 
 class TestCaseStudies:

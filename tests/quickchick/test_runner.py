@@ -93,6 +93,80 @@ class TestReports:
         assert "Failed" in str(failing)
 
 
+class TestSeedSource:
+    def test_fresh_seeds_ignore_global_random_seed(self):
+        """random.seed() in user code must not collapse the fallback
+        campaign seeds: two "fresh" runs after identical global seeding
+        still draw independent seeds (from the OS entropy pool)."""
+        prop = for_all(int_gen, lambda n: True)
+        random.seed(0)
+        a = quick_check(prop, num_tests=3)
+        random.seed(0)
+        b = quick_check(prop, num_tests=3)
+        assert a.seed is not None and b.seed is not None
+        assert a.seed != b.seed
+
+    def test_explicit_seed_still_respected(self):
+        prop = for_all(int_gen, lambda n: True)
+        random.seed(0)
+        report = quick_check(prop, num_tests=3, seed=123)
+        assert report.seed == 123
+
+    def test_global_rng_stream_not_consumed(self):
+        """Drawing the fallback seed must not advance the process-global
+        RNG stream out from under user code."""
+        prop = for_all(int_gen, lambda n: True)
+        random.seed(42)
+        expected = random.random()
+        random.seed(42)
+        quick_check(prop, num_tests=3)
+        assert random.random() == expected
+
+
+class TestZeroTestReport:
+    def _zero_report(self):
+        from repro.quickchick.runner import CheckReport
+
+        return CheckReport(
+            property_name="p", seed=7, size=5, elapsed_seconds=0.5
+        )
+
+    def test_no_passed_rendering(self):
+        text = str(self._zero_report())
+        assert "Passed" not in text
+        assert "No tests run" in text
+        assert "%" not in text  # no 0%-discard illusion
+
+    def test_no_division_by_zero(self):
+        report = self._zero_report()
+        assert report.discard_rate == 0.0
+        assert report.tests_per_second == 0.0
+        zero_elapsed = self._zero_report()
+        zero_elapsed.elapsed_seconds = 0.0
+        assert zero_elapsed.tests_per_second == 0.0
+
+    def test_to_dict_carries_finite_metrics(self):
+        import json
+
+        d = self._zero_report().to_dict()
+        assert d["tests_per_second"] == 0.0
+        assert d["discard_rate"] == 0.0
+        json.dumps(d)  # JSONL-exportable: no inf/nan, no objects
+
+    def test_deadline_before_first_test_renders_reason(self):
+        report = self._zero_report()
+        report.stopped_reason = "campaign deadline"
+        text = str(report)
+        assert "No tests run" in text
+        assert "campaign deadline" in text
+
+    def test_normal_run_rendering_unchanged(self):
+        report = quick_check(
+            for_all(int_gen, lambda n: True), num_tests=5, seed=0
+        )
+        assert "+++ Passed 5 tests" in str(report)
+
+
 class TestMutation:
     def test_mean_tests_to_failure(self):
         broken = Mutant("off_by_one", "breaks on multiples of 7", None)
