@@ -49,7 +49,7 @@ from benchmarks.legacy.interp_checker import DerivedChecker as LegacyChecker
 from benchmarks.legacy.interp_gen import DerivedGenerator as LegacyGenerator
 from repro.casestudies import bst, stlc
 from repro.core.values import V, from_int, from_list
-from repro.derive import Mode, build_schedule, profile
+from repro.derive import Mode, build_schedule, disable_functionalization, profile
 from repro.derive.codegen import compile_checker as plan_compile_checker
 from repro.derive.interp_checker import DerivedChecker as PlanChecker
 from repro.derive.interp_gen import DerivedGenerator as PlanGenerator
@@ -112,9 +112,16 @@ def _stlc_pool(seed: int = 12):
 
 
 class CheckerWorkload:
-    """One Figure 3 checker cell: a schedule plus an input pool."""
+    """One Figure 3 checker cell: a schedule plus an input pool.
+
+    The frozen PR-3/PR-4 baselines that interpret these plans predate
+    ``OP_EVALREL``, so the context runs with premise functionalization
+    off — both sides of every legacy comparison execute the same
+    pass-off plan (the ``bench_specialize`` bars own the pass-on story).
+    """
 
     def __init__(self, name, ctx, rel, fuel, args_pool):
+        disable_functionalization(ctx)
         self.name = name
         self.ctx = ctx
         self.schedule = build_schedule(
@@ -173,6 +180,7 @@ def bench_compiled_checker(wl: CheckerWorkload):
 
 def bench_interp_gen():
     ctx = stlc.make_context()
+    disable_functionalization(ctx)
     schedule = build_schedule(ctx, "typing", Mode.from_string("ioi"))
     legacy = LegacyGenerator(ctx, schedule)
     plan = PlanGenerator(ctx, schedule)

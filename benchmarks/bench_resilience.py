@@ -44,7 +44,7 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 from benchmarks.bench_plan import bst_workload, stlc_workload
 from benchmarks.legacy import codegen_pr4, exec_core_pr4
 from repro.core import parse_declarations
-from repro.derive import Mode, build_schedule, exec_core
+from repro.derive import Mode, build_schedule, disable_functionalization, exec_core
 from repro.derive import codegen
 from repro.derive.plan import lower_schedule
 from repro.resilience import Budget, budget_scope, install_budget, remove_budget
@@ -194,6 +194,9 @@ def bench_gen_off_overhead():
     from repro.core.values import V, from_list
 
     ctx = stlc.make_context()
+    # The frozen PR-4 generator predates OP_EVALREL; run the shared
+    # plan pass-off so both sides execute the same op set.
+    disable_functionalization(ctx)
     schedule = build_schedule(ctx, "typing", Mode.from_string("ioi"))
     ins = (from_list([]), V("N"))
     base = _gen_loop(ctx, schedule, exec_core_pr4.run_gen, ins)

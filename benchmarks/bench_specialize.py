@@ -15,6 +15,13 @@ Measures the term-representation specialization pass
   *disabled* vs the frozen pre-specialization emitter
   (``benchmarks/legacy/codegen_pr5.py``); bar: **<= 1.05x** (the
   twin machinery must cost nothing when off).
+* **functionalization vs PR 6** — the live emitter with the
+  determinacy-driven functionalization + inlining pass *on* vs the
+  frozen pre-pass emitter (``benchmarks/legacy/codegen_pr6.py``) on
+  the STLC typing checker, where the TApp premise collapses from
+  enumerate-then-check to direct type inference; bar: **>= 1.5x**.
+  Plus the mirror-image no-regression guard: pass *off* (both
+  contexts) vs the frozen PR-6 emitter, **<= 1.05x**.
 * **Figure 3 deltas** — derived vs handwritten checker throughput per
   case study (BST / STLC / IFC), printed for the EXPERIMENTS.md
   table; reported, not barred (the residual gaps are analyzed there).
@@ -44,9 +51,12 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 from benchmarks.legacy.codegen_pr5 import (
     compile_checker as pr5_compile_checker,
 )
+from benchmarks.legacy.codegen_pr6 import (
+    compile_checker as pr6_compile_checker,
+)
 from repro.casestudies import bst, ifc, stlc
 from repro.core.values import from_int
-from repro.derive import Mode, build_schedule
+from repro.derive import Mode, build_schedule, disable_functionalization
 from repro.derive.codegen import compile_checker as live_compile_checker
 from repro.derive.instances import CHECKER, resolve_compiled
 from repro.derive.specialize import disable_specialization
@@ -62,6 +72,7 @@ REPEATS = 2 if QUICK else 5
 # agree, but shared CI runners are too noisy for the real bars.
 SPEC_BAR = 1.0 if QUICK else 2.0
 LEGACY_BAR = 3.0 if QUICK else 1.05
+FUNC_BAR = 1.0 if QUICK else 1.5
 
 
 def _timed(fn, repeats: int = REPEATS) -> float:
@@ -73,6 +84,22 @@ def _timed(fn, repeats: int = REPEATS) -> float:
         fn()
         best = min(best, time.process_time() - start)
     return best
+
+
+def _timed2(fn_a, fn_b, repeats: int = REPEATS) -> tuple[float, float]:
+    """Interleaved best-of-N for a pair of candidates: alternating the
+    measurements each round cancels CPU-frequency drift that would
+    otherwise systematically favour whichever side runs while the
+    clock is ramped up (the same discipline as ``bench_fig3_deltas``)."""
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        start = time.process_time()
+        fn_a()
+        best_a = min(best_a, time.process_time() - start)
+        start = time.process_time()
+        fn_b()
+        best_b = min(best_b, time.process_time() - start)
+    return best_a, best_b
 
 
 # -- workloads ---------------------------------------------------------------
@@ -109,6 +136,24 @@ class Workload:
 
 def bst_workload() -> Workload:
     return Workload("BST bst", bst.make_context, "bst", 24, _bst_pool())
+
+
+def _stlc_pool(seed: int = 13):
+    rng = random.Random(seed)
+    env = stlc.StlcWorkload(None).environment()
+    pool = []
+    while len(pool) < POOL:
+        ty = stlc._gen_type(2, rng)
+        out = stlc.handwritten_typing_gen(6, (env, ty), rng)
+        if isinstance(out, tuple):
+            pool.append((env, out[0], ty))
+    return pool
+
+
+def stlc_workload() -> Workload:
+    return Workload(
+        "STLC typing", stlc.make_context, "typing", 24, _stlc_pool()
+    )
 
 
 # -- measurements ------------------------------------------------------------
@@ -151,6 +196,45 @@ def bench_disabled_vs_pr5(wl: Workload):
     t_legacy = _timed(lambda: wl.loop(legacy))
     t_live = _timed(lambda: wl.loop(live))
     return t_legacy, t_live
+
+
+def bench_func_vs_pr6(wl: Workload):
+    """The headline: live emitter with the functionalization pass on
+    vs the frozen PR-6 emitter (which predates the pass — its context
+    gets the pass disabled so its plans carry no OP_EVALREL ops, the
+    exact PR-6 lowering).  Answers must agree exactly: at these fuels
+    the workload is decided definitely on both sides, so refinement
+    equals equivalence here."""
+    ctx_on = wl.make_ctx()
+    ctx_pr6 = wl.make_ctx()
+    disable_functionalization(ctx_pr6)
+    mode = Mode.checker(ctx_on.relations.get(wl.rel).arity)
+    sched_on = build_schedule(ctx_on, wl.rel, mode)
+    sched_pr6 = build_schedule(ctx_pr6, wl.rel, mode)
+    live = live_compile_checker(ctx_on, sched_on)
+    legacy = pr6_compile_checker(ctx_pr6, sched_pr6)
+    assert wl.answers(live) == wl.answers(legacy)
+    return _timed2(lambda: wl.loop(legacy), lambda: wl.loop(live))
+
+
+def bench_disabled_vs_pr6(wl: Workload):
+    """The live emitter with functionalization off against the frozen
+    PR-6 emitter: analysis + transform machinery must be free when
+    disabled.  The pass is off on *both* contexts — the frozen emitter
+    cannot execute OP_EVALREL plans (it predates the op), and it
+    resolves premises through the live registry, so leaving the flag
+    on would hand it functionalized premise checkers PR 6 never had."""
+    ctx_pr6 = wl.make_ctx()
+    ctx_off = wl.make_ctx()
+    disable_functionalization(ctx_pr6)
+    disable_functionalization(ctx_off)
+    mode = Mode.checker(ctx_pr6.relations.get(wl.rel).arity)
+    sched_pr6 = build_schedule(ctx_pr6, wl.rel, mode)
+    sched_off = build_schedule(ctx_off, wl.rel, mode)
+    legacy = pr6_compile_checker(ctx_pr6, sched_pr6)
+    live = live_compile_checker(ctx_off, sched_off)
+    assert wl.answers(legacy) == wl.answers(live)
+    return _timed2(lambda: wl.loop(legacy), lambda: wl.loop(live))
 
 
 def bench_fig3_deltas():
@@ -216,6 +300,15 @@ def run_all(verbose: bool = True):
     results["legacy BST"] = t_off / t_pr5
     if verbose:
         _row(f"off vs pr5  {wl.name}", t_pr5, t_off, "pr5/live")
+    swl = stlc_workload()
+    t_pr6, t_on = bench_func_vs_pr6(swl)
+    results["func STLC"] = t_pr6 / t_on
+    if verbose:
+        _row(f"func vs pr6 {swl.name}", t_pr6, t_on, "speedup")
+    t_pr6_off, t_off6 = bench_disabled_vs_pr6(swl)
+    results["legacy6 STLC"] = t_off6 / t_pr6_off
+    if verbose:
+        _row(f"off vs pr6  {swl.name}", t_pr6_off, t_off6, "pr6/live")
     for case, delta in bench_fig3_deltas().items():
         results[f"fig3 {case}"] = delta
         if verbose:
@@ -242,6 +335,22 @@ def test_disabled_pass_costs_nothing():
     assert t_off / t_pr5 <= LEGACY_BAR, (
         f"specialization-off emitter {t_off / t_pr5:.2f}x the frozen "
         f"PR-5 emitter (bar {LEGACY_BAR}x)"
+    )
+
+
+def test_functionalization_speedup_stlc():
+    t_pr6, t_on = bench_func_vs_pr6(stlc_workload())
+    assert t_pr6 / t_on >= FUNC_BAR, (
+        f"functionalization speedup only {t_pr6 / t_on:.2f}x on the "
+        f"STLC typing checker (bar {FUNC_BAR}x)"
+    )
+
+
+def test_disabled_functionalization_costs_nothing():
+    t_pr6, t_off = bench_disabled_vs_pr6(stlc_workload())
+    assert t_off / t_pr6 <= LEGACY_BAR, (
+        f"functionalization-off emitter {t_off / t_pr6:.2f}x the frozen "
+        f"PR-6 emitter (bar {LEGACY_BAR}x)"
     )
 
 

@@ -1,68 +1,37 @@
-"""Code generation: compile lowered plans to Python source.
+"""Frozen PR-6 code generator (benchmark baseline only).
 
-The paper's plugin emits Gallina *code* for each derived computation;
-the interpreters in this package execute the lowered Plan IR instead.
-This module closes the loop: it compiles a :class:`~repro.derive.plan.
-Plan` into a dedicated Python function (built with ``compile``/
-``exec``), eliminating the remaining interpretive overhead — the
-backend used by the Figure 3 benchmarks, with the interpreter kept as
-the ablation baseline.
+A verbatim copy (imports adjusted) of ``repro.derive.codegen`` as of
+the commit *before* determinacy-driven functionalization and
+cross-relation inlining landed: the specialization-aware emitter that
+still runs every cross-relation premise through an external call (and
+enumerate-then-check producer loops where the mode requires them).
+``benchmarks/bench_specialize.py`` measures the live code generator
+against this baseline to guard two claims:
 
-The compiler consumes the *same* lowering as the interpreters
-(:func:`~repro.derive.plan.lower_schedule` — slot environments,
-flattened pattern ops, dispatch index), so interpreted and compiled
-backends cannot drift: slots become Python locals, ops become
-statements, and the dispatch tables are emitted as module-level dict
-literals keyed by head constructor.
+* premise functionalization + inlining is a genuine win on the
+  call-frame-bound Figure-3 checkers (STLC >= 1.5x); and
+* with the pass disabled the live emitter has not regressed
+  (<= 1.05x of this frozen copy).
 
-Compilation scheme (checker):
-
-* the fixpoint becomes a Python function ``rec(size, top_size, *ins)``
-  that looks up candidate handlers in the dispatch table;
-* each handler becomes a flat function: ``testctor``/``testconst``/
-  ``testeq`` ops compile to early returns, ``.&&`` chains likewise,
-  and each ``bindEC`` producer op to a ``for`` loop;
-* one ``_inc`` flag per handler reproduces the nested-``bindEC`` fuel
-  accounting exactly (a branch that ends without success inside a loop
-  ``continue``\\ s; the handler returns ``Some false`` only when the
-  flag stayed clear).
-
-Enumerators compile to Python generator functions (``yield`` /
-``yield from``), generators to single-sample recursive functions with
-the weighted-backtrack loop at the top.  External instances are
-resolved at compile time through the registry (with the ``compiled``
-backend preferred, so whole dependency trees compile together).
-
-Profiling, observation, and budget hooks are threaded through the
-emitted ``rec``: one ``caches.get('derive_trace')`` plus one
-``caches.get('derive_observe')`` plus one
-``caches.get('derive_budget')`` per call and ``is not None`` guards —
-matching the interpreters' zero-overhead-off contract.  Dispatch
-entries carry the pre-merged ``(kind, rel, mode, rule)`` trace key and
-the handler's static charge cost; span begin/end sites and budget
-charge sites (one ``charge_entry`` per level, one ``charge(cost)`` per
-handler attempt, one ``charge(1)`` per producer-loop item) mirror
-:mod:`~repro.derive.exec_core` construct-by-construct, so mixed
-interpreted/compiled runs aggregate into one trace, produce identical
-span trees, and replay a deterministic fault schedule identically.
+Nothing in ``src/`` imports this module; do not "fix" or modernize it.
 """
+
 
 from __future__ import annotations
 
 from typing import Any
 
-from ..core.context import Context
-from ..core.errors import ReproError, UnknownNameError
-from ..core.types import Ty, TypeExpr, is_ground, mangle
-from ..core.values import Value
-from ..producers.combinators import _enum_values, _gen_value, slice_exhaustive
-from ..producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
-from ..producers.outcome import FAIL, OUT_OF_FUEL
-from . import specialize
-from .plan import (
+from repro.core.context import Context
+from repro.core.errors import UnknownNameError
+from repro.core.types import Ty, TypeExpr, is_ground, mangle
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, _gen_value, slice_exhaustive
+from repro.producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.derive import specialize
+from repro.derive.plan import (
     OP_CHECK,
     OP_EVAL,
-    OP_EVALREL,
     OP_INSTANTIATE,
     OP_PRODUCE,
     OP_RECCHECK,
@@ -76,7 +45,7 @@ from .plan import (
     PlanHandler,
     lower_schedule,
 )
-from .schedule import Schedule
+from repro.derive.schedule import Schedule
 
 
 class _Emitter:
@@ -193,36 +162,15 @@ class _PlanCompiler:
     # -- instance resolution at compile time -----------------------------------------
 
     def checker_fn(self, rel: str):
-        from .instances import resolve_compiled_checker
+        from repro.derive.instances import resolve_compiled_checker
 
         return resolve_compiled_checker(self.ctx, rel)
 
     def producer_fn(self, rel: str, mode) -> Any:
-        from .instances import ENUM, GEN, resolve_compiled
+        from repro.derive.instances import ENUM, GEN, resolve_compiled
 
         kind = ENUM if self.kind in ("checker", "enum") else GEN
         return resolve_compiled(self.ctx, kind, rel, mode)
-
-    def eval_twin(self, rel: str, mode) -> Any:
-        """The premise's direct-eval artifact, when its enum instance
-        carries one (attached by :func:`compile_enumerator` for plans
-        whose determinacy verdict licenses single-answer evaluation).
-        Fast twins call it at :data:`OP_EVALREL` sites in place of the
-        first-definite-item loop; slow twins keep the loop so the
-        per-item budget charges stay site-for-site with the
-        interpreter."""
-        if self.kind == "gen":
-            return None
-        return getattr(
-            self.producer_fn(rel, mode), "__spec_eval_rec__", None
-        )
-
-    def eval_call(self, fn: str, args: str) -> str:
-        """A direct call of a premise eval fixpoint — raw ``rec``
-        convention ``(size, top, *ins)`` with the caller's remaining
-        fuel as both, and no argument tuple."""
-        sep = ", " if args else ""
-        return f"{fn}(_top, _top{sep}{args})"
 
     # -- compilation ------------------------------------------------------------------
 
@@ -364,73 +312,6 @@ class _PlanCompiler:
                     self._fail(em, f"{r} is NONE_OB", "_inc = True")
                     em.emit(fail)
                     em.indent -= 1
-            elif tag == OP_EVALREL:
-                # Functionalized premise (repro.analysis.determinacy):
-                # at most one answer exists, so commit to the first
-                # definite item and continue straightline.  The local
-                # incomplete flag mirrors the interpreter's — markers
-                # are moot once the answer is found, and without one
-                # they decide None vs definite-false for this op only.
-                item, got, inc = f"_it{i}", f"_g{i}", f"_ic{i}"
-                assert not op[5]  # the transform skips recursive ops
-                ev = self.eval_twin(op[6], op[7]) if self.fast else None
-                if ev is not None:
-                    # The premise carries a direct-eval twin: one call,
-                    # no producer loop.  OUT_OF_FUEL absorbs every
-                    # marker the loop form would have tallied; FAIL is
-                    # the loop's complete-and-empty exit.
-                    fn = self._bind_fn(f"_ev_{op[6]}", ev)
-                    args = ", ".join(self.expr(e) for e in op[3])
-                    em.emit(f"{got} = {self.eval_call(fn, args)}")
-                    em.emit(f"if {got} is OUT_OF_FUEL or {got} is FAIL:")
-                    em.indent += 1
-                    if depth == 0:
-                        em.emit(
-                            f"return NONE_OB if {got} is OUT_OF_FUEL"
-                            " else SOME_FALSE"
-                        )
-                    else:
-                        self._fail(
-                            em, f"{got} is OUT_OF_FUEL", "_inc = True"
-                        )
-                        em.emit(fail)
-                    em.indent -= 1
-                    for k, dst in enumerate(op[4]):
-                        em.emit(f"{self.slot(dst)} = {got}[{k}]")
-                    i += 1
-                    continue
-                fn = self._bind_fn(
-                    f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
-                )
-                em.emit(f"{got} = None")
-                em.emit(f"{inc} = False")
-                em.emit(f"for {item} in {fn}(_top, {self.args_tuple(op[3])}):")
-                em.indent += 1
-                self._emit_loop_charge(em, f"{inc} = True", "break")
-                em.emit(f"if {item} is OUT_OF_FUEL or {item} is FAIL:")
-                em.indent += 1
-                em.emit(f"{inc} = True")
-                em.emit("continue")
-                em.indent -= 1
-                em.emit(f"{got} = {item}")
-                em.emit("break")
-                em.indent -= 1
-                em.emit(f"if {got} is None:")
-                em.indent += 1
-                if depth == 0:
-                    em.emit(f"return NONE_OB if {inc} else SOME_FALSE")
-                else:
-                    self._fail(em, inc, "_inc = True")
-                    em.emit(fail)
-                em.indent -= 1
-                if not self.fast:
-                    em.emit("_st = _caches.get('derive_stats')")
-                    em.emit("if _st is not None:")
-                    em.indent += 1
-                    em.emit("_st.functionalized_calls += 1")
-                    em.indent -= 1
-                for k, dst in enumerate(op[4]):
-                    em.emit(f"{self.slot(dst)} = {got}[{k}]")
             elif tag == OP_PRODUCE:
                 item = f"_it{i}"
                 assert not op[5]  # checker schedules: external only
@@ -522,54 +403,6 @@ class _PlanCompiler:
                 raise AssertionError(
                     "producer schedules never contain recursive checker calls"
                 )
-            elif tag == OP_EVALREL:
-                # Functionalized premise: first definite item commits
-                # (nothing else exists behind later markers), then the
-                # handler continues straightline — no nested loop.
-                item, got = f"_it{i}", f"_g{i}"
-                ev = self.eval_twin(op[6], op[7]) if self.fast else None
-                if ev is not None:
-                    fn = self._bind_fn(f"_ev_{op[6]}", ev)
-                    args = ", ".join(self.expr(e) for e in op[3])
-                    em.emit(f"{got} = {self.eval_call(fn, args)}")
-                    em.emit(f"if {got} is OUT_OF_FUEL or {got} is FAIL:")
-                    em.indent += 1
-                    self._fail(
-                        em, f"{got} is OUT_OF_FUEL", "yield OUT_OF_FUEL"
-                    )
-                    em.emit(fail)
-                    em.indent -= 1
-                    for k, dst in enumerate(op[4]):
-                        em.emit(f"{self.slot(dst)} = {got}[{k}]")
-                    i += 1
-                    continue
-                fn = self._bind_fn(
-                    f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
-                )
-                em.emit(f"{got} = None")
-                em.emit(f"for {item} in {fn}(_top, {self.args_tuple(op[3])}):")
-                em.indent += 1
-                self._emit_loop_charge(em, "yield OUT_OF_FUEL", "break")
-                em.emit(f"if {item} is OUT_OF_FUEL:")
-                em.indent += 1
-                em.emit("yield OUT_OF_FUEL")
-                em.emit("continue")
-                em.indent -= 1
-                em.emit(f"{got} = {item}")
-                em.emit("break")
-                em.indent -= 1
-                em.emit(f"if {got} is None:")
-                em.indent += 1
-                em.emit(fail)
-                em.indent -= 1
-                if not self.fast:
-                    em.emit("_st = _caches.get('derive_stats')")
-                    em.emit("if _st is not None:")
-                    em.indent += 1
-                    em.emit("_st.functionalized_calls += 1")
-                    em.indent -= 1
-                for k, dst in enumerate(op[4]):
-                    em.emit(f"{self.slot(dst)} = {got}[{k}]")
             elif tag == OP_PRODUCE:
                 item = f"_it{i}"
                 ins = ", ".join(self.expr(e) for e in op[3])
@@ -621,227 +454,6 @@ class _PlanCompiler:
         trailing = "," if len(h.out_exprs) == 1 else ""
         em.emit(f"yield ({outs}{trailing})")
 
-    # .. direct-eval twin (functional enum plans) ................................
-
-    def compile_eval(self):
-        """Compile the enum plan as a direct function — the *eval
-        twin* of a relation whose determinacy verdict is functional or
-        better (``repro.analysis.determinacy``): at most one answer
-        exists, so enumeration collapses to computation.
-
-        ``rec(_size, _top, *ins)`` returns the unique answer tuple,
-        ``OUT_OF_FUEL`` when the search was incomplete without finding
-        it, or ``FAIL`` when it is definitely absent.  Recursive
-        premises become direct recursive calls (same relation and mode,
-        hence themselves single-answer) and functional external
-        premises chain through their own eval twins — no generator
-        frames anywhere on the hot path.
-
-        Soundness is the OP_EVALREL commit argument one level deeper:
-        a definite answer found at any fuel is the unique semantic
-        answer, so committing to it (and reporting definite failure
-        when a later test rejects it) loses nothing, and markers seen
-        before the commit are moot.  The twin is instrumentation-free
-        by construction and must only be reached from fast twins —
-        entry wrappers select those exactly when no trace/observe/
-        budget cache is installed, so every charge site the twin omits
-        is a no-op in any state in which it runs.
-        """
-        assert self.kind == "enum" and self.fast
-        em = _Emitter()
-        for h in self.plan.handlers:
-            self._emit_eval_handler(em, h)
-            em.emit()
-        self._emit_dispatch(em)
-        self._emit_eval_top(em)
-        source = em.source()
-        code = compile(source, f"<derived eval {self.plan.rel}>", "exec")
-        namespace = dict(self.globals)
-        exec(code, namespace)
-        rec = namespace["rec"]
-        rec.__derived_source__ = source
-        return rec
-
-    def _emit_eval_handler(self, em: _Emitter, h: PlanHandler) -> None:
-        em.emit(f"def _h_{h.index}({self._handler_params()}):")
-        em.indent += 1
-        em.emit("_inc = False")
-        self._emit_eval_ops(em, h, h.ops, 0, depth=0)
-        em.emit("return OUT_OF_FUEL if _inc else None")
-        em.indent -= 1
-
-    def _emit_eval_ops(
-        self, em: _Emitter, h: PlanHandler, ops: tuple, i: int, depth: int
-    ) -> None:
-        # Handler protocol: answer tuple | OUT_OF_FUEL | None (definite
-        # miss).  At depth 0 markers return immediately; inside a
-        # residual producer loop they accumulate in ``_inc``.
-        fail = "return None" if depth == 0 else "continue"
-        n = len(ops)
-        while i < n:
-            op = ops[i]
-            tag = op[0]
-            if tag == OP_EVAL:
-                em.emit(f"{self.slot(op[1])} = {self.expr(op[2])}")
-            elif tag in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
-                self._emit_test(em, op, fail)
-            elif tag == OP_CHECK:
-                r = f"_r{i}"
-                fn = self._bind_fn(f"_chk_{op[4]}", self.checker_fn(op[4]))
-                em.emit(f"{r} = {fn}(_top, {self.args_tuple(op[2])})")
-                if op[3]:
-                    em.emit(f"{r} = _negate({r})")
-                em.emit(f"if {r} is not SOME_TRUE:")
-                em.indent += 1
-                if depth == 0:
-                    em.emit(
-                        f"return OUT_OF_FUEL if {r} is NONE_OB else None"
-                    )
-                else:
-                    self._fail(em, f"{r} is NONE_OB", "_inc = True")
-                    em.emit(fail)
-                em.indent -= 1
-            elif tag == OP_RECCHECK:
-                raise AssertionError(
-                    "producer schedules never contain recursive checker calls"
-                )
-            elif tag == OP_EVALREL or (tag == OP_PRODUCE and op[5]):
-                # Single-answer premise: one direct call.  A recursive
-                # produce runs this plan's own (rel, mode) — functional
-                # by the twin's precondition — so it commits too.
-                got = f"_g{i}"
-                if op[5]:
-                    ins = ", ".join(self.expr(e) for e in op[3])
-                    em.emit(f"{got} = rec(_size1, _top, {ins})")
-                else:
-                    ev = self.eval_twin(op[6], op[7])
-                    if ev is None:
-                        # No eval twin on the premise instance (e.g. an
-                        # interpreted fallback): first-definite-item
-                        # loop, as in the fast enum twin.
-                        self._emit_eval_produce_loop(em, op, i, depth, fail)
-                        i += 1
-                        continue
-                    fn = self._bind_fn(f"_ev_{op[6]}", ev)
-                    args = ", ".join(self.expr(e) for e in op[3])
-                    em.emit(f"{got} = {self.eval_call(fn, args)}")
-                em.emit(f"if {got} is OUT_OF_FUEL or {got} is FAIL:")
-                em.indent += 1
-                if depth == 0:
-                    em.emit(
-                        f"return OUT_OF_FUEL if {got} is OUT_OF_FUEL"
-                        " else None"
-                    )
-                else:
-                    self._fail(em, f"{got} is OUT_OF_FUEL", "_inc = True")
-                    em.emit(fail)
-                em.indent -= 1
-                for k, dst in enumerate(op[4]):
-                    em.emit(f"{self.slot(dst)} = {got}[{k}]")
-            elif tag == OP_PRODUCE:
-                # A premise the analysis could not functionalize keeps
-                # its enumeration loop.
-                item = f"_it{i}"
-                fn = self._bind_fn(
-                    f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
-                )
-                em.emit(
-                    f"for {item} in {fn}(_top, {self.args_tuple(op[3])}):"
-                )
-                em.indent += 1
-                em.emit(f"if {item} is OUT_OF_FUEL:")
-                em.indent += 1
-                em.emit("_inc = True")
-                em.emit("continue")
-                em.indent -= 1
-                for k, dst in enumerate(op[4]):
-                    em.emit(f"{self.slot(dst)} = {item}[{k}]")
-                self._emit_eval_ops(em, h, ops, i + 1, depth + 1)
-                em.indent -= 1
-                return
-            else:  # OP_INSTANTIATE
-                item = self.slot(op[1])
-                enum_fn = self._bind_global(
-                    "_arb", _make_arbitrary_enum(self.ctx, op[2])
-                )
-                em.emit(f"for {item} in {enum_fn}(_top):")
-                em.indent += 1
-                em.emit(f"if {item} is OUT_OF_FUEL:")
-                em.indent += 1
-                em.emit("_inc = True")
-                em.emit("continue")
-                em.indent -= 1
-                self._emit_eval_ops(em, h, ops, i + 1, depth + 1)
-                em.indent -= 1
-                return
-            i += 1
-        outs = ", ".join(self.expr(e) for e in h.out_exprs)
-        trailing = "," if len(h.out_exprs) == 1 else ""
-        em.emit(f"return ({outs}{trailing})")
-
-    def _emit_eval_produce_loop(
-        self, em: _Emitter, op: tuple, i: int, depth: int, fail: str
-    ) -> None:
-        """OP_EVALREL without a premise eval twin: commit to the first
-        definite item of the premise enumerator (the fast enum twin's
-        form, with returns instead of yields)."""
-        item, got, inc = f"_it{i}", f"_g{i}", f"_ic{i}"
-        fn = self._bind_fn(f"_enum_{op[6]}", self.producer_fn(op[6], op[7]))
-        em.emit(f"{got} = None")
-        em.emit(f"{inc} = False")
-        em.emit(f"for {item} in {fn}(_top, {self.args_tuple(op[3])}):")
-        em.indent += 1
-        em.emit(f"if {item} is OUT_OF_FUEL or {item} is FAIL:")
-        em.indent += 1
-        em.emit(f"{inc} = True")
-        em.emit("continue")
-        em.indent -= 1
-        em.emit(f"{got} = {item}")
-        em.emit("break")
-        em.indent -= 1
-        em.emit(f"if {got} is None:")
-        em.indent += 1
-        if depth == 0:
-            em.emit(f"return OUT_OF_FUEL if {inc} else None")
-        else:
-            self._fail(em, inc, "_inc = True")
-            em.emit(fail)
-        em.indent -= 1
-        for k, dst in enumerate(op[4]):
-            em.emit(f"{self.slot(dst)} = {got}[{k}]")
-
-    def _emit_eval_top(self, em: _Emitter) -> None:
-        plan = self.plan
-        ins = self._ins_params()
-        params = ", ".join(ins)
-        em.emit(f"def rec(_size, _top, {params or '*_'}):")
-        em.indent += 1
-        em.emit("if _size == 0:")
-        em.indent += 1
-        self._emit_candidates(em, "base")
-        em.emit("_sz1 = None")
-        em.emit(f"_fuel = {plan.has_recursive!r}")
-        em.indent -= 1
-        em.emit("else:")
-        em.indent += 1
-        self._emit_candidates(em, "full")
-        em.emit("_sz1 = _size - 1")
-        em.emit("_fuel = False")
-        em.indent -= 1
-        em.emit("for _h in _hs:")
-        em.indent += 1
-        em.emit(f"_r = {self._call_handler('_h[0]')}")
-        em.emit("if _r is None: continue")
-        em.emit("if _r is OUT_OF_FUEL:")
-        em.indent += 1
-        em.emit("_fuel = True")
-        em.emit("continue")
-        em.indent -= 1
-        em.emit("return _r")
-        em.indent -= 1
-        em.emit("return OUT_OF_FUEL if _fuel else FAIL")
-        em.indent -= 1
-
     # .. generator ...............................................................
 
     def _emit_gen_handler(self, em: _Emitter, h: PlanHandler) -> None:
@@ -867,10 +479,7 @@ class _PlanCompiler:
                 raise AssertionError(
                     "producer schedules never contain recursive checker calls"
                 )
-            elif tag in (OP_PRODUCE, OP_EVALREL):
-                # OP_EVALREL degenerates to OP_PRODUCE here: the
-                # generator monad draws a single sample per producer op
-                # already (same RNG stream with the pass on or off).
+            elif tag == OP_PRODUCE:
                 item = f"_it{i}"
                 if op[5]:  # recursive self-call, one level down
                     em.emit(
@@ -1117,9 +726,7 @@ class _PlanCompiler:
 def _has_loop_ops(h: PlanHandler) -> bool:
     """Whether the handler contains producer loops (and so needs the
     per-item budget charge and its ``_bud`` probe)."""
-    return any(
-        op[0] in (OP_PRODUCE, OP_INSTANTIATE, OP_EVALREL) for op in h.ops
-    )
+    return any(op[0] in (OP_PRODUCE, OP_INSTANTIATE) for op in h.ops)
 
 
 # ---------------------------------------------------------------------------
@@ -1171,11 +778,6 @@ class _SpecPlanCompiler(_PlanCompiler):
         self._inline_fail = "break"
         self._tail_ok = False
         self._branch_key = None
-        # Cross-relation inlining (fast twin only): per-site prefix
-        # counter and a per-relation eligibility cache (None = not
-        # inlinable, else (plan, info, fast_fn) of the premise).
-        self._inline_n = 0
-        self._inline_cache: dict[str, Any] = {}
 
     # .. repr helpers ............................................................
 
@@ -1653,8 +1255,6 @@ class _SpecPlanCompiler(_PlanCompiler):
                 r = f"_r{i}"
                 if tag == OP_RECCHECK:
                     em.emit(f"{r} = {self._rec_call(op[1])}")
-                elif self.fast and self._try_inline_check(em, op, r):
-                    pass  # premise spliced inline; r holds its verdict
                 else:
                     em.emit(f"{r} = {self._check_call(op)}")
                     if op[3]:
@@ -1674,82 +1274,6 @@ class _SpecPlanCompiler(_PlanCompiler):
                     self._fail(em, f"{r} is NONE_OB", "_inc = True")
                     em.emit(fail)
                     em.indent -= 1
-            elif tag == OP_EVALREL:
-                # Functionalized premise — see the boxed twin: first
-                # definite item commits, straightline continuation.
-                item, got, inc = f"_it{i}", f"_g{i}", f"_ic{i}"
-                assert not op[5]  # the transform skips recursive ops
-                ev = self.eval_twin(op[6], op[7]) if self.fast else None
-                if ev is not None:
-                    # Direct-eval call — see the boxed twin.  Outputs
-                    # arrive boxed, as from the enumerator.
-                    fn = self._bind_fn(f"_ev_{op[6]}", ev)
-                    args = ", ".join(self.boxed(e) for e in op[3])
-                    em.emit(f"{got} = {self.eval_call(fn, args)}")
-                    em.emit(f"if {got} is OUT_OF_FUEL or {got} is FAIL:")
-                    em.indent += 1
-                    if inline:
-                        self._fail(
-                            em, f"{got} is OUT_OF_FUEL", "_none = True"
-                        )
-                        em.emit(fail)
-                    elif depth == 0:
-                        em.emit(
-                            f"return NONE_OB if {got} is OUT_OF_FUEL"
-                            " else SOME_FALSE"
-                        )
-                    else:
-                        self._fail(
-                            em, f"{got} is OUT_OF_FUEL", "_inc = True"
-                        )
-                        em.emit(fail)
-                    em.indent -= 1
-                    out_types = self._produce_out_types(op)
-                    for k, dst in enumerate(op[4]):
-                        em.emit(f"{self.slot(dst)} = {got}[{k}]")
-                        self._srepr[dst] = specialize.BOX
-                        self._stype[dst] = (
-                            out_types[k] if out_types is not None else None
-                        )
-                    i += 1
-                    continue
-                fn = self._bind_fn(
-                    f"_enum_{op[6]}", self.producer_fn(op[6], op[7])
-                )
-                em.emit(f"{got} = None")
-                em.emit(f"{inc} = False")
-                em.emit(f"for {item} in {fn}(_top, {self.sargs_tuple(op[3])}):")
-                em.indent += 1
-                self._emit_loop_charge(em, f"{inc} = True", "break")
-                em.emit(f"if {item} is OUT_OF_FUEL or {item} is FAIL:")
-                em.indent += 1
-                em.emit(f"{inc} = True")
-                em.emit("continue")
-                em.indent -= 1
-                em.emit(f"{got} = {item}")
-                em.emit("break")
-                em.indent -= 1
-                em.emit(f"if {got} is None:")
-                em.indent += 1
-                if depth == 0:
-                    em.emit(f"return NONE_OB if {inc} else SOME_FALSE")
-                else:
-                    self._fail(em, inc, "_inc = True")
-                    em.emit(fail)
-                em.indent -= 1
-                if not self.fast:
-                    em.emit("_st = _caches.get('derive_stats')")
-                    em.emit("if _st is not None:")
-                    em.indent += 1
-                    em.emit("_st.functionalized_calls += 1")
-                    em.indent -= 1
-                out_types = self._produce_out_types(op)
-                for k, dst in enumerate(op[4]):
-                    em.emit(f"{self.slot(dst)} = {got}[{k}]")
-                    self._srepr[dst] = specialize.BOX
-                    self._stype[dst] = (
-                        out_types[k] if out_types is not None else None
-                    )
             elif tag == OP_PRODUCE:
                 item = f"_it{i}"
                 assert not op[5]  # checker schedules: external only
@@ -1825,315 +1349,6 @@ class _SpecPlanCompiler(_PlanCompiler):
         else:
             key = f"{scrut}.ctor"
         em.emit(f"_hs = _disp_{which}.get({key}, _disp_{which}_d)")
-
-    # .. cross-relation inlining (fast twin) .....................................
-
-    def _premise_plan(self, rel: str):
-        """Eligibility of *rel* for inline splicing: its checker must
-        be a compiled specialized artifact, the determinacy analysis
-        must prove its checker mode ``det`` (every rule loop-free, so
-        the whole fixpoint is a straightline tail loop), and every
-        lowered op must be in the subset the splicer emits.  Returns
-        ``(plan, info, fast_fn)`` or ``None``; memoized per relation."""
-        cached = self._inline_cache.get(rel, False)
-        if cached is not False:
-            return cached
-        self._inline_cache[rel] = None
-        from .plan import functionalization_enabled
-
-        if rel == self.plan.rel or not functionalization_enabled(self.ctx):
-            return None
-        fn = self.checker_fn(rel)
-        pplan = getattr(fn, "__spec_plan__", None)
-        pinfo = getattr(fn, "__spec_info__", None)
-        pfast = getattr(fn, "__spec_fast__", None)
-        if pplan is None or pinfo is None or pfast is None:
-            return None
-        from ..analysis.determinacy import Verdict, relation_verdict
-        from ..core.errors import ReproError
-        from .modes import Mode
-
-        try:
-            arity = self.ctx.relations.get(rel).arity
-            verdict = relation_verdict(self.ctx, rel, Mode.checker(arity))
-        except ReproError:
-            return None
-        if verdict is not Verdict.DET:
-            return None
-        for h in pplan.handlers:
-            for o in h.ops:
-                t = o[0]
-                if t in (OP_EVAL, OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ,
-                         OP_CHECK):
-                    continue
-                if t == OP_RECCHECK and o[2] is None:
-                    continue
-                return None  # group recursion / producer loops: call
-        out = (pplan, pinfo, pfast)
-        self._inline_cache[rel] = out
-        return out
-
-    def _try_inline_check(self, em: _Emitter, op: tuple, res: str) -> bool:
-        """Splice a ``det`` premise checker's specialized dispatch and
-        handler bodies into the current (fast-twin) function body,
-        eliminating the per-call frame.  The splice replicates the
-        premise's own fast fixpoint — size branch, head dispatch, tail
-        recursion as iteration — with all locals carrying a per-site
-        prefix, and leaves the three-valued verdict in *res*.  Legal
-        only in the fast twin: that twin runs exactly when no
-        budget/trace/observe is installed, so the premise's (omitted)
-        charge and span sites are no-ops there by construction.
-
-        Returns False (emitting nothing) on any unsupported feature;
-        the caller then falls back to :meth:`_check_call`."""
-        if op[3]:  # negated premise: keep the call form
-            return False
-        found = self._premise_plan(op[4])
-        if found is None:
-            return False
-        pplan, pinfo, pfast = found
-        if len(op[2]) != len(pinfo.entry_reprs):
-            return False
-        # Caller-side argument expressions, required to already sit in
-        # the premise's entry reprs (same precondition as the direct
-        # specialized call in _check_call).
-        seeds = []
-        for e, w in zip(op[2], pinfo.entry_reprs):
-            code, r = self.sexpr(e, hint=w)
-            if r != w:
-                return False
-            seeds.append(code)
-        self._inline_n += 1
-        pfx = f"_p{self._inline_n}"
-        inner = _PremiseCompiler(self, pplan, pinfo, pfx, pfast)
-        tmp = _Emitter()
-        tmp.indent = em.indent
-        try:
-            self._emit_premise(tmp, inner, pfx, seeds, res)
-        except _SpecUnsupported:
-            return False
-        em.lines.extend(tmp.lines)
-        st = self.ctx.caches.get("derive_stats")
-        if st is not None:
-            st.inlined_frames += 1
-        return True
-
-    def _emit_premise(self, em, inner, pfx: str, seeds: list, res: str):
-        """The premise fixpoint as a nested loop.  Structure mirrors
-        the premise's own ``rec`` (see :meth:`_emit_top`), with returns
-        replaced by result assignment: success sets *res* and breaks, a
-        tail-recursive jump sets the ``_t`` flag and breaks (the loop
-        bottom turns it into ``continue``), and falling out exhausted
-        computes the ``None``/``False`` verdict from the ``_none``
-        accumulator."""
-        pplan = inner.plan
-        if seeds:
-            targets = ", ".join(f"{pfx}_in{i}" for i in range(pplan.n_ins))
-            em.emit(f"{targets} = {', '.join(seeds)}")
-        em.emit(f"{pfx}_z = _top")
-        em.emit(f"{pfx}_none = False")
-        em.emit(f"{res} = None")
-        em.emit("while True:")
-        em.indent += 1
-        em.emit(f"{pfx}_t = False")
-        em.emit(f"if {pfx}_z == 0:")
-        em.indent += 1
-        em.emit(f"{pfx}_z1 = None")
-        if pplan.has_recursive:
-            em.emit(f"{pfx}_none = True")
-        self._emit_premise_dispatch(
-            em, inner, pfx, res, pplan.base, pplan.base_table,
-            pplan.base_default,
-        )
-        em.indent -= 1
-        em.emit("else:")
-        em.indent += 1
-        em.emit(f"{pfx}_z1 = {pfx}_z - 1")
-        self._emit_premise_dispatch(
-            em, inner, pfx, res, pplan.handlers, pplan.full_table,
-            pplan.full_default,
-        )
-        em.indent -= 1
-        em.emit(f"if {pfx}_t:")
-        em.indent += 1
-        em.emit("continue")
-        em.indent -= 1
-        em.emit("break")
-        em.indent -= 1
-        em.emit(f"if {res} is None:")
-        em.indent += 1
-        em.emit(f"{res} = NONE_OB if {pfx}_none else SOME_FALSE")
-        em.indent -= 1
-
-    def _emit_premise_dispatch(
-        self, em, inner, pfx: str, res: str, handlers, table, default
-    ) -> None:
-        pplan = inner.plan
-
-        def branch(key: str) -> None:
-            known = key if key in table else None
-            self._emit_premise_handlers(
-                em, inner, pfx, res, table.get(key, default), known
-            )
-
-        if pplan.dispatch_pos < 0:
-            self._emit_premise_handlers(em, inner, pfx, res, handlers, None)
-            return
-        p = pplan.dispatch_pos
-        r = inner.info.entry_reprs[p]
-        scrut = f"{pfx}_in{p}"
-        if r == specialize.NAT:
-            em.emit(f"if {scrut} > 0:")
-            em.indent += 1
-            branch("S")
-            em.indent -= 1
-            em.emit("else:")
-            em.indent += 1
-            branch("O")
-            em.indent -= 1
-        elif type(r) is tuple:
-            em.emit(f"if {scrut}:")
-            em.indent += 1
-            branch("cons")
-            em.indent -= 1
-            em.emit("else:")
-            em.indent += 1
-            branch("nil")
-            em.indent -= 1
-        else:
-            em.emit(f"{pfx}_c = {scrut}.ctor")
-            kw = "if"
-            for ctor in table:
-                em.emit(f"{kw} {pfx}_c == {ctor!r}:")
-                em.indent += 1
-                branch(ctor)
-                em.indent -= 1
-                kw = "elif"
-            em.emit("else:")
-            em.indent += 1
-            self._emit_premise_handlers(em, inner, pfx, res, default, None)
-            em.indent -= 1
-
-    def _emit_premise_handlers(
-        self, em, inner, pfx: str, res: str, handlers, key
-    ) -> None:
-        if not handlers:
-            em.emit("pass")
-            return
-        for idx, h in enumerate(handlers):
-            last = idx == len(handlers) - 1
-            if idx > 0:
-                em.emit(f"if {res} is None:")
-                em.indent += 1
-            inner._srepr = dict(enumerate(inner.info.entry_reprs))
-            inner._stype = dict(enumerate(inner.info.entry_types))
-            inner._inline = True
-            inner._branch_key = key
-            em.emit("while True:")
-            em.indent += 1
-            try:
-                self._emit_premise_ops(em, inner, pfx, res, h.ops, last)
-            finally:
-                inner._inline = False
-                inner._branch_key = None
-            em.indent -= 1
-            if idx > 0:
-                em.indent -= 1
-
-    def _emit_premise_ops(
-        self, em, inner, pfx: str, res: str, ops: tuple, last: bool
-    ) -> None:
-        """One premise handler body inside its single-iteration
-        ``while`` wrapper: every exit is a ``break`` (failure falls to
-        the next handler via the *res*-is-None guard; success assigns
-        first)."""
-        fail = "break"
-        n = len(ops)
-        for i, o in enumerate(ops):
-            t = o[0]
-            if t == OP_EVAL:
-                code, r = inner.sexpr(o[2])
-                em.emit(f"{inner.slot(o[1])} = {code}")
-                inner._srepr[o[1]] = r
-                inner._stype[o[1]] = inner._expr_type(o[2])
-            elif t in (OP_TESTCTOR, OP_TESTCONST, OP_TESTEQ):
-                inner._emit_test(em, o, fail)
-            elif t == OP_RECCHECK:
-                if (
-                    last
-                    and i == n - 1
-                    and self._emit_premise_tail(em, inner, pfx, o[1])
-                ):
-                    return
-                # Non-tail self-recursion: call the premise's own fast
-                # twin at the decremented size (what its rec would do).
-                parts = []
-                for e, w in zip(o[1], inner.info.entry_reprs):
-                    code, r = inner.sexpr(e, hint=w)
-                    if r != w:
-                        raise _SpecUnsupported("inline rec repr mismatch")
-                    parts.append(code)
-                f = self._bind_fn(f"_spchk_{inner.plan.rel}", inner.fast_fn)
-                rv = f"{pfx}_r{i}"
-                em.emit(f"{rv} = {f}({pfx}_z1, _top, {', '.join(parts)})")
-                em.emit(f"if {rv} is not SOME_TRUE:")
-                em.indent += 1
-                em.emit(f"if {rv} is NONE_OB: {pfx}_none = True")
-                em.emit(fail)
-                em.indent -= 1
-            else:  # OP_CHECK: the premise's own external premise
-                rv = f"{pfx}_r{i}"
-                em.emit(f"{rv} = {inner._check_call(o)}")
-                if o[3]:
-                    em.emit(f"{rv} = _negate({rv})")
-                em.emit(f"if {rv} is not SOME_TRUE:")
-                em.indent += 1
-                em.emit(f"if {rv} is NONE_OB: {pfx}_none = True")
-                em.emit(fail)
-                em.indent -= 1
-        em.emit(f"{res} = SOME_TRUE")
-        em.emit("break")
-
-    def _emit_premise_tail(self, em, inner, pfx: str, exprs: tuple) -> bool:
-        """A final-position self-recursive premise call as an iteration
-        of the spliced loop; legal only when every argument already
-        sits in its entry repr (else the caller emits a call)."""
-        parts = []
-        for e, w in zip(exprs, inner.info.entry_reprs):
-            code, r = inner.sexpr(e, hint=w)
-            if r != w:
-                return False
-            parts.append(code)
-        em.emit(f"{pfx}_z = {pfx}_z1")
-        if parts:
-            targets = ", ".join(
-                f"{pfx}_in{i}" for i in range(inner.plan.n_ins)
-            )
-            em.emit(f"{targets} = {', '.join(parts)}")
-        em.emit(f"{pfx}_t = True")
-        em.emit("break")
-        return True
-
-
-class _PremiseCompiler(_SpecPlanCompiler):
-    """Expression/test emitter for a premise plan spliced into a host
-    compiler's function body: slot names carry a per-site prefix, and
-    all name binding is delegated to the host so the spliced lines
-    resolve in the host's exec namespace."""
-
-    def __init__(self, host, plan, info, prefix: str, fast_fn) -> None:
-        super().__init__(host.ctx, plan, info, None, fast=True)
-        self.prefix = prefix
-        self.fast_fn = fast_fn
-        self.globals = host.globals
-        self._bind_global = host._bind_global  # shares name uniquing
-        self._fn_cache = host._fn_cache
-        self._const_cache = host._const_cache
-        self._coercers = host._coercers
-
-    def slot(self, i: int) -> str:
-        base = f"_in{i}" if i < self.plan.n_ins else f"_s{i}"
-        return self.prefix + base
 
 
 def _make_arbitrary_enum(ctx: Context, ty: TypeExpr):
@@ -2271,8 +1486,6 @@ def compile_checker(ctx: Context, schedule: Schedule):
         check.__spec_rec__ = spec
         check.__spec_fast__ = fast
         check.__spec_reprs__ = info.entry_reprs
-        check.__spec_plan__ = plan
-        check.__spec_info__ = info
         check.__spec_source__ = spec.__derived_source__
         check.__spec_fast_source__ = fast.__derived_source__
         check_batch.__spec_rec__ = spec
@@ -2312,38 +1525,7 @@ def compile_enumerator(ctx: Context, schedule: Schedule):
 
     enum_st.__wrapped_rec__ = rec
     enum_st.__derived_source__ = rec.__derived_source__
-    _attach_eval_twin(ctx, plan, enum_st)
     return enum_st
-
-
-def _attach_eval_twin(ctx: Context, plan, enum_st) -> None:
-    """Compile and attach the direct-eval twin (``__spec_eval__``) for
-    an enum plan whose determinacy verdict is functional or better.
-    Fast twins consume it at OP_EVALREL sites; nothing else does, so a
-    plan that cannot take one simply keeps the loop form."""
-    from .plan import functionalization_enabled
-
-    if not functionalization_enabled(ctx):
-        return
-    if not specialize.specialization_enabled(ctx):
-        return  # no fast twins exist to call it
-    from ..analysis.determinacy import relation_verdict
-
-    try:
-        if not relation_verdict(ctx, plan.rel, plan.mode_str).at_most_one:
-            return
-        ev_rec = _PlanCompiler(ctx, plan, "enum", fast=True).compile_eval()
-    except ReproError:
-        return
-
-    def enum_ev(fuel: int, ins: tuple):
-        return ev_rec(fuel, fuel, *ins)
-
-    enum_ev.__derived_source__ = ev_rec.__derived_source__
-    enum_st.__spec_eval__ = enum_ev
-    # Codegen consumers bypass the wrapper and call the fixpoint with
-    # splatted arguments — no tuple, no extra frame per premise.
-    enum_st.__spec_eval_rec__ = ev_rec
 
 
 def compile_generator(ctx: Context, schedule: Schedule):

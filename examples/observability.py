@@ -100,7 +100,10 @@ out_dir = Path(args.export) if args.export else None
 if out_dir is not None:
     out_dir.mkdir(parents=True, exist_ok=True)
     dump_path = out_dir / "run.jsonl"
-    obs.export_jsonl(dump_path)
+    # ctx= adds the coverage-vs-linter diff lines, so the report CLI
+    # can cross-check REL004 verdicts from the dump alone (exit 1 on a
+    # dead-but-fired contradiction).
+    obs.export_jsonl(dump_path, ctx=ctx)
     obs.export_chrome_trace(out_dir / "run.trace.json")
     (out_dir / "report.txt").write_text(obs.report(top=25) + "\n")
     print(f"exported dump + trace + report to {out_dir}/")

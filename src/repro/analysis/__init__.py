@@ -25,6 +25,12 @@ Disable per call (``analysis=False``) or per context
 
 from ..core.errors import AnalysisError
 from .checks import analyze, analyze_context
+from .determinacy import (
+    DetResult,
+    Verdict,
+    analyze_determinacy,
+    relation_verdict,
+)
 from .diagnostics import CODES, Diagnostic, Report, Severity
 from .gate import (
     analysis_enabled,
@@ -37,14 +43,18 @@ from .gate import (
 __all__ = [
     "AnalysisError",
     "CODES",
+    "DetResult",
     "Diagnostic",
     "Report",
     "Severity",
+    "Verdict",
     "analysis_enabled",
     "analyze",
     "analyze_context",
+    "analyze_determinacy",
     "cached_report",
     "check_before_derive",
     "disable_analysis",
     "enable_analysis",
+    "relation_verdict",
 ]

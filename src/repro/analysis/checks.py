@@ -1,4 +1,4 @@
-"""The six linter checks (REL001..REL006).
+"""The linter checks (REL001..REL009).
 
 The analyzer answers, *without executing any derived computation*:
 will deriving ``(rel, mode)`` work, and will the result behave the way
@@ -28,6 +28,12 @@ source material:
   conclusion function call or non-linear pattern is *not* absorbed by
   the schedule (the inserted equality never becomes directed and the
   scheduler falls back to generate-and-test).
+* **REL007/REL008/REL009** — determinacy & functionality
+  (:mod:`repro.analysis.determinacy`): modes proven to return at most
+  one answer (info), functional premises left to enumerate-then-check
+  when the functionalization pass is off (warning), and
+  claimed-deterministic producer modes defeated by overlapping
+  conclusions (warning).
 
 The per-rule simulation is the real scheduler: ``_Probe`` subclasses
 ``_HandlerBuilder`` (which itself sits on the shared
@@ -534,6 +540,106 @@ def _check_instance_closure(
         visit(nk, nr, nm, [root_key])
 
 
+def _check_determinacy(
+    ctx: Context, rel: Relation, mode: Mode, diags: list
+) -> None:
+    """REL007/REL008/REL009: the determinacy & functionality analysis
+    (:mod:`repro.analysis.determinacy`) surfaced as lint findings.
+
+    * **REL007** (info) — a relation mode proven ``det``/``functional``:
+      the analyzed mode itself when it is a producer mode, plus every
+      mode derived for a premise produce loop (the backend rewrites
+      those loops to direct evaluation).
+    * **REL008** (warning) — a functional premise that *will* run by
+      enumerate-then-check because functionalization is switched off.
+      With the pass enabled (the default) the premise is computed
+      directly and the warning does not apply.
+    * **REL009** (warning) — a producer mode whose rules are all
+      individually deterministic but whose conclusions definitely
+      overlap on the input positions, defeating the claimed
+      determinism (the paper's functionality precondition).
+    """
+    from ..derive.plan import functionalization_enabled
+    from .determinacy import analyze_determinacy
+
+    try:
+        res = analyze_determinacy(ctx, rel.name, mode)
+    except ReproError:
+        return  # underivable modes are REL001/REL005 territory
+    mode_str = str(mode)
+    if not mode.is_checker:
+        if res.verdict.at_most_one:
+            diags.append(
+                Diagnostic(
+                    "REL007",
+                    Severity.INFO,
+                    f"proven {res.verdict} at producer mode {mode_str}",
+                    rel.name,
+                    mode=mode_str,
+                    span=rel.span,
+                    note="at most one answer per input: premise calls at "
+                    "this mode are eligible for functionalization",
+                )
+            )
+        elif res.definite_overlaps:
+            a, b = res.definite_overlaps[0]
+            diags.append(
+                Diagnostic(
+                    "REL009",
+                    Severity.WARNING,
+                    f"rules {a!r} and {b!r} have overlapping conclusions "
+                    f"on the inputs of mode {mode_str}, so the mode can "
+                    "yield duplicate answers",
+                    rel.name,
+                    rule=a,
+                    mode=mode_str,
+                    span=rel.span,
+                    note="a single input matches both conclusions; "
+                    "disjoint conclusions are a precondition for a "
+                    "det/functional verdict",
+                )
+            )
+    sites = res.functional_sites
+    if not sites:
+        return
+    enabled = functionalization_enabled(ctx)
+    seen: set[tuple[str, str]] = set()
+    for site in sites:
+        if not enabled:
+            diags.append(
+                Diagnostic(
+                    "REL008",
+                    Severity.WARNING,
+                    f"premise {site.rel!r} is {site.verdict} at mode "
+                    f"{site.mode_str} but runs by enumerate-then-check",
+                    rel.name,
+                    rule=site.rule,
+                    mode=mode_str,
+                    span=rel.span,
+                    note="functionalization is disabled "
+                    "(REPRO_NO_FUNCTIONALIZE / disable_functionalization); "
+                    "enabling it computes this premise directly",
+                )
+            )
+        key = (site.rel, site.mode_str)
+        if key in seen:
+            continue
+        seen.add(key)
+        target = ctx.relations.get(site.rel)
+        diags.append(
+            Diagnostic(
+                "REL007",
+                Severity.INFO,
+                f"proven {site.verdict} at derived mode {site.mode_str}",
+                site.rel,
+                mode=site.mode_str,
+                span=target.span,
+                note=f"derived for a premise in rule {site.rule!r} of "
+                f"{rel.name!r}",
+            )
+        )
+
+
 # ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
@@ -615,6 +721,7 @@ def analyze(
         out_types = tuple(rel.arg_types[i] for i in mode_obj.out_list)
         root = Schedule(rel.name, mode_obj, tuple(handlers), out_types)
         _check_instance_closure(ctx, rel, mode_obj, kind, root, diags)
+        _check_determinacy(ctx, rel, mode_obj, diags)
 
     return Report.of(diags)
 

@@ -95,7 +95,7 @@ def _lint_sources(args) -> list[tuple[str, Report]]:
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="static linter for inductive relations (REL001..REL006)",
+        description="static linter for inductive relations (REL001..REL009)",
     )
     parser.add_argument("files", nargs="*", help="surface-syntax files to lint")
     parser.add_argument(

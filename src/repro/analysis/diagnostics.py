@@ -1,7 +1,7 @@
 """Structured diagnostics for the relation/mode linter.
 
 Every finding the analyzer produces is a :class:`Diagnostic` with a
-stable code (``REL001`` .. ``REL006``), a severity, and enough
+stable code (``REL001`` .. ``REL009``), a severity, and enough
 provenance (relation, rule, source span when the declaration came from
 the surface parser) to render a rustc-style report::
 
@@ -30,6 +30,9 @@ CODES = {
     "REL004": "dead rules / unproductive recursion",
     "REL005": "instance dependency closure",
     "REL006": "generate-and-test degradation (preprocessing)",
+    "REL007": "functional relation mode (determinacy)",
+    "REL008": "functional premise run by enumerate-then-check",
+    "REL009": "overlapping conclusions defeat determinism",
 }
 
 

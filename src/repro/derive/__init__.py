@@ -22,7 +22,14 @@ from .memo import (
     memoization_enabled,
 )
 from .modes import Mode
-from .plan import Plan, PlanHandler, lower_schedule
+from .plan import (
+    Plan,
+    PlanHandler,
+    disable_functionalization,
+    enable_functionalization,
+    functionalization_enabled,
+    lower_schedule,
+)
 from .stats import DeriveStats
 from .trace import DeriveTrace, profile, trace_of
 from .preprocess import preprocess_relation, preprocess_rule
@@ -64,8 +71,11 @@ __all__ = [
     "derive_generator",
     "derive_mutual_checkers",
     "derive_stats",
+    "disable_functionalization",
     "disable_memoization",
+    "enable_functionalization",
     "enable_memoization",
+    "functionalization_enabled",
     "lower_schedule",
     "memoization_enabled",
     "mutual_components",

@@ -72,6 +72,7 @@ from ..producers.outcome import FAIL, OUT_OF_FUEL
 from .plan import (
     OP_CHECK,
     OP_EVAL,
+    OP_EVALREL,
     OP_INSTANTIATE,
     OP_PRODUCE,
     OP_RECCHECK,
@@ -242,6 +243,32 @@ def _checker_ops(
             )
             if result is not SOME_TRUE:
                 return result
+        elif tag == OP_EVALREL:
+            # Functionalized premise: at most one output tuple exists
+            # (repro.analysis.determinacy), so commit to the first
+            # definite item and continue straightline — a later test
+            # failing is a definite handler failure, not a backtrack
+            # point, and markers seen before the answer are moot once
+            # it is found.
+            items = _enum_instance(ctx, op).fn(top, eval_exprs(op[3], env))
+            found = None
+            incomplete = False
+            for item in items:
+                if bud is not None and bud.charge(1):
+                    incomplete = True
+                    break
+                if item is OUT_OF_FUEL or item is FAIL:
+                    incomplete = True
+                    continue
+                found = item
+                break
+            if found is None:
+                return NONE_OB if incomplete else SOME_FALSE
+            st = ctx.caches.get(STATS_KEY)
+            if st is not None:
+                st.functionalized_calls += 1
+            for k, dst in enumerate(op[4]):
+                env[dst] = found[k]
         elif tag == OP_PRODUCE:
             # bindEC over the (external) enumeration: first witness
             # accepted by the continuation wins; an incomplete search
@@ -453,6 +480,29 @@ def _enum_ops(
             raise AssertionError(
                 "producer schedules never contain recursive checker calls"
             )
+        elif tag == OP_EVALREL:
+            # Functionalized premise (at most one answer): commit to
+            # the first definite item and continue straightline — no
+            # nested loop, and no markers re-yielded past the answer
+            # (nothing else exists to be found behind them).
+            items = _enum_instance(ctx, op).fn(top, eval_exprs(op[3], env))
+            found = None
+            for item in items:
+                if bud is not None and bud.charge(1):
+                    yield OUT_OF_FUEL
+                    return
+                if item is OUT_OF_FUEL:
+                    yield OUT_OF_FUEL
+                    continue
+                found = item
+                break
+            if found is None:
+                return
+            st = ctx.caches.get(STATS_KEY)
+            if st is not None:
+                st.functionalized_calls += 1
+            for k, dst in enumerate(op[4]):
+                env[dst] = found[k]
         elif tag == OP_PRODUCE:
             ins = eval_exprs(op[3], env)
             if op[5]:  # recursive self-call, one level down
@@ -624,7 +674,10 @@ def _gen_handler(
             raise AssertionError(
                 "producer schedules never contain recursive checker calls"
             )
-        elif tag == OP_PRODUCE:
+        elif tag == OP_PRODUCE or tag == OP_EVALREL:
+            # The generator monad draws a single sample per producer op
+            # already, so a functionalized premise behaves identically
+            # (same RNG stream with the pass on or off).
             ins2 = eval_exprs(op[3], env)
             if op[5]:  # recursive self-call, one level down
                 produced = run_gen(ctx, plan, rec_size, top, ins2, rng, retries)

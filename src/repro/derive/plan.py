@@ -40,6 +40,7 @@ emits Python source from it — one lowering, no drift.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Iterable
 
 from ..core.context import Context
@@ -96,6 +97,13 @@ OP_CHECK = 4
 OP_RECCHECK = 5
 OP_PRODUCE = 6
 OP_INSTANTIATE = 7
+# Functionalized producer call: same operand shape as OP_PRODUCE, but
+# the premise relation is proven functional at the called mode
+# (repro.analysis.determinacy), so the drivers commit to the first
+# definite answer instead of looping enumerate-then-check — a failure
+# of the continuation is a definite failure of the handler, because no
+# other answer exists.
+OP_EVALREL = 8
 
 _OP_NAMES = (
     "eval",
@@ -106,6 +114,7 @@ _OP_NAMES = (
     "reccheck",
     "produce",
     "instantiate",
+    "evalrel",
 )
 
 
@@ -521,12 +530,77 @@ def lower_schedule(ctx: Context, schedule: Schedule) -> Plan:
         _lower_handler(ctx, schedule, h, i)
         for i, h in enumerate(schedule.handlers)
     )
+    if functionalization_enabled(ctx):
+        for h in handlers:
+            _functionalize_handler(ctx, h)
     plan = Plan(schedule, handlers)
     stats = ctx.caches.get("derive_stats")
     if stats is not None:
         stats.plan_lowerings += 1
     cache[id(schedule)] = plan
     return plan
+
+
+# ---------------------------------------------------------------------------
+# Functionalization (determinacy-driven premise rewrite).
+# ---------------------------------------------------------------------------
+
+#: ``ctx.caches`` flag gating the functionalization pass (default on).
+FUNC_FLAG = "derive_functionalize"
+
+
+def functionalization_enabled(ctx: Context) -> bool:
+    """Is determinacy-driven functionalization (and the codegen
+    cross-relation inlining it licenses) on for *ctx*?  Off globally
+    under ``REPRO_NO_FUNCTIONALIZE=1``; per context via
+    :func:`disable_functionalization`.  The flag is read at plan
+    lowering / compile time — flip it before deriving instances."""
+    if os.environ.get("REPRO_NO_FUNCTIONALIZE"):
+        return False
+    return bool(ctx.caches.get(FUNC_FLAG, True))
+
+
+def enable_functionalization(ctx: Context) -> None:
+    ctx.caches[FUNC_FLAG] = True
+
+
+def disable_functionalization(ctx: Context) -> None:
+    ctx.caches[FUNC_FLAG] = False
+
+
+def _functionalize_handler(ctx: Context, handler: PlanHandler) -> None:
+    """Rewrite eligible enumerate-then-check ops of a freshly lowered
+    handler into :data:`OP_EVALREL` (in place, before the handler is
+    published inside a :class:`Plan`).
+
+    Eligible: a non-recursive :data:`OP_PRODUCE` whose ``(rel, mode)``
+    is proven functional-or-better by :mod:`repro.analysis.determinacy`
+    — at most one output tuple exists, so committing to the first
+    definite answer is complete, and a later test failing is a definite
+    handler failure rather than a backtrack point.  Recursive produces
+    keep the loop: they run at the mode being derived and their charge
+    pattern anchors the fault-injection replay discipline.
+
+    The op tuple keeps OP_PRODUCE's operand shape (only the tag
+    changes), so handler cost — ``1 + len(ops)``, the per-attempt
+    budget charge — is identical with the pass on or off; only the
+    per-item loop charges differ, exactly as the transform removes the
+    extra draws.
+    """
+    if not any(op[0] == OP_PRODUCE and not op[5] for op in handler.ops):
+        return
+    from ..analysis.determinacy import relation_verdict
+
+    ops = list(handler.ops)
+    changed = False
+    for i, op in enumerate(ops):
+        if op[0] != OP_PRODUCE or op[5]:
+            continue
+        if relation_verdict(ctx, op[6], op[7]).at_most_one:
+            ops[i] = (OP_EVALREL,) + op[1:]
+            changed = True
+    if changed:
+        handler.ops = tuple(ops)
 
 
 # ---------------------------------------------------------------------------
@@ -577,8 +651,8 @@ def _op_operands(op: tuple) -> str:
     if tag == OP_RECCHECK:
         target = f"{op[2]}:" if op[2] else ""
         return f"{target}{', '.join(_expr_str(e) for e in op[1])}"
-    if tag == OP_PRODUCE:
-        how = "rec" if op[5] else "ext"
+    if tag in (OP_PRODUCE, OP_EVALREL):
+        how = "fun" if tag == OP_EVALREL else ("rec" if op[5] else "ext")
         dsts = ", ".join(f"s{d}" for d in op[4])
         ins = ", ".join(_expr_str(e) for e in op[3])
         return f"{dsts} <- {how} {op[6]}[{op[7]}]({ins})"

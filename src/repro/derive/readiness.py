@@ -58,6 +58,19 @@ class RuleDataflow:
         fully known and is evaluated at match time.)"""
         return not self.funcall_blocked_vars(t)
 
+    def premise_out_positions(self, premise: RelPremise) -> list[int]:
+        """Argument positions of *premise* not yet fully known — the
+        output positions of the producer mode a call would need at this
+        point in the walk.  Shared by the scheduler (to pick the mode
+        it emits) and the determinacy analysis (to name the mode whose
+        functionality it certifies), so the two can never disagree
+        about which mode a premise runs at."""
+        return [
+            i
+            for i, arg in enumerate(premise.args)
+            if not self.vars.term_known(arg)
+        ]
+
     def premise_ready(self, premise: Premise) -> bool:
         """Equality premises wait until one side is computable; all
         other premises are handled in declaration order."""

@@ -234,11 +234,7 @@ class _HandlerBuilder(RuleDataflow):
             for blocked in self.funcall_blocked_vars(arg):
                 self._instantiate(blocked, ("funcall", premise))
 
-        out_positions = [
-            i
-            for i, arg in enumerate(premise.args)
-            if not self.vars.term_known(arg)
-        ]
+        out_positions = self.premise_out_positions(premise)
         if not out_positions:
             # Instantiation made everything known after all.
             self._emit_check(premise)

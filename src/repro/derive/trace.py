@@ -93,13 +93,21 @@ class DeriveTrace:
         }
 
     def report(
-        self, top: "int | None" = None, relation: "str | None" = None
+        self,
+        top: "int | None" = None,
+        relation: "str | None" = None,
+        stats=None,
     ) -> str:
         """A human-readable table, busiest handlers first.
 
         *top* keeps only the N busiest rows (with a "... more" footer);
         *relation* keeps rows of one relation — both matter for large
         corpora runs, where the full table runs to hundreds of rows.
+        *stats* (a :class:`~repro.derive.stats.DeriveStats`, e.g. the
+        one :func:`profile` installs) appends a footer with the
+        transform counters the per-handler rows cannot show: premise
+        evaluations functionalized away and call frames inlined by
+        codegen.
         """
         rows = sorted(
             self.entries.items(), key=lambda kv: -kv[1][ATTEMPTS]
@@ -108,7 +116,9 @@ class DeriveTrace:
             rows = [kv for kv in rows if kv[0][1] == relation]
         if not rows:
             scope = f" for relation {relation!r}" if relation else ""
-            return f"DeriveTrace: (no handler activity recorded{scope})"
+            empty = f"DeriveTrace: (no handler activity recorded{scope})"
+            footer = self._stats_footer(stats)
+            return "\n".join([empty, *footer]) if footer else empty
         hidden = 0
         if top is not None and top < len(rows):
             hidden = len(rows) - top
@@ -128,7 +138,26 @@ class DeriveTrace:
             )
         if hidden:
             lines.append(f"  ... ({hidden} more handlers; pass top=None for all)")
+        lines.extend(self._stats_footer(stats))
         return "\n".join(lines)
+
+    @staticmethod
+    def _stats_footer(stats) -> list[str]:
+        """Transform-counter footer lines (empty without *stats*).
+
+        These counters live on :class:`DeriveStats`, not in the
+        per-handler table: a functionalized premise never reaches a
+        handler (that is the point), and an inlined frame is a
+        compile-time event with no runtime key to file it under.
+        """
+        if stats is None:
+            return []
+        return [
+            f"  functionalized premise evaluations: "
+            f"{stats.functionalized_calls:,}",
+            f"  inlined premise frames (compile-time): "
+            f"{stats.inlined_frames:,}",
+        ]
 
     def __repr__(self) -> str:
         return (

@@ -8,8 +8,15 @@ Usage::
 
 Reads a JSON-lines dump written by
 :meth:`~repro.observe.session.Observation.export_jsonl` and prints the
-text report (top spans, rule coverage, histograms, counters).  Exit
-status 0 on success, 2 on an unreadable or non-dump file.
+text report (top spans, rule coverage, histograms, counters).
+
+Exit status: 0 on success, 1 when the dump's coverage-vs-linter diff
+lines (exported with ``export_jsonl(path, ctx=ctx)``) contain a
+dead-but-fired contradiction — a rule the static linter called dead
+(REL004) that the recorded run nonetheless fired, meaning one of the
+two verdicts is wrong — and 2 on an unreadable or non-dump file.
+Dumps exported without a context carry no diff lines and can only
+exit 0 or 2.
 """
 
 from __future__ import annotations
@@ -58,4 +65,13 @@ def main(argv: "list[str] | None" = None) -> int:
     except BrokenPipeError:
         # Piped into `head` and the pipe closed early — normal exit.
         sys.stderr.close()
-    return 0
+
+    bad = dump.contradictions()
+    for rel, mode, kind, rule in bad:
+        print(
+            f"error: rule {rule!r} of {rel} [{mode}] {kind} fired despite "
+            "a static dead verdict (stale REL004: re-run the linter or "
+            "fix the analysis)",
+            file=sys.stderr,
+        )
+    return 1 if bad else 0

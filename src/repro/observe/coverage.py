@@ -199,6 +199,23 @@ class CoverageDiffRow:
             return "dead (static), unfired (dynamic)"
         return "live and fired"
 
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "statically_dead": self.statically_dead,
+            "attempts": self.attempts,
+            "successes": self.successes,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "CoverageDiffRow":
+        return CoverageDiffRow(
+            rule=d["rule"],
+            statically_dead=d["statically_dead"],
+            attempts=d["attempts"],
+            successes=d["successes"],
+        )
+
 
 @dataclass(frozen=True)
 class CoverageDiff:
@@ -240,6 +257,24 @@ class CoverageDiff:
                 f"  => {n} statically-live rule(s) this workload never fired"
             )
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """Plain-dict shape for the JSONL dump (``type: "diff"``)."""
+        return {
+            "relation": self.relation,
+            "mode": self.mode,
+            "kind": self.kind,
+            "rows": [r.as_dict() for r in self.rows],
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "CoverageDiff":
+        return CoverageDiff(
+            relation=d["relation"],
+            mode=d["mode"],
+            kind=d["kind"],
+            rows=tuple(CoverageDiffRow.from_dict(r) for r in d["rows"]),
+        )
 
 
 def coverage_diff(

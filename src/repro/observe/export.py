@@ -46,9 +46,15 @@ def _handler_lines(obs) -> "list[dict]":
     return out
 
 
-def dump_jsonl(obs, fp) -> None:
+def dump_jsonl(obs, fp, *, ctx=None) -> None:
     """Write the observation to an open text file, one JSON object per
-    line (``meta`` first; readers must tolerate unknown types)."""
+    line (``meta`` first; readers must tolerate unknown types).
+
+    With a *ctx*, one ``diff`` line per exercised ``(relation, mode,
+    kind)`` group records the static-vs-dynamic coverage join
+    (:meth:`~repro.observe.session.Observation.coverage_diffs`), making
+    dead-but-fired linter contradictions detectable from the dump
+    alone."""
     meta = {
         "type": "meta",
         "format": FORMAT,
@@ -73,11 +79,16 @@ def dump_jsonl(obs, fp) -> None:
             json.dumps({"type": "counter", "name": name, "value": value})
             + "\n"
         )
+    if ctx is not None:
+        for diff in obs.coverage_diffs(ctx):
+            d = diff.as_dict()
+            d["type"] = "diff"
+            fp.write(json.dumps(d) + "\n")
 
 
-def write_jsonl(obs, path) -> None:
+def write_jsonl(obs, path, *, ctx=None) -> None:
     with open(path, "w", encoding="utf-8") as fp:
-        dump_jsonl(obs, fp)
+        dump_jsonl(obs, fp, ctx=ctx)
 
 
 @dataclass
@@ -89,6 +100,19 @@ class Dump:
     handlers: list = field(default_factory=list)
     histograms: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
+    diffs: list = field(default_factory=list)
+
+    def contradictions(self) -> "list[tuple[str, str, str, str]]":
+        """``(relation, mode, kind, rule)`` for every dead-but-fired
+        row in the dump's diff lines — the linter called the rule dead
+        (REL004), yet the recorded run fired it.  One of the verdicts
+        is wrong, so the report CLI treats any entry as failure."""
+        return [
+            (d["relation"], d["mode"], d["kind"], r["rule"])
+            for d in self.diffs
+            for r in d["rows"]
+            if r["statically_dead"] and r["successes"] > 0
+        ]
 
     @property
     def format(self) -> str:
@@ -116,6 +140,8 @@ def read_jsonl(path) -> Dump:
                 dump.histograms.append(obj)
             elif kind == "counter":
                 dump.counters[obj["name"]] = obj["value"]
+            elif kind == "diff":
+                dump.diffs.append(obj)
     return dump
 
 

@@ -19,7 +19,7 @@ dict shapes and delegates to :func:`render_dump`, which is what
 
 from __future__ import annotations
 
-from .coverage import RuleCoverage
+from .coverage import CoverageDiff, RuleCoverage
 from .export import Dump
 from .metrics import Histogram
 
@@ -95,6 +95,26 @@ def render_dump(
             top=top, relation=relation
         ),
     ]
+    diffs = dump.diffs
+    if relation is not None:
+        diffs = [d for d in diffs if d["relation"] == relation]
+    if diffs:
+        sections.append("")
+        sections.append("Coverage vs. static linter (from dump diff lines):")
+        for d in diffs:
+            block = CoverageDiff.from_dict(d).render()
+            sections.extend("  " + line for line in block.splitlines())
+        bad = [
+            r
+            for d in diffs
+            for r in d["rows"]
+            if r["statically_dead"] and r["successes"] > 0
+        ]
+        if bad:
+            sections.append(
+                f"  => {len(bad)} dead-but-fired contradiction(s): a REL004 "
+                "verdict is stale (exit 1 in the CLI)"
+            )
     if dump.histograms:
         sections.append("")
         sections.append("Histograms:")

@@ -143,6 +143,27 @@ class Observation:
         """Dynamic rule coverage, derived from the trace."""
         return RuleCoverage.from_trace(self.trace)
 
+    def coverage_diffs(self, ctx: Context) -> list:
+        """Static-vs-dynamic :func:`~repro.observe.coverage.coverage_diff`
+        for every ``(relation, mode, kind)`` group this session
+        exercised.  Groups the linter cannot analyze (polymorphic,
+        unschedulable) are skipped; what remains is exactly the set of
+        verdicts a dump can re-check offline, which is how stale REL004
+        verdicts get caught by ``python -m repro.observe`` in CI."""
+        from ..core.errors import ReproError
+        from .coverage import coverage_diff
+
+        cov = self.coverage()
+        out = []
+        for rel, mode, kind in cov.groups():
+            if rel not in ctx.relations:
+                continue
+            try:
+                out.append(coverage_diff(ctx, cov, rel, mode, kind=kind))
+            except ReproError:
+                continue
+        return out
+
     def report(
         self, top: "int | None" = 10, relation: "str | None" = None
     ) -> str:
@@ -151,10 +172,13 @@ class Observation:
 
         return render_observation(self, top=top, relation=relation)
 
-    def export_jsonl(self, path) -> None:
+    def export_jsonl(self, path, *, ctx: "Context | None" = None) -> None:
+        """Write the JSONL dump; with *ctx* it also carries the
+        coverage-vs-linter diff lines (see :meth:`coverage_diffs`), so
+        the report CLI can flag contradictions without the context."""
         from .export import write_jsonl
 
-        write_jsonl(self, path)
+        write_jsonl(self, path, ctx=ctx)
 
     def export_chrome_trace(self, path) -> None:
         from .export import write_chrome_trace

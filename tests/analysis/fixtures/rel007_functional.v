@@ -1,0 +1,11 @@
+(* REL007: 'twice' at the derived producer mode io is functional —
+   conclusion heads 0 / S n are disjoint on the input position and the
+   recursive premise draws from the same functional mode.  Linting the
+   'quad' checker reports the derived mode as an info; linting
+   'twice' at io directly reports the analyzed mode itself. *)
+Inductive twice : nat -> nat -> Prop :=
+| tw_O : twice 0 0
+| tw_S : forall n m, twice n m -> twice (S n) (S (S m)).
+
+Inductive quad : nat -> nat -> Prop :=
+| qd : forall n m r, twice n m -> twice m r -> quad n r.

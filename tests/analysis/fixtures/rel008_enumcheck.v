@@ -1,0 +1,12 @@
+(* REL008: the premise 'mul2 n m' binds m through a produce loop even
+   though mul2 at mode io is functional (at most one m per n).  With
+   the functionalization pass ON (the default) the loop is rewritten
+   to direct evaluation and no warning applies; with the pass OFF
+   (REPRO_NO_FUNCTIONALIZE / disable_functionalization) the premise
+   runs by enumerate-then-check and the linter warns. *)
+Inductive mul2 : nat -> nat -> Prop :=
+| m2_O : mul2 0 0
+| m2_S : forall n m, mul2 n m -> mul2 (S n) (S (S m)).
+
+Inductive sum4 : nat -> nat -> Prop :=
+| s4 : forall n m r, mul2 n m -> mul2 m r -> sum4 n r.

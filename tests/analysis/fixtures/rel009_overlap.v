@@ -1,0 +1,8 @@
+(* REL009: at producer mode io the conclusions 'le2 n n' and
+   'le2 n (S m)' definitely overlap on the input position (any n
+   matches both), so the mode yields multiple answers per input —
+   the claimed determinism of the individually-deterministic rules is
+   defeated.  Clean at checker mode. *)
+Inductive le2 : nat -> nat -> Prop :=
+| le2_refl : forall n, le2 n n
+| le2_step : forall n m, le2 n m -> le2 n (S m).

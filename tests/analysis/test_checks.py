@@ -190,6 +190,60 @@ class TestRel006:
         assert len(analyze(ctx, "diag")) == 0
 
 
+class TestRel007:
+    def test_derived_functional_mode_is_info(self):
+        ctx = load_fixture("rel007_functional.v")
+        report = analyze(ctx, "quad")
+        found = report.by_code("REL007")
+        assert found, report.render()
+        [diag] = found
+        assert diag.severity is Severity.INFO
+        assert diag.relation == "twice"
+        assert diag.mode == "io"
+        assert "functional" in diag.message
+        assert "rule 'qd'" in (diag.note or "")
+        assert report.ok
+
+    def test_analyzed_producer_mode_reports_itself(self):
+        ctx = load_fixture("rel007_functional.v")
+        report = analyze(ctx, "twice", "io")
+        found = report.by_code("REL007")
+        assert found, report.render()
+        assert any("producer mode io" in d.message for d in found)
+
+
+class TestRel008:
+    def test_fires_only_with_functionalization_off(self):
+        from repro.derive import disable_functionalization
+
+        ctx = load_fixture("rel008_enumcheck.v")
+        assert not analyze(ctx, "sum4").by_code("REL008")
+        disable_functionalization(ctx)
+        report = analyze(ctx, "sum4")
+        found = report.by_code("REL008")
+        assert found, report.render()
+        [diag] = found
+        assert diag.severity is Severity.WARNING
+        assert diag.rule == "s4"
+        assert "enumerate-then-check" in diag.message
+        assert "disable_functionalization" in (diag.note or "")
+
+
+class TestRel009:
+    def test_overlap_defeats_producer_determinism(self):
+        ctx = load_fixture("rel009_overlap.v")
+        report = analyze(ctx, "le2", "io")
+        found = report.by_code("REL009")
+        assert found, report.render()
+        assert found[0].severity is Severity.WARNING
+        assert "overlapping conclusions" in found[0].message
+        assert found[0].rule == "le2_refl"
+
+    def test_checker_mode_is_clean(self):
+        ctx = load_fixture("rel009_overlap.v")
+        assert not analyze(ctx, "le2").by_code("REL009")
+
+
 class TestAnalyzeContext:
     def test_merges_all_relations(self):
         ctx = load_fixture("rel004_nobase.v")

@@ -1,0 +1,101 @@
+"""The determinacy & functionality analysis: verdict lattice, the
+acceptance verdicts on the case studies, and the golden REL007..REL009
+sweep over the full corpus (verdicts must stay stable as the analysis
+evolves — update the golden set deliberately, with a reason)."""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.analysis import analyze_context
+from repro.analysis.determinacy import (
+    Verdict,
+    analyze_determinacy,
+    relation_verdict,
+)
+from repro.casestudies import bst, stlc
+
+
+class TestVerdictLattice:
+    def test_order(self):
+        assert Verdict.DET < Verdict.FUNCTIONAL < Verdict.SEMIDET < Verdict.MULTI
+
+    def test_join_is_max(self):
+        assert max(Verdict.DET, Verdict.MULTI) is Verdict.MULTI
+        assert max(Verdict.FUNCTIONAL, Verdict.SEMIDET) is Verdict.SEMIDET
+
+    def test_at_most_one(self):
+        assert Verdict.DET.at_most_one
+        assert Verdict.FUNCTIONAL.at_most_one
+        assert not Verdict.SEMIDET.at_most_one
+        assert not Verdict.MULTI.at_most_one
+
+    def test_str(self):
+        assert str(Verdict.FUNCTIONAL) == "functional"
+
+
+class TestAcceptanceVerdicts:
+    """The verdicts the PR promises (see ISSUE acceptance criteria)."""
+
+    def test_stlc_typing_iio_is_functional(self):
+        ctx = stlc.make_context()
+        assert relation_verdict(ctx, "typing", "iio") is Verdict.FUNCTIONAL
+
+    def test_stlc_typing_checker_is_functional(self):
+        ctx = stlc.make_context()
+        res = analyze_determinacy(ctx, "typing")
+        assert res.verdict is Verdict.FUNCTIONAL
+        # Exactly one functionalization opportunity: TApp's premise
+        # 'typing' at the derived mode iio.
+        sites = [(s.rule, s.rel, s.mode_str) for s in res.functional_sites]
+        assert sites == [("TApp", "typing", "iio")]
+
+    def test_bst_lt_checker_is_det(self):
+        ctx = bst.make_context()
+        assert relation_verdict(ctx, "lt", "ii") is Verdict.DET
+
+    def test_bst_checker_is_det(self):
+        ctx = bst.make_context()
+        assert relation_verdict(ctx, "bst", "iii") is Verdict.DET
+
+    def test_bst_lt_multi_answer_mode_is_multi(self):
+        # 'insert'-style enumeration: lt at io yields every greater
+        # nat, and the overlap between lt_base and lt_step is definite.
+        ctx = bst.make_context()
+        res = analyze_determinacy(ctx, "lt", "io")
+        assert res.verdict is Verdict.MULTI
+        assert res.definite_overlaps == [("lt_base", "lt_step")]
+
+    def test_verdicts_are_cached(self):
+        ctx = stlc.make_context()
+        first = relation_verdict(ctx, "typing", "iio")
+        assert relation_verdict(ctx, "typing", "iio") is first
+
+
+#: (code, relation, mode) triples the full corpus sweep must produce —
+#: with the functionalization pass at its default (on), so REL008 must
+#: never appear and the corpus stays warning-free.
+GOLDEN_CORPUS_FINDINGS = {
+    ("REL007", "btree_size", "io"),
+    ("REL007", "eval_big", "io"),
+    ("REL007", "revrel", "io"),
+    ("REL007", "typing", "iio"),
+}
+
+
+def test_corpus_determinacy_findings_are_stable():
+    from repro.analysis.cli import CASE_STUDY_MODULES
+    from repro.sf.registry import CHAPTER_MODULES, load_chapter
+
+    rows = set()
+    for module in CHAPTER_MODULES:
+        chapter = load_chapter(module)
+        for d in analyze_context(chapter.ctx):
+            if d.code in ("REL007", "REL008", "REL009"):
+                rows.add((d.code, d.relation, d.mode))
+    for module in CASE_STUDY_MODULES:
+        ctx = importlib.import_module(module).make_context()
+        for d in analyze_context(ctx):
+            if d.code in ("REL007", "REL008", "REL009"):
+                rows.add((d.code, d.relation, d.mode))
+    assert rows == GOLDEN_CORPUS_FINDINGS

@@ -22,7 +22,7 @@ import random
 import pytest
 
 from repro.core.errors import ReproError
-from repro.derive import Mode
+from repro.derive import Mode, disable_functionalization
 from repro.derive.instances import (
     CHECKER,
     ENUM,
@@ -32,7 +32,8 @@ from repro.derive.instances import (
 )
 from repro.derive.specialize import disable_specialization
 from repro.producers.combinators import _enum_values
-from repro.resilience import budget_scope
+from repro.producers.option_bool import NONE_OB
+from repro.resilience import FaultPlan, budget_scope
 from repro.sf.registry import CHAPTER_MODULES, load_chapter
 
 CHECK_FUELS = (0, 2, 5)
@@ -41,6 +42,7 @@ MAX_TUPLES = 40
 
 _CHAPTERS = {}
 _PLAIN_CHAPTERS = {}
+_FUNC_OFF_CHAPTERS = {}
 
 
 def chapter(module):
@@ -58,6 +60,17 @@ def plain_chapter(module):
         disable_specialization(ch.ctx)
         _PLAIN_CHAPTERS[module] = ch
     return _PLAIN_CHAPTERS[module]
+
+
+def func_off_chapter(module):
+    """The same chapter with premise functionalization off — plans
+    keep their enumerate-then-check premises and codegen splices no
+    premise bodies (the pre-pass behaviour)."""
+    if module not in _FUNC_OFF_CHAPTERS:
+        ch = load_chapter(module)
+        disable_functionalization(ch.ctx)
+        _FUNC_OFF_CHAPTERS[module] = ch
+    return _FUNC_OFF_CHAPTERS[module]
 
 
 def seeded_inputs(ctx, arg_types, seed=0):
@@ -206,6 +219,98 @@ def _spec_unspec_diff(
     return compared
 
 
+FUNC_FAULT_SEEDS = (11, 22)
+
+
+def _func_on_off_diff(
+    ctx_on, ctx_off, rel, fuels, max_ops=60_000, seconds=2.0
+):
+    """Diff checkers with the functionalization pass on vs off.
+
+    The pass is a *refinement*, not an equivalence: an OP_EVALREL
+    premise computes its answer directly, so the pass-on checker may
+    answer definitely where pass-off ran out of fuel enumerating — but
+    it must never flip or lose a definite pass-off verdict.  The two
+    plans charge different op streams by construction, so any budget
+    trip on either side skips the pair (unlike the spec/unspec diff,
+    where charges mirror site-for-site).  Within each configuration
+    the interpreter and compiled twins must still agree exactly, under
+    plain budgets and under seeded fault schedules (interruption
+    soundness survives the transform).  Returns compared on/off pairs.
+    """
+    relation = ctx_on.relations.get(rel)
+    mode = Mode.checker(relation.arity)
+    on_i = resolve(ctx_on, CHECKER, rel, mode).fn
+    on_c = resolve_compiled(ctx_on, CHECKER, rel, mode)
+    off_i = resolve(ctx_off, CHECKER, rel, mode).fn
+    off_c = resolve_compiled(ctx_off, CHECKER, rel, mode)
+    cases = seeded_inputs(ctx_on, relation.arg_types)
+    assert cases, f"no seeded inputs for {rel}"
+    compared = 0
+    for args in cases:
+        for fuel in fuels:
+            answers = {}
+            for key, ctx, fn in (
+                ("on", ctx_on, on_c),
+                ("on_i", ctx_on, on_i),
+                ("off", ctx_off, off_c),
+                ("off_i", ctx_off, off_i),
+            ):
+                with budget_scope(
+                    ctx, max_ops=max_ops, deadline_seconds=seconds
+                ) as b:
+                    answers[key] = (fn(fuel, args), b.exhausted is not None)
+            for key in ("on", "off"):
+                (a, ta), (b, tb) = answers[key], answers[key + "_i"]
+                if not ta and not tb:
+                    assert a is b, (
+                        f"backends diverge ({key}): {rel} fuel={fuel} "
+                        f"args={args}"
+                    )
+            (on, t_on), (off, t_off) = answers["on"], answers["off"]
+            if t_on or t_off:
+                continue
+            assert on is off or (off is NONE_OB and on is not NONE_OB), (
+                f"functionalization broke a verdict: {rel} fuel={fuel} "
+                f"args={args} on={on} off={off}"
+            )
+            compared += 1
+    # Interruption soundness per configuration: an injected fuel-out
+    # may degrade a definite verdict to indefinite, never flip it, and
+    # both backends must unwind identically at the injected op.
+    plans = [
+        FaultPlan.seeded(s, n_events=6, horizon=2048)
+        for s in FUNC_FAULT_SEEDS
+    ]
+    for args in cases[:2]:
+        for ctx, interp, compiled in (
+            (ctx_on, on_i, on_c),
+            (ctx_off, off_i, off_c),
+        ):
+            with budget_scope(ctx, max_ops=max_ops) as b0:
+                base = compiled(2, args)
+            base_definite = b0.exhausted is None and base is not NONE_OB
+            for plan in plans:
+                with budget_scope(
+                    ctx, max_ops=max_ops, faults=plan, check_every=1
+                ):
+                    fi = interp(2, args)
+                with budget_scope(
+                    ctx, max_ops=max_ops, faults=plan, check_every=1
+                ):
+                    fc = compiled(2, args)
+                assert fi is fc, (
+                    f"backends diverge under faults: {rel} args={args} "
+                    f"plan={list(plan)}"
+                )
+                if base_definite and fi is not NONE_OB:
+                    assert fi is base, (
+                        f"fault flipped a definite verdict: {rel} "
+                        f"args={args} plan={list(plan)}"
+                    )
+    return compared
+
+
 class TestSFCorpusCheckers:
     """Every derivable SF relation: interp and compiled checkers agree."""
 
@@ -272,6 +377,50 @@ class TestSpecializedVsUnspecialized:
         disable_specialization(ctx_plain)
         for rel in rels:
             assert _spec_unspec_diff(ctx_spec, ctx_plain, rel, fuels=(0, 2))
+
+
+class TestFunctionalizeOnOff:
+    """The functionalization pass (OP_EVALREL + cross-relation
+    inlining) refines but never breaks verdicts, over the whole corpus
+    (all SF chapters + case studies), under budgets and seeded fault
+    schedules."""
+
+    @pytest.mark.parametrize("module", CHAPTER_MODULES)
+    def test_chapter_on_off_agree(self, module):
+        ch, off = chapter(module), func_off_chapter(module)
+        covered = 0
+        for entry in ch.entries:
+            if entry.higher_order:
+                continue
+            relation = ch.ctx.relations.get(entry.name)
+            if not relation.is_monomorphic():
+                continue
+            try:
+                if _func_on_off_diff(
+                    ch.ctx, off.ctx, entry.name, fuels=(0, 2)
+                ):
+                    covered += 1
+            except ReproError:
+                continue
+        assert covered, f"no relation in {module} was diffable"
+
+    @pytest.mark.parametrize(
+        "maker, rels",
+        [
+            ("bst", ("bst", "lt")),
+            ("stlc", ("typing", "lookup")),
+            ("ifc", ("indist_atom", "indist_list")),
+        ],
+    )
+    def test_case_study_on_off_agree(self, maker, rels):
+        import importlib
+
+        mod = importlib.import_module(f"repro.casestudies.{maker}")
+        ctx_on = mod.make_context()
+        ctx_off = mod.make_context()
+        disable_functionalization(ctx_off)
+        for rel in rels:
+            assert _func_on_off_diff(ctx_on, ctx_off, rel, fuels=(0, 2))
 
 
 class TestCaseStudies:

@@ -151,3 +151,65 @@ class TestCompiledGenerators:
         a = [compiled_gen(5, (), random.Random(7)) for _ in range(10)]
         b = [compiled_gen(5, (), random.Random(7)) for _ in range(10)]
         assert a == b
+
+
+class TestEvalTwin:
+    """The direct-eval twin attached to enum instances of functional
+    (rel, mode) pairs — the no-producer-loop artifact fast twins call
+    at OP_EVALREL sites."""
+
+    def test_attached_iff_functional(self, stlc_ctx):
+        from repro.analysis import relation_verdict
+
+        for mode in ("iio", "ioi", "oii"):
+            enum_st = resolve_compiled(
+                stlc_ctx, ENUM, "typing", Mode.from_string(mode)
+            )
+            expect = relation_verdict(stlc_ctx, "typing", mode).at_most_one
+            assert hasattr(enum_st, "__spec_eval__") == expect
+            assert hasattr(enum_st, "__spec_eval_rec__") == expect
+
+    def test_not_attached_with_pass_off(self, stlc_ctx):
+        from repro.casestudies import stlc
+        from repro.derive import disable_functionalization
+
+        ctx = stlc.make_context()
+        disable_functionalization(ctx)
+        enum_st = resolve_compiled(
+            ctx, ENUM, "typing", Mode.from_string("iio")
+        )
+        assert not hasattr(enum_st, "__spec_eval__")
+
+    def test_agrees_with_enumeration(self, stlc_ctx):
+        from repro.casestudies import stlc
+        from repro.producers.outcome import FAIL
+
+        enum_st = resolve_compiled(
+            stlc_ctx, ENUM, "typing", Mode.from_string("iio")
+        )
+        ev = enum_st.__spec_eval__
+        rng = random.Random(23)
+        env = stlc.StlcWorkload(None).environment()
+        cases = []
+        while len(cases) < 40:
+            ty = stlc._gen_type(2, rng)
+            out = stlc.handwritten_typing_gen(6, (env, ty), rng)
+            if is_value(out):
+                cases.append((env, out[0]))
+        # Ill-typed / unsynthesizable terms exercise the miss paths.
+        cases += [(env, V("Unit"))] * 2
+        for fuel in (2, 6, 24):
+            for args in cases:
+                items = list(enum_st(fuel, args))
+                definite = [x for x in items if x is not OUT_OF_FUEL]
+                r = ev(fuel, args)
+                if definite:
+                    # Functional: the unique answer, and the twin
+                    # commits to exactly it.
+                    assert r == definite[0]
+                elif items:
+                    # Incomplete empty stream: the twin may only be
+                    # more definite, never invent an answer.
+                    assert r is OUT_OF_FUEL or r is FAIL
+                else:
+                    assert r is FAIL

@@ -119,6 +119,23 @@ class TestReporting:
     def test_empty_report(self):
         assert "no handler activity" in DeriveTrace().report()
 
+    def test_stats_footer(self, nat_ctx):
+        from repro.derive.stats import DeriveStats
+
+        le = derive_checker(nat_ctx, "le")
+        with profile(nat_ctx) as tr:
+            le(10, from_int(2), from_int(5))
+        stats = DeriveStats()
+        stats.functionalized_calls = 3
+        stats.inlined_frames = 2
+        text = tr.report(stats=stats)
+        assert "functionalized premise evaluations: 3" in text
+        assert "inlined premise frames (compile-time): 2" in text
+        # Footer also decorates the empty report, and is absent
+        # without a stats object.
+        assert "functionalized" in DeriveTrace().report(stats=stats)
+        assert "functionalized" not in tr.report()
+
     def test_as_dict_and_reset(self, nat_ctx):
         le = derive_checker(nat_ctx, "le")
         with profile(nat_ctx) as tr:

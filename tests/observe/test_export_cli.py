@@ -71,6 +71,20 @@ class TestJsonl:
         run_obs.export_jsonl(path)
         assert run_obs.report(top=5) == render_dump(read_jsonl(path), top=5)
 
+    def test_export_with_ctx_carries_diff_lines(
+        self, run_obs, nat_ctx, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        run_obs.export_jsonl(path, ctx=nat_ctx)
+        dump = read_jsonl(path)
+        assert dump.diffs, "ctx= export must add diff lines"
+        groups = {(d["relation"], d["mode"], d["kind"]) for d in dump.diffs}
+        assert ("le", "ii", "checker") in groups
+        # A healthy corpus has no dead-but-fired contradictions, and
+        # the report renders the diff section.
+        assert dump.contradictions() == []
+        assert "Coverage vs. static linter" in render_dump(dump, top=5)
+
 
 class TestChromeTrace:
     def test_complete_events_with_nesting_args(self, run_obs, tmp_path):
@@ -124,6 +138,40 @@ class TestCli:
         bad.write_text("this is not json\n")
         assert cli_main([str(bad)]) == 2
         assert "not a JSONL dump" in capsys.readouterr().err
+
+    def test_diff_lines_exit_0_when_clean(self, run_obs, nat_ctx, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_obs.export_jsonl(path, ctx=nat_ctx)
+        assert cli_main([str(path)]) == 0
+
+    def test_dead_but_fired_contradiction_exits_1(self, tmp_path, capsys):
+        # A hand-built dump whose diff line contradicts itself: the
+        # rule is statically dead (REL004) yet recorded successes.
+        # The CLI must promote that from a rendered note to exit 1.
+        path = tmp_path / "bad.jsonl"
+        lines = [
+            {"type": "meta", "format": FORMAT, "spans": 0},
+            {
+                "type": "diff",
+                "relation": "loop",
+                "mode": "i",
+                "kind": "checker",
+                "rows": [
+                    {
+                        "rule": "dead_rule",
+                        "statically_dead": True,
+                        "attempts": 3,
+                        "successes": 2,
+                    }
+                ],
+            },
+        ]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        assert cli_main([str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "dead-but-fired contradiction" in captured.out
+        assert "'dead_rule'" in captured.err
+        assert "stale REL004" in captured.err
 
     def test_module_entry_point(self, run_obs, tmp_path):
         # The real `python -m repro.observe` invocation (a test for the

@@ -83,6 +83,18 @@ class TestMetrics:
         stats.backtracks += 1
         assert m.counter_snapshot()["stats.backtracks"] == 4
 
+    def test_bind_stats_carries_transform_counters(self):
+        # The functionalization counters ride the same prefix, so an
+        # observe report shows how much work the pass removed.
+        m = Metrics()
+        stats = DeriveStats()
+        stats.functionalized_calls += 2
+        stats.inlined_frames += 1
+        m.bind_stats(stats)
+        snap = m.counter_snapshot()
+        assert snap["stats.functionalized_calls"] == 2
+        assert snap["stats.inlined_frames"] == 1
+
     def test_as_dict_sections(self):
         m = Metrics()
         m.histogram("h").observe(1)
