@@ -39,12 +39,12 @@ ROUNDS = 20 if os.environ.get("REPRO_BENCH_QUICK") else 100
 def _fresh_derive(ctx, rel):
     # Force derive to rebuild from scratch each round: drop the
     # schedule and lowered-plan caches and every derived instance
-    # (instances live in ctx.instances, not ctx.caches — handwritten
+    # (instances live in ctx.instances, not ctx.artifacts — handwritten
     # registrations survive).  This is the work the gate rides on top
     # of; the analysis-report cache is deliberately left alone so the
     # warm configuration stays warm.
-    ctx.caches.pop("schedules", None)
-    ctx.caches.pop("plans", None)
+    ctx.artifacts.pop("schedules", None)
+    ctx.artifacts.pop("plans", None)
     for key in [
         k for k, inst in ctx.instances.items() if inst.source != "handwritten"
     ]:
@@ -67,7 +67,7 @@ def _time_config(make_ctx, rel, *, disabled: bool, cold: bool) -> float:
         start = time.perf_counter()
         for _ in range(ROUNDS):
             if cold and not disabled:
-                ctx.caches.pop("analysis_reports", None)
+                ctx.artifacts.pop("analysis_reports", None)
             _fresh_derive(ctx, rel)
         best = min(best, time.perf_counter() - start)
     return best

@@ -1,65 +1,30 @@
-"""Code generation: compile lowered plans to Python source.
+"""Frozen PR-7 code generator (benchmark baseline only).
 
-The paper's plugin emits Gallina *code* for each derived computation;
-the interpreters in this package execute the lowered Plan IR instead.
-This module closes the loop: it compiles a :class:`~repro.derive.plan.
-Plan` into a dedicated Python function (built with ``compile``/
-``exec``), eliminating the remaining interpretive overhead — the
-backend used by the Figure 3 benchmarks, with the interpreter kept as
-the ablation baseline.
+A verbatim copy (imports adjusted) of ``repro.derive.codegen`` as of
+the commit *before* the session-scoped state refactor: the compiler
+bakes ``ctx.caches`` — the process-global runtime-state dict — into
+the generated module's globals at compile time, so compiled code is
+permanently bound to that one dict.  ``benchmarks/bench_serve.py``
+measures the live code generator against this baseline to guard the
+refactor's single-caller overhead bound (<= 1.05x).
 
-The compiler consumes the *same* lowering as the interpreters
-(:func:`~repro.derive.plan.lower_schedule` — slot environments,
-flattened pattern ops, dispatch index), so interpreted and compiled
-backends cannot drift: slots become Python locals, ops become
-statements, and the dispatch tables are emitted as module-level dict
-literals keyed by head constructor.
-
-Compilation scheme (checker):
-
-* the fixpoint becomes a Python function ``rec(size, top_size, *ins)``
-  that looks up candidate handlers in the dispatch table;
-* each handler becomes a flat function: ``testctor``/``testconst``/
-  ``testeq`` ops compile to early returns, ``.&&`` chains likewise,
-  and each ``bindEC`` producer op to a ``for`` loop;
-* one ``_inc`` flag per handler reproduces the nested-``bindEC`` fuel
-  accounting exactly (a branch that ends without success inside a loop
-  ``continue``\\ s; the handler returns ``Some false`` only when the
-  flag stayed clear).
-
-Enumerators compile to Python generator functions (``yield`` /
-``yield from``), generators to single-sample recursive functions with
-the weighted-backtrack loop at the top.  External instances are
-resolved at compile time through the registry (with the ``compiled``
-backend preferred, so whole dependency trees compile together).
-
-Profiling, observation, and budget hooks are threaded through the
-emitted ``rec``: one ``caches.get('derive_trace')`` plus one
-``caches.get('derive_observe')`` plus one
-``caches.get('derive_budget')`` per call and ``is not None`` guards —
-matching the interpreters' zero-overhead-off contract.  Dispatch
-entries carry the pre-merged ``(kind, rel, mode, rule)`` trace key and
-the handler's static charge cost; span begin/end sites and budget
-charge sites (one ``charge_entry`` per level, one ``charge(cost)`` per
-handler attempt, one ``charge(1)`` per producer-loop item) mirror
-:mod:`~repro.derive.exec_core` construct-by-construct, so mixed
-interpreted/compiled runs aggregate into one trace, produce identical
-span trees, and replay a deterministic fault schedule identically.
+Nothing in ``src/`` imports this module; do not "fix" or modernize it.
 """
+
 
 from __future__ import annotations
 
 from typing import Any
 
-from ..core.context import Context
-from ..core.errors import ReproError, UnknownNameError
-from ..core.types import Ty, TypeExpr, is_ground, mangle
-from ..core.values import Value
-from ..producers.combinators import _enum_values, _gen_value, slice_exhaustive
-from ..producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
-from ..producers.outcome import FAIL, OUT_OF_FUEL
-from . import specialize
-from .plan import (
+from repro.core.context import Context
+from repro.core.errors import ReproError, UnknownNameError
+from repro.core.types import Ty, TypeExpr, is_ground, mangle
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, _gen_value, slice_exhaustive
+from repro.producers.option_bool import NONE_OB, SOME_FALSE, SOME_TRUE, negate
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.derive import specialize
+from repro.derive.plan import (
     OP_CHECK,
     OP_EVAL,
     OP_EVALREL,
@@ -76,7 +41,7 @@ from .plan import (
     PlanHandler,
     lower_schedule,
 )
-from .schedule import Schedule
+from repro.derive.schedule import Schedule
 
 
 class _Emitter:
@@ -111,7 +76,7 @@ class _PlanCompiler:
             "OUT_OF_FUEL": OUT_OF_FUEL,
             "FAIL": FAIL,
             "_negate": negate,
-            "_ctx": ctx,
+            "_caches": ctx.caches,
         }
         self._const_cache: dict[Value, str] = {}
         self._fn_cache: dict[int, str] = {}
@@ -162,10 +127,9 @@ class _PlanCompiler:
         if self.fast:
             em.emit("_tr = _ob = _bud = None")
             return
-        em.emit("_caches = _ctx.caches")
         em.emit("_tr = _caches.get('derive_trace')")
         em.emit("_ob = _caches.get('derive_observe')")
-        em.emit("_bud = _ctx.caches.get('derive_budget')")
+        em.emit("_bud = _caches.get('derive_budget')")
 
     def _fail(self, em: _Emitter, cond: str, fail: str) -> None:
         em.emit(f"if {cond}:")
@@ -194,12 +158,12 @@ class _PlanCompiler:
     # -- instance resolution at compile time -----------------------------------------
 
     def checker_fn(self, rel: str):
-        from .instances import resolve_compiled_checker
+        from repro.derive.instances import resolve_compiled_checker
 
         return resolve_compiled_checker(self.ctx, rel)
 
     def producer_fn(self, rel: str, mode) -> Any:
-        from .instances import ENUM, GEN, resolve_compiled
+        from repro.derive.instances import ENUM, GEN, resolve_compiled
 
         kind = ENUM if self.kind in ("checker", "enum") else GEN
         return resolve_compiled(self.ctx, kind, rel, mode)
@@ -325,7 +289,7 @@ class _PlanCompiler:
             if self.fast:
                 em.emit("_bud = None")
             else:
-                em.emit("_bud = _ctx.caches.get('derive_budget')")
+                em.emit("_bud = _caches.get('derive_budget')")
         em.emit("_inc = False")
         self._emit_checker_ops(em, h.ops, 0, depth=0)
         em.emit("return NONE_OB if _inc else SOME_FALSE")
@@ -425,7 +389,7 @@ class _PlanCompiler:
                     em.emit(fail)
                 em.indent -= 1
                 if not self.fast:
-                    em.emit("_st = _ctx.caches.get('derive_stats')")
+                    em.emit("_st = _caches.get('derive_stats')")
                     em.emit("if _st is not None:")
                     em.indent += 1
                     em.emit("_st.functionalized_calls += 1")
@@ -492,7 +456,7 @@ class _PlanCompiler:
             if self.fast:
                 em.emit("_bud = None")
             else:
-                em.emit("_bud = _ctx.caches.get('derive_budget')")
+                em.emit("_bud = _caches.get('derive_budget')")
         self._emit_enum_ops(em, h, h.ops, 0, depth=0)
         em.indent -= 1
 
@@ -564,7 +528,7 @@ class _PlanCompiler:
                 em.emit(fail)
                 em.indent -= 1
                 if not self.fast:
-                    em.emit("_st = _ctx.caches.get('derive_stats')")
+                    em.emit("_st = _caches.get('derive_stats')")
                     em.emit("if _st is not None:")
                     em.indent += 1
                     em.emit("_st.functionalized_calls += 1")
@@ -1739,7 +1703,7 @@ class _SpecPlanCompiler(_PlanCompiler):
                     em.emit(fail)
                 em.indent -= 1
                 if not self.fast:
-                    em.emit("_st = _ctx.caches.get('derive_stats')")
+                    em.emit("_st = _caches.get('derive_stats')")
                     em.emit("if _st is not None:")
                     em.indent += 1
                     em.emit("_st.functionalized_calls += 1")
@@ -1840,7 +1804,7 @@ class _SpecPlanCompiler(_PlanCompiler):
         if cached is not False:
             return cached
         self._inline_cache[rel] = None
-        from .plan import functionalization_enabled
+        from repro.derive.plan import functionalization_enabled
 
         if rel == self.plan.rel or not functionalization_enabled(self.ctx):
             return None
@@ -1850,9 +1814,9 @@ class _SpecPlanCompiler(_PlanCompiler):
         pfast = getattr(fn, "__spec_fast__", None)
         if pplan is None or pinfo is None or pfast is None:
             return None
-        from ..analysis.determinacy import Verdict, relation_verdict
-        from ..core.errors import ReproError
-        from .modes import Mode
+        from repro.analysis.determinacy import Verdict, relation_verdict
+        from repro.core.errors import ReproError
+        from repro.derive.modes import Mode
 
         try:
             arity = self.ctx.relations.get(rel).arity
@@ -2220,14 +2184,13 @@ def compile_checker(ctx: Context, schedule: Schedule):
     else:
         unbox = specialize.entry_unboxers(info.entry_reprs)
         CoercionError = specialize.SpecCoercionError
+        caches = ctx.caches
 
         def _spec_rec():
             # The fast twin omits trace/observe/budget sites, which are
             # all no-ops when the caches are empty — select it exactly
             # then; any installed instrumentation keeps the full twin.
-            # ``ctx.caches`` resolves per call to the *current
-            # session's* state, so the selection is session-correct.
-            return fast if _uninstrumented(ctx.caches) else spec
+            return fast if _uninstrumented(caches) else spec
 
         if unbox is None:
 
@@ -2303,9 +2266,10 @@ def compile_enumerator(ctx: Context, schedule: Schedule):
 
     else:
         fast = _PlanCompiler(ctx, plan, "enum", fast=True).compile()
+        caches = ctx.caches
 
         def enum_st(fuel: int, ins: tuple):
-            if _uninstrumented(ctx.caches):
+            if _uninstrumented(caches):
                 return fast(fuel, fuel, *ins)
             return rec(fuel, fuel, *ins)
 
@@ -2322,13 +2286,13 @@ def _attach_eval_twin(ctx: Context, plan, enum_st) -> None:
     an enum plan whose determinacy verdict is functional or better.
     Fast twins consume it at OP_EVALREL sites; nothing else does, so a
     plan that cannot take one simply keeps the loop form."""
-    from .plan import functionalization_enabled
+    from repro.derive.plan import functionalization_enabled
 
     if not functionalization_enabled(ctx):
         return
     if not specialize.specialization_enabled(ctx):
         return  # no fast twins exist to call it
-    from ..analysis.determinacy import relation_verdict
+    from repro.analysis.determinacy import relation_verdict
 
     try:
         if not relation_verdict(ctx, plan.rel, plan.mode_str).at_most_one:
@@ -2359,9 +2323,10 @@ def compile_generator(ctx: Context, schedule: Schedule):
 
     else:
         fast = _PlanCompiler(ctx, plan, "gen", fast=True).compile()
+        caches = ctx.caches
 
         def gen_st(fuel: int, ins: tuple, rng):
-            if _uninstrumented(ctx.caches):
+            if _uninstrumented(caches):
                 return fast(fuel, fuel, ins, rng)
             return rec(fuel, fuel, ins, rng)
 

@@ -1,0 +1,654 @@
+"""Frozen PR-7 plan executor (benchmark baseline only).
+
+A verbatim copy (imports adjusted) of ``repro.derive.exec_core`` as of
+the commit *before* the session-scoped state refactor: runtime state
+(stats, trace, observe hooks, budget, memo tables) still lives in the
+one process-global ``ctx.caches`` dict, fetched once per fixpoint
+level.  ``benchmarks/bench_serve.py`` measures the live executors
+against this baseline to guard the refactor's single-caller overhead
+bound (<= 1.05x).
+
+Nothing in ``src/`` imports this module; do not "fix" or modernize it.
+"""
+
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+from repro.core.context import Context
+from repro.core.values import Value
+from repro.producers.combinators import _enum_values, _gen_value, slice_exhaustive
+from repro.producers.option_bool import (
+    NONE_OB,
+    SOME_FALSE,
+    SOME_TRUE,
+    OptionBool,
+    negate,
+)
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.derive.plan import (
+    OP_CHECK,
+    OP_EVAL,
+    OP_EVALREL,
+    OP_INSTANTIATE,
+    OP_PRODUCE,
+    OP_RECCHECK,
+    OP_TESTCONST,
+    OP_TESTCTOR,
+    OP_TESTEQ,
+    Plan,
+    PlanHandler,
+)
+from repro.derive.runtime import eval_expr, eval_exprs
+from repro.derive.stats import STATS_KEY
+from repro.derive.trace import BUDGET_KEY, OBSERVE_KEY, TRACE_KEY
+
+
+def _checker_instance(ctx: Context, op: tuple):
+    """The external checker instance for an ``OP_CHECK``."""
+    instance = ctx.instances.get(op[1])
+    if instance is None:
+        from repro.derive.instances import resolve_checker
+
+        instance = resolve_checker(ctx, op[4])
+    return instance
+
+
+def _enum_instance(ctx: Context, op: tuple):
+    """The external enumerator instance for an ``OP_PRODUCE``."""
+    instance = ctx.instances.get(op[1])
+    if instance is None:
+        from repro.derive.instances import ENUM, resolve
+
+        instance = resolve(ctx, ENUM, op[6], op[7])
+    return instance
+
+
+def _gen_instance(ctx: Context, op: tuple):
+    """The external generator instance for an ``OP_PRODUCE``."""
+    instance = ctx.instances.get(op[2])
+    if instance is None:
+        from repro.derive.instances import GEN, resolve
+
+        instance = resolve(ctx, GEN, op[6], op[7])
+    return instance
+
+
+# ---------------------------------------------------------------------------
+# Checker driver (option bool).
+# ---------------------------------------------------------------------------
+
+
+def run_checker(
+    ctx: Context,
+    plans: dict,
+    plan: Plan,
+    size: int,
+    top: int,
+    args: tuple[Value, ...],
+) -> OptionBool:
+    """One level of the derived checker fixpoint.
+
+    *plans* maps relation names to the plans sharing this fixpoint
+    (mutual-recursion groups; always contains *plan* itself).  At size
+    0 only base handlers run, and skipped recursive handlers surface as
+    a ``None`` option — the paper's Figure 1 structure.
+    """
+    caches = ctx.caches
+    stats = caches.get(STATS_KEY)
+    trace = caches.get(TRACE_KEY)
+    obs = caches.get(OBSERVE_KEY)
+    bud = caches.get(BUDGET_KEY)
+    if obs is not None:
+        span = obs.spans.begin("checker", plan.rel, plan.mode_str, size, top)
+    if bud is not None and bud.charge_entry(top - size):
+        bud.record_site("checker", plan.rel, plan.mode_str)
+        if obs is not None:
+            obs.end_checker(span, NONE_OB)
+        return NONE_OB
+    if size == 0:
+        candidates = plan.base_candidates(args)
+        saw_none = plan.has_recursive
+        rec_size = None
+    else:
+        candidates = plan.candidates(args)
+        saw_none = False
+        rec_size = size - 1
+    for h in candidates:
+        if bud is not None and bud.charge(h.cost):
+            bud.record_site("checker", plan.rel, plan.mode_str)
+            saw_none = True
+            break
+        if stats is not None:
+            stats.handler_attempts += 1
+        env = list(args)
+        if h.tail:
+            env += h.tail
+        result = _checker_ops(
+            ctx, plans, plan, h.ops, 0, env, rec_size, top, bud
+        )
+        if result is SOME_TRUE:
+            if trace is not None:
+                trace.record4(h.key_checker, True, False)
+            if obs is not None:
+                obs.end_checker(span, SOME_TRUE)
+            return SOME_TRUE
+        if stats is not None:
+            stats.backtracks += 1
+        if result is NONE_OB:
+            saw_none = True
+            if trace is not None:
+                trace.record4(h.key_checker, False, True)
+        elif trace is not None:
+            trace.record4(h.key_checker, False, False)
+    result = NONE_OB if saw_none else SOME_FALSE
+    if obs is not None:
+        obs.end_checker(span, result)
+    return result
+
+
+def _checker_ops(
+    ctx: Context,
+    plans: dict,
+    plan: Plan,
+    ops: tuple,
+    i: int,
+    env: list,
+    rec_size: "int | None",
+    top: int,
+    bud,
+) -> OptionBool:
+    """Run the handler suffix ``ops[i:]`` in the checker monad.
+
+    Returns the ``option bool`` of the whole suffix: ``.&&`` chains are
+    early returns, a producer op is ``bindEC`` (re-entering this
+    function per item — the enclosing call's loop supplies the
+    accounting that makes an incomplete search answer ``None``).
+    """
+    n = len(ops)
+    while i < n:
+        op = ops[i]
+        tag = op[0]
+        if tag == OP_EVAL:
+            env[op[1]] = eval_expr(op[2], env)
+        elif tag == OP_TESTCTOR:
+            value = env[op[1]]
+            if value.ctor != op[2]:
+                return SOME_FALSE
+            vargs = value.args
+            for k, dst in enumerate(op[3]):
+                env[dst] = vargs[k]
+        elif tag == OP_TESTEQ:
+            if (eval_expr(op[1], env) == eval_expr(op[2], env)) == op[3]:
+                return SOME_FALSE
+        elif tag == OP_TESTCONST:
+            if env[op[1]] != op[2]:
+                return SOME_FALSE
+        elif tag == OP_CHECK:
+            result = _checker_instance(ctx, op).fn(
+                top, eval_exprs(op[2], env)
+            )
+            if op[3]:
+                result = negate(result)
+            if result is not SOME_TRUE:
+                # `.&&`: false and out-of-fuel both end the chain.
+                return result
+        elif tag == OP_RECCHECK:
+            target = plans[op[2]] if op[2] is not None else plan
+            result = run_checker(
+                ctx, plans, target, rec_size, top, eval_exprs(op[1], env)
+            )
+            if result is not SOME_TRUE:
+                return result
+        elif tag == OP_EVALREL:
+            # Functionalized premise: at most one output tuple exists
+            # (repro.analysis.determinacy), so commit to the first
+            # definite item and continue straightline — a later test
+            # failing is a definite handler failure, not a backtrack
+            # point, and markers seen before the answer are moot once
+            # it is found.
+            items = _enum_instance(ctx, op).fn(top, eval_exprs(op[3], env))
+            found = None
+            incomplete = False
+            for item in items:
+                if bud is not None and bud.charge(1):
+                    incomplete = True
+                    break
+                if item is OUT_OF_FUEL or item is FAIL:
+                    incomplete = True
+                    continue
+                found = item
+                break
+            if found is None:
+                return NONE_OB if incomplete else SOME_FALSE
+            st = ctx.caches.get(STATS_KEY)
+            if st is not None:
+                st.functionalized_calls += 1
+            for k, dst in enumerate(op[4]):
+                env[dst] = found[k]
+        elif tag == OP_PRODUCE:
+            # bindEC over the (external) enumeration: first witness
+            # accepted by the continuation wins; an incomplete search
+            # (fuel marker or a None continuation) taints the failure.
+            items = _enum_instance(ctx, op).fn(top, eval_exprs(op[3], env))
+            dsts = op[4]
+            incomplete = False
+            for item in items:
+                if bud is not None and bud.charge(1):
+                    incomplete = True
+                    break
+                if item is OUT_OF_FUEL or item is FAIL:
+                    incomplete = True
+                    continue
+                for k, dst in enumerate(dsts):
+                    env[dst] = item[k]
+                result = _checker_ops(
+                    ctx, plans, plan, ops, i + 1, env, rec_size, top, bud
+                )
+                if result is SOME_TRUE:
+                    return SOME_TRUE
+                if result is NONE_OB:
+                    incomplete = True
+            return NONE_OB if incomplete else SOME_FALSE
+        else:  # OP_INSTANTIATE
+            dst, ty = op[1], op[2]
+            incomplete = False
+            for value in _enum_values(ctx, ty, top):
+                if bud is not None and bud.charge(1):
+                    incomplete = True
+                    break
+                env[dst] = value
+                result = _checker_ops(
+                    ctx, plans, plan, ops, i + 1, env, rec_size, top, bud
+                )
+                if result is SOME_TRUE:
+                    return SOME_TRUE
+                if result is NONE_OB:
+                    incomplete = True
+            if not slice_exhaustive(ctx, ty, top):
+                incomplete = True
+            return NONE_OB if incomplete else SOME_FALSE
+        i += 1
+    return SOME_TRUE
+
+
+def run_checker_batch(
+    ctx: Context,
+    plans: dict,
+    plan: Plan,
+    fuel: int,
+    argses,
+) -> list:
+    """Check a vector of argument tuples at one fuel.
+
+    The interpreter twin of the compiled backend's ``__batch__`` entry
+    point: semantically exactly one top-level :func:`run_checker` call
+    per vector element (``size == top_size == fuel``), so budgets,
+    tracing, and observation charge as if the caller had looped — the
+    batched form only amortizes the per-call dispatch in the compiled
+    backend, never changes semantics.
+    """
+    return [
+        run_checker(ctx, plans, plan, fuel, fuel, args) for args in argses
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Enumerator driver (E (option A)).
+# ---------------------------------------------------------------------------
+
+
+def run_enum(
+    ctx: Context,
+    plan: Plan,
+    size: int,
+    top: int,
+    ins: tuple[Value, ...],
+) -> Iterator[Any]:
+    """One level of the derived enumerator fixpoint.
+
+    Yields output tuples and at most one trailing ``OUT_OF_FUEL``
+    marker: values stream through unchanged while any number of inner
+    markers collapse (they carry no information beyond existence).
+
+    The observation span opens at the first ``next`` (generator body
+    start) and closes on exhaustion; a consumer that abandons the
+    enumeration mid-way leaves the span open, to be force-closed as
+    ``abandoned`` when its parent span ends.
+    """
+    obs = ctx.caches.get(OBSERVE_KEY)
+    saw_fuel = False
+    if obs is None:
+        for item in _enum_level(ctx, plan, size, top, ins):
+            if item is OUT_OF_FUEL:
+                saw_fuel = True
+            else:
+                yield item
+        if saw_fuel:
+            yield OUT_OF_FUEL
+        return
+    span = obs.spans.begin("enum", plan.rel, plan.mode_str, size, top)
+    values = 0
+    for item in _enum_level(ctx, plan, size, top, ins):
+        if item is OUT_OF_FUEL:
+            saw_fuel = True
+        else:
+            values += 1
+            yield item
+    if saw_fuel:
+        yield OUT_OF_FUEL
+    obs.end_enum(span, values, saw_fuel)
+
+
+def _enum_level(
+    ctx: Context,
+    plan: Plan,
+    size: int,
+    top: int,
+    ins: tuple[Value, ...],
+) -> Iterator[Any]:
+    caches = ctx.caches
+    stats = caches.get(STATS_KEY)
+    trace = caches.get(TRACE_KEY)
+    bud = caches.get(BUDGET_KEY)
+    if bud is not None and bud.charge_entry(top - size):
+        bud.record_site("enum", plan.rel, plan.mode_str)
+        yield OUT_OF_FUEL
+        return
+    if size == 0:
+        candidates = plan.base_candidates(ins)
+        rec_size = None
+    else:
+        candidates = plan.candidates(ins)
+        rec_size = size - 1
+    for h in candidates:
+        if bud is not None and bud.charge(h.cost):
+            bud.record_site("enum", plan.rel, plan.mode_str)
+            yield OUT_OF_FUEL
+            return
+        if stats is not None:
+            stats.handler_attempts += 1
+        env = list(ins)
+        if h.tail:
+            env += h.tail
+        if trace is None:
+            yield from _enum_ops(
+                ctx, plan, h, h.ops, 0, env, rec_size, top, bud
+            )
+        else:
+            saw_value = saw_marker = False
+            for item in _enum_ops(
+                ctx, plan, h, h.ops, 0, env, rec_size, top, bud
+            ):
+                if item is OUT_OF_FUEL:
+                    saw_marker = True
+                else:
+                    saw_value = True
+                yield item
+            trace.record4(h.key_enum, saw_value, saw_marker)
+    if size == 0 and plan.has_recursive:
+        yield OUT_OF_FUEL
+
+
+def _enum_ops(
+    ctx: Context,
+    plan: Plan,
+    h: PlanHandler,
+    ops: tuple,
+    i: int,
+    env: list,
+    rec_size: "int | None",
+    top: int,
+    bud,
+) -> Iterator[Any]:
+    """Run the handler suffix ``ops[i:]`` in the enumerator monad:
+    failed tests kill the branch, fuel surfaces as markers, producer
+    ops become nested loops, and reaching the end yields the outputs."""
+    n = len(ops)
+    while i < n:
+        op = ops[i]
+        tag = op[0]
+        if tag == OP_EVAL:
+            env[op[1]] = eval_expr(op[2], env)
+        elif tag == OP_TESTCTOR:
+            value = env[op[1]]
+            if value.ctor != op[2]:
+                return
+            vargs = value.args
+            for k, dst in enumerate(op[3]):
+                env[dst] = vargs[k]
+        elif tag == OP_TESTEQ:
+            if (eval_expr(op[1], env) == eval_expr(op[2], env)) == op[3]:
+                return
+        elif tag == OP_TESTCONST:
+            if env[op[1]] != op[2]:
+                return
+        elif tag == OP_CHECK:
+            result = _checker_instance(ctx, op).fn(
+                top, eval_exprs(op[2], env)
+            )
+            if op[3]:
+                result = negate(result)
+            if result is not SOME_TRUE:
+                if result is NONE_OB:
+                    yield OUT_OF_FUEL  # fuelE
+                return  # failE: branch dies
+        elif tag == OP_RECCHECK:
+            raise AssertionError(
+                "producer schedules never contain recursive checker calls"
+            )
+        elif tag == OP_EVALREL:
+            # Functionalized premise (at most one answer): commit to
+            # the first definite item and continue straightline — no
+            # nested loop, and no markers re-yielded past the answer
+            # (nothing else exists to be found behind them).
+            items = _enum_instance(ctx, op).fn(top, eval_exprs(op[3], env))
+            found = None
+            for item in items:
+                if bud is not None and bud.charge(1):
+                    yield OUT_OF_FUEL
+                    return
+                if item is OUT_OF_FUEL:
+                    yield OUT_OF_FUEL
+                    continue
+                found = item
+                break
+            if found is None:
+                return
+            st = ctx.caches.get(STATS_KEY)
+            if st is not None:
+                st.functionalized_calls += 1
+            for k, dst in enumerate(op[4]):
+                env[dst] = found[k]
+        elif tag == OP_PRODUCE:
+            ins = eval_exprs(op[3], env)
+            if op[5]:  # recursive self-call, one level down
+                items = run_enum(ctx, plan, rec_size, top, ins)
+            else:
+                items = _enum_instance(ctx, op).fn(top, ins)
+            dsts = op[4]
+            for item in items:
+                if bud is not None and bud.charge(1):
+                    yield OUT_OF_FUEL
+                    return
+                if item is OUT_OF_FUEL:
+                    yield OUT_OF_FUEL
+                    continue
+                for k, dst in enumerate(dsts):
+                    env[dst] = item[k]
+                yield from _enum_ops(
+                    ctx, plan, h, ops, i + 1, env, rec_size, top, bud
+                )
+            return
+        else:  # OP_INSTANTIATE
+            dst, ty = op[1], op[2]
+            for value in _enum_values(ctx, ty, top):
+                if bud is not None and bud.charge(1):
+                    yield OUT_OF_FUEL
+                    return
+                env[dst] = value
+                yield from _enum_ops(
+                    ctx, plan, h, ops, i + 1, env, rec_size, top, bud
+                )
+            if not slice_exhaustive(ctx, ty, top):
+                yield OUT_OF_FUEL
+            return
+        i += 1
+    yield eval_exprs(h.out_exprs, env)
+
+
+# ---------------------------------------------------------------------------
+# Generator driver (G (option A)).
+# ---------------------------------------------------------------------------
+
+
+def run_gen(
+    ctx: Context,
+    plan: Plan,
+    size: int,
+    top: int,
+    ins: tuple[Value, ...],
+    rng: random.Random,
+    retries: int = 2,
+) -> Any:
+    """One level of the derived generator fixpoint: QuickChick-style
+    weighted backtracking.  Recursive handlers get weight proportional
+    to the remaining size (deep structures stay likely at large sizes,
+    recursion tapers off near 0); each candidate is retried at most
+    *retries* times before being discarded."""
+    caches = ctx.caches
+    stats = caches.get(STATS_KEY)
+    trace = caches.get(TRACE_KEY)
+    obs = caches.get(OBSERVE_KEY)
+    bud = caches.get(BUDGET_KEY)
+    if obs is not None:
+        span = obs.spans.begin("gen", plan.rel, plan.mode_str, size, top)
+    if bud is not None and bud.charge_entry(top - size):
+        bud.record_site("gen", plan.rel, plan.mode_str)
+        if obs is not None:
+            obs.end_gen(span, OUT_OF_FUEL, 0)
+        return OUT_OF_FUEL
+    attempts = 0
+    if size == 0:
+        candidates = plan.base_candidates(ins)
+        rec_size = None
+        # Skipped recursive handlers mean a FAIL here is not
+        # definitive — report fuel exhaustion instead.
+        saw_fuel = plan.has_recursive
+    else:
+        candidates = plan.candidates(ins)
+        rec_size = size - 1
+        saw_fuel = False
+    remaining = [
+        [h, retries, (size if h.recursive else 1) or 1] for h in candidates
+    ]
+    while remaining:
+        total = 0
+        for entry in remaining:
+            total += entry[2]
+        pick = rng.randrange(total)
+        entry = remaining[0]
+        for candidate in remaining:
+            if pick < candidate[2]:
+                entry = candidate
+                break
+            pick -= candidate[2]
+        h = entry[0]
+        if bud is not None and bud.charge(h.cost):
+            bud.record_site("gen", plan.rel, plan.mode_str)
+            saw_fuel = True
+            break
+        if stats is not None:
+            stats.handler_attempts += 1
+        attempts += 1
+        result = _gen_handler(ctx, plan, h, rec_size, top, ins, rng, retries)
+        if result is not FAIL and result is not OUT_OF_FUEL:
+            if trace is not None:
+                trace.record4(h.key_gen, True, False)
+            if obs is not None:
+                obs.end_gen(span, result, attempts)
+            return result
+        if stats is not None:
+            stats.backtracks += 1
+        if result is OUT_OF_FUEL:
+            saw_fuel = True
+            if trace is not None:
+                trace.record4(h.key_gen, False, True)
+        elif trace is not None:
+            trace.record4(h.key_gen, False, False)
+        entry[1] -= 1
+        if entry[1] <= 0:
+            remaining.remove(entry)
+    if stats is not None and saw_fuel:
+        stats.fuel_exhaustions += 1
+    result = OUT_OF_FUEL if saw_fuel else FAIL
+    if obs is not None:
+        obs.end_gen(span, result, attempts)
+    return result
+
+
+def _gen_handler(
+    ctx: Context,
+    plan: Plan,
+    h: PlanHandler,
+    rec_size: "int | None",
+    top: int,
+    ins: tuple[Value, ...],
+    rng: random.Random,
+    retries: int,
+) -> Any:
+    """One sampled path through a handler: every op is straightline in
+    the generator monad (producers draw a single sample)."""
+    env = list(ins)
+    if h.tail:
+        env += h.tail
+    for op in h.ops:
+        tag = op[0]
+        if tag == OP_EVAL:
+            env[op[1]] = eval_expr(op[2], env)
+        elif tag == OP_TESTCTOR:
+            value = env[op[1]]
+            if value.ctor != op[2]:
+                return FAIL
+            vargs = value.args
+            for k, dst in enumerate(op[3]):
+                env[dst] = vargs[k]
+        elif tag == OP_TESTEQ:
+            if (eval_expr(op[1], env) == eval_expr(op[2], env)) == op[3]:
+                return FAIL
+        elif tag == OP_TESTCONST:
+            if env[op[1]] != op[2]:
+                return FAIL
+        elif tag == OP_CHECK:
+            result = _checker_instance(ctx, op).fn(
+                top, eval_exprs(op[2], env)
+            )
+            if op[3]:
+                result = negate(result)
+            if result is not SOME_TRUE:
+                return OUT_OF_FUEL if result is NONE_OB else FAIL
+        elif tag == OP_RECCHECK:
+            raise AssertionError(
+                "producer schedules never contain recursive checker calls"
+            )
+        elif tag == OP_PRODUCE or tag == OP_EVALREL:
+            # The generator monad draws a single sample per producer op
+            # already, so a functionalized premise behaves identically
+            # (same RNG stream with the pass on or off).
+            ins2 = eval_exprs(op[3], env)
+            if op[5]:  # recursive self-call, one level down
+                produced = run_gen(ctx, plan, rec_size, top, ins2, rng, retries)
+            else:
+                produced = _gen_instance(ctx, op).fn(top, ins2, rng)
+            if produced is FAIL or produced is OUT_OF_FUEL:
+                return produced
+            for k, dst in enumerate(op[4]):
+                env[dst] = produced[k]
+        else:  # OP_INSTANTIATE
+            value = _gen_value(ctx, op[2], top, rng)
+            if value is FAIL or value is OUT_OF_FUEL:
+                return value
+            env[op[1]] = value
+    return eval_exprs(h.out_exprs, env)

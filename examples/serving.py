@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Sessions, parallel campaigns, and the query engine (`repro.serve`).
+
+Everything derived so far assumed one caller.  This walkthrough shows
+the serving layer that lifts that:
+
+1. bind two `Session`s on one shared context and watch their runtime
+   state (stats, memo tables, budgets) stay disjoint while derived
+   instances stay shared;
+2. run a `quick_check` campaign sharded across a process pool with
+   `parallel_quick_check`, and verify the merged `CheckReport` equals
+   the sequential run of the same seed partition — parallelism as a
+   pure throughput knob;
+3. serve a mixed check/enumerate/generate workload through an
+   `Engine`: sessioned worker threads, batched `check_batch` dispatch,
+   and per-query budgets that come back as *structured give-ups*
+   (reason + `Exhausted` diagnosis), never errors.
+
+Run:  python examples/serving.py [--workers N] [--tests N]
+"""
+
+import argparse
+import os
+
+from repro.core import parse_declarations
+from repro.core.session import use_session
+from repro.core.values import Value, from_int, to_int
+from repro.derive.instances import CHECKER, resolve
+from repro.derive.memo import enable_memoization
+from repro.derive.modes import Mode
+from repro.derive.stats import stats_of
+from repro.quickchick import classify, for_all
+from repro.resilience import parallel_quick_check
+from repro.serve import CheckQuery, Engine, EnumQuery, GenQuery
+from repro.stdlib import standard_context
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--workers", type=int,
+                    default=min(os.cpu_count() or 1, 4))
+parser.add_argument("--tests", type=int, default=400,
+                    help="campaign size for the parallel quick_check")
+args = parser.parse_args()
+
+ctx = standard_context()
+parse_declarations(ctx, """
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive add : nat -> nat -> nat -> Prop :=
+| add_O : forall m, add O m m
+| add_S : forall n m p, add n m p -> add (S n) m (S p).
+""")
+check_le = resolve(ctx, CHECKER, "le", Mode.checker(2)).fn
+
+
+def nat(n):
+    v = Value("O", ())
+    for _ in range(n):
+        v = Value("S", (v,))
+    return v
+
+
+# -- 1. sessions: disjoint runtime state, shared artifacts -------------------
+
+print("== sessions ==")
+with use_session(ctx, ctx.new_session("alice")):
+    enable_memoization(ctx)
+    for a in range(8):
+        check_le(30, (nat(a), nat(a + 1)))
+    alice_calls = stats_of(ctx).checker_calls
+with use_session(ctx, ctx.new_session("bob")):
+    enable_memoization(ctx)
+    bob_calls = stats_of(ctx).checker_calls
+print(f"alice ran {alice_calls} checker calls; bob, on the same context,")
+print(f"sees {bob_calls} — sessions own stats/memo/budget, the context")
+print("owns the derived instances both reuse.\n")
+
+
+# -- 2. parallel campaign, deterministic merge -------------------------------
+
+print("== parallel campaign ==")
+
+
+def gen(size, rng):
+    a = rng.randint(0, size)
+    return (a, a + rng.randint(0, size))
+
+
+prop = for_all(
+    gen,
+    classify(lambda p: p[0] == p[1], "reflexive",
+             lambda p: check_le(30, (nat(p[0]), nat(p[1])))),
+    name="le_holds",
+)
+
+seq = parallel_quick_check(prop, args.tests, workers=args.workers,
+                           seed=7, backend="inline", ctx=ctx)
+par = parallel_quick_check(prop, args.tests, workers=args.workers,
+                           seed=7, backend="fork", ctx=ctx)
+print(f"{args.tests} tests over {args.workers} workers:")
+print(f"  fork:   {par.tests_run} run, labels {par.labels}, "
+      f"{par.tests_per_second:.0f} tests/s")
+print(f"  inline: {seq.tests_run} run, labels {seq.labels}")
+assert (par.tests_run, par.discards, par.labels, par.shard_seeds) == \
+       (seq.tests_run, seq.discards, seq.labels, seq.shard_seeds)
+print(f"merged report == sequential reference; replay via shard_seeds="
+      f"{par.shard_seeds}\n")
+
+
+# -- 3. the query engine -----------------------------------------------------
+
+print("== query engine ==")
+queries = (
+    [CheckQuery("le", (nat(a), nat(b)), fuel=32)
+     for a in range(5) for b in range(5)]
+    + [EnumQuery("add", "ooi", (nat(6),), fuel=10),
+       GenQuery("le", "oi", (nat(9),), fuel=16, seed=3),
+       # a deliberately starved query: structured give-up, not an error
+       CheckQuery("le", (nat(20), nat(28)), fuel=64, max_ops=10)]
+)
+with Engine(ctx, workers=args.workers, memoize=True) as eng:
+    eng.prepare(queries)
+    results = eng.run_batch(queries)
+    stats = eng.stats()
+
+ok = [r for r in results if r.ok]
+gave_up = [r for r in results if r.status == "gave_up"]
+print(f"{len(results)} queries: {len(ok)} ok, {len(gave_up)} gave up, "
+      f"{sum(w['batched'] for w in stats['per_worker'])} served batched")
+pairs = results[25]
+print(f"enum add[ooi] 6 -> "
+      f"{[(to_int(a), to_int(b)) for a, b in pairs.value]} "
+      f"(complete={pairs.complete})")
+g = results[26]
+print(f"gen le[oi] 9  -> {to_int(g.value[0])} (seeded, replayable)")
+starved = results[-1]
+print(f"budgeted check -> status={starved.status}, "
+      f"reason={starved.give_up.reason}, "
+      f"ops={starved.give_up.exhausted.ops}")
+assert starved.status == "gave_up" and starved.give_up.reason == "ops"
+assert all(r.status != "error" for r in results)
+print("\nSame corpus from the command line: python -m repro.serve --demo")

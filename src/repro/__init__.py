@@ -66,9 +66,18 @@ from .derive import (
     profile,
     trace_of,
 )
+from .core.session import Session, use_session
 from .observe import Observation, RuleCoverage, coverage_diff, observe
-from .quickchick import classify, collect, for_all, quick_check
-from .resilience import Budget, Exhausted, FaultPlan, budget_scope
+from .quickchick import CheckReport, classify, collect, for_all, quick_check
+from .resilience import (
+    Budget,
+    Exhausted,
+    FaultPlan,
+    budget_scope,
+    parallel_quick_check,
+    plan_shards,
+)
+from .serve import CheckQuery, Engine, EnumQuery, GenQuery
 from .semantics import derivable, search_derivation
 from .stdlib import standard_context
 from .validation import (
@@ -83,7 +92,13 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisError",
     "Budget",
+    "CheckQuery",
+    "CheckReport",
     "Context",
+    "Engine",
+    "EnumQuery",
+    "GenQuery",
+    "Session",
     "DeriveStats",
     "DeriveTrace",
     "Exhausted",
@@ -120,6 +135,9 @@ __all__ = [
     "for_all",
     "memoization_enabled",
     "observe",
+    "parallel_quick_check",
+    "plan_shards",
+    "use_session",
     "from_bool",
     "from_int",
     "from_list",

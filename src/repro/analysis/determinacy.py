@@ -67,7 +67,7 @@ from ..derive.schedule import (
 )
 from ..derive.scheduler import build_schedule
 
-#: ``ctx.caches`` slot holding the ``{(rel, mode_str): Verdict}`` memo.
+#: ``ctx.artifacts`` slot holding the ``{(rel, mode_str): Verdict}`` memo.
 DETERMINACY_KEY = "determinacy"
 
 
@@ -287,7 +287,7 @@ def _verdict(
     pending: dict,
     used_pending: set,
 ) -> Verdict:
-    cache = ctx.caches.setdefault(DETERMINACY_KEY, {})
+    cache = ctx.artifacts.setdefault(DETERMINACY_KEY, {})
     key = (rel_name, str(mode))
     if key in cache:
         return cache[key]

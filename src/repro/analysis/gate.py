@@ -8,7 +8,7 @@ failures that used to surface from deep inside scheduling.
 
 Cost discipline:
 
-* reports are cached per ``(rel, mode, kind)`` in ``ctx.caches``, so
+* reports are cached per ``(rel, mode, kind)`` in ``ctx.artifacts``, so
   repeated derivations analyze once (and the schedules the analyzer
   builds are the ones derivation reuses);
 * when an instance is already registered for the request, nothing is
@@ -31,21 +31,21 @@ _REPORTS_KEY = "analysis_reports"
 
 def disable_analysis(ctx: Context) -> None:
     """Skip the static-analysis gate for *ctx* (speed opt-out)."""
-    ctx.caches[_DISABLED_KEY] = True
+    ctx.artifacts[_DISABLED_KEY] = True
 
 
 def enable_analysis(ctx: Context) -> None:
     """Re-enable the static-analysis gate for *ctx* (the default)."""
-    ctx.caches.pop(_DISABLED_KEY, None)
+    ctx.artifacts.pop(_DISABLED_KEY, None)
 
 
 def analysis_enabled(ctx: Context) -> bool:
-    return not ctx.caches.get(_DISABLED_KEY)
+    return not ctx.artifacts.get(_DISABLED_KEY)
 
 
 def cached_report(ctx: Context, rel: str, mode: Mode, kind: str):
     """The memoized gate report for ``(rel, mode, kind)``, or None."""
-    return ctx.caches.get(_REPORTS_KEY, {}).get((rel, str(mode), kind))
+    return ctx.artifacts.get(_REPORTS_KEY, {}).get((rel, str(mode), kind))
 
 
 def check_before_derive(
@@ -53,11 +53,11 @@ def check_before_derive(
 ) -> None:
     """Raise :class:`AnalysisError` if the linter finds errors for
     ``(rel, mode)``; no-op when gating is off or *gate* is False."""
-    if not gate or ctx.caches.get(_DISABLED_KEY):
+    if not gate or ctx.artifacts.get(_DISABLED_KEY):
         return
     if lookup(ctx, kind, rel, mode) is not None:
         return  # already registered: nothing will be derived
-    reports = ctx.caches.setdefault(_REPORTS_KEY, {})
+    reports = ctx.artifacts.setdefault(_REPORTS_KEY, {})
     key = (rel, str(mode), kind)
     report = reports.get(key)
     if report is None:

@@ -10,12 +10,14 @@ produced by :func:`~repro.stdlib.standard_context`.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable
 
 from .datatypes import DataType, DataTypeRegistry
 from .errors import DeclarationError
 from .functions import FunctionDecl, FunctionRegistry
 from .relations import Relation, RelationRegistry
+from .session import Session, current_session, new_session_var, use_session
 from .types import TypeExpr
 
 
@@ -28,8 +30,46 @@ class Context:
         self.relations = RelationRegistry()
         # (key -> instance); owned by repro.derive.instances.
         self.instances: dict[Any, Any] = {}
-        # Caches keyed by arbitrary tokens (schedules, enum tables, ...).
-        self.caches: dict[Any, Any] = {}
+        # Shared derived artifacts (schedules, lowered plans, analysis
+        # reports, determinacy verdicts, ...): pure functions of the
+        # declarations, computed once and shared by every session.
+        self.artifacts: dict[Any, Any] = {}
+        # Serializes first-use derivation on a shared context
+        # (repro.derive.instances.resolve); lookups stay lock-free.
+        self._derive_lock = threading.RLock()
+        # Session routing: ``caches`` resolves to the current session's
+        # state (see repro.core.session).  The default ambient session
+        # keeps single-caller code working unchanged.
+        self._default_session = Session(self, name="default")
+        self._session_var = new_session_var()
+
+    # -- session-scoped runtime state ----------------------------------------
+
+    @property
+    def caches(self) -> dict[Any, Any]:
+        """The *current session's* runtime-state dict (memo tables,
+        stats, budget, trace/observe hooks, resolve stack).
+
+        Mutable per-run state only — derived artifacts live in
+        :attr:`artifacts`.  Which session is current is a
+        per-thread/per-task binding; see :mod:`repro.core.session`.
+        """
+        s = self._session_var.get()
+        return (self._default_session if s is None else s).state
+
+    @property
+    def session(self) -> Session:
+        """The current :class:`~repro.core.session.Session`."""
+        return current_session(self)
+
+    def new_session(self, name: "str | None" = None) -> Session:
+        """A fresh, inactive session on this context (activate it with
+        :func:`~repro.core.session.use_session`)."""
+        return Session(self, name)
+
+    def use_session(self, session: "Session | None" = None):
+        """Shorthand for :func:`repro.core.session.use_session`."""
+        return use_session(self, session)
 
     # -- declaration helpers -------------------------------------------------
 
@@ -71,9 +111,12 @@ class Context:
         """A shallow-ish copy sharing no registries with the original.
 
         Declarations present at fork time are visible in the copy;
-        later declarations on either side are independent.  Instance
-        and cache tables start empty in the copy (instances close over
-        the context, so sharing them would be unsound).
+        later declarations on either side are independent.  Instance,
+        artifact, and session state start empty in the copy (instances
+        close over the context, so sharing them would be unsound).
+        This is the cheap full-isolation path for per-worker contexts:
+        forked workers share *nothing* mutable, so they need no
+        sessions or locks between each other.
         """
         child = Context()
         for dt in self.datatypes:

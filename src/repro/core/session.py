@@ -1,0 +1,140 @@
+"""Session-scoped execution state: who owns the mutable half of a run.
+
+A :class:`~repro.core.context.Context` holds two kinds of state that
+``ctx.caches`` used to smuggle in one process-global dict:
+
+* **Derived artifacts** — schedules, lowered plans, analysis reports,
+  determinacy verdicts.  These are pure functions of the declarations:
+  immutable once computed, safe (and profitable) to share between every
+  caller of the context.  They now live in ``ctx.artifacts``.
+
+* **Runtime state** — memo tables, :class:`~repro.derive.stats.
+  DeriveStats`, the active budget, trace/observe hooks, and the
+  ``resolve_stack`` cycle-detection list.  These are mutable per *run*:
+  two concurrent callers sharing them corrupt each other's budgets,
+  stats, and cycle detection.  They now live in a :class:`Session`.
+
+``ctx.caches`` is still the executors' single window onto runtime
+state, but it is a property now: it resolves to the **current
+session's** state dict.  Which session is current is tracked with a
+:class:`contextvars.ContextVar`, so the routing is correct under both
+threads (each thread sees its own binding) and asyncio tasks (each
+task inherits a copy of the caller's binding).  When no session has
+been activated, a per-context **default ambient session** is used —
+this is what keeps every pre-existing single-caller call site working
+unchanged: ``profile(ctx)``, ``observe(ctx)``, ``install_budget``,
+``enable_memoization`` all read and write ``ctx.caches`` exactly as
+before, they just land in the default session's dict.
+
+Concurrency model:
+
+* One session must not be driven from two threads at once (budgets and
+  stats are plain counters, not atomics).  One thread per session — or
+  :func:`use_session` around each task — is the contract.
+* Derivation on a *shared* context is serialized by
+  ``ctx._derive_lock`` (see ``repro.derive.instances.resolve``), so
+  concurrent first-use of the same relation computes the instance
+  once.  Already-resolved lookups stay lock-free.
+* ``Context.fork()`` remains the cheap full-isolation path: forked
+  workers share no registries, artifacts, or sessions at all.
+
+Usage::
+
+    s1, s2 = Session(ctx, name="a"), Session(ctx, name="b")
+    with use_session(ctx, s1):
+        checker.decide(args)      # stats/memo/budget land in s1
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import Context
+
+
+class Session:
+    """One caller's mutable runtime state on a shared context.
+
+    The ``state`` dict is keyed by the same string tokens the executors
+    always used (``derive_stats``, ``derive_budget``, ``memo_checker``,
+    ``resolve_stack``, ...), so everything written against
+    ``ctx.caches`` works per-session without modification.
+    """
+
+    __slots__ = ("ctx", "name", "state")
+
+    _counter = 0
+
+    def __init__(self, ctx: "Context", name: "str | None" = None) -> None:
+        self.ctx = ctx
+        if name is None:
+            Session._counter += 1
+            name = f"session-{Session._counter}"
+        self.name = name
+        self.state: dict[Any, Any] = {}
+
+    def reset(self) -> None:
+        """Drop all runtime state (memo tables, stats, budget, hooks)."""
+        self.state.clear()
+
+    def __repr__(self) -> str:
+        return f"Session({self.name!r}, {len(self.state)} keys)"
+
+
+def current_session(ctx: "Context") -> Session:
+    """The session ``ctx.caches`` currently resolves to (the default
+    ambient session unless a :func:`use_session` block or an
+    :func:`activate_session` call is in effect)."""
+    s = ctx._session_var.get()
+    return ctx._default_session if s is None else s
+
+
+def activate_session(ctx: "Context", session: Session):
+    """Bind *session* as current for this thread/task until the
+    returned token is passed to :func:`deactivate_session`.
+
+    This is the non-scoped variant :func:`use_session` wraps; worker
+    threads that live exactly as long as their session (e.g.
+    ``repro.serve`` workers) bind once at thread start instead of
+    nesting a ``with`` around every query.
+    """
+    if session.ctx is not ctx:
+        raise ValueError(
+            f"session {session.name!r} belongs to a different context"
+        )
+    return ctx._session_var.set(session)
+
+
+def deactivate_session(ctx: "Context", token) -> None:
+    """Undo :func:`activate_session` (restores the previous binding)."""
+    ctx._session_var.reset(token)
+
+
+@contextmanager
+def use_session(
+    ctx: "Context", session: "Session | None" = None
+) -> Iterator[Session]:
+    """Route ``ctx.caches`` to *session* for the dynamic extent of the
+    ``with`` block; yields the session (a fresh one if none given).
+
+    Bindings nest: the previous session is restored on exit.  The
+    binding is per-thread/per-task (``contextvars``), so concurrent
+    workers each see only their own session.
+    """
+    if session is None:
+        session = Session(ctx)
+    token = activate_session(ctx, session)
+    try:
+        yield session
+    finally:
+        deactivate_session(ctx, token)
+
+
+def new_session_var() -> "contextvars.ContextVar[Session | None]":
+    """A fresh per-context session variable (factory used by
+    ``Context.__init__``; one variable per context keeps two contexts'
+    bindings independent even inside one thread)."""
+    return contextvars.ContextVar("repro_session", default=None)

@@ -41,7 +41,7 @@ def _gate(ctx: Context, rel: str, mode: Mode, kind: str, analysis: bool) -> None
     # The static-analysis gate (repro.analysis.gate).  The disabled
     # check lives here so opting out costs one dict lookup — the
     # analyzer module is not even imported.
-    if not analysis or ctx.caches.get("analysis_disabled"):
+    if not analysis or ctx.artifacts.get("analysis_disabled"):
         return
     from ..analysis.gate import check_before_derive
 

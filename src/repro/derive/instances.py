@@ -58,19 +58,20 @@ def _key(kind: str, rel: str, mode: Mode, backend: str = "interp") -> tuple:
 
 def register(ctx: Context, instance: Instance, replace: bool = False) -> Instance:
     key = _key(instance.kind, instance.rel, instance.mode)
-    if key in ctx.instances and not replace:
-        raise DerivationError(f"instance already registered for {key}")
-    if replace:
-        # Purge *every* backend's entry for this (kind, rel, mode) —
-        # a previously compiled instance would otherwise keep serving
-        # the replaced implementation — and drop memoized answers,
-        # which may depend on the old instance through premise calls.
-        stale = [k for k in ctx.instances if k[:3] == key]
-        for k in stale:
-            del ctx.instances[k]
-        invalidate_memo(ctx, instance.rel)
-    ctx.instances[key] = instance
-    return wrap_instance(ctx, instance)
+    with ctx._derive_lock:
+        if key in ctx.instances and not replace:
+            raise DerivationError(f"instance already registered for {key}")
+        if replace:
+            # Purge *every* backend's entry for this (kind, rel, mode) —
+            # a previously compiled instance would otherwise keep serving
+            # the replaced implementation — and drop memoized answers,
+            # which may depend on the old instance through premise calls.
+            stale = [k for k in ctx.instances if k[:3] == key]
+            for k in stale:
+                del ctx.instances[k]
+            invalidate_memo(ctx, instance.rel)
+        ctx.instances[key] = instance
+        return wrap_instance(ctx, instance)
 
 
 def register_checker(
@@ -119,6 +120,13 @@ def resolve(
     stack to detect cyclic dependencies.  ``backend`` selects the
     schedule interpreter (``interp``) or the Python code generator
     (``compiled``); the two backends are registered independently.
+
+    Concurrency: the cycle-detection stack lives in the current
+    *session*'s state (``ctx.caches``), so two sessions resolving on
+    one shared context never corrupt each other's cycle detection.
+    First-use derivation itself is serialized by ``ctx._derive_lock``
+    (re-entrant, so the recursive dependency resolutions nest); the
+    already-registered fast path above the lock stays lock-free.
     """
     stats = ctx.caches.get("derive_stats")
     if stats is not None:
@@ -148,16 +156,22 @@ def resolve(
     if not auto_derive:
         raise InstanceNotFoundError(key)
 
-    stack.append(key)
-    try:
-        instance = _derive_instance(ctx, kind, rel, mode, backend)
-        ctx.instances[key] = instance
-        if backend == "interp":
-            _resolve_dependencies(ctx, instance)
-        # The compiled backend resolves its dependencies during code
-        # generation (it needs the callables), under the same stack.
-    finally:
-        stack.pop()
+    with ctx._derive_lock:
+        # Double-checked: another thread may have derived this instance
+        # while we waited on the lock.
+        found = ctx.instances.get(key)
+        if found is not None:
+            return wrap_instance(ctx, found)
+        stack.append(key)
+        try:
+            instance = _derive_instance(ctx, kind, rel, mode, backend)
+            ctx.instances[key] = instance
+            if backend == "interp":
+                _resolve_dependencies(ctx, instance)
+            # The compiled backend resolves its dependencies during code
+            # generation (it needs the callables), under the same stack.
+        finally:
+            stack.pop()
     return wrap_instance(ctx, instance)
 
 

@@ -522,7 +522,7 @@ def lower_schedule(ctx: Context, schedule: Schedule) -> Plan:
     ``(rel, mode, policy, group)`` by the scheduler's own cache, and the
     plan keeps its schedule alive, so identity is stable.
     """
-    cache = ctx.caches.setdefault(PLANS_KEY, {})
+    cache = ctx.artifacts.setdefault(PLANS_KEY, {})
     plan = cache.get(id(schedule))
     if plan is not None:
         return plan
@@ -545,7 +545,7 @@ def lower_schedule(ctx: Context, schedule: Schedule) -> Plan:
 # Functionalization (determinacy-driven premise rewrite).
 # ---------------------------------------------------------------------------
 
-#: ``ctx.caches`` flag gating the functionalization pass (default on).
+#: ``ctx.artifacts`` flag gating the functionalization pass (default on).
 FUNC_FLAG = "derive_functionalize"
 
 
@@ -557,15 +557,15 @@ def functionalization_enabled(ctx: Context) -> bool:
     lowering / compile time — flip it before deriving instances."""
     if os.environ.get("REPRO_NO_FUNCTIONALIZE"):
         return False
-    return bool(ctx.caches.get(FUNC_FLAG, True))
+    return bool(ctx.artifacts.get(FUNC_FLAG, True))
 
 
 def enable_functionalization(ctx: Context) -> None:
-    ctx.caches[FUNC_FLAG] = True
+    ctx.artifacts[FUNC_FLAG] = True
 
 
 def disable_functionalization(ctx: Context) -> None:
-    ctx.caches[FUNC_FLAG] = False
+    ctx.artifacts[FUNC_FLAG] = False
 
 
 def _functionalize_handler(ctx: Context, handler: PlanHandler) -> None:

@@ -464,7 +464,7 @@ def build_schedule(
     freely.  ``group`` lists mutually inductive siblings sharing the
     fixpoint (see ``repro.derive.mutual``).
     """
-    cache = ctx.caches.setdefault("schedules", {})
+    cache = ctx.artifacts.setdefault("schedules", {})
     key = (rel_name, mode, policy, group)
     if key in cache:
         return cache[key]

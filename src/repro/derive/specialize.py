@@ -46,6 +46,7 @@ compiled instances are unaffected — the flag is read at compile time).
 from __future__ import annotations
 
 import os
+import threading
 from typing import Any, Callable
 
 from ..core.context import Context
@@ -76,18 +77,18 @@ class SpecCoercionError(ValueError):
 def specialization_enabled(ctx: Context) -> bool:
     if os.environ.get("REPRO_NO_SPECIALIZE"):
         return False
-    return bool(ctx.caches.get(SPEC_FLAG, True))
+    return bool(ctx.artifacts.get(SPEC_FLAG, True))
 
 
 def enable_specialization(ctx: Context) -> None:
     """(Re-)enable the pass for instances compiled *after* this call."""
-    ctx.caches[SPEC_FLAG] = True
+    ctx.artifacts[SPEC_FLAG] = True
 
 
 def disable_specialization(ctx: Context) -> None:
     """Compile subsequent instances boxed-only (already-compiled
     instances keep whatever representation they were built with)."""
-    ctx.caches[SPEC_FLAG] = False
+    ctx.artifacts[SPEC_FLAG] = False
 
 
 # ---------------------------------------------------------------------------
@@ -231,9 +232,19 @@ def intern_value(v: Value) -> Value:
 # ---------------------------------------------------------------------------
 
 # Grow-on-demand cache of small boxed naturals: box_nat(n) is O(1)
-# amortized and returns shared (hash-consed) spines, so boxing at the
-# spec/boxed frontier allocates only for fresh maxima.
+# amortized for cached sizes and returns shared (hash-consed) spines,
+# so boxing at the spec/boxed frontier allocates only for fresh maxima.
+#
+# Concurrency + growth contract: the cache is append-only and capped.
+# Reads are lock-free (a list index under the GIL); growth takes
+# _NAT_CACHE_LOCK and re-checks the length, so two threads extending
+# from the same tail can never append out-of-order spines.  Requests
+# beyond the cap build their tail locally off the cached prefix and
+# cache nothing — a serving workload with one huge outlier can no
+# longer pin an unbounded spine list for the life of the process.
+_NAT_CACHE_MAX = 4096
 _NAT_CACHE: list[Value] = [intern_value(ZERO)]
+_NAT_CACHE_LOCK = threading.Lock()
 _NIL = intern_value(NIL)
 
 
@@ -241,10 +252,22 @@ def box_nat(n: int) -> Value:
     cache = _NAT_CACHE
     if n < len(cache):
         return cache[n]
-    v = cache[-1]
-    for _ in range(len(cache), n + 1):
+    if n < _NAT_CACHE_MAX:
+        with _NAT_CACHE_LOCK:
+            # Re-check under the lock: another thread may have grown
+            # the cache past n while we waited.
+            v = cache[-1]
+            for _ in range(len(cache), n + 1):
+                v = Value("S", (v,))
+                cache.append(v)
+            return cache[n]
+    # Beyond the cap: snapshot the cached prefix length once (the list
+    # only grows, so the indexed read is safe) and build the rest
+    # privately.
+    top = len(cache) - 1
+    v = cache[top]
+    for _ in range(top, n):
         v = Value("S", (v,))
-        cache.append(v)
     return v
 
 

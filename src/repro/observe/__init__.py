@@ -29,6 +29,7 @@ them.
 from ..derive.trace import OBSERVE_KEY
 from .coverage import CoverageDiff, CoverageDiffRow, RuleCoverage, coverage_diff
 from .export import Dump, read_jsonl, write_chrome_trace, write_jsonl
+from .merge import merge_metrics, merge_observations, merge_traces
 from .metrics import Histogram, Metrics
 from .report import render_dump, render_observation
 from .session import Observation, ObserveTrace, observe
@@ -48,6 +49,9 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "coverage_diff",
+    "merge_metrics",
+    "merge_observations",
+    "merge_traces",
     "observe",
     "read_jsonl",
     "render_dump",

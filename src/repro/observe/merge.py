@@ -1,0 +1,109 @@
+"""Merging observations from sharded runs into one dump.
+
+A parallel campaign (:func:`repro.resilience.parallel.
+parallel_quick_check`) runs each shard under its own session, so each
+worker fills an independent :class:`~repro.observe.session.Observation`.
+This module folds them into one: trace entries and metrics sum
+key-wise (they are plain counters), span trees concatenate with shard-
+local ids renumbered so parent links stay intact, and the merged
+object supports the same read side (``coverage()``, ``report()``,
+``export_jsonl``) as a single-session observation.
+
+What deliberately does *not* merge: the ``DeriveStats`` binding.  A
+shard's ``stats.*`` counters are materialized into the merged metrics
+counters at merge time (via ``counter_snapshot``), because the live
+stats objects belong to sessions that no longer exist — often in
+worker processes that have already exited.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..derive.trace import DeriveTrace
+from .metrics import Histogram, Metrics
+from .session import Observation
+from .spans import Span
+
+
+def merge_traces(traces: Iterable[DeriveTrace], into: DeriveTrace) -> DeriveTrace:
+    """Sum per-handler counter rows key-wise into *into*."""
+    entries = into.entries
+    for tr in traces:
+        for key, row in tr.entries.items():
+            dst = entries.get(key)
+            if dst is None:
+                entries[key] = list(row)
+            else:
+                for i in range(4):
+                    dst[i] += row[i]
+    return into
+
+
+def merge_metrics(metrics: Iterable[Metrics], into: Metrics) -> Metrics:
+    """Sum histograms bucket-wise and counters key-wise into *into*.
+
+    Counters come from each shard's ``counter_snapshot()``, so bound
+    ``stats.*`` counters are carried over as materialized values.
+    """
+    for m in metrics:
+        for name, h in m.histograms.items():
+            dst = into.histogram(name)
+            for b, n in h.buckets.items():
+                dst.buckets[b] = dst.buckets.get(b, 0) + n
+            dst.count += h.count
+            dst.total += h.total
+            if h.min is not None and (dst.min is None or h.min < dst.min):
+                dst.min = h.min
+            if h.max is not None and (dst.max is None or h.max > dst.max):
+                dst.max = h.max
+        for name, n in m.counter_snapshot().items():
+            into.counters[name] = into.counters.get(name, 0) + n
+    return into
+
+
+def _copy_span(s: Span, offset: int) -> Span:
+    c = Span.__new__(Span)
+    c.sid = s.sid + offset
+    c.parent = s.parent + offset if s.parent else 0
+    c.depth = s.depth
+    c.kind = s.kind
+    c.rel = s.rel
+    c.mode = s.mode
+    c.size = s.size
+    c.top = s.top
+    c.outcome = s.outcome
+    c.consumed = s.consumed
+    c.attempts = s.attempts
+    c.t0 = s.t0
+    c.t1 = s.t1
+    c.closed = s.closed
+    return c
+
+
+def merge_observations(
+    observations: "list[Observation]", span_cap: "int | None" = None
+) -> Observation:
+    """One :class:`Observation` equivalent to the shards run back to
+    back: summed trace (hence summed coverage), summed metrics, and the
+    concatenated span forest with ids renumbered per shard.
+
+    *span_cap* bounds the merged span buffer; ``None`` (the default)
+    keeps every span the shards kept — their own caps already bounded
+    each side.
+    """
+    merged = Observation(span_cap)
+    merge_traces((o.trace for o in observations), merged.trace)
+    merge_metrics((o.metrics for o in observations), merged.metrics)
+    offset = 0
+    recorder = merged.spans
+    for o in observations:
+        top = 0
+        for s in o.spans:
+            recorder.spans.append(_copy_span(s, offset))
+            if s.sid > top:
+                top = s.sid
+        recorder.dropped += o.spans.dropped
+        offset += top
+    recorder._next = offset
+    return merged

@@ -108,7 +108,7 @@ def _slice_exhaustive(
 ) -> bool:
     dt, ty_args = _require_datatype(ctx, ty)
     key = (ty, size)
-    cache = ctx.caches.setdefault("slice_exhaustive", {})
+    cache = ctx.artifacts.setdefault("slice_exhaustive", {})
     if key in cache:
         return cache[key]
     if ty in visiting:

@@ -55,6 +55,68 @@ class CheckReport:
     budget_trips: int = 0
     budget_retries: int = 0
     exhausted: object = None
+    # Seeds of the per-shard reports this report was merged from, in
+    # shard order (None for a directly-run report).  A merged campaign
+    # has no single replay seed; these are its reproduction
+    # coordinates instead.
+    shard_seeds: list | None = None
+
+    @classmethod
+    def merge(cls, reports, property_name: "str | None" = None) -> "CheckReport":
+        """Combine per-shard reports of one partitioned campaign.
+
+        Deterministic given the shard order: counts, labels, and
+        budget counters sum; ``failed``/``gave_up`` are any-of, with
+        the counterexample and its replay coordinates (seed, size)
+        taken from the *first* failed shard; ``stopped_reason`` (and
+        its ``exhausted`` diagnosis) from the first shard that stopped
+        early.  ``elapsed_seconds`` is the max over shards — the
+        wall-clock of a parallel run — so ``tests_per_second`` reports
+        aggregate parallel throughput.  When every shard carries an
+        observation, the merged report carries
+        :func:`repro.observe.merge_observations` of them (summed
+        coverage and metrics, concatenated span forest).
+        """
+        reports = list(reports)
+        if not reports:
+            raise ValueError("CheckReport.merge() needs at least one report")
+        merged = cls(
+            property_name=property_name or reports[0].property_name,
+            size=reports[0].size,
+        )
+        for r in reports:
+            merged.tests_run += r.tests_run
+            merged.discards += r.discards
+            merged.budget_trips += r.budget_trips
+            merged.budget_retries += r.budget_retries
+            for label, n in r.labels.items():
+                merged.labels[label] = merged.labels.get(label, 0) + n
+            if r.elapsed_seconds > merged.elapsed_seconds:
+                merged.elapsed_seconds = r.elapsed_seconds
+            merged.gave_up = merged.gave_up or r.gave_up
+        for r in reports:
+            if r.failed:
+                merged.failed = True
+                merged.counterexample = r.counterexample
+                merged.seed = r.seed
+                merged.size = r.size
+                break
+        for r in reports:
+            if r.stopped_reason is not None:
+                merged.stopped_reason = r.stopped_reason
+                merged.exhausted = r.exhausted
+                break
+        else:
+            for r in reports:
+                if r.exhausted is not None:
+                    merged.exhausted = r.exhausted
+        merged.shard_seeds = [r.seed for r in reports]
+        observations = [r.observation for r in reports]
+        if observations and all(o is not None for o in observations):
+            from ..observe.merge import merge_observations
+
+            merged.observation = merge_observations(observations)
+        return merged
 
     @property
     def tests_per_second(self) -> float:
@@ -171,6 +233,7 @@ class CheckReport:
             "size": self.size,
             "labels": dict(self.labels),
             "stopped_reason": self.stopped_reason,
+            "shard_seeds": self.shard_seeds,
             "budget_trips": self.budget_trips,
             "budget_retries": self.budget_retries,
             "exhausted": (

@@ -29,6 +29,7 @@ from .budget import (
 )
 from .campaign import CircuitBreaker, run_campaign, write_report_jsonl
 from .faults import FAULT_KINDS, FaultPlan
+from .parallel import Shard, parallel_quick_check, plan_shards
 
 __all__ = [
     "BUDGET_KEY",
@@ -39,6 +40,9 @@ __all__ = [
     "install_budget",
     "remove_budget",
     "CircuitBreaker",
+    "Shard",
+    "parallel_quick_check",
+    "plan_shards",
     "run_campaign",
     "write_report_jsonl",
     "FAULT_KINDS",

@@ -1,0 +1,204 @@
+"""Parallel ``quick_check`` campaigns: shard, fork, merge.
+
+A campaign of N tests is partitioned into per-worker *shards*, each
+with its own deterministically derived seed; workers run their shard
+as an ordinary (optionally budgeted/observed) ``quick_check`` under a
+**fresh session** on the context, and the per-shard
+:class:`~repro.quickchick.runner.CheckReport`\\ s fold into one with
+:meth:`CheckReport.merge` — summed counts/labels/budget counters,
+merged coverage and observe dumps, first-failure reproduction
+coordinates, and ``shard_seeds`` as the campaign's replay handle.
+
+Backends:
+
+* ``"fork"`` (default) — a ``multiprocessing`` fork-start process
+  pool.  Workers inherit the parent's context (registries, derived
+  instances, artifacts) by address-space copy, so nothing is pickled
+  on the way in — properties routinely close over contexts and
+  derived callables, which no serializer handles.  Only the
+  *reports* cross back over the pipe.  This is the throughput
+  backend: shards run on real cores.
+* ``"thread"`` — a thread pool; each task binds its own session via
+  :func:`~repro.core.session.use_session`.  Correct under the session
+  model, but GIL-bound: use it to overlap budget waits, not compute.
+* ``"inline"`` — the same shards run back to back in the calling
+  thread, each still under a fresh session.  This is the sequential
+  reference: given the same ``seed``, its merged report matches the
+  fork backend's field for field (the property the test suite pins).
+
+Every shard starts session-cold (empty memo tables, fresh stats, its
+own budget slot): a worker's budget trips and memo warmth can not
+depend on which backend ran the other shards.  Platforms without the
+``fork`` start method (Windows, macOS spawn-default Pythons) silently
+fall back to ``inline``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.session import use_session
+from ..quickchick.runner import CheckReport, _SEED_SOURCE, quick_check
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of a campaign: its index in shard order, its
+    derived seed, and how many tests it owns."""
+
+    index: int
+    seed: int
+    num_tests: int
+
+
+def plan_shards(
+    num_tests: int, workers: int, seed: "int | None" = None
+) -> list[Shard]:
+    """Deterministic partition of *num_tests* across *workers*.
+
+    Shard seeds are drawn from ``random.Random(seed)`` in shard order,
+    so the partition is a pure function of ``(num_tests, workers,
+    seed)`` — the contract that makes a fork campaign and its inline
+    reference replay identically.  Tests split as evenly as possible
+    (the first ``num_tests % workers`` shards get one extra); shards
+    that would own zero tests are dropped.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if seed is None:
+        seed = _SEED_SOURCE.randrange(2**63)
+    rng = random.Random(seed)
+    seeds = [rng.randrange(2**63) for _ in range(workers)]
+    base, extra = divmod(num_tests, workers)
+    shards = []
+    for i in range(workers):
+        n = base + (1 if i < extra else 0)
+        if n:
+            shards.append(Shard(i, seeds[i], n))
+    return shards
+
+
+def _run_shard(prop, shard: Shard, opts: dict, ctx, observe: bool) -> CheckReport:
+    """One shard as an ordinary quick_check, under a fresh session."""
+    kwargs = dict(
+        num_tests=shard.num_tests,
+        seed=shard.seed,
+        size=opts["size"],
+        max_discard_ratio=opts["max_discard_ratio"],
+        stop_on_failure=opts["stop_on_failure"],
+        deadline_seconds=opts["deadline_seconds"],
+        budget=opts["budget"],
+        campaign_deadline_seconds=opts["campaign_deadline_seconds"],
+        budget_retries=opts["budget_retries"],
+        budget_backoff=opts["budget_backoff"],
+    )
+    if ctx is None:
+        return quick_check(prop, **kwargs)
+    if observe:
+        kwargs["observe"] = ctx
+    with use_session(ctx, ctx.new_session(f"shard-{shard.index}")):
+        return quick_check(prop, ctx=ctx, **kwargs)
+
+
+# Fork-inherited worker state: set immediately before the pool is
+# created, inherited by the children's address space, cleared after.
+# This is how unpicklable properties (closures over contexts and
+# derived callables) reach the workers.
+_FORK_STATE: "tuple | None" = None
+
+
+def _fork_worker(shard: Shard) -> CheckReport:
+    prop, opts, ctx, observe = _FORK_STATE
+    return _run_shard(prop, shard, opts, ctx, observe)
+
+
+def parallel_quick_check(
+    prop: Any,
+    num_tests: int = 1000,
+    *,
+    workers: "int | None" = None,
+    size: int = 5,
+    seed: "int | None" = None,
+    backend: str = "fork",
+    ctx: Any = None,
+    observe: bool = False,
+    max_discard_ratio: int = 10,
+    stop_on_failure: bool = True,
+    deadline_seconds: "float | None" = None,
+    budget: Any = None,
+    campaign_deadline_seconds: "float | None" = None,
+    budget_retries: int = 1,
+    budget_backoff: float = 2.0,
+) -> CheckReport:
+    """Run *prop* as a sharded campaign and merge the shard reports.
+
+    *seed* seeds the shard partition (drawn from OS entropy when
+    ``None`` — the merged report's ``shard_seeds`` then carries the
+    concrete per-shard seeds for replay).  *workers* defaults to the
+    CPU count, capped at 8.  *ctx* is required for budgeted or
+    observed runs and recommended whenever the property exercises
+    derived computations: shards then run under per-worker sessions.
+    With ``observe=True`` every shard runs under
+    :func:`repro.observe.observe` on its session and the merged report
+    carries the merged dump (summed coverage/metrics, concatenated
+    span forest).
+
+    ``stop_on_failure`` is per shard: a failing shard stops early, the
+    others run to completion — the merge keeps the first failed
+    shard's counterexample.  See the module docstring for backend
+    semantics; throughput needs ``"fork"``.
+    """
+    if observe and ctx is None:
+        raise TypeError("observe=True needs ctx=... to observe")
+    if budget is not None and ctx is None:
+        ctx = budget.ctx
+    if (deadline_seconds is not None or budget is not None) and ctx is None:
+        raise TypeError(
+            "a budgeted parallel campaign needs the governed context: "
+            "pass ctx=... or a Budget built with ctx=..."
+        )
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 8)
+    shards = plan_shards(num_tests, workers, seed)
+    opts = {
+        "size": size,
+        "max_discard_ratio": max_discard_ratio,
+        "stop_on_failure": stop_on_failure,
+        "deadline_seconds": deadline_seconds,
+        "budget": budget,
+        "campaign_deadline_seconds": campaign_deadline_seconds,
+        "budget_retries": budget_retries,
+        "budget_backoff": budget_backoff,
+    }
+    if backend == "fork" and (
+        "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        backend = "inline"
+    if backend == "inline":
+        reports = [_run_shard(prop, s, opts, ctx, observe) for s in shards]
+    elif backend == "thread":
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            reports = list(
+                pool.map(lambda s: _run_shard(prop, s, opts, ctx, observe), shards)
+            )
+    elif backend == "fork":
+        global _FORK_STATE
+        mp = multiprocessing.get_context("fork")
+        previous = _FORK_STATE
+        _FORK_STATE = (prop, opts, ctx, observe)
+        try:
+            with mp.Pool(processes=min(len(shards), workers)) as pool:
+                reports = pool.map(_fork_worker, shards)
+        finally:
+            _FORK_STATE = previous
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected 'fork', 'thread', "
+            "or 'inline')"
+        )
+    return CheckReport.merge(reports, property_name=prop.name)

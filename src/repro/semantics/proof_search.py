@@ -72,7 +72,7 @@ _DEFAULT = SearchConfig()
 def _normalized(ctx: Context, rel_name: str) -> Relation:
     """The relation with conclusions normalized to linear patterns
     (function calls and repeated variables moved to equality premises)."""
-    cache = ctx.caches.setdefault("normalized_relations", {})
+    cache = ctx.artifacts.setdefault("normalized_relations", {})
     if rel_name not in cache:
         from ..derive.preprocess import preprocess_relation
 

@@ -1,0 +1,40 @@
+"""``repro.serve``: derivation-as-a-service.
+
+The serving layer over the session-scoped execution core: an
+:class:`Engine` holds a preloaded context and a pool of worker
+threads, each with its own :class:`~repro.core.session.Session`
+(per-worker stats, budgets, and memo shards), and answers
+check/enumerate/generate queries with structured three-valued results
+— definite answers, *structured give-ups* (fuel, deadline, op budget),
+or errors.  ``python -m repro.serve`` is the command-line front door::
+
+    python -m repro.serve --demo
+    python -m repro.serve queries.jsonl --decls corpus.v --workers 4
+
+Programmatic use::
+
+    from repro.serve import CheckQuery, Engine
+
+    with Engine(ctx, workers=4, max_ops=100_000) as eng:
+        result = eng.run(CheckQuery("typing", args, fuel=32))
+        if result.ok:
+            ...
+        elif result.give_up:
+            print("gave up:", result.give_up.reason)
+
+For throughput-parallel *campaigns* (many tests of one property) see
+:func:`repro.resilience.parallel_quick_check`; the engine is for
+*query* traffic — many independent questions against one corpus.
+"""
+
+from .engine import Engine
+from .queries import CheckQuery, EnumQuery, GenQuery, GiveUp, QueryResult
+
+__all__ = [
+    "CheckQuery",
+    "Engine",
+    "EnumQuery",
+    "GenQuery",
+    "GiveUp",
+    "QueryResult",
+]

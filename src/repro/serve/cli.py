@@ -1,0 +1,177 @@
+"""Command-line front end: ``python -m repro.serve``.
+
+Serves a JSONL query file against a preloaded corpus::
+
+    python -m repro.serve queries.jsonl --decls corpus.v --workers 4
+    python -m repro.serve queries.jsonl --decls corpus.v --max-ops 50000
+    python -m repro.serve --demo
+
+One query per line::
+
+    {"kind": "check", "rel": "le", "args": ["2", "5"], "fuel": 32}
+    {"kind": "enum", "rel": "le", "mode": "oi", "ins": ["4"], "max_values": 8}
+    {"kind": "gen", "rel": "le", "mode": "io", "ins": ["3"], "seed": 7}
+
+Argument terms use the surface syntax (``parse_term_text``): numerals,
+constructors, lists.  Results stream back as JSONL on stdout (or
+``--out``), one :meth:`~repro.serve.queries.QueryResult.to_dict` per
+query, followed by an engine-stats line.  ``--demo`` loads a small
+built-in nat corpus and a canned workload.
+
+Exit codes: 0 = every query answered definitely, 1 = at least one
+gave up (fuel/budget), 2 = errors (unknown relation, parse failure,
+usage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..core import parse_declarations, parse_term_text, term_to_value
+from ..core.errors import ReproError
+from ..stdlib import standard_context
+from .engine import Engine
+from .queries import CheckQuery, EnumQuery, GenQuery
+
+DEMO_DECLS = """
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall n, le n n
+| le_S : forall n m, le n m -> le n (S m).
+
+Inductive add : nat -> nat -> nat -> Prop :=
+| add_O : forall m, add O m m
+| add_S : forall n m p, add n m p -> add (S n) m (S p).
+"""
+
+DEMO_QUERIES = [
+    {"kind": "check", "rel": "le", "args": ["2", "5"]},
+    {"kind": "check", "rel": "le", "args": ["5", "2"]},
+    {"kind": "check", "rel": "add", "args": ["2", "3", "5"]},
+    {"kind": "enum", "rel": "add", "mode": "ooi", "ins": ["4"], "fuel": 8},
+    {"kind": "enum", "rel": "le", "mode": "oi", "ins": ["3"], "fuel": 6},
+    {"kind": "gen", "rel": "add", "mode": "ooi", "ins": ["6"], "seed": 11},
+]
+
+
+def _terms(ctx, texts) -> tuple:
+    return tuple(
+        term_to_value(parse_term_text(ctx, str(t))) for t in texts
+    )
+
+
+def parse_query(ctx, obj: dict):
+    """One JSONL object -> a query (raises ReproError/KeyError on bad
+    shape; the caller maps those to exit code 2)."""
+    kind = obj.get("kind")
+    rel = obj["rel"]
+    if kind == "check":
+        return CheckQuery(
+            rel,
+            _terms(ctx, obj["args"]),
+            fuel=int(obj.get("fuel", 64)),
+            max_ops=obj.get("max_ops"),
+            deadline_seconds=obj.get("deadline_seconds"),
+        )
+    if kind == "enum":
+        return EnumQuery(
+            rel,
+            obj["mode"],
+            _terms(ctx, obj.get("ins", [])),
+            fuel=int(obj.get("fuel", 8)),
+            max_values=obj.get("max_values", 32),
+            max_ops=obj.get("max_ops"),
+            deadline_seconds=obj.get("deadline_seconds"),
+        )
+    if kind == "gen":
+        return GenQuery(
+            rel,
+            obj["mode"],
+            _terms(ctx, obj.get("ins", [])),
+            fuel=int(obj.get("fuel", 8)),
+            seed=obj.get("seed"),
+            max_ops=obj.get("max_ops"),
+            deadline_seconds=obj.get("deadline_seconds"),
+        )
+    raise ReproError(f"unknown query kind {kind!r} (check/enum/gen)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve check/enum/gen queries against a corpus.",
+    )
+    p.add_argument("queries", nargs="?", help="JSONL query file")
+    p.add_argument("--decls", help="surface-syntax declarations to preload")
+    p.add_argument(
+        "--demo", action="store_true",
+        help="built-in nat corpus + canned workload",
+    )
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--fuel", type=int, default=64, help="default check fuel")
+    p.add_argument("--max-ops", type=int, default=None)
+    p.add_argument("--deadline-seconds", type=float, default=None)
+    p.add_argument(
+        "--memoize", action="store_true",
+        help="per-worker memo shards",
+    )
+    p.add_argument("--out", help="write result JSONL here instead of stdout")
+    return p
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.demo and not args.queries:
+        print("error: need a queries file or --demo", file=sys.stderr)
+        return 2
+
+    ctx = standard_context()
+    try:
+        if args.decls:
+            parse_declarations(ctx, Path(args.decls).read_text())
+        elif args.demo:
+            parse_declarations(ctx, DEMO_DECLS)
+        if args.demo:
+            raw = list(DEMO_QUERIES)
+        else:
+            raw = [
+                json.loads(line)
+                for line in Path(args.queries).read_text().splitlines()
+                if line.strip()
+            ]
+        queries = []
+        for obj in raw:
+            if "fuel" not in obj and obj.get("kind") == "check":
+                obj = dict(obj, fuel=args.fuel)
+            queries.append(parse_query(ctx, obj))
+    except (ReproError, OSError, KeyError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    out = open(args.out, "w") if args.out else sys.stdout
+    gave_up = errors = 0
+    try:
+        with Engine(
+            ctx,
+            workers=args.workers,
+            max_ops=args.max_ops,
+            deadline_seconds=args.deadline_seconds,
+            memoize=args.memoize,
+        ) as engine:
+            engine.prepare(queries)
+            for result in engine.run_batch(queries):
+                if result.status == "gave_up":
+                    gave_up += 1
+                elif result.status == "error":
+                    errors += 1
+                print(json.dumps(result.to_dict()), file=out)
+            stats = engine.stats()
+        print(json.dumps({"kind": "engine_stats", **stats}), file=out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    if errors:
+        return 2
+    return 1 if gave_up else 0

@@ -1,0 +1,384 @@
+"""The serving engine: sessioned worker threads over one shared context.
+
+An :class:`Engine` owns a preloaded :class:`~repro.core.context.
+Context` and a pool of worker threads.  Each worker binds its **own**
+:class:`~repro.core.session.Session` once at thread start, so the
+runtime state of concurrent queries never collides: budgets install
+per worker, stats count per worker, and (with ``memoize=True``) each
+worker fills its own memo shard — the worker-sharded memo
+architecture.  Derived artifacts (schedules, plans, compiled code) and
+instances are shared through the context; first-use derivation is
+serialized by the context's derive lock, so a relation is derived once
+no matter which worker's query arrives first.
+
+Queries resolve to structured :class:`~repro.serve.queries.
+QueryResult`\\ s — a budget- or fuel-limited query *gives up*, it does
+not error.  Submission is non-blocking (:meth:`Engine.submit` returns
+a :class:`concurrent.futures.Future`); :meth:`Engine.arun` awaits the
+same future from asyncio.  Workers drain the queue in chunks and run
+same-relation check queries through the derived checker's amortized
+batch entry point (``check_batch``) when no budget applies — the
+batched front-end that makes point-query traffic cheap.
+
+Synchronous convenience::
+
+    with Engine(ctx, workers=4) as eng:
+        results = eng.run_batch([CheckQuery("le", args) for args in work])
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+from concurrent.futures import Future
+from time import perf_counter
+from typing import Any, Iterable
+
+from ..core.context import Context
+from ..core.errors import ReproError
+from ..core.session import activate_session
+from ..derive.api import derive_checker, derive_enumerator, derive_generator
+from ..derive.memo import enable_memoization
+from ..producers.option_bool import NONE_OB, SOME_TRUE
+from ..producers.outcome import FAIL, OUT_OF_FUEL
+from ..quickchick.runner import _SEED_SOURCE
+from ..resilience.budget import budget_scope
+from .queries import CheckQuery, EnumQuery, GenQuery, GiveUp, QueryResult
+
+_CLOSE = object()  # worker shutdown sentinel
+
+
+class Engine:
+    """Sessioned, batched query service over one context.
+
+    *workers* threads each own a session (``serve-<i>``); *fuel* is
+    the default fuel for queries created by the CLI, not a limit on
+    query-carried fuel.  *max_ops* / *deadline_seconds* are the
+    **default per-query budget** (``None`` = ungoverned); a query's
+    own ``max_ops``/``deadline_seconds`` override them.  With
+    ``memoize=True`` every worker session runs with memoization on —
+    per-worker memo shards, no cross-worker locking.  *batch_max*
+    bounds how many queued queries one worker drains per chunk (the
+    batching window).
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        *,
+        workers: int = 1,
+        max_ops: "int | None" = None,
+        deadline_seconds: "float | None" = None,
+        memoize: bool = False,
+        batch: bool = True,
+        batch_max: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.ctx = ctx
+        self.workers = workers
+        self.max_ops = max_ops
+        self.deadline_seconds = deadline_seconds
+        self.memoize = memoize
+        self.batch = batch
+        self.batch_max = max(1, batch_max)
+        self._queue: "queue.Queue" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._stats = [
+            {"queries": 0, "batched": 0, "gave_up": 0, "errors": 0}
+            for _ in range(workers)
+        ]
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Engine":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_main, args=(i,), name=f"repro-serve-{i}",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def close(self) -> None:
+        """Drain outstanding queries, then stop the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            for _ in self._threads:
+                self._queue.put(_CLOSE)
+            for t in self._threads:
+                t.join()
+
+    def __enter__(self) -> "Engine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, query) -> "Future[QueryResult]":
+        """Enqueue *query*; the future resolves to its
+        :class:`QueryResult` (never to an exception — failures become
+        ``status="error"`` results)."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if not self._started:
+            self.start()
+        fut: "Future[QueryResult]" = Future()
+        self._queue.put((query, fut))
+        return fut
+
+    def run(self, query) -> QueryResult:
+        """Submit and wait."""
+        return self.submit(query).result()
+
+    def run_batch(self, queries: Iterable[Any]) -> list[QueryResult]:
+        """Submit all, gather results in submission order."""
+        futures = [self.submit(q) for q in queries]
+        return [f.result() for f in futures]
+
+    async def arun(self, query) -> QueryResult:
+        """Await one query from asyncio without blocking the loop."""
+        import asyncio
+
+        return await asyncio.wrap_future(self.submit(query))
+
+    async def arun_batch(self, queries: Iterable[Any]) -> list[QueryResult]:
+        import asyncio
+
+        futures = [asyncio.wrap_future(self.submit(q)) for q in queries]
+        return list(await asyncio.gather(*futures))
+
+    # -- read side -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-worker served/batched/gave-up/error counts."""
+        return {
+            "workers": self.workers,
+            "per_worker": [dict(s) for s in self._stats],
+        }
+
+    def prepare(self, queries: Iterable[Any]) -> None:
+        """Derive every instance the queries will need, up front —
+        first-query latency becomes load-time latency."""
+        seen = set()
+        for q in queries:
+            key = (type(q).__name__, q.rel, getattr(q, "mode", None))
+            if key in seen:
+                continue
+            seen.add(key)
+            if isinstance(q, CheckQuery):
+                derive_checker(self.ctx, q.rel)
+            elif isinstance(q, EnumQuery):
+                derive_enumerator(self.ctx, q.rel, q.mode)
+            elif isinstance(q, GenQuery):
+                derive_generator(self.ctx, q.rel, q.mode)
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_main(self, index: int) -> None:
+        ctx = self.ctx
+        # Bind this thread's session for the thread's whole life; the
+        # binding is thread-local (contextvars), so each worker sees
+        # only its own state.
+        activate_session(ctx, ctx.new_session(f"serve-{index}"))
+        if self.memoize:
+            with ctx._derive_lock:
+                # Wrapping instances mutates the shared table
+                # (idempotently); serialize it.  The memo *flag* and
+                # tables land in this worker's session.
+                enable_memoization(ctx)
+        q = self._queue
+        while True:
+            item = q.get()
+            if item is _CLOSE:
+                return
+            chunk = [item]
+            if self.batch:
+                while len(chunk) < self.batch_max:
+                    try:
+                        nxt = q.get_nowait()
+                    except queue.Empty:
+                        break
+                    if nxt is _CLOSE:
+                        q.put(_CLOSE)  # keep the shutdown token live
+                        break
+                    chunk.append(nxt)
+            self._serve_chunk(index, chunk)
+
+    def _serve_chunk(self, index: int, chunk: list) -> None:
+        # Group budget-free check queries per (rel, fuel) for the
+        # amortized batch entry; everything else runs singly.
+        groups: dict[tuple, list] = {}
+        singles: list = []
+        for query, fut in chunk:
+            if (
+                isinstance(query, CheckQuery)
+                and not self._limits(query)
+                and len(chunk) > 1
+            ):
+                groups.setdefault((query.rel, query.fuel), []).append(
+                    (query, fut)
+                )
+            else:
+                singles.append((query, fut))
+        for (rel, fuel), pairs in groups.items():
+            if len(pairs) == 1:
+                singles.extend(pairs)
+                continue
+            self._serve_check_batch(index, rel, fuel, pairs)
+        for query, fut in singles:
+            result = self._serve_one(index, query)
+            fut.set_result(result)
+
+    def _serve_check_batch(
+        self, index: int, rel: str, fuel: int, pairs: list
+    ) -> None:
+        t0 = perf_counter()
+        stats = self._stats[index]
+        try:
+            checker = derive_checker(self.ctx, rel)
+            batch_fn = getattr(checker, "check_batch", None)
+            if batch_fn is None:
+                results = [
+                    checker.check(fuel, tuple(q.args)) for q, _ in pairs
+                ]
+            else:
+                results = batch_fn(fuel, [tuple(q.args) for q, _ in pairs])
+        except ReproError as e:
+            elapsed = (perf_counter() - t0) / len(pairs)
+            for query, fut in pairs:
+                stats["queries"] += 1
+                stats["errors"] += 1
+                fut.set_result(
+                    QueryResult(
+                        query, "error", error=str(e),
+                        elapsed_seconds=elapsed, worker=index,
+                    )
+                )
+            return
+        elapsed = (perf_counter() - t0) / len(pairs)
+        for (query, fut), res in zip(pairs, results):
+            stats["queries"] += 1
+            stats["batched"] += 1
+            if res is NONE_OB:
+                stats["gave_up"] += 1
+                result = QueryResult(
+                    query, "gave_up", give_up=GiveUp("fuel"),
+                    elapsed_seconds=elapsed, worker=index, batched=True,
+                )
+            else:
+                result = QueryResult(
+                    query, "ok", value=res is SOME_TRUE,
+                    elapsed_seconds=elapsed, worker=index, batched=True,
+                )
+            fut.set_result(result)
+
+    def _limits(self, query) -> dict:
+        """The effective budget limits for *query* (empty = none)."""
+        out = {}
+        max_ops = query.max_ops if query.max_ops is not None else self.max_ops
+        deadline = (
+            query.deadline_seconds
+            if query.deadline_seconds is not None
+            else self.deadline_seconds
+        )
+        if max_ops is not None:
+            out["max_ops"] = max_ops
+        if deadline is not None:
+            out["deadline_seconds"] = deadline
+        return out
+
+    def _serve_one(self, index: int, query) -> QueryResult:
+        stats = self._stats[index]
+        stats["queries"] += 1
+        t0 = perf_counter()
+        try:
+            limits = self._limits(query)
+            if limits:
+                with budget_scope(self.ctx, **limits) as bud:
+                    result = self._execute(query)
+                if bud.exhausted is not None and (
+                    result.status == "gave_up" or result.complete is False
+                ):
+                    # The budget (not plain fuel) is what stopped it:
+                    # surface the structured diagnosis, keeping any
+                    # partial enum answer found before the trip.
+                    result = QueryResult(
+                        query,
+                        "gave_up",
+                        value=result.value,
+                        complete=False if result.complete is not None else None,
+                        give_up=GiveUp(
+                            getattr(bud.exhausted, "limit", "budget"),
+                            exhausted=bud.exhausted,
+                        ),
+                    )
+            else:
+                result = self._execute(query)
+        except ReproError as e:
+            result = QueryResult(query, "error", error=str(e))
+        result.elapsed_seconds = perf_counter() - t0
+        result.worker = index
+        if result.status == "gave_up":
+            stats["gave_up"] += 1
+        elif result.status == "error":
+            stats["errors"] += 1
+        return result
+
+    def _execute(self, query) -> QueryResult:
+        ctx = self.ctx
+        if isinstance(query, CheckQuery):
+            checker = derive_checker(ctx, query.rel)
+            res = checker.check(query.fuel, tuple(query.args))
+            if res is NONE_OB:
+                return QueryResult(query, "gave_up", give_up=GiveUp("fuel"))
+            return QueryResult(query, "ok", value=res is SOME_TRUE)
+        if isinstance(query, EnumQuery):
+            enum = derive_enumerator(ctx, query.rel, query.mode)
+            values: list = []
+            saw_fuel = truncated = False
+            for x in enum.enum_st(query.fuel, tuple(query.ins)):
+                if x is OUT_OF_FUEL:
+                    saw_fuel = True
+                    continue
+                values.append(x)
+                if (
+                    query.max_values is not None
+                    and len(values) >= query.max_values
+                ):
+                    truncated = True
+                    break
+            complete = not saw_fuel and not truncated
+            if saw_fuel and not values:
+                return QueryResult(
+                    query, "gave_up", value=values, complete=False,
+                    give_up=GiveUp("fuel"),
+                )
+            return QueryResult(query, "ok", value=values, complete=complete)
+        if isinstance(query, GenQuery):
+            gen = derive_generator(ctx, query.rel, query.mode)
+            seed = (
+                query.seed
+                if query.seed is not None
+                else _SEED_SOURCE.randrange(2**63)
+            )
+            res = gen.gen_st(query.fuel, tuple(query.ins), random.Random(seed))
+            if res is OUT_OF_FUEL:
+                return QueryResult(query, "gave_up", give_up=GiveUp("fuel"))
+            if res is FAIL:
+                return QueryResult(query, "gave_up", give_up=GiveUp("retries"))
+            return QueryResult(query, "ok", value=res)
+        return QueryResult(
+            query, "error", error=f"unknown query type {type(query).__name__}"
+        )

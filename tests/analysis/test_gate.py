@@ -139,7 +139,7 @@ class TestOverheadDiscipline:
         disable_analysis(ctx)
         derive_checker(ctx, "le")
         assert stats.analysis_runs == 0
-        assert "analysis_reports" not in ctx.caches
+        assert "analysis_reports" not in ctx.artifacts
 
     def test_gate_reuses_schedule_cache(self):
         # The schedules the analyzer builds are the ones derivation
@@ -147,7 +147,7 @@ class TestOverheadDiscipline:
         ctx = standard_context()
         parse_declarations(ctx, LE)
         derive_checker(ctx, "le")
-        schedules = ctx.caches.get("schedules")
+        schedules = ctx.artifacts.get("schedules")
         assert schedules
         # One checker-mode schedule for le, not one per consumer.
         keys = [k for k in schedules if k[0] == "le" and str(k[1]) == "ii"]

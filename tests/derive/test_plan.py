@@ -158,16 +158,16 @@ class TestPlanCache:
         a = lower_schedule(nat_ctx, schedule)
         b = lower_schedule(nat_ctx, schedule)
         assert a is b
-        assert nat_ctx.caches[PLANS_KEY][id(schedule)] is a
+        assert nat_ctx.artifacts[PLANS_KEY][id(schedule)] is a
 
     def test_interpreter_and_codegen_share_the_lowering(self, nat_ctx):
         from repro.derive.instances import CHECKER, resolve, resolve_compiled
 
-        before = len(nat_ctx.caches.get(PLANS_KEY, {}))
+        before = len(nat_ctx.artifacts.get(PLANS_KEY, {}))
         resolve(nat_ctx, CHECKER, "ev", Mode.checker(1))
-        mid = len(nat_ctx.caches[PLANS_KEY])
+        mid = len(nat_ctx.artifacts[PLANS_KEY])
         resolve_compiled(nat_ctx, CHECKER, "ev", Mode.checker(1))
-        after = len(nat_ctx.caches[PLANS_KEY])
+        after = len(nat_ctx.artifacts[PLANS_KEY])
         assert mid > before
         # The compiled backend reuses the interpreter's lowered plan.
         assert after == mid

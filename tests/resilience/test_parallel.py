@@ -1,0 +1,326 @@
+"""Parallel campaigns: shard planning, merge semantics, backend parity.
+
+The satellite property of the derivation-as-a-service PR: a campaign
+sharded across N workers and merged equals the sequential run of the
+same seed partition — counts, labels, coverage, discard rate,
+``stopped_reason`` precedence — so parallelism is a pure throughput
+knob, never a semantics knob.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core.values import Value
+from repro.derive import Mode
+from repro.derive.instances import CHECKER, resolve
+from repro.quickchick import CheckReport, classify, for_all, implies
+from repro.resilience import (
+    Budget,
+    Shard,
+    parallel_quick_check,
+    plan_shards,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def nat(n):
+    v = Value("O", ())
+    for _ in range(n):
+        v = Value("S", (v,))
+    return v
+
+
+def le_property(ctx, fuel=30):
+    check = resolve(ctx, CHECKER, "le", Mode.checker(2)).fn
+
+    def gen(size, rng):
+        a = rng.randint(0, size)
+        return (a, a + rng.randint(0, size))
+
+    def pred(pair):
+        return check(fuel, (nat(pair[0]), nat(pair[1])))
+
+    judged = classify(lambda pair: pair[0] == pair[1], "reflexive", pred)
+    return for_all(gen, judged, name="le_holds")
+
+
+def discarding_property(ctx, fuel=30):
+    """Same property behind a precondition, so shards accrue
+    discards at a seed-determined rate."""
+    check = resolve(ctx, CHECKER, "le", Mode.checker(2)).fn
+
+    def gen(size, rng):
+        return (rng.randint(0, size), rng.randint(0, size))
+
+    judged = implies(
+        lambda pair: pair[0] <= pair[1],
+        lambda pair: check(fuel, (nat(pair[0]), nat(pair[1]))),
+    )
+    return for_all(gen, judged, name="le_filtered")
+
+
+def failing_property():
+    def gen(size, rng):
+        return rng.randint(0, size * 4)
+
+    return for_all(gen, lambda n: n < 30, name="small_only")
+
+
+def _key(r):
+    return (
+        r.tests_run,
+        r.discards,
+        r.failed,
+        r.labels,
+        r.budget_trips,
+        r.budget_retries,
+        r.stopped_reason,
+        r.gave_up,
+        r.shard_seeds,
+    )
+
+
+# -- shard planning ----------------------------------------------------------
+
+
+class TestPlanShards:
+    def test_deterministic(self):
+        assert plan_shards(100, 4, seed=7) == plan_shards(100, 4, seed=7)
+        assert plan_shards(100, 4, seed=7) != plan_shards(100, 4, seed=8)
+
+    def test_even_split_with_remainder(self):
+        shards = plan_shards(10, 4, seed=1)
+        assert [s.num_tests for s in shards] == [3, 3, 2, 2]
+        assert sum(s.num_tests for s in shards) == 10
+
+    def test_zero_test_shards_dropped(self):
+        shards = plan_shards(2, 8, seed=1)
+        assert len(shards) == 2
+        assert all(s.num_tests == 1 for s in shards)
+
+    def test_distinct_seeds(self):
+        shards = plan_shards(1000, 8, seed=3)
+        assert len({s.seed for s in shards}) == 8
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            plan_shards(10, 0)
+
+
+# -- merge semantics (pure, no campaign) -------------------------------------
+
+
+def _report(**kw):
+    r = CheckReport(property_name=kw.pop("property_name", "p"))
+    for k, v in kw.items():
+        setattr(r, k, v)
+    return r
+
+
+class TestMergeSemantics:
+    def test_counts_and_labels_sum(self):
+        merged = CheckReport.merge(
+            [
+                _report(tests_run=10, discards=2, labels={"a": 3, "b": 1}),
+                _report(tests_run=5, discards=1, labels={"b": 2}),
+            ]
+        )
+        assert merged.tests_run == 15
+        assert merged.discards == 3
+        assert merged.labels == {"a": 3, "b": 3}
+        assert merged.discard_rate == 3 / 18
+
+    def test_budget_counters_sum(self):
+        merged = CheckReport.merge(
+            [
+                _report(budget_trips=2, budget_retries=1),
+                _report(budget_trips=1, budget_retries=4),
+            ]
+        )
+        assert merged.budget_trips == 3
+        assert merged.budget_retries == 5
+
+    def test_elapsed_is_max_not_sum(self):
+        merged = CheckReport.merge(
+            [_report(elapsed_seconds=0.5), _report(elapsed_seconds=2.0)]
+        )
+        assert merged.elapsed_seconds == 2.0
+
+    def test_first_failed_shard_wins(self):
+        merged = CheckReport.merge(
+            [
+                _report(failed=False, seed=1),
+                _report(failed=True, counterexample=42, seed=2, size=9),
+                _report(failed=True, counterexample=77, seed=3, size=4),
+            ]
+        )
+        assert merged.failed
+        assert merged.counterexample == 42
+        assert merged.seed == 2
+        assert merged.size == 9
+
+    def test_stopped_reason_precedence(self):
+        """First shard with a non-None stopped_reason wins, carrying
+        its exhausted diagnosis; later reasons are dropped."""
+        merged = CheckReport.merge(
+            [
+                _report(stopped_reason=None),
+                _report(stopped_reason="campaign_deadline", exhausted="d1"),
+                _report(stopped_reason="discard_limit", exhausted="d2"),
+            ]
+        )
+        assert merged.stopped_reason == "campaign_deadline"
+        assert merged.exhausted == "d1"
+
+    def test_gave_up_any_of(self):
+        merged = CheckReport.merge([_report(), _report(gave_up=True)])
+        assert merged.gave_up
+
+    def test_shard_seeds_recorded_in_order(self):
+        merged = CheckReport.merge(
+            [_report(seed=11), _report(seed=22), _report(seed=33)]
+        )
+        assert merged.shard_seeds == [11, 22, 33]
+
+    def test_merge_requires_reports(self):
+        with pytest.raises(ValueError):
+            CheckReport.merge([])
+
+
+# -- backend parity: the satellite property ----------------------------------
+
+
+class TestBackendParity:
+    def test_inline_matches_singleshard_sequential(self, nat_ctx):
+        """One worker, same seed partition: the sharded machinery
+        reduces to plain sequential quick_check."""
+        from repro.quickchick import quick_check
+
+        prop = le_property(nat_ctx)
+        merged = parallel_quick_check(
+            prop, 80, workers=1, seed=5, backend="inline", ctx=nat_ctx
+        )
+        shard = plan_shards(80, 1, seed=5)[0]
+        with nat_ctx.use_session():
+            plain = quick_check(
+                prop, num_tests=80, seed=shard.seed, ctx=nat_ctx
+            )
+        assert merged.tests_run == plain.tests_run
+        assert merged.discards == plain.discards
+        assert merged.labels == plain.labels
+        assert merged.failed == plain.failed
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method missing")
+    def test_fork_equals_inline_counts_labels(self, nat_ctx):
+        prop = le_property(nat_ctx)
+        kw = dict(workers=4, seed=17, ctx=nat_ctx)
+        seq = parallel_quick_check(prop, 120, backend="inline", **kw)
+        par = parallel_quick_check(prop, 120, backend="fork", **kw)
+        assert _key(seq) == _key(par)
+        assert seq.tests_run == 120
+
+    def test_thread_equals_inline(self, nat_ctx):
+        prop = le_property(nat_ctx)
+        kw = dict(workers=3, seed=23, ctx=nat_ctx)
+        seq = parallel_quick_check(prop, 90, backend="thread", **kw)
+        par = parallel_quick_check(prop, 90, backend="inline", **kw)
+        assert _key(seq) == _key(par)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method missing")
+    def test_discard_rate_matches(self, nat_ctx):
+        prop = discarding_property(nat_ctx)
+        kw = dict(workers=4, seed=31, size=10, ctx=nat_ctx)
+        seq = parallel_quick_check(prop, 100, backend="inline", **kw)
+        par = parallel_quick_check(prop, 100, backend="fork", **kw)
+        assert seq.discards > 0
+        assert _key(seq) == _key(par)
+        assert seq.discard_rate == par.discard_rate
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method missing")
+    def test_failure_coordinates_match(self, nat_ctx):
+        """Both backends surface the same first-failed-shard
+        counterexample and replay coordinates."""
+        prop = failing_property()
+        seq = parallel_quick_check(
+            prop, 60, workers=4, seed=13, size=20, backend="inline",
+            ctx=nat_ctx,
+        )
+        par = parallel_quick_check(
+            prop, 60, workers=4, seed=13, size=20, backend="fork",
+            ctx=nat_ctx,
+        )
+        assert seq.failed and par.failed
+        assert seq.counterexample == par.counterexample
+        assert seq.seed == par.seed
+        assert seq.shard_seeds == par.shard_seeds
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method missing")
+    def test_observed_campaign_merges_coverage(self, nat_ctx):
+        """Observed shards merge into one dump: summed rule coverage,
+        equal between fork and inline."""
+        prop = le_property(nat_ctx)
+        kw = dict(workers=3, seed=41, ctx=nat_ctx, observe=True)
+        seq = parallel_quick_check(prop, 45, backend="inline", **kw)
+        par = parallel_quick_check(prop, 45, backend="fork", **kw)
+        assert seq.observation is not None
+        assert par.observation is not None
+        assert seq.coverage.table == par.coverage.table
+        assert _key(seq) == _key(par)
+
+    def test_budgeted_campaign_sums_trips(self, nat_ctx):
+        """Per-test budgets trip per shard; the merged report sums the
+        trips and both backends agree."""
+        prop = le_property(nat_ctx, fuel=50)
+        kw = dict(
+            workers=3,
+            seed=53,
+            ctx=nat_ctx,
+            budget=Budget(max_ops=1),  # every attempt trips
+            budget_retries=1,
+        )
+        seq = parallel_quick_check(prop, 9, backend="inline", **kw)
+        par = parallel_quick_check(prop, 9, backend="thread", **kw)
+        assert seq.budget_trips > 0
+        assert _key(seq) == _key(par)
+
+    def test_replay_from_shard_seeds(self, nat_ctx):
+        """shard_seeds is the campaign's reproduction handle: running
+        each recorded seed as its own shard reproduces the merge."""
+        prop = le_property(nat_ctx)
+        first = parallel_quick_check(
+            prop, 50, workers=3, backend="inline", ctx=nat_ctx
+        )
+        assert first.shard_seeds is not None
+        from repro.quickchick import quick_check
+
+        shards = plan_shards(50, 3, seed=None)  # sizes only
+        reports = []
+        sizes = [s.num_tests for s in shards]
+        for seed, n in zip(first.shard_seeds, sizes):
+            with nat_ctx.use_session():
+                reports.append(
+                    quick_check(prop, num_tests=n, seed=seed, ctx=nat_ctx)
+                )
+        replayed = CheckReport.merge(reports, property_name=prop.name)
+        assert _key(replayed) == _key(first)
+
+    def test_unknown_backend_rejected(self, nat_ctx):
+        with pytest.raises(ValueError):
+            parallel_quick_check(
+                le_property(nat_ctx), 10, backend="quantum", ctx=nat_ctx
+            )
+
+    def test_observe_requires_ctx(self):
+        with pytest.raises(TypeError):
+            parallel_quick_check(failing_property(), 10, observe=True)
+
+
+class TestShardDataclass:
+    def test_frozen(self):
+        s = Shard(0, 1, 2)
+        with pytest.raises(Exception):
+            s.index = 3

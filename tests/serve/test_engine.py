@@ -1,0 +1,305 @@
+"""The serving engine: sessioned workers, batching, budgets, CLI.
+
+Covers the Layer-3 surface of the derivation-as-a-service PR: query
+execution across all three kinds, batched check dispatch, per-query
+and engine-default budgets surfacing as structured give-ups, worker
+isolation (per-worker memo shards), the async entry points, and the
+``python -m repro.serve`` front end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.values import Value, to_int
+from repro.serve import (
+    CheckQuery,
+    Engine,
+    EnumQuery,
+    GenQuery,
+    GiveUp,
+    QueryResult,
+)
+from repro.serve.cli import main as serve_main
+
+
+def nat(n):
+    v = Value("O", ())
+    for _ in range(n):
+        v = Value("S", (v,))
+    return v
+
+
+def unnat(v):
+    return to_int(v)
+
+
+@pytest.fixture
+def engine(nat_ctx):
+    with Engine(nat_ctx, workers=2) as eng:
+        yield eng
+
+
+class TestCheckQueries:
+    def test_definite_answers(self, engine):
+        yes = engine.run(CheckQuery("le", (nat(3), nat(8))))
+        no = engine.run(CheckQuery("le", (nat(8), nat(3))))
+        assert yes.ok and yes.value is True
+        assert no.ok and no.value is False
+
+    def test_fuel_give_up_is_structured(self, engine):
+        res = engine.run(CheckQuery("le", (nat(0), nat(10)), fuel=1))
+        assert res.status == "gave_up"
+        assert res.give_up is not None
+        assert res.give_up.reason == "fuel"
+        assert res.ok is False
+
+    def test_unknown_relation_is_error(self, engine):
+        res = engine.run(CheckQuery("nope", (nat(1),)))
+        assert res.status == "error"
+        assert "nope" in res.error
+        # The engine keeps serving after an error.
+        assert engine.run(CheckQuery("le", (nat(1), nat(2)))).ok
+
+    def test_batched_dispatch_matches_singles(self, nat_ctx):
+        queries = [
+            CheckQuery("le", (nat(a), nat(b)), fuel=32)
+            for a in range(6)
+            for b in range(6)
+        ]
+        with Engine(nat_ctx, workers=1, batch=True) as batched:
+            batched.prepare(queries)
+            got_batched = batched.run_batch(queries)
+            stats = batched.stats()
+        with Engine(nat_ctx, workers=1, batch=False) as single:
+            got_single = single.run_batch(queries)
+        assert [r.value for r in got_batched] == [
+            r.value for r in got_single
+        ]
+        assert [r.value for r in got_single] == [
+            a <= b for a in range(6) for b in range(6)
+        ]
+        assert sum(w["batched"] for w in stats["per_worker"]) > 0
+
+
+class TestEnumQueries:
+    def test_complete_enumeration(self, engine):
+        res = engine.run(EnumQuery("le", "oi", (nat(3),), fuel=6))
+        assert res.ok and res.complete is True
+        assert sorted(unnat(t[0]) for t in res.value) == [0, 1, 2, 3]
+
+    def test_max_values_truncates(self, engine):
+        res = engine.run(
+            EnumQuery("le", "oi", (nat(9),), fuel=12, max_values=4)
+        )
+        assert res.ok
+        assert len(res.value) == 4
+        assert res.complete is False
+
+    def test_fuel_starved_enum_gives_up(self, engine):
+        res = engine.run(EnumQuery("ev", "o", (), fuel=2, max_values=100))
+        # At tiny fuel the stream is fuel-marked: either some values
+        # with complete=False, or a structured give-up with none.
+        if res.status == "gave_up":
+            assert res.give_up.reason == "fuel"
+        else:
+            assert res.complete is False
+
+
+class TestGenQueries:
+    def test_seeded_generation_is_replayable(self, engine):
+        q = GenQuery("le", "oi", (nat(12),), fuel=16, seed=5)
+        a = engine.run(q)
+        b = engine.run(q)
+        assert a.ok and b.ok
+        assert a.value == b.value
+        assert unnat(a.value[0]) <= 12
+
+    def test_unseeded_generation_succeeds(self, engine):
+        res = engine.run(GenQuery("le", "oi", (nat(6),), fuel=16))
+        assert res.ok
+        assert unnat(res.value[0]) <= 6
+
+
+class TestBudgets:
+    def test_query_budget_trips_structured(self, engine):
+        res = engine.run(
+            CheckQuery("le", (nat(20), nat(30)), fuel=64, max_ops=5)
+        )
+        assert res.status == "gave_up"
+        assert res.give_up.reason == "ops"
+        assert res.give_up.exhausted is not None
+        assert res.give_up.exhausted.limit == "ops"
+
+    def test_engine_default_budget_applies(self, nat_ctx):
+        with Engine(nat_ctx, workers=1, max_ops=5) as eng:
+            res = eng.run(CheckQuery("le", (nat(20), nat(30)), fuel=64))
+        assert res.status == "gave_up"
+        assert res.give_up.reason == "ops"
+
+    def test_query_budget_overrides_engine_default(self, nat_ctx):
+        with Engine(nat_ctx, workers=1, max_ops=5) as eng:
+            res = eng.run(
+                CheckQuery("le", (nat(3), nat(8)), fuel=64, max_ops=100_000)
+            )
+        assert res.ok and res.value is True
+
+    def test_budgeted_enum_keeps_partial_values(self, engine):
+        res = engine.run(
+            EnumQuery("le", "oi", (nat(30),), fuel=40, max_ops=40)
+        )
+        assert res.status == "gave_up"
+        assert res.give_up.reason == "ops"
+        assert res.complete is False
+        assert res.value  # partial answers survive the trip
+
+    def test_budget_does_not_leak_between_queries(self, engine):
+        tripped = engine.run(
+            CheckQuery("le", (nat(20), nat(30)), fuel=64, max_ops=5)
+        )
+        assert tripped.status == "gave_up"
+        clean = engine.run(CheckQuery("le", (nat(20), nat(30)), fuel=64))
+        assert clean.ok and clean.value is True
+
+
+class TestEngineMechanics:
+    def test_multi_worker_serves_all(self, nat_ctx):
+        queries = [
+            CheckQuery("le", (nat(i % 10), nat(i % 7)), fuel=32)
+            for i in range(60)
+        ]
+        with Engine(nat_ctx, workers=4) as eng:
+            eng.prepare(queries)
+            results = eng.run_batch(queries)
+            stats = eng.stats()
+        assert len(results) == 60
+        assert all(r.ok for r in results)
+        assert [r.value for r in results] == [
+            i % 10 <= i % 7 for i in range(60)
+        ]
+        assert sum(w["queries"] for w in stats["per_worker"]) == 60
+
+    def test_memoized_workers(self, nat_ctx):
+        queries = [
+            CheckQuery("le", (nat(4), nat(9)), fuel=32) for _ in range(10)
+        ]
+        with Engine(nat_ctx, workers=2, memoize=True) as eng:
+            results = eng.run_batch(queries)
+        assert all(r.ok and r.value is True for r in results)
+
+    def test_submit_returns_future(self, engine):
+        fut = engine.submit(CheckQuery("le", (nat(1), nat(2))))
+        assert fut.result(timeout=30).ok
+
+    def test_closed_engine_rejects(self, nat_ctx):
+        eng = Engine(nat_ctx)
+        eng.start()
+        eng.close()
+        with pytest.raises(RuntimeError):
+            eng.submit(CheckQuery("le", (nat(1), nat(2))))
+
+    def test_worker_count_validated(self, nat_ctx):
+        with pytest.raises(ValueError):
+            Engine(nat_ctx, workers=0)
+
+    def test_async_entry_points(self, nat_ctx):
+        async def drive():
+            with Engine(nat_ctx, workers=2) as eng:
+                one = await eng.arun(CheckQuery("le", (nat(2), nat(5))))
+                many = await eng.arun_batch(
+                    [
+                        CheckQuery("le", (nat(i), nat(5)), fuel=32)
+                        for i in range(8)
+                    ]
+                )
+                return one, many
+
+        one, many = asyncio.run(drive())
+        assert one.ok and one.value is True
+        assert [r.value for r in many] == [i <= 5 for i in range(8)]
+
+    def test_result_to_dict_roundtrips_json(self, engine):
+        res = engine.run(CheckQuery("le", (nat(1), nat(3))))
+        blob = json.dumps(res.to_dict())
+        back = json.loads(blob)
+        assert back["kind"] == "check"
+        assert back["status"] == "ok"
+        assert back["value"] is True
+
+    def test_give_up_as_dict(self):
+        g = GiveUp("fuel")
+        assert g.as_dict() == {"reason": "fuel", "exhausted": None}
+
+    def test_query_result_ok_property(self):
+        q = CheckQuery("le", ())
+        assert QueryResult(q, "ok").ok
+        assert not QueryResult(q, "gave_up").ok
+        assert not QueryResult(q, "error").ok
+
+
+class TestCli:
+    def test_demo_exits_zero(self, capsys):
+        assert serve_main(["--demo"]) == 0
+        out = capsys.readouterr().out
+        lines = [json.loads(l) for l in out.strip().splitlines()]
+        assert lines[-1]["kind"] == "engine_stats"
+        assert all(l["status"] == "ok" for l in lines[:-1])
+
+    def test_query_file_served(self, tmp_path, capsys):
+        decls = tmp_path / "corpus.v"
+        decls.write_text(
+            "Inductive le : nat -> nat -> Prop :=\n"
+            "| le_n : forall n, le n n\n"
+            "| le_S : forall n m, le n m -> le n (S m).\n"
+        )
+        qfile = tmp_path / "queries.jsonl"
+        qfile.write_text(
+            '{"kind": "check", "rel": "le", "args": ["2", "5"]}\n'
+            '{"kind": "enum", "rel": "le", "mode": "oi", "ins": ["2"]}\n'
+            '{"kind": "gen", "rel": "le", "mode": "oi", "ins": ["4"],'
+            ' "seed": 3}\n'
+        )
+        code = serve_main([str(qfile), "--decls", str(decls)])
+        assert code == 0
+        lines = [
+            json.loads(l)
+            for l in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert [l["kind"] for l in lines[:-1]] == ["check", "enum", "gen"]
+        assert lines[0]["value"] is True
+        assert lines[1]["complete"] is True
+
+    def test_gave_up_query_exits_one(self, tmp_path, capsys):
+        decls = tmp_path / "corpus.v"
+        decls.write_text(
+            "Inductive le : nat -> nat -> Prop :=\n"
+            "| le_n : forall n, le n n\n"
+            "| le_S : forall n m, le n m -> le n (S m).\n"
+        )
+        qfile = tmp_path / "queries.jsonl"
+        qfile.write_text(
+            '{"kind": "check", "rel": "le", "args": ["0", "9"], "fuel": 1}\n'
+        )
+        assert serve_main([str(qfile), "--decls", str(decls)]) == 1
+        line = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert line["status"] == "gave_up"
+        assert line["give_up"]["reason"] == "fuel"
+
+    def test_missing_args_exits_two(self, capsys):
+        assert serve_main([]) == 2
+
+    def test_bad_query_kind_exits_two(self, tmp_path, capsys):
+        qfile = tmp_path / "queries.jsonl"
+        qfile.write_text('{"kind": "solve", "rel": "le"}\n')
+        assert serve_main([str(qfile)]) == 2
+
+    def test_out_file(self, tmp_path):
+        out = tmp_path / "results.jsonl"
+        assert serve_main(["--demo", "--out", str(out)]) == 0
+        lines = [
+            json.loads(l) for l in out.read_text().strip().splitlines()
+        ]
+        assert lines and lines[-1]["kind"] == "engine_stats"
