@@ -18,6 +18,11 @@ import random
 
 import pytest
 
+try:
+    from .benchjson import record
+except ImportError:  # standalone: python benchmarks/bench_*.py
+    from benchjson import record
+
 from repro.core import parse_declarations
 from repro.core.values import V, from_int, from_list
 from repro.derive import DerivePolicy, Mode, build_schedule
@@ -95,6 +100,7 @@ def test_backend_ablation(benchmark, backend):
     if benchmark.stats is None:
         return  # --benchmark-disable smoke mode
     mean = benchmark.stats.stats.mean
+    record("ablation", f"backend.{backend}.ms_per_batch", mean * 1000)
     print(f"\n[ablation] backend={backend:9s} {mean*1000:.2f} ms / batch")
 
 
@@ -123,6 +129,7 @@ def test_scheduler_policy_ablation(benchmark, policy_name):
     if benchmark.stats is None:
         return  # --benchmark-disable smoke mode
     mean = benchmark.stats.stats.mean
+    record("ablation", f"policy.{policy_name}.ms_per_batch", mean * 1000)
     print(f"\n[ablation] policy={policy_name:18s} {mean*1000:.2f} ms / batch")
 
 
@@ -179,4 +186,5 @@ def test_enumeration_order_ablation(benchmark, combinator):
     if benchmark.stats is None:
         return  # --benchmark-disable smoke mode
     mean = benchmark.stats.stats.mean
+    record("ablation", f"combinator.{combinator}.us_to_witness", mean * 1e6)
     print(f"\n[ablation] combinator={combinator:13s} {mean*1e6:.1f} µs to witness")

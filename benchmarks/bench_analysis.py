@@ -101,4 +101,13 @@ def test_disabled_gate_is_free():
 
 
 if __name__ == "__main__":
-    run()
+    try:
+        from benchmarks.benchjson import emit
+    except ImportError:  # standalone: python benchmarks/bench_analysis.py
+        from benchjson import emit
+
+    rows = run()
+    emit("analysis", {
+        name: {"disabled_s": d, "warm_s": w, "cold_s": c}
+        for name, d, w, c in rows
+    })

@@ -14,6 +14,10 @@ from __future__ import annotations
 
 import pytest
 
+try:
+    from .benchjson import record
+except ImportError:  # standalone: python benchmarks/bench_*.py
+    from benchjson import record
 from .conftest import run_property
 
 TESTS = {"BST": 400, "STLC": 150, "IFC": 400}
@@ -39,6 +43,7 @@ def _run(benchmark, cell, checker, label):
     stats = benchmark.stats.stats
     throughput = num / stats.mean
     _RESULTS[(cell.name, label)] = throughput
+    record("fig3_checkers", f"{cell.name}.{label}_tests_per_s", throughput)
     print(f"\n[Fig3-left] {cell.name:5s} checker={label:12s} "
           f"{throughput:12,.0f} tests/s")
     _report(cell.name)
@@ -49,6 +54,7 @@ def _report(case: str) -> None:
     derived = _RESULTS.get((case, "derived"))
     if hand and derived:
         delta = (derived - hand) / hand * 100
+        record("fig3_checkers", f"{case}.delta_pct", delta)
         print(f"[Fig3-left] {case:5s} derived vs handwritten: {delta:+.1f}%")
 
 

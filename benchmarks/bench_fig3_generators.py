@@ -12,6 +12,10 @@ from __future__ import annotations
 
 import pytest
 
+try:
+    from .benchjson import record
+except ImportError:  # standalone: python benchmarks/bench_*.py
+    from benchjson import record
 from .conftest import run_property
 
 TESTS = {"BST": 300, "STLC": 100, "IFC": 300}
@@ -33,12 +37,14 @@ def _run(benchmark, cell, gen_fn, label):
     stats = benchmark.stats.stats
     throughput = num / stats.mean
     _RESULTS[(cell.name, label)] = throughput
+    record("fig3_generators", f"{cell.name}.{label}_tests_per_s", throughput)
     print(f"\n[Fig3-right] {cell.name:5s} generator={label:12s} "
           f"{throughput:12,.0f} tests/s")
     hand = _RESULTS.get((cell.name, "handwritten"))
     derived = _RESULTS.get((cell.name, "derived"))
     if hand and derived:
         delta = (derived - hand) / hand * 100
+        record("fig3_generators", f"{cell.name}.delta_pct", delta)
         print(f"[Fig3-right] {cell.name:5s} derived vs handwritten: {delta:+.1f}%")
 
 

@@ -152,7 +152,15 @@ def test_decide_doubling_speedup():
 
 
 if __name__ == "__main__":
+    try:
+        from benchmarks.benchjson import emit
+    except ImportError:  # standalone: python benchmarks/bench_memo.py
+        from benchjson import emit
+
     results = run_all()
     worst = min(results.values())
     print(f"\n[bench_memo] worst speedup: {worst:.1f}x (bar: 2.0x)")
+    emit("memo", {
+        "speedups": results, "worst_speedup": worst, "bar": 2.0,
+    })
     raise SystemExit(0 if worst >= 2.0 else 1)

@@ -14,6 +14,11 @@ import random
 
 import pytest
 
+try:
+    from .benchjson import record
+except ImportError:  # standalone: python benchmarks/bench_*.py
+    from benchjson import record
+
 from repro.quickchick import Mutant, for_all, quick_check
 
 RUNS = 4
@@ -59,6 +64,10 @@ def _run_cell(benchmark, cell, mutants):
             hand += f" ({hand_esc} esc)"
         if drv_esc:
             drv += f" ({drv_esc} esc)"
+        record("mutation", f"{cell.name}.{name}", {
+            "handwritten_mean_ttf": hand_mean, "handwritten_escapes": hand_esc,
+            "derived_mean_ttf": drv_mean, "derived_escapes": drv_esc,
+        })
         print(f"{name:24s}{hand:>16s}{drv:>16s}")
         # Both generators must catch every mutant in at least one run.
         assert hand_mean is not None

@@ -227,10 +227,13 @@ def test_gen_spans_backend_identical():
 
 
 if __name__ == "__main__":
+    from benchmarks.benchjson import emit, record
+
     worst = 0.0
     for wl_fn in (bst_workload, stlc_workload):
         wl = wl_fn()
         t_base, t_live, ratio = bench_off_overhead(wl)
+        record("observe", f"off_overhead.{wl.name}", ratio)
         worst = max(worst, ratio)
         print(
             f"[bench_observe] off-overhead {wl.name:12s}"
@@ -238,6 +241,7 @@ if __name__ == "__main__":
             f"   ratio {ratio:5.3f}x (bar {OVERHEAD_BAR}x)"
         )
         t_off, t_on = bench_on_cost(wl_fn())
+        record("observe", f"on_cost_ratio.{wl.name}", t_on / t_off)
         print(
             f"[bench_observe] on-cost      {wl.name:12s}"
             f" off {t_off * 1e3:8.1f} ms   on {t_on * 1e3:8.1f} ms"
@@ -256,4 +260,7 @@ if __name__ == "__main__":
         f"\n[bench_observe] worst observation-off ratio {worst:.3f}x"
         f" (bar {OVERHEAD_BAR}x)"
     )
+    record("observe", "worst_off_overhead", worst)
+    record("observe", "overhead_bar", OVERHEAD_BAR)
+    emit("observe")
     raise SystemExit(0 if worst <= OVERHEAD_BAR else 1)

@@ -303,5 +303,14 @@ if __name__ == "__main__":
         f"(bar: {INTERP_BAR}x); worst compiled ratio: "
         f"{compiled_worst:.2f}x of legacy (bar: {COMPILED_BAR}x slowdown)"
     )
+    from benchmarks.benchjson import emit
+
+    emit("plan", {
+        "speedups": results,
+        "worst_interp_speedup": interp_worst,
+        "worst_compiled_ratio": compiled_worst,
+        "interp_bar": INTERP_BAR,
+        "compiled_bar": COMPILED_BAR,
+    })
     ok = interp_worst >= INTERP_BAR and compiled_worst <= COMPILED_BAR
     raise SystemExit(0 if ok else 1)

@@ -17,6 +17,11 @@ from __future__ import annotations
 
 import pytest
 
+try:
+    from .benchjson import record
+except ImportError:  # standalone: python benchmarks/bench_*.py
+    from benchjson import record
+
 from repro.core import parse_declarations
 from repro.core.values import from_int, from_list
 from repro.stdlib import standard_context
@@ -112,5 +117,11 @@ def test_sorted_2000_headline(benchmark):
     reflective_total = reflective.build_seconds + reflective.check_seconds
     # Reflection at 5x the goal size still beats the explicit proof.
     speedup = explicit_total / max(reflective_total, 1e-9)
+    record("reflection", "sorted_2000", {
+        "explicit_n": explicit_n, "reflective_n": n,
+        "explicit_total_s": explicit_total,
+        "reflective_total_s": reflective_total,
+        "speedup": speedup,
+    })
     print(f"speedup (explicit n=400 vs reflective n=2000): {speedup:,.0f}x")
     assert speedup > 3

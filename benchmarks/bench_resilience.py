@@ -338,7 +338,13 @@ def test_trip_unwinds_promptly():
 
 
 if __name__ == "__main__":
+    from benchmarks.benchjson import emit
+
     results = run_all()
     worst = max(results.values())
     print(f"[bench_resilience] worst budgets-off overhead: {worst:.3f}x")
+    emit("resilience", {
+        "overheads": results, "worst_overhead": worst,
+        "overhead_bar": OVERHEAD_BAR,
+    })
     sys.exit(0 if worst <= OVERHEAD_BAR else 1)

@@ -486,9 +486,22 @@ def test_engine_serves_workload():
 
 
 if __name__ == "__main__":
+    from benchmarks.benchjson import emit
+
     overheads, speedup, merged_equal, _engine = run_all()
     worst = max(overheads.values())
     print(f"[bench_serve] worst session overhead: {worst:.3f}x")
+    emit("serve", {
+        "session_overhead": overheads,
+        "worst_session_overhead": worst,
+        "overhead_bar": OVERHEAD_BAR,
+        "campaign_speedup": speedup,
+        "merged_equals_sequential": merged_equal,
+        "engine": {
+            name: {k: v for k, v in row.items() if k != "results"}
+            for name, row in _engine.items()
+        },
+    })
     ok = worst <= OVERHEAD_BAR and merged_equal
     if (os.cpu_count() or 1) >= 4:
         ok = ok and speedup >= SPEEDUP_BAR

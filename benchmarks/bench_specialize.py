@@ -371,4 +371,6 @@ def test_fig3_deltas_report():
 
 
 if __name__ == "__main__":
-    run_all()
+    from benchmarks.benchjson import emit
+
+    emit("specialize", run_all())

@@ -14,6 +14,11 @@ from __future__ import annotations
 
 import pytest
 
+try:
+    from .benchjson import record
+except ImportError:  # standalone: python benchmarks/bench_*.py
+    from benchjson import record
+
 from repro.sf.registry import format_table1, table1
 
 
@@ -33,6 +38,10 @@ def test_table1_census(benchmark, census):
     for volume in ("LF", "PLF"):
         row = rows[volume]
         in_scope = row.relations - row.out_of_scope
+        record("table1", volume, {
+            "relations": row.relations, "out_of_scope": row.out_of_scope,
+            "derived": row.derived, "baseline": row.baseline,
+        })
         print(
             f"{volume}: {row.relations} relations, {row.out_of_scope} "
             f"higher-order (out of scope), {row.derived}/{in_scope} "

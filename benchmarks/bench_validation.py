@@ -11,6 +11,11 @@ from __future__ import annotations
 
 import pytest
 
+try:
+    from .benchjson import record
+except ImportError:  # standalone: python benchmarks/bench_*.py
+    from benchjson import record
+
 from repro.core import parse_declarations
 from repro.stdlib import standard_context
 from repro.validation import (
@@ -48,6 +53,7 @@ def test_certify_checker_le(benchmark, ctx):
     cert = benchmark(certify_checker, ctx, "le", CFG)
     assert cert.ok, cert.summary()
     cases = sum(o.cases for o in cert.obligations)
+    record("validation", "checker_le.obligation_cases", cases)
     print(f"\n[validation] checker le: {cases} obligation cases")
 
 

@@ -1,0 +1,71 @@
+"""Machine-readable benchmark results: ``BENCH_<name>.json`` emission.
+
+Every ``bench_*.py`` harness prints a human table; this module gives
+them all one structured side channel.  :func:`record` accumulates
+``key -> value`` rows per benchmark name, :func:`emit` writes the
+accumulated (or explicitly passed) payload to ``BENCH_<name>.json``
+in ``$REPRO_BENCH_JSON_DIR`` (default: the current directory), with a
+small meta block — timestamp, quick-mode flag, Python version — so CI
+artifacts from different runners stay comparable.
+
+The files are plain one-object JSON, not JSONL: each benchmark run
+overwrites its own file, and a results dashboard globs
+``BENCH_*.json``.  Writing is best-effort: an unwritable directory
+warns on stderr rather than failing the benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+_PENDING: "dict[str, dict]" = {}
+
+
+def _out_dir() -> str:
+    return os.environ.get("REPRO_BENCH_JSON_DIR") or os.getcwd()
+
+
+def record(name: str, key: str, value) -> None:
+    """Accumulate one result row for benchmark *name* (flushed by the
+    next :func:`emit` for that name)."""
+    _PENDING.setdefault(name, {})[key] = value
+
+
+def emit(name: str, payload: "dict | None" = None) -> "str | None":
+    """Write ``BENCH_<name>.json`` and return its path (None on I/O
+    failure).  *payload* merges over any rows :func:`record`-ed under
+    *name*; both may be empty, which still emits the meta block."""
+    results = dict(_PENDING.pop(name, {}))
+    if payload:
+        results.update(payload)
+    doc = {
+        "benchmark": name,
+        "meta": {
+            "unix_time": int(time.time()),
+            "quick": bool(os.environ.get("REPRO_BENCH_QUICK")),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+    path = os.path.join(_out_dir(), f"BENCH_{name}.json")
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+    except OSError as e:
+        print(f"[benchjson] cannot write {path}: {e}", file=sys.stderr)
+        return None
+    return path
+
+
+def emit_pending() -> "list[str]":
+    """Flush every benchmark with :func:`record`-ed rows (the pytest
+    session-finish hook for harnesses with no ``__main__`` block)."""
+    return [
+        p for name in list(_PENDING)
+        if (p := emit(name)) is not None
+    ]

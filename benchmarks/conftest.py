@@ -66,6 +66,14 @@ def ifc_cell():
     )
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Flush BENCH_<name>.json for benchmarks that recorded rows
+    during the run (see benchmarks/benchjson.py)."""
+    from .benchjson import emit_pending
+
+    emit_pending()
+
+
 def run_property(gen, predicate, num_tests: int, seed: int, size: int = 5) -> int:
     """A tight test loop (generation + predicate); returns tests run
     (discards excluded).  The benchmark measures this function."""

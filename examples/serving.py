@@ -14,9 +14,14 @@ the serving layer that lifts that:
 3. serve a mixed check/enumerate/generate workload through an
    `Engine`: sessioned worker threads, batched `check_batch` dispatch,
    and per-query budgets that come back as *structured give-ups*
-   (reason + `Exhausted` diagnosis), never errors.
+   (reason + `Exhausted` diagnosis), never errors;
+4. (with `--telemetry`) the same engine run under a `Telemetry`
+   recorder: per-(kind, relation) latency percentiles, queue wait,
+   sampled span traces, and — with `--export DIR` — the whole thing
+   written out as `telemetry.jsonl` + `metrics.prom` + `stats.txt`.
 
 Run:  python examples/serving.py [--workers N] [--tests N]
+                                 [--telemetry] [--export DIR]
 """
 
 import argparse
@@ -39,7 +44,14 @@ parser.add_argument("--workers", type=int,
                     default=min(os.cpu_count() or 1, 4))
 parser.add_argument("--tests", type=int, default=400,
                     help="campaign size for the parallel quick_check")
+parser.add_argument("--telemetry", action="store_true",
+                    help="run the engine under a Telemetry recorder")
+parser.add_argument("--export", metavar="DIR", default=None,
+                    help="write telemetry.jsonl/metrics.prom/stats.txt "
+                    "into DIR (implies --telemetry)")
 args = parser.parse_args()
+if args.export:
+    args.telemetry = True
 
 ctx = standard_context()
 parse_declarations(ctx, """
@@ -119,7 +131,16 @@ queries = (
        # a deliberately starved query: structured give-up, not an error
        CheckQuery("le", (nat(20), nat(28)), fuel=64, max_ops=10)]
 )
-with Engine(ctx, workers=args.workers, memoize=True) as eng:
+telemetry = None
+if args.telemetry:
+    from repro.observe.telemetry import Telemetry
+
+    # sample_every=1 traces every query: fine for a demo, far too
+    # eager for production (the default is every 128th per shape).
+    telemetry = Telemetry(sample_every=1)
+
+with Engine(ctx, workers=args.workers, memoize=True,
+            telemetry=telemetry) as eng:
     eng.prepare(queries)
     results = eng.run_batch(queries)
     stats = eng.stats()
@@ -140,4 +161,25 @@ print(f"budgeted check -> status={starved.status}, "
       f"ops={starved.give_up.exhausted.ops}")
 assert starved.status == "gave_up" and starved.give_up.reason == "ops"
 assert all(r.status != "error" for r in results)
+
+
+# -- 4. serving telemetry ----------------------------------------------------
+
+if telemetry is not None:
+    print("\n== serving telemetry ==")
+    print(telemetry.render())
+    if args.export:
+        from pathlib import Path
+
+        from repro.observe import write_prometheus, write_telemetry_jsonl
+
+        outdir = Path(args.export)
+        outdir.mkdir(parents=True, exist_ok=True)
+        write_telemetry_jsonl(telemetry, outdir / "telemetry.jsonl")
+        write_prometheus(telemetry, outdir / "metrics.prom")
+        (outdir / "stats.txt").write_text(telemetry.render() + "\n")
+        print(f"\nexported telemetry.jsonl + metrics.prom + stats.txt "
+              f"to {outdir}/")
+        print(f"re-render: python -m repro.observe {outdir}/telemetry.jsonl")
+
 print("\nSame corpus from the command line: python -m repro.serve --demo")

@@ -28,12 +28,21 @@ them.
 
 from ..derive.trace import OBSERVE_KEY
 from .coverage import CoverageDiff, CoverageDiffRow, RuleCoverage, coverage_diff
-from .export import Dump, read_jsonl, write_chrome_trace, write_jsonl
-from .merge import merge_metrics, merge_observations, merge_traces
-from .metrics import Histogram, Metrics
+from .export import (
+    Dump,
+    read_jsonl,
+    render_prometheus,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+    write_telemetry_jsonl,
+)
+from .merge import merge_metrics, merge_observations, merge_telemetry, merge_traces
+from .metrics import Histogram, Metrics, TimeHistogram
 from .report import render_dump, render_observation
 from .session import Observation, ObserveTrace, observe
 from .spans import DEFAULT_CAP, Span, SpanRecorder
+from .telemetry import QueryEvent, Telemetry
 
 __all__ = [
     "OBSERVE_KEY",
@@ -45,17 +54,24 @@ __all__ = [
     "Metrics",
     "Observation",
     "ObserveTrace",
+    "QueryEvent",
     "RuleCoverage",
     "Span",
     "SpanRecorder",
+    "Telemetry",
+    "TimeHistogram",
     "coverage_diff",
     "merge_metrics",
     "merge_observations",
+    "merge_telemetry",
     "merge_traces",
     "observe",
     "read_jsonl",
     "render_dump",
     "render_observation",
+    "render_prometheus",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prometheus",
+    "write_telemetry_jsonl",
 ]

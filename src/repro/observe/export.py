@@ -1,19 +1,28 @@
-"""Exporters: JSON-lines dumps and Chrome trace-event files.
+"""Exporters: JSON-lines dumps, Chrome traces, Prometheus text.
 
-Two formats, two audiences:
+Three formats, three audiences:
 
 * **JSON lines** (:func:`write_jsonl` / :func:`read_jsonl`) — the
   lossless dump: one ``meta`` line, then one line per span, handler
   entry, histogram, and counter.  ``python -m repro.observe`` renders
   text reports from these files, and :func:`read_jsonl` gives tests
   and notebooks the same data back as plain dicts (no live
-  ``Observation`` needed).
+  ``Observation`` needed).  :func:`write_telemetry_jsonl` dumps a
+  serving-layer :class:`~repro.observe.telemetry.Telemetry` in the
+  same envelope (``query``/``gauge`` lines join the vocabulary), so
+  one reader and one report renderer serve both producers.
 * **Chrome trace events** (:func:`write_chrome_trace`) — complete
   (``"ph": "X"``) events with microsecond timestamps, loadable in
   Perfetto / ``chrome://tracing`` for flame-chart inspection of the
   recursive call tree.  Spans all land on one track; nesting is
   recovered from containment, which holds by construction since child
   spans close before their parents.
+* **Prometheus text exposition** (:func:`render_prometheus` /
+  :func:`write_prometheus`) — counters, gauges, and cumulative-bucket
+  histograms under the ``repro_`` prefix, scrape-ready.  Metric names
+  translate dots to underscores; ``serve.service_seconds.<kind>.<rel>``
+  becomes ``repro_serve_service_seconds{kind=...,rel=...}`` so one
+  metric family carries every query shape.
 """
 
 from __future__ import annotations
@@ -21,7 +30,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from .metrics import TimeHistogram, bucket_upper
+
 FORMAT = "repro.observe/v1"
+TELEMETRY_FORMAT = "repro.telemetry/v1"
 
 
 def _span_lines(obs) -> "list[dict]":
@@ -91,6 +103,46 @@ def write_jsonl(obs, path, *, ctx=None) -> None:
         dump_jsonl(obs, fp, ctx=ctx)
 
 
+def write_telemetry_jsonl(telemetry, path) -> None:
+    """Dump a :class:`~repro.observe.telemetry.Telemetry` as JSON
+    lines in the observe envelope: a ``meta`` line, one ``query`` line
+    per retained event (sampled events carry their span dicts inline),
+    then ``histogram``/``counter``/``gauge`` lines.  ``python -m
+    repro.observe`` renders the file like any other dump."""
+    with telemetry.lock:
+        events = [ev.as_dict() for ev in telemetry.events]
+        hists = [h.as_dict() for h in telemetry.metrics.histograms.values()]
+        counters = sorted(telemetry.metrics.counters.items())
+        gauges = sorted(telemetry.metrics.gauges.items())
+        dropped = telemetry.dropped_events
+    with open(path, "w", encoding="utf-8") as fp:
+        meta = {
+            "type": "meta",
+            "format": TELEMETRY_FORMAT,
+            "queries": len(events),
+            "dropped_events": dropped,
+            "sample_every": telemetry.sample_every,
+            "slow_seconds": telemetry.slow_seconds,
+        }
+        fp.write(json.dumps(meta) + "\n")
+        for ev in events:
+            ev["type"] = "query"
+            fp.write(json.dumps(ev) + "\n")
+        for d in hists:
+            d["type"] = "histogram"
+            fp.write(json.dumps(d) + "\n")
+        for name, value in counters:
+            fp.write(
+                json.dumps({"type": "counter", "name": name, "value": value})
+                + "\n"
+            )
+        for name, value in gauges:
+            fp.write(
+                json.dumps({"type": "gauge", "name": name, "value": value})
+                + "\n"
+            )
+
+
 @dataclass
 class Dump:
     """A JSON-lines dump read back: the report renderer's input."""
@@ -101,6 +153,8 @@ class Dump:
     histograms: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
     diffs: list = field(default_factory=list)
+    queries: list = field(default_factory=list)
+    gauges: dict = field(default_factory=dict)
 
     def contradictions(self) -> "list[tuple[str, str, str, str]]":
         """``(relation, mode, kind, rule)`` for every dead-but-fired
@@ -142,6 +196,10 @@ def read_jsonl(path) -> Dump:
                 dump.counters[obj["name"]] = obj["value"]
             elif kind == "diff":
                 dump.diffs.append(obj)
+            elif kind == "query":
+                dump.queries.append(obj)
+            elif kind == "gauge":
+                dump.gauges[obj["name"]] = obj["value"]
     return dump
 
 
@@ -176,3 +234,93 @@ def write_chrome_trace(obs, path) -> None:
         json.dump(
             {"traceEvents": events, "displayTimeUnit": "ms"}, fp, indent=None
         )
+
+
+def _prom_name(name: str) -> "tuple[str, dict]":
+    """Translate a registry name to (metric family, labels).
+
+    ``serve.service_seconds.<kind>.<rel>`` and ``serve.gave_up.
+    <kind>.<rel>`` fold their trailing coordinates into labels so each
+    family is one scrapeable series set; everything else maps dots to
+    underscores under the ``repro_`` prefix."""
+    for family in ("serve.service_seconds.", "serve.gave_up."):
+        if name.startswith(family) and name.count(".") >= 3:
+            rest = name[len(family):]
+            kind, _, rel = rest.partition(".")
+            if kind in ("check", "enum", "gen", "test") and rel:
+                base = "repro_" + family[:-1].replace(".", "_")
+                return base, {"kind": kind, "rel": rel}
+    if name.startswith("test.service_seconds."):
+        rel = name[len("test.service_seconds."):]
+        return "repro_serve_service_seconds", {"kind": "test", "rel": rel}
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return "repro_" + safe, {}
+
+
+def _prom_labels(labels: dict, extra: "dict | None" = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    return "{" + body + "}"
+
+
+def render_prometheus(source) -> str:
+    """Prometheus text exposition (version 0.0.4) for a
+    :class:`~repro.observe.metrics.Metrics` registry or anything with
+    a ``.metrics`` attribute (a ``Telemetry``, an ``Observation``).
+
+    Counters render as ``counter``, gauges as ``gauge``, histograms as
+    cumulative ``le``-bucketed ``histogram`` families with ``_sum``
+    and ``_count``; time histograms expose bucket edges in seconds
+    (the Prometheus convention), int histograms in their raw unit.
+    """
+    metrics = getattr(source, "metrics", source)
+    lines: list[str] = []
+    seen_types: set = set()
+    for name in sorted(metrics.counters):
+        family, labels = _prom_name(name)
+        if family not in seen_types:
+            seen_types.add(family)
+            lines.append(f"# TYPE {family} counter")
+        lines.append(
+            f"{family}{_prom_labels(labels)} {metrics.counters[name]}"
+        )
+    for name in sorted(metrics.gauges):
+        family, labels = _prom_name(name)
+        if family not in seen_types:
+            seen_types.add(family)
+            lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family}{_prom_labels(labels)} {metrics.gauges[name]:g}")
+    for name in sorted(metrics.histograms):
+        h = metrics.histograms[name]
+        family, labels = _prom_name(name)
+        timed = isinstance(h, TimeHistogram) or getattr(h, "unit", None) == (
+            "seconds"
+        )
+        if family not in seen_types:
+            seen_types.add(family)
+            lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for b in sorted(h.buckets):
+            cumulative += h.buckets[b]
+            edge = bucket_upper(b) / 1e6 if timed else bucket_upper(b)
+            le = f"{edge:g}"
+            lines.append(
+                f"{family}_bucket{_prom_labels(labels, {'le': le})} "
+                f"{cumulative}"
+            )
+        lines.append(
+            f"{family}_bucket{_prom_labels(labels, {'le': '+Inf'})} {h.count}"
+        )
+        total = h.total if timed else float(h.total)
+        lines.append(f"{family}_sum{_prom_labels(labels)} {total:g}")
+        lines.append(f"{family}_count{_prom_labels(labels)} {h.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(source, path) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write(render_prometheus(source))

@@ -41,14 +41,18 @@ def merge_traces(traces: Iterable[DeriveTrace], into: DeriveTrace) -> DeriveTrac
 
 
 def merge_metrics(metrics: Iterable[Metrics], into: Metrics) -> Metrics:
-    """Sum histograms bucket-wise and counters key-wise into *into*.
+    """Sum histograms bucket-wise and counters key-wise into *into*;
+    gauges (levels, not counts) merge by max.
 
     Counters come from each shard's ``counter_snapshot()``, so bound
     ``stats.*`` counters are carried over as materialized values.
+    Histograms keep their concrete class (a shard's
+    :class:`~repro.observe.metrics.TimeHistogram` merges into a
+    ``TimeHistogram``, so percentiles survive the merge).
     """
     for m in metrics:
         for name, h in m.histograms.items():
-            dst = into.histogram(name)
+            dst = into.histogram(name, type(h))
             for b, n in h.buckets.items():
                 dst.buckets[b] = dst.buckets.get(b, 0) + n
             dst.count += h.count
@@ -59,6 +63,9 @@ def merge_metrics(metrics: Iterable[Metrics], into: Metrics) -> Metrics:
                 dst.max = h.max
         for name, n in m.counter_snapshot().items():
             into.counters[name] = into.counters.get(name, 0) + n
+        for name, v in m.gauges.items():
+            if v > into.gauges.get(name, float("-inf")):
+                into.gauges[name] = v
     return into
 
 
@@ -106,4 +113,54 @@ def merge_observations(
         recorder.dropped += o.spans.dropped
         offset += top
     recorder._next = offset
+    return merged
+
+
+def merge_telemetry(telemetries: "list") -> "object":
+    """One :class:`~repro.observe.telemetry.Telemetry` equivalent to
+    the shards run back to back: metrics merge via
+    :func:`merge_metrics` (histograms bucket-wise with their classes
+    kept, counters summed, gauges by max), and the shard event logs
+    concatenate in shard order with query ids renumbered by each
+    shard's max id — the same offset scheme as span sids, so merged
+    ids stay campaign-unique and shard-ordered.  Each copied event is
+    stamped with its source shard's index (first stamp wins, so
+    merging merges keeps the original coordinates).
+    """
+    from .telemetry import QueryEvent, Telemetry
+
+    telemetries = list(telemetries)
+    if not telemetries:
+        raise ValueError("merge_telemetry() needs at least one Telemetry")
+    first = telemetries[0]
+    merged = Telemetry(
+        sample_every=first.sample_every,
+        slow_seconds=first.slow_seconds,
+        event_cap=None,  # shards' own caps already bounded each side
+        span_cap=first.span_cap,
+    )
+    merged.metrics = Metrics()
+    merge_metrics((t.metrics for t in telemetries), merged.metrics)
+    # merged's cached histogram handles must point into the merged
+    # registry, not the empty ones built by __init__.
+    merged._service = {}
+    merged._queue_hist = merged.metrics.time_histogram("serve.queue_seconds")
+    merged._batch_hist = merged.metrics.histogram("serve.batch_size")
+    offset = 0
+    for index, t in enumerate(telemetries):
+        top = 0
+        for ev in t.events:
+            merged.events.append(
+                QueryEvent(
+                    ev.qid + offset, ev.kind, ev.rel, ev.mode, ev.status,
+                    ev.reason, ev.worker, ev.queue_seconds,
+                    ev.service_seconds, ev.batch, ev.spans,
+                    ev.shard if ev.shard is not None else index,
+                )
+            )
+            if ev.qid > top:
+                top = ev.qid
+        merged.dropped_events += t.dropped_events
+        offset += max(top, t._next_qid)
+    merged._next_qid = offset
     return merged

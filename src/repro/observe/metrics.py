@@ -8,8 +8,15 @@ power-of-two floors above (16–31, 32–63, ...), so the table stays
 small at any scale while the head of the distribution — where
 QuickChick-style generators live — stays exact.
 
-:class:`Metrics` is the registry: histograms and counters by name,
-plus an optional binding to the context's
+:class:`TimeHistogram` reuses the same bucket ladder over
+**microseconds** for wall-clock latencies (service time, queue wait):
+a query taking 3.2 ms lands in the 2048–4095 µs bucket, and the
+cumulative bucket walk recovers p50/p90/p99 to within one power of
+two — the resolution any latency SLO conversation actually runs at.
+Totals and min/max stay exact float seconds, so means are unbucketed.
+
+:class:`Metrics` is the registry: histograms, counters, and gauges by
+name, plus an optional binding to the context's
 :class:`~repro.derive.stats.DeriveStats` so one snapshot carries both
 the observation-layer distributions and the derive-layer counters
 (``stats.*``) without duplicating the counting sites.
@@ -30,6 +37,14 @@ def bucket_label(floor: int) -> str:
     if floor < 16:
         return str(floor)
     return f"{floor}-{floor * 2 - 1}"
+
+
+def bucket_upper(floor: int) -> int:
+    """Exclusive upper edge of the bucket whose floor is *floor* —
+    the ``le`` bound a cumulative (Prometheus-style) exposition needs."""
+    if floor < 16:
+        return floor + 1
+    return floor * 2
 
 
 class Histogram:
@@ -87,29 +102,178 @@ class Histogram:
             lines.append(f"  {bucket_label(b):>{label_w}} | {n:>7,} {bar}")
         return "\n".join(lines)
 
+    def observe_n(self, value: int, n: int) -> None:
+        """Record *n* observations of the same value in one bucket
+        update — the batched-dispatch fast path (one lock hold, one
+        bucket increment for a whole check batch)."""
+        if n <= 0:
+            return
+        b = bucket_floor(value)
+        self.buckets[b] = self.buckets.get(b, 0) + n
+        self.count += n
+        self.total += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile estimated from the bucket table: the upper
+        edge of the bucket where the cumulative count crosses
+        ``q * count``, clamped to the exact observed [min, max].  Off
+        by at most one power of two — latency-report resolution, not
+        benchmark resolution."""
+        if not self.count:
+            return 0.0
+        target = max(1, -(-int(q * self.count * 1000) // 1000))  # ceil
+        if target > self.count:
+            target = self.count
+        seen = 0
+        for b in sorted(self.buckets):
+            seen += self.buckets[b]
+            if seen >= target:
+                est = bucket_upper(b)
+                return float(min(max(est, self.min), self.max))
+        return float(self.max)
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count})"
 
 
-class Metrics:
-    """The registry: named histograms and counters, created on first
-    use so instrumentation sites need no setup."""
+def _fmt_seconds(s: "float | None") -> str:
+    if s is None:
+        return "-"
+    if s < 1e-3:
+        return f"{s * 1e6:.0f}µs"
+    if s < 1.0:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s:.3f}s"
 
-    __slots__ = ("histograms", "counters", "_stats")
+
+class TimeHistogram(Histogram):
+    """A :class:`Histogram` over wall-clock durations.
+
+    Observations are **seconds** (floats); buckets are the same
+    exact-below-16 / power-of-two ladder applied to the duration in
+    integer **microseconds**, so the 1 µs–16 µs head (memo hits,
+    batched point checks) stays exact while multi-second outliers
+    still land in a bounded table.  ``total``/``min``/``max`` keep the
+    exact float seconds; :meth:`quantile` answers in seconds.
+    """
+
+    __slots__ = ()
+
+    #: Marks dumps/JSONL lines so readers rebuild the right class.
+    unit = "seconds"
+
+    def observe(self, seconds: float) -> None:  # type: ignore[override]
+        b = bucket_floor(int(seconds * 1e6))
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    def observe_n(self, seconds: float, n: int) -> None:  # type: ignore[override]
+        if n <= 0:
+            return
+        b = bucket_floor(int(seconds * 1e6))
+        self.buckets[b] = self.buckets.get(b, 0) + n
+        self.count += n
+        self.total += seconds * n
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile in **seconds** (bucket upper edge, clamped
+        to the exact observed range)."""
+        if not self.count:
+            return 0.0
+        target = max(1, -(-int(q * self.count * 1000) // 1000))
+        if target > self.count:
+            target = self.count
+        seen = 0
+        for b in sorted(self.buckets):
+            seen += self.buckets[b]
+            if seen >= target:
+                est = bucket_upper(b) / 1e6
+                return min(max(est, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def as_dict(self) -> dict:
+        d = super().as_dict()
+        d["unit"] = self.unit
+        d["p50"] = self.p50
+        d["p90"] = self.p90
+        d["p99"] = self.p99
+        return d
+
+    def render(self, width: int = 40) -> str:
+        if not self.count:
+            return f"{self.name}: (no observations)"
+        head = (
+            f"{self.name}: n={self.count} mean={_fmt_seconds(self.mean)}"
+            f" p50={_fmt_seconds(self.p50)} p99={_fmt_seconds(self.p99)}"
+            f" max={_fmt_seconds(self.max)}"
+        )
+        peak = max(self.buckets.values())
+        lines = [head]
+        labels = {b: _fmt_seconds(b / 1e6) for b in self.buckets}
+        label_w = max(len(lbl) for lbl in labels.values())
+        for b in sorted(self.buckets):
+            n = self.buckets[b]
+            bar = "#" * max(1, round(n * width / peak))
+            lines.append(f"  {labels[b]:>{label_w}} | {n:>7,} {bar}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"TimeHistogram({self.name!r}, n={self.count})"
+
+
+class Metrics:
+    """The registry: named histograms, counters, and gauges, created
+    on first use so instrumentation sites need no setup."""
+
+    __slots__ = ("histograms", "counters", "gauges", "_stats")
 
     def __init__(self) -> None:
         self.histograms: dict[str, Histogram] = {}
         self.counters: dict[str, int] = {}
+        # Gauges are last-written levels (queue depth, live workers),
+        # not monotone counts; merges take the max, not the sum.
+        self.gauges: dict[str, float] = {}
         self._stats = None
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, cls: type = Histogram) -> Histogram:
         h = self.histograms.get(name)
         if h is None:
-            h = self.histograms[name] = Histogram(name)
+            h = self.histograms[name] = cls(name)
         return h
+
+    def time_histogram(self, name: str) -> TimeHistogram:
+        return self.histogram(name, TimeHistogram)
 
     def inc(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
 
     def bind_stats(self, stats) -> None:
         """Unify with a :class:`~repro.derive.stats.DeriveStats`: its
@@ -132,6 +296,7 @@ class Metrics:
                 name: h.as_dict() for name, h in sorted(self.histograms.items())
             },
             "counters": self.counter_snapshot(),
+            "gauges": dict(sorted(self.gauges.items())),
         }
 
     def __repr__(self) -> str:

@@ -11,17 +11,51 @@ dict shapes and delegates to :func:`render_dump`, which is what
 * **rule coverage** — the per ``(relation, mode, kind)`` fired/unfired
   table derived from the handler entries;
 * **histograms** — bucket bars for each registered distribution;
-* **counters** — flat name/value list (``stats.*`` are the derive
-  layer's counters; ``budget.*`` are resource-governance events —
-  trips per limit, injected faults, evictions — recorded by
-  :mod:`repro.resilience.budget`).
+* **queries** — per-(kind, relation) latency/give-up table, present
+  when the dump carries serving-layer ``query`` lines
+  (:func:`~repro.observe.export.write_telemetry_jsonl`);
+* **counters** — flat name/value list.
+
+Counter-name table (who records what):
+
+=========================  ===============================================
+prefix                     recorded by
+=========================  ===============================================
+``stats.*``                the derive layer's ``DeriveStats`` (calls,
+                           memo hits, codegen events), materialized at
+                           snapshot time
+``budget.*``               resource governance — trips per limit,
+                           injected faults, evictions
+                           (:mod:`repro.resilience.budget`)
+``serve.*``                the serving engine via ``Telemetry`` —
+                           ``serve.queries`` / ``serve.ok`` /
+                           ``serve.gave_up`` / ``serve.error`` /
+                           ``serve.batched`` totals,
+                           ``serve.gave_up.reason.<reason>`` and
+                           ``serve.gave_up.<kind>.<rel>`` breakdowns,
+                           ``serve.traced`` sampled span trees, and
+                           ``serve.worker.<i>.*`` per-worker rows
+                           (the locked registry behind
+                           ``Engine.stats()``)
+``test.*``                 campaign telemetry — ``test.runs`` /
+                           ``test.ok`` / ``test.discard`` /
+                           ``test.failed`` / ``test.gave_up`` /
+                           ``test.retries`` per executed test
+                           (:meth:`~repro.observe.telemetry.Telemetry.
+                           record_test`)
+=========================  ===============================================
+
+Telemetry gauges (``serve.queue_depth``, ``serve.queue_depth.max``)
+and time histograms (``serve.service_seconds.<kind>.<rel>``,
+``serve.queue_seconds``, ``serve.batch_size``,
+``test.service_seconds.<prop>``) ride in the same dump vocabulary.
 """
 
 from __future__ import annotations
 
 from .coverage import CoverageDiff, RuleCoverage
 from .export import Dump
-from .metrics import Histogram
+from .metrics import Histogram, TimeHistogram, _fmt_seconds
 
 
 def _coverage_from_handlers(handlers: list) -> RuleCoverage:
@@ -34,7 +68,10 @@ def _coverage_from_handlers(handlers: list) -> RuleCoverage:
 
 
 def _histogram_from_dict(d: dict) -> Histogram:
-    h = Histogram(d["name"])
+    # Time-valued histograms mark themselves with unit="seconds" so
+    # the rebuilt object renders µs/ms and answers percentiles.
+    cls = TimeHistogram if d.get("unit") == "seconds" else Histogram
+    h = cls(d["name"])
     h.count = d["count"]
     h.total = d["total"]
     h.min = d["min"]
@@ -76,6 +113,46 @@ def _render_top_spans(
     return lines
 
 
+def _render_queries(queries: list, top: "int | None") -> list[str]:
+    """The per-(kind, rel) latency table aggregated from query lines
+    (the dump-side analogue of ``Telemetry.query_table``)."""
+    by_key: dict = {}
+    for q in queries:
+        row = by_key.setdefault(
+            (q["kind"], q["rel"]),
+            {"count": 0, "gave_up": 0, "total": 0.0, "worst": 0.0,
+             "traced": 0},
+        )
+        row["count"] += 1
+        row["total"] += q.get("service_seconds", 0.0)
+        row["worst"] = max(row["worst"], q.get("service_seconds", 0.0))
+        if q["status"] == "gave_up":
+            row["gave_up"] += 1
+        if q.get("spans"):
+            row["traced"] += 1
+    rows = sorted(by_key.items(), key=lambda kv: (-kv[1]["count"], kv[0]))
+    hidden = 0
+    if top is not None and top and top < len(rows):
+        hidden = len(rows) - top
+        rows = rows[:top]
+    label_w = max(len(f"{k}:{r}") for (k, r), _ in rows)
+    label_w = max(label_w, len("query"))
+    lines = [
+        f"  {'query':<{label_w}} {'n':>8} {'gave_up':>8} {'mean':>9}"
+        f" {'max':>9} {'traced':>7}"
+    ]
+    for (kind, rel), row in rows:
+        mean = row["total"] / row["count"] if row["count"] else 0.0
+        lines.append(
+            f"  {f'{kind}:{rel}':<{label_w}} {row['count']:>8,}"
+            f" {row['gave_up']:>8,} {_fmt_seconds(mean):>9}"
+            f" {_fmt_seconds(row['worst']):>9} {row['traced']:>7}"
+        )
+    if hidden:
+        lines.append(f"  ... ({hidden} more query shapes)")
+    return lines
+
+
 def render_dump(
     dump: Dump, top: "int | None" = 10, relation: "str | None" = None
 ) -> str:
@@ -87,14 +164,34 @@ def render_dump(
         f"format: {dump.format}   spans: {meta.get('spans', len(dump.spans))}"
         f"   open: {meta.get('open_spans', 0)}"
         f"   dropped: {meta.get('dropped_spans', 0)}",
-        "",
-        f"Top spans by wall-time{f' ({relation})' if relation else ''}:",
-        *_render_top_spans(dump.spans, top, relation),
-        "",
-        _coverage_from_handlers(dump.handlers).report(
-            top=top, relation=relation
-        ),
     ]
+    # Telemetry dumps carry query events; a pure telemetry file has no
+    # span forest, so the span/coverage sections only render when
+    # there is (or could be) span data to show.
+    if dump.spans or dump.handlers or not dump.queries:
+        sections += [
+            "",
+            f"Top spans by wall-time{f' ({relation})' if relation else ''}:",
+            *_render_top_spans(dump.spans, top, relation),
+            "",
+            _coverage_from_handlers(dump.handlers).report(
+                top=top, relation=relation
+            ),
+        ]
+    if dump.queries:
+        queries = dump.queries
+        if relation is not None:
+            queries = [q for q in queries if q["rel"] == relation]
+        sections.append("")
+        sections.append(
+            f"Queries ({len(queries)} events"
+            f"{f', relation {relation!r}' if relation else ''}"
+            f"{', ' + str(meta.get('dropped_events', 0)) + ' dropped' if meta.get('dropped_events') else ''}):"
+        )
+        if queries:
+            sections.extend(_render_queries(queries, top))
+        else:
+            sections.append("  (no matching query events)")
     diffs = dump.diffs
     if relation is not None:
         diffs = [d for d in diffs if d["relation"] == relation]
@@ -127,6 +224,12 @@ def render_dump(
         width = max(len(n) for n in dump.counters)
         for name in sorted(dump.counters):
             sections.append(f"  {name:<{width}} {dump.counters[name]:>12,}")
+    if dump.gauges:
+        sections.append("")
+        sections.append("Gauges:")
+        width = max(len(n) for n in dump.gauges)
+        for name in sorted(dump.gauges):
+            sections.append(f"  {name:<{width}} {dump.gauges[name]:>12g}")
     return "\n".join(sections)
 
 
@@ -148,5 +251,6 @@ def render_observation(
         handlers=_handler_lines(obs),
         histograms=[h.as_dict() for h in obs.metrics.histograms.values()],
         counters=obs.metrics.counter_snapshot(),
+        gauges=dict(obs.metrics.gauges),
     )
     return render_dump(dump, top=top, relation=relation)

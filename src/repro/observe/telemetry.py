@@ -1,0 +1,493 @@
+"""Serving-layer telemetry: per-query events, latency histograms,
+sampling policy — the feedback substrate under the engine and
+parallel campaigns.
+
+A :class:`Telemetry` object is a thread-safe recording surface shared
+by every worker of one :class:`~repro.serve.engine.Engine` (or one
+campaign shard).  Each served query contributes:
+
+* one :class:`QueryEvent` in a bounded ring (query id, kind, relation,
+  status, worker, queue wait, service time, batch size — and, for
+  *sampled or slow* queries only, the full span tree of the execution);
+* per-``(kind, relation)`` **service-time** and global **queue-wait**
+  :class:`~repro.observe.metrics.TimeHistogram`\\ s (p50/p90/p99 read
+  straight off the buckets), a **batch-size** histogram, and
+  ``serve.*`` counters (ok / gave-up by reason / errors / batched /
+  per-worker rows);
+* **queue-depth** gauges updated at submit time.
+
+Sampling keeps the overhead contract (``bench_telemetry.py``'s
+≤1.05× bar): histograms and counters record *every* query — they are
+a few dict updates — while span trees, the expensive part, attach only
+to every *sample_every*-th query id, plus **latency-threshold
+tracing**: when a query's service time exceeds *slow_seconds*, its
+``(kind, relation)`` is flagged and the *next* query of that shape is
+traced (spans cannot be recorded retroactively, so the threshold arms
+a prospective trace on the offending shape).
+
+Campaign shards record per-test events through :meth:`Telemetry.
+record_test`; shard objects return over the fork pipe (the lock is
+dropped on pickle and rebuilt on load) and merge via
+:func:`repro.observe.merge.merge_telemetry` with shard-local query
+ids renumbered exactly like span sids.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+from .metrics import Histogram, Metrics, TimeHistogram, _fmt_seconds
+
+#: Default: attach a span tree to one query in 128.
+DEFAULT_SAMPLE_EVERY = 128
+#: Default ring size for retained query events.
+DEFAULT_EVENT_CAP = 4096
+
+
+class QueryEvent:
+    """One served query (or campaign test), flattened for export.
+
+    *spans* is ``None`` for unsampled queries; for sampled/slow ones
+    it is the list of span dicts (:meth:`~repro.observe.spans.Span.
+    as_dict`) recorded under the query's execution.  *shard* is
+    ``None`` until a merge stamps the source shard's index.
+    """
+
+    __slots__ = (
+        "qid", "kind", "rel", "mode", "status", "reason", "worker",
+        "queue_seconds", "service_seconds", "batch", "spans", "shard",
+    )
+
+    def __init__(
+        self, qid, kind, rel, mode, status, reason, worker,
+        queue_seconds, service_seconds, batch, spans=None, shard=None,
+    ):
+        self.qid = qid
+        self.kind = kind
+        self.rel = rel
+        self.mode = mode
+        self.status = status
+        self.reason = reason
+        self.worker = worker
+        self.queue_seconds = queue_seconds
+        self.service_seconds = service_seconds
+        self.batch = batch
+        self.spans = spans
+        self.shard = shard
+
+    def as_dict(self) -> dict:
+        return {
+            "qid": self.qid,
+            "kind": self.kind,
+            "rel": self.rel,
+            "mode": self.mode,
+            "status": self.status,
+            "reason": self.reason,
+            "worker": self.worker,
+            "queue_seconds": self.queue_seconds,
+            "service_seconds": self.service_seconds,
+            "batch": self.batch,
+            "spans": self.spans,
+            "shard": self.shard,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QueryEvent":
+        return cls(
+            d["qid"], d["kind"], d["rel"], d.get("mode", ""),
+            d["status"], d.get("reason"), d.get("worker"),
+            d.get("queue_seconds", 0.0), d.get("service_seconds", 0.0),
+            d.get("batch", 1), d.get("spans"), d.get("shard"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEvent(qid={self.qid}, {self.kind}:{self.rel}"
+            f"[{self.mode}], {self.status}, "
+            f"{_fmt_seconds(self.service_seconds)})"
+        )
+
+
+class Telemetry:
+    """The shared recording surface (see the module docstring).
+
+    *sample_every* = N attaches span trees to every Nth query id
+    (1 = trace everything, 0/None = never sample); *slow_seconds*
+    arms a prospective trace on any (kind, relation) whose last query
+    exceeded it; *event_cap* bounds the event ring (evictions are
+    counted in ``dropped_events``, never silent); *span_cap* bounds
+    each sampled query's span buffer.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_every: "int | None" = DEFAULT_SAMPLE_EVERY,
+        slow_seconds: "float | None" = None,
+        event_cap: "int | None" = DEFAULT_EVENT_CAP,
+        span_cap: int = 2048,
+    ) -> None:
+        self.sample_every = sample_every or 0
+        self.slow_seconds = slow_seconds
+        self.event_cap = event_cap
+        self.span_cap = span_cap
+        self.metrics = Metrics()
+        self.events: list[QueryEvent] = []
+        self.dropped_events = 0
+        self._next_qid = 0
+        self._slow_armed: set = set()   # (kind, rel) shapes to trace next
+        # Hot-path caches: (kind, rel) -> histogram / canonical names,
+        # so per-query recording never builds f-strings.
+        self._service: dict = {}
+        self._queue_hist = self.metrics.time_histogram("serve.queue_seconds")
+        self._batch_hist = self.metrics.histogram("serve.batch_size")
+        self._worker_names: dict = {}
+        self.lock = threading.Lock()
+
+    # -- pickling (fork shards return over the pipe) ------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.lock = threading.Lock()
+
+    # -- write side ---------------------------------------------------------
+
+    def next_qid(self) -> int:
+        """Allocate the next query id (1-based, campaign-unique)."""
+        with self.lock:
+            self._next_qid += 1
+            return self._next_qid
+
+    def should_trace(self, qid: int, kind: str, rel: str) -> bool:
+        """Whether this query carries a full span tree: every
+        *sample_every*-th id, or a shape armed by a slow predecessor."""
+        if self.sample_every and (qid - 1) % self.sample_every == 0:
+            return True
+        return (kind, rel) in self._slow_armed
+
+    def _service_hist(self, kind: str, rel: str) -> TimeHistogram:
+        key = (kind, rel)
+        h = self._service.get(key)
+        if h is None:
+            h = self.metrics.time_histogram(
+                f"serve.service_seconds.{kind}.{rel}"
+            )
+            self._service[key] = h
+        return h
+
+    def _worker_row(self, worker: int) -> tuple:
+        names = self._worker_names.get(worker)
+        if names is None:
+            prefix = f"serve.worker.{worker}."
+            names = tuple(
+                prefix + f for f in ("queries", "batched", "gave_up", "errors")
+            )
+            self._worker_names[worker] = names
+        return names
+
+    def _append_event(self, ev: QueryEvent) -> None:
+        self.events.append(ev)
+        cap = self.event_cap
+        if cap is not None and len(self.events) > cap:
+            drop = len(self.events) - cap
+            del self.events[:drop]
+            self.dropped_events += drop
+
+    def record_query(
+        self,
+        *,
+        qid: int,
+        kind: str,
+        rel: str,
+        mode: str = "",
+        status: str,
+        reason: "str | None" = None,
+        worker: "int | None" = None,
+        queue_seconds: float = 0.0,
+        service_seconds: float = 0.0,
+        batch: int = 1,
+        spans: "list | None" = None,
+    ) -> None:
+        """Record one served query: histograms + counters always, the
+        event always (ring-bounded), spans only when the caller traced
+        it.  One lock hold per call."""
+        with self.lock:
+            c = self.metrics.counters
+            c["serve.queries"] = c.get("serve.queries", 0) + 1
+            skey = f"serve.{status}"
+            c[skey] = c.get(skey, 0) + 1
+            if reason is not None:
+                rkey = f"serve.gave_up.reason.{reason}"
+                c[rkey] = c.get(rkey, 0) + 1
+                gkey = f"serve.gave_up.{kind}.{rel}"
+                c[gkey] = c.get(gkey, 0) + 1
+            if batch > 1:
+                c["serve.batched"] = c.get("serve.batched", 0) + 1
+            if spans is not None:
+                c["serve.traced"] = c.get("serve.traced", 0) + 1
+            if worker is not None:
+                wq, wb, wg, we = self._worker_row(worker)
+                c[wq] = c.get(wq, 0) + 1
+                if batch > 1:
+                    c[wb] = c.get(wb, 0) + 1
+                if status == "gave_up":
+                    c[wg] = c.get(wg, 0) + 1
+                elif status == "error":
+                    c[we] = c.get(we, 0) + 1
+            self._service_hist(kind, rel).observe(service_seconds)
+            self._queue_hist.observe(queue_seconds)
+            self._batch_hist.observe(batch)
+            self._arm_slow(kind, rel, service_seconds, spans)
+            self._append_event(
+                QueryEvent(
+                    qid, kind, rel, mode, status, reason, worker,
+                    queue_seconds, service_seconds, batch, spans,
+                )
+            )
+
+    def record_batch(
+        self,
+        *,
+        kind: str,
+        rel: str,
+        worker: "int | None",
+        entries: "list[tuple]",
+        service_seconds: float,
+        statuses: "list[str]",
+        reasons: "list[str | None]",
+    ) -> None:
+        """Record one served check batch in a single lock hold.
+
+        *entries* is ``[(qid, queue_seconds), ...]`` in batch order;
+        *service_seconds* is the per-query amortized service time (the
+        batch wall time split evenly — the batch entry point answers
+        all members together).
+        """
+        n = len(entries)
+        with self.lock:
+            c = self.metrics.counters
+            c["serve.queries"] = c.get("serve.queries", 0) + n
+            c["serve.batched"] = c.get("serve.batched", 0) + n
+            for status in statuses:
+                skey = f"serve.{status}"
+                c[skey] = c.get(skey, 0) + 1
+            gave_up = 0
+            for reason in reasons:
+                if reason is not None:
+                    gave_up += 1
+                    rkey = f"serve.gave_up.reason.{reason}"
+                    c[rkey] = c.get(rkey, 0) + 1
+            if gave_up:
+                gkey = f"serve.gave_up.{kind}.{rel}"
+                c[gkey] = c.get(gkey, 0) + gave_up
+            if worker is not None:
+                wq, wb, wg, we = self._worker_row(worker)
+                c[wq] = c.get(wq, 0) + n
+                c[wb] = c.get(wb, 0) + n
+                if gave_up:
+                    c[wg] = c.get(wg, 0) + gave_up
+            hist = self._service_hist(kind, rel)
+            hist.observe_n(service_seconds, n)
+            self._batch_hist.observe_n(n, n)
+            qh = self._queue_hist
+            for (qid, queue_seconds), status, reason in zip(
+                entries, statuses, reasons
+            ):
+                qh.observe(queue_seconds)
+                self._append_event(
+                    QueryEvent(
+                        qid, kind, rel, "", status, reason, worker,
+                        queue_seconds, service_seconds, n,
+                    )
+                )
+            self._arm_slow(kind, rel, service_seconds, None)
+
+    def _arm_slow(self, kind, rel, service_seconds, spans) -> None:
+        # Must run under self.lock.  A slow query arms a prospective
+        # trace for its shape (spans can't be captured after the
+        # fact); the armed trace, once captured, disarms it.
+        slow = self.slow_seconds
+        if slow is None:
+            return
+        key = (kind, rel)
+        if spans is not None:
+            self._slow_armed.discard(key)
+        elif service_seconds > slow:
+            self._slow_armed.add(key)
+
+    def record_test(
+        self,
+        rel: str,
+        status: str,
+        service_seconds: float,
+        *,
+        retries: int = 0,
+    ) -> None:
+        """Record one campaign test execution (*rel* is the property
+        name).  *status* is ``"ok"`` / ``"discard"`` / ``"failed"`` /
+        ``"gave_up"`` (budget-tripped past its retries)."""
+        with self.lock:
+            c = self.metrics.counters
+            c["test.runs"] = c.get("test.runs", 0) + 1
+            skey = f"test.{status}"
+            c[skey] = c.get(skey, 0) + 1
+            if retries:
+                c["test.retries"] = c.get("test.retries", 0) + retries
+            self._service_hist("test", rel).observe(service_seconds)
+            self._next_qid += 1
+            self._append_event(
+                QueryEvent(
+                    self._next_qid, "test", rel, "", status,
+                    None, None, 0.0, service_seconds, 1,
+                )
+            )
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Update the queue-depth gauges.  Unlocked by design: a gauge
+        is a single dict store (atomic under the GIL) and the submit
+        path must not contend with the workers' recording lock."""
+        g = self.metrics.gauges
+        g["serve.queue_depth"] = depth
+        if depth > g.get("serve.queue_depth.max", 0):
+            g["serve.queue_depth.max"] = depth
+
+    # -- read side ----------------------------------------------------------
+
+    def query_table(self) -> "list[dict]":
+        """One row per (kind, relation): count, give-ups, latency
+        percentiles — the body of the ``--stats`` view."""
+        with self.lock:
+            counters = dict(self.metrics.counters)
+            hists = [
+                h for h in self.metrics.histograms.values()
+                if h.name.startswith("serve.service_seconds.")
+                or h.name.startswith("test.service_seconds.")
+            ]
+            rows = []
+            for h in hists:
+                prefix, _, rest = h.name.partition(".service_seconds.")
+                if prefix == "test":
+                    kind, rel = "test", rest
+                else:
+                    kind, _, rel = rest.partition(".")
+                gave_up = counters.get(f"serve.gave_up.{kind}.{rel}", 0)
+                rows.append(
+                    {
+                        "kind": kind,
+                        "rel": rel,
+                        "count": h.count,
+                        "gave_up": gave_up,
+                        "give_up_rate": gave_up / h.count if h.count else 0.0,
+                        "mean_seconds": h.mean,
+                        "p50_seconds": h.p50,
+                        "p90_seconds": h.p90,
+                        "p99_seconds": h.p99,
+                        "max_seconds": h.max,
+                    }
+                )
+        rows.sort(key=lambda r: (-r["count"], r["kind"], r["rel"]))
+        return rows
+
+    def snapshot(self) -> dict:
+        """A JSON-ready point-in-time view: counters, gauges, the
+        per-(kind, rel) latency table, queue-wait and batch-size
+        summaries, event-ring occupancy."""
+        table = self.query_table()
+        with self.lock:
+            qh, bh = self._queue_hist, self._batch_hist
+            return {
+                "counters": dict(self.metrics.counters),
+                "gauges": dict(self.metrics.gauges),
+                "queries": table,
+                "queue_wait": {
+                    "count": qh.count,
+                    "p50_seconds": qh.p50,
+                    "p99_seconds": qh.p99,
+                    "max_seconds": qh.max,
+                },
+                "batch_size": {
+                    "count": bh.count,
+                    "mean": bh.mean,
+                    "max": bh.max,
+                },
+                "events": len(self.events),
+                "dropped_events": self.dropped_events,
+                "traced": self.metrics.counters.get("serve.traced", 0),
+            }
+
+    def render(self, top: int = 12) -> str:
+        """The ``top``-style text snapshot behind ``python -m
+        repro.serve --stats``."""
+        snap = self.snapshot()
+        c = snap["counters"]
+        served = c.get("serve.queries", 0)
+        head = [
+            "repro.serve telemetry",
+            "=====================",
+            (
+                f"queries: {served}   ok: {c.get('serve.ok', 0)}"
+                f"   gave_up: {c.get('serve.gave_up', 0)}"
+                f"   errors: {c.get('serve.error', 0)}"
+                f"   batched: {c.get('serve.batched', 0)}"
+                f"   traced: {snap['traced']}"
+            ),
+            (
+                f"queue: depth={snap['gauges'].get('serve.queue_depth', 0):g}"
+                f" (max {snap['gauges'].get('serve.queue_depth.max', 0):g})"
+                f"   wait p50={_fmt_seconds(snap['queue_wait']['p50_seconds'])}"
+                f" p99={_fmt_seconds(snap['queue_wait']['p99_seconds'])}"
+                f"   batch mean={snap['batch_size']['mean']:.1f}"
+                f" max={snap['batch_size']['max'] or 0}"
+            ),
+            "",
+        ]
+        rows = snap["queries"][:top] if top else snap["queries"]
+        if not rows:
+            head.append("  (no queries recorded)")
+            return "\n".join(head)
+        label_w = max(len(f"{r['kind']}:{r['rel']}") for r in rows)
+        label_w = max(label_w, len("query"))
+        head.append(
+            f"  {'query':<{label_w}} {'n':>8} {'give-up':>8} "
+            f"{'p50':>9} {'p90':>9} {'p99':>9} {'max':>9}"
+        )
+        for r in rows:
+            label = f"{r['kind']}:{r['rel']}"
+            head.append(
+                f"  {label:<{label_w}} {r['count']:>8,} "
+                f"{100 * r['give_up_rate']:>7.1f}% "
+                f"{_fmt_seconds(r['p50_seconds']):>9} "
+                f"{_fmt_seconds(r['p90_seconds']):>9} "
+                f"{_fmt_seconds(r['p99_seconds']):>9} "
+                f"{_fmt_seconds(r['max_seconds']):>9}"
+            )
+        hidden = len(snap["queries"]) - len(rows)
+        if hidden > 0:
+            head.append(f"  ... ({hidden} more rows)")
+        if snap["dropped_events"]:
+            head.append(
+                f"  [{snap['dropped_events']} events dropped by the "
+                f"ring (cap {self.event_cap})]"
+            )
+        return "\n".join(head)
+
+    def as_dict(self) -> dict:
+        return {
+            "sample_every": self.sample_every,
+            "slow_seconds": self.slow_seconds,
+            "snapshot": self.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        served = self.metrics.counters.get("serve.queries", 0)
+        tests = self.metrics.counters.get("test.runs", 0)
+        return (
+            f"Telemetry(queries={served}, tests={tests}, "
+            f"events={len(self.events)})"
+        )

@@ -60,6 +60,10 @@ class CheckReport:
     # has no single replay seed; these are its reproduction
     # coordinates instead.
     shard_seeds: list | None = None
+    # The repro.observe.Telemetry when run with telemetry=; merged
+    # reports carry the shard telemetries folded by merge_telemetry
+    # (renumbered event ids, summed histograms).
+    telemetry: object = None
 
     @classmethod
     def merge(cls, reports, property_name: "str | None" = None) -> "CheckReport":
@@ -116,6 +120,11 @@ class CheckReport:
             from ..observe.merge import merge_observations
 
             merged.observation = merge_observations(observations)
+        telemetries = [r.telemetry for r in reports]
+        if telemetries and all(t is not None for t in telemetries):
+            from ..observe.merge import merge_telemetry
+
+            merged.telemetry = merge_telemetry(telemetries)
         return merged
 
     @property
@@ -258,6 +267,8 @@ def quick_check(
     budget_retries: int = 1,
     budget_backoff: float = 2.0,
     ctx=None,
+    telemetry=None,
+    progress=None,
 ) -> CheckReport:
     """Run *prop* up to *num_tests* times at the given *size*.
 
@@ -266,6 +277,16 @@ def quick_check(
     report carries the resulting observation (``report.observation``,
     ``report.coverage``).  Observation changes throughput, not
     verdicts — seeds replay identically with it on or off.
+
+    *telemetry* is a :class:`~repro.observe.telemetry.Telemetry`: the
+    loop then records one per-test event (status + wall time) and a
+    ``test.service_seconds.<property>`` latency histogram, and the
+    report carries it (``report.telemetry``; merged across shards by
+    :meth:`CheckReport.merge`).  *progress* is a callable invoked with
+    the live report after every test or discard — the hook parallel
+    campaigns use for mid-run shard counters (:class:`~repro.
+    resilience.parallel.CampaignProgress`).  Both record, never steer:
+    verdicts and seed replay are unchanged.
 
     Resource governance (see :mod:`repro.resilience.campaign`):
     *deadline_seconds* bounds each individual test (a per-test
@@ -298,6 +319,8 @@ def quick_check(
             retries=budget_retries,
             backoff=budget_backoff,
             ctx=ctx,
+            telemetry=telemetry,
+            progress=progress,
         )
     if observe is not None:
         from ..observe import observe as _observe
@@ -310,6 +333,8 @@ def quick_check(
                 seed=seed,
                 max_discard_ratio=max_discard_ratio,
                 stop_on_failure=stop_on_failure,
+                telemetry=telemetry,
+                progress=progress,
             )
         report.observation = obs
         return report
@@ -318,13 +343,28 @@ def quick_check(
         # report alone (pass it back in to replay the exact run).
         seed = _SEED_SOURCE.randrange(2**63)
     rng = random.Random(seed)
-    report = CheckReport(property_name=prop.name, seed=seed, size=size)
+    report = CheckReport(
+        property_name=prop.name, seed=seed, size=size, telemetry=telemetry
+    )
     max_discards = max_discard_ratio * num_tests
     start = time.perf_counter()
     while report.tests_run < num_tests:
-        case = prop.run(size, rng)
+        if telemetry is not None:
+            t0 = time.perf_counter()
+            case = prop.run(size, rng)
+            dt = time.perf_counter() - t0
+            status = (
+                "discard" if case.status == DISCARD
+                else "failed" if case.status == FAILED
+                else "ok"
+            )
+            telemetry.record_test(prop.name, status, dt)
+        else:
+            case = prop.run(size, rng)
         if case.status == DISCARD:
             report.discards += 1
+            if progress is not None:
+                progress(report)
             if report.discards > max_discards:
                 report.gave_up = True
                 break
@@ -332,6 +372,8 @@ def quick_check(
         report.tests_run += 1
         for label in case.labels:
             report.labels[label] = report.labels.get(label, 0) + 1
+        if progress is not None:
+            progress(report)
         if case.status == FAILED:
             report.failed = True
             report.counterexample = case.input

@@ -29,7 +29,12 @@ from .budget import (
 )
 from .campaign import CircuitBreaker, run_campaign, write_report_jsonl
 from .faults import FAULT_KINDS, FaultPlan
-from .parallel import Shard, parallel_quick_check, plan_shards
+from .parallel import (
+    CampaignProgress,
+    Shard,
+    parallel_quick_check,
+    plan_shards,
+)
 
 __all__ = [
     "BUDGET_KEY",
@@ -39,6 +44,7 @@ __all__ = [
     "budget_scope",
     "install_budget",
     "remove_budget",
+    "CampaignProgress",
     "CircuitBreaker",
     "Shard",
     "parallel_quick_check",

@@ -94,13 +94,17 @@ def run_campaign(
     backoff: float = 2.0,
     breaker: "CircuitBreaker | None" = None,
     ctx: Any = None,
+    telemetry: Any = None,
+    progress: Any = None,
 ) -> CheckReport:
     """The budgeted ``quick_check`` loop (see the module docstring).
 
     *budget* is the per-test template (renewed fresh per attempt);
     *deadline_seconds* is shorthand for ``Budget(deadline_seconds=...)``.
     *ctx* is the context the budget governs, defaulting to
-    ``budget.ctx`` and then *observe*.
+    ``budget.ctx`` and then *observe*.  *telemetry* / *progress*
+    record per-test events and live counters exactly as in
+    :func:`~repro.quickchick.runner.quick_check`.
     """
     if observe is not None:
         from ..observe import observe as _observe
@@ -120,6 +124,8 @@ def run_campaign(
                 backoff=backoff,
                 breaker=breaker,
                 ctx=ctx if ctx is not None else observe,
+                telemetry=telemetry,
+                progress=progress,
             )
         report.observation = obs
         return report
@@ -142,7 +148,9 @@ def run_campaign(
 
         seed = _SEED_SOURCE.randrange(2**63)
     rng = random.Random(seed)
-    report = CheckReport(property_name=prop.name, seed=seed, size=size)
+    report = CheckReport(
+        property_name=prop.name, seed=seed, size=size, telemetry=telemetry
+    )
     max_discards = max_discard_ratio * num_tests
     if breaker is None:
         breaker = CircuitBreaker()
@@ -160,19 +168,36 @@ def run_campaign(
                     f"exceeded after {report.tests_run} tests"
                 )
                 break
+            retries_before = report.budget_retries
+            t0 = time.perf_counter() if telemetry is not None else 0.0
             case, cost = _run_one(
                 prop, size, rng, template, caches, report, retries, backoff
             )
+            if telemetry is not None:
+                status = (
+                    "gave_up" if case is None
+                    else "discard" if case.status == DISCARD
+                    else "failed" if case.status == FAILED
+                    else "ok"
+                )
+                telemetry.record_test(
+                    prop.name, status, time.perf_counter() - t0,
+                    retries=report.budget_retries - retries_before,
+                )
             if case is None:
                 # Budget-tripped past its retries: the test is skipped
                 # as a discard (its interrupted verdict is not trusted).
                 report.discards += 1
+                if progress is not None:
+                    progress(report)
                 if report.discards > max_discards:
                     report.gave_up = True
                     break
                 continue
             if case.status == DISCARD:
                 report.discards += 1
+                if progress is not None:
+                    progress(report)
                 if report.discards > max_discards:
                     report.gave_up = True
                     break
@@ -180,6 +205,8 @@ def run_campaign(
             report.tests_run += 1
             for label in case.labels:
                 report.labels[label] = report.labels.get(label, 0) + 1
+            if progress is not None:
+                progress(report)
             if cost is not None:
                 reason = breaker.record(cost)
                 if reason is not None:

@@ -43,7 +43,116 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.session import use_session
+from ..derive.trace import TRACE_KEY
 from ..quickchick.runner import CheckReport, _SEED_SOURCE, quick_check
+
+
+class CampaignProgress:
+    """Live per-shard campaign counters, visible mid-run.
+
+    A flat ``multiprocessing.Array`` of int64 cells — one row of
+    (tests, discards, failed, budget_trips, rules_fired) per shard —
+    allocated by :meth:`attach` *before* the worker pool exists, so
+    fork children inherit the shared memory and their in-place writes
+    are visible to the parent while the campaign is still running (the
+    merged :class:`~repro.quickchick.runner.CheckReport` only exists
+    at the end).  Thread and inline backends share the same cells
+    in-process, so the read side is backend-independent.
+
+    ``rules_fired`` counts the distinct derivation rules the shard's
+    session trace has fired so far — live coverage growth — and is 0
+    unless the campaign runs with ``observe=True`` (the trace is
+    installed by the observation).
+
+    Writers are lock-free: each shard owns its row, and a torn read
+    of a monotone counter is at worst one test stale.
+    """
+
+    COLUMNS = ("tests", "discards", "failed", "budget_trips", "rules_fired")
+
+    def __init__(self) -> None:
+        self.shards: list = []
+        self._cells = None
+
+    def attach(self, shards: "list[Shard]") -> "CampaignProgress":
+        """Allocate one row per shard (called by
+        :func:`parallel_quick_check` before workers start)."""
+        self.shards = list(shards)
+        self._cells = multiprocessing.Array(
+            "q", len(self.shards) * len(self.COLUMNS), lock=False
+        )
+        return self
+
+    def writer(self, shard: "Shard", ctx) -> "Any":
+        """The per-test callback for *shard* (runs in the worker)."""
+        ncol = len(self.COLUMNS)
+        base = next(
+            i for i, s in enumerate(self.shards) if s.index == shard.index
+        ) * ncol
+        cells = self._cells
+
+        def write(report) -> None:
+            cells[base] = report.tests_run
+            cells[base + 1] = report.discards
+            cells[base + 2] = 1 if report.failed else 0
+            cells[base + 3] = report.budget_trips
+            if ctx is not None:
+                trace = ctx.caches.get(TRACE_KEY)
+                if trace is not None:
+                    cells[base + 4] = sum(
+                        1 for row in trace.entries.values() if row[1] > 0
+                    )
+
+        return write
+
+    def snapshot(self) -> "list[dict]":
+        """One dict per shard, in shard order."""
+        if self._cells is None:
+            return []
+        ncol = len(self.COLUMNS)
+        raw = list(self._cells)
+        return [
+            dict(
+                zip(self.COLUMNS, raw[i * ncol:(i + 1) * ncol]),
+                shard=s.index, seed=s.seed, planned=s.num_tests,
+            )
+            for i, s in enumerate(self.shards)
+        ]
+
+    def totals(self) -> dict:
+        out = {c: 0 for c in self.COLUMNS}
+        out["planned"] = 0
+        for row in self.snapshot():
+            for c in self.COLUMNS:
+                out[c] += row[c]
+            out["planned"] += row["planned"]
+        return out
+
+    def render(self) -> str:
+        rows = self.snapshot()
+        if not rows:
+            return "campaign progress: (not attached)"
+        lines = [
+            f"  {'shard':>5} {'tests':>9} {'discards':>9} {'trips':>7}"
+            f" {'rules':>6} {'state':>7}"
+        ]
+        for r in rows:
+            state = (
+                "FAILED" if r["failed"]
+                else "done" if r["tests"] >= r["planned"]
+                else "running"
+            )
+            lines.append(
+                f"  {r['shard']:>5} {r['tests']:>5}/{r['planned']:<3}"
+                f" {r['discards']:>9} {r['budget_trips']:>7}"
+                f" {r['rules_fired']:>6} {state:>7}"
+            )
+        t = self.totals()
+        lines.append(
+            f"  total {t['tests']:>5}/{t['planned']:<3} {t['discards']:>9}"
+            f" {t['budget_trips']:>7} {t['rules_fired']:>6}"
+        )
+        return "campaign progress:\n" + "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -83,6 +192,29 @@ def plan_shards(
     return shards
 
 
+def _shard_telemetry(template):
+    """A fresh per-shard :class:`~repro.observe.telemetry.Telemetry`.
+
+    Each shard records into its own instance (created *inside* the
+    worker — telemetry carries a lock and per-shard qid state, so
+    sharing one across fork children could not work) configured from
+    the caller's template; the per-shard instances ride home on
+    ``report.telemetry`` and fold together in ``CheckReport.merge``.
+    """
+    if not template:
+        return None
+    from ..observe.telemetry import Telemetry
+
+    if template is True:
+        return Telemetry()
+    return Telemetry(
+        sample_every=template.sample_every,
+        slow_seconds=template.slow_seconds,
+        event_cap=template.event_cap,
+        span_cap=template.span_cap,
+    )
+
+
 def _run_shard(prop, shard: Shard, opts: dict, ctx, observe: bool) -> CheckReport:
     """One shard as an ordinary quick_check, under a fresh session."""
     kwargs = dict(
@@ -97,6 +229,12 @@ def _run_shard(prop, shard: Shard, opts: dict, ctx, observe: bool) -> CheckRepor
         budget_retries=opts["budget_retries"],
         budget_backoff=opts["budget_backoff"],
     )
+    telemetry = _shard_telemetry(opts.get("telemetry"))
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
+    progress = opts.get("progress")
+    if progress is not None:
+        kwargs["progress"] = progress.writer(shard, ctx)
     if ctx is None:
         return quick_check(prop, **kwargs)
     if observe:
@@ -134,6 +272,8 @@ def parallel_quick_check(
     campaign_deadline_seconds: "float | None" = None,
     budget_retries: int = 1,
     budget_backoff: float = 2.0,
+    telemetry: Any = False,
+    progress: "CampaignProgress | None" = None,
 ) -> CheckReport:
     """Run *prop* as a sharded campaign and merge the shard reports.
 
@@ -152,6 +292,15 @@ def parallel_quick_check(
     others run to completion — the merge keeps the first failed
     shard's counterexample.  See the module docstring for backend
     semantics; throughput needs ``"fork"``.
+
+    ``telemetry=True`` (or a :class:`~repro.observe.telemetry.Telemetry`
+    used as a settings template) gives every shard its own telemetry
+    recorder; the merged report's ``.telemetry`` is their fold, with
+    shard-local qids renumbered into one campaign-global sequence and
+    events stamped with their shard of origin.  *progress* is a
+    :class:`CampaignProgress` whose live per-shard counters update as
+    shards run — readable from the calling process even under the
+    fork backend.
     """
     if observe and ctx is None:
         raise TypeError("observe=True needs ctx=... to observe")
@@ -165,6 +314,8 @@ def parallel_quick_check(
     if workers is None:
         workers = min(os.cpu_count() or 1, 8)
     shards = plan_shards(num_tests, workers, seed)
+    if progress is not None:
+        progress.attach(shards)  # pre-fork, so children inherit the cells
     opts = {
         "size": size,
         "max_discard_ratio": max_discard_ratio,
@@ -174,6 +325,8 @@ def parallel_quick_check(
         "campaign_deadline_seconds": campaign_deadline_seconds,
         "budget_retries": budget_retries,
         "budget_backoff": budget_backoff,
+        "telemetry": telemetry,
+        "progress": progress,
     }
     if backend == "fork" and (
         "fork" not in multiprocessing.get_all_start_methods()

@@ -18,6 +18,14 @@ constructors, lists.  Results stream back as JSONL on stdout (or
 query, followed by an engine-stats line.  ``--demo`` loads a small
 built-in nat corpus and a canned workload.
 
+Telemetry flags: ``--telemetry`` records per-query latency/trace
+telemetry (``--sample-every`` / ``--slow-ms`` set the tracing policy);
+``--stats`` renders a top-style latency table to stderr at the end
+(``--stats-interval SEC`` re-renders it live while serving); and
+``--export DIR`` (implies ``--telemetry``) writes ``telemetry.jsonl``
+(re-renderable with ``python -m repro.observe``), ``metrics.prom``
+(Prometheus text exposition), and ``stats.txt`` into *DIR*.
+
 Exit codes: 0 = every query answered definitely, 1 = at least one
 gave up (fuel/budget), 2 = errors (unknown relation, parse failure,
 usage).
@@ -28,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from pathlib import Path
 
 from ..core import parse_declarations, parse_term_text, term_to_value
@@ -118,7 +127,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-worker memo shards",
     )
     p.add_argument("--out", help="write result JSONL here instead of stdout")
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="record per-query latency and trace telemetry",
+    )
+    p.add_argument(
+        "--sample-every", type=int, default=None, metavar="N",
+        help="trace every Nth query per (kind, relation); 0 disables "
+        "sampling (implies --telemetry)",
+    )
+    p.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="arm span tracing for query shapes slower than MS "
+        "milliseconds (implies --telemetry)",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="render the telemetry table to stderr when done "
+        "(implies --telemetry)",
+    )
+    p.add_argument(
+        "--stats-interval", type=float, default=None, metavar="SEC",
+        help="also re-render --stats every SEC seconds while serving",
+    )
+    p.add_argument(
+        "--export", metavar="DIR",
+        help="write telemetry.jsonl + metrics.prom + stats.txt into DIR "
+        "(implies --telemetry)",
+    )
     return p
+
+
+def _make_telemetry(args):
+    """The Telemetry the flags imply, or None when telemetry is off."""
+    wanted = (
+        args.telemetry or args.stats or args.export is not None
+        or args.sample_every is not None or args.slow_ms is not None
+    )
+    if not wanted:
+        return None
+    from ..observe.telemetry import DEFAULT_SAMPLE_EVERY, Telemetry
+
+    sample = (
+        DEFAULT_SAMPLE_EVERY if args.sample_every is None
+        else args.sample_every
+    )
+    slow = None if args.slow_ms is None else args.slow_ms / 1000.0
+    return Telemetry(sample_every=sample, slow_seconds=slow)
+
+
+def _export_telemetry(telemetry, directory) -> None:
+    from ..observe.export import write_prometheus, write_telemetry_jsonl
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_telemetry_jsonl(telemetry, directory / "telemetry.jsonl")
+    write_prometheus(telemetry, directory / "metrics.prom")
+    (directory / "stats.txt").write_text(
+        telemetry.render() + "\n", encoding="utf-8"
+    )
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -150,8 +217,21 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 2
 
+    telemetry = _make_telemetry(args)
     out = open(args.out, "w") if args.out else sys.stdout
     gave_up = errors = 0
+    ticker = stop_ticker = None
+    if telemetry is not None and args.stats_interval:
+        stop_ticker = threading.Event()
+
+        def _tick():
+            while not stop_ticker.wait(args.stats_interval):
+                print(telemetry.render(), file=sys.stderr)
+
+        ticker = threading.Thread(
+            target=_tick, name="serve-stats", daemon=True
+        )
+        ticker.start()
     try:
         with Engine(
             ctx,
@@ -159,6 +239,7 @@ def main(argv: "list[str] | None" = None) -> int:
             max_ops=args.max_ops,
             deadline_seconds=args.deadline_seconds,
             memoize=args.memoize,
+            telemetry=telemetry,
         ) as engine:
             engine.prepare(queries)
             for result in engine.run_batch(queries):
@@ -170,8 +251,20 @@ def main(argv: "list[str] | None" = None) -> int:
             stats = engine.stats()
         print(json.dumps({"kind": "engine_stats", **stats}), file=out)
     finally:
+        if stop_ticker is not None:
+            stop_ticker.set()
+            ticker.join(timeout=1.0)
         if out is not sys.stdout:
             out.close()
+    if telemetry is not None:
+        if args.export:
+            try:
+                _export_telemetry(telemetry, args.export)
+            except OSError as e:
+                print(f"error: export failed: {e}", file=sys.stderr)
+                return 2
+        if args.stats:
+            print(telemetry.render(), file=sys.stderr)
     if errors:
         return 2
     return 1 if gave_up else 0

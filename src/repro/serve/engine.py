@@ -40,6 +40,8 @@ from ..core.errors import ReproError
 from ..core.session import activate_session
 from ..derive.api import derive_checker, derive_enumerator, derive_generator
 from ..derive.memo import enable_memoization
+from ..observe.metrics import Metrics
+from ..observe.telemetry import Telemetry
 from ..producers.option_bool import NONE_OB, SOME_TRUE
 from ..producers.outcome import FAIL, OUT_OF_FUEL
 from ..quickchick.runner import _SEED_SOURCE
@@ -47,6 +49,12 @@ from ..resilience.budget import budget_scope
 from .queries import CheckQuery, EnumQuery, GenQuery, GiveUp, QueryResult
 
 _CLOSE = object()  # worker shutdown sentinel
+
+_KINDS = {"CheckQuery": "check", "EnumQuery": "enum", "GenQuery": "gen"}
+
+#: The per-worker counter fields ``Engine.stats()`` renders, in the
+#: order of the legacy per-worker dicts.
+_WORKER_FIELDS = ("queries", "batched", "gave_up", "errors")
 
 
 class Engine:
@@ -61,6 +69,23 @@ class Engine:
     per-worker memo shards, no cross-worker locking.  *batch_max*
     bounds how many queued queries one worker drains per chunk (the
     batching window).
+
+    *telemetry* switches on serving-layer observability: pass ``True``
+    for a fresh :class:`~repro.observe.telemetry.Telemetry` with
+    default sampling, or a configured instance (shareable across
+    engines).  Every query then gets a campaign-unique id carried
+    submit→queue→batch→execute, per-(kind, rel) latency histograms,
+    queue-wait and batch-size distributions, queue-depth gauges, and —
+    for sampled or slow queries only — the full span tree of the
+    execution attached to its :class:`~repro.observe.telemetry.
+    QueryEvent`.  Telemetry off costs a couple of locked counter
+    bumps per query (the ``bench_telemetry.py`` bars pin both modes).
+
+    All engine counters live in one locked
+    :class:`~repro.observe.metrics.Metrics` registry (the telemetry's
+    when on, a private one when off); :meth:`stats` renders the legacy
+    per-worker dict shape as a *view* of that registry, so worker
+    threads never mutate shared dicts unlocked.
     """
 
     def __init__(
@@ -73,6 +98,7 @@ class Engine:
         memoize: bool = False,
         batch: bool = True,
         batch_max: int = 64,
+        telemetry: "Telemetry | bool | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -83,12 +109,19 @@ class Engine:
         self.memoize = memoize
         self.batch = batch
         self.batch_max = max(1, batch_max)
+        if telemetry is True:
+            telemetry = Telemetry()
+        elif telemetry is False:
+            telemetry = None
+        self.telemetry: "Telemetry | None" = telemetry
+        if telemetry is not None:
+            self._metrics = telemetry.metrics
+            self._lock = telemetry.lock
+        else:
+            self._metrics = Metrics()
+            self._lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue()
         self._threads: list[threading.Thread] = []
-        self._stats = [
-            {"queries": 0, "batched": 0, "gave_up": 0, "errors": 0}
-            for _ in range(workers)
-        ]
         self._started = False
         self._closed = False
 
@@ -135,7 +168,11 @@ class Engine:
         if not self._started:
             self.start()
         fut: "Future[QueryResult]" = Future()
-        self._queue.put((query, fut))
+        tel = self.telemetry
+        qid = tel.next_qid() if tel is not None else 0
+        self._queue.put((query, fut, qid, perf_counter()))
+        if tel is not None:
+            tel.observe_queue_depth(self._queue.qsize())
         return fut
 
     def run(self, query) -> QueryResult:
@@ -162,11 +199,25 @@ class Engine:
     # -- read side -----------------------------------------------------------
 
     def stats(self) -> dict:
-        """Per-worker served/batched/gave-up/error counts."""
-        return {
+        """Per-worker served/batched/gave-up/error counts — a rendered
+        view of the locked metrics registry (the legacy dict shape).
+        With telemetry on, a ``"telemetry"`` key carries the full
+        :meth:`~repro.observe.telemetry.Telemetry.snapshot`."""
+        with self._lock:
+            snap = dict(self._metrics.counters)
+        out = {
             "workers": self.workers,
-            "per_worker": [dict(s) for s in self._stats],
+            "per_worker": [
+                {
+                    f: snap.get(f"serve.worker.{i}.{f}", 0)
+                    for f in _WORKER_FIELDS
+                }
+                for i in range(self.workers)
+            ],
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.snapshot()
+        return out
 
     def prepare(self, queries: Iterable[Any]) -> None:
         """Derive every instance the queries will need, up front —
@@ -214,74 +265,134 @@ class Engine:
                         q.put(_CLOSE)  # keep the shutdown token live
                         break
                     chunk.append(nxt)
-            self._serve_chunk(index, chunk)
+            try:
+                self._serve_chunk(index, chunk)
+            except BaseException as e:  # never strand a Future
+                for query, fut, qid, t_sub in chunk:
+                    if not fut.done():
+                        fut.set_result(
+                            QueryResult(
+                                query, "error",
+                                error=f"worker crashed: {e!r}",
+                                worker=index, qid=qid,
+                            )
+                        )
+                raise
 
     def _serve_chunk(self, index: int, chunk: list) -> None:
         # Group budget-free check queries per (rel, fuel) for the
-        # amortized batch entry; everything else runs singly.
+        # amortized batch entry; everything else runs singly.  A query
+        # sampled for tracing is pulled out of its batch group — span
+        # capture needs its own execution.
+        tel = self.telemetry
         groups: dict[tuple, list] = {}
         singles: list = []
-        for query, fut in chunk:
+        for item in chunk:
+            query, fut, qid, t_sub = item
             if (
                 isinstance(query, CheckQuery)
                 and not self._limits(query)
                 and len(chunk) > 1
-            ):
-                groups.setdefault((query.rel, query.fuel), []).append(
-                    (query, fut)
+                and not (
+                    tel is not None
+                    and tel.should_trace(qid, "check", query.rel)
                 )
+            ):
+                groups.setdefault((query.rel, query.fuel), []).append(item)
             else:
-                singles.append((query, fut))
-        for (rel, fuel), pairs in groups.items():
-            if len(pairs) == 1:
-                singles.extend(pairs)
+                singles.append(item)
+        for (rel, fuel), items in groups.items():
+            if len(items) == 1:
+                singles.extend(items)
                 continue
-            self._serve_check_batch(index, rel, fuel, pairs)
-        for query, fut in singles:
-            result = self._serve_one(index, query)
+            self._serve_check_batch(index, rel, fuel, items)
+        for query, fut, qid, t_sub in singles:
+            result = self._serve_one(index, query, qid=qid, t_sub=t_sub)
             fut.set_result(result)
 
+    def _bump(self, index: int, **fields: int) -> None:
+        # Telemetry-off accounting: the same locked registry stats()
+        # renders, without building an event.
+        with self._lock:
+            c = self._metrics.counters
+            for f, n in fields.items():
+                key = f"serve.worker.{index}.{f}"
+                c[key] = c.get(key, 0) + n
+
     def _serve_check_batch(
-        self, index: int, rel: str, fuel: int, pairs: list
+        self, index: int, rel: str, fuel: int, items: list
     ) -> None:
         t0 = perf_counter()
-        stats = self._stats[index]
+        n = len(items)
+        tel = self.telemetry
         try:
             checker = derive_checker(self.ctx, rel)
             batch_fn = getattr(checker, "check_batch", None)
             if batch_fn is None:
                 results = [
-                    checker.check(fuel, tuple(q.args)) for q, _ in pairs
+                    checker.check(fuel, tuple(q.args))
+                    for q, _, _, _ in items
                 ]
             else:
-                results = batch_fn(fuel, [tuple(q.args) for q, _ in pairs])
+                results = batch_fn(
+                    fuel, [tuple(q.args) for q, _, _, _ in items]
+                )
         except ReproError as e:
-            elapsed = (perf_counter() - t0) / len(pairs)
-            for query, fut in pairs:
-                stats["queries"] += 1
-                stats["errors"] += 1
+            elapsed = (perf_counter() - t0) / n
+            if tel is not None:
+                tel.record_batch(
+                    kind="check", rel=rel, worker=index,
+                    entries=[(qid, t0 - t_sub) for _, _, qid, t_sub in items],
+                    service_seconds=elapsed,
+                    statuses=["error"] * n,
+                    reasons=[None] * n,
+                )
+                with self._lock:
+                    c = self._metrics.counters
+                    key = f"serve.worker.{index}.errors"
+                    c[key] = c.get(key, 0) + n
+            else:
+                self._bump(index, queries=n, errors=n)
+            for query, fut, qid, t_sub in items:
                 fut.set_result(
                     QueryResult(
                         query, "error", error=str(e),
                         elapsed_seconds=elapsed, worker=index,
+                        qid=qid, queue_seconds=t0 - t_sub,
                     )
                 )
             return
-        elapsed = (perf_counter() - t0) / len(pairs)
-        for (query, fut), res in zip(pairs, results):
-            stats["queries"] += 1
-            stats["batched"] += 1
+        elapsed = (perf_counter() - t0) / n
+        out = []
+        for (query, fut, qid, t_sub), res in zip(items, results):
             if res is NONE_OB:
-                stats["gave_up"] += 1
                 result = QueryResult(
                     query, "gave_up", give_up=GiveUp("fuel"),
                     elapsed_seconds=elapsed, worker=index, batched=True,
+                    qid=qid, queue_seconds=t0 - t_sub,
                 )
             else:
                 result = QueryResult(
                     query, "ok", value=res is SOME_TRUE,
                     elapsed_seconds=elapsed, worker=index, batched=True,
+                    qid=qid, queue_seconds=t0 - t_sub,
                 )
+            out.append((fut, result))
+        if tel is not None:
+            tel.record_batch(
+                kind="check", rel=rel, worker=index,
+                entries=[(qid, t0 - t_sub) for _, _, qid, t_sub in items],
+                service_seconds=elapsed,
+                statuses=[r.status for _, r in out],
+                reasons=[
+                    r.give_up.reason if r.give_up is not None else None
+                    for _, r in out
+                ],
+            )
+        else:
+            gave_up = sum(1 for _, r in out if r.status == "gave_up")
+            self._bump(index, queries=n, batched=n, gave_up=gave_up)
+        for fut, result in out:
             fut.set_result(result)
 
     def _limits(self, query) -> dict:
@@ -299,41 +410,77 @@ class Engine:
             out["deadline_seconds"] = deadline
         return out
 
-    def _serve_one(self, index: int, query) -> QueryResult:
-        stats = self._stats[index]
-        stats["queries"] += 1
+    def _run_limited(self, query) -> QueryResult:
+        limits = self._limits(query)
+        if not limits:
+            return self._execute(query)
+        with budget_scope(self.ctx, **limits) as bud:
+            result = self._execute(query)
+        if bud.exhausted is not None and (
+            result.status == "gave_up" or result.complete is False
+        ):
+            # The budget (not plain fuel) is what stopped it:
+            # surface the structured diagnosis, keeping any
+            # partial enum answer found before the trip.
+            result = QueryResult(
+                query,
+                "gave_up",
+                value=result.value,
+                complete=False if result.complete is not None else None,
+                give_up=GiveUp(
+                    getattr(bud.exhausted, "limit", "budget"),
+                    exhausted=bud.exhausted,
+                ),
+            )
+        return result
+
+    def _serve_one(
+        self, index: int, query, qid: int = 0, t_sub: "float | None" = None
+    ) -> QueryResult:
+        tel = self.telemetry
+        kind = _KINDS.get(type(query).__name__, "?")
         t0 = perf_counter()
+        queue_s = t0 - t_sub if t_sub is not None else 0.0
+        spans = None
         try:
-            limits = self._limits(query)
-            if limits:
-                with budget_scope(self.ctx, **limits) as bud:
-                    result = self._execute(query)
-                if bud.exhausted is not None and (
-                    result.status == "gave_up" or result.complete is False
-                ):
-                    # The budget (not plain fuel) is what stopped it:
-                    # surface the structured diagnosis, keeping any
-                    # partial enum answer found before the trip.
-                    result = QueryResult(
-                        query,
-                        "gave_up",
-                        value=result.value,
-                        complete=False if result.complete is not None else None,
-                        give_up=GiveUp(
-                            getattr(bud.exhausted, "limit", "budget"),
-                            exhausted=bud.exhausted,
-                        ),
-                    )
+            if tel is not None and tel.should_trace(qid, kind, query.rel):
+                from ..observe import observe
+
+                with observe(self.ctx, span_cap=tel.span_cap) as obs:
+                    result = self._run_limited(query)
+                spans = [s.as_dict() for s in obs.spans]
             else:
-                result = self._execute(query)
+                result = self._run_limited(query)
         except ReproError as e:
             result = QueryResult(query, "error", error=str(e))
         result.elapsed_seconds = perf_counter() - t0
         result.worker = index
-        if result.status == "gave_up":
-            stats["gave_up"] += 1
+        result.qid = qid
+        result.queue_seconds = queue_s
+        if tel is not None:
+            tel.record_query(
+                qid=qid,
+                kind=kind,
+                rel=getattr(query, "rel", "?"),
+                mode=getattr(query, "mode", ""),
+                status=result.status,
+                reason=(
+                    result.give_up.reason
+                    if result.give_up is not None
+                    else None
+                ),
+                worker=index,
+                queue_seconds=queue_s,
+                service_seconds=result.elapsed_seconds,
+                batch=1,
+                spans=spans,
+            )
+        elif result.status == "gave_up":
+            self._bump(index, queries=1, gave_up=1)
         elif result.status == "error":
-            stats["errors"] += 1
+            self._bump(index, queries=1, errors=1)
+        else:
+            self._bump(index, queries=1)
         return result
 
     def _execute(self, query) -> QueryResult:

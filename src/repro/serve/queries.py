@@ -103,6 +103,11 @@ class QueryResult:
     elapsed_seconds: float = 0.0
     worker: "int | None" = None
     batched: bool = False
+    # Telemetry coordinates: the query id carried submit→queue→batch→
+    # execute (0 when the engine runs without telemetry) and the time
+    # the query waited in the engine queue before service began.
+    qid: int = 0
+    queue_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -131,4 +136,6 @@ class QueryResult:
             "elapsed_seconds": self.elapsed_seconds,
             "worker": self.worker,
             "batched": self.batched,
+            "qid": self.qid,
+            "queue_seconds": self.queue_seconds,
         }

@@ -99,6 +99,8 @@ class TestMetrics:
         m = Metrics()
         m.histogram("h").observe(1)
         m.inc("c")
+        m.gauge("g", 3)
         d = m.as_dict()
-        assert set(d) == {"histograms", "counters"}
+        assert set(d) == {"histograms", "counters", "gauges"}
         assert "h" in d["histograms"] and d["counters"]["c"] == 1
+        assert d["gauges"]["g"] == 3

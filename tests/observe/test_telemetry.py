@@ -1,0 +1,295 @@
+"""The serving telemetry surface: time histograms, sampling policy,
+event merging, and the exporters.
+
+These tests pin the contracts the serving layer builds on:
+microsecond-bucketed percentiles, deterministic sampling, qid
+renumbering across shard merges (field for field, like span sids),
+and the two export formats (JSONL round-trip, Prometheus text).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.observe.export import (
+    read_jsonl,
+    render_prometheus,
+    write_telemetry_jsonl,
+)
+from repro.observe.merge import merge_telemetry
+from repro.observe.metrics import Histogram, Metrics, TimeHistogram
+from repro.observe.telemetry import QueryEvent, Telemetry
+
+
+class TestTimeHistogram:
+    def test_observes_seconds_buckets_microseconds(self):
+        h = TimeHistogram("t")
+        h.observe(0.000003)   # 3 us: exact bucket
+        h.observe(0.001)      # 1000 us: power-of-two bucket 512
+        assert h.count == 2
+        assert set(h.buckets) == {3, 512}
+        assert h.unit == "seconds"
+
+    def test_total_min_max_stay_exact(self):
+        h = TimeHistogram("t")
+        h.observe(0.0015)
+        h.observe(0.0005)
+        assert abs(h.total - 0.002) < 1e-12
+        assert h.min == 0.0005 and h.max == 0.0015
+
+    def test_quantiles_are_bucket_edges_clamped(self):
+        h = TimeHistogram("t")
+        for ms in range(1, 11):
+            h.observe(ms / 1000.0)
+        # The 5th of 10 values (5ms) lands in the 4096..8191us bucket;
+        # the quantile reports the bucket's upper edge.
+        assert h.p50 == 0.008192
+        # p99 clamps to the exact observed max, not the bucket edge.
+        assert h.p99 == 0.010
+        assert h.quantile(0.0) >= h.min
+
+    def test_as_dict_marks_unit_and_percentiles(self):
+        h = TimeHistogram("t")
+        h.observe(0.002)
+        d = h.as_dict()
+        assert d["unit"] == "seconds"
+        assert d["p50"] == d["p99"] == 0.002
+
+    def test_observe_n_bulk(self):
+        h = TimeHistogram("t")
+        h.observe_n(0.0001, 5)
+        assert h.count == 5
+        assert abs(h.total - 0.0005) < 1e-12
+
+
+class TestSamplingPolicy:
+    def test_first_and_every_nth_query_sampled(self):
+        t = Telemetry(sample_every=4)
+        picks = [t.should_trace(qid, "check", "le") for qid in range(1, 10)]
+        assert picks == [True, False, False, False, True,
+                         False, False, False, True]
+
+    def test_sampling_disabled_with_zero(self):
+        t = Telemetry(sample_every=0)
+        assert not any(
+            t.should_trace(q, "check", "le") for q in range(1, 50)
+        )
+
+    def test_slow_query_arms_the_next_of_its_shape(self):
+        t = Telemetry(sample_every=0, slow_seconds=0.01)
+        t.record_query(qid=1, kind="check", rel="le", status="ok",
+                       service_seconds=0.5)
+        # The slow query armed tracing for (check, le) — not others.
+        assert t.should_trace(2, "check", "le")
+        assert not t.should_trace(2, "check", "add")
+        # Capturing the armed trace disarms the shape.
+        t.record_query(qid=2, kind="check", rel="le", status="ok",
+                       service_seconds=0.001, spans=[{"sid": 1}])
+        assert not t.should_trace(3, "check", "le")
+
+    def test_fast_queries_never_arm(self):
+        t = Telemetry(sample_every=0, slow_seconds=0.01)
+        t.record_query(qid=1, kind="check", rel="le", status="ok",
+                       service_seconds=0.001)
+        assert not t.should_trace(2, "check", "le")
+
+
+class TestRecording:
+    def test_counters_and_histograms_per_shape(self):
+        t = Telemetry()
+        t.record_query(qid=1, kind="check", rel="le", status="ok",
+                       worker=0, service_seconds=0.001)
+        t.record_query(qid=2, kind="check", rel="le", status="gave_up",
+                       reason="ops", worker=0, service_seconds=0.002)
+        t.record_query(qid=3, kind="enum", rel="add", status="ok",
+                       worker=1, service_seconds=0.003)
+        snap = t.metrics.counter_snapshot()
+        assert snap["serve.queries"] == 3
+        assert snap["serve.ok"] == 2
+        assert snap["serve.gave_up"] == 1
+        assert snap["serve.gave_up.reason.ops"] == 1
+        assert snap["serve.gave_up.check.le"] == 1
+        assert snap["serve.worker.0.queries"] == 2
+        assert snap["serve.worker.1.queries"] == 1
+        assert t.metrics.histograms["serve.service_seconds.check.le"].count == 2
+        assert t.metrics.histograms["serve.service_seconds.enum.add"].count == 1
+
+    def test_record_batch_bulk(self):
+        t = Telemetry()
+        t.record_batch(
+            kind="check", rel="le", worker=2,
+            entries=[(1, 0.001), (2, 0.002), (3, 0.001)],
+            service_seconds=0.002,  # already amortized: batch wall / n
+            statuses=["ok", "ok", "gave_up"],
+            reasons=[None, None, "fuel"],
+        )
+        snap = t.metrics.counter_snapshot()
+        assert snap["serve.queries"] == 3
+        assert snap["serve.batched"] == 3
+        assert snap["serve.gave_up.reason.fuel"] == 1
+        assert t.metrics.histograms["serve.batch_size"].max == 3
+        assert len(t.events) == 3
+        assert all(ev.service_seconds == 0.002 for ev in t.events)
+        assert all(ev.batch == 3 for ev in t.events)
+
+    def test_event_ring_drops_oldest_and_counts(self):
+        t = Telemetry(event_cap=4)
+        for q in range(1, 11):
+            t.record_query(qid=q, kind="check", rel="le", status="ok")
+        assert [ev.qid for ev in t.events] == [7, 8, 9, 10]
+        assert t.dropped_events == 6
+
+    def test_record_test_and_query_table(self):
+        t = Telemetry()
+        t.record_test("prop_le", "ok", 0.002)
+        t.record_test("prop_le", "discard", 0.001)
+        t.record_test("prop_le", "gave_up", 0.1, retries=2)
+        snap = t.metrics.counter_snapshot()
+        assert snap["test.runs"] == 3
+        assert snap["test.ok"] == 1
+        assert snap["test.discard"] == 1
+        assert snap["test.gave_up"] == 1
+        assert snap["test.retries"] == 2
+        rows = t.query_table()
+        (row,) = [r for r in rows if r["rel"] == "prop_le"]
+        assert row["count"] == 3 and row["kind"] == "test"
+
+    def test_queue_depth_gauges(self):
+        t = Telemetry()
+        t.observe_queue_depth(3)
+        t.observe_queue_depth(7)
+        t.observe_queue_depth(2)
+        assert t.metrics.gauges["serve.queue_depth"] == 2
+        assert t.metrics.gauges["serve.queue_depth.max"] == 7
+
+    def test_pickle_round_trip(self):
+        t = Telemetry(sample_every=16, slow_seconds=0.5)
+        t.record_query(qid=1, kind="check", rel="le", status="ok",
+                       service_seconds=0.001)
+        back = pickle.loads(pickle.dumps(t))
+        assert back.sample_every == 16 and back.slow_seconds == 0.5
+        assert back.metrics.counter_snapshot()["serve.queries"] == 1
+        assert back.events[0].qid == 1
+        # The recreated lock is usable: recording still works.
+        back.record_query(qid=back.next_qid(), kind="check", rel="le",
+                          status="ok")
+        assert back.metrics.counter_snapshot()["serve.queries"] == 2
+
+
+class TestMergeTelemetry:
+    def _shard(self, n, rel="le"):
+        t = Telemetry(sample_every=0)
+        for _ in range(n):
+            qid = t.next_qid()
+            t.record_query(qid=qid, kind="check", rel=rel, status="ok",
+                           service_seconds=0.001)
+        return t
+
+    def test_qids_renumber_like_span_sids(self):
+        a, b = self._shard(3), self._shard(2, rel="add")
+        merged = merge_telemetry([a, b])
+        assert [ev.qid for ev in merged.events] == [1, 2, 3, 4, 5]
+        assert merged._next_qid == 5
+
+    def test_events_stamped_with_shard_of_origin(self):
+        a, b = self._shard(2), self._shard(1)
+        merged = merge_telemetry([a, b])
+        assert [ev.shard for ev in merged.events] == [0, 0, 1]
+
+    def test_counters_and_histograms_sum(self):
+        a, b = self._shard(3), self._shard(2)
+        merged = merge_telemetry([a, b])
+        snap = merged.metrics.counter_snapshot()
+        assert snap["serve.queries"] == 5
+        h = merged.metrics.histograms["serve.service_seconds.check.le"]
+        assert isinstance(h, TimeHistogram)  # type survives the merge
+        assert h.count == 5
+
+    def test_merged_recorder_still_records(self):
+        # The merged Telemetry is live: its caches point into the
+        # merged registry, so post-merge recording lands there.
+        merged = merge_telemetry([self._shard(2), self._shard(1)])
+        merged.record_query(qid=merged.next_qid(), kind="check",
+                            rel="le", status="ok", service_seconds=0.001)
+        assert merged.metrics.counter_snapshot()["serve.queries"] == 4
+        assert merged.events[-1].qid == 4
+
+    def test_gauges_merge_by_max(self):
+        a, b = self._shard(1), self._shard(1)
+        a.observe_queue_depth(3)
+        b.observe_queue_depth(9)
+        b.observe_queue_depth(1)
+        merged = merge_telemetry([a, b])
+        assert merged.metrics.gauges["serve.queue_depth.max"] == 9
+
+    def test_dropped_events_sum(self):
+        a = Telemetry(event_cap=2, sample_every=0)
+        for q in range(1, 6):
+            a.record_query(qid=q, kind="check", rel="le", status="ok")
+        merged = merge_telemetry([a, self._shard(1)])
+        assert merged.dropped_events == 3
+
+
+class TestExporters:
+    def _telemetry(self):
+        t = Telemetry(sample_every=2)
+        t.record_query(qid=1, kind="check", rel="le", status="ok",
+                       worker=0, queue_seconds=0.0001,
+                       service_seconds=0.001, spans=[{"sid": 1}])
+        t.record_query(qid=2, kind="check", rel="le", status="gave_up",
+                       reason="fuel", worker=0, service_seconds=0.002)
+        t.record_query(qid=3, kind="gen", rel="add", status="ok",
+                       worker=1, service_seconds=0.0005)
+        t.observe_queue_depth(4)
+        return t
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = self._telemetry()
+        path = tmp_path / "telemetry.jsonl"
+        write_telemetry_jsonl(t, path)
+        dump = read_jsonl(path)
+        assert dump.meta["format"] == "repro.telemetry/v1"
+        assert dump.meta["queries"] == 3
+        assert len(dump.queries) == 3
+        qids = [q["qid"] for q in dump.queries]
+        assert qids == [1, 2, 3]
+        # The sampled query kept its spans; the unsampled did not.
+        assert dump.queries[0]["spans"] == [{"sid": 1}]
+        assert dump.queries[1]["spans"] is None
+        assert dump.gauges["serve.queue_depth"] == 4
+        names = {h["name"] for h in dump.histograms}
+        assert "serve.service_seconds.check.le" in names
+        # Timed histograms survive as TimeHistograms in the renderer's
+        # reconstruction (the unit marker travels with the dict).
+        (hd,) = [h for h in dump.histograms
+                 if h["name"] == "serve.service_seconds.check.le"]
+        assert hd["unit"] == "seconds"
+
+    def test_events_round_trip_field_for_field(self, tmp_path):
+        t = self._telemetry()
+        path = tmp_path / "telemetry.jsonl"
+        write_telemetry_jsonl(t, path)
+        dump = read_jsonl(path)
+        for ev, d in zip(t.events, dump.queries):
+            assert QueryEvent.from_dict(d).as_dict() == ev.as_dict()
+
+    def test_prometheus_exposition(self):
+        text = render_prometheus(self._telemetry())
+        assert "# TYPE repro_serve_queries counter" in text
+        assert "repro_serve_queries 3" in text
+        # (kind, rel) fold into labels on the service-time family.
+        assert ('repro_serve_service_seconds_count'
+                '{kind="check",rel="le"} 2') in text
+        assert 'repro_serve_queue_depth 4' in text
+        # Buckets are cumulative with an +Inf terminator.
+        assert 'le="+Inf"' in text
+        # One TYPE line per family, not per labeled series.
+        assert text.count("# TYPE repro_serve_service_seconds ") == 1
+
+    def test_prometheus_accepts_bare_metrics(self):
+        m = Metrics()
+        m.inc("stats.checker_calls", 7)
+        m.histogram("fuel", Histogram).observe(3)
+        text = render_prometheus(m)
+        assert "repro_stats_checker_calls 7" in text
+        assert "repro_fuel_bucket" in text

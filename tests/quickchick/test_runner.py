@@ -194,3 +194,71 @@ class TestMutation:
         assert cell.mean is None
         assert cell.escaped == 3
         assert "never caught" in str(cell) or "noop" in str(cell)
+
+
+class TestMergedRates:
+    """Derived-rate semantics of ``CheckReport.merge``: the merged
+    report recomputes ``tests_per_second`` and ``discard_rate`` from
+    the *summed* counts and the *max* elapsed (parallel wall-clock),
+    never by averaging per-shard rates."""
+
+    def _shard(self, tests, discards, elapsed):
+        from repro.quickchick import CheckReport
+
+        r = CheckReport(property_name="p", seed=1, size=5)
+        r.tests_run = tests
+        r.discards = discards
+        r.elapsed_seconds = elapsed
+        return r
+
+    def test_throughput_is_sum_over_max_elapsed(self):
+        from repro.quickchick import CheckReport
+
+        merged = CheckReport.merge(
+            [self._shard(100, 0, 2.0), self._shard(50, 0, 4.0)]
+        )
+        assert merged.tests_run == 150
+        assert merged.elapsed_seconds == 4.0
+        assert merged.tests_per_second == 150 / 4.0
+
+    def test_discard_rate_is_pooled_not_averaged(self):
+        from repro.quickchick import CheckReport
+
+        # Per-shard rates are 50% and 0%; a naive average says 25%,
+        # the pooled rate over all draws is 10/110.
+        merged = CheckReport.merge(
+            [self._shard(10, 10, 1.0), self._shard(90, 0, 1.0)]
+        )
+        assert merged.discard_rate == pytest.approx(10 / 110)
+
+    def test_to_dict_exports_the_merged_rates(self):
+        from repro.quickchick import CheckReport
+
+        merged = CheckReport.merge(
+            [self._shard(30, 6, 3.0), self._shard(30, 0, 1.5)]
+        )
+        d = merged.to_dict()
+        assert d["tests_per_second"] == merged.tests_per_second == 60 / 3.0
+        assert d["discard_rate"] == merged.discard_rate == 6 / 66
+
+    def test_merge_of_merged_stays_consistent(self):
+        from repro.quickchick import CheckReport
+
+        inner = CheckReport.merge(
+            [self._shard(10, 2, 1.0), self._shard(10, 0, 2.0)]
+        )
+        outer = CheckReport.merge([inner, self._shard(20, 2, 0.5)])
+        assert outer.tests_run == 40
+        assert outer.discards == 4
+        assert outer.elapsed_seconds == 2.0
+        assert outer.tests_per_second == 40 / 2.0
+        assert outer.discard_rate == pytest.approx(4 / 44)
+
+    def test_zero_elapsed_merge_keeps_rates_finite(self):
+        from repro.quickchick import CheckReport
+
+        merged = CheckReport.merge(
+            [self._shard(5, 0, 0.0), self._shard(5, 0, 0.0)]
+        )
+        assert merged.tests_per_second == 0.0
+        assert merged.discard_rate == 0.0

@@ -324,3 +324,147 @@ class TestShardDataclass:
         s = Shard(0, 1, 2)
         with pytest.raises(Exception):
             s.index = 3
+
+
+class TestCampaignTelemetry:
+    """Shard telemetry and live progress: the observability satellite
+    of the serving-telemetry PR."""
+
+    def _tel_key(self, t):
+        """The deterministic face of a merged Telemetry: counts,
+        renumbered qids, statuses — never timing buckets."""
+        return (
+            sorted(t.metrics.counter_snapshot().items()),
+            [(ev.qid, ev.kind, ev.rel, ev.status) for ev in t.events],
+            {k: h.count for k, h in t.metrics.histograms.items()},
+            t._next_qid,
+            t.dropped_events,
+        )
+
+    def test_merged_telemetry_counts_every_test(self, nat_ctx):
+        rep = parallel_quick_check(
+            le_property(nat_ctx), 30, workers=3, seed=5,
+            backend="inline", ctx=nat_ctx, telemetry=True,
+        )
+        t = rep.telemetry
+        assert t is not None
+        snap = t.metrics.counter_snapshot()
+        assert snap["test.runs"] == 30
+        assert snap["test.ok"] == 30
+        # Shard-local qids renumbered into one campaign sequence.
+        assert sorted(ev.qid for ev in t.events) == list(range(1, 31))
+        shards = {ev.shard for ev in t.events}
+        assert shards == {0, 1, 2}
+
+    def test_backends_merge_field_for_field(self, nat_ctx):
+        kw = dict(workers=3, seed=21, ctx=nat_ctx, telemetry=True)
+        keys = {}
+        for backend in ("inline", "thread", "fork"):
+            if backend == "fork" and not HAVE_FORK:
+                continue
+            rep = parallel_quick_check(
+                le_property(nat_ctx), 24, backend=backend, **kw
+            )
+            keys[backend] = self._tel_key(rep.telemetry)
+        assert len(set(map(str, keys.values()))) == 1, keys.keys()
+
+    def test_telemetry_template_policy_propagates(self, nat_ctx):
+        from repro.observe.telemetry import Telemetry
+
+        template = Telemetry(sample_every=7, slow_seconds=9.0)
+        rep = parallel_quick_check(
+            le_property(nat_ctx), 12, workers=2, seed=3,
+            backend="inline", ctx=nat_ctx, telemetry=template,
+        )
+        merged = rep.telemetry
+        assert merged.sample_every == 7
+        assert merged.slow_seconds == 9.0
+        # The template itself stays clean: shards record into copies.
+        assert template.metrics.counter_snapshot() == {}
+
+    def test_no_telemetry_by_default(self, nat_ctx):
+        rep = parallel_quick_check(
+            le_property(nat_ctx), 10, workers=2, seed=3,
+            backend="inline", ctx=nat_ctx,
+        )
+        assert rep.telemetry is None
+
+    def test_progress_counts_all_tests(self, nat_ctx):
+        from repro.resilience import CampaignProgress
+
+        progress = CampaignProgress()
+        parallel_quick_check(
+            le_property(nat_ctx), 30, workers=3, seed=5,
+            backend="inline", ctx=nat_ctx, progress=progress,
+        )
+        totals = progress.totals()
+        assert totals["tests"] == 30
+        assert totals["planned"] == 30
+        assert totals["failed"] == 0
+        rows = progress.snapshot()
+        assert [r["shard"] for r in rows] == [0, 1, 2]
+        assert all(r["tests"] == r["planned"] for r in rows)
+
+    def test_progress_visible_mid_run(self, nat_ctx):
+        """The live-counter contract: a property that reads the shared
+        cells mid-campaign sees earlier tests already counted."""
+        from repro.quickchick import for_all
+        from repro.resilience import CampaignProgress
+
+        progress = CampaignProgress()
+        seen = []
+
+        def gen(size, rng):
+            return rng.randint(0, size)
+
+        def pred(n):
+            seen.append(progress.totals()["tests"])
+            return True
+
+        parallel_quick_check(
+            for_all(gen, pred, name="watcher"), 10, workers=1, seed=2,
+            backend="inline", ctx=nat_ctx, progress=progress,
+        )
+        # By the last test, earlier completions are already visible.
+        assert seen[-1] == 9
+        assert progress.totals()["tests"] == 10
+
+    def test_progress_tracks_discards_and_coverage(self, nat_ctx):
+        from repro.resilience import CampaignProgress
+
+        progress = CampaignProgress()
+        parallel_quick_check(
+            discarding_property(nat_ctx), 20, workers=2, seed=9,
+            backend="inline", ctx=nat_ctx, observe=True, progress=progress,
+        )
+        totals = progress.totals()
+        assert totals["tests"] == 20
+        assert totals["discards"] > 0
+        # observe=True installs the rule trace, so coverage is live.
+        assert totals["rules_fired"] > 0
+
+    def test_progress_shared_with_fork_shards(self, nat_ctx):
+        if not HAVE_FORK:
+            pytest.skip("no fork start method on this platform")
+        from repro.resilience import CampaignProgress
+
+        progress = CampaignProgress()
+        parallel_quick_check(
+            le_property(nat_ctx), 20, workers=2, seed=5,
+            backend="fork", ctx=nat_ctx, progress=progress,
+        )
+        # Child-process writes landed in the parent's shared cells.
+        assert progress.totals()["tests"] == 20
+
+    def test_progress_render_mentions_every_shard(self, nat_ctx):
+        from repro.resilience import CampaignProgress
+
+        progress = CampaignProgress()
+        parallel_quick_check(
+            le_property(nat_ctx), 12, workers=3, seed=4,
+            backend="inline", ctx=nat_ctx, progress=progress,
+        )
+        text = progress.render()
+        assert "campaign progress" in text
+        assert text.count("done") == 3
+        assert "total" in text

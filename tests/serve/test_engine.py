@@ -248,6 +248,26 @@ class TestCli:
         assert lines[-1]["kind"] == "engine_stats"
         assert all(l["status"] == "ok" for l in lines[:-1])
 
+    def test_demo_telemetry_export(self, tmp_path, capsys):
+        outdir = tmp_path / "tel"
+        assert serve_main(
+            ["--demo", "--stats", "--export", str(outdir), "--sample-every", "1"]
+        ) == 0
+        captured = capsys.readouterr()
+        # --stats renders the latency table to stderr.
+        assert "repro.serve telemetry" in captured.err
+        assert "check:le" in captured.err
+        # The stats line on stdout carries the telemetry snapshot.
+        lines = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert lines[-1]["telemetry"]["counters"]["serve.queries"] == 6
+        # --export wrote all three artifacts; the JSONL re-reads.
+        from repro.observe.export import read_jsonl
+
+        dump = read_jsonl(outdir / "telemetry.jsonl")
+        assert len(dump.queries) == 6
+        assert (outdir / "metrics.prom").read_text().startswith("# TYPE")
+        assert "repro.serve telemetry" in (outdir / "stats.txt").read_text()
+
     def test_query_file_served(self, tmp_path, capsys):
         decls = tmp_path / "corpus.v"
         decls.write_text(
@@ -303,3 +323,147 @@ class TestCli:
             json.loads(l) for l in out.read_text().strip().splitlines()
         ]
         assert lines and lines[-1]["kind"] == "engine_stats"
+
+
+REACH_DECL = """
+Inductive reach : nat -> Prop :=
+| r : forall n m, le n m -> reach n.
+"""
+
+
+class TestTelemetry:
+    def test_engine_records_every_query(self, nat_ctx):
+        from repro.observe.telemetry import Telemetry
+
+        tel = Telemetry()
+        with Engine(nat_ctx, workers=2, telemetry=tel) as eng:
+            queries = [CheckQuery("le", (nat(a), nat(a + 1))) for a in range(6)]
+            results = eng.run_batch(queries)
+        snap = tel.metrics.counter_snapshot()
+        assert snap["serve.queries"] == 6
+        assert snap["serve.ok"] == 6
+        assert all(r.ok for r in results)
+        hist = tel.metrics.histograms["serve.service_seconds.check.le"]
+        assert hist.count == 6
+
+    def test_telemetry_true_builds_a_recorder(self, nat_ctx):
+        with Engine(nat_ctx, telemetry=True) as eng:
+            eng.run(CheckQuery("le", (nat(1), nat(2))))
+            assert eng.telemetry is not None
+            assert (
+                eng.telemetry.metrics.counter_snapshot()["serve.queries"] == 1
+            )
+
+    def test_qids_monotonic_in_submit_order(self, nat_ctx):
+        from repro.observe.telemetry import Telemetry
+
+        with Engine(nat_ctx, workers=3, telemetry=Telemetry()) as eng:
+            queries = [CheckQuery("le", (nat(a), nat(a))) for a in range(8)]
+            results = eng.run_batch(queries)
+        assert [r.qid for r in results] == list(range(1, 9))
+        assert all(r.queue_seconds >= 0.0 for r in results)
+
+    def test_stats_keeps_legacy_shape_and_adds_telemetry(self, nat_ctx):
+        from repro.observe.telemetry import Telemetry
+
+        with Engine(nat_ctx, workers=2, telemetry=Telemetry()) as eng:
+            eng.run_batch(
+                [CheckQuery("le", (nat(a), nat(a + 2))) for a in range(5)]
+            )
+            stats = eng.stats()
+        assert stats["workers"] == 2
+        assert len(stats["per_worker"]) == 2
+        for row in stats["per_worker"]:
+            assert set(row) == {"queries", "batched", "gave_up", "errors"}
+        assert sum(w["queries"] for w in stats["per_worker"]) == 5
+        tsnap = stats["telemetry"]
+        assert tsnap["counters"]["serve.queries"] == 5
+        assert tsnap["events"] == 5
+
+    def test_stats_without_telemetry_has_no_telemetry_key(self, engine):
+        engine.run(CheckQuery("le", (nat(1), nat(2))))
+        assert "telemetry" not in engine.stats()
+
+    def test_give_up_rates_by_shape(self, nat_ctx):
+        from repro.observe.telemetry import Telemetry
+
+        tel = Telemetry()
+        with Engine(nat_ctx, telemetry=tel) as eng:
+            eng.run(CheckQuery("le", (nat(0), nat(10)), fuel=1))
+            eng.run(CheckQuery("le", (nat(0), nat(1)), fuel=16))
+        snap = tel.metrics.counter_snapshot()
+        assert snap["serve.gave_up"] == 1
+        assert snap["serve.gave_up.reason.fuel"] == 1
+        assert snap["serve.gave_up.check.le"] == 1
+        (row,) = tel.query_table()
+        assert row["count"] == 2 and row["give_up_rate"] == 0.5
+
+    def test_sampled_trace_keeps_abandoned_enum_spans(self, nat_ctx):
+        # The reach checker proves its goal through the first witness
+        # of an le enumeration and abandons the rest mid-stream: the
+        # consumer-abandoned span must survive into the query event.
+        from repro.core import parse_declarations
+        from repro.observe.telemetry import Telemetry
+
+        parse_declarations(nat_ctx, REACH_DECL)
+        tel = Telemetry(sample_every=1)
+        with Engine(nat_ctx, telemetry=tel) as eng:
+            res = eng.run(CheckQuery("reach", (nat(2),), fuel=16))
+        assert res.ok and res.value is True
+        (event,) = tel.events
+        assert event.spans, "sampled query lost its span tree"
+        outcomes = {(s["kind"], s["outcome"]) for s in event.spans}
+        assert ("enum", "abandoned") in outcomes
+        assert ("checker", "true") in outcomes
+
+    def test_unsampled_queries_carry_no_spans(self, nat_ctx):
+        from repro.observe.telemetry import Telemetry
+
+        tel = Telemetry(sample_every=128)
+        with Engine(nat_ctx, workers=1, telemetry=tel) as eng:
+            eng.run_batch(
+                [CheckQuery("le", (nat(a), nat(a))) for a in range(4)]
+            )
+        by_qid = {ev.qid: ev.spans for ev in tel.events}
+        assert by_qid[1] is not None         # qid 1 sampled
+        assert all(by_qid[q] is None for q in (2, 3, 4))
+        assert tel.metrics.counter_snapshot()["serve.traced"] == 1
+
+    def test_batched_dispatch_records_batch_telemetry(self, nat_ctx):
+        from repro.observe.telemetry import Telemetry
+
+        tel = Telemetry(sample_every=0)
+        queries = [
+            CheckQuery("le", (nat(a % 4), nat(3)), fuel=32) for a in range(12)
+        ]
+        with Engine(
+            nat_ctx, workers=1, batch=True, batch_max=64, telemetry=tel
+        ) as eng:
+            eng.prepare(queries)
+            results = eng.run_batch(queries)
+        assert all(r.status in ("ok",) for r in results)
+        snap = tel.metrics.counter_snapshot()
+        assert snap["serve.queries"] == 12
+        assert snap["serve.batched"] > 0
+        assert tel.metrics.histograms["serve.batch_size"].max > 1
+        # qids survive batching and stay unique.
+        assert sorted(r.qid for r in results) == list(range(1, 13))
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_worker_crash_strands_no_futures(self, nat_ctx, monkeypatch):
+        from repro.observe.telemetry import Telemetry
+
+        with Engine(nat_ctx, workers=1, telemetry=Telemetry()) as eng:
+            eng.run(CheckQuery("le", (nat(1), nat(2))))  # worker is live
+
+            def boom(index, chunk):
+                raise RuntimeError("induced crash")
+
+            monkeypatch.setattr(eng, "_serve_chunk", boom)
+            fut = eng.submit(CheckQuery("le", (nat(2), nat(3))))
+            res = fut.result(timeout=5)
+        assert res.status == "error"
+        assert "worker crashed" in res.error
+        assert res.qid == 2
