@@ -1,0 +1,517 @@
+"""Frozen PR-9 serving engine (benchmark baseline only).
+
+A verbatim copy (imports adjusted) of ``repro.serve.engine`` as of the
+commit *before* the high-availability layer: unbounded ``queue.Queue``
+admission, no deadlines, no supervision — a worker that dies from a
+non-``ReproError`` stays dead.  ``benchmarks/bench_admission.py``
+measures the live engine with admission control *off* against this
+baseline to guard the HA layer's zero-overhead bound (<= 1.05x on the
+batched check workload).
+
+Nothing in ``src/`` imports this module; do not "fix" or modernize it.
+"""
+
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+from concurrent.futures import Future
+from time import perf_counter
+from typing import Any, Iterable
+
+from repro.core.context import Context
+from repro.core.errors import ReproError
+from repro.core.session import activate_session
+from repro.derive.api import derive_checker, derive_enumerator, derive_generator
+from repro.derive.memo import enable_memoization
+from repro.observe.metrics import Metrics
+from repro.observe.telemetry import Telemetry
+from repro.producers.option_bool import NONE_OB, SOME_TRUE
+from repro.producers.outcome import FAIL, OUT_OF_FUEL
+from repro.quickchick.runner import _SEED_SOURCE
+from repro.resilience.budget import budget_scope
+from repro.serve.queries import CheckQuery, EnumQuery, GenQuery, GiveUp, QueryResult
+
+_CLOSE = object()  # worker shutdown sentinel
+
+_KINDS = {"CheckQuery": "check", "EnumQuery": "enum", "GenQuery": "gen"}
+
+#: The per-worker counter fields ``Engine.stats()`` renders, in the
+#: order of the legacy per-worker dicts.
+_WORKER_FIELDS = ("queries", "batched", "gave_up", "errors")
+
+
+class Engine:
+    """Sessioned, batched query service over one context.
+
+    *workers* threads each own a session (``serve-<i>``); *fuel* is
+    the default fuel for queries created by the CLI, not a limit on
+    query-carried fuel.  *max_ops* / *deadline_seconds* are the
+    **default per-query budget** (``None`` = ungoverned); a query's
+    own ``max_ops``/``deadline_seconds`` override them.  With
+    ``memoize=True`` every worker session runs with memoization on —
+    per-worker memo shards, no cross-worker locking.  *batch_max*
+    bounds how many queued queries one worker drains per chunk (the
+    batching window).
+
+    *telemetry* switches on serving-layer observability: pass ``True``
+    for a fresh :class:`~repro.observe.telemetry.Telemetry` with
+    default sampling, or a configured instance (shareable across
+    engines).  Every query then gets a campaign-unique id carried
+    submit→queue→batch→execute, per-(kind, rel) latency histograms,
+    queue-wait and batch-size distributions, queue-depth gauges, and —
+    for sampled or slow queries only — the full span tree of the
+    execution attached to its :class:`~repro.observe.telemetry.
+    QueryEvent`.  Telemetry off costs a couple of locked counter
+    bumps per query (the ``bench_telemetry.py`` bars pin both modes).
+
+    All engine counters live in one locked
+    :class:`~repro.observe.metrics.Metrics` registry (the telemetry's
+    when on, a private one when off); :meth:`stats` renders the legacy
+    per-worker dict shape as a *view* of that registry, so worker
+    threads never mutate shared dicts unlocked.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        *,
+        workers: int = 1,
+        max_ops: "int | None" = None,
+        deadline_seconds: "float | None" = None,
+        memoize: bool = False,
+        batch: bool = True,
+        batch_max: int = 64,
+        telemetry: "Telemetry | bool | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.ctx = ctx
+        self.workers = workers
+        self.max_ops = max_ops
+        self.deadline_seconds = deadline_seconds
+        self.memoize = memoize
+        self.batch = batch
+        self.batch_max = max(1, batch_max)
+        if telemetry is True:
+            telemetry = Telemetry()
+        elif telemetry is False:
+            telemetry = None
+        self.telemetry: "Telemetry | None" = telemetry
+        if telemetry is not None:
+            self._metrics = telemetry.metrics
+            self._lock = telemetry.lock
+        else:
+            self._metrics = Metrics()
+            self._lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Engine":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_main, args=(i,), name=f"repro-serve-{i}",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def close(self) -> None:
+        """Drain outstanding queries, then stop the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            for _ in self._threads:
+                self._queue.put(_CLOSE)
+            for t in self._threads:
+                t.join()
+
+    def __enter__(self) -> "Engine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, query) -> "Future[QueryResult]":
+        """Enqueue *query*; the future resolves to its
+        :class:`QueryResult` (never to an exception — failures become
+        ``status="error"`` results)."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if not self._started:
+            self.start()
+        fut: "Future[QueryResult]" = Future()
+        tel = self.telemetry
+        qid = tel.next_qid() if tel is not None else 0
+        self._queue.put((query, fut, qid, perf_counter()))
+        if tel is not None:
+            tel.observe_queue_depth(self._queue.qsize())
+        return fut
+
+    def run(self, query) -> QueryResult:
+        """Submit and wait."""
+        return self.submit(query).result()
+
+    def run_batch(self, queries: Iterable[Any]) -> list[QueryResult]:
+        """Submit all, gather results in submission order."""
+        futures = [self.submit(q) for q in queries]
+        return [f.result() for f in futures]
+
+    async def arun(self, query) -> QueryResult:
+        """Await one query from asyncio without blocking the loop."""
+        import asyncio
+
+        return await asyncio.wrap_future(self.submit(query))
+
+    async def arun_batch(self, queries: Iterable[Any]) -> list[QueryResult]:
+        import asyncio
+
+        futures = [asyncio.wrap_future(self.submit(q)) for q in queries]
+        return list(await asyncio.gather(*futures))
+
+    # -- read side -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-worker served/batched/gave-up/error counts — a rendered
+        view of the locked metrics registry (the legacy dict shape).
+        With telemetry on, a ``"telemetry"`` key carries the full
+        :meth:`~repro.observe.telemetry.Telemetry.snapshot`."""
+        with self._lock:
+            snap = dict(self._metrics.counters)
+        out = {
+            "workers": self.workers,
+            "per_worker": [
+                {
+                    f: snap.get(f"serve.worker.{i}.{f}", 0)
+                    for f in _WORKER_FIELDS
+                }
+                for i in range(self.workers)
+            ],
+        }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.snapshot()
+        return out
+
+    def prepare(self, queries: Iterable[Any]) -> None:
+        """Derive every instance the queries will need, up front —
+        first-query latency becomes load-time latency."""
+        seen = set()
+        for q in queries:
+            key = (type(q).__name__, q.rel, getattr(q, "mode", None))
+            if key in seen:
+                continue
+            seen.add(key)
+            if isinstance(q, CheckQuery):
+                derive_checker(self.ctx, q.rel)
+            elif isinstance(q, EnumQuery):
+                derive_enumerator(self.ctx, q.rel, q.mode)
+            elif isinstance(q, GenQuery):
+                derive_generator(self.ctx, q.rel, q.mode)
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_main(self, index: int) -> None:
+        ctx = self.ctx
+        # Bind this thread's session for the thread's whole life; the
+        # binding is thread-local (contextvars), so each worker sees
+        # only its own state.
+        activate_session(ctx, ctx.new_session(f"serve-{index}"))
+        if self.memoize:
+            with ctx._derive_lock:
+                # Wrapping instances mutates the shared table
+                # (idempotently); serialize it.  The memo *flag* and
+                # tables land in this worker's session.
+                enable_memoization(ctx)
+        q = self._queue
+        while True:
+            item = q.get()
+            if item is _CLOSE:
+                return
+            chunk = [item]
+            if self.batch:
+                while len(chunk) < self.batch_max:
+                    try:
+                        nxt = q.get_nowait()
+                    except queue.Empty:
+                        break
+                    if nxt is _CLOSE:
+                        q.put(_CLOSE)  # keep the shutdown token live
+                        break
+                    chunk.append(nxt)
+            try:
+                self._serve_chunk(index, chunk)
+            except BaseException as e:  # never strand a Future
+                for query, fut, qid, t_sub in chunk:
+                    if not fut.done():
+                        fut.set_result(
+                            QueryResult(
+                                query, "error",
+                                error=f"worker crashed: {e!r}",
+                                worker=index, qid=qid,
+                            )
+                        )
+                raise
+
+    def _serve_chunk(self, index: int, chunk: list) -> None:
+        # Group budget-free check queries per (rel, fuel) for the
+        # amortized batch entry; everything else runs singly.  A query
+        # sampled for tracing is pulled out of its batch group — span
+        # capture needs its own execution.
+        tel = self.telemetry
+        groups: dict[tuple, list] = {}
+        singles: list = []
+        for item in chunk:
+            query, fut, qid, t_sub = item
+            if (
+                isinstance(query, CheckQuery)
+                and not self._limits(query)
+                and len(chunk) > 1
+                and not (
+                    tel is not None
+                    and tel.should_trace(qid, "check", query.rel)
+                )
+            ):
+                groups.setdefault((query.rel, query.fuel), []).append(item)
+            else:
+                singles.append(item)
+        for (rel, fuel), items in groups.items():
+            if len(items) == 1:
+                singles.extend(items)
+                continue
+            self._serve_check_batch(index, rel, fuel, items)
+        for query, fut, qid, t_sub in singles:
+            result = self._serve_one(index, query, qid=qid, t_sub=t_sub)
+            fut.set_result(result)
+
+    def _bump(self, index: int, **fields: int) -> None:
+        # Telemetry-off accounting: the same locked registry stats()
+        # renders, without building an event.
+        with self._lock:
+            c = self._metrics.counters
+            for f, n in fields.items():
+                key = f"serve.worker.{index}.{f}"
+                c[key] = c.get(key, 0) + n
+
+    def _serve_check_batch(
+        self, index: int, rel: str, fuel: int, items: list
+    ) -> None:
+        t0 = perf_counter()
+        n = len(items)
+        tel = self.telemetry
+        try:
+            checker = derive_checker(self.ctx, rel)
+            batch_fn = getattr(checker, "check_batch", None)
+            if batch_fn is None:
+                results = [
+                    checker.check(fuel, tuple(q.args))
+                    for q, _, _, _ in items
+                ]
+            else:
+                results = batch_fn(
+                    fuel, [tuple(q.args) for q, _, _, _ in items]
+                )
+        except ReproError as e:
+            elapsed = (perf_counter() - t0) / n
+            if tel is not None:
+                tel.record_batch(
+                    kind="check", rel=rel, worker=index,
+                    entries=[(qid, t0 - t_sub) for _, _, qid, t_sub in items],
+                    service_seconds=elapsed,
+                    statuses=["error"] * n,
+                    reasons=[None] * n,
+                )
+                with self._lock:
+                    c = self._metrics.counters
+                    key = f"serve.worker.{index}.errors"
+                    c[key] = c.get(key, 0) + n
+            else:
+                self._bump(index, queries=n, errors=n)
+            for query, fut, qid, t_sub in items:
+                fut.set_result(
+                    QueryResult(
+                        query, "error", error=str(e),
+                        elapsed_seconds=elapsed, worker=index,
+                        qid=qid, queue_seconds=t0 - t_sub,
+                    )
+                )
+            return
+        elapsed = (perf_counter() - t0) / n
+        out = []
+        for (query, fut, qid, t_sub), res in zip(items, results):
+            if res is NONE_OB:
+                result = QueryResult(
+                    query, "gave_up", give_up=GiveUp("fuel"),
+                    elapsed_seconds=elapsed, worker=index, batched=True,
+                    qid=qid, queue_seconds=t0 - t_sub,
+                )
+            else:
+                result = QueryResult(
+                    query, "ok", value=res is SOME_TRUE,
+                    elapsed_seconds=elapsed, worker=index, batched=True,
+                    qid=qid, queue_seconds=t0 - t_sub,
+                )
+            out.append((fut, result))
+        if tel is not None:
+            tel.record_batch(
+                kind="check", rel=rel, worker=index,
+                entries=[(qid, t0 - t_sub) for _, _, qid, t_sub in items],
+                service_seconds=elapsed,
+                statuses=[r.status for _, r in out],
+                reasons=[
+                    r.give_up.reason if r.give_up is not None else None
+                    for _, r in out
+                ],
+            )
+        else:
+            gave_up = sum(1 for _, r in out if r.status == "gave_up")
+            self._bump(index, queries=n, batched=n, gave_up=gave_up)
+        for fut, result in out:
+            fut.set_result(result)
+
+    def _limits(self, query) -> dict:
+        """The effective budget limits for *query* (empty = none)."""
+        out = {}
+        max_ops = query.max_ops if query.max_ops is not None else self.max_ops
+        deadline = (
+            query.deadline_seconds
+            if query.deadline_seconds is not None
+            else self.deadline_seconds
+        )
+        if max_ops is not None:
+            out["max_ops"] = max_ops
+        if deadline is not None:
+            out["deadline_seconds"] = deadline
+        return out
+
+    def _run_limited(self, query) -> QueryResult:
+        limits = self._limits(query)
+        if not limits:
+            return self._execute(query)
+        with budget_scope(self.ctx, **limits) as bud:
+            result = self._execute(query)
+        if bud.exhausted is not None and (
+            result.status == "gave_up" or result.complete is False
+        ):
+            # The budget (not plain fuel) is what stopped it:
+            # surface the structured diagnosis, keeping any
+            # partial enum answer found before the trip.
+            result = QueryResult(
+                query,
+                "gave_up",
+                value=result.value,
+                complete=False if result.complete is not None else None,
+                give_up=GiveUp(
+                    getattr(bud.exhausted, "limit", "budget"),
+                    exhausted=bud.exhausted,
+                ),
+            )
+        return result
+
+    def _serve_one(
+        self, index: int, query, qid: int = 0, t_sub: "float | None" = None
+    ) -> QueryResult:
+        tel = self.telemetry
+        kind = _KINDS.get(type(query).__name__, "?")
+        t0 = perf_counter()
+        queue_s = t0 - t_sub if t_sub is not None else 0.0
+        spans = None
+        try:
+            if tel is not None and tel.should_trace(qid, kind, query.rel):
+                from repro.observe import observe
+
+                with observe(self.ctx, span_cap=tel.span_cap) as obs:
+                    result = self._run_limited(query)
+                spans = [s.as_dict() for s in obs.spans]
+            else:
+                result = self._run_limited(query)
+        except ReproError as e:
+            result = QueryResult(query, "error", error=str(e))
+        result.elapsed_seconds = perf_counter() - t0
+        result.worker = index
+        result.qid = qid
+        result.queue_seconds = queue_s
+        if tel is not None:
+            tel.record_query(
+                qid=qid,
+                kind=kind,
+                rel=getattr(query, "rel", "?"),
+                mode=getattr(query, "mode", ""),
+                status=result.status,
+                reason=(
+                    result.give_up.reason
+                    if result.give_up is not None
+                    else None
+                ),
+                worker=index,
+                queue_seconds=queue_s,
+                service_seconds=result.elapsed_seconds,
+                batch=1,
+                spans=spans,
+            )
+        elif result.status == "gave_up":
+            self._bump(index, queries=1, gave_up=1)
+        elif result.status == "error":
+            self._bump(index, queries=1, errors=1)
+        else:
+            self._bump(index, queries=1)
+        return result
+
+    def _execute(self, query) -> QueryResult:
+        ctx = self.ctx
+        if isinstance(query, CheckQuery):
+            checker = derive_checker(ctx, query.rel)
+            res = checker.check(query.fuel, tuple(query.args))
+            if res is NONE_OB:
+                return QueryResult(query, "gave_up", give_up=GiveUp("fuel"))
+            return QueryResult(query, "ok", value=res is SOME_TRUE)
+        if isinstance(query, EnumQuery):
+            enum = derive_enumerator(ctx, query.rel, query.mode)
+            values: list = []
+            saw_fuel = truncated = False
+            for x in enum.enum_st(query.fuel, tuple(query.ins)):
+                if x is OUT_OF_FUEL:
+                    saw_fuel = True
+                    continue
+                values.append(x)
+                if (
+                    query.max_values is not None
+                    and len(values) >= query.max_values
+                ):
+                    truncated = True
+                    break
+            complete = not saw_fuel and not truncated
+            if saw_fuel and not values:
+                return QueryResult(
+                    query, "gave_up", value=values, complete=False,
+                    give_up=GiveUp("fuel"),
+                )
+            return QueryResult(query, "ok", value=values, complete=complete)
+        if isinstance(query, GenQuery):
+            gen = derive_generator(ctx, query.rel, query.mode)
+            seed = (
+                query.seed
+                if query.seed is not None
+                else _SEED_SOURCE.randrange(2**63)
+            )
+            res = gen.gen_st(query.fuel, tuple(query.ins), random.Random(seed))
+            if res is OUT_OF_FUEL:
+                return QueryResult(query, "gave_up", give_up=GiveUp("fuel"))
+            if res is FAIL:
+                return QueryResult(query, "gave_up", give_up=GiveUp("retries"))
+            return QueryResult(query, "ok", value=res)
+        return QueryResult(
+            query, "error", error=f"unknown query type {type(query).__name__}"
+        )

@@ -18,7 +18,12 @@ the serving layer that lifts that:
 4. (with `--telemetry`) the same engine run under a `Telemetry`
    recorder: per-(kind, relation) latency percentiles, queue wait,
    sampled span traces, and — with `--export DIR` — the whole thing
-   written out as `telemetry.jsonl` + `metrics.prom` + `stats.txt`.
+   written out as `telemetry.jsonl` + `metrics.prom` + `stats.txt`;
+5. the high-availability layer: a bounded admission queue turning
+   overload into *structured sheds* (`status="shed"`, never an error,
+   never a hang), absolute deadlines that expire in queue, and a
+   supervisor restarting a crashed worker mid-workload — driven by a
+   seeded `WorkerFaultPlan`, the chaos-testing hook.
 
 Run:  python examples/serving.py [--workers N] [--tests N]
                                  [--telemetry] [--export DIR]
@@ -182,4 +187,58 @@ if telemetry is not None:
               f"to {outdir}/")
         print(f"re-render: python -m repro.observe {outdir}/telemetry.jsonl")
 
+# -- 5. high availability: admission, deadlines, supervision -----------------
+
+print("\n== high availability ==")
+from repro.resilience import WorkerFaultPlan  # noqa: E402
+
+# A stalled single worker + a one-slot queue: the burst cannot fit, so
+# the `reject` policy sheds at submit — a structured answer, not an
+# error, and nobody blocks.  (overload=False isolates the admission
+# policy; by default a bounded queue also gets the overload ladder,
+# which would shed these as 'overload' even earlier.)
+stall = WorkerFaultPlan.from_events((0, 1, "stall"), stall_seconds=0.2)
+with Engine(ctx, workers=1, queue_max=1, admission="reject",
+            overload=False, faults=stall) as eng:
+    futures = [eng.submit(CheckQuery("le", (nat(a), nat(a + 1)), fuel=32))
+               for a in range(12)]
+    burst = [f.result(timeout=30) for f in futures]
+served = sum(1 for r in burst if r.ok)
+sheds = [r for r in burst if r.status == "shed"]
+print(f"12-query burst into a stalled 1-slot queue: {served} served, "
+      f"{len(sheds)} shed ({sheds[0].give_up.reason!r})")
+assert served + len(sheds) == len(burst) and sheds
+assert all(r.give_up.reason == "admission" for r in sheds)
+
+# Deadlines are absolute from submit: a query stuck behind the stall
+# expires *in queue* — shed as 'expired', its budget never even runs.
+with Engine(ctx, workers=1, faults=stall) as eng:
+    futures = [eng.submit(CheckQuery("le", (nat(a), nat(a + 1)), fuel=32,
+                                     deadline_seconds=0.05))
+               for a in range(6)]
+    dead = [f.result(timeout=30) for f in futures]
+expired = [r for r in dead if r.status == "shed"]
+print(f"deadline 50ms behind a 200ms stall: {len(expired)} expired in "
+      f"queue, {sum(1 for r in dead if r.ok)} served in time")
+assert expired and all(r.give_up.reason == "expired" for r in expired)
+
+# Crash the worker on its first claim: the supervisor restarts it
+# (capped exponential backoff), the crashed query resolves as a
+# structured error, and every other future still gets its answer.
+crash = WorkerFaultPlan.from_events((0, 1, "crash"))
+with Engine(ctx, workers=1, faults=crash,
+            supervise={"backoff_base": 0.01}) as eng:
+    futures = [eng.submit(CheckQuery("le", (nat(a), nat(a + 1)), fuel=32))
+               for a in range(8)]
+    after_crash = [f.result(timeout=30) for f in futures]
+    ha = eng.stats()
+errors = [r for r in after_crash if r.status == "error"]
+print(f"crash on first claim: {ha['crashes']} crash, {ha['restarts']} "
+      f"restart; {sum(1 for r in after_crash if r.ok)}/8 answered, "
+      f"{len(errors)} structured error ('worker crashed')")
+assert ha["restarts"] >= 1 and len(errors) <= 1
+assert all("worker crashed" in r.error for r in errors)
+
 print("\nSame corpus from the command line: python -m repro.serve --demo")
+print("HA flags: python -m repro.serve queries.jsonl --queue-max 256 "
+      "--admission reject --drain-timeout 5")

@@ -239,11 +239,12 @@ def write_chrome_trace(obs, path) -> None:
 def _prom_name(name: str) -> "tuple[str, dict]":
     """Translate a registry name to (metric family, labels).
 
-    ``serve.service_seconds.<kind>.<rel>`` and ``serve.gave_up.
-    <kind>.<rel>`` fold their trailing coordinates into labels so each
-    family is one scrapeable series set; everything else maps dots to
-    underscores under the ``repro_`` prefix."""
-    for family in ("serve.service_seconds.", "serve.gave_up."):
+    ``serve.service_seconds.<kind>.<rel>``, ``serve.gave_up.
+    <kind>.<rel>``, and ``serve.shed.<kind>.<rel>`` fold their
+    trailing coordinates into labels so each family is one scrapeable
+    series set; everything else maps dots to underscores under the
+    ``repro_`` prefix."""
+    for family in ("serve.service_seconds.", "serve.gave_up.", "serve.shed."):
         if name.startswith(family) and name.count(".") >= 3:
             rest = name[len(family):]
             kind, _, rel = rest.partition(".")

@@ -251,6 +251,39 @@ class Telemetry:
                 )
             )
 
+    def record_shed(
+        self,
+        *,
+        qid: int,
+        kind: str,
+        rel: str,
+        mode: str = "",
+        reason: str,
+        queue_seconds: float = 0.0,
+    ) -> None:
+        """Record one **shed** query — refused at admission, expired in
+        queue, dropped by the overload ladder or a shape breaker, or
+        flushed at shutdown (see :mod:`repro.serve.admission`).
+
+        Sheds never executed: they count under the ``serve.shed.*``
+        family (not ``serve.queries``), touch no service or queue-wait
+        histogram (those describe queries that reached service), and
+        land in the event ring with ``status="shed"`` so per-query
+        traces show the refusal and its reason."""
+        with self.lock:
+            c = self.metrics.counters
+            c["serve.shed"] = c.get("serve.shed", 0) + 1
+            rkey = f"serve.shed.reason.{reason}"
+            c[rkey] = c.get(rkey, 0) + 1
+            skey = f"serve.shed.{kind}.{rel}"
+            c[skey] = c.get(skey, 0) + 1
+            self._append_event(
+                QueryEvent(
+                    qid, kind, rel, mode, "shed", reason, None,
+                    queue_seconds, 0.0, 1,
+                )
+            )
+
     def record_batch(
         self,
         *,

@@ -28,7 +28,7 @@ from .budget import (
     remove_budget,
 )
 from .campaign import CircuitBreaker, run_campaign, write_report_jsonl
-from .faults import FAULT_KINDS, FaultPlan
+from .faults import FAULT_KINDS, WORKER_FAULT_KINDS, FaultPlan, WorkerFaultPlan
 from .parallel import (
     CampaignProgress,
     Shard,
@@ -53,4 +53,6 @@ __all__ = [
     "write_report_jsonl",
     "FAULT_KINDS",
     "FaultPlan",
+    "WORKER_FAULT_KINDS",
+    "WorkerFaultPlan",
 ]

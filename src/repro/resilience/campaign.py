@@ -47,28 +47,61 @@ class CircuitBreaker:
     exceeds *factor* times the mean of the earlier tests.  Needs at
     least *min_samples* tests before it can open, so short campaigns
     and noisy starts never false-positive.
+
+    Costs need not be op counts: the serving layer's overload
+    controller (:class:`repro.serve.admission.OverloadController`)
+    feeds per-query service *seconds* to detect latency blowup.  For
+    such long-lived consumers *max_history* bounds the retained cost
+    list (the baseline then is the older half of the retained
+    history, a sliding reference instead of campaign-lifetime), and
+    :meth:`reset` re-baselines after a recovery.  *floor* is the
+    minimum baseline mean the blowup ratio divides by — the default
+    ``1.0`` suits op counts (a test costs at least one op); seconds-
+    scale consumers must lower it or a sub-second baseline clamps to
+    one second and hides every blowup.
     """
 
     def __init__(
-        self, window: int = 8, factor: float = 16.0, min_samples: int = 16
+        self,
+        window: int = 8,
+        factor: float = 16.0,
+        min_samples: int = 16,
+        max_history: "int | None" = None,
+        floor: float = 1.0,
     ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
+        if max_history is not None and max_history <= window:
+            raise ValueError("max_history must exceed window")
+        if floor <= 0:
+            raise ValueError("floor must be > 0")
         self.window = window
         self.factor = factor
         self.min_samples = min_samples
-        self.costs: list[int] = []
+        self.max_history = max_history
+        self.floor = floor
+        self.costs: list[float] = []
 
-    def record(self, cost: int) -> "str | None":
+    def reset(self) -> None:
+        """Drop all history — the next *min_samples* costs build a
+        fresh baseline."""
+        self.costs.clear()
+
+    def record(self, cost: float) -> "str | None":
         """Record one test's op cost; a string means "open the breaker"."""
         self.costs.append(cost)
+        if (
+            self.max_history is not None
+            and len(self.costs) > self.max_history
+        ):
+            del self.costs[: len(self.costs) - self.max_history]
         n = len(self.costs)
         if n < max(self.min_samples, self.window + 1):
             return None
         recent = self.costs[-self.window:]
         recent_mean = sum(recent) / len(recent)
         baseline = self.costs[: n - self.window]
-        baseline_mean = max(sum(baseline) / len(baseline), 1.0)
+        baseline_mean = max(sum(baseline) / len(baseline), self.floor)
         if recent_mean > self.factor * baseline_mean:
             return (
                 f"circuit breaker: mean cost of last {self.window} tests "

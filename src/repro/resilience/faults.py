@@ -34,9 +34,11 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
-__all__ = ["FAULT_KINDS", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "FaultPlan", "WORKER_FAULT_KINDS", "WorkerFaultPlan"]
 
 FAULT_KINDS = ("fuel", "trip", "evict")
+
+WORKER_FAULT_KINDS = ("crash", "stall", "poison")
 
 
 class FaultPlan:
@@ -115,5 +117,125 @@ class FaultPlan:
     def __repr__(self) -> str:
         return (
             f"FaultPlan(seed={self.seed}, "
+            f"events={list(self.events)!r})"
+        )
+
+
+class WorkerFaultPlan:
+    """A seeded schedule of **serving-layer** worker faults.
+
+    Where :class:`FaultPlan` interrupts one derived computation at a
+    charge index, a ``WorkerFaultPlan`` attacks the *engine* around
+    the computations: events are ``(worker, nth, kind)`` — when worker
+    *worker* is about to serve its *nth* query (1-based, counted per
+    worker index across restarts, so a crash event fires exactly
+    once), the named fault fires:
+
+    * ``"crash"`` — the worker thread raises before serving; the
+      in-flight query resolves as a structured error, the rest of its
+      chunk is requeued, and the supervisor restarts the worker
+      (models a segfaulting native extension or an OOM kill);
+    * ``"stall"`` — the worker sleeps *stall_seconds* before serving
+      (models GC pauses / CPU starvation; exercises deadline expiry
+      and shed paths);
+    * ``"poison"`` — the query's execution raises a non-``ReproError``
+      (models a malformed value crossing the query boundary; exercises
+      per-query isolation — chunk neighbors must still get real
+      answers).
+
+    The serving chaos suite (``tests/serve/test_chaos.py``) runs
+    seeded plans against an :class:`~repro.serve.engine.Engine` and
+    asserts the liveness invariant: every submitted future resolves,
+    and every ``ok`` answer equals the fault-free run's.
+    """
+
+    __slots__ = ("events", "seed", "stall_seconds", "_table")
+
+    def __init__(
+        self,
+        events: Iterable[tuple],
+        seed: "int | None" = None,
+        stall_seconds: float = 0.02,
+    ) -> None:
+        table: dict = {}
+        for worker, nth, kind in events:
+            if kind not in WORKER_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown worker fault kind {kind!r}; "
+                    f"expected one of {WORKER_FAULT_KINDS}"
+                )
+            if worker < 0:
+                raise ValueError(f"worker index must be >= 0, got {worker}")
+            if nth < 1:
+                raise ValueError(f"query ordinal must be >= 1, got {nth}")
+            table.setdefault((int(worker), int(nth)), kind)
+        self._table = table
+        self.events = tuple(
+            sorted((w, n, k) for (w, n), k in table.items())
+        )
+        self.seed = seed
+        self.stall_seconds = stall_seconds
+
+    @classmethod
+    def from_events(cls, *events: tuple, **kwargs) -> "WorkerFaultPlan":
+        return cls(events, **kwargs)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        workers: int = 2,
+        n_events: int = 4,
+        horizon: int = 24,
+        kinds: Sequence[str] = WORKER_FAULT_KINDS,
+        stall_seconds: float = 0.02,
+    ) -> "WorkerFaultPlan":
+        """A reproducible random plan: *n_events* faults spread over
+        *workers* workers at per-worker query ordinals in
+        ``[1, horizon]``.  Fixed draw order (worker, ordinal, kind per
+        event), so a seed names the same schedule everywhere."""
+        rng = random.Random(("worker-fault-plan", seed).__repr__())
+        events = [
+            (
+                rng.randrange(workers),
+                rng.randint(1, horizon),
+                kinds[rng.randrange(len(kinds))],
+            )
+            for _ in range(n_events)
+        ]
+        return cls(events, seed=seed, stall_seconds=stall_seconds)
+
+    def draw(self, worker: int, nth: int) -> "str | None":
+        """The fault due when *worker* serves its *nth* query, or
+        ``None``.  A pure lookup — the engine's per-worker ordinal
+        counters persist across restarts, so each event fires once."""
+        return self._table.get((worker, nth))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "worker_fault_plan",
+            "seed": self.seed,
+            "stall_seconds": self.stall_seconds,
+            "events": [list(e) for e in self.events],
+        }
+
+    def describe(self) -> str:
+        head = f"WorkerFaultPlan({len(self.events)} events"
+        head += f", seed={self.seed})" if self.seed is not None else ")"
+        lines = [head]
+        for worker, nth, kind in self.events:
+            lines.append(f"  worker {worker} @query {nth:>4}: {kind}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerFaultPlan(seed={self.seed}, "
             f"events={list(self.events)!r})"
         )

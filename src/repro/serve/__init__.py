@@ -22,19 +22,45 @@ Programmatic use::
         elif result.give_up:
             print("gave up:", result.give_up.reason)
 
+High availability: the engine queues through an
+:class:`~repro.serve.admission.AdmissionQueue` (``queue_max=`` /
+``admission=`` pick bound and policy, deadlined queries expire in
+queue), degrades under load via an
+:class:`~repro.serve.admission.OverloadController` ladder, fast-fails
+budget-burning shapes with a
+:class:`~repro.serve.admission.ShapeBreaker`, and restarts crashed
+workers through a :class:`~repro.serve.supervisor.Supervisor`
+(``supervise=True`` by default).  Refused queries resolve as
+``status="shed"`` — structured degradation, never an error or a
+stranded future.
+
 For throughput-parallel *campaigns* (many tests of one property) see
 :func:`repro.resilience.parallel_quick_check`; the engine is for
 *query* traffic — many independent questions against one corpus.
 """
 
+from .admission import (
+    ADMISSION_POLICIES,
+    AdmissionQueue,
+    OverloadController,
+    ShapeBreaker,
+    Ticket,
+)
 from .engine import Engine
 from .queries import CheckQuery, EnumQuery, GenQuery, GiveUp, QueryResult
+from .supervisor import Supervisor
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionQueue",
     "CheckQuery",
     "Engine",
     "EnumQuery",
     "GenQuery",
     "GiveUp",
+    "OverloadController",
     "QueryResult",
+    "ShapeBreaker",
+    "Supervisor",
+    "Ticket",
 ]

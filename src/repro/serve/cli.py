@@ -26,9 +26,15 @@ telemetry (``--sample-every`` / ``--slow-ms`` set the tracing policy);
 (re-renderable with ``python -m repro.observe``), ``metrics.prom``
 (Prometheus text exposition), and ``stats.txt`` into *DIR*.
 
+High-availability flags: ``--queue-max N`` bounds the admission queue
+(and enables the overload degradation ladder); ``--admission
+{block,reject,shed_oldest}`` picks the full-queue policy;
+``--drain-timeout SEC`` bounds the shutdown drain — whatever is still
+queued after SEC seconds is shed (``status="shed"``), never stranded.
+
 Exit codes: 0 = every query answered definitely, 1 = at least one
-gave up (fuel/budget), 2 = errors (unknown relation, parse failure,
-usage).
+gave up or was shed (fuel/budget/admission), 2 = errors (unknown
+relation, parse failure, usage).
 """
 
 from __future__ import annotations
@@ -122,6 +128,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fuel", type=int, default=64, help="default check fuel")
     p.add_argument("--max-ops", type=int, default=None)
     p.add_argument("--deadline-seconds", type=float, default=None)
+    p.add_argument(
+        "--queue-max", type=int, default=None, metavar="N",
+        help="bound the admission queue at N queries (default unbounded); "
+        "enables the overload degradation ladder",
+    )
+    p.add_argument(
+        "--admission", choices=["block", "reject", "shed_oldest"],
+        default="block",
+        help="full-queue policy: block the submitter, reject the incoming "
+        "query (status=shed), or evict the oldest queued one",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SEC",
+        help="at shutdown, serve the remaining queue for up to SEC seconds, "
+        "then shed the rest (default: drain fully)",
+    )
     p.add_argument(
         "--memoize", action="store_true",
         help="per-worker memo shards",
@@ -233,22 +255,28 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         ticker.start()
     try:
-        with Engine(
+        engine = Engine(
             ctx,
             workers=args.workers,
             max_ops=args.max_ops,
             deadline_seconds=args.deadline_seconds,
             memoize=args.memoize,
             telemetry=telemetry,
-        ) as engine:
+            queue_max=args.queue_max,
+            admission=args.admission,
+        )
+        try:
+            engine.start()
             engine.prepare(queries)
             for result in engine.run_batch(queries):
-                if result.status == "gave_up":
+                if result.status in ("gave_up", "shed"):
                     gave_up += 1
                 elif result.status == "error":
                     errors += 1
                 print(json.dumps(result.to_dict()), file=out)
             stats = engine.stats()
+        finally:
+            engine.close(drain_timeout=args.drain_timeout)
         print(json.dumps({"kind": "engine_stats", **stats}), file=out)
     finally:
         if stop_ticker is not None:

@@ -13,12 +13,49 @@ no matter which worker's query arrives first.
 
 Queries resolve to structured :class:`~repro.serve.queries.
 QueryResult`\\ s — a budget- or fuel-limited query *gives up*, it does
-not error.  Submission is non-blocking (:meth:`Engine.submit` returns
+not error, and a query the engine refuses to run is **shed** (also not
+an error).  Submission is non-blocking (:meth:`Engine.submit` returns
 a :class:`concurrent.futures.Future`); :meth:`Engine.arun` awaits the
 same future from asyncio.  Workers drain the queue in chunks and run
 same-relation check queries through the derived checker's amortized
 batch entry point (``check_batch``) when no budget applies — the
 batched front-end that makes point-query traffic cheap.
+
+High availability (PR 10) wraps three governors around that core:
+
+* **admission control** — the queue is an :class:`~repro.serve.
+  admission.AdmissionQueue`: *queue_max* bounds it, *admission* picks
+  the full-queue policy (``block`` / ``reject`` / ``shed_oldest``),
+  and an :class:`~repro.serve.admission.OverloadController` (enabled
+  automatically with a bounded queue) climbs the degradation ladder —
+  tightening default budgets under pressure, shedding at submit when
+  saturated.  A :class:`~repro.serve.admission.ShapeBreaker` fast-
+  fails ``(kind, rel)`` shapes that repeatedly exhaust their budgets.
+* **deadline-aware queueing** — a query carrying ``deadline_seconds``
+  gets an *absolute* deadline stamped at submit: it expires in queue
+  without executing (shed, reason ``"expired"``), and when it does
+  execute its budget gets only the *remaining* time, not the original
+  allotment.  (The engine-level *deadline_seconds* default remains an
+  execution-scoped budget, exactly as before.)
+* **supervision** — a :class:`~repro.serve.supervisor.Supervisor`
+  restarts crashed workers with capped exponential backoff.  A crash
+  costs one query one structured error; the rest of the dying worker's
+  chunk is requeued.  ``close(drain_timeout=...)`` resolves every
+  outstanding future — served within the drain window, shed
+  (``"shutdown"``) after it — and never strands one.  When the whole
+  pool is dead (every slot retired, or no supervision), ``submit``
+  raises instead of queueing into the void.
+
+With ``queue_max=None`` (the default) none of the admission machinery
+is active and the hot path matches the PR 9 engine —
+``benchmarks/bench_admission.py`` pins the overhead at ≤ 1.05×.
+
+Chaos testing hooks: *faults* takes a :class:`~repro.resilience.
+faults.WorkerFaultPlan`; each worker counts the queries it claims
+(ordinals persist across restarts) and fires the planned ``crash`` /
+``stall`` / ``poison`` faults — the serving chaos suite
+(``tests/serve/test_chaos.py``) drives seeded plans through every
+recovery path and asserts no future is ever stranded.
 
 Synchronous convenience::
 
@@ -28,11 +65,11 @@ Synchronous convenience::
 
 from __future__ import annotations
 
-import queue
 import random
 import threading
+import time
 from concurrent.futures import Future
-from time import perf_counter
+from time import monotonic
 from typing import Any, Iterable
 
 from ..core.context import Context
@@ -46,7 +83,9 @@ from ..producers.option_bool import NONE_OB, SOME_TRUE
 from ..producers.outcome import FAIL, OUT_OF_FUEL
 from ..quickchick.runner import _SEED_SOURCE
 from ..resilience.budget import budget_scope
+from .admission import AdmissionQueue, OverloadController, ShapeBreaker, Ticket
 from .queries import CheckQuery, EnumQuery, GenQuery, GiveUp, QueryResult
+from .supervisor import Supervisor
 
 _CLOSE = object()  # worker shutdown sentinel
 
@@ -55,6 +94,12 @@ _KINDS = {"CheckQuery": "check", "EnumQuery": "enum", "GenQuery": "gen"}
 #: The per-worker counter fields ``Engine.stats()`` renders, in the
 #: order of the legacy per-worker dicts.
 _WORKER_FIELDS = ("queries", "batched", "gave_up", "errors")
+
+
+class _InjectedCrash(BaseException):
+    """A planned worker crash (chaos testing).  Derives from
+    BaseException so the per-query isolation catches cannot swallow
+    it — it must take the worker thread down like a real crash."""
 
 
 class Engine:
@@ -69,6 +114,27 @@ class Engine:
     per-worker memo shards, no cross-worker locking.  *batch_max*
     bounds how many queued queries one worker drains per chunk (the
     batching window).
+
+    High-availability knobs (see the module docstring):
+
+    * *queue_max* / *admission* — bounded admission queue and its
+      full-queue policy (``"block"`` backpressures the submitter,
+      ``"reject"`` sheds the incoming query, ``"shed_oldest"`` evicts
+      the head).  ``queue_max=None`` = unbounded, admission inactive.
+    * *overload* — the degradation ladder: ``None`` enables an
+      :class:`~repro.serve.admission.OverloadController` exactly when
+      the queue is bounded; pass ``True``/``False`` to force, or a
+      configured controller.
+    * *breaker* — per-(kind, rel) fast-fail: ``None`` enables a
+      :class:`~repro.serve.admission.ShapeBreaker` exactly when the
+      engine has default budgets to exhaust; ``True``/``False``/
+      instance to force.
+    * *supervise* — worker supervision (default on): ``True``,
+      ``False``, or a dict of :class:`~repro.serve.supervisor.
+      Supervisor` keyword arguments (``backoff_base``, ``heal_seconds``,
+      ``max_restarts``, ...).
+    * *faults* — a :class:`~repro.resilience.faults.WorkerFaultPlan`
+      for chaos testing (``None`` in production).
 
     *telemetry* switches on serving-layer observability: pass ``True``
     for a fresh :class:`~repro.observe.telemetry.Telemetry` with
@@ -99,6 +165,12 @@ class Engine:
         batch: bool = True,
         batch_max: int = 64,
         telemetry: "Telemetry | bool | None" = None,
+        queue_max: "int | None" = None,
+        admission: str = "block",
+        overload: "OverloadController | bool | None" = None,
+        breaker: "ShapeBreaker | bool | None" = None,
+        supervise: "bool | dict" = True,
+        faults: Any = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -120,10 +192,41 @@ class Engine:
         else:
             self._metrics = Metrics()
             self._lock = threading.Lock()
-        self._queue: "queue.Queue" = queue.Queue()
-        self._threads: list[threading.Thread] = []
+        self._queue = AdmissionQueue(
+            maxsize=queue_max, policy=admission, on_shed=self._shed_ticket
+        )
+        self.queue_max = queue_max
+        if overload is None:
+            overload = queue_max is not None
+        if overload is True:
+            overload = OverloadController(queue_max=queue_max)
+        elif overload is False:
+            overload = None
+        self._overload: "OverloadController | None" = overload
+        if breaker is None:
+            breaker = max_ops is not None or deadline_seconds is not None
+        if breaker is True:
+            breaker = ShapeBreaker()
+        elif breaker is False:
+            breaker = None
+        self._breaker: "ShapeBreaker | None" = breaker
+        if supervise is True:
+            supervise = {}
+        self._supervisor: "Supervisor | None" = (
+            Supervisor(self, **supervise) if isinstance(supervise, dict)
+            else None
+        )
+        self._supervising = False
+        self.faults = faults
+        #: per-worker served-query ordinals (1-based), persisting across
+        #: restarts so each planned fault fires exactly once
+        self._ordinals: dict = {}
+        self._threads: "list[threading.Thread | None]" = [None] * workers
         self._started = False
+        self._closing = False
         self._closed = False
+        self._close_done = threading.Event()
+        self._state_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -132,24 +235,67 @@ class Engine:
             return self
         self._started = True
         for i in range(self.workers):
-            t = threading.Thread(
-                target=self._worker_main, args=(i,), name=f"repro-serve-{i}",
-                daemon=True,
-            )
-            self._threads.append(t)
-            t.start()
+            self._spawn(i)
+        if self._supervisor is not None:
+            self._supervisor.start()
+            self._supervising = True
         return self
 
-    def close(self) -> None:
-        """Drain outstanding queries, then stop the workers."""
-        if self._closed:
+    def close(self, drain_timeout: "float | None" = None) -> None:
+        """Stop the engine, resolving **every** outstanding future.
+
+        *drain_timeout* bounds how long workers keep serving the
+        already-admitted queue: ``None`` drains it fully (bounded in
+        practice — no new admissions once closing, and the wait ends
+        early if no worker is left alive to drain), ``0`` sheds
+        immediately, *t* waits up to *t* seconds.  Whatever is still
+        queued after the window is shed with reason ``"shutdown"`` —
+        shed, not stranded.  Idempotent; concurrent callers block
+        until the first close completes.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            if self._closing:
+                already = True
+            else:
+                already = False
+                self._closing = True
+        if already:
+            self._close_done.wait()
             return
-        self._closed = True
-        if self._started:
-            for _ in self._threads:
-                self._queue.put(_CLOSE)
-            for t in self._threads:
-                t.join()
+        try:
+            q = self._queue
+            q.start_closing()  # blocked put() callers shed "shutdown"
+            if self._started:
+                deadline = (
+                    None if drain_timeout is None
+                    else monotonic() + drain_timeout
+                )
+                while not q.empty():
+                    if deadline is not None and monotonic() >= deadline:
+                        break
+                    if not any(
+                        t is not None and t.is_alive() for t in self._threads
+                    ):
+                        break  # nobody left to drain it
+                    time.sleep(0.002)
+            q.drain("shutdown")
+            if self._started:
+                for _ in range(self.workers):
+                    q.put_control(_CLOSE)
+                if self._supervising:
+                    self._supervisor.stop()
+                    self._supervising = False
+                for t in self._threads:
+                    if t is not None:
+                        t.join()
+                # A worker that crashed mid-close may have requeued its
+                # chunk after the first drain; nothing will serve it now.
+                q.drain("shutdown")
+            self._closed = True
+        finally:
+            self._close_done.set()
 
     def __enter__(self) -> "Engine":
         return self.start()
@@ -162,18 +308,39 @@ class Engine:
     def submit(self, query) -> "Future[QueryResult]":
         """Enqueue *query*; the future resolves to its
         :class:`QueryResult` (never to an exception — failures become
-        ``status="error"`` results)."""
-        if self._closed:
+        ``status="error"`` results, refusals ``status="shed"``).
+        Raises only when the engine cannot serve at all: it is closed,
+        or the whole worker pool is dead."""
+        if self._closed or self._closing:
             raise RuntimeError("engine is closed")
         if not self._started:
             self.start()
-        fut: "Future[QueryResult]" = Future()
+        if self._pool_dead():
+            raise RuntimeError(
+                "engine worker pool is dead (every worker crashed and "
+                "none can be restarted)"
+            )
         tel = self.telemetry
         qid = tel.next_qid() if tel is not None else 0
-        self._queue.put((query, fut, qid, perf_counter()))
+        now = monotonic()
+        per_query = getattr(query, "deadline_seconds", None)
+        deadline = now + per_query if per_query is not None else None
+        ticket = Ticket(query, Future(), qid, now, deadline)
+        ctl = self._overload
+        if ctl is not None and ctl.should_shed(self._queue.qsize()):
+            self._note_level(ctl.level)
+            self._shed_ticket(ticket, "overload")
+            return ticket.future
+        brk = self._breaker
+        if brk is not None and brk.check(
+            (_KINDS.get(type(query).__name__, "?"), getattr(query, "rel", "?"))
+        ):
+            self._shed_ticket(ticket, "breaker")
+            return ticket.future
+        self._queue.put(ticket)
         if tel is not None:
             tel.observe_queue_depth(self._queue.qsize())
-        return fut
+        return ticket.future
 
     def run(self, query) -> QueryResult:
         """Submit and wait."""
@@ -200,11 +367,14 @@ class Engine:
 
     def stats(self) -> dict:
         """Per-worker served/batched/gave-up/error counts — a rendered
-        view of the locked metrics registry (the legacy dict shape).
-        With telemetry on, a ``"telemetry"`` key carries the full
+        view of the locked metrics registry (the legacy dict shape) —
+        plus shed counts by reason, crash/restart totals, and the
+        governors' snapshots.  With telemetry on, a ``"telemetry"``
+        key carries the full
         :meth:`~repro.observe.telemetry.Telemetry.snapshot`."""
         with self._lock:
             snap = dict(self._metrics.counters)
+        prefix = "serve.shed.reason."
         out = {
             "workers": self.workers,
             "per_worker": [
@@ -214,7 +384,20 @@ class Engine:
                 }
                 for i in range(self.workers)
             ],
+            "shed": {
+                k[len(prefix):]: v
+                for k, v in snap.items()
+                if k.startswith(prefix)
+            },
+            "crashes": snap.get("serve.worker_crashes", 0),
+            "restarts": snap.get("serve.worker_restarts", 0),
         }
+        if self._overload is not None:
+            out["overload"] = self._overload.snapshot()
+        if self._breaker is not None:
+            out["breaker"] = self._breaker.snapshot()
+        if self._supervisor is not None:
+            out["supervisor"] = self._supervisor.snapshot()
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry.snapshot()
         return out
@@ -235,7 +418,128 @@ class Engine:
             elif isinstance(q, GenQuery):
                 derive_generator(self.ctx, q.rel, q.mode)
 
+    # -- supervision hooks ---------------------------------------------------
+
+    def _accepting(self) -> bool:
+        """Whether worker deaths should be treated as crashes (the
+        supervisor's restart gate — clean shutdown exits are not)."""
+        return self._started and not self._closing and not self._closed
+
+    def _worker_alive(self, index: int) -> bool:
+        t = self._threads[index]
+        return t is not None and t.is_alive()
+
+    def _spawn(self, index: int) -> None:
+        t = threading.Thread(
+            target=self._worker_main, args=(index,),
+            name=f"repro-serve-{index}", daemon=True,
+        )
+        self._threads[index] = t
+        t.start()
+
+    def _respawn_worker(self, index: int) -> None:
+        """Supervisor callback: bring a crashed worker slot back."""
+        self._spawn(index)
+        with self._lock:
+            c = self._metrics.counters
+            c["serve.worker_restarts"] = c.get("serve.worker_restarts", 0) + 1
+
+    def _pool_dead(self) -> bool:
+        if not self._started:
+            return False
+        if any(t is not None and t.is_alive() for t in self._threads):
+            return False
+        if self._supervisor is not None and self._supervising:
+            # Restarts are coming unless every slot has been retired.
+            return len(self._supervisor.retired) >= self.workers
+        return True
+
+    # -- shedding ------------------------------------------------------------
+
+    def _shed_ticket(self, ticket: Ticket, reason: str) -> None:
+        """Resolve *ticket* as ``status="shed"`` — the structured
+        refusal used for admission rejects, evictions, in-queue
+        expiry, overload, open shape breakers, and shutdown."""
+        query = ticket.query
+        queue_s = monotonic() - ticket.submitted
+        tel = self.telemetry
+        if tel is not None:
+            tel.record_shed(
+                qid=ticket.qid,
+                kind=_KINDS.get(type(query).__name__, "?"),
+                rel=getattr(query, "rel", "?"),
+                mode=getattr(query, "mode", ""),
+                reason=reason,
+                queue_seconds=queue_s,
+            )
+        else:
+            with self._lock:
+                c = self._metrics.counters
+                for key in ("serve.shed", f"serve.shed.reason.{reason}"):
+                    c[key] = c.get(key, 0) + 1
+        ticket.future.set_result(
+            QueryResult(
+                query, "shed", give_up=GiveUp(reason),
+                qid=ticket.qid, queue_seconds=queue_s,
+            )
+        )
+
+    def _note_level(self, level: int) -> None:
+        # Gauge store is unlocked by design (single dict store, GIL-
+        # atomic) — same contract as Telemetry.observe_queue_depth.
+        self._metrics.gauges["serve.overload_level"] = level
+
     # -- worker side ---------------------------------------------------------
+
+    def _claim(self, index: int, ticket: Ticket) -> None:
+        """Count one claimed query and fire any planned fault for it.
+        ``stall`` sleeps here; ``poison`` tags the ticket for its
+        execution to raise; ``crash`` raises :class:`_InjectedCrash`
+        (the caller's crash handler takes the worker down)."""
+        plan = self.faults
+        if plan is None:
+            return
+        nth = self._ordinals.get(index, 0) + 1
+        self._ordinals[index] = nth
+        kind = plan.draw(index, nth)
+        if kind is None:
+            return
+        if kind == "stall":
+            time.sleep(plan.stall_seconds)
+        elif kind == "poison":
+            ticket.fault = "poison"
+        else:  # crash
+            ticket.fault = "crash"
+            raise _InjectedCrash(f"planned crash: worker {index} query {nth}")
+
+    def _crash(self, index: int, ticket: "Ticket | None", exc) -> None:
+        """A worker is going down: resolve its in-flight ticket as a
+        structured error, account the crash, wake the supervisor."""
+        if ticket is not None:
+            queue_s = monotonic() - ticket.submitted
+            result = QueryResult(
+                ticket.query, "error", error=f"worker crashed: {exc!r}",
+                worker=index, qid=ticket.qid, queue_seconds=queue_s,
+            )
+            tel = self.telemetry
+            if tel is not None:
+                tel.record_query(
+                    qid=ticket.qid,
+                    kind=_KINDS.get(type(ticket.query).__name__, "?"),
+                    rel=getattr(ticket.query, "rel", "?"),
+                    mode=getattr(ticket.query, "mode", ""),
+                    status="error",
+                    worker=index,
+                    queue_seconds=queue_s,
+                )
+            else:
+                self._bump(index, queries=1, errors=1)
+            ticket.future.set_result(result)
+        with self._lock:
+            c = self._metrics.counters
+            c["serve.worker_crashes"] = c.get("serve.worker_crashes", 0) + 1
+        if self._supervising and self._accepting():
+            self._supervisor.notify_crash(index, exc)
 
     def _worker_main(self, index: int) -> None:
         ctx = self.ctx
@@ -252,63 +556,81 @@ class Engine:
         q = self._queue
         while True:
             item = q.get()
+            if item is None:
+                continue
             if item is _CLOSE:
                 return
-            chunk = [item]
-            if self.batch:
-                while len(chunk) < self.batch_max:
-                    try:
-                        nxt = q.get_nowait()
-                    except queue.Empty:
-                        break
-                    if nxt is _CLOSE:
-                        q.put(_CLOSE)  # keep the shutdown token live
-                        break
-                    chunk.append(nxt)
+            chunk: list = []
+            claiming: "Ticket | None" = item
             try:
+                self._claim(index, item)
+                chunk.append(item)
+                if self.batch:
+                    while len(chunk) < self.batch_max:
+                        nxt = q.get_nowait()
+                        if nxt is None:
+                            break
+                        if nxt is _CLOSE:
+                            q.put_control(_CLOSE)  # keep the token live
+                            break
+                        claiming = nxt
+                        self._claim(index, nxt)
+                        chunk.append(nxt)
+                claiming = None
                 self._serve_chunk(index, chunk)
-            except BaseException as e:  # never strand a Future
-                for query, fut, qid, t_sub in chunk:
-                    if not fut.done():
-                        fut.set_result(
-                            QueryResult(
-                                query, "error",
-                                error=f"worker crashed: {e!r}",
-                                worker=index, qid=qid,
-                            )
-                        )
-                raise
+            except BaseException as e:  # crash: never strand a Future
+                survivors = [t for t in chunk if not t.future.done()]
+                if (
+                    claiming is not None
+                    and claiming not in chunk
+                    and not claiming.future.done()
+                ):
+                    # The crash fired at claim time: the ticket being
+                    # claimed is the in-flight victim.
+                    survivors.insert(0, claiming)
+                victim = survivors[0] if survivors else None
+                if len(survivors) > 1:
+                    # Untouched chunk neighbors go back for the
+                    # restarted worker (or a sibling) to serve.
+                    q.put_front(survivors[1:])
+                self._crash(index, victim, e)
+                return
 
     def _serve_chunk(self, index: int, chunk: list) -> None:
-        # Group budget-free check queries per (rel, fuel) for the
-        # amortized batch entry; everything else runs singly.  A query
-        # sampled for tracing is pulled out of its batch group — span
-        # capture needs its own execution.
+        # Group plain check queries per (rel, fuel) for the amortized
+        # batch entry; everything else runs singly.  "Plain" excludes
+        # budgets, deadlines, poison tags, and queries sampled for
+        # tracing — each of those needs its own execution.
         tel = self.telemetry
         groups: dict[tuple, list] = {}
         singles: list = []
-        for item in chunk:
-            query, fut, qid, t_sub = item
+        for t in chunk:
+            query = t.query
             if (
                 isinstance(query, CheckQuery)
+                and t.deadline is None
+                and t.fault is None
                 and not self._limits(query)
                 and len(chunk) > 1
                 and not (
                     tel is not None
-                    and tel.should_trace(qid, "check", query.rel)
+                    and tel.should_trace(t.qid, "check", query.rel)
                 )
             ):
-                groups.setdefault((query.rel, query.fuel), []).append(item)
+                groups.setdefault((query.rel, query.fuel), []).append(t)
             else:
-                singles.append(item)
+                singles.append(t)
         for (rel, fuel), items in groups.items():
             if len(items) == 1:
                 singles.extend(items)
                 continue
             self._serve_check_batch(index, rel, fuel, items)
-        for query, fut, qid, t_sub in singles:
-            result = self._serve_one(index, query, qid=qid, t_sub=t_sub)
-            fut.set_result(result)
+        for t in singles:
+            if t.expired():
+                # The deadline passed while chunk neighbors were served.
+                self._shed_ticket(t, "expired")
+                continue
+            t.future.set_result(self._serve_one(index, t))
 
     def _bump(self, index: int, **fields: int) -> None:
         # Telemetry-off accounting: the same locked registry stats()
@@ -322,7 +644,7 @@ class Engine:
     def _serve_check_batch(
         self, index: int, rel: str, fuel: int, items: list
     ) -> None:
-        t0 = perf_counter()
+        t0 = monotonic()
         n = len(items)
         tel = self.telemetry
         try:
@@ -330,19 +652,18 @@ class Engine:
             batch_fn = getattr(checker, "check_batch", None)
             if batch_fn is None:
                 results = [
-                    checker.check(fuel, tuple(q.args))
-                    for q, _, _, _ in items
+                    checker.check(fuel, tuple(t.query.args)) for t in items
                 ]
             else:
-                results = batch_fn(
-                    fuel, [tuple(q.args) for q, _, _, _ in items]
-                )
+                results = batch_fn(fuel, [tuple(t.query.args) for t in items])
         except ReproError as e:
-            elapsed = (perf_counter() - t0) / n
+            # A derive/schedule failure is shared by the whole group —
+            # every query of this shape errors identically.
+            elapsed = (monotonic() - t0) / n
             if tel is not None:
                 tel.record_batch(
                     kind="check", rel=rel, worker=index,
-                    entries=[(qid, t0 - t_sub) for _, _, qid, t_sub in items],
+                    entries=[(t.qid, t0 - t.submitted) for t in items],
                     service_seconds=elapsed,
                     statuses=["error"] * n,
                     reasons=[None] * n,
@@ -353,35 +674,42 @@ class Engine:
                     c[key] = c.get(key, 0) + n
             else:
                 self._bump(index, queries=n, errors=n)
-            for query, fut, qid, t_sub in items:
-                fut.set_result(
+            for t in items:
+                t.future.set_result(
                     QueryResult(
-                        query, "error", error=str(e),
+                        t.query, "error", error=str(e),
                         elapsed_seconds=elapsed, worker=index,
-                        qid=qid, queue_seconds=t0 - t_sub,
+                        qid=t.qid, queue_seconds=t0 - t.submitted,
                     )
                 )
             return
-        elapsed = (perf_counter() - t0) / n
+        except Exception:
+            # Anything else is one bad query's problem, not the
+            # group's: isolate by re-serving each singly (the single
+            # path errors the culprit and answers its neighbors).
+            for t in items:
+                t.future.set_result(self._serve_one(index, t))
+            return
+        elapsed = (monotonic() - t0) / n
         out = []
-        for (query, fut, qid, t_sub), res in zip(items, results):
+        for t, res in zip(items, results):
             if res is NONE_OB:
                 result = QueryResult(
-                    query, "gave_up", give_up=GiveUp("fuel"),
+                    t.query, "gave_up", give_up=GiveUp("fuel"),
                     elapsed_seconds=elapsed, worker=index, batched=True,
-                    qid=qid, queue_seconds=t0 - t_sub,
+                    qid=t.qid, queue_seconds=t0 - t.submitted,
                 )
             else:
                 result = QueryResult(
-                    query, "ok", value=res is SOME_TRUE,
+                    t.query, "ok", value=res is SOME_TRUE,
                     elapsed_seconds=elapsed, worker=index, batched=True,
-                    qid=qid, queue_seconds=t0 - t_sub,
+                    qid=t.qid, queue_seconds=t0 - t.submitted,
                 )
-            out.append((fut, result))
+            out.append((t.future, result))
         if tel is not None:
             tel.record_batch(
                 kind="check", rel=rel, worker=index,
-                entries=[(qid, t0 - t_sub) for _, _, qid, t_sub in items],
+                entries=[(t.qid, t0 - t.submitted) for t in items],
                 service_seconds=elapsed,
                 statuses=[r.status for _, r in out],
                 reasons=[
@@ -392,26 +720,46 @@ class Engine:
         else:
             gave_up = sum(1 for _, r in out if r.status == "gave_up")
             self._bump(index, queries=n, batched=n, gave_up=gave_up)
+        ctl = self._overload
+        if ctl is not None:
+            self._note_level(ctl.observe(self._queue.qsize(), elapsed))
         for fut, result in out:
             fut.set_result(result)
 
-    def _limits(self, query) -> dict:
-        """The effective budget limits for *query* (empty = none)."""
+    def _limits(self, query, remaining: "float | None" = None) -> dict:
+        """The effective budget limits for *query* (empty = none).
+
+        A query's own limits are sacred; the engine *defaults* scale
+        down under the overload ladder's TIGHTEN.  *remaining* (the
+        ticket's time to deadline) caps the deadline budget — an
+        executing query gets only the time it has left, not its
+        original allotment.
+        """
         out = {}
-        max_ops = query.max_ops if query.max_ops is not None else self.max_ops
-        deadline = (
-            query.deadline_seconds
-            if query.deadline_seconds is not None
-            else self.deadline_seconds
-        )
-        if max_ops is not None:
-            out["max_ops"] = max_ops
+        ctl = self._overload
+        scale = ctl.budget_scale() if ctl is not None else 1.0
+        if query.max_ops is not None:
+            out["max_ops"] = query.max_ops
+        elif self.max_ops is not None:
+            out["max_ops"] = max(1, int(self.max_ops * scale))
+        if query.deadline_seconds is not None:
+            deadline = query.deadline_seconds
+        elif self.deadline_seconds is not None:
+            deadline = self.deadline_seconds * scale
+        else:
+            deadline = None
+        if remaining is not None:
+            deadline = remaining if deadline is None else min(
+                deadline, remaining
+            )
         if deadline is not None:
-            out["deadline_seconds"] = deadline
+            out["deadline_seconds"] = max(deadline, 1e-6)
         return out
 
-    def _run_limited(self, query) -> QueryResult:
-        limits = self._limits(query)
+    def _run_limited(
+        self, query, remaining: "float | None" = None
+    ) -> QueryResult:
+        limits = self._limits(query, remaining)
         if not limits:
             return self._execute(query)
         with budget_scope(self.ctx, **limits) as bud:
@@ -431,32 +779,56 @@ class Engine:
                     getattr(bud.exhausted, "limit", "budget"),
                     exhausted=bud.exhausted,
                 ),
+                seed=result.seed,
             )
         return result
 
-    def _serve_one(
-        self, index: int, query, qid: int = 0, t_sub: "float | None" = None
-    ) -> QueryResult:
+    def _serve_one(self, index: int, ticket: Ticket) -> QueryResult:
         tel = self.telemetry
+        query = ticket.query
+        qid = ticket.qid
         kind = _KINDS.get(type(query).__name__, "?")
-        t0 = perf_counter()
-        queue_s = t0 - t_sub if t_sub is not None else 0.0
+        t0 = monotonic()
+        queue_s = t0 - ticket.submitted
+        remaining = ticket.remaining(t0)
         spans = None
         try:
+            if ticket.fault == "poison":
+                raise RuntimeError("injected poison query")
             if tel is not None and tel.should_trace(qid, kind, query.rel):
                 from ..observe import observe
 
                 with observe(self.ctx, span_cap=tel.span_cap) as obs:
-                    result = self._run_limited(query)
+                    result = self._run_limited(query, remaining)
                 spans = [s.as_dict() for s in obs.spans]
             else:
-                result = self._run_limited(query)
+                result = self._run_limited(query, remaining)
         except ReproError as e:
             result = QueryResult(query, "error", error=str(e))
-        result.elapsed_seconds = perf_counter() - t0
+        except Exception as e:
+            # Per-query isolation: a raise inside one query's execution
+            # is that query's error, never its neighbors' or the
+            # worker's.  (Real crashes — BaseException — still
+            # propagate to the worker's crash handler.)
+            result = QueryResult(
+                query, "error", error=f"query execution failed: {e!r}"
+            )
+        result.elapsed_seconds = monotonic() - t0
         result.worker = index
         result.qid = qid
         result.queue_seconds = queue_s
+        brk = self._breaker
+        if brk is not None:
+            brk.record(
+                (kind, getattr(query, "rel", "?")),
+                result.give_up is not None
+                and result.give_up.exhausted is not None,
+            )
+        ctl = self._overload
+        if ctl is not None:
+            self._note_level(
+                ctl.observe(self._queue.qsize(), result.elapsed_seconds)
+            )
         if tel is not None:
             tel.record_query(
                 qid=qid,
@@ -495,17 +867,28 @@ class Engine:
             enum = derive_enumerator(ctx, query.rel, query.mode)
             values: list = []
             saw_fuel = truncated = False
-            for x in enum.enum_st(query.fuel, tuple(query.ins)):
-                if x is OUT_OF_FUEL:
-                    saw_fuel = True
-                    continue
-                values.append(x)
-                if (
-                    query.max_values is not None
-                    and len(values) >= query.max_values
-                ):
-                    truncated = True
-                    break
+            try:
+                for x in enum.enum_st(query.fuel, tuple(query.ins)):
+                    if x is OUT_OF_FUEL:
+                        saw_fuel = True
+                        continue
+                    values.append(x)
+                    if (
+                        query.max_values is not None
+                        and len(values) >= query.max_values
+                    ):
+                        truncated = True
+                        break
+            except Exception as e:
+                # Mid-stream failure: the values found before the
+                # raise are still a sound partial answer — keep them.
+                msg = (
+                    str(e) if isinstance(e, ReproError)
+                    else f"query execution failed: {e!r}"
+                )
+                return QueryResult(
+                    query, "error", error=msg, value=values, complete=False
+                )
             complete = not saw_fuel and not truncated
             if saw_fuel and not values:
                 return QueryResult(
@@ -520,12 +903,27 @@ class Engine:
                 if query.seed is not None
                 else _SEED_SOURCE.randrange(2**63)
             )
-            res = gen.gen_st(query.fuel, tuple(query.ins), random.Random(seed))
+            try:
+                res = gen.gen_st(
+                    query.fuel, tuple(query.ins), random.Random(seed)
+                )
+            except Exception as e:
+                # The seed makes even a crash replayable:
+                # GenQuery(..., seed=result.seed) reruns the draw.
+                msg = (
+                    str(e) if isinstance(e, ReproError)
+                    else f"query execution failed: {e!r}"
+                )
+                return QueryResult(query, "error", error=msg, seed=seed)
             if res is OUT_OF_FUEL:
-                return QueryResult(query, "gave_up", give_up=GiveUp("fuel"))
+                return QueryResult(
+                    query, "gave_up", give_up=GiveUp("fuel"), seed=seed
+                )
             if res is FAIL:
-                return QueryResult(query, "gave_up", give_up=GiveUp("retries"))
-            return QueryResult(query, "ok", value=res)
+                return QueryResult(
+                    query, "gave_up", give_up=GiveUp("retries"), seed=seed
+                )
+            return QueryResult(query, "ok", value=res, seed=seed)
         return QueryResult(
             query, "error", error=f"unknown query type {type(query).__name__}"
         )

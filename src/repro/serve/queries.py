@@ -7,8 +7,14 @@ form.  A query that runs out of fuel or budget is **not an error** —
 it resolves with ``status="gave_up"`` and a :class:`GiveUp` saying
 which limit stopped it (mirroring the paper's indefinite ``None``
 outcome and the resilience layer's :class:`~repro.resilience.budget.
-Exhausted` diagnosis).  ``status="error"`` is reserved for queries
-that cannot run at all (unknown relation, unschedulable mode).
+Exhausted` diagnosis).  Nor is a query the engine refused to run:
+``status="shed"`` with ``GiveUp("admission" | "expired" | "overload"
+| "breaker" | "shutdown")`` means admission control, deadline expiry,
+the overload ladder, a shape breaker, or shutdown dropped the query
+before (or instead of) executing it — see
+:mod:`repro.serve.admission`.  ``status="error"`` is reserved for
+queries that cannot run at all (unknown relation, unschedulable mode)
+or whose execution raised.
 """
 
 from __future__ import annotations
@@ -87,11 +93,19 @@ class GiveUp:
 class QueryResult:
     """The outcome of one served query.
 
-    ``status`` is ``"ok"`` / ``"gave_up"`` / ``"error"``.  ``value``
-    is the definite answer on ``ok``: a bool for checks, a list of
-    output tuples for enums (with ``complete`` telling whether it is
-    provably all of them), an output tuple for gens.  A gave-up enum
-    still carries the outputs found before the limit hit.
+    ``status`` is ``"ok"`` / ``"gave_up"`` / ``"shed"`` / ``"error"``.
+    ``value`` is the definite answer on ``ok``: a bool for checks, a
+    list of output tuples for enums (with ``complete`` telling whether
+    it is provably all of them), an output tuple for gens.  A gave-up
+    enum still carries the outputs found before the limit hit — and so
+    does an erroring one (the values found before the raise).  A shed
+    query never executed; its ``give_up.reason`` says which admission
+    mechanism dropped it.
+
+    ``seed`` is the RNG seed a :class:`GenQuery` actually ran under
+    (the query's own, or the worker's entropy draw) — recorded on
+    every status, including ``error``, so any failure is replayable
+    with ``GenQuery(..., seed=result.seed)``.
     """
 
     query: Any
@@ -108,6 +122,8 @@ class QueryResult:
     # the query waited in the engine queue before service began.
     qid: int = 0
     queue_seconds: float = 0.0
+    # The RNG seed a GenQuery ran under (None for other kinds).
+    seed: "int | None" = None
 
     @property
     def ok(self) -> bool:
@@ -138,4 +154,5 @@ class QueryResult:
             "batched": self.batched,
             "qid": self.qid,
             "queue_seconds": self.queue_seconds,
+            "seed": self.seed,
         }
